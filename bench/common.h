@@ -1,0 +1,143 @@
+// Shared measurement drivers for the per-figure benchmark harnesses.
+//
+// Every bench prints the series the corresponding paper figure plots (and
+// the paper's quoted values where it quotes any), from a fresh simulation
+// per data point so measurements never contaminate each other.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/meiko/tport.h"
+#include "src/runtime/world.h"
+#include "src/util/table.h"
+
+namespace lcmpi::bench {
+
+/// MPI ping-pong round-trip time in microseconds (works for mpi::Comm and
+/// mpi::MpichComm worlds alike).
+template <typename World>
+double mpi_pingpong_rtt_us(World& w, int bytes, int iters = 10) {
+  double rtt = 0.0;
+  w.run([&, bytes, iters](auto& c, sim::Actor& self) {
+    Bytes buf(static_cast<std::size_t>(bytes), std::byte{5});
+    Bytes in(buf.size());
+    auto t = mpi::Datatype::byte_type();
+    if (c.rank() == 0) {
+      c.send(buf.data(), bytes, t, 1, 1);
+      c.recv(in.data(), bytes, t, 1, 2);
+      const TimePoint t0 = self.now();
+      for (int i = 0; i < iters; ++i) {
+        c.send(buf.data(), bytes, t, 1, 1);
+        c.recv(in.data(), bytes, t, 1, 2);
+      }
+      rtt = (self.now() - t0).usec() / iters;
+    } else {
+      for (int i = 0; i < iters + 1; ++i) {
+        c.recv(in.data(), bytes, t, 0, 1);
+        c.send(in.data(), bytes, t, 0, 2);
+      }
+    }
+  });
+  return rtt;
+}
+
+/// One-way MPI streaming bandwidth in MB/s (final ack closes the clock).
+template <typename World>
+double mpi_bandwidth_mbps(World& w, int bytes, int reps = 4) {
+  double mbps = 0.0;
+  w.run([&, bytes, reps](auto& c, sim::Actor& self) {
+    Bytes buf(static_cast<std::size_t>(bytes), std::byte{3});
+    auto t = mpi::Datatype::byte_type();
+    if (c.rank() == 0) {
+      // Warm-up round.
+      c.send(buf.data(), bytes, t, 1, 1);
+      std::uint8_t fin = 0;
+      c.recv(&fin, 1, t, 1, 2);
+      const TimePoint t0 = self.now();
+      for (int i = 0; i < reps; ++i) c.send(buf.data(), bytes, t, 1, 1);
+      c.recv(&fin, 1, t, 1, 2);
+      mbps = static_cast<double>(bytes) * reps / (self.now() - t0).sec() / 1e6;
+    } else {
+      std::uint8_t fin = 1;
+      for (int i = 0; i < reps + 1; ++i) {
+        c.recv(buf.data(), bytes, t, 0, 1);
+        if (i == 0 || i == reps) c.send(&fin, 1, t, 0, 2);
+      }
+    }
+  });
+  return mbps;
+}
+
+/// A bare two-node Meiko machine with tport widgets (no MPI), for the raw
+/// tport baselines in Figs. 2 and 3.
+struct TportWorld {
+  sim::Kernel kernel;
+  meiko::Machine machine{kernel, 2};
+  meiko::Tport t0{machine, 0};
+  meiko::Tport t1{machine, 1};
+
+  double pingpong_rtt_us(int bytes, int iters = 10) {
+    double rtt = 0.0;
+    kernel.spawn("ping", [&, bytes, iters](sim::Actor& self) {
+      Bytes buf(static_cast<std::size_t>(bytes), std::byte{1});
+      t0.send(self, 1, 1, buf);
+      (void)t0.recv(self, 2, ~0ULL);
+      const TimePoint a = self.now();
+      for (int i = 0; i < iters; ++i) {
+        t0.send(self, 1, 1, buf);
+        (void)t0.recv(self, 2, ~0ULL);
+      }
+      rtt = (self.now() - a).usec() / iters;
+    });
+    kernel.spawn("pong", [&, iters](sim::Actor& self) {
+      for (int i = 0; i < iters + 1; ++i) {
+        meiko::TportMessage m = t1.recv(self, 1, ~0ULL);
+        t1.send(self, 0, 2, std::move(m.data));
+      }
+    });
+    kernel.run();
+    return rtt;
+  }
+
+  double bandwidth_mbps(int bytes, int reps = 4) {
+    double mbps = 0.0;
+    kernel.spawn("tx", [&, bytes, reps](sim::Actor& self) {
+      Bytes buf(static_cast<std::size_t>(bytes), std::byte{1});
+      t0.send(self, 1, 1, buf);
+      (void)t0.recv(self, 2, ~0ULL);
+      const TimePoint a = self.now();
+      for (int i = 0; i < reps; ++i) t0.send(self, 1, 1, buf);
+      (void)t0.recv(self, 2, ~0ULL);
+      mbps = static_cast<double>(bytes) * reps / (self.now() - a).sec() / 1e6;
+    });
+    kernel.spawn("rx", [&, reps](sim::Actor& self) {
+      for (int i = 0; i < reps + 1; ++i) {
+        (void)t1.recv(self, 1, ~0ULL);
+        if (i == 0 || i == reps) t1.send(self, 0, 2, Bytes(1));
+      }
+    });
+    kernel.run();
+    return mbps;
+  }
+};
+
+/// Standard message-size sweeps used across figures.
+inline std::vector<int> latency_sizes() {
+  return {1, 2, 4, 8, 16, 32, 64, 128, 180, 256, 512, 1024, 2048, 4096};
+}
+inline std::vector<int> bandwidth_sizes() {
+  return {1024, 4096, 16384, 65536, 262144, 1048576};
+}
+
+/// Prints the standard bench banner.
+inline void banner(const char* figure, const char* caption) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure, caption);
+  std::printf("(reproduction of: Jones, Singh, Agrawal, \"Low Latency MPI for\n");
+  std::printf(" Meiko CS/2 and ATM Clusters\", IPPS 1997)\n");
+  std::printf("==============================================================\n");
+}
+
+}  // namespace lcmpi::bench

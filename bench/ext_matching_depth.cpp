@@ -1,0 +1,81 @@
+// Ablation: where matching runs, isolated by queue depth.
+//
+// The paper's central Meiko design choice is matching on the 40 MHz SPARC
+// instead of the 10 MHz Elan: "the slower Elan may not be able to handle
+// the somewhat intensive message matching as quickly as the faster SPARC".
+// This harness isolates exactly that term: the receiver pre-posts K
+// receives whose tags never match, then measures the round trip of a
+// message that must scan past all K entries — on the low-latency MPI
+// (SPARC scan, 0.25 us/entry) and on MPICH-over-tport (Elan scan,
+// 0.8 us/entry). The gap grows linearly with depth, at the per-entry
+// rate ratio of the two processors.
+#include "bench/common.h"
+
+namespace lcmpi::bench {
+namespace {
+
+/// RTT of a tag-999 ping with `depth` unmatchable receives posted first.
+template <typename World>
+double rtt_at_depth(World& w, int depth) {
+  double rtt = 0.0;
+  w.run([&, depth](auto& c, sim::Actor& self) {
+    auto bt = mpi::Datatype::byte_type();
+    std::uint8_t b = 1;
+    if (c.rank() == 0) {
+      self.advance(milliseconds(1));  // receiver posts its queue first
+      constexpr int kIters = 8;
+      // Warm-up.
+      c.send(&b, 1, bt, 1, 999);
+      c.recv(&b, 1, bt, 1, 998);
+      const TimePoint t0 = self.now();
+      for (int i = 0; i < kIters; ++i) {
+        c.send(&b, 1, bt, 1, 999);
+        c.recv(&b, 1, bt, 1, 998);
+      }
+      rtt = (self.now() - t0).usec() / kIters;
+      // Release the parked receives.
+      for (int k = 0; k < depth; ++k) c.send(&b, 1, bt, 1, k);
+    } else {
+      std::vector<std::uint8_t> sink(static_cast<std::size_t>(depth) + 1);
+      std::vector<decltype(c.irecv(&b, 1, bt, 0, 0))> parked;
+      for (int k = 0; k < depth; ++k)
+        parked.push_back(c.irecv(&sink[static_cast<std::size_t>(k)], 1, bt, 0, k));
+      for (int i = 0; i < 9; ++i) {
+        c.recv(&b, 1, bt, 0, 999);  // must scan past `depth` entries
+        c.send(&b, 1, bt, 0, 998);
+      }
+      c.wait_all(parked);
+    }
+  });
+  return rtt;
+}
+
+int run() {
+  banner("Ablation", "matching-queue depth: SPARC (low-latency) vs Elan (MPICH)");
+
+  Table t({"posted_depth", "lowlat_rtt_us", "mpich_rtt_us", "lowlat_delta_us",
+           "mpich_delta_us"});
+  double base_ll = 0.0, base_mp = 0.0;
+  for (int depth : {0, 8, 16, 32, 64, 128}) {
+    runtime::MeikoWorld lw(2);
+    const double ll = rtt_at_depth(lw, depth);
+    runtime::MpichMeikoWorld mw(2);
+    const double mp = rtt_at_depth(mw, depth);
+    if (depth == 0) {
+      base_ll = ll;
+      base_mp = mp;
+    }
+    t.add_row({std::to_string(depth), fmt(ll), fmt(mp), fmt(ll - base_ll),
+               fmt(mp - base_mp)});
+  }
+  t.print();
+  std::printf("\nthe per-posted-entry scan penalty is ~0.5 us on the 40 MHz SPARC vs\n"
+              "~1.6 us on the 10 MHz Elan (two scans per round trip), so deep queues\n"
+              "punish Elan-side matching ~3x harder — the paper's design argument.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace lcmpi::bench
+
+int main() { return lcmpi::bench::run(); }

@@ -1,0 +1,59 @@
+// Figure 1: Meiko transfer mechanisms.
+//
+// Round-trip time vs message size for the two transfer mechanisms the
+// hybrid protocol chooses between: eager ("Buffering": data overlapped
+// with matching, temporary receiver-side copy) vs rendezvous ("No
+// buffering": envelope first, then a DMA pull directly into the user
+// buffer). The paper's curves intersect at 180 bytes, which is where the
+// implementation sets its crossover. Also sweeps the threshold as an
+// ablation of that design choice.
+#include "bench/common.h"
+
+namespace lcmpi::bench {
+namespace {
+
+double rtt_forced(int bytes, std::int64_t threshold) {
+  mpi::EngineConfig cfg;
+  cfg.eager_threshold_override = threshold;
+  runtime::MeikoWorld w(2, {}, cfg);
+  return mpi_pingpong_rtt_us(w, bytes, 6);
+}
+
+int run() {
+  banner("Figure 1", "Meiko transfer mechanisms: buffering vs no buffering");
+
+  Table t({"bytes", "buffering_rtt_us", "no_buffering_rtt_us", "winner"});
+  double crossover = -1.0;
+  double prev_diff = 0.0;
+  int prev_size = 0;
+  for (int bytes : {1, 16, 32, 64, 96, 128, 160, 180, 200, 256, 320, 384, 448, 512}) {
+    const double eager = rtt_forced(bytes, 1 << 20);  // always eager
+    const double rndv = rtt_forced(bytes, 0);         // always rendezvous
+    const double diff = eager - rndv;
+    if (crossover < 0 && diff > 0 && prev_diff < 0 && diff != prev_diff) {
+      // Linear interpolation of the zero crossing.
+      crossover = prev_size + (bytes - prev_size) * (-prev_diff) / (diff - prev_diff);
+    }
+    prev_diff = diff;
+    prev_size = bytes;
+    t.add_row({std::to_string(bytes), fmt(eager), fmt(rndv),
+               eager < rndv ? "buffering" : "no-buffering"});
+  }
+  t.print();
+  std::printf("\nmeasured crossover: %.0f bytes (paper: 180 bytes)\n", crossover);
+
+  std::printf("\nAblation — end-to-end RTT at the hybrid protocol's default\n"
+              "threshold vs forced-eager and forced-rendezvous:\n");
+  Table a({"bytes", "hybrid_180_us", "always_eager_us", "always_rndv_us"});
+  for (int bytes : {64, 180, 512, 4096}) {
+    a.add_row({std::to_string(bytes), fmt(rtt_forced(bytes, 180)),
+               fmt(rtt_forced(bytes, 1 << 20)), fmt(rtt_forced(bytes, 0))});
+  }
+  a.print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace lcmpi::bench
+
+int main() { return lcmpi::bench::run(); }

@@ -1,0 +1,43 @@
+// Figure 2: Meiko round-trip latency.
+//
+// Round-trip time vs message size for three stacks:
+//   * Meiko tport        — the raw widget, no MPI (paper: 52 us at 1 B);
+//   * MPI (low latency)  — this library, matching on the SPARC over raw
+//                          DMAs/transactions (paper: 104 us at 1 B, with a
+//                          visible bend at the 180 B protocol crossover);
+//   * MPI (MPICH)        — the tport-based baseline, matching on the Elan
+//                          (paper: 210 us at 1 B).
+#include "bench/common.h"
+
+namespace lcmpi::bench {
+namespace {
+
+int run() {
+  banner("Figure 2", "Meiko round-trip latency");
+
+  Table t({"bytes", "tport_us", "mpi_lowlat_us", "mpi_mpich_us"});
+  for (int bytes : latency_sizes()) {
+    TportWorld tw;
+    const double tport = tw.pingpong_rtt_us(bytes);
+    runtime::MeikoWorld lw(2);
+    const double lowlat = mpi_pingpong_rtt_us(lw, bytes);
+    runtime::MpichMeikoWorld mw(2);
+    const double mpich = mpi_pingpong_rtt_us(mw, bytes);
+    t.add_row({std::to_string(bytes), fmt(tport), fmt(lowlat), fmt(mpich)});
+  }
+  t.print();
+
+  TportWorld tw;
+  runtime::MeikoWorld lw(2);
+  runtime::MpichMeikoWorld mw(2);
+  std::printf("\n1-byte RTT — paper vs measured:\n");
+  std::printf("  tport            52 us   vs  %.1f us\n", tw.pingpong_rtt_us(1));
+  std::printf("  MPI low latency 104 us   vs  %.1f us\n", mpi_pingpong_rtt_us(lw, 1));
+  std::printf("  MPI MPICH       210 us   vs  %.1f us\n", mpi_pingpong_rtt_us(mw, 1));
+  return 0;
+}
+
+}  // namespace
+}  // namespace lcmpi::bench
+
+int main() { return lcmpi::bench::run(); }

@@ -1,0 +1,37 @@
+// Figure 3: Meiko bandwidth.
+//
+// Throughput vs message size for the raw tport widget, the low-latency
+// MPI, and the MPICH baseline. All three should approach the DMA engine's
+// 39 MB/s ceiling, with the low-latency implementation at or above MPICH
+// because its lower per-message latency leaves more of each transfer in
+// the DMA.
+#include "bench/common.h"
+
+namespace lcmpi::bench {
+namespace {
+
+int run() {
+  banner("Figure 3", "Meiko bandwidth");
+
+  Table t({"bytes", "tport_MBps", "mpi_lowlat_MBps", "mpi_mpich_MBps"});
+  double best = 0.0;
+  for (int bytes : bandwidth_sizes()) {
+    TportWorld tw;
+    const double tport = tw.bandwidth_mbps(bytes);
+    runtime::MeikoWorld lw(2);
+    const double lowlat = mpi_bandwidth_mbps(lw, bytes);
+    runtime::MpichMeikoWorld mw(2);
+    const double mpich = mpi_bandwidth_mbps(mw, bytes);
+    best = std::max({best, tport, lowlat, mpich});
+    t.add_row({std::to_string(bytes), fmt(tport), fmt(lowlat), fmt(mpich)});
+  }
+  t.print();
+  std::printf("\npeak measured bandwidth: %.1f MB/s (paper: best possible DMA 39 MB/s)\n",
+              best);
+  return 0;
+}
+
+}  // namespace
+}  // namespace lcmpi::bench
+
+int main() { return lcmpi::bench::run(); }

@@ -1,0 +1,112 @@
+// Figure 5: TCP round-trip latency — raw TCP vs MPI-over-TCP on both media.
+//
+// Four series as in the paper (tcp/eth, tcp/atm, mpi/tcp/eth, mpi/tcp/atm),
+// plus the reliable-UDP MPI series (the paper reports it performs like the
+// TCP version) and a flow-control ablation: the Meiko's single-envelope
+// discipline applied over TCP, which the paper rejects in §5.1.
+#include "bench/common.h"
+
+#include "src/inet/tcp.h"
+
+namespace lcmpi::bench {
+namespace {
+
+double raw_tcp_rtt_us(runtime::Media media, int bytes, int iters = 8) {
+  sim::Kernel kernel;
+  std::unique_ptr<atmnet::Network> net;
+  std::unique_ptr<inet::InetCluster> cluster;
+  if (media == runtime::Media::kAtm) {
+    net = std::make_unique<atmnet::AtmNetwork>(kernel, 2);
+    cluster = std::make_unique<inet::InetCluster>(*net, inet::atm_profile());
+  } else {
+    net = std::make_unique<atmnet::EthernetNetwork>(kernel, 2);
+    cluster = std::make_unique<inet::InetCluster>(*net, inet::ethernet_profile());
+  }
+  inet::TcpConnection& c = cluster->tcp_pair(0, 1);
+  double rtt = 0.0;
+  kernel.spawn("ping", [&, bytes, iters](sim::Actor& self) {
+    Bytes buf(static_cast<std::size_t>(bytes), std::byte{1});
+    Bytes in(buf.size());
+    c.a().write(self, buf);
+    c.a().read_exact(self, in.data(), in.size());
+    const TimePoint t0 = self.now();
+    for (int i = 0; i < iters; ++i) {
+      c.a().write(self, buf);
+      c.a().read_exact(self, in.data(), in.size());
+    }
+    rtt = (self.now() - t0).usec() / iters;
+  });
+  kernel.spawn("pong", [&, bytes, iters](sim::Actor& self) {
+    Bytes in(static_cast<std::size_t>(bytes));
+    for (int i = 0; i < iters + 1; ++i) {
+      c.b().read_exact(self, in.data(), in.size());
+      c.b().write(self, in);
+    }
+  });
+  kernel.run();
+  return rtt;
+}
+
+double mpi_rtt_us(runtime::Media media, runtime::Transport tr, int bytes,
+                  fabric::FlowControl flow = fabric::FlowControl::kCredit) {
+  fabric::StreamFabric::Options opt;
+  opt.flow = flow;
+  runtime::ClusterWorld w(2, media, tr, {}, opt);
+  return mpi_pingpong_rtt_us(w, bytes, 8);
+}
+
+int run() {
+  using runtime::Media;
+  using runtime::Transport;
+  banner("Figure 5", "TCP round-trip latency (plus reliable-UDP MPI, paper §5.3)");
+
+  Table t({"bytes", "tcp_eth_us", "tcp_atm_us", "mpi_tcp_eth_us", "mpi_tcp_atm_us",
+           "mpi_rudp_atm_us"});
+  for (int bytes : latency_sizes()) {
+    t.add_row({std::to_string(bytes), fmt(raw_tcp_rtt_us(Media::kEthernet, bytes)),
+               fmt(raw_tcp_rtt_us(Media::kAtm, bytes)),
+               fmt(mpi_rtt_us(Media::kEthernet, Transport::kTcp, bytes)),
+               fmt(mpi_rtt_us(Media::kAtm, Transport::kTcp, bytes)),
+               fmt(mpi_rtt_us(Media::kAtm, Transport::kRudp, bytes))});
+  }
+  t.print();
+
+  std::printf("\npaper reference points: raw 1 B RTT 925 us (Ethernet), 1065 us (ATM);\n"
+              "MPI adds roughly constant protocol overhead on top (Table 1).\n");
+
+  std::printf("\nAblation — flow control over mpi/tcp/atm with 4 outstanding sends\n"
+              "(single envelope slot vs credit; paper §5.1 explains why credit):\n");
+  for (auto [name, flow] : {std::pair{"credit", fabric::FlowControl::kCredit},
+                            std::pair{"single-slot", fabric::FlowControl::kSingleSlot}}) {
+    fabric::StreamFabric::Options opt;
+    opt.flow = flow;
+    runtime::ClusterWorld w(2, Media::kAtm, Transport::kTcp, {}, opt);
+    double total_us = 0.0;
+    w.run([&](mpi::Comm& c, sim::Actor& self) {
+      auto bt = mpi::Datatype::byte_type();
+      Bytes buf(512, std::byte{2});
+      if (c.rank() == 0) {
+        const TimePoint t0 = self.now();
+        std::vector<mpi::Request> reqs;
+        for (int i = 0; i < 4; ++i)
+          reqs.push_back(c.isend(buf.data(), 512, bt, 1, i));
+        c.wait_all(reqs);
+        std::uint8_t fin = 0;
+        c.recv(&fin, 1, bt, 1, 99);
+        total_us = (self.now() - t0).usec();
+      } else {
+        Bytes in(512);
+        for (int i = 0; i < 4; ++i) c.recv(in.data(), 512, bt, 0, i);
+        std::uint8_t fin = 1;
+        c.send(&fin, 1, bt, 0, 99);
+      }
+    });
+    std::printf("  %-12s %8.1f us for 4 pipelined 512 B sends\n", name, total_us);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace lcmpi::bench
+
+int main() { return lcmpi::bench::run(); }

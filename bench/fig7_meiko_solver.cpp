@@ -1,0 +1,74 @@
+// Figure 7: Meiko linear equation solver, 1-32 processes.
+//
+// The solver's only communication is broadcast, so it isolates the two
+// MPI_Bcast implementations: MPICH's point-to-point tree over tport vs the
+// low-latency MPI's use of the Meiko hardware broadcast. The low-latency
+// curve should sit below MPICH everywhere and scale further.
+#include "bench/common.h"
+
+#include "src/apps/matmul.h"
+#include "src/apps/solver.h"
+
+namespace lcmpi::bench {
+namespace {
+
+int run() {
+  banner("Figure 7", "Meiko linear equation solver (time vs processes)");
+
+  constexpr int kN = 192;
+  constexpr int kMatN = 128;  // divides every tested process count
+  const apps::LinearSystem sys = apps::LinearSystem::random(kN, 42);
+
+  Table t({"procs", "mpich_s", "lowlat_s", "speedup_lowlat"});
+  double lowlat1 = 0.0;
+  for (int p : {1, 2, 4, 8, 16, 32}) {
+    runtime::MpichMeikoWorld mw(p);
+    const double mpich_s =
+        mw.run([&](mpi::MpichComm& c, sim::Actor& self) {
+            (void)apps::solve_parallel(c, self, sys, apps::sparc_profile());
+          })
+            .sec();
+    runtime::MeikoWorld lw(p);
+    const double lowlat_s =
+        lw.run([&](mpi::Comm& c, sim::Actor& self) {
+            (void)apps::solve_parallel(c, self, sys, apps::sparc_profile());
+          })
+            .sec();
+    if (p == 1) lowlat1 = lowlat_s;
+    t.add_row({std::to_string(p), fmt(mpich_s, 4), fmt(lowlat_s, 4),
+               fmt(lowlat1 / lowlat_s, 2)});
+  }
+  t.print();
+  std::printf("\nN = %d unknowns; broadcast-only communication. Paper Fig. 7 shows\n"
+              "the low-latency (hardware broadcast) implementation below MPICH's\n"
+              "point-to-point broadcast at every process count.\n", kN);
+
+  // §6.1: "We also implemented matrix multiplication; the performance
+  // results are similar to that of the linear equation solver."
+  std::printf("\nMatrix multiply (%dx%d), same comparison:\n", kMatN, kMatN);
+  Table m({"procs", "mpich_s", "lowlat_s"});
+  const auto a = apps::random_matrix(kMatN, 1);
+  const auto b = apps::random_matrix(kMatN, 2);
+  for (int p : {1, 2, 4, 8, 16, 32}) {
+    runtime::MpichMeikoWorld mw(p);
+    const double mpich_s =
+        mw.run([&](mpi::MpichComm& c, sim::Actor& self) {
+            (void)apps::matmul_parallel(c, self, a, b, kMatN, apps::sparc_profile());
+          })
+            .sec();
+    runtime::MeikoWorld lw(p);
+    const double lowlat_s =
+        lw.run([&](mpi::Comm& c, sim::Actor& self) {
+            (void)apps::matmul_parallel(c, self, a, b, kMatN, apps::sparc_profile());
+          })
+            .sec();
+    m.add_row({std::to_string(p), fmt(mpich_s, 4), fmt(lowlat_s, 4)});
+  }
+  m.print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace lcmpi::bench
+
+int main() { return lcmpi::bench::run(); }

@@ -1,0 +1,106 @@
+// google-benchmark microbenchmarks of the library's real hot paths (these
+// measure wall-clock cost of the implementation itself, complementing the
+// virtual-time figures the per-figure harnesses report).
+#include <benchmark/benchmark.h>
+
+#include "src/core/datatype.h"
+#include "src/core/matching.h"
+#include "src/sim/kernel.h"
+#include "src/sim/mailbox.h"
+#include "src/util/rng.h"
+
+namespace lcmpi {
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Kernel k;
+    for (int i = 0; i < n; ++i)
+      k.schedule(microseconds(static_cast<double>(i % 97)), [] {});
+    k.run();
+    benchmark::DoNotOptimize(k.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(10000);
+
+void BM_ActorPingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Kernel k;
+    sim::Mailbox<int> to_b, to_a;
+    int hops = 0;
+    k.spawn("a", [&](sim::Actor& self) {
+      for (int i = 0; i < 100; ++i) {
+        to_b.push(i);
+        hops += to_a.pop(self);
+      }
+    });
+    k.spawn("b", [&](sim::Actor& self) {
+      for (int i = 0; i < 100; ++i) {
+        (void)to_b.pop(self);
+        to_a.push(1);
+      }
+    });
+    k.run();
+    benchmark::DoNotOptimize(hops);
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_ActorPingPong);
+
+void BM_MatchingUnexpectedScan(benchmark::State& state) {
+  const auto depth = static_cast<int>(state.range(0));
+  mpi::UnexpectedQueue q;
+  for (int i = 0; i < depth; ++i) {
+    fabric::ProtoMsg m;
+    m.context = 0;
+    m.src = i % 8;
+    m.tag = i;
+    q.add(std::move(m));
+  }
+  std::size_t scanned = 0;
+  for (auto _ : state) {
+    const auto* hit = q.peek(0, mpi::kAnySource, depth - 1, &scanned);
+    benchmark::DoNotOptimize(hit);
+  }
+  state.SetItemsProcessed(state.iterations() * depth);
+}
+BENCHMARK(BM_MatchingUnexpectedScan)->Arg(16)->Arg(256);
+
+void BM_DatatypePackContiguous(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  std::vector<double> src(static_cast<std::size_t>(n), 1.5);
+  auto t = mpi::Datatype::double_type();
+  for (auto _ : state) {
+    Bytes packed = t.pack(src.data(), n);
+    benchmark::DoNotOptimize(packed.data());
+  }
+  state.SetBytesProcessed(state.iterations() * n * 8);
+}
+BENCHMARK(BM_DatatypePackContiguous)->Arg(1024)->Arg(65536);
+
+void BM_DatatypePackStridedColumn(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  std::vector<double> matrix(static_cast<std::size_t>(n) * n, 2.0);
+  auto col = mpi::Datatype::vector(n, 1, n, mpi::Datatype::double_type());
+  for (auto _ : state) {
+    Bytes packed = col.pack(matrix.data(), 1);
+    benchmark::DoNotOptimize(packed.data());
+  }
+  state.SetBytesProcessed(state.iterations() * n * 8);
+}
+BENCHMARK(BM_DatatypePackStridedColumn)->Arg(64)->Arg(256);
+
+void BM_RngThroughput(benchmark::State& state) {
+  Rng rng(1);
+  std::uint64_t acc = 0;
+  for (auto _ : state) acc ^= rng.next_u64();
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_RngThroughput);
+
+}  // namespace
+}  // namespace lcmpi
+
+BENCHMARK_MAIN();

@@ -1,0 +1,136 @@
+// Table 1: MPI round-trip overheads with TCP — the latency decomposition.
+//
+// Reproduces each line of the paper's table by measuring the corresponding
+// operation through the simulated stack:
+//   line 1: raw TCP 1-byte round trip;
+//   line 2: the marginal cost of writing the 25 bytes of MPI protocol
+//           information (1 type byte + 4 credit + 20 envelope/DMA info)
+//           along with the payload;
+//   line 3: the read() that fetches the message type byte;
+//   line 4: the read() that fetches the envelope/control block;
+//   line 5: MPI matching on the host.
+// A consistency check compares raw-RTT + 2x(sum of added lines) against
+// the measured MPI-over-TCP round trip.
+#include "bench/common.h"
+
+#include "src/fabric/stream_fabric.h"
+#include "src/inet/tcp.h"
+
+namespace lcmpi::bench {
+namespace {
+
+struct Decomposition {
+  double raw_rtt_us;
+  double info_write_us;
+  double read_type_us;
+  double read_envelope_us;
+  double matching_us;
+  double mpi_rtt_us;
+};
+
+Decomposition measure(runtime::Media media) {
+  Decomposition d{};
+
+  // --- raw 1-byte TCP RTT ----------------------------------------------------
+  sim::Kernel kernel;
+  std::unique_ptr<atmnet::Network> net;
+  std::unique_ptr<inet::InetCluster> cluster;
+  if (media == runtime::Media::kAtm) {
+    net = std::make_unique<atmnet::AtmNetwork>(kernel, 2);
+    cluster = std::make_unique<inet::InetCluster>(*net, inet::atm_profile());
+  } else {
+    net = std::make_unique<atmnet::EthernetNetwork>(kernel, 2);
+    cluster = std::make_unique<inet::InetCluster>(*net, inet::ethernet_profile());
+  }
+  inet::TcpConnection& conn = cluster->tcp_pair(0, 1);
+  inet::TcpConnection& probeconn = cluster->tcp_pair(0, 1);
+
+  kernel.spawn("ping", [&](sim::Actor& self) {
+    Bytes one(1, std::byte{1});
+    Bytes in(1);
+    conn.a().write(self, one);
+    conn.a().read_exact(self, in.data(), 1);
+    TimePoint t0 = self.now();
+    for (int i = 0; i < 8; ++i) {
+      conn.a().write(self, one);
+      conn.a().read_exact(self, in.data(), 1);
+    }
+    d.raw_rtt_us = (self.now() - t0).usec() / 8;
+
+    // --- line 2: marginal cost of the 25-byte header on a write -------------
+    Bytes with_info(26, std::byte{2});
+    t0 = self.now();
+    probeconn.a().write(self, with_info);
+    const double w26 = (self.now() - t0).usec();
+    t0 = self.now();
+    probeconn.a().write(self, one);
+    const double w1 = (self.now() - t0).usec();
+    d.info_write_us = w26 - w1;
+  });
+  kernel.spawn("pong", [&](sim::Actor& self) {
+    Bytes in(1);
+    for (int i = 0; i < 9; ++i) {
+      conn.b().read_exact(self, in.data(), 1);
+      conn.b().write(self, in);
+    }
+    // --- lines 3 and 4: the two added reads ---------------------------------
+    self.advance(milliseconds(5));  // both probe writes have landed
+    std::uint8_t type = 0;
+    TimePoint t0 = self.now();
+    probeconn.b().read_exact(self, &type, 1);
+    d.read_type_us = (self.now() - t0).usec();
+    std::uint8_t envelope[24];
+    t0 = self.now();
+    probeconn.b().read_exact(self, envelope, 24);
+    d.read_envelope_us = (self.now() - t0).usec();
+    // Drain the leftover probe bytes.
+    Bytes rest(2);
+    probeconn.b().read_exact(self, rest.data(), 2);
+  });
+  kernel.run();
+
+  // --- line 5: matching cost (the engine charges this per match) -------------
+  d.matching_us = fabric::StreamFabric::Options().costs.match.usec();
+
+  // --- consistency: full MPI-over-TCP 1-byte RTT ------------------------------
+  runtime::ClusterWorld w(2, media, runtime::Transport::kTcp);
+  d.mpi_rtt_us = mpi_pingpong_rtt_us(w, 1, 8);
+  return d;
+}
+
+int run() {
+  banner("Table 1", "MPI round-trip overheads with TCP");
+
+  const Decomposition atm = measure(runtime::Media::kAtm);
+  const Decomposition eth = measure(runtime::Media::kEthernet);
+
+  Table t({"component", "ATM_us", "Eth_us", "paper_ATM_us", "paper_Eth_us"});
+  t.add_row({"1 byte round-trip latency", fmt(atm.raw_rtt_us), fmt(eth.raw_rtt_us),
+             "1065", "925"});
+  t.add_row({"25 byte info overhead", fmt(atm.info_write_us), fmt(eth.info_write_us),
+             "5", "45"});
+  t.add_row({"Read for msg type", fmt(atm.read_type_us), fmt(eth.read_type_us), "85",
+             "65"});
+  t.add_row({"Read for envelope", fmt(atm.read_envelope_us), fmt(eth.read_envelope_us),
+             "85", "65"});
+  t.add_row({"Overheads for matching", fmt(atm.matching_us), fmt(eth.matching_us), "35",
+             "35"});
+  t.print();
+
+  auto added = [](const Decomposition& d) {
+    return d.info_write_us + d.read_type_us + d.read_envelope_us + d.matching_us;
+  };
+  std::printf("\nconsistency: measured MPI/TCP 1 B RTT vs raw + 2 x (added lines)\n");
+  std::printf("  ATM: measured %.0f us, predicted %.0f us\n", atm.mpi_rtt_us,
+              atm.raw_rtt_us + 2 * added(atm));
+  std::printf("  Eth: measured %.0f us, predicted %.0f us\n", eth.mpi_rtt_us,
+              eth.raw_rtt_us + 2 * added(eth));
+  std::printf("\nnote: the paper tabulates per-message costs; a round trip pays each\n"
+              "added component twice (once per direction).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace lcmpi::bench
+
+int main() { return lcmpi::bench::run(); }

@@ -1,0 +1,59 @@
+// Example: the classic MPICH demo program `cpi.c` (compute pi by numeric
+// integration), ported onto the C compatibility API essentially verbatim.
+// A 1996 MPI program runs unmodified over the simulated Meiko CS/2 —
+// the portability promise the MPI standard (and the paper) is about.
+//
+//   ./cpi_legacy [intervals] [procs]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/capi/mpi.h"
+
+namespace {
+
+// ------------------------- begin "legacy" program -------------------------
+int g_intervals = 10000;
+
+void cpi_main() {
+  int myid, numprocs;
+  double PI25DT = 3.141592653589793238462643;
+  double mypi, pi, h, sum, x;
+
+  MPI_Init(nullptr, nullptr);
+  MPI_Comm_rank(MPI_COMM_WORLD, &myid);
+  MPI_Comm_size(MPI_COMM_WORLD, &numprocs);
+
+  int n = myid == 0 ? g_intervals : 0;
+  double startwtime = 0.0;
+  if (myid == 0) startwtime = MPI_Wtime();
+  MPI_Bcast(&n, 1, MPI_INT, 0, MPI_COMM_WORLD);
+
+  h = 1.0 / (double)n;
+  sum = 0.0;
+  for (int i = myid + 1; i <= n; i += numprocs) {
+    x = h * ((double)i - 0.5);
+    sum += 4.0 / (1.0 + x * x);
+  }
+  mypi = h * sum;
+
+  MPI_Reduce(&mypi, &pi, 1, MPI_DOUBLE, MPI_SUM, 0, MPI_COMM_WORLD);
+
+  if (myid == 0) {
+    printf("pi is approximately %.16f, Error is %.16f\n", pi, fabs(pi - PI25DT));
+    printf("wall clock time = %f (simulated seconds)\n", MPI_Wtime() - startwtime);
+  }
+  MPI_Finalize();
+}
+// -------------------------- end "legacy" program ---------------------------
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  g_intervals = argc > 1 ? std::atoi(argv[1]) : 10000;
+  const int procs = argc > 2 ? std::atoi(argv[2]) : 8;
+
+  lcmpi::runtime::MeikoWorld world(procs);
+  lcmpi::capi::run_on(world, cpi_main);
+  return 0;
+}

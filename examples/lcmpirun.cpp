@@ -1,0 +1,146 @@
+// lcmpirun — an mpirun-style driver for the simulated platforms.
+//
+// Picks a platform, a rank count, and a built-in application, runs it, and
+// reports simulated time plus a rank-0 MPI profile. Ties the whole library
+// together from one command line:
+//
+//   ./lcmpirun --platform meiko        --ranks 16 --app solver    --n 128
+//   ./lcmpirun --platform mpich        --ranks 8  --app particles --n 24
+//   ./lcmpirun --platform tcp-atm      --ranks 8  --app particles --n 128
+//   ./lcmpirun --platform tcp-eth      --ranks 4  --app solver    --n 96
+//   ./lcmpirun --platform rudp-atm     --ranks 4  --app matmul    --n 64
+//   ./lcmpirun --platform meiko --ranks 8 --app pingpong --n 4096
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/apps/matmul.h"
+#include "src/apps/particles.h"
+#include "src/apps/solver.h"
+#include "src/runtime/world.h"
+
+using namespace lcmpi;
+
+namespace {
+
+struct Args {
+  std::string platform = "meiko";
+  std::string app = "solver";
+  int ranks = 8;
+  int n = 96;
+  bool profile = false;
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: lcmpirun [--platform meiko|mpich|tcp-atm|tcp-eth|rudp-atm]\n"
+               "                [--ranks N] [--app solver|matmul|particles|pingpong]\n"
+               "                [--n SIZE] [--profile]\n");
+  std::exit(2);
+}
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        usage();
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--platform")) a.platform = need_value("--platform");
+    else if (!std::strcmp(argv[i], "--app")) a.app = need_value("--app");
+    else if (!std::strcmp(argv[i], "--ranks")) a.ranks = std::atoi(need_value("--ranks"));
+    else if (!std::strcmp(argv[i], "--n")) a.n = std::atoi(need_value("--n"));
+    else if (!std::strcmp(argv[i], "--profile")) a.profile = true;
+    else usage();
+  }
+  if (a.ranks < 1 || a.n < 1) usage();
+  return a;
+}
+
+/// The selected application, templated over the communicator type.
+template <typename C>
+void run_app(const Args& args, C& comm, sim::Actor& self,
+             const apps::ComputeProfile& compute) {
+  if (args.app == "solver") {
+    (void)apps::solve_parallel(comm, self, apps::LinearSystem::random(args.n, 7), compute);
+  } else if (args.app == "matmul") {
+    LCMPI_CHECK(args.n % comm.size() == 0, "--n must divide --ranks for matmul");
+    (void)apps::matmul_parallel(comm, self, apps::random_matrix(args.n, 1),
+                                apps::random_matrix(args.n, 2), args.n, compute);
+  } else if (args.app == "particles") {
+    (void)apps::forces_ring(comm, self, apps::random_particles(args.n, 3), compute);
+  } else if (args.app == "pingpong") {
+    if (comm.size() < 2) throw InternalError("pingpong needs at least 2 ranks");
+    Bytes buf(static_cast<std::size_t>(args.n), std::byte{1});
+    auto bt = mpi::Datatype::byte_type();
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 100; ++i) {
+        comm.send(buf.data(), args.n, bt, 1, 1);
+        comm.recv(buf.data(), args.n, bt, 1, 2);
+      }
+    } else if (comm.rank() == 1) {
+      for (int i = 0; i < 100; ++i) {
+        comm.recv(buf.data(), args.n, bt, 0, 1);
+        comm.send(buf.data(), args.n, bt, 0, 2);
+      }
+    }
+  } else {
+    throw InternalError("unknown app: " + args.app);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  std::printf("lcmpirun: %s on %s, %d ranks, n=%d\n", args.app.c_str(),
+              args.platform.c_str(), args.ranks, args.n);
+
+  mpi::Profiler profile;
+  Duration elapsed{};
+  try {
+    if (args.platform == "mpich") {
+      runtime::MpichMeikoWorld w(args.ranks);
+      elapsed = w.run([&](mpi::MpichComm& c, sim::Actor& self) {
+        run_app(args, c, self, apps::sparc_profile());
+      });
+    } else {
+      auto rank_fn = [&](mpi::Comm& c, sim::Actor& self) {
+        if (args.profile && c.rank() == 0) c.set_profiler(&profile);
+        const bool meiko = args.platform == "meiko";
+        run_app(args, c, self, meiko ? apps::sparc_profile() : apps::sgi_profile());
+      };
+      if (args.platform == "meiko") {
+        runtime::MeikoWorld w(args.ranks);
+        elapsed = w.run(rank_fn);
+      } else if (args.platform == "tcp-atm") {
+        runtime::ClusterWorld w(args.ranks, runtime::Media::kAtm, runtime::Transport::kTcp);
+        elapsed = w.run(rank_fn);
+      } else if (args.platform == "tcp-eth") {
+        runtime::ClusterWorld w(args.ranks, runtime::Media::kEthernet,
+                                runtime::Transport::kTcp);
+        elapsed = w.run(rank_fn);
+      } else if (args.platform == "rudp-atm") {
+        runtime::ClusterWorld w(args.ranks, runtime::Media::kAtm,
+                                runtime::Transport::kRudp);
+        elapsed = w.run(rank_fn);
+      } else {
+        usage();
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "lcmpirun: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf("simulated time: %s\n", to_string(elapsed).c_str());
+  if (args.profile) {
+    std::printf("\nrank 0 MPI profile:\n");
+    profile.report().print();
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Quickstart: the library in one page.
+//
+// Builds a 4-node simulated Meiko CS/2, runs one MPI rank per node, and
+// exercises the basics: point-to-point send/recv with status, nonblocking
+// ops, probe, a broadcast (hardware-assisted on this platform), and an
+// allreduce — all in deterministic virtual time, printed at the end.
+//
+//   ./quickstart
+#include <cstdio>
+#include <string>
+
+#include "src/runtime/world.h"
+
+using namespace lcmpi;
+
+int main() {
+  runtime::MeikoWorld world(4);
+
+  const Duration elapsed = world.run([](mpi::Comm& comm, sim::Actor&) {
+    const int me = comm.rank();
+    const int n = comm.size();
+    auto i32 = mpi::Datatype::int32_type();
+
+    // --- point-to-point: ring shift with status --------------------------
+    const std::int32_t token = me * 100;
+    std::int32_t received = -1;
+    mpi::Status st = comm.sendrecv(&token, 1, i32, (me + 1) % n, /*sendtag=*/7,
+                                   &received, 1, i32, (me + n - 1) % n, /*recvtag=*/7);
+    std::printf("[rank %d] got %d from rank %d (tag %d)\n", me, received, st.source,
+                st.tag);
+
+    // --- nonblocking + probe ----------------------------------------------
+    if (me == 0) {
+      std::int32_t v = 42;
+      comm.send(&v, 1, i32, 1, 9);
+    } else if (me == 1) {
+      mpi::Status p = comm.probe(mpi::kAnySource, mpi::kAnyTag);
+      std::printf("[rank 1] probe: %lld bytes waiting from rank %d\n",
+                  static_cast<long long>(p.count_bytes), p.source);
+      std::int32_t v = 0;
+      mpi::Request r = comm.irecv(&v, 1, i32, p.source, p.tag);
+      comm.wait(r);
+      std::printf("[rank 1] received %d\n", v);
+    }
+
+    // --- collectives --------------------------------------------------------
+    double pi = me == 0 ? 3.14159 : 0.0;
+    comm.bcast(&pi, 1, mpi::Datatype::double_type(), 0);  // hardware broadcast
+
+    std::int32_t mine = me + 1;
+    std::int32_t sum = 0;
+    comm.allreduce(&mine, &sum, 1, i32, mpi::Op::kSum);
+    if (me == 0)
+      std::printf("[rank 0] bcast value %.5f, allreduce sum %d (expect %d)\n", pi, sum,
+                  n * (n + 1) / 2);
+    comm.barrier();
+  });
+
+  std::printf("\nsimulated Meiko CS/2 time: %s\n", to_string(elapsed).c_str());
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Modelling application compute time.
+//
+// Application kernels do their arithmetic for real (results are checked
+// against serial references in the tests) and additionally charge the
+// owning actor virtual time per floating-point operation, calibrated to
+// the era's processors. Communication/computation ratios in Figs. 7-9
+// depend on this charge.
+#pragma once
+
+#include "src/sim/kernel.h"
+#include "src/util/time.h"
+
+namespace lcmpi::apps {
+
+struct ComputeProfile {
+  /// Virtual time per floating-point operation.
+  Duration per_flop = nanoseconds(100);  // 40 MHz SPARC (Meiko node)
+};
+
+/// 133 MHz SGI Indy (the ATM/Ethernet cluster hosts).
+inline ComputeProfile sgi_profile() { return ComputeProfile{nanoseconds(45)}; }
+/// 40 MHz SuperSPARC (Meiko CS/2 node).
+inline ComputeProfile sparc_profile() { return ComputeProfile{nanoseconds(100)}; }
+
+inline void charge_flops(sim::Actor& self, std::int64_t flops,
+                         const ComputeProfile& prof) {
+  self.advance(prof.per_flop * flops);
+}
+
+}  // namespace lcmpi::apps

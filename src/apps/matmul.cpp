@@ -1,0 +1,24 @@
+#include "src/apps/matmul.h"
+
+namespace lcmpi::apps {
+
+std::vector<double> random_matrix(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> m(static_cast<std::size_t>(n) * n);
+  for (auto& v : m) v = rng.next_double() * 2.0 - 1.0;
+  return m;
+}
+
+std::vector<double> matmul_serial(const std::vector<double>& a,
+                                  const std::vector<double>& b, int n) {
+  std::vector<double> c(static_cast<std::size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i)
+    for (int k = 0; k < n; ++k) {
+      const double aik = a[static_cast<std::size_t>(i) * n + k];
+      for (int j = 0; j < n; ++j)
+        c[static_cast<std::size_t>(i) * n + j] += aik * b[static_cast<std::size_t>(k) * n + j];
+    }
+  return c;
+}
+
+}  // namespace lcmpi::apps

@@ -1,0 +1,55 @@
+// Distributed matrix multiplication (paper §6.1 mentions it alongside the
+// solver, with similar results): C = A * B with A scattered by row blocks,
+// B broadcast, and C gathered back — broadcast-dominated like the solver.
+#pragma once
+
+#include <vector>
+
+#include "src/apps/compute.h"
+#include "src/core/datatype.h"
+#include "src/util/rng.h"
+
+namespace lcmpi::apps {
+
+std::vector<double> random_matrix(int n, std::uint64_t seed);
+
+/// Serial reference: row-major C = A * B.
+std::vector<double> matmul_serial(const std::vector<double>& a,
+                                  const std::vector<double>& b, int n);
+
+/// Parallel: valid result on rank 0 (empty elsewhere). n % size must be 0.
+template <typename C>
+std::vector<double> matmul_parallel(C& comm, sim::Actor& self, std::vector<double> a,
+                                    std::vector<double> b, int n,
+                                    const ComputeProfile& prof) {
+  const int p = comm.size();
+  const int me = comm.rank();
+  LCMPI_CHECK(n % p == 0, "matrix size must divide the rank count");
+  const int rows = n / p;
+  auto dt = mpi::Datatype::double_type();
+
+  std::vector<double> my_a(static_cast<std::size_t>(rows) * n);
+  if (me != 0) {
+    a.resize(static_cast<std::size_t>(n) * n);  // non-roots only need space for B
+    b.resize(static_cast<std::size_t>(n) * n);
+  }
+  comm.scatter(a.data(), my_a.data(), rows * n, dt, 0);
+  comm.bcast(b.data(), n * n, dt, 0);
+
+  std::vector<double> my_c(static_cast<std::size_t>(rows) * n, 0.0);
+  for (int i = 0; i < rows; ++i)
+    for (int k = 0; k < n; ++k) {
+      const double aik = my_a[static_cast<std::size_t>(i) * n + k];
+      for (int j = 0; j < n; ++j)
+        my_c[static_cast<std::size_t>(i) * n + j] +=
+            aik * b[static_cast<std::size_t>(k) * n + j];
+    }
+  charge_flops(self, 2LL * rows * n * n, prof);
+
+  std::vector<double> c;
+  if (me == 0) c.resize(static_cast<std::size_t>(n) * n);
+  comm.gather(my_c.data(), rows * n, c.data(), dt, 0);
+  return c;
+}
+
+}  // namespace lcmpi::apps

@@ -1,0 +1,37 @@
+#include "src/apps/particles.h"
+
+namespace lcmpi::apps {
+
+std::vector<Particle> random_particles(int count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Particle> ps(static_cast<std::size_t>(count));
+  for (auto& p : ps) {
+    p.x = rng.next_double() * 10.0;
+    p.y = rng.next_double() * 10.0;
+    p.z = rng.next_double() * 10.0;
+    p.charge = rng.next_double() * 2.0 - 1.0;
+  }
+  return ps;
+}
+
+void accumulate_pair(const Particle& dst, const Particle& src, Force& out) {
+  const double dx = dst.x - src.x;
+  const double dy = dst.y - src.y;
+  const double dz = dst.z - src.z;
+  const double r2 = dx * dx + dy * dy + dz * dz + 1e-9;  // softening
+  const double inv_r3 = 1.0 / (r2 * std::sqrt(r2));
+  const double k = dst.charge * src.charge * inv_r3;
+  out.fx += k * dx;
+  out.fy += k * dy;
+  out.fz += k * dz;
+}
+
+std::vector<Force> forces_serial(const std::vector<Particle>& all) {
+  std::vector<Force> out(all.size());
+  for (std::size_t i = 0; i < all.size(); ++i)
+    for (std::size_t j = 0; j < all.size(); ++j)
+      if (i != j) accumulate_pair(all[i], all[j], out[i]);
+  return out;
+}
+
+}  // namespace lcmpi::apps

@@ -1,0 +1,95 @@
+// Particle pairwise interactions (paper §6: Pairwise Interactions).
+//
+// Molecular-dynamics-style O(P^2) force computation parallelised exactly
+// as the paper describes: each of N processors owns P/N particles; the
+// partitions travel around a ring in P-1 (here N-1) phases. "To allow
+// concurrent sending and receiving at the communication phase of each
+// round, nonblocking sends are posted to send to the next processor in the
+// ring, then a blocking receive is performed, followed by a wait operation
+// to complete the send."
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "src/apps/compute.h"
+#include "src/core/datatype.h"
+#include "src/util/rng.h"
+
+namespace lcmpi::apps {
+
+struct Particle {
+  double x = 0, y = 0, z = 0;
+  double charge = 0;
+};
+
+struct Force {
+  double fx = 0, fy = 0, fz = 0;
+};
+
+std::vector<Particle> random_particles(int count, std::uint64_t seed);
+
+/// Accumulates the pairwise force of `src` acting on `dst` into `out`.
+void accumulate_pair(const Particle& dst, const Particle& src, Force& out);
+
+/// Serial O(P^2) reference.
+std::vector<Force> forces_serial(const std::vector<Particle>& all);
+
+/// Flops charged per particle-pair interaction.
+inline constexpr std::int64_t kFlopsPerPair = 15;
+
+/// Parallel ring version; every rank returns the forces on its own
+/// cyclic-block of particles (ranks own contiguous blocks of P/N).
+template <typename C>
+std::vector<Force> forces_ring(C& comm, sim::Actor& self, const std::vector<Particle>& all,
+                               const ComputeProfile& prof) {
+  const int n = comm.size();
+  const int me = comm.rank();
+  const int total = static_cast<int>(all.size());
+  const int base = total / n;
+  const int extra = total % n;
+  auto block_start = [&](int r) { return r * base + std::min(r, extra); };
+  auto block_size = [&](int r) { return base + (r < extra ? 1 : 0); };
+
+  std::vector<Particle> mine(all.begin() + block_start(me),
+                             all.begin() + block_start(me) + block_size(me));
+  std::vector<Force> forces(mine.size());
+
+  // The travelling partition starts as a copy of our own.
+  std::vector<Particle> visiting = mine;
+  const int max_block = base + (extra > 0 ? 1 : 0);
+  std::vector<Particle> incoming(static_cast<std::size_t>(max_block) + 1);
+
+  auto particle_type = mpi::Datatype::byte_type();  // raw POD bytes
+  const int to = (me + 1) % n;
+  const int from = (me - 1 + n) % n;
+
+  for (int phase = 0; phase < n; ++phase) {
+    // Interact my particles with the visiting partition.
+    const int visiting_owner = (me - phase + n) % n;
+    std::int64_t pairs = 0;
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      for (std::size_t j = 0; j < visiting.size(); ++j) {
+        if (visiting_owner == me && i == j) continue;  // self-interaction
+        accumulate_pair(mine[i], visiting[j], forces[i]);
+        ++pairs;
+      }
+    }
+    charge_flops(self, pairs * kFlopsPerPair, prof);
+
+    if (phase == n - 1 || n == 1) break;
+    // Pass the partition along the ring: nonblocking send, blocking
+    // receive, then wait — the paper's exact sequence.
+    const int out_bytes = static_cast<int>(visiting.size() * sizeof(Particle));
+    auto sreq = comm.isend(visiting.data(), out_bytes, particle_type, to, phase);
+    const int in_owner = (me - phase - 1 + n) % n;
+    const int in_bytes = block_size(in_owner) * static_cast<int>(sizeof(Particle));
+    comm.recv(incoming.data(), in_bytes, particle_type, from, phase);
+    comm.wait(sreq);
+    visiting.assign(incoming.begin(),
+                    incoming.begin() + block_size(in_owner));
+  }
+  return forces;
+}
+
+}  // namespace lcmpi::apps

@@ -1,0 +1,28 @@
+#include "src/apps/solver.h"
+
+namespace lcmpi::apps {
+
+std::vector<double> solve_serial(LinearSystem s) {
+  const int n = s.n;
+  for (int k = 0; k < n; ++k) {
+    const double pivot = s.a[static_cast<std::size_t>(k) * n + k];
+    LCMPI_CHECK(std::abs(pivot) > 1e-12, "singular system");
+    for (int i = k + 1; i < n; ++i) {
+      const double f = s.a[static_cast<std::size_t>(i) * n + k] / pivot;
+      s.a[static_cast<std::size_t>(i) * n + k] = 0.0;
+      for (int j = k + 1; j < n; ++j)
+        s.a[static_cast<std::size_t>(i) * n + j] -= f * s.a[static_cast<std::size_t>(k) * n + j];
+      s.b[static_cast<std::size_t>(i)] -= f * s.b[static_cast<std::size_t>(k)];
+    }
+  }
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (int k = n - 1; k >= 0; --k) {
+    double acc = s.b[static_cast<std::size_t>(k)];
+    for (int j = k + 1; j < n; ++j)
+      acc -= s.a[static_cast<std::size_t>(k) * n + j] * x[static_cast<std::size_t>(j)];
+    x[static_cast<std::size_t>(k)] = acc / s.a[static_cast<std::size_t>(k) * n + k];
+  }
+  return x;
+}
+
+}  // namespace lcmpi::apps

@@ -1,0 +1,124 @@
+// Distributed linear equation solver (paper §6: Linear Equation Solver).
+//
+// Gaussian elimination with partial broadcast structure exactly as the
+// paper describes: an initial phase of computation by the initiator, N
+// phases of broadcast-and-eliminate by all processes, and a final result
+// gathering by the initiator. Rows are dealt cyclically; at step k the
+// row's owner broadcasts the pivot row and everyone eliminates below it.
+// The ONLY communication is MPI_Bcast plus the final gather — which is why
+// the hardware-broadcast implementation wins Fig. 7.
+//
+// Templated over the communicator type so it runs unchanged on the
+// low-latency MPI (mpi::Comm) and the MPICH baseline (mpi::MpichComm).
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "src/apps/compute.h"
+#include "src/core/datatype.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace lcmpi::apps {
+
+/// Builds a well-conditioned dense system Ax = b (diagonally dominant).
+struct LinearSystem {
+  int n = 0;
+  std::vector<double> a;  // row-major n x n
+  std::vector<double> b;
+
+  static LinearSystem random(int n, std::uint64_t seed) {
+    LinearSystem s;
+    s.n = n;
+    s.a.resize(static_cast<std::size_t>(n) * n);
+    s.b.resize(static_cast<std::size_t>(n));
+    Rng rng(seed);
+    for (int i = 0; i < n; ++i) {
+      double row_sum = 0.0;
+      for (int j = 0; j < n; ++j) {
+        const double v = rng.next_double() * 2.0 - 1.0;
+        s.a[static_cast<std::size_t>(i) * n + j] = v;
+        row_sum += std::abs(v);
+      }
+      s.a[static_cast<std::size_t>(i) * n + i] = row_sum + 1.0;  // dominance
+      s.b[static_cast<std::size_t>(i)] = rng.next_double();
+    }
+    return s;
+  }
+};
+
+/// Serial reference (Gaussian elimination + back substitution).
+std::vector<double> solve_serial(LinearSystem s);
+
+/// Parallel solve: every rank calls this; the solution is returned on the
+/// initiator (rank 0) and empty elsewhere. Rows are cyclically owned.
+template <typename C>
+std::vector<double> solve_parallel(C& comm, sim::Actor& self, LinearSystem s,
+                                   const ComputeProfile& prof) {
+  const int n = s.n;
+  const int p = comm.size();
+  const int me = comm.rank();
+  auto dt = mpi::Datatype::double_type();
+
+  // Initial phase: the initiator owns the data; distribute rows cyclically.
+  // (Broadcast the whole system; each rank keeps its rows. This keeps the
+  // communication pattern broadcast-only, as in the paper.)
+  comm.bcast(s.a.data(), n * n, dt, 0);
+  comm.bcast(s.b.data(), n, dt, 0);
+
+  // Elimination: n phases of broadcast + local update.
+  std::vector<double> pivot_row(static_cast<std::size_t>(n) + 1);
+  for (int k = 0; k < n; ++k) {
+    const int owner = k % p;
+    if (owner == me) {
+      for (int j = 0; j < n; ++j)
+        pivot_row[static_cast<std::size_t>(j)] = s.a[static_cast<std::size_t>(k) * n + j];
+      pivot_row[static_cast<std::size_t>(n)] = s.b[static_cast<std::size_t>(k)];
+    }
+    comm.bcast(pivot_row.data(), n + 1, dt, owner);
+    if (owner != me) {
+      for (int j = 0; j < n; ++j)
+        s.a[static_cast<std::size_t>(k) * n + j] = pivot_row[static_cast<std::size_t>(j)];
+      s.b[static_cast<std::size_t>(k)] = pivot_row[static_cast<std::size_t>(n)];
+    }
+    // Eliminate column k from my rows below k.
+    std::int64_t flops = 0;
+    const double pivot = pivot_row[static_cast<std::size_t>(k)];
+    for (int i = k + 1; i < n; ++i) {
+      if (i % p != me) continue;
+      const double f = s.a[static_cast<std::size_t>(i) * n + k] / pivot;
+      s.a[static_cast<std::size_t>(i) * n + k] = 0.0;
+      for (int j = k + 1; j < n; ++j)
+        s.a[static_cast<std::size_t>(i) * n + j] -= f * pivot_row[static_cast<std::size_t>(j)];
+      s.b[static_cast<std::size_t>(i)] -= f * pivot_row[static_cast<std::size_t>(n)];
+      flops += 2 * (n - k) + 2;
+    }
+    charge_flops(self, flops, prof);
+  }
+
+  // Back substitution, phase-by-phase from the bottom; owners broadcast
+  // each solved unknown.
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  for (int k = n - 1; k >= 0; --k) {
+    const int owner = k % p;
+    double xk = 0.0;
+    if (owner == me) {
+      double acc = s.b[static_cast<std::size_t>(k)];
+      for (int j = k + 1; j < n; ++j)
+        acc -= s.a[static_cast<std::size_t>(k) * n + j] * x[static_cast<std::size_t>(j)];
+      xk = acc / s.a[static_cast<std::size_t>(k) * n + k];
+      charge_flops(self, 2 * (n - k) + 1, prof);
+    }
+    comm.bcast(&xk, 1, dt, owner);
+    x[static_cast<std::size_t>(k)] = xk;
+  }
+
+  // Final phase: result gathering by the initiator (x is already complete
+  // everywhere thanks to the solved-unknown broadcasts; rank 0 returns it).
+  comm.barrier();
+  if (me == 0) return x;
+  return {};
+}
+
+}  // namespace lcmpi::apps

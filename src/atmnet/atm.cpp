@@ -1,0 +1,63 @@
+#include "src/atmnet/atm.h"
+
+#include <algorithm>
+
+namespace lcmpi::atmnet {
+
+AtmNetwork::AtmNetwork(sim::Kernel& kernel, int nhosts, AtmCalib calib)
+    : Network(kernel), calib_(calib) {
+  LCMPI_CHECK(nhosts >= 1, "ATM network needs at least one host");
+  for (int i = 0; i < nhosts; ++i) {
+    sars_.push_back(std::make_unique<sim::FifoServer>(kernel));
+    uplinks_.push_back(std::make_unique<sim::FifoServer>(kernel));
+  }
+  downlink_free_.assign(static_cast<std::size_t>(nhosts), TimePoint{});
+}
+
+std::int64_t AtmNetwork::cells_for(std::int64_t payload_bytes) const {
+  const std::int64_t framed = payload_bytes + calib_.aal5_trailer_bytes;
+  return (framed + calib_.cell_payload_bytes - 1) / calib_.cell_payload_bytes;
+}
+
+Duration AtmNetwork::wire_time(std::int64_t payload_bytes) const {
+  const std::int64_t wire_bytes = cells_for(payload_bytes) * calib_.cell_total_bytes;
+  return transmission_time(wire_bytes, calib_.link_bits_per_sec / 8.0);
+}
+
+void AtmNetwork::send(int src, int dst, Bytes pdu) {
+  LCMPI_CHECK(src >= 0 && src < size() && dst >= 0 && dst < size(), "bad host id");
+  LCMPI_CHECK(static_cast<std::int64_t>(pdu.size()) <= mtu(), "PDU exceeds ATM MTU");
+  if (should_drop()) return;
+
+  const auto nbytes = static_cast<std::int64_t>(pdu.size());
+  const std::int64_t ncells = cells_for(nbytes);
+  const Duration sar_cost = calib_.sar_per_pdu + calib_.sar_per_cell * ncells;
+  const Duration tx_time = wire_time(nbytes);
+
+  // Source SAR segments the PDU, then the uplink clocks the cells out.
+  sars_[static_cast<std::size_t>(src)]->submit(sar_cost, [this, src, dst, tx_time, sar_cost,
+                                                          pdu = std::move(pdu)]() mutable {
+    uplinks_[static_cast<std::size_t>(src)]->submit(tx_time, [this, src, dst, sar_cost,
+                                                              tx_time,
+                                                              pdu = std::move(pdu)]() mutable {
+      // Cut-through switch: fixed transit + propagation... unless the
+      // destination's output port is still busy with a competing flow, in
+      // which case the tail cells queue there.
+      const TimePoint uncontended =
+          kernel_.now() + calib_.switch_transit + calib_.propagation;
+      TimePoint& port_free = downlink_free_[static_cast<std::size_t>(dst)];
+      const TimePoint arrival =
+          std::max(uncontended, port_free + tx_time);
+      port_free = arrival;
+      kernel_.schedule_at(arrival, [this, src, dst, sar_cost,
+                                    pdu = std::move(pdu)]() mutable {
+        sars_[static_cast<std::size_t>(dst)]->submit(
+            sar_cost, [this, src, dst, pdu = std::move(pdu)]() mutable {
+              deliver(src, dst, std::move(pdu));
+            });
+      });
+    });
+  });
+}
+
+}  // namespace lcmpi::atmnet

@@ -1,0 +1,52 @@
+// ATM cluster model: hosts on 155 Mbit/s links through an ASX-200 switch.
+//
+// A PDU submitted for transmission passes through:
+//   1. the source i960 SAR (per-PDU + per-cell segmentation cost),
+//   2. the source host's uplink (transmission of every 53-byte cell,
+//      serialised — this is where concurrent flows out of one host queue),
+//   3. the switch (cut-through transit: one fixed latency, because the
+//      first cells exit while later ones are still arriving),
+//   4. the destination i960 SAR reassembly (per-PDU + per-cell),
+// after which the PDU is delivered. Cells are accounted arithmetically
+// (payload + AAL5 trailer padded to 48-byte multiples), not simulated
+// individually, keeping event counts O(1) per PDU while preserving exact
+// wire occupancy and the 48/53 goodput tax.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/atmnet/calib.h"
+#include "src/atmnet/network.h"
+#include "src/sim/server.h"
+
+namespace lcmpi::atmnet {
+
+class AtmNetwork final : public Network {
+ public:
+  AtmNetwork(sim::Kernel& kernel, int nhosts, AtmCalib calib = {});
+
+  [[nodiscard]] int size() const override { return static_cast<int>(uplinks_.size()); }
+  [[nodiscard]] std::int64_t mtu() const override { return calib_.ip_mtu; }
+  void send(int src, int dst, Bytes pdu) override;
+
+  [[nodiscard]] const AtmCalib& calib() const { return calib_; }
+
+  /// Cells a PDU of `payload_bytes` occupies after AAL5 trailer + padding.
+  [[nodiscard]] std::int64_t cells_for(std::int64_t payload_bytes) const;
+  /// Wire time for those cells on one 155 Mbit/s link.
+  [[nodiscard]] Duration wire_time(std::int64_t payload_bytes) const;
+
+ private:
+  AtmCalib calib_;
+  // Per host: the SAR processor and the uplink into the switch.
+  std::vector<std::unique_ptr<sim::FifoServer>> sars_;
+  std::vector<std::unique_ptr<sim::FifoServer>> uplinks_;
+  // Per host: when its downlink (switch output port) next frees up.
+  // Cut-through contention model: a PDU's delivery is pushed back if the
+  // output port is still clocking out a competing sender's cells, but a
+  // single uncontended flow never pays the wire time twice.
+  std::vector<TimePoint> downlink_free_;
+};
+
+}  // namespace lcmpi::atmnet

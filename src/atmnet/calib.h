@@ -1,0 +1,49 @@
+// Calibration constants for the workstation-cluster networks.
+//
+// The paper's cluster: eight SGI Indy workstations (133 MHz) plus an SGI
+// Challenge SMP, connected both by a shared 10 Mbit/s Ethernet and by
+// 155 Mbit/s ATM through a Fore Systems ForeRunner ASX-200 switch. Each
+// host's Fore GIA-200 interface carries an Intel i960 that performs AAL
+// segmentation-and-reassembly without the main processor.
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/time.h"
+
+namespace lcmpi::atmnet {
+
+struct AtmCalib {
+  /// Link rate, bits per second (OC-3).
+  double link_bits_per_sec = 155e6;
+  /// ATM cell geometry: 53 bytes on the wire, 48 of payload.
+  std::int64_t cell_total_bytes = 53;
+  std::int64_t cell_payload_bytes = 48;
+  /// AAL5 trailer appended to every PDU before padding to a cell multiple.
+  std::int64_t aal5_trailer_bytes = 8;
+  /// Switch transit (cut-through) per PDU.
+  Duration switch_transit = microseconds(10.0);
+  /// Fibre propagation + clocking per hop.
+  Duration propagation = microseconds(1.0);
+  /// i960 SAR: fixed cost per PDU at each end.
+  Duration sar_per_pdu = microseconds(12.0);
+  /// i960 SAR: per-cell handling cost at each end.
+  Duration sar_per_cell = nanoseconds(250);
+  /// Classical IP over ATM default MTU.
+  std::int64_t ip_mtu = 9180;
+};
+
+struct EthCalib {
+  /// Shared bus rate, bits per second.
+  double bus_bits_per_sec = 10e6;
+  /// Wire overhead per frame: preamble 8 + MAC header 14 + FCS 4 + IFG 12.
+  std::int64_t frame_overhead_bytes = 38;
+  /// Minimum Ethernet payload (frames are padded up to this).
+  std::int64_t min_payload_bytes = 46;
+  /// Propagation across the segment.
+  Duration propagation = microseconds(3.0);
+  /// Ethernet MTU.
+  std::int64_t ip_mtu = 1500;
+};
+
+}  // namespace lcmpi::atmnet

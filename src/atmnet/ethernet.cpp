@@ -1,0 +1,45 @@
+#include "src/atmnet/ethernet.h"
+
+#include <algorithm>
+
+namespace lcmpi::atmnet {
+
+EthernetNetwork::EthernetNetwork(sim::Kernel& kernel, int nhosts, EthCalib calib)
+    : Network(kernel), calib_(calib), nhosts_(nhosts), bus_(kernel) {
+  LCMPI_CHECK(nhosts >= 1, "Ethernet segment needs at least one host");
+}
+
+Duration EthernetNetwork::frame_time(std::int64_t payload_bytes) const {
+  const std::int64_t padded = std::max(payload_bytes, calib_.min_payload_bytes);
+  const std::int64_t wire_bytes = padded + calib_.frame_overhead_bytes;
+  return transmission_time(wire_bytes, calib_.bus_bits_per_sec / 8.0);
+}
+
+void EthernetNetwork::transmit(int src, int dst, Bytes pdu, bool is_broadcast) {
+  LCMPI_CHECK(static_cast<std::int64_t>(pdu.size()) <= mtu(), "frame exceeds Ethernet MTU");
+  if (should_drop()) return;
+  const Duration occupancy = frame_time(static_cast<std::int64_t>(pdu.size()));
+  bus_.submit(occupancy, [this, src, dst, is_broadcast, pdu = std::move(pdu)]() mutable {
+    kernel_.schedule(calib_.propagation, [this, src, dst, is_broadcast,
+                                          pdu = std::move(pdu)]() mutable {
+      if (is_broadcast) {
+        for (int h = 0; h < nhosts_; ++h)
+          if (h != src) deliver(src, h, pdu);
+      } else {
+        deliver(src, dst, std::move(pdu));
+      }
+    });
+  });
+}
+
+void EthernetNetwork::send(int src, int dst, Bytes pdu) {
+  LCMPI_CHECK(src >= 0 && src < nhosts_ && dst >= 0 && dst < nhosts_, "bad host id");
+  transmit(src, dst, std::move(pdu), /*is_broadcast=*/false);
+}
+
+void EthernetNetwork::broadcast(int src, Bytes pdu) {
+  LCMPI_CHECK(src >= 0 && src < nhosts_, "bad host id");
+  transmit(src, -1, std::move(pdu), /*is_broadcast=*/true);
+}
+
+}  // namespace lcmpi::atmnet

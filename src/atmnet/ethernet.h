@@ -1,0 +1,42 @@
+// Shared 10 Mbit/s Ethernet segment.
+//
+// All hosts contend for one bus; CSMA/CD arbitration is approximated by
+// FIFO service of the shared medium, which preserves the property the
+// paper's application study depends on: every frame any host sends delays
+// every other host's traffic. Broadcast is natural — one bus occupancy
+// delivers to all stations — which is what Bruck et al. exploit and what
+// our Ethernet collective ablation uses.
+#pragma once
+
+#include "src/atmnet/calib.h"
+#include "src/atmnet/network.h"
+#include "src/sim/server.h"
+
+namespace lcmpi::atmnet {
+
+class EthernetNetwork final : public Network {
+ public:
+  EthernetNetwork(sim::Kernel& kernel, int nhosts, EthCalib calib = {});
+
+  [[nodiscard]] int size() const override { return nhosts_; }
+  [[nodiscard]] std::int64_t mtu() const override { return calib_.ip_mtu; }
+  void send(int src, int dst, Bytes pdu) override;
+  [[nodiscard]] bool supports_broadcast() const override { return true; }
+  void broadcast(int src, Bytes pdu) override;
+
+  [[nodiscard]] const EthCalib& calib() const { return calib_; }
+
+  /// Bus occupancy of one frame carrying `payload_bytes`.
+  [[nodiscard]] Duration frame_time(std::int64_t payload_bytes) const;
+  /// Fraction of simulated time the bus spent busy.
+  [[nodiscard]] Duration bus_busy_time() const { return bus_.busy_time(); }
+
+ private:
+  void transmit(int src, int dst, Bytes pdu, bool is_broadcast);
+
+  EthCalib calib_;
+  int nhosts_;
+  sim::FifoServer bus_;
+};
+
+}  // namespace lcmpi::atmnet

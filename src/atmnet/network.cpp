@@ -1,0 +1,37 @@
+#include "src/atmnet/network.h"
+
+namespace lcmpi::atmnet {
+
+void Network::set_handler(int host, std::function<void(int, Bytes)> h) {
+  if (static_cast<int>(handlers_.size()) <= host)
+    handlers_.resize(static_cast<std::size_t>(host) + 1);
+  handlers_[static_cast<std::size_t>(host)] = std::move(h);
+}
+
+void Network::set_loss(double rate, std::uint64_t seed) {
+  LCMPI_CHECK(rate >= 0.0 && rate < 1.0, "loss rate out of range");
+  loss_rate_ = rate;
+  loss_rng_ = Rng(seed);
+}
+
+bool Network::should_drop() {
+  if (loss_rate_ > 0.0 && loss_rng_.chance(loss_rate_)) {
+    ++pdus_dropped_;
+    return true;
+  }
+  return false;
+}
+
+void Network::deliver(int src, int dst, Bytes pdu) {
+  const auto i = static_cast<std::size_t>(dst);
+  LCMPI_CHECK(i < handlers_.size() && handlers_[i] != nullptr,
+              "PDU delivered to host with no handler");
+  ++pdus_delivered_;
+  handlers_[i](src, std::move(pdu));
+}
+
+void Network::broadcast(int /*src*/, Bytes /*pdu*/) {
+  throw InternalError("this medium does not support broadcast");
+}
+
+}  // namespace lcmpi::atmnet

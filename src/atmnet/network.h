@@ -1,0 +1,66 @@
+// Abstract cluster network: hosts exchanging link-layer PDUs.
+//
+// The simulated internet stack (src/inet) sits on top of this interface;
+// AtmNetwork and EthernetNetwork provide the two media the paper measures.
+// Loss injection lives here so transport-layer recovery (TCP retransmit,
+// reliable-UDP) can be exercised under controlled fault conditions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "src/sim/kernel.h"
+#include "src/util/bytes.h"
+#include "src/util/rng.h"
+
+namespace lcmpi::atmnet {
+
+class Network {
+ public:
+  explicit Network(sim::Kernel& kernel) : kernel_(kernel) {}
+  virtual ~Network() = default;
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Number of attached hosts.
+  [[nodiscard]] virtual int size() const = 0;
+
+  /// Largest PDU the medium carries (the IP MTU for the transport layer).
+  [[nodiscard]] virtual std::int64_t mtu() const = 0;
+
+  /// Queues `pdu` from `src` for delivery to `dst`'s handler.
+  virtual void send(int src, int dst, Bytes pdu) = 0;
+
+  /// True if the medium delivers one transmission to every host (Ethernet).
+  [[nodiscard]] virtual bool supports_broadcast() const { return false; }
+
+  /// Broadcast `pdu` to every host except `src` (only if supported).
+  virtual void broadcast(int src, Bytes pdu);
+
+  /// Registers the delivery handler for `host`.
+  void set_handler(int host, std::function<void(int src, Bytes)> h);
+
+  /// Enables random PDU loss with probability `rate` (deterministic seed).
+  void set_loss(double rate, std::uint64_t seed);
+
+  [[nodiscard]] sim::Kernel& kernel() const { return kernel_; }
+  [[nodiscard]] std::int64_t pdus_dropped() const { return pdus_dropped_; }
+  [[nodiscard]] std::int64_t pdus_delivered() const { return pdus_delivered_; }
+
+ protected:
+  /// Subclasses call this at delivery time; applies loss injection.
+  void deliver(int src, int dst, Bytes pdu);
+  /// Loss decision at launch time (lets subclasses skip dead transmissions).
+  bool should_drop();
+
+  sim::Kernel& kernel_;
+
+ private:
+  std::vector<std::function<void(int, Bytes)>> handlers_;
+  double loss_rate_ = 0.0;
+  Rng loss_rng_{0};
+  std::int64_t pdus_dropped_ = 0;
+  std::int64_t pdus_delivered_ = 0;
+};
+
+}  // namespace lcmpi::atmnet

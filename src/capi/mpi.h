@@ -1,0 +1,147 @@
+// A classic MPI-1 C API over the low-latency library.
+//
+// Programs written against 1990s mpi.h — MPI_Init, MPI_Comm_rank,
+// MPI_Send/MPI_Recv, collectives — run nearly verbatim on the simulated
+// platforms: capi::run_on() launches a plain `void()` per rank, binding
+// that rank's communicator and actor to thread-local state (each rank IS
+// a thread, so the global-feeling C API stays per-rank).
+//
+// Handles are small integers per MPI tradition; errors return MPI error
+// codes instead of throwing (MPI_ERRORS_RETURN semantics).
+#pragma once
+
+#include <functional>
+
+#include "src/runtime/world.h"
+
+// ---------------------------------------------------------------- handles
+
+using MPI_Comm = int;
+using MPI_Datatype = int;
+using MPI_Request = int;
+using MPI_Op = int;
+
+struct MPI_Status {
+  int MPI_SOURCE = -1;
+  int MPI_TAG = -1;
+  int MPI_ERROR = 0;
+  long long count_bytes_ = 0;  // internal: feeds MPI_Get_count
+};
+
+// --------------------------------------------------------------- constants
+
+inline constexpr MPI_Comm MPI_COMM_WORLD = 0;
+inline constexpr MPI_Comm MPI_COMM_NULL = -1;
+
+inline constexpr MPI_Datatype MPI_BYTE = 0;
+inline constexpr MPI_Datatype MPI_INT = 1;
+inline constexpr MPI_Datatype MPI_LONG_LONG = 2;
+inline constexpr MPI_Datatype MPI_FLOAT = 3;
+inline constexpr MPI_Datatype MPI_DOUBLE = 4;
+
+inline constexpr MPI_Op MPI_SUM = 0;
+inline constexpr MPI_Op MPI_PROD = 1;
+inline constexpr MPI_Op MPI_MIN = 2;
+inline constexpr MPI_Op MPI_MAX = 3;
+
+inline constexpr int MPI_ANY_SOURCE = lcmpi::mpi::kAnySource;
+inline constexpr int MPI_ANY_TAG = lcmpi::mpi::kAnyTag;
+inline constexpr int MPI_PROC_NULL = lcmpi::mpi::kProcNull;
+inline constexpr MPI_Request MPI_REQUEST_NULL = -1;
+inline MPI_Status* const MPI_STATUS_IGNORE = nullptr;
+inline MPI_Status* const MPI_STATUSES_IGNORE = nullptr;
+
+inline constexpr int MPI_SUCCESS = 0;
+inline constexpr int MPI_ERR_TRUNCATE = 1;
+inline constexpr int MPI_ERR_ARG = 2;
+inline constexpr int MPI_ERR_OTHER = 3;
+inline constexpr int MPI_ERR_BUFFER = 4;
+inline constexpr int MPI_ERR_INTERN = 5;
+
+// ------------------------------------------------------------ environment
+
+int MPI_Init(int* argc, char*** argv);
+int MPI_Finalize();
+int MPI_Initialized(int* flag);
+double MPI_Wtime();
+
+// ------------------------------------------------------------ communicator
+
+int MPI_Comm_rank(MPI_Comm comm, int* rank);
+int MPI_Comm_size(MPI_Comm comm, int* size);
+int MPI_Comm_dup(MPI_Comm comm, MPI_Comm* newcomm);
+int MPI_Comm_split(MPI_Comm comm, int color, int key, MPI_Comm* newcomm);
+int MPI_Comm_free(MPI_Comm* comm);
+
+// ---------------------------------------------------------- point-to-point
+
+int MPI_Send(const void* buf, int count, MPI_Datatype dt, int dest, int tag, MPI_Comm comm);
+int MPI_Bsend(const void* buf, int count, MPI_Datatype dt, int dest, int tag, MPI_Comm comm);
+int MPI_Ssend(const void* buf, int count, MPI_Datatype dt, int dest, int tag, MPI_Comm comm);
+int MPI_Rsend(const void* buf, int count, MPI_Datatype dt, int dest, int tag, MPI_Comm comm);
+int MPI_Recv(void* buf, int count, MPI_Datatype dt, int source, int tag, MPI_Comm comm,
+             MPI_Status* status);
+int MPI_Isend(const void* buf, int count, MPI_Datatype dt, int dest, int tag, MPI_Comm comm,
+              MPI_Request* request);
+int MPI_Irecv(void* buf, int count, MPI_Datatype dt, int source, int tag, MPI_Comm comm,
+              MPI_Request* request);
+int MPI_Wait(MPI_Request* request, MPI_Status* status);
+int MPI_Waitall(int count, MPI_Request* requests, MPI_Status* statuses);
+int MPI_Test(MPI_Request* request, int* flag, MPI_Status* status);
+int MPI_Probe(int source, int tag, MPI_Comm comm, MPI_Status* status);
+int MPI_Iprobe(int source, int tag, MPI_Comm comm, int* flag, MPI_Status* status);
+int MPI_Get_count(const MPI_Status* status, MPI_Datatype dt, int* count);
+int MPI_Sendrecv(const void* sendbuf, int sendcount, MPI_Datatype sendtype, int dest,
+                 int sendtag, void* recvbuf, int recvcount, MPI_Datatype recvtype,
+                 int source, int recvtag, MPI_Comm comm, MPI_Status* status);
+int MPI_Buffer_attach(void* buffer, int size);
+int MPI_Buffer_detach(void* buffer_addr, int* size);
+
+// ----------------------------------------------------------- virtual topology
+
+int MPI_Dims_create(int nnodes, int ndims, int* dims);
+int MPI_Cart_create(MPI_Comm comm, int ndims, const int* dims, const int* periods,
+                    int reorder, MPI_Comm* comm_cart);
+int MPI_Cartdim_get(MPI_Comm comm, int* ndims);
+int MPI_Cart_coords(MPI_Comm comm, int rank, int maxdims, int* coords);
+int MPI_Cart_rank(MPI_Comm comm, const int* coords, int* rank);
+int MPI_Cart_shift(MPI_Comm comm, int direction, int disp, int* rank_source,
+                   int* rank_dest);
+
+// ----------------------------------------------------------------- datatypes
+
+int MPI_Type_contiguous(int count, MPI_Datatype oldtype, MPI_Datatype* newtype);
+int MPI_Type_vector(int count, int blocklength, int stride, MPI_Datatype oldtype,
+                    MPI_Datatype* newtype);
+int MPI_Type_commit(MPI_Datatype* datatype);  // layouts are always ready: no-op
+int MPI_Type_free(MPI_Datatype* datatype);
+int MPI_Type_size(MPI_Datatype datatype, int* size);
+
+// -------------------------------------------------------------- collectives
+
+int MPI_Barrier(MPI_Comm comm);
+int MPI_Bcast(void* buffer, int count, MPI_Datatype dt, int root, MPI_Comm comm);
+int MPI_Reduce(const void* sendbuf, void* recvbuf, int count, MPI_Datatype dt, MPI_Op op,
+               int root, MPI_Comm comm);
+int MPI_Allreduce(const void* sendbuf, void* recvbuf, int count, MPI_Datatype dt, MPI_Op op,
+                  MPI_Comm comm);
+int MPI_Gather(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+               int recvcount, MPI_Datatype recvtype, int root, MPI_Comm comm);
+int MPI_Scatter(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                int recvcount, MPI_Datatype recvtype, int root, MPI_Comm comm);
+int MPI_Allgather(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                  int recvcount, MPI_Datatype recvtype, MPI_Comm comm);
+int MPI_Scan(const void* sendbuf, void* recvbuf, int count, MPI_Datatype dt, MPI_Op op,
+             MPI_Comm comm);
+
+// ----------------------------------------------------------------- runners
+
+namespace lcmpi::capi {
+
+/// Runs `c_main` once per rank of the world, with the C API bound to that
+/// rank. Returns elapsed virtual time.
+Duration run_on(runtime::MeikoWorld& world, const std::function<void()>& c_main);
+Duration run_on(runtime::ClusterWorld& world, const std::function<void()>& c_main);
+Duration run_on(runtime::LoopWorld& world, const std::function<void()>& c_main);
+
+}  // namespace lcmpi::capi

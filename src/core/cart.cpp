@@ -1,0 +1,110 @@
+#include "src/core/cart.h"
+
+#include <algorithm>
+
+namespace lcmpi::mpi {
+
+std::vector<int> dims_create(int nnodes, int ndims, std::vector<int> dims) {
+  LCMPI_CHECK(nnodes >= 1 && ndims >= 1, "bad dims_create arguments");
+  if (dims.empty()) dims.assign(static_cast<std::size_t>(ndims), 0);
+  LCMPI_CHECK(static_cast<int>(dims.size()) == ndims, "dims size mismatch");
+
+  int fixed_product = 1;
+  int free_count = 0;
+  for (int d : dims) {
+    if (d > 0) fixed_product *= d;
+    else ++free_count;
+  }
+  LCMPI_CHECK(fixed_product > 0 && nnodes % fixed_product == 0,
+              "constrained dims do not divide nnodes");
+  int remaining = nnodes / fixed_product;
+  if (free_count == 0) {
+    LCMPI_CHECK(remaining == 1, "constrained dims do not cover nnodes");
+    return dims;
+  }
+
+  // Greedy balanced factorisation: repeatedly assign the largest prime
+  // factor to the currently smallest free dimension.
+  std::vector<int> free_vals(static_cast<std::size_t>(free_count), 1);
+  std::vector<int> primes;
+  int n = remaining;
+  for (int p = 2; p * p <= n; ++p)
+    while (n % p == 0) {
+      primes.push_back(p);
+      n /= p;
+    }
+  if (n > 1) primes.push_back(n);
+  std::sort(primes.rbegin(), primes.rend());
+  for (int p : primes) {
+    auto it = std::min_element(free_vals.begin(), free_vals.end());
+    *it *= p;
+  }
+  std::sort(free_vals.rbegin(), free_vals.rend());
+
+  std::size_t next_free = 0;
+  for (auto& d : dims)
+    if (d == 0) d = free_vals[next_free++];
+  return dims;
+}
+
+std::optional<CartComm> CartComm::create(Comm& parent, std::vector<int> dims,
+                                         std::vector<bool> periodic) {
+  LCMPI_CHECK(!dims.empty() && dims.size() == periodic.size(), "bad cart shape");
+  int cells = 1;
+  for (int d : dims) {
+    LCMPI_CHECK(d >= 1, "cart dimension must be positive");
+    cells *= d;
+  }
+  LCMPI_CHECK(cells <= parent.size(), "cart grid larger than communicator");
+  // Ranks [0, cells) keep their order (row-major grid); the rest drop out.
+  auto sub = parent.split(parent.rank() < cells ? 0 : -1, parent.rank());
+  if (!sub) return std::nullopt;
+  return CartComm(std::move(*sub), std::move(dims), std::move(periodic));
+}
+
+bool CartComm::periodic(int dim) const {
+  LCMPI_CHECK(dim >= 0 && dim < ndims(), "dimension out of range");
+  return periodic_[static_cast<std::size_t>(dim)];
+}
+
+std::vector<int> CartComm::coords(int rank) const {
+  LCMPI_CHECK(rank >= 0 && rank < comm_.size(), "cart rank out of range");
+  std::vector<int> c(dims_.size());
+  int rem = rank;
+  for (int d = ndims() - 1; d >= 0; --d) {
+    c[static_cast<std::size_t>(d)] = rem % dims_[static_cast<std::size_t>(d)];
+    rem /= dims_[static_cast<std::size_t>(d)];
+  }
+  return c;
+}
+
+int CartComm::rank_at(std::vector<int> at) const {
+  LCMPI_CHECK(static_cast<int>(at.size()) == ndims(), "coordinate arity mismatch");
+  int rank = 0;
+  for (int d = 0; d < ndims(); ++d) {
+    int v = at[static_cast<std::size_t>(d)];
+    const int extent = dims_[static_cast<std::size_t>(d)];
+    if (periodic_[static_cast<std::size_t>(d)]) {
+      v = ((v % extent) + extent) % extent;
+    } else if (v < 0 || v >= extent) {
+      return kProcNull;
+    }
+    rank = rank * extent + v;
+  }
+  return rank;
+}
+
+CartComm::Shift CartComm::shift(int dim, int displacement) const {
+  LCMPI_CHECK(dim >= 0 && dim < ndims(), "dimension out of range");
+  std::vector<int> me = my_coords();
+  Shift s;
+  std::vector<int> up = me;
+  up[static_cast<std::size_t>(dim)] += displacement;
+  s.dest = rank_at(std::move(up));
+  std::vector<int> down = me;
+  down[static_cast<std::size_t>(dim)] -= displacement;
+  s.source = rank_at(std::move(down));
+  return s;
+}
+
+}  // namespace lcmpi::mpi

@@ -1,0 +1,60 @@
+// Cartesian virtual topologies (MPI-1 chapter 6).
+//
+// The paper lists "virtual topology management" among the MPI standard's
+// features; this module provides the Cartesian subset: dims_create
+// factorisation, cart communicator construction (row-major rank order,
+// as the standard specifies), coordinate/rank conversion, and cart_shift
+// returning MPI_PROC_NULL at non-periodic edges — which plugs directly
+// into sendrecv for stencil halo exchanges.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/core/comm.h"
+
+namespace lcmpi::mpi {
+
+/// MPI_Dims_create: factor `nnodes` into `ndims` balanced dimensions.
+/// Entries of `dims` that are nonzero are kept as constraints.
+std::vector<int> dims_create(int nnodes, int ndims, std::vector<int> dims = {});
+
+class CartComm {
+ public:
+  /// Collective over `parent`. Ranks beyond prod(dims) get std::nullopt
+  /// (the standard allows the grid to be smaller than the parent).
+  static std::optional<CartComm> create(Comm& parent, std::vector<int> dims,
+                                        std::vector<bool> periodic);
+
+  [[nodiscard]] Comm& comm() { return comm_; }
+  [[nodiscard]] const Comm& comm() const { return comm_; }
+  [[nodiscard]] int ndims() const { return static_cast<int>(dims_.size()); }
+  [[nodiscard]] const std::vector<int>& dims() const { return dims_; }
+  [[nodiscard]] bool periodic(int dim) const;
+
+  /// Row-major coordinates of a cart rank (MPI_Cart_coords).
+  [[nodiscard]] std::vector<int> coords(int rank) const;
+  [[nodiscard]] std::vector<int> my_coords() const { return coords(comm_.rank()); }
+  /// Cart rank at coordinates; periodic dims wrap, non-periodic
+  /// out-of-range coordinates yield kProcNull (MPI_Cart_rank semantics
+  /// extended the way shift needs them).
+  [[nodiscard]] int rank_at(std::vector<int> at) const;
+
+  /// MPI_Cart_shift: ranks to receive-from and send-to for a displacement
+  /// along `dim`. Either may be kProcNull at a non-periodic edge.
+  struct Shift {
+    int source = kProcNull;
+    int dest = kProcNull;
+  };
+  [[nodiscard]] Shift shift(int dim, int displacement) const;
+
+ private:
+  CartComm(Comm comm, std::vector<int> dims, std::vector<bool> periodic)
+      : comm_(std::move(comm)), dims_(std::move(dims)), periodic_(std::move(periodic)) {}
+
+  Comm comm_;
+  std::vector<int> dims_;
+  std::vector<bool> periodic_;
+};
+
+}  // namespace lcmpi::mpi

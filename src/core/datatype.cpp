@@ -1,0 +1,164 @@
+#include "src/core/datatype.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace lcmpi::mpi {
+
+Datatype Datatype::basic(std::int64_t bytes, Primitive prim) {
+  Datatype t;
+  t.blocks_.push_back(Block{0, bytes});
+  t.size_ = bytes;
+  t.extent_ = bytes;
+  t.primitive_ = prim;
+  return t;
+}
+
+void Datatype::normalise() {
+  std::sort(blocks_.begin(), blocks_.end(),
+            [](const Block& a, const Block& b) { return a.offset < b.offset; });
+  std::vector<Block> merged;
+  for (const Block& b : blocks_) {
+    if (b.length == 0) continue;
+    if (!merged.empty() && merged.back().offset + merged.back().length == b.offset) {
+      merged.back().length += b.length;
+    } else {
+      LCMPI_CHECK(merged.empty() ||
+                      merged.back().offset + merged.back().length <= b.offset,
+                  "overlapping datatype blocks");
+      merged.push_back(b);
+    }
+  }
+  blocks_ = std::move(merged);
+  size_ = 0;
+  for (const Block& b : blocks_) size_ += b.length;
+}
+
+bool Datatype::is_contiguous() const {
+  return blocks_.size() == 1 && blocks_[0].offset == 0 && blocks_[0].length == extent_;
+}
+
+Datatype Datatype::contiguous(int count, const Datatype& old) {
+  LCMPI_CHECK(count >= 0, "negative count");
+  Datatype t;
+  for (int i = 0; i < count; ++i)
+    for (const Block& b : old.blocks_)
+      t.blocks_.push_back(Block{i * old.extent_ + b.offset, b.length});
+  t.extent_ = count * old.extent_;
+  t.normalise();
+  return t;
+}
+
+Datatype Datatype::vector(int count, int blocklength, int stride, const Datatype& old) {
+  LCMPI_CHECK(count >= 0 && blocklength >= 0, "negative vector shape");
+  Datatype t;
+  for (int i = 0; i < count; ++i) {
+    const std::int64_t base = static_cast<std::int64_t>(i) * stride * old.extent_;
+    for (int j = 0; j < blocklength; ++j)
+      for (const Block& b : old.blocks_)
+        t.blocks_.push_back(Block{base + j * old.extent_ + b.offset, b.length});
+  }
+  // MPI extent: from the first byte to the last byte spanned.
+  std::int64_t hi = 0;
+  for (const Block& b : t.blocks_) hi = std::max(hi, b.offset + b.length);
+  t.extent_ = hi;
+  t.normalise();
+  return t;
+}
+
+Datatype Datatype::indexed(const std::vector<int>& blocklengths,
+                           const std::vector<int>& displacements, const Datatype& old) {
+  LCMPI_CHECK(blocklengths.size() == displacements.size(), "indexed shape mismatch");
+  Datatype t;
+  for (std::size_t i = 0; i < blocklengths.size(); ++i) {
+    const std::int64_t base = static_cast<std::int64_t>(displacements[i]) * old.extent_;
+    for (int j = 0; j < blocklengths[i]; ++j)
+      for (const Block& b : old.blocks_)
+        t.blocks_.push_back(Block{base + j * old.extent_ + b.offset, b.length});
+  }
+  std::int64_t hi = 0;
+  for (const Block& b : t.blocks_) hi = std::max(hi, b.offset + b.length);
+  t.extent_ = hi;
+  t.normalise();
+  return t;
+}
+
+Datatype Datatype::structure(const std::vector<int>& blocklengths,
+                             const std::vector<std::int64_t>& byte_displacements,
+                             const std::vector<Datatype>& types) {
+  LCMPI_CHECK(blocklengths.size() == byte_displacements.size() &&
+                  blocklengths.size() == types.size(),
+              "struct shape mismatch");
+  Datatype t;
+  for (std::size_t i = 0; i < types.size(); ++i) {
+    for (int j = 0; j < blocklengths[i]; ++j) {
+      const std::int64_t base = byte_displacements[i] + j * types[i].extent_;
+      for (const Block& b : types[i].blocks_)
+        t.blocks_.push_back(Block{base + b.offset, b.length});
+    }
+  }
+  std::int64_t hi = 0;
+  for (const Block& b : t.blocks_) hi = std::max(hi, b.offset + b.length);
+  t.extent_ = hi;
+  t.normalise();
+  return t;
+}
+
+Bytes Datatype::pack(const void* src, int count) const {
+  const auto* base = static_cast<const std::byte*>(src);
+  Bytes out(static_cast<std::size_t>(size_ * count));
+  if (is_contiguous()) {
+    std::memcpy(out.data(), base, out.size());
+    return out;
+  }
+  std::size_t at = 0;
+  for (int i = 0; i < count; ++i) {
+    const std::int64_t elem = static_cast<std::int64_t>(i) * extent_;
+    for (const Block& b : blocks_) {
+      std::memcpy(out.data() + at, base + elem + b.offset,
+                  static_cast<std::size_t>(b.length));
+      at += static_cast<std::size_t>(b.length);
+    }
+  }
+  return out;
+}
+
+std::int64_t Datatype::unpack(const Bytes& packed, void* dst, int count) const {
+  auto* base = static_cast<std::byte*>(dst);
+  const std::int64_t capacity = size_ * count;
+  const auto avail = static_cast<std::int64_t>(packed.size());
+  LCMPI_CHECK(avail <= capacity, "unpack overflow (truncation unhandled upstream)");
+  if (is_contiguous()) {
+    std::memcpy(base, packed.data(), packed.size());
+    return avail;
+  }
+  std::int64_t at = 0;
+  for (int i = 0; i < count && at < avail; ++i) {
+    const std::int64_t elem = static_cast<std::int64_t>(i) * extent_;
+    for (const Block& b : blocks_) {
+      const std::int64_t take = std::min(b.length, avail - at);
+      if (take <= 0) break;
+      std::memcpy(base + elem + b.offset, packed.data() + at,
+                  static_cast<std::size_t>(take));
+      at += take;
+    }
+  }
+  return at;
+}
+
+void Datatype::pack_append(const void* inbuf, int count, Bytes& outbuf) const {
+  Bytes packed = pack(inbuf, count);
+  outbuf.insert(outbuf.end(), packed.begin(), packed.end());
+}
+
+void Datatype::unpack_at(const Bytes& inbuf, std::size_t& position, void* outbuf,
+                         int count) const {
+  const auto need = static_cast<std::size_t>(pack_size(count));
+  LCMPI_CHECK(position + need <= inbuf.size(), "unpack past end of packed buffer");
+  Bytes view(inbuf.begin() + static_cast<std::ptrdiff_t>(position),
+             inbuf.begin() + static_cast<std::ptrdiff_t>(position + need));
+  unpack(view, outbuf, count);
+  position += need;
+}
+
+}  // namespace lcmpi::mpi

@@ -1,0 +1,85 @@
+// MPI datatypes: basic types plus the MPI-1 derived constructors.
+//
+// A Datatype describes a memory layout — a list of (offset, length) byte
+// extents relative to the start of one element, plus the element extent
+// used to stride across `count` elements. Derived types compose:
+// contiguous, vector (strided blocks), indexed (irregular blocks), and
+// struct (heterogeneous). pack/unpack gather and scatter through the
+// layout; contiguous layouts take a single-memcpy fast path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/types.h"
+#include "src/util/bytes.h"
+
+namespace lcmpi::mpi {
+
+class Datatype {
+ public:
+  /// One contiguous piece of an element, relative to the element start.
+  struct Block {
+    std::int64_t offset = 0;
+    std::int64_t length = 0;
+  };
+
+  /// Element kind for basic types: reductions need to know how to combine.
+  enum class Primitive : std::uint8_t { kNone, kByte, kInt32, kInt64, kFloat, kDouble };
+
+  // --- basic types ----------------------------------------------------------
+  static Datatype byte_type() { return basic(1, Primitive::kByte); }
+  static Datatype int32_type() { return basic(4, Primitive::kInt32); }
+  static Datatype int64_type() { return basic(8, Primitive::kInt64); }
+  static Datatype float_type() { return basic(4, Primitive::kFloat); }
+  static Datatype double_type() { return basic(8, Primitive::kDouble); }
+
+  [[nodiscard]] Primitive primitive() const { return primitive_; }
+
+  // --- derived constructors (MPI_Type_contiguous / vector / indexed / struct)
+  static Datatype contiguous(int count, const Datatype& old);
+  static Datatype vector(int count, int blocklength, int stride, const Datatype& old);
+  static Datatype indexed(const std::vector<int>& blocklengths,
+                          const std::vector<int>& displacements, const Datatype& old);
+  /// Struct-style: explicit byte displacements of otherwise complete types.
+  static Datatype structure(const std::vector<int>& blocklengths,
+                            const std::vector<std::int64_t>& byte_displacements,
+                            const std::vector<Datatype>& types);
+
+  /// Payload bytes of one element (sum of block lengths).
+  [[nodiscard]] std::int64_t size() const { return size_; }
+  /// Memory span of one element, including holes (stride between elements).
+  [[nodiscard]] std::int64_t extent() const { return extent_; }
+  /// True if one element is a single gap-free block starting at offset 0.
+  [[nodiscard]] bool is_contiguous() const;
+  [[nodiscard]] const std::vector<Block>& blocks() const { return blocks_; }
+
+  /// Gathers `count` elements starting at `src` into a packed buffer.
+  [[nodiscard]] Bytes pack(const void* src, int count) const;
+  /// Scatters packed bytes into `count` elements at `dst`. `packed` must
+  /// hold at most count*size() bytes; returns bytes consumed.
+  std::int64_t unpack(const Bytes& packed, void* dst, int count) const;
+
+  // --- MPI_Pack / MPI_Unpack style explicit packing --------------------------
+  /// Bytes `count` elements occupy in packed form (MPI_Pack_size).
+  [[nodiscard]] std::int64_t pack_size(int count) const { return size_ * count; }
+  /// Appends `count` elements to `outbuf` (MPI_Pack; the buffer is the
+  /// position cursor).
+  void pack_append(const void* inbuf, int count, Bytes& outbuf) const;
+  /// Consumes `count` elements from `inbuf` starting at `position`,
+  /// advancing it (MPI_Unpack).
+  void unpack_at(const Bytes& inbuf, std::size_t& position, void* outbuf, int count) const;
+
+ private:
+  static Datatype basic(std::int64_t bytes, Primitive prim);
+
+  std::vector<Block> blocks_;  // normalised: sorted by offset, coalesced
+  std::int64_t size_ = 0;
+  std::int64_t extent_ = 0;
+  Primitive primitive_ = Primitive::kNone;
+
+  void normalise();
+};
+
+}  // namespace lcmpi::mpi

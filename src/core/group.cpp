@@ -1,0 +1,64 @@
+#include "src/core/group.h"
+
+#include <algorithm>
+
+namespace lcmpi::mpi {
+
+Group::Group(std::vector<int> world_ranks) : ranks_(std::move(world_ranks)) {
+  std::vector<int> sorted = ranks_;
+  std::sort(sorted.begin(), sorted.end());
+  LCMPI_CHECK(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+              "duplicate rank in group");
+}
+
+int Group::world_rank(int i) const {
+  LCMPI_CHECK(i >= 0 && i < size(), "group rank out of range");
+  return ranks_[static_cast<std::size_t>(i)];
+}
+
+int Group::rank_of(int world_rank) const {
+  auto it = std::find(ranks_.begin(), ranks_.end(), world_rank);
+  return it == ranks_.end() ? -1 : static_cast<int>(it - ranks_.begin());
+}
+
+Group Group::incl(const std::vector<int>& positions) const {
+  std::vector<int> out;
+  out.reserve(positions.size());
+  for (int p : positions) out.push_back(world_rank(p));
+  return Group(std::move(out));
+}
+
+Group Group::excl(const std::vector<int>& positions) const {
+  std::vector<bool> drop(ranks_.size(), false);
+  for (int p : positions) {
+    LCMPI_CHECK(p >= 0 && p < size(), "excl position out of range");
+    drop[static_cast<std::size_t>(p)] = true;
+  }
+  std::vector<int> out;
+  for (std::size_t i = 0; i < ranks_.size(); ++i)
+    if (!drop[i]) out.push_back(ranks_[i]);
+  return Group(std::move(out));
+}
+
+Group Group::set_union(const Group& other) const {
+  std::vector<int> out = ranks_;
+  for (int r : other.ranks_)
+    if (!contains(r)) out.push_back(r);
+  return Group(std::move(out));
+}
+
+Group Group::set_intersection(const Group& other) const {
+  std::vector<int> out;
+  for (int r : ranks_)
+    if (other.contains(r)) out.push_back(r);
+  return Group(std::move(out));
+}
+
+Group Group::set_difference(const Group& other) const {
+  std::vector<int> out;
+  for (int r : ranks_)
+    if (!other.contains(r)) out.push_back(r);
+  return Group(std::move(out));
+}
+
+}  // namespace lcmpi::mpi

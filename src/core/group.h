@@ -1,0 +1,47 @@
+// Process groups (MPI-1 §5.3): ordered sets of world ranks with the
+// standard set operations, plus group-based communicator creation.
+//
+// The paper lists "process group management" among the MPI features its
+// implementation supports; groups here are plain value types — only
+// Comm::create_from_group involves communication.
+#pragma once
+
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace lcmpi::mpi {
+
+class Group {
+ public:
+  Group() = default;
+  explicit Group(std::vector<int> world_ranks);
+
+  [[nodiscard]] int size() const { return static_cast<int>(ranks_.size()); }
+  [[nodiscard]] bool empty() const { return ranks_.empty(); }
+  /// World rank of group member `i`.
+  [[nodiscard]] int world_rank(int i) const;
+  /// This group's rank of `world_rank`, or -1 (MPI_UNDEFINED) if absent.
+  [[nodiscard]] int rank_of(int world_rank) const;
+  [[nodiscard]] bool contains(int world_rank) const { return rank_of(world_rank) >= 0; }
+  [[nodiscard]] const std::vector<int>& ranks() const { return ranks_; }
+
+  /// Members at the given positions, in that order (MPI_Group_incl).
+  [[nodiscard]] Group incl(const std::vector<int>& positions) const;
+  /// All members except those at the given positions (MPI_Group_excl).
+  [[nodiscard]] Group excl(const std::vector<int>& positions) const;
+  /// Members of `this`, then members of `other` not in `this`
+  /// (MPI_Group_union's ordering rule).
+  [[nodiscard]] Group set_union(const Group& other) const;
+  /// Members of `this` that are also in `other`, in `this`'s order.
+  [[nodiscard]] Group set_intersection(const Group& other) const;
+  /// Members of `this` not in `other`, in `this`'s order.
+  [[nodiscard]] Group set_difference(const Group& other) const;
+
+  bool operator==(const Group& other) const { return ranks_ == other.ranks_; }
+
+ private:
+  std::vector<int> ranks_;  // group rank -> world rank; no duplicates
+};
+
+}  // namespace lcmpi::mpi

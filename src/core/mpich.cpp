@@ -1,0 +1,346 @@
+#include "src/core/mpich.h"
+
+#include <cstring>
+
+#include "src/core/comm.h"  // reduce_op
+
+namespace lcmpi::mpi {
+namespace {
+
+// 64-bit tport tag layout: [context:16][src:16][tag:32].
+constexpr std::uint64_t kSrcShift = 32;
+constexpr std::uint64_t kCtxShift = 48;
+constexpr std::uint64_t kTagMask = 0xffffffffULL;
+constexpr std::uint64_t kSrcMask = 0xffffULL << kSrcShift;
+constexpr std::uint64_t kCtxMask = 0xffffULL << kCtxShift;
+/// Tag bit reserved for synchronous-send acknowledgements.
+constexpr std::int32_t kAckTagBit = 1 << 30;
+
+// MPICH device header carried inside every tport payload.
+struct DevHeader {
+  std::uint8_t mode = 0;
+  std::uint8_t pad[3] = {0, 0, 0};
+  std::uint32_t ack_id = 0;
+};
+
+std::uint64_t make_tag(std::uint32_t context, int src, int tag) {
+  return (static_cast<std::uint64_t>(context) << kCtxShift) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src) & 0xffff) << kSrcShift) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)) & kTagMask);
+}
+
+}  // namespace
+
+MpichComm::MpichComm(meiko::Tport& tport, sim::Actor& self, int nranks)
+    : tport_(tport), self_(self), nranks_(nranks) {}
+
+void MpichComm::charge_adi() {
+  self_.advance(tport_.machine().calib().mpich_adi_overhead);
+}
+
+void MpichComm::tx(int dst, int tag, std::uint32_t context, Bytes payload, Mode mode,
+                   const Request& req) {
+  tport_.tx(self_, dst, make_tag(context, rank(), tag), std::move(payload),
+            [this, req, mode] {
+              if (mode != Mode::kSynchronous) {
+                req->done = true;
+                activity_.notify_all();
+              }
+            });
+}
+
+MpichComm::Request MpichComm::isend(const void* buf, int count, const Datatype& type,
+                                    int dst, int tag, Mode mode) {
+  LCMPI_CHECK(dst >= 0 && dst < nranks_ && tag >= 0 && tag < kAckTagBit,
+              "invalid isend arguments");
+  charge_adi();
+  auto req = std::make_shared<RequestState>();
+
+  static std::uint32_t next_ack_id = 1;  // per-process in reality; fine per-sim
+  DevHeader h;
+  h.mode = static_cast<std::uint8_t>(mode);
+  if (mode == Mode::kSynchronous) h.ack_id = next_ack_id++;
+
+  Bytes payload;
+  ByteWriter w(payload);
+  w.put(h);
+  Bytes packed = type.pack(buf, count);
+  w.put_bytes(packed.data(), packed.size());
+  tx(dst, tag, context_, std::move(payload), mode, req);
+
+  if (mode == Mode::kSynchronous) {
+    // Wait for the receiver's ack on the reserved tag space.
+    tport_.rx(self_, make_tag(context_, dst, kAckTagBit | static_cast<std::int32_t>(h.ack_id)),
+              ~0ULL, [this, req](meiko::TportMessage) {
+                req->done = true;
+                activity_.notify_all();
+              });
+  }
+  return req;
+}
+
+MpichComm::Request MpichComm::irecv(void* buf, int count, const Datatype& type, int src,
+                                    int tag) {
+  charge_adi();
+  auto req = std::make_shared<RequestState>();
+  const meiko::Calib& c = tport_.machine().calib();
+  // MPICH's heavier Elan-side demultiplexing: extra co-processor work per
+  // posted receive, ahead of tport's own matching.
+  tport_.machine().node(rank()).elan().submit(c.mpich_elan_extra_match, [] {});
+
+  std::uint64_t mask = kCtxMask | kTagMask | kSrcMask;
+  if (src == kAnySource) mask &= ~kSrcMask;
+  if (tag == kAnyTag) mask &= ~kTagMask;
+  const std::uint64_t want =
+      make_tag(context_, src == kAnySource ? 0 : src, tag == kAnyTag ? 0 : tag);
+
+  tport_.rx(self_, want, mask,
+            [this, req, buf, count, type](meiko::TportMessage m) {
+              ByteReader r(m.data);
+              const auto h = r.get<DevHeader>();
+              Bytes packed = r.rest();
+              const std::int64_t capacity = type.size() * count;
+              req->status.source = m.src;
+              req->status.tag = static_cast<std::int32_t>(m.tag & kTagMask);
+              if (static_cast<std::int64_t>(packed.size()) > capacity) {
+                req->status.error = Err::kTruncate;
+                packed.resize(static_cast<std::size_t>(capacity));
+              }
+              req->status.count_bytes = static_cast<std::int64_t>(packed.size());
+              type.unpack(packed, buf, count);
+              if (static_cast<Mode>(h.mode) == Mode::kSynchronous) {
+                // Ack the sender once the SPARC observes this completion.
+                req->ack_pending = true;
+                req->ack_dst = m.src;
+                req->ack_id = h.ack_id;
+              }
+              req->done = true;
+              activity_.notify_all();
+            });
+  return req;
+}
+
+void MpichComm::wait_done(const Request& req) {
+  while (!req->done) self_.wait(activity_);
+}
+
+void MpichComm::wait(const Request& req) {
+  wait_done(req);
+  // The SPARC learns of a completion the Elan discovered in the background.
+  self_.advance(tport_.machine().calib().mpich_elan_sync);
+  if (req->ack_pending) {
+    req->ack_pending = false;
+    tport_.tx(self_, req->ack_dst,
+              make_tag(context_, rank(), kAckTagBit | static_cast<std::int32_t>(req->ack_id)),
+              Bytes{}, {});
+  }
+  if (req->status.error != Err::kSuccess)
+    throw MpiError(req->status.error, "MPICH request completed with error");
+}
+
+bool MpichComm::test(const Request& req) {
+  if (req->done) self_.advance(tport_.machine().calib().mpich_elan_sync);
+  return req->done;
+}
+
+void MpichComm::wait_all(const std::vector<Request>& reqs) {
+  for (const Request& r : reqs) wait(r);
+}
+
+void MpichComm::send(const void* buf, int count, const Datatype& type, int dst, int tag,
+                     Mode mode) {
+  wait(isend(buf, count, type, dst, tag, mode));
+}
+
+Status MpichComm::recv(void* buf, int count, const Datatype& type, int src, int tag) {
+  Request r = irecv(buf, count, type, src, tag);
+  wait(r);
+  return r->status;
+}
+
+Status MpichComm::sendrecv(const void* sendbuf, int sendcount, const Datatype& sendtype,
+                           int dst, int sendtag, void* recvbuf, int recvcount,
+                           const Datatype& recvtype, int src, int recvtag) {
+  Request rr = irecv(recvbuf, recvcount, recvtype, src, recvtag);
+  Request sr = isend(sendbuf, sendcount, sendtype, dst, sendtag);
+  wait(sr);
+  wait(rr);
+  return rr->status;
+}
+
+namespace {
+
+std::uint64_t probe_mask(int src, int tag) {
+  std::uint64_t mask = kCtxMask | kTagMask | kSrcMask;
+  if (src == kAnySource) mask &= ~kSrcMask;
+  if (tag == kAnyTag) mask &= ~kTagMask;
+  return mask;
+}
+
+Status probe_status(const meiko::Tport::ProbeInfo& info) {
+  Status s;
+  s.source = info.src;
+  s.tag = static_cast<std::int32_t>(info.tag & kTagMask);
+  s.count_bytes = static_cast<std::int64_t>(info.nbytes) -
+                  static_cast<std::int64_t>(sizeof(DevHeader));
+  return s;
+}
+
+}  // namespace
+
+Status MpichComm::probe(int src, int tag) {
+  charge_adi();
+  const std::uint64_t want =
+      make_tag(context_, src == kAnySource ? 0 : src, tag == kAnyTag ? 0 : tag);
+  return probe_status(tport_.probe(self_, want, probe_mask(src, tag)));
+}
+
+std::optional<Status> MpichComm::iprobe(int src, int tag) {
+  charge_adi();
+  const std::uint64_t want =
+      make_tag(context_, src == kAnySource ? 0 : src, tag == kAnyTag ? 0 : tag);
+  auto info = tport_.iprobe(self_, want, probe_mask(src, tag));
+  if (!info) return std::nullopt;
+  return probe_status(*info);
+}
+
+// ------------------------------------------------------ collectives (p2p)
+
+namespace {
+/// Collective phases use the top of the user tag space (below the ack bit).
+constexpr int kCollBase = (1 << 29);
+}  // namespace
+
+void MpichComm::barrier() {
+  const int n = size();
+  std::uint8_t token = 0, sink = 0;
+  for (int k = 1; k < n; k <<= 1) {
+    const int to = (rank() + k) % n;
+    const int from = (rank() - k % n + n) % n;
+    Request rr = irecv(&sink, 1, Datatype::byte_type(), from, kCollBase + 8 + k);
+    Request sr = isend(&token, 1, Datatype::byte_type(), to, kCollBase + 8 + k);
+    wait(sr);
+    wait(rr);
+  }
+}
+
+void MpichComm::bcast(void* buf, int count, const Datatype& type, int root) {
+  // Point-to-point binomial tree: the MPICH approach the paper's hardware
+  // broadcast beats in Fig. 7.
+  const int n = size();
+  const int vrank = (rank() - root + n) % n;
+  int mask = 1;
+  while (mask < n) {
+    if (vrank & mask) {
+      const int parent = ((vrank - mask) + root) % n;
+      Request r = irecv(buf, count, type, parent, kCollBase + 1);
+      wait(r);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < n) {
+      const int child = ((vrank + mask) + root) % n;
+      Request r = isend(buf, count, type, child, kCollBase + 1);
+      wait(r);
+    }
+    mask >>= 1;
+  }
+}
+
+void MpichComm::reduce(const void* sendbuf, void* recvbuf, int count, const Datatype& type,
+                       Op op, int root) {
+  const int n = size();
+  const int vrank = (rank() - root + n) % n;
+  const std::size_t bytes = static_cast<std::size_t>(type.size() * count);
+  std::vector<std::byte> acc(bytes), incoming(bytes);
+  std::memcpy(acc.data(), sendbuf, bytes);
+  int mask = 1;
+  while (mask < n) {
+    if (vrank & mask) {
+      const int parent = ((vrank - mask) + root) % n;
+      Request r = isend(acc.data(), count, type, parent, kCollBase + 2);
+      wait(r);
+      break;
+    }
+    if (vrank + mask < n) {
+      const int child = ((vrank + mask) + root) % n;
+      Request r = irecv(incoming.data(), count, type, child, kCollBase + 2);
+      wait(r);
+      reduce_op(type, op, incoming.data(), acc.data(), count);
+    }
+    mask <<= 1;
+  }
+  if (rank() == root) std::memcpy(recvbuf, acc.data(), bytes);
+}
+
+void MpichComm::allreduce(const void* sendbuf, void* recvbuf, int count,
+                          const Datatype& type, Op op) {
+  reduce(sendbuf, recvbuf, count, type, op, 0);
+  bcast(recvbuf, count, type, 0);
+}
+
+void MpichComm::gather(const void* sendbuf, int sendcount, void* recvbuf,
+                       const Datatype& type, int root) {
+  const std::size_t block = static_cast<std::size_t>(type.size() * sendcount);
+  if (rank() == root) {
+    auto* out = static_cast<std::byte*>(recvbuf);
+    std::memcpy(out + static_cast<std::size_t>(rank()) * block, sendbuf, block);
+    std::vector<Request> reqs;
+    for (int r = 0; r < size(); ++r) {
+      if (r == rank()) continue;
+      reqs.push_back(irecv(out + static_cast<std::size_t>(r) * block, sendcount, type, r,
+                           kCollBase + 3));
+    }
+    wait_all(reqs);
+  } else {
+    Request r = isend(sendbuf, sendcount, type, root, kCollBase + 3);
+    wait(r);
+  }
+}
+
+void MpichComm::scatter(const void* sendbuf, void* recvbuf, int recvcount,
+                        const Datatype& type, int root) {
+  const std::size_t block = static_cast<std::size_t>(type.size() * recvcount);
+  if (rank() == root) {
+    const auto* in = static_cast<const std::byte*>(sendbuf);
+    std::vector<Request> reqs;
+    for (int r = 0; r < size(); ++r) {
+      if (r == rank()) {
+        std::memcpy(recvbuf, in + static_cast<std::size_t>(r) * block, block);
+        continue;
+      }
+      reqs.push_back(isend(in + static_cast<std::size_t>(r) * block, recvcount, type, r,
+                           kCollBase + 5));
+    }
+    wait_all(reqs);
+  } else {
+    Request r = irecv(recvbuf, recvcount, type, root, kCollBase + 5);
+    wait(r);
+  }
+}
+
+void MpichComm::allgather(const void* sendbuf, int sendcount, void* recvbuf,
+                          const Datatype& type) {
+  const int n = size();
+  const std::size_t block = static_cast<std::size_t>(type.size() * sendcount);
+  auto* out = static_cast<std::byte*>(recvbuf);
+  std::memcpy(out + static_cast<std::size_t>(rank()) * block, sendbuf, block);
+  const int right = (rank() + 1) % n;
+  const int left = (rank() - 1 + n) % n;
+  int have = rank();
+  for (int step = 0; step < n - 1; ++step) {
+    const int incoming = (rank() - 1 - step + 2 * n) % n;
+    Request rr = irecv(out + static_cast<std::size_t>(incoming) * block, sendcount, type,
+                       left, kCollBase + 4);
+    Request sr = isend(out + static_cast<std::size_t>(have) * block, sendcount, type, right,
+                       kCollBase + 4);
+    wait(sr);
+    wait(rr);
+    have = incoming;
+  }
+}
+
+}  // namespace lcmpi::mpi

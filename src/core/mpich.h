@@ -1,0 +1,91 @@
+// MpichComm — the ANL/MSU MPICH baseline on the Meiko, over the tport
+// widget (the implementation the paper compares against in Figs. 2/3/7/8).
+//
+// MPI (context, source, tag) triples are squeezed into 64-bit tport tags
+// and matching happens where tport does it: on the 10 MHz Elan
+// co-processor, in the background. The price the paper measures is charged
+// here: ADI/device-layer overhead per operation on the SPARC, extra
+// SPARC<->Elan synchronisation to learn about completions the Elan
+// discovered, and heavier Elan-side matching (mpich_* calibration
+// constants). Collectives — including MPI_Bcast — are built from
+// point-to-point messages only, which is what Fig. 7 punishes.
+//
+// The class mirrors mpi::Comm's surface, so applications and benchmarks
+// are templates over either implementation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/core/datatype.h"
+#include "src/core/types.h"
+#include "src/meiko/tport.h"
+
+namespace lcmpi::mpi {
+
+class MpichComm {
+ public:
+  /// One per rank; `tports[r]` is rank r's widget (shared across comms).
+  MpichComm(meiko::Tport& tport, sim::Actor& self, int nranks);
+
+  struct RequestState {
+    bool done = false;
+    Status status;
+    // A matched synchronous send awaiting its ack: the ack is issued from
+    // wait(), i.e. when the SPARC processes the completed receive (the
+    // Elan-side callback cannot run SPARC code).
+    bool ack_pending = false;
+    int ack_dst = -1;
+    std::uint32_t ack_id = 0;
+  };
+  using Request = std::shared_ptr<RequestState>;
+
+  [[nodiscard]] int rank() const { return tport_.node_id(); }
+  [[nodiscard]] int size() const { return nranks_; }
+
+  void send(const void* buf, int count, const Datatype& type, int dst, int tag,
+            Mode mode = Mode::kStandard);
+  Status recv(void* buf, int count, const Datatype& type, int src, int tag);
+  Request isend(const void* buf, int count, const Datatype& type, int dst, int tag,
+                Mode mode = Mode::kStandard);
+  Request irecv(void* buf, int count, const Datatype& type, int src, int tag);
+  void wait(const Request& req);
+  bool test(const Request& req);
+  void wait_all(const std::vector<Request>& reqs);
+
+  Status sendrecv(const void* sendbuf, int sendcount, const Datatype& sendtype, int dst,
+                  int sendtag, void* recvbuf, int recvcount, const Datatype& recvtype,
+                  int src, int recvtag);
+
+  /// Probe/iprobe: envelope lookup on the Elan's unexpected queue.
+  Status probe(int src, int tag);
+  std::optional<Status> iprobe(int src, int tag);
+
+  // Collectives: point-to-point trees only (no hardware broadcast).
+  void barrier();
+  void bcast(void* buf, int count, const Datatype& type, int root);
+  void reduce(const void* sendbuf, void* recvbuf, int count, const Datatype& type, Op op,
+              int root);
+  void allreduce(const void* sendbuf, void* recvbuf, int count, const Datatype& type, Op op);
+  void gather(const void* sendbuf, int sendcount, void* recvbuf, const Datatype& type,
+              int root);
+  void scatter(const void* sendbuf, void* recvbuf, int recvcount, const Datatype& type,
+               int root);
+  void allgather(const void* sendbuf, int sendcount, void* recvbuf, const Datatype& type);
+
+ private:
+  void tx(int dst, int tag, std::uint32_t context, Bytes payload, Mode mode,
+          const Request& req);
+  void wait_done(const Request& req);
+  void charge_adi();
+
+  meiko::Tport& tport_;
+  sim::Actor& self_;
+  int nranks_;
+  std::uint32_t context_ = 1;  // single world communicator for the baseline
+  sim::Trigger activity_;
+};
+
+}  // namespace lcmpi::mpi

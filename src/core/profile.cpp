@@ -1,0 +1,41 @@
+#include "src/core/profile.h"
+
+namespace lcmpi::mpi {
+
+const char* call_kind_name(CallKind k) {
+  switch (k) {
+    case CallKind::kSend: return "send";
+    case CallKind::kRecv: return "recv";
+    case CallKind::kIsend: return "isend";
+    case CallKind::kIrecv: return "irecv";
+    case CallKind::kWait: return "wait";
+    case CallKind::kTest: return "test";
+    case CallKind::kProbe: return "probe";
+    case CallKind::kSendrecv: return "sendrecv";
+    case CallKind::kBcast: return "bcast";
+    case CallKind::kBarrier: return "barrier";
+    case CallKind::kReduce: return "reduce";
+    case CallKind::kAllreduce: return "allreduce";
+    case CallKind::kGather: return "gather";
+    case CallKind::kScatter: return "scatter";
+    case CallKind::kAllgather: return "allgather";
+    case CallKind::kAlltoall: return "alltoall";
+    case CallKind::kScan: return "scan";
+    case CallKind::kCommMgmt: return "comm-mgmt";
+    case CallKind::kCount: break;
+  }
+  return "?";
+}
+
+Table Profiler::report() const {
+  Table t({"call", "count", "time_us", "bytes"});
+  for (std::size_t k = 0; k < entries_.size(); ++k) {
+    const Entry& e = entries_[k];
+    if (e.calls == 0) continue;
+    t.add_row({call_kind_name(static_cast<CallKind>(k)), std::to_string(e.calls),
+               fmt(e.time.usec()), std::to_string(e.bytes)});
+  }
+  return t;
+}
+
+}  // namespace lcmpi::mpi

@@ -1,0 +1,71 @@
+// Profiling interface (MPI-1 chapter 8 names one; the paper lists it
+// among the standard's features).
+//
+// A Profiler attached to a communicator records, per MPI call kind, the
+// call count, the virtual time spent inside the library (communication +
+// protocol overhead, as distinct from application compute), and the bytes
+// handed over. Nested library calls (send = isend + wait) are attributed
+// to the outermost call only, PMPI-style.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "src/util/status.h"
+#include "src/util/table.h"
+#include "src/util/time.h"
+
+namespace lcmpi::mpi {
+
+enum class CallKind : std::uint8_t {
+  kSend, kRecv, kIsend, kIrecv, kWait, kTest, kProbe, kSendrecv,
+  kBcast, kBarrier, kReduce, kAllreduce, kGather, kScatter, kAllgather,
+  kAlltoall, kScan, kCommMgmt,
+  kCount,
+};
+
+[[nodiscard]] const char* call_kind_name(CallKind k);
+
+class Profiler {
+ public:
+  struct Entry {
+    std::int64_t calls = 0;
+    Duration time{};
+    std::int64_t bytes = 0;
+  };
+
+  void record(CallKind kind, Duration elapsed, std::int64_t bytes) {
+    Entry& e = entries_[static_cast<std::size_t>(kind)];
+    ++e.calls;
+    e.time += elapsed;
+    e.bytes += bytes;
+  }
+
+  [[nodiscard]] const Entry& entry(CallKind kind) const {
+    return entries_[static_cast<std::size_t>(kind)];
+  }
+
+  [[nodiscard]] std::int64_t total_calls() const {
+    std::int64_t n = 0;
+    for (const Entry& e : entries_) n += e.calls;
+    return n;
+  }
+  [[nodiscard]] Duration total_time() const {
+    Duration t{};
+    for (const Entry& e : entries_) t += e.time;
+    return t;
+  }
+
+  /// Formats the non-empty rows as a table (calls, time, bytes).
+  [[nodiscard]] Table report() const;
+
+  // Depth tracking for outermost-only attribution.
+  [[nodiscard]] bool enter() { return depth_++ == 0; }
+  void leave() { --depth_; }
+
+ private:
+  std::array<Entry, static_cast<std::size_t>(CallKind::kCount)> entries_{};
+  int depth_ = 0;
+};
+
+}  // namespace lcmpi::mpi

@@ -1,0 +1,17 @@
+#include "src/core/trace.h"
+
+namespace lcmpi::mpi {
+
+const char* msg_event_name(MsgEvent e) {
+  switch (e) {
+    case MsgEvent::kIsendStart: return "isend-start";
+    case MsgEvent::kLaunched: return "launched";
+    case MsgEvent::kArrived: return "arrived";
+    case MsgEvent::kMatched: return "matched";
+    case MsgEvent::kDelivered: return "delivered";
+    case MsgEvent::kSendComplete: return "send-complete";
+  }
+  return "?";
+}
+
+}  // namespace lcmpi::mpi

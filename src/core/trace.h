@@ -1,0 +1,72 @@
+// Message-level protocol tracing.
+//
+// The paper's analysis is a latency decomposition: how long an envelope
+// takes to build, to cross the network, to match, and to land in the user
+// buffer. MsgTrace records those protocol milestones with virtual
+// timestamps for every message, keyed by (sender world rank, sender
+// request id) — the same key the rendezvous protocol already routes by.
+// One MsgTrace is shared by all ranks of a world (the simulator runs one
+// actor at a time, so no locking is needed).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/util/status.h"
+#include "src/util/time.h"
+
+namespace lcmpi::mpi {
+
+enum class MsgEvent : std::uint8_t {
+  kIsendStart,    // sender entered isend
+  kLaunched,      // protocol message handed to the fabric
+  kArrived,       // envelope reached the receiver's engine
+  kMatched,       // matched a posted receive (or a receive found it)
+  kDelivered,     // payload in the user buffer; receive complete
+  kSendComplete,  // sender-side completion semantics satisfied
+};
+
+[[nodiscard]] const char* msg_event_name(MsgEvent e);
+
+class MsgTrace {
+ public:
+  struct Key {
+    int src = -1;
+    std::uint64_t sender_req = 0;
+    auto operator<=>(const Key&) const = default;
+  };
+
+  void record(Key key, MsgEvent ev, TimePoint t) {
+    events_[key].push_back({ev, t});
+  }
+
+  /// Timestamp of `ev` for the message, if recorded.
+  [[nodiscard]] std::optional<TimePoint> at(Key key, MsgEvent ev) const {
+    auto it = events_.find(key);
+    if (it == events_.end()) return std::nullopt;
+    for (const auto& [e, t] : it->second)
+      if (e == ev) return t;
+    return std::nullopt;
+  }
+
+  /// Duration between two milestones of one message.
+  [[nodiscard]] std::optional<Duration> span(Key key, MsgEvent from, MsgEvent to) const {
+    auto a = at(key, from);
+    auto b = at(key, to);
+    if (!a || !b) return std::nullopt;
+    return *b - *a;
+  }
+
+  [[nodiscard]] std::size_t traced_messages() const { return events_.size(); }
+  [[nodiscard]] const std::map<Key, std::vector<std::pair<MsgEvent, TimePoint>>>& all()
+      const {
+    return events_;
+  }
+
+ private:
+  std::map<Key, std::vector<std::pair<MsgEvent, TimePoint>>> events_;
+};
+
+}  // namespace lcmpi::mpi

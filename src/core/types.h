@@ -1,0 +1,38 @@
+// Fundamental MPI-1.1 types used across the library.
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/status.h"
+
+namespace lcmpi::mpi {
+
+/// Wildcards, as in MPI_ANY_SOURCE / MPI_ANY_TAG.
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// MPI_PROC_NULL: sends/receives addressed here complete immediately and
+/// transfer nothing (the standard's edge-of-topology convention).
+inline constexpr int kProcNull = -2;
+
+/// Send modes (MPI_Send / MPI_Bsend / MPI_Ssend / MPI_Rsend).
+enum class Mode : std::uint8_t {
+  kStandard = 0,
+  kBuffered = 1,
+  kSynchronous = 2,
+  kReady = 3,
+};
+
+/// Reduction operators for MPI_Reduce / MPI_Allreduce.
+enum class Op : std::uint8_t { kSum, kProd, kMin, kMax };
+
+/// The result record a receive/probe fills in (MPI_Status).
+struct Status {
+  int source = kAnySource;
+  int tag = kAnyTag;
+  Err error = Err::kSuccess;
+  /// Received payload size in bytes (MPI_Get_count is derived from this).
+  std::int64_t count_bytes = 0;
+};
+
+}  // namespace lcmpi::mpi

@@ -1,0 +1,33 @@
+#include "src/fabric/fabric.h"
+
+namespace lcmpi::fabric {
+
+TimePoint Endpoint::now() const { return fabric_.kernel().now(); }
+
+std::uint64_t Endpoint::stage_bulk(sim::Actor&, Bytes, std::function<void()>) {
+  throw InternalError("this fabric does not support pull-mode rendezvous");
+}
+
+void Endpoint::pull_bulk(sim::Actor&, int, std::uint64_t, std::function<void(Bytes)>) {
+  throw InternalError("this fabric does not support pull-mode rendezvous");
+}
+
+void Endpoint::hw_broadcast(sim::Actor&, ProtoMsg) {
+  throw InternalError("this fabric does not support hardware broadcast");
+}
+
+std::optional<ProtoMsg> Endpoint::poll(sim::Actor&) {
+  if (incoming_.empty()) return std::nullopt;
+  ProtoMsg m = std::move(incoming_.front());
+  incoming_.pop_front();
+  return m;
+}
+
+void Endpoint::wait_activity(sim::Actor& self) { self.wait(activity_); }
+
+void Endpoint::deliver(ProtoMsg msg) {
+  incoming_.push_back(std::move(msg));
+  activity_.notify_all();
+}
+
+}  // namespace lcmpi::fabric

@@ -1,0 +1,173 @@
+// Fabric — the transport abstraction beneath the MPI core.
+//
+// The paper's MPI protocol needs exactly four transport services, and the
+// Meiko and TCP implementations differ in how each is provided:
+//
+//   1. small control/eager messages, reliable and ordered per sender pair
+//      (Meiko: remote transactions into the per-sender envelope slot;
+//       TCP: fixed 25-byte records on the stream, per Table 1);
+//   2. bulk data movement for the rendezvous protocol
+//      (Meiko: receiver-initiated DMA *pull* of staged data — caps().pull_bulk;
+//       TCP: CTS back to the sender, which *pushes* the payload);
+//   3. optionally, hardware broadcast (Meiko only);
+//   4. a cost/capability profile: what the MPI layer should charge for
+//      matching and copies, the eager/rendezvous threshold, and which
+//      flow-control discipline the medium requires (single envelope slot
+//      on the Meiko, per-sender credit over TCP).
+//
+// The MPI engine (src/core/engine.h) is written once against this
+// interface; every platform in the paper is a Fabric implementation.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "src/core/types.h"
+#include "src/sim/kernel.h"
+#include "src/util/bytes.h"
+#include "src/util/time.h"
+
+namespace lcmpi::fabric {
+
+/// Protocol message kinds exchanged by the MPI engines.
+enum class MsgKind : std::uint8_t {
+  kEager = 1,    // envelope + payload, overlapped with matching
+  kRts = 2,      // rendezvous request-to-send (envelope only)
+  kCts = 3,      // receiver matched an RTS; push-mode fabrics only
+  kRdata = 4,    // rendezvous payload push; push-mode fabrics only
+  kCredit = 5,   // flow-control credit return (credit fabrics)
+  kSlotFree = 6, // envelope slot released (single-slot fabrics)
+  kSsendAck = 7, // synchronous-mode send matched at the receiver
+  kBcast = 8,    // hardware broadcast payload
+};
+
+/// A parsed protocol message. Fabrics own the wire encoding; the engine
+/// never sees raw bytes except the payload.
+struct ProtoMsg {
+  MsgKind kind = MsgKind::kEager;
+  int src = -1;                 // world rank of the sender (set on delivery)
+  std::int32_t tag = 0;         // MPI tag
+  std::uint32_t context = 0;    // communicator context id
+  std::uint8_t mode = 0;        // mpi::Mode of the originating send
+  std::uint32_t size = 0;       // full payload size of the message
+  std::uint64_t sender_req = 0; // sender-side request id (CTS/ACK routing)
+  std::uint64_t bulk_key = 0;   // staged-bulk handle (pull-mode rendezvous)
+  std::uint32_t credit = 0;     // credit bytes returned (kCredit)
+  std::uint64_t seq = 0;        // per-(src,dst) sequence number
+  Bytes payload;                // eager / rdata / bcast data
+};
+
+/// Flow-control discipline the engine must apply (paper §4.1 and §5.1).
+enum class FlowControl : std::uint8_t {
+  kNone = 0,
+  kSingleSlot = 1,  // one outstanding envelope per (sender, receiver)
+  kCredit = 2,      // per-sender reserved memory at each receiver
+};
+
+struct FabricCaps {
+  bool hw_broadcast = false;
+  /// True: rendezvous data is pulled by the receiver (DMA get). False: the
+  /// receiver sends CTS and the sender pushes a kRdata message.
+  bool pull_bulk = false;
+  /// Eager/rendezvous protocol switch, bytes (Fig. 1 crossover).
+  std::int64_t eager_threshold = 180;
+  FlowControl flow = FlowControl::kNone;
+  /// Credit reserve per sender at each receiver (credit fabrics).
+  std::int64_t credit_bytes = 16 * 1024;
+  /// Fixed per-message control record size used for credit accounting.
+  std::int64_t control_record_bytes = 25;
+};
+
+/// Costs the MPI layer charges to the calling processor (the SPARC on the
+/// Meiko, the SGI host CPU over TCP). Transport costs are charged by the
+/// fabric itself.
+struct MpiCosts {
+  Duration envelope_build{};       // per send: communicator/datatype/mode work
+  Duration match{};                // per matching attempt at the receiver
+  Duration match_per_entry{};      // per queue entry scanned
+  Duration unexpected_copy_base{}; // buffering an unmatched eager message
+  Duration unexpected_copy_per_byte{};
+  Duration bookkeeping{};          // request allocate/complete
+  /// Copy-out of a hardware-broadcast payload (bulk memcpy; cheaper than
+  /// the envelope-slot double copy of the eager path).
+  Duration bcast_copy_per_byte{};
+};
+
+class Fabric;
+
+/// One rank's attachment to the fabric.
+class Endpoint {
+ public:
+  Endpoint(Fabric& fabric, int rank) : fabric_(fabric), rank_(rank) {}
+  virtual ~Endpoint() = default;
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] Fabric& fabric() const { return fabric_; }
+  [[nodiscard]] TimePoint now() const;
+
+  /// Sends a control/eager/rdata message. Reliable; ordered per (src,dst).
+  /// Transport costs are charged to `self` and/or the modelled NIC.
+  virtual void send(sim::Actor& self, int dst, ProtoMsg msg) = 0;
+
+  /// Pull-mode fabrics: stages payload for a remote pull_bulk. `on_pulled`
+  /// fires when the data has left local memory (sender completion).
+  virtual std::uint64_t stage_bulk(sim::Actor& self, Bytes data,
+                                   std::function<void()> on_pulled);
+
+  /// Pull-mode fabrics: fetches remote staged data into local memory.
+  virtual void pull_bulk(sim::Actor& self, int src, std::uint64_t key,
+                         std::function<void(Bytes)> on_data);
+
+  /// Hardware broadcast to every other rank (caps().hw_broadcast only).
+  virtual void hw_broadcast(sim::Actor& self, ProtoMsg msg);
+
+  /// Dequeues the next arrived message, if any. Stream fabrics perform the
+  /// actual (charged) socket reads here, which is why `self` is needed.
+  virtual std::optional<ProtoMsg> poll(sim::Actor& self);
+
+  /// Blocks until something may have arrived. Condition-variable
+  /// semantics: callers re-check poll() in a loop.
+  void wait_activity(sim::Actor& self);
+
+  /// Wakes a blocked wait_activity without a delivery (completion
+  /// callbacks — e.g. a DMA pull finishing — use this).
+  void wake() { activity_.notify_all(); }
+
+ protected:
+  /// Delivery from the fabric's event machinery: enqueue + wake.
+  void deliver(ProtoMsg msg);
+  /// Wakes a blocked engine without delivering (e.g. readable stream).
+  void notify_activity() { activity_.notify_all(); }
+
+  Fabric& fabric_;
+  int rank_;
+  std::deque<ProtoMsg> incoming_;
+  sim::Trigger activity_;
+};
+
+class Fabric {
+ public:
+  virtual ~Fabric() = default;
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  [[nodiscard]] virtual int nranks() const = 0;
+  [[nodiscard]] virtual Endpoint& endpoint(int rank) = 0;
+  [[nodiscard]] const FabricCaps& caps() const { return caps_; }
+  [[nodiscard]] const MpiCosts& mpi_costs() const { return mpi_costs_; }
+  [[nodiscard]] sim::Kernel& kernel() const { return kernel_; }
+
+ protected:
+  Fabric(sim::Kernel& kernel, FabricCaps caps, MpiCosts costs)
+      : kernel_(kernel), caps_(caps), mpi_costs_(costs) {}
+
+  sim::Kernel& kernel_;
+  FabricCaps caps_;
+  MpiCosts mpi_costs_;
+};
+
+}  // namespace lcmpi::fabric

@@ -1,0 +1,57 @@
+#include "src/fabric/loop_fabric.h"
+
+namespace lcmpi::fabric {
+
+LoopFabric::LoopFabric(sim::Kernel& kernel, int nranks, Options opt)
+    : Fabric(kernel, opt.caps, opt.costs), opt_(opt) {
+  for (int i = 0; i < nranks; ++i) eps_.push_back(std::make_unique<Ep>(*this, i));
+}
+
+Endpoint& LoopFabric::endpoint(int rank) {
+  LCMPI_CHECK(rank >= 0 && rank < nranks(), "rank out of range");
+  return *eps_[static_cast<std::size_t>(rank)];
+}
+
+void LoopFabric::Ep::send(sim::Actor&, int dst, ProtoMsg msg) {
+  msg.src = rank_;
+  Ep& target = *owner_.eps_[static_cast<std::size_t>(dst)];
+  fabric_.kernel().schedule(owner_.opt_.latency, [&target, msg = std::move(msg)]() mutable {
+    target.receive(std::move(msg));
+  });
+}
+
+std::uint64_t LoopFabric::Ep::stage_bulk(sim::Actor&, Bytes data,
+                                         std::function<void()> on_pulled) {
+  const std::uint64_t key = next_key_++;
+  staged_.emplace(key, Staged{std::move(data), std::move(on_pulled)});
+  return key;
+}
+
+void LoopFabric::Ep::pull_bulk(sim::Actor&, int src, std::uint64_t key,
+                               std::function<void(Bytes)> on_data) {
+  Ep& source = *owner_.eps_[static_cast<std::size_t>(src)];
+  fabric_.kernel().schedule(owner_.opt_.latency, [&source, key,
+                                                  on_data = std::move(on_data)]() mutable {
+    auto it = source.staged_.find(key);
+    LCMPI_CHECK(it != source.staged_.end(), "pull of unknown staged key");
+    Bytes data = std::move(it->second.data);
+    auto on_pulled = std::move(it->second.on_pulled);
+    source.staged_.erase(it);
+    if (on_pulled) on_pulled();
+    on_data(std::move(data));
+  });
+}
+
+void LoopFabric::Ep::hw_broadcast(sim::Actor&, ProtoMsg msg) {
+  msg.src = rank_;
+  for (auto& ep : owner_.eps_) {
+    if (ep.get() == this) continue;
+    ProtoMsg copy = msg;
+    Ep* target = ep.get();
+    fabric_.kernel().schedule(owner_.opt_.latency, [target, copy = std::move(copy)]() mutable {
+      target->receive(std::move(copy));
+    });
+  }
+}
+
+}  // namespace lcmpi::fabric

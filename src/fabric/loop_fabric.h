@@ -1,0 +1,68 @@
+// LoopFabric — an idealised in-memory fabric for semantics testing.
+//
+// Delivers messages directly between endpoints after a small fixed
+// latency, with no network model in the way. Capabilities (flow control,
+// pull vs push rendezvous, hardware broadcast, thresholds) are fully
+// configurable, so the MPI engine's protocol branches can each be
+// exercised in isolation — including failure injection via an optional
+// per-message delivery filter.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/fabric/fabric.h"
+
+namespace lcmpi::fabric {
+
+class LoopFabric final : public Fabric {
+ public:
+  struct Options {
+    FabricCaps caps;
+    MpiCosts costs;
+    Duration latency = microseconds(1.0);
+    Options() {
+      caps.hw_broadcast = true;
+      caps.pull_bulk = true;
+      caps.flow = FlowControl::kNone;
+      caps.eager_threshold = 180;
+    }
+  };
+
+  LoopFabric(sim::Kernel& kernel, int nranks, Options opt = {});
+
+  [[nodiscard]] int nranks() const override { return static_cast<int>(eps_.size()); }
+  [[nodiscard]] Endpoint& endpoint(int rank) override;
+
+ private:
+  class Ep;
+  Options opt_;
+  std::vector<std::unique_ptr<Ep>> eps_;
+};
+
+class LoopFabric::Ep final : public Endpoint {
+ public:
+  Ep(LoopFabric& f, int rank) : Endpoint(f, rank), owner_(f) {}
+
+  void send(sim::Actor& self, int dst, ProtoMsg msg) override;
+  std::uint64_t stage_bulk(sim::Actor& self, Bytes data,
+                           std::function<void()> on_pulled) override;
+  void pull_bulk(sim::Actor& self, int src, std::uint64_t key,
+                 std::function<void(Bytes)> on_data) override;
+  void hw_broadcast(sim::Actor& self, ProtoMsg msg) override;
+
+  void receive(ProtoMsg msg) { deliver(std::move(msg)); }
+
+ private:
+  friend class LoopFabric;
+  LoopFabric& owner_;
+  struct Staged {
+    Bytes data;
+    std::function<void()> on_pulled;
+  };
+  std::map<std::uint64_t, Staged> staged_;
+  std::uint64_t next_key_ = 1;
+};
+
+}  // namespace lcmpi::fabric

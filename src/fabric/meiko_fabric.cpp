@@ -1,0 +1,121 @@
+#include "src/fabric/meiko_fabric.h"
+
+#include <utility>
+
+namespace lcmpi::fabric {
+namespace {
+
+// Transaction wire encoding of a ProtoMsg (envelope + optional payload).
+Bytes encode(const ProtoMsg& m) {
+  Bytes out;
+  ByteWriter w(out);
+  w.put(static_cast<std::uint8_t>(m.kind));
+  w.put(m.tag);
+  w.put(m.context);
+  w.put(m.mode);
+  w.put(m.size);
+  w.put(m.sender_req);
+  w.put(m.bulk_key);
+  w.put(m.seq);
+  w.put_bytes(m.payload.data(), m.payload.size());
+  return out;
+}
+
+ProtoMsg decode(int src, const Bytes& data) {
+  ByteReader r(data);
+  ProtoMsg m;
+  m.kind = static_cast<MsgKind>(r.get<std::uint8_t>());
+  m.tag = r.get<std::int32_t>();
+  m.context = r.get<std::uint32_t>();
+  m.mode = r.get<std::uint8_t>();
+  m.size = r.get<std::uint32_t>();
+  m.sender_req = r.get<std::uint64_t>();
+  m.bulk_key = r.get<std::uint64_t>();
+  m.seq = r.get<std::uint64_t>();
+  m.src = src;
+  m.payload = r.rest();
+  return m;
+}
+
+}  // namespace
+
+FabricCaps MeikoFabric::caps_from(const meiko::Calib& c) {
+  FabricCaps caps;
+  caps.hw_broadcast = true;
+  caps.pull_bulk = true;
+  caps.flow = FlowControl::kSingleSlot;
+  caps.eager_threshold = c.eager_threshold;
+  caps.control_record_bytes = 25;
+  return caps;
+}
+
+MpiCosts MeikoFabric::costs_from(const meiko::Calib& c) {
+  MpiCosts m;
+  m.envelope_build = c.mpi_envelope_build;
+  m.match = c.mpi_match;
+  m.match_per_entry = c.mpi_match_per_entry;
+  m.unexpected_copy_base = c.mpi_eager_copy_base;
+  m.unexpected_copy_per_byte = c.mpi_eager_copy_per_byte;
+  m.bookkeeping = c.mpi_request_bookkeeping;
+  m.bcast_copy_per_byte = c.mpi_bcast_copy_per_byte;
+  return m;
+}
+
+MeikoFabric::MeikoFabric(meiko::Machine& machine)
+    : Fabric(machine.kernel(), caps_from(machine.calib()), costs_from(machine.calib())),
+      machine_(machine) {
+  for (int i = 0; i < machine.size(); ++i)
+    eps_.push_back(std::make_unique<Ep>(*this, i));
+}
+
+Endpoint& MeikoFabric::endpoint(int rank) {
+  LCMPI_CHECK(rank >= 0 && rank < nranks(), "rank out of range");
+  return *eps_[static_cast<std::size_t>(rank)];
+}
+
+MeikoFabric::Ep::Ep(MeikoFabric& f, int rank) : Endpoint(f, rank), owner_(f) {
+  meiko::Node& node = f.machine().node(rank);
+  node.set_txn_handler(kMpiTxnPort, [this](meiko::TxnDelivery d) {
+    deliver(decode(d.src, d.data));
+  });
+  node.set_bcast_handler(kMpiBcastPort, [this](meiko::TxnDelivery d) {
+    deliver(decode(d.src, d.data));
+  });
+}
+
+void MeikoFabric::Ep::send(sim::Actor& self, int dst, ProtoMsg msg) {
+  const meiko::Calib& c = owner_.machine().calib();
+  self.advance(c.sparc_issue_txn);
+  msg.src = rank_;
+  owner_.machine().txn(rank_, dst, kMpiTxnPort, encode(msg));
+}
+
+std::uint64_t MeikoFabric::Ep::stage_bulk(sim::Actor& self, Bytes data,
+                                          std::function<void()> on_pulled) {
+  const meiko::Calib& c = owner_.machine().calib();
+  self.advance(c.dma_setup_sparc);
+  return owner_.machine().node(rank_).stage_dma(std::move(data), std::move(on_pulled));
+}
+
+void MeikoFabric::Ep::pull_bulk(sim::Actor& self, int src, std::uint64_t key,
+                                std::function<void(Bytes)> on_data) {
+  const meiko::Calib& c = owner_.machine().calib();
+  self.advance(c.dma_setup_sparc);
+  owner_.machine().dma_get(rank_, src, key, std::move(on_data));
+}
+
+void MeikoFabric::Ep::hw_broadcast(sim::Actor& self, ProtoMsg msg) {
+  const meiko::Calib& c = owner_.machine().calib();
+  self.advance(c.sparc_issue_txn);
+  msg.src = rank_;
+  owner_.machine().broadcast(rank_, kMpiBcastPort, encode(msg));
+}
+
+std::optional<ProtoMsg> MeikoFabric::Ep::poll(sim::Actor& self) {
+  auto m = Endpoint::poll(self);
+  // The SPARC notices the Elan event and reads the deposited slot.
+  if (m) self.advance(owner_.machine().calib().sparc_poll_deliver);
+  return m;
+}
+
+}  // namespace lcmpi::fabric

@@ -1,0 +1,101 @@
+// Host software cost model for the simulated internet stack.
+//
+// The paper's Table 1 shows that MPI-over-TCP latency is dominated by
+// *kernel boundary crossings* on the 133 MHz SGI hosts: a 1-byte read()
+// costs 65 us through the Ethernet driver and 85 us through the Fore
+// STREAMS stack; raw 1-byte round trips are 925 us (Ethernet) and 1065 us
+// (ATM). A DriverProfile captures those per-operation costs for one
+// network attachment; the cluster stack charges them at syscall and
+// interrupt time. Per-byte costs are piecewise: small writes pay the
+// mbuf-chain rate, large writes the bulk-copy rate (this is what makes the
+// 25-byte MPI header measurably expensive on Ethernet — Table 1 line 2 —
+// without wrecking large-transfer bandwidth).
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/time.h"
+
+namespace lcmpi::inet {
+
+struct DriverProfile {
+  // ---- app-thread transmit path -------------------------------------------
+  /// Fixed cost of a write()/send() syscall incl. protocol output.
+  Duration write_syscall{};
+  /// Per-byte cost for the first `small_copy_limit` bytes of a write.
+  Duration write_per_byte_small{};
+  /// Per-byte cost beyond `small_copy_limit` (bulk copy path).
+  Duration write_per_byte_bulk{};
+  std::int64_t small_copy_limit = 64;
+
+  // ---- kernel transmit path (off the app thread) --------------------------
+  /// Per-segment driver/protocol cost, charged on the host tx server.
+  Duration tx_per_segment{};
+
+  // ---- receive path ---------------------------------------------------------
+  /// Interrupt + protocol cost per arriving segment (softirq server).
+  Duration rx_per_segment{};
+  /// Scheduling delay to wake a blocked reader.
+  Duration sock_wakeup{};
+  /// Fixed cost of a read()/recv() syscall (Table 1: 65 us Eth, 85 us ATM).
+  Duration read_syscall{};
+  /// Per-byte copy-out cost on read.
+  Duration read_per_byte{};
+
+  // ---- TCP engine -----------------------------------------------------------
+  /// Retransmission timeout (go-back-N recovery). BSD-era stacks floor
+  /// this high: on the 10 Mb/s shared Ethernet a full 64 KB window takes
+  /// >50 ms to drain, and ACKs queue behind it on the bus, so a short RTO
+  /// causes spurious go-back-N storms.
+  Duration rto = milliseconds(250);
+  /// Delayed-ACK timer: pure ACKs wait this long for piggyback chances.
+  Duration delayed_ack = microseconds(400);
+  /// Socket buffer sizes (bytes).
+  std::int64_t sndbuf = 65536;
+  std::int64_t rcvbuf = 65536;
+  /// Transport header bytes modelled per segment (TCP/IP or UDP/IP).
+  std::int64_t header_bytes = 40;
+};
+
+/// TCP/UDP through the BSD-style Ethernet driver.
+inline DriverProfile ethernet_profile() {
+  DriverProfile p;
+  p.write_syscall = microseconds(150);
+  p.write_per_byte_small = microseconds(1.8);
+  p.write_per_byte_bulk = nanoseconds(45);
+  p.tx_per_segment = microseconds(30);
+  p.rx_per_segment = microseconds(120);
+  p.sock_wakeup = microseconds(30);
+  p.read_syscall = microseconds(65);
+  p.read_per_byte = nanoseconds(40);
+  return p;
+}
+
+/// TCP/UDP through the Fore STREAMS stack on the ATM interface.
+inline DriverProfile atm_profile() {
+  DriverProfile p;
+  p.write_syscall = microseconds(190);
+  p.write_per_byte_small = microseconds(0.2);  // i960 does checksum/SAR work
+  p.write_per_byte_bulk = nanoseconds(30);
+  p.tx_per_segment = microseconds(40);
+  p.rx_per_segment = microseconds(160);
+  p.sock_wakeup = microseconds(30);
+  p.read_syscall = microseconds(85);
+  p.read_per_byte = nanoseconds(35);
+  return p;
+}
+
+/// The Fore API's direct AAL3/4 access path: skips IP/TCP processing but
+/// still crosses the same STREAMS modules, so it is only marginally
+/// cheaper — the paper's Fig. 4 observation.
+inline DriverProfile fore_aal_profile() {
+  DriverProfile p = atm_profile();
+  p.write_syscall = microseconds(150);
+  p.tx_per_segment = microseconds(25);
+  p.rx_per_segment = microseconds(130);
+  p.read_syscall = microseconds(80);
+  p.header_bytes = 8;  // AAL headers only, no IP/UDP
+  return p;
+}
+
+}  // namespace lcmpi::inet

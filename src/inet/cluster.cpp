@@ -1,0 +1,212 @@
+#include "src/inet/cluster.h"
+
+#include <algorithm>
+
+#include "src/inet/tcp.h"
+
+namespace lcmpi::inet {
+namespace {
+
+constexpr std::uint8_t kProtoTcp = 1;
+constexpr std::uint8_t kProtoUdp = 2;
+constexpr std::uint8_t kProtoRaw = 3;
+
+std::uint64_t sock_key(int host, std::uint16_t port, bool raw) {
+  return (static_cast<std::uint64_t>(raw) << 48) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(host)) << 16) | port;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- DatagramSocket
+
+DatagramSocket::DatagramSocket(InetCluster& cluster, int host, std::uint16_t port, bool raw)
+    : cluster_(cluster), host_(host), port_(port), raw_(raw) {}
+
+std::int64_t DatagramSocket::max_payload() const {
+  const DriverProfile& p = raw_ ? cluster_.raw_profile() : cluster_.profile();
+  return cluster_.network().mtu() - p.header_bytes - 6 /*our demux header*/;
+}
+
+void DatagramSocket::send_to(sim::Actor& self, int dst_host, std::uint16_t dst_port,
+                             Bytes data) {
+  LCMPI_CHECK(static_cast<std::int64_t>(data.size()) <= max_payload(),
+              "datagram exceeds maximum payload");
+  const DriverProfile& p = raw_ ? cluster_.raw_profile() : cluster_.profile();
+  InetCluster::charge_write(self, p, static_cast<std::int64_t>(data.size()));
+  Bytes pdu;
+  ByteWriter w(pdu);
+  w.put(raw_ ? kProtoRaw : kProtoUdp);
+  w.put(port_);
+  w.put(dst_port);
+  w.put_bytes(data.data(), data.size());
+  cluster_.kernel_send(host_, dst_host, std::move(pdu), raw_);
+}
+
+void DatagramSocket::on_arrival(Datagram d) {
+  if (on_arrival_cb_) {
+    on_arrival_cb_(std::move(d));
+    return;
+  }
+  if (queue_.size() >= max_queued_) {
+    ++dropped_overflow_;  // kernel socket buffer overflow: silently dropped
+    return;
+  }
+  queue_.push_back(std::move(d));
+  const DriverProfile& p = raw_ ? cluster_.raw_profile() : cluster_.profile();
+  cluster_.kernel().schedule(p.sock_wakeup, [this] { readable_.notify_all(); });
+}
+
+void DatagramSocket::engine_send(int dst_host, std::uint16_t dst_port, Bytes data,
+                                 Duration cost) {
+  LCMPI_CHECK(static_cast<std::int64_t>(data.size()) <= max_payload(),
+              "datagram exceeds maximum payload");
+  Bytes pdu;
+  ByteWriter w(pdu);
+  w.put(raw_ ? kProtoRaw : kProtoUdp);
+  w.put(port_);
+  w.put(dst_port);
+  w.put_bytes(data.data(), data.size());
+  cluster_.kernel_send(host_, dst_host, std::move(pdu), raw_, cost);
+}
+
+void DatagramSocket::send_broadcast(sim::Actor& self, std::uint16_t dst_port, Bytes data) {
+  LCMPI_CHECK(static_cast<std::int64_t>(data.size()) <= max_payload(),
+              "datagram exceeds maximum payload");
+  LCMPI_CHECK(cluster_.network().supports_broadcast(),
+              "medium does not support broadcast");
+  const DriverProfile& p = raw_ ? cluster_.raw_profile() : cluster_.profile();
+  InetCluster::charge_write(self, p, static_cast<std::int64_t>(data.size()));
+  Bytes pdu;
+  ByteWriter w(pdu);
+  w.put(raw_ ? kProtoRaw : kProtoUdp);
+  w.put(port_);
+  w.put(dst_port);
+  w.put_bytes(data.data(), data.size());
+  cluster_.kernel_broadcast(host_, std::move(pdu), raw_);
+}
+
+Datagram DatagramSocket::recv(sim::Actor& self) {
+  while (queue_.empty()) self.wait(readable_);
+  Datagram d = std::move(queue_.front());
+  queue_.pop_front();
+  const DriverProfile& p = raw_ ? cluster_.raw_profile() : cluster_.profile();
+  InetCluster::charge_read(self, p, static_cast<std::int64_t>(d.data.size()));
+  return d;
+}
+
+std::optional<Datagram> DatagramSocket::try_recv(sim::Actor& self) {
+  if (queue_.empty()) return std::nullopt;
+  return recv(self);
+}
+
+std::optional<Datagram> DatagramSocket::recv_timeout(sim::Actor& self, Duration timeout) {
+  const TimePoint deadline = self.now() + timeout;
+  while (queue_.empty()) {
+    const Duration left = deadline - self.now();
+    if (left.ns <= 0) return std::nullopt;
+    self.wait_with_timeout(readable_, left);
+  }
+  return recv(self);
+}
+
+// -------------------------------------------------------------- InetCluster
+
+InetCluster::InetCluster(atmnet::Network& net, DriverProfile profile,
+                         DriverProfile raw_profile)
+    : net_(net), profile_(profile), raw_profile_(raw_profile) {
+  for (int h = 0; h < net.size(); ++h) {
+    tx_.push_back(std::make_unique<sim::FifoServer>(kernel()));
+    softirq_.push_back(std::make_unique<sim::FifoServer>(kernel()));
+    net_.set_handler(h, [this, h](int src, Bytes pdu) { on_pdu(h, src, std::move(pdu)); });
+  }
+}
+
+InetCluster::~InetCluster() = default;
+
+TcpConnection& InetCluster::tcp_pair(int host_a, int host_b) {
+  const auto conn_id = static_cast<std::uint32_t>(tcp_conns_.size());
+  tcp_conns_.push_back(std::make_unique<TcpConnection>(*this, host_a, host_b, conn_id));
+  return *tcp_conns_.back();
+}
+
+DatagramSocket& InetCluster::udp_socket(int host, std::uint16_t port) {
+  const std::uint64_t key = sock_key(host, port, false);
+  LCMPI_CHECK(dgram_socks_.find(key) == dgram_socks_.end(), "port already bound");
+  auto& slot = dgram_socks_[key];
+  slot.reset(new DatagramSocket(*this, host, port, false));
+  return *slot;
+}
+
+DatagramSocket& InetCluster::raw_socket(int host, std::uint16_t port) {
+  const std::uint64_t key = sock_key(host, port, true);
+  LCMPI_CHECK(dgram_socks_.find(key) == dgram_socks_.end(), "port already bound");
+  auto& slot = dgram_socks_[key];
+  slot.reset(new DatagramSocket(*this, host, port, true));
+  return *slot;
+}
+
+void InetCluster::charge_write(sim::Actor& self, const DriverProfile& p, std::int64_t n) {
+  const std::int64_t small = std::min(n, p.small_copy_limit);
+  const std::int64_t bulk = n - small;
+  self.advance(p.write_syscall + p.write_per_byte_small * small + p.write_per_byte_bulk * bulk);
+}
+
+void InetCluster::charge_read(sim::Actor& self, const DriverProfile& p, std::int64_t n) {
+  self.advance(p.read_syscall + p.read_per_byte * n);
+}
+
+void InetCluster::kernel_send(int src, int dst, Bytes pdu, bool raw_path,
+                              Duration extra_cost) {
+  const DriverProfile& p = raw_path ? raw_profile_ : profile_;
+  tx_server(src).submit(p.tx_per_segment + extra_cost,
+                        [this, src, dst, pdu = std::move(pdu)]() mutable {
+    if (src == dst) {
+      // Loopback: straight to the local softirq path, no wire.
+      on_pdu(dst, src, std::move(pdu));
+    } else {
+      net_.send(src, dst, std::move(pdu));
+    }
+  });
+}
+
+void InetCluster::kernel_broadcast(int src, Bytes pdu, bool raw_path) {
+  const DriverProfile& p = raw_path ? raw_profile_ : profile_;
+  tx_server(src).submit(p.tx_per_segment, [this, src, pdu = std::move(pdu)]() mutable {
+    net_.broadcast(src, std::move(pdu));
+  });
+}
+
+void InetCluster::on_pdu(int host, int src, Bytes pdu) {
+  LCMPI_CHECK(!pdu.empty(), "empty PDU");
+  const auto proto = static_cast<std::uint8_t>(pdu[0]);
+  const DriverProfile& p = proto == kProtoRaw ? raw_profile_ : profile_;
+  softirq(host).submit(p.rx_per_segment, [this, host, src, pdu = std::move(pdu)]() mutable {
+    ByteReader r(pdu);
+    const auto proto2 = r.get<std::uint8_t>();
+    if (proto2 == kProtoTcp) {
+      const auto conn = r.get<std::uint32_t>();
+      const auto to_side = r.get<std::uint8_t>();
+      const auto seq = r.get<std::uint64_t>();
+      const auto ack = r.get<std::uint64_t>();
+      const auto wnd = r.get<std::int64_t>();
+      const auto len = r.get<std::uint32_t>();
+      LCMPI_CHECK(conn < tcp_conns_.size(), "segment for unknown connection");
+      Bytes payload = r.rest();
+      LCMPI_CHECK(payload.size() == len, "segment length mismatch");
+      TcpConnection& c = *tcp_conns_[conn];
+      TcpEndpoint& e = to_side == 0 ? c.a() : c.b();
+      LCMPI_CHECK(e.host_ == host, "segment routed to wrong host");
+      e.on_segment(seq, ack, wnd, std::move(payload));
+    } else {
+      const auto sport = r.get<std::uint16_t>();
+      const auto dport = r.get<std::uint16_t>();
+      const std::uint64_t key = sock_key(host, dport, proto2 == kProtoRaw);
+      auto it = dgram_socks_.find(key);
+      if (it == dgram_socks_.end()) return;  // no listener: datagram vanishes
+      it->second->on_arrival(Datagram{src, sport, r.rest()});
+    }
+  });
+}
+
+}  // namespace lcmpi::inet

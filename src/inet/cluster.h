@@ -1,0 +1,146 @@
+// InetCluster — the hosts' kernel network stacks over one shared medium.
+//
+// Owns per-host servers for interrupt-side work, demultiplexes arriving
+// PDUs to TCP connections / UDP sockets / raw (Fore API) sockets, and
+// charges every syscall-shaped operation per the attachment's
+// DriverProfile. One InetCluster models one network attachment: build one
+// over an AtmNetwork with atm_profile() and another over an
+// EthernetNetwork with ethernet_profile() to compare the two media.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/atmnet/network.h"
+#include "src/inet/calib.h"
+#include "src/sim/mailbox.h"
+#include "src/sim/server.h"
+
+namespace lcmpi::inet {
+
+class TcpEndpoint;
+class TcpConnection;
+
+/// A datagram as seen by UDP / raw sockets.
+struct Datagram {
+  int src_host = -1;
+  std::uint16_t src_port = 0;
+  Bytes data;
+};
+
+/// Connectionless socket (UDP, or the Fore API's AAL3/4 access). Datagram
+/// semantics: unreliable (drops under loss injection or queue overflow),
+/// but never reordered by the media models here.
+class DatagramSocket {
+ public:
+  DatagramSocket(const DatagramSocket&) = delete;
+  DatagramSocket& operator=(const DatagramSocket&) = delete;
+
+  /// Blocking sendto: charges the app thread for the syscall + copy, then
+  /// hands the datagram to the kernel tx path. Max size = MTU - headers.
+  void send_to(sim::Actor& self, int dst_host, std::uint16_t dst_port, Bytes data);
+
+  /// Event-context sendto for protocol engines: no actor is charged; the
+  /// given cost (the engine's notional syscall work) lands on the tx server.
+  void engine_send(int dst_host, std::uint16_t dst_port, Bytes data, Duration cost);
+
+  /// Broadcast sendto: one transmission reaches every other host's socket
+  /// bound to `dst_port` (media with hardware broadcast only — Ethernet).
+  /// This is the mechanism Bruck et al. exploit for collective operations.
+  void send_broadcast(sim::Actor& self, std::uint16_t dst_port, Bytes data);
+
+  /// Blocking receive.
+  Datagram recv(sim::Actor& self);
+  /// Nonblocking receive.
+  std::optional<Datagram> try_recv(sim::Actor& self);
+  /// Receive with timeout; nullopt if nothing arrives in time.
+  std::optional<Datagram> recv_timeout(sim::Actor& self, Duration timeout);
+
+  /// Switches the socket to callback delivery: arriving datagrams bypass
+  /// the receive queue and invoke `fn` in kernel context (after receive
+  /// charges). Used by protocol engines (reliable-UDP) that must react to
+  /// ACKs while the application is blocked elsewhere.
+  void set_on_arrival(std::function<void(Datagram)> fn) { on_arrival_cb_ = std::move(fn); }
+
+  [[nodiscard]] std::size_t queued() const { return queue_.size(); }
+  [[nodiscard]] int host() const { return host_; }
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] std::int64_t max_payload() const;
+  [[nodiscard]] std::int64_t dropped_overflow() const { return dropped_overflow_; }
+
+ private:
+  friend class InetCluster;
+  DatagramSocket(class InetCluster& cluster, int host, std::uint16_t port, bool raw);
+  void on_arrival(Datagram d);  // kernel context, after rx charges
+
+  class InetCluster& cluster_;
+  int host_;
+  std::uint16_t port_;
+  bool raw_;
+  std::deque<Datagram> queue_;
+  std::function<void(Datagram)> on_arrival_cb_;
+  sim::Trigger readable_;
+  std::size_t max_queued_ = 64;  // kernel socket buffer, in datagrams
+  std::int64_t dropped_overflow_ = 0;
+};
+
+class InetCluster {
+ public:
+  /// `profile` describes this attachment's driver costs; raw sockets use
+  /// `raw_profile` (the Fore API path) and may differ.
+  InetCluster(atmnet::Network& net, DriverProfile profile,
+              DriverProfile raw_profile = fore_aal_profile());
+  ~InetCluster();
+  InetCluster(const InetCluster&) = delete;
+  InetCluster& operator=(const InetCluster&) = delete;
+
+  [[nodiscard]] int size() const { return net_.size(); }
+  [[nodiscard]] sim::Kernel& kernel() const { return net_.kernel(); }
+  [[nodiscard]] const DriverProfile& profile() const { return profile_; }
+  [[nodiscard]] const DriverProfile& raw_profile() const { return raw_profile_; }
+  [[nodiscard]] atmnet::Network& network() const { return net_; }
+
+  /// Creates a pre-connected TCP connection between two hosts (the paper's
+  /// clusters use static connections; setup dynamics are out of scope).
+  TcpConnection& tcp_pair(int host_a, int host_b);
+
+  /// Binds a UDP socket on `host`:`port`.
+  DatagramSocket& udp_socket(int host, std::uint16_t port);
+  /// Binds a Fore-API (raw AAL) socket on `host`:`port`.
+  DatagramSocket& raw_socket(int host, std::uint16_t port);
+
+  // --- internals used by sockets/endpoints ---------------------------------
+  sim::FifoServer& tx_server(int host) { return *tx_[static_cast<std::size_t>(host)]; }
+  sim::FifoServer& softirq(int host) { return *softirq_[static_cast<std::size_t>(host)]; }
+
+  /// Kernel tx path: per-segment cost (plus `extra_cost`, e.g. a user-level
+  /// protocol's syscall) on the host tx server, then the wire.
+  void kernel_send(int src, int dst, Bytes pdu, bool raw_path,
+                   Duration extra_cost = Duration{});
+
+  /// Kernel tx path for link-layer broadcast (requires medium support).
+  void kernel_broadcast(int src, Bytes pdu, bool raw_path);
+
+  /// Charges an app-thread write of `n` payload bytes per `p`.
+  static void charge_write(sim::Actor& self, const DriverProfile& p, std::int64_t n);
+  /// Charges an app-thread read of `n` payload bytes per `p`.
+  static void charge_read(sim::Actor& self, const DriverProfile& p, std::int64_t n);
+
+ private:
+  void on_pdu(int host, int src, Bytes pdu);
+
+  atmnet::Network& net_;
+  DriverProfile profile_;
+  DriverProfile raw_profile_;
+  std::vector<std::unique_ptr<sim::FifoServer>> tx_;
+  std::vector<std::unique_ptr<sim::FifoServer>> softirq_;
+  std::map<std::uint64_t, std::unique_ptr<DatagramSocket>> dgram_socks_;  // host:port:raw
+  std::vector<std::unique_ptr<TcpConnection>> tcp_conns_;
+  friend class TcpEndpoint;
+};
+
+}  // namespace lcmpi::inet

@@ -1,0 +1,172 @@
+#include "src/inet/rudp.h"
+
+#include <algorithm>
+
+namespace lcmpi::inet {
+namespace {
+
+constexpr std::uint8_t kData = 1;
+constexpr std::uint8_t kAck = 2;
+constexpr std::int64_t kMaxChunk = 4096;
+
+}  // namespace
+
+// -------------------------------------------------------------- RudpChannel
+
+RudpChannel::RudpChannel(InetCluster& cluster, int host_a, int host_b,
+                         std::uint16_t port_base)
+    : host_a_(host_a), host_b_(host_b) {
+  DatagramSocket& sa = cluster.udp_socket(host_a, port_base);
+  DatagramSocket& sb = cluster.udp_socket(host_b, static_cast<std::uint16_t>(port_base + 1));
+  a_.attach(cluster, sa, host_b, sb.port());
+  b_.attach(cluster, sb, host_a, sa.port());
+}
+
+RudpEndpoint& RudpChannel::on_host(int host) {
+  if (host == host_a_) return a_;
+  LCMPI_CHECK(host == host_b_, "host is not an endpoint of this channel");
+  return b_;
+}
+
+// ------------------------------------------------------------- RudpEndpoint
+
+void RudpEndpoint::attach(InetCluster& cluster, DatagramSocket& sock, int peer_host,
+                          std::uint16_t peer_port) {
+  cluster_ = &cluster;
+  sock_ = &sock;
+  peer_host_ = peer_host;
+  peer_port_ = peer_port;
+  sock_->set_on_arrival([this](Datagram d) { on_datagram(std::move(d)); });
+}
+
+std::int64_t RudpEndpoint::chunk_size() const {
+  return std::min<std::int64_t>(kMaxChunk, sock_->max_payload() - 13 /*rudp header*/);
+}
+
+void RudpEndpoint::write(sim::Actor& self, const Bytes& data) {
+  // The application pays one write's worth of copy cost; the per-chunk
+  // syscalls are charged by the engine as the chunks go out.
+  InetCluster::charge_write(self, cluster_->profile(), static_cast<std::int64_t>(data.size()));
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    const std::int64_t space = sndbuf_ - static_cast<std::int64_t>(send_q_.size());
+    if (space <= 0) {
+      self.wait(writable_);
+      continue;
+    }
+    const std::size_t take =
+        std::min<std::size_t>(static_cast<std::size_t>(space), data.size() - offset);
+    send_q_.insert(send_q_.end(), data.begin() + static_cast<std::ptrdiff_t>(offset),
+                   data.begin() + static_cast<std::ptrdiff_t>(offset + take));
+    offset += take;
+    pump();
+  }
+}
+
+void RudpEndpoint::pump() {
+  for (;;) {
+    const std::int64_t unsent = static_cast<std::int64_t>(send_q_.size()) - in_flight();
+    const std::int64_t win_left = window_bytes_ - in_flight();
+    if (unsent <= 0 || win_left <= 0) break;
+    const std::int64_t len = std::min({unsent, win_left, chunk_size()});
+    Bytes payload(static_cast<std::size_t>(len));
+    const auto start = static_cast<std::size_t>(in_flight());
+    for (std::int64_t i = 0; i < len; ++i)
+      payload[static_cast<std::size_t>(i)] = send_q_[start + static_cast<std::size_t>(i)];
+    send_chunk(snd_nxt_, std::move(payload));
+    snd_nxt_ += static_cast<std::uint64_t>(len);
+  }
+  if (in_flight() > 0) arm_rto();
+}
+
+void RudpEndpoint::send_chunk(std::uint64_t seq, Bytes payload) {
+  Bytes msg;
+  ByteWriter w(msg);
+  w.put(kData);
+  w.put(seq);
+  w.put(static_cast<std::uint32_t>(payload.size()));
+  w.put_bytes(payload.data(), payload.size());
+  ++chunks_sent_;
+  // User-level protocol: each chunk is a sendto syscall.
+  sock_->engine_send(peer_host_, peer_port_, std::move(msg),
+                     cluster_->profile().write_syscall);
+}
+
+void RudpEndpoint::send_ack() {
+  Bytes msg;
+  ByteWriter w(msg);
+  w.put(kAck);
+  w.put(rcv_nxt_);
+  w.put(std::uint32_t{0});
+  sock_->engine_send(peer_host_, peer_port_, std::move(msg),
+                     cluster_->profile().write_syscall);
+}
+
+void RudpEndpoint::arm_rto() {
+  if (rto_armed_) return;
+  rto_armed_ = true;
+  rto_timer_ = cluster_->kernel().schedule(cluster_->profile().rto, [this] {
+    rto_armed_ = false;
+    on_rto();
+  });
+}
+
+void RudpEndpoint::on_rto() {
+  if (in_flight() == 0 && send_q_.empty()) return;
+  snd_nxt_ = snd_una_;  // go-back-N
+  ++retransmits_;
+  pump();
+  arm_rto();
+}
+
+void RudpEndpoint::on_datagram(Datagram d) {
+  ByteReader r(d.data);
+  const auto kind = r.get<std::uint8_t>();
+  const auto seq = r.get<std::uint64_t>();
+  const auto len = r.get<std::uint32_t>();
+  if (kind == kAck) {
+    if (seq > snd_una_) {
+      const auto acked = static_cast<std::size_t>(seq - snd_una_);
+      LCMPI_CHECK(acked <= send_q_.size(), "RUDP ACK beyond sent data");
+      send_q_.erase(send_q_.begin(), send_q_.begin() + static_cast<std::ptrdiff_t>(acked));
+      snd_una_ = seq;
+      if (snd_nxt_ < snd_una_) snd_nxt_ = snd_una_;
+      if (rto_armed_) {
+        rto_timer_.cancel();
+        rto_armed_ = false;
+      }
+      writable_.notify_all();
+      pump();
+    }
+    return;
+  }
+  LCMPI_CHECK(kind == kData, "unknown RUDP datagram kind");
+  Bytes payload = r.rest();
+  LCMPI_CHECK(payload.size() == len, "RUDP chunk length mismatch");
+  if (seq != rcv_nxt_) {
+    send_ack();  // duplicate or gap: re-ACK our position
+    return;
+  }
+  // User-level receive: the library recvfrom()s this chunk.
+  cluster_->softirq(sock_->host()).submit(cluster_->profile().read_syscall, [this] {});
+  rcv_buf_.insert(rcv_buf_.end(), payload.begin(), payload.end());
+  rcv_nxt_ += payload.size();
+  send_ack();
+  cluster_->kernel().schedule(cluster_->profile().sock_wakeup, [this] {
+    readable_.notify_all();
+    signal_readable();
+  });
+}
+
+Bytes RudpEndpoint::read(sim::Actor& self, std::size_t max) {
+  LCMPI_CHECK(max > 0, "zero-length read");
+  while (rcv_buf_.empty()) self.wait(readable_);
+  const std::size_t take = std::min(max, rcv_buf_.size());
+  // The app-level read out of the library's reassembly buffer: memcpy only.
+  self.advance(cluster_->profile().read_per_byte * static_cast<std::int64_t>(take));
+  Bytes out(rcv_buf_.begin(), rcv_buf_.begin() + static_cast<std::ptrdiff_t>(take));
+  rcv_buf_.erase(rcv_buf_.begin(), rcv_buf_.begin() + static_cast<std::ptrdiff_t>(take));
+  return out;
+}
+
+}  // namespace lcmpi::inet

@@ -1,0 +1,17 @@
+#include "src/inet/stream.h"
+
+#include <cstring>
+
+namespace lcmpi::inet {
+
+void StreamEndpoint::read_exact(sim::Actor& self, void* out, std::size_t n) {
+  auto* dst = static_cast<std::byte*>(out);
+  std::size_t got = 0;
+  while (got < n) {
+    Bytes chunk = read(self, n - got);
+    std::memcpy(dst + got, chunk.data(), chunk.size());
+    got += chunk.size();
+  }
+}
+
+}  // namespace lcmpi::inet

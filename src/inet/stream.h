@@ -1,0 +1,49 @@
+// StreamEndpoint — a blocking, reliable, ordered byte-stream interface.
+//
+// TcpEndpoint and RudpEndpoint both implement it, so everything written
+// against a stream (the MPI-over-TCP fabric, the bandwidth benches) runs
+// unchanged over either transport — exactly the reuse the paper describes
+// when it swaps TCP for reliable UDP and measures near-identical results.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "src/sim/kernel.h"
+#include "src/util/bytes.h"
+
+namespace lcmpi::inet {
+
+class StreamEndpoint {
+ public:
+  virtual ~StreamEndpoint() = default;
+
+  /// Blocking write of the whole buffer (waits for send-buffer space).
+  virtual void write(sim::Actor& self, const Bytes& data) = 0;
+
+  /// Blocking read of 1..max bytes (returns as soon as any data arrives).
+  virtual Bytes read(sim::Actor& self, std::size_t max) = 0;
+
+  /// Bytes currently readable without blocking.
+  [[nodiscard]] virtual std::size_t available() const = 0;
+
+  /// Blocking read of exactly n bytes.
+  void read_exact(sim::Actor& self, void* out, std::size_t n);
+
+  /// The peer's host id (ranks map 1:1 onto hosts in the MPI fabric).
+  [[nodiscard]] virtual int peer_host() const = 0;
+
+  /// Registers a kernel-context callback invoked whenever new bytes become
+  /// readable (select()-style readiness for a progress engine).
+  void set_on_readable(std::function<void()> fn) { on_readable_ = std::move(fn); }
+
+ protected:
+  void signal_readable() {
+    if (on_readable_) on_readable_();
+  }
+
+ private:
+  std::function<void()> on_readable_;
+};
+
+}  // namespace lcmpi::inet

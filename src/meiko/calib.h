@@ -1,0 +1,112 @@
+// Calibration constants for the Meiko CS/2 model.
+//
+// The CS/2 node pairs a 40 MHz SPARC main processor with a 10 MHz Elan
+// communications co-processor; nodes connect through a fat-tree network
+// with hardware broadcast, and the Elan drives a DMA engine whose best
+// observed bandwidth in the paper is 39 MB/s (Fig. 3).
+//
+// Constants are chosen so the modelled stacks land on the paper's measured
+// endpoints:
+//   * raw tport widget 1-byte round trip       =  52 us   (Fig. 2)
+//   * low-latency MPI (SPARC matching) 1 B RTT = 104 us   (Fig. 2)
+//   * MPICH-over-tport 1 B RTT                 = 210 us   (Fig. 2)
+//   * eager/rendezvous crossover               = 180 bytes (Fig. 1)
+//   * DMA asymptotic bandwidth                 =  39 MB/s  (Fig. 3)
+// The split between SPARC-side and Elan-side cost within a path follows the
+// paper's qualitative description (the 10 MHz Elan is the slow matching
+// engine; SPARC-Elan synchronisation is the extra tax on the MPICH path).
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/time.h"
+
+namespace lcmpi::meiko {
+
+struct Calib {
+  // --- raw network fabric -------------------------------------------------
+  /// One switch traversal of the CS/2 fat tree (few hundred ns in hardware;
+  /// we charge a single figure per network crossing).
+  Duration wire_latency = microseconds(1.0);
+
+  // --- remote transactions (small control packets / envelope deposits) ----
+  /// SPARC writes a command descriptor into the Elan input queue.
+  Duration sparc_issue_txn = microseconds(2.0);
+  /// Source Elan formats and launches the transaction packet.
+  Duration elan_txn_tx = microseconds(4.0);
+  /// Per-byte cost of moving transaction payload through the Elan.
+  Duration txn_per_byte = nanoseconds(12);
+  /// Destination Elan deposits the payload and raises the event flag.
+  Duration elan_txn_rx = microseconds(4.5);
+  /// SPARC observes the event and reads the deposited slot.
+  Duration sparc_poll_deliver = microseconds(4.0);
+
+  // --- DMA engine ----------------------------------------------------------
+  /// SPARC builds a DMA descriptor.
+  Duration dma_setup_sparc = microseconds(3.0);
+  /// Elan programs the engine / processes a DMA request arriving by wire.
+  Duration dma_setup_elan = microseconds(4.0);
+  /// 39 MB/s asymptote (Fig. 3): 1e9 / 39e6 = 25.64 ns per byte.
+  double dma_bytes_per_sec = 39e6;
+  /// Destination Elan retires the transfer and raises the completion event.
+  Duration dma_completion_elan = microseconds(4.0);
+
+  // --- hardware broadcast ---------------------------------------------------
+  /// Extra Elan cost to launch a broadcast rather than a unicast packet.
+  Duration bcast_extra_tx = microseconds(2.0);
+
+  // --- tport widget (Meiko's tagged message layer, matching on the Elan) ---
+  /// SPARC-side cost of the tport tx/rx calls themselves.
+  Duration tport_sparc_call = microseconds(3.0);
+  /// Elan-side processing of an outgoing tport message.
+  Duration tport_elan_tx = microseconds(5.0);
+  /// Elan-side matching of an arriving message against posted descriptors.
+  Duration tport_elan_match = microseconds(5.6);
+  /// Per posted-but-unmatched descriptor scanned by the 10 MHz Elan.
+  Duration tport_elan_match_per_entry = microseconds(0.8);
+  /// Elan -> SPARC completion notification (event write + SPARC pickup).
+  Duration tport_deliver = microseconds(4.0);
+  /// tport carries payloads at most this size inside the envelope packet;
+  /// larger messages go through an internal rendezvous to the DMA engine.
+  /// Generous (latency traded for bandwidth), per the paper's description.
+  std::int64_t tport_inline_max = 512;
+  /// Per-byte cost of inline payloads (Elan copies through its buffers).
+  Duration tport_inline_per_byte = nanoseconds(60);
+
+  // --- the paper's low-latency MPI path ------------------------------------
+  /// SPARC-side cost of building an MPI envelope (communicator, datatype,
+  /// mode handling) before issuing the transaction.
+  Duration mpi_envelope_build = microseconds(12.0);
+  /// SPARC-side matching against posted-receive / unexpected queues.
+  Duration mpi_match = microseconds(10.0);
+  /// Per queue entry scanned during matching (40 MHz SPARC: fast).
+  Duration mpi_match_per_entry = microseconds(0.25);
+  /// Copy from the receiver-side envelope slot to the user buffer (eager).
+  Duration mpi_eager_copy_base = microseconds(2.0);
+  /// Per-byte cost of the eager double-copy at the receiver. This is the
+  /// term that makes buffering lose to rendezvous past the crossover.
+  Duration mpi_eager_copy_per_byte = nanoseconds(120);
+  /// Request/handle bookkeeping per completed operation.
+  Duration mpi_request_bookkeeping = microseconds(4.0);
+  /// Copy-out of a hardware-broadcast payload (plain SPARC memcpy).
+  Duration mpi_bcast_copy_per_byte = nanoseconds(30);
+
+  // --- MPICH-over-tport baseline -------------------------------------------
+  /// MPICH ADI/device-layer cost per send or receive on the SPARC.
+  Duration mpich_adi_overhead = microseconds(52.0);
+  /// Extra SPARC <-> Elan synchronisation per operation: the SPARC must
+  /// learn about completions the Elan discovered in the background.
+  Duration mpich_elan_sync = microseconds(22.0);
+  /// Elan-side matching is busier under MPICH (context/tag demultiplexing
+  /// squeezed through tport tags on the 10 MHz co-processor).
+  Duration mpich_elan_extra_match = microseconds(6.0);
+
+  // --- protocol knobs --------------------------------------------------------
+  /// Eager/rendezvous switch (Fig. 1 crossover). Bytes.
+  std::int64_t eager_threshold = 180;
+  /// Size of the single per-sender envelope slot preallocated at every
+  /// receiver (envelope + max eager payload).
+  std::int64_t envelope_slot_bytes = 256;
+};
+
+}  // namespace lcmpi::meiko

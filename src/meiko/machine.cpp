@@ -1,0 +1,154 @@
+#include "src/meiko/machine.h"
+
+#include <utility>
+
+namespace lcmpi::meiko {
+
+std::uint64_t Node::stage_dma(Bytes data, std::function<void()> on_pulled) {
+  const std::uint64_t key = next_dma_key_++;
+  staged_.emplace(key, StagedDma{std::move(data), std::move(on_pulled)});
+  return key;
+}
+
+Machine::Machine(sim::Kernel& kernel, int nnodes, Calib calib)
+    : kernel_(kernel), calib_(calib) {
+  LCMPI_CHECK(nnodes >= 1, "machine needs at least one node");
+  nodes_.reserve(static_cast<std::size_t>(nnodes));
+  for (int i = 0; i < nnodes; ++i)
+    nodes_.push_back(std::make_unique<Node>(kernel, i));
+}
+
+Node& Machine::node(int i) {
+  LCMPI_CHECK(i >= 0 && i < size(), "node index out of range");
+  return *nodes_[static_cast<std::size_t>(i)];
+}
+
+void Machine::deliver_txn(int src, int dst, int port, Bytes data, bool broadcast_path) {
+  Node& d = node(dst);
+  d.elan_.submit(calib_.elan_txn_rx, [this, src, dst, port,
+                                      data = std::move(data), broadcast_path]() mutable {
+    Node& n = node(dst);
+    auto& handlers = broadcast_path ? n.on_bcast_ : n.on_txn_;
+    auto it = handlers.find(port);
+    LCMPI_CHECK(it != handlers.end() && it->second != nullptr,
+                "no handler registered for arriving packet");
+    it->second(TxnDelivery{src, port, std::move(data)});
+  });
+}
+
+void Machine::txn(int src, int dst, int port, Bytes data, std::function<void()> on_sent) {
+  Node& s = node(src);
+  const Duration tx_cost =
+      calib_.elan_txn_tx + calib_.txn_per_byte * static_cast<std::int64_t>(data.size());
+  s.elan_.submit(tx_cost, [this, src, dst, port, data = std::move(data),
+                           on_sent = std::move(on_sent)]() mutable {
+    if (on_sent) on_sent();
+    if (src == dst) {
+      // Loopback through the local Elan, no wire traversal.
+      deliver_txn(src, dst, port, std::move(data), false);
+      return;
+    }
+    kernel_.schedule(calib_.wire_latency, [this, src, dst, port,
+                                           data = std::move(data)]() mutable {
+      deliver_txn(src, dst, port, std::move(data), false);
+    });
+  });
+}
+
+void Machine::dma_put(int src, int dst, Bytes data,
+                      std::function<void()> on_local_complete,
+                      std::function<void(Bytes)> on_data) {
+  Node& s = node(src);
+  const auto nbytes = static_cast<std::int64_t>(data.size());
+  // Elan programs the engine; the engine then streams the payload.
+  s.elan_.submit(calib_.dma_setup_elan, [this, src, dst, nbytes, data = std::move(data),
+                                         on_local_complete = std::move(on_local_complete),
+                                         on_data = std::move(on_data)]() mutable {
+    Node& sn = node(src);
+    const Duration xfer = transmission_time(nbytes, calib_.dma_bytes_per_sec);
+    sn.dma_engine_.submit(xfer, [this, src, dst, nbytes, data = std::move(data),
+                                 on_local_complete = std::move(on_local_complete),
+                                 on_data = std::move(on_data)]() mutable {
+      dma_bytes_moved_ += nbytes;
+      if (on_local_complete) on_local_complete();
+      auto finish = [this, dst, data = std::move(data),
+                     on_data = std::move(on_data)]() mutable {
+        Node& dn = node(dst);
+        dn.elan_.submit(calib_.dma_completion_elan,
+                        [data = std::move(data), on_data = std::move(on_data)]() mutable {
+                          LCMPI_CHECK(on_data != nullptr, "dma_put without destination handler");
+                          on_data(std::move(data));
+                        });
+      };
+      if (src == dst) {
+        finish();
+      } else {
+        kernel_.schedule(calib_.wire_latency, std::move(finish));
+      }
+    });
+  });
+}
+
+void Machine::dma_get(int requester, int src, std::uint64_t key,
+                      std::function<void(Bytes)> on_data) {
+  Node& r = node(requester);
+  // Request packet: requester Elan -> wire -> source Elan.
+  r.elan_.submit(calib_.dma_setup_elan, [this, requester, src, key,
+                                         on_data = std::move(on_data)]() mutable {
+    auto at_source = [this, requester, src, key, on_data = std::move(on_data)]() mutable {
+      Node& sn = node(src);
+      sn.elan_.submit(calib_.dma_setup_elan, [this, requester, src, key,
+                                              on_data = std::move(on_data)]() mutable {
+        Node& s2 = node(src);
+        auto it = s2.staged_.find(key);
+        LCMPI_CHECK(it != s2.staged_.end(), "dma_get for unknown staged key");
+        Bytes data = std::move(it->second.data);
+        std::function<void()> on_pulled = std::move(it->second.on_pulled);
+        s2.staged_.erase(it);
+        if (on_pulled) on_pulled();
+        const auto nbytes = static_cast<std::int64_t>(data.size());
+        const Duration xfer = transmission_time(nbytes, calib_.dma_bytes_per_sec);
+        s2.dma_engine_.submit(xfer, [this, requester, src, nbytes, data = std::move(data),
+                                     on_data = std::move(on_data)]() mutable {
+          dma_bytes_moved_ += nbytes;
+          auto finish = [this, requester, data = std::move(data),
+                         on_data = std::move(on_data)]() mutable {
+            Node& rn = node(requester);
+            rn.elan_.submit(calib_.dma_completion_elan,
+                            [data = std::move(data), on_data = std::move(on_data)]() mutable {
+                              on_data(std::move(data));
+                            });
+          };
+          if (requester == src) {
+            finish();
+          } else {
+            kernel_.schedule(calib_.wire_latency, std::move(finish));
+          }
+        });
+      });
+    };
+    if (requester == src) {
+      at_source();
+    } else {
+      kernel_.schedule(calib_.wire_latency, std::move(at_source));
+    }
+  });
+}
+
+void Machine::broadcast(int src, int port, Bytes data) {
+  Node& s = node(src);
+  const Duration tx_cost = calib_.elan_txn_tx + calib_.bcast_extra_tx +
+                           calib_.txn_per_byte * static_cast<std::int64_t>(data.size());
+  s.elan_.submit(tx_cost, [this, src, port, data = std::move(data)]() mutable {
+    // The fat tree replicates the packet in hardware: every destination
+    // sees it one wire latency later, in parallel.
+    kernel_.schedule(calib_.wire_latency, [this, src, port, data = std::move(data)]() mutable {
+      for (int dst = 0; dst < size(); ++dst) {
+        if (dst == src) continue;
+        deliver_txn(src, dst, port, data, /*broadcast_path=*/true);
+      }
+    });
+  });
+}
+
+}  // namespace lcmpi::meiko

@@ -1,0 +1,137 @@
+// Discrete-event model of a Meiko CS/2 machine.
+//
+// Each node couples a SPARC main processor (modelled by the caller: rank
+// actors charge SPARC time themselves via Actor::advance) with an Elan
+// communications co-processor and a DMA engine. The Elan is a 10 MHz
+// in-order engine, so each node's Elan is a FifoServer: command processing
+// serialises there, which is precisely the contention the paper's
+// SPARC-vs-Elan matching comparison is about. The DMA engine is a second
+// server so bulk transfers overlap Elan command processing.
+//
+// Three hardware mechanisms are exposed, mirroring the CS/2 communication
+// primitives the paper's implementation is built on:
+//   * remote transactions — small packets deposited into a remote memory
+//     slot, raising an event the remote SPARC can poll (used for MPI
+//     envelopes, eager payloads, CTS/credit control traffic);
+//   * DMA put/get — bulk memory-to-memory transfers; `get` is served
+//     entirely by the remote Elan without involving the remote SPARC,
+//     which is how the rendezvous protocol pulls large payloads;
+//   * hardware broadcast — one launch delivers to every other node.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/meiko/calib.h"
+#include "src/sim/kernel.h"
+#include "src/sim/server.h"
+#include "src/util/status.h"
+
+namespace lcmpi::meiko {
+
+using Bytes = std::vector<std::byte>;
+
+/// A transaction (or broadcast) arriving at a node. `port` demultiplexes
+/// independent protocols sharing the fabric (like Elan event slots).
+struct TxnDelivery {
+  int src = -1;
+  int port = 0;
+  Bytes data;
+};
+
+class Machine;
+
+/// One CS/2 node: handler registration plus the node's co-processor servers.
+class Node {
+ public:
+  Node(sim::Kernel& kernel, int id)
+      : id_(id), elan_(kernel), dma_engine_(kernel) {}
+
+  [[nodiscard]] int id() const { return id_; }
+
+  /// Handler for transactions arriving on `port` (runs at envelope-deposit
+  /// time; the model has already charged the destination Elan's receive
+  /// cost). Ports let independent protocol layers share one fabric.
+  void set_txn_handler(int port, std::function<void(TxnDelivery)> h) {
+    on_txn_[port] = std::move(h);
+  }
+
+  /// Handler for hardware broadcasts arriving on `port`.
+  void set_bcast_handler(int port, std::function<void(TxnDelivery)> h) {
+    on_bcast_[port] = std::move(h);
+  }
+
+  /// Stages a payload for a future DMA-get by a remote node. Returns the
+  /// key the remote side must quote. `on_pulled` runs (Elan context, no
+  /// SPARC involvement) when the engine has read the data — the sender's
+  /// buffer-free notification. One-shot: the key is consumed by the get.
+  std::uint64_t stage_dma(Bytes data, std::function<void()> on_pulled = {});
+
+  /// Number of staged-but-not-yet-pulled payloads (leak detection in tests).
+  [[nodiscard]] std::size_t staged_dma_count() const { return staged_.size(); }
+
+  [[nodiscard]] sim::FifoServer& elan() { return elan_; }
+  [[nodiscard]] sim::FifoServer& dma_engine() { return dma_engine_; }
+
+ private:
+  friend class Machine;
+  int id_;
+  sim::FifoServer elan_;
+  sim::FifoServer dma_engine_;
+  struct StagedDma {
+    Bytes data;
+    std::function<void()> on_pulled;
+  };
+
+  std::map<int, std::function<void(TxnDelivery)>> on_txn_;
+  std::map<int, std::function<void(TxnDelivery)>> on_bcast_;
+  std::map<std::uint64_t, StagedDma> staged_;
+  std::uint64_t next_dma_key_ = 1;
+};
+
+class Machine {
+ public:
+  Machine(sim::Kernel& kernel, int nnodes, Calib calib = {});
+
+  [[nodiscard]] int size() const { return static_cast<int>(nodes_.size()); }
+  [[nodiscard]] Node& node(int i);
+  [[nodiscard]] const Calib& calib() const { return calib_; }
+  [[nodiscard]] sim::Kernel& kernel() const { return kernel_; }
+
+  /// Launches a remote transaction from `src` to `dst`. The caller has
+  /// already charged the SPARC issue cost; this models source-Elan
+  /// processing, the wire, and destination-Elan deposit, then invokes the
+  /// destination's txn handler. `on_sent` fires when the source Elan has
+  /// finished with the outgoing packet (source buffer reusable).
+  void txn(int src, int dst, int port, Bytes data, std::function<void()> on_sent = {});
+
+  /// Bulk DMA from `src` memory into `dst` memory. `on_local_complete`
+  /// fires when the engine has finished reading source memory; the
+  /// destination handler `on_data` runs at delivery time.
+  void dma_put(int src, int dst, Bytes data, std::function<void()> on_local_complete,
+               std::function<void(Bytes)> on_data);
+
+  /// Receiver-initiated bulk pull: `requester` asks `src`'s Elan for the
+  /// payload registered under `key`; the remote SPARC is never involved.
+  void dma_get(int requester, int src, std::uint64_t key, std::function<void(Bytes)> on_data);
+
+  /// Hardware broadcast: one launch from `src`, delivered to every node
+  /// except the source via each destination's bcast handler.
+  void broadcast(int src, int port, Bytes data);
+
+  /// Total bytes moved by DMA engines (bandwidth accounting for Fig. 3).
+  [[nodiscard]] std::int64_t dma_bytes_moved() const { return dma_bytes_moved_; }
+
+ private:
+  void deliver_txn(int src, int dst, int port, Bytes data, bool broadcast_path);
+
+  sim::Kernel& kernel_;
+  Calib calib_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::int64_t dma_bytes_moved_ = 0;
+};
+
+}  // namespace lcmpi::meiko

@@ -1,0 +1,212 @@
+#include "src/meiko/tport.h"
+
+#include <utility>
+
+#include "src/util/bytes.h"
+
+namespace lcmpi::meiko {
+namespace {
+
+// Packet header preceding any tport payload.
+struct WireHeader {
+  std::uint64_t tag = 0;
+  std::uint64_t key = 0;     // staged-DMA key (rendezvous only)
+  std::uint64_t nbytes = 0;  // payload size
+  std::uint8_t inline_payload = 0;
+};
+
+Bytes encode(const WireHeader& h, const Bytes* payload) {
+  Bytes out;
+  ByteWriter w(out);
+  w.put(h.tag);
+  w.put(h.key);
+  w.put(h.nbytes);
+  w.put(h.inline_payload);
+  if (payload) w.put_bytes(payload->data(), payload->size());
+  return out;
+}
+
+WireHeader decode(ByteReader& r) {
+  WireHeader h;
+  h.tag = r.get<std::uint64_t>();
+  h.key = r.get<std::uint64_t>();
+  h.nbytes = r.get<std::uint64_t>();
+  h.inline_payload = r.get<std::uint8_t>();
+  return h;
+}
+
+bool tag_matches(std::uint64_t msg_tag, std::uint64_t rx_tag, std::uint64_t rx_mask) {
+  return (msg_tag & rx_mask) == (rx_tag & rx_mask);
+}
+
+}  // namespace
+
+Tport::Tport(Machine& machine, int node_id) : machine_(machine), node_(node_id) {
+  machine_.node(node_).set_txn_handler(kTportPort,
+                                       [this](TxnDelivery d) { on_packet(std::move(d)); });
+}
+
+Duration Tport::match_scan_cost(std::size_t entries_scanned) const {
+  const Calib& c = machine_.calib();
+  return c.tport_elan_match +
+         c.tport_elan_match_per_entry * static_cast<std::int64_t>(entries_scanned);
+}
+
+void Tport::tx(sim::Actor& self, int dst, std::uint64_t tag, Bytes data,
+               std::function<void()> on_complete) {
+  const Calib& c = machine_.calib();
+  self.advance(c.tport_sparc_call);
+
+  WireHeader h;
+  h.tag = tag;
+  h.nbytes = data.size();
+  if (static_cast<std::int64_t>(data.size()) <= c.tport_inline_max) {
+    h.inline_payload = 1;
+    // Inline payloads ride the transaction; the Elan copies them through
+    // its buffers, charged per byte on the source Elan.
+    const Duration extra = c.tport_inline_per_byte * static_cast<std::int64_t>(data.size());
+    Bytes pkt = encode(h, &data);
+    Node& n = machine_.node(node_);
+    n.elan().submit(extra, [this, dst, pkt = std::move(pkt),
+                            on_complete = std::move(on_complete)]() mutable {
+      machine_.txn(node_, dst, kTportPort, std::move(pkt), std::move(on_complete));
+    });
+  } else {
+    h.inline_payload = 0;
+    h.key = machine_.node(node_).stage_dma(std::move(data), std::move(on_complete));
+    machine_.txn(node_, dst, kTportPort, encode(h, nullptr));
+  }
+}
+
+void Tport::rx(sim::Actor& self, std::uint64_t tag, std::uint64_t mask,
+               std::function<void(TportMessage)> on_message) {
+  const Calib& c = machine_.calib();
+  self.advance(c.tport_sparc_call);
+  // The descriptor is handed to the Elan, which first scans the unexpected
+  // queue (charged per entry), then leaves the descriptor posted.
+  Node& n = machine_.node(node_);
+  PostedRx rx{tag, mask, std::move(on_message)};
+  n.elan().submit(match_scan_cost(unexpected_.size()), [this, rx = std::move(rx)]() mutable {
+    for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+      if (tag_matches(it->tag, rx.tag, rx.mask)) {
+        Unexpected msg = std::move(*it);
+        unexpected_.erase(it);
+        if (msg.inline_payload) {
+          deliver(std::move(rx), msg.src, msg.tag, std::move(msg.data));
+        } else {
+          pull_and_deliver(std::move(rx), std::move(msg));
+        }
+        return;
+      }
+    }
+    posted_.push_back(std::move(rx));
+  });
+}
+
+void Tport::on_packet(TxnDelivery d) {
+  ByteReader r(d.data);
+  const WireHeader h = decode(r);
+  Unexpected msg;
+  msg.src = d.src;
+  msg.tag = h.tag;
+  msg.inline_payload = h.inline_payload != 0;
+  msg.key = h.key;
+  msg.nbytes = h.nbytes;
+  if (msg.inline_payload) msg.data = r.rest();
+  // Charge the Elan for scanning posted descriptors.
+  Node& n = machine_.node(node_);
+  n.elan().submit(match_scan_cost(posted_.size()),
+                  [this, msg = std::move(msg)]() mutable { try_match_incoming(std::move(msg)); });
+}
+
+std::optional<Tport::ProbeInfo> Tport::iprobe(sim::Actor& self, std::uint64_t tag,
+                                              std::uint64_t mask) {
+  const Calib& c = machine_.calib();
+  self.advance(c.tport_sparc_call);
+  // SPARC -> Elan query: the scan happens at Elan speed, then the result
+  // returns to the caller.
+  sim::Trigger done;
+  std::optional<ProbeInfo> found;
+  bool answered = false;
+  Node& n = machine_.node(node_);
+  n.elan().submit(match_scan_cost(unexpected_.size()), [&] {
+    for (const Unexpected& u : unexpected_) {
+      if (tag_matches(u.tag, tag, mask)) {
+        found = ProbeInfo{u.src, u.tag,
+                          u.inline_payload ? u.data.size() : u.nbytes};
+        break;
+      }
+    }
+    answered = true;
+    done.notify_all();
+  });
+  while (!answered) self.wait(done);
+  return found;
+}
+
+Tport::ProbeInfo Tport::probe(sim::Actor& self, std::uint64_t tag, std::uint64_t mask) {
+  for (;;) {
+    if (auto info = iprobe(self, tag, mask)) return *info;
+    self.wait(arrivals_);
+  }
+}
+
+void Tport::try_match_incoming(Unexpected msg) {
+  arrivals_.notify_all();
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    if (tag_matches(msg.tag, it->tag, it->mask)) {
+      PostedRx rx = std::move(*it);
+      posted_.erase(it);
+      if (msg.inline_payload) {
+        deliver(std::move(rx), msg.src, msg.tag, std::move(msg.data));
+      } else {
+        pull_and_deliver(std::move(rx), std::move(msg));
+      }
+      return;
+    }
+  }
+  unexpected_.push_back(std::move(msg));
+}
+
+void Tport::deliver(PostedRx rx, int src, std::uint64_t tag, Bytes data) {
+  // Elan raises the completion event; the SPARC picks the message up.
+  Node& n = machine_.node(node_);
+  n.elan().submit(machine_.calib().tport_deliver,
+                  [rx = std::move(rx), src, tag, data = std::move(data)]() mutable {
+                    rx.on_message(TportMessage{src, tag, std::move(data)});
+                  });
+}
+
+void Tport::pull_and_deliver(PostedRx rx, Unexpected msg) {
+  // Rendezvous: the receiving Elan pulls the staged payload by DMA, then
+  // delivers into the matched receive without any intermediate copy.
+  machine_.dma_get(node_, msg.src, msg.key,
+                   [this, rx = std::move(rx), src = msg.src, tag = msg.tag](Bytes data) mutable {
+                     deliver(std::move(rx), src, tag, std::move(data));
+                   });
+}
+
+void Tport::send(sim::Actor& self, int dst, std::uint64_t tag, Bytes data) {
+  sim::Trigger done;
+  bool complete = false;
+  tx(self, dst, tag, std::move(data), [&] {
+    complete = true;
+    done.notify_all();
+  });
+  while (!complete) self.wait(done);
+}
+
+TportMessage Tport::recv(sim::Actor& self, std::uint64_t tag, std::uint64_t mask) {
+  sim::Trigger arrived;
+  std::optional<TportMessage> result;
+  rx(self, tag, mask, [&](TportMessage m) {
+    result = std::move(m);
+    arrived.notify_all();
+  });
+  while (!result) self.wait(arrived);
+  // SPARC-side pickup of the delivered message.
+  self.advance(machine_.calib().tport_sparc_call);
+  return std::move(*result);
+}
+
+}  // namespace lcmpi::meiko

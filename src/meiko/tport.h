@@ -1,0 +1,107 @@
+// The Meiko "tport" widget: hardware-assisted tagged message passing.
+//
+// tport is the layer the stock MPICH CS/2 device is built on. Sends carry a
+// 64-bit tag; receives give a tag and a mask, matching any message whose
+// tag agrees on the masked bits. All matching happens on the *Elan*
+// co-processor: posted-receive descriptors and unexpected messages live in
+// Elan memory and every match scan is charged at Elan speed — this is the
+// design whose latency the paper's SPARC-matching implementation undercuts.
+//
+// Internal protocol (per the paper's characterisation: latency traded for
+// bandwidth): payloads up to Calib::tport_inline_max travel inside the
+// envelope packet; larger payloads are staged for a DMA pull that the
+// receiving Elan initiates after the match.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "src/meiko/machine.h"
+#include "src/sim/kernel.h"
+
+namespace lcmpi::meiko {
+
+/// Fabric port reserved by the tport layer.
+inline constexpr int kTportPort = 1;
+
+/// A message delivered to a tport receive.
+struct TportMessage {
+  int src = -1;
+  std::uint64_t tag = 0;
+  Bytes data;
+};
+
+class Tport {
+ public:
+  /// Builds the widget on `node_id` of `machine`. One Tport per node.
+  Tport(Machine& machine, int node_id);
+  Tport(const Tport&) = delete;
+  Tport& operator=(const Tport&) = delete;
+
+  /// Nonblocking tagged send. `on_complete` fires when the source buffer is
+  /// reusable (inline: packet launched; rendezvous: payload pulled).
+  /// The SPARC-side call cost is charged to `self`.
+  void tx(sim::Actor& self, int dst, std::uint64_t tag, Bytes data,
+          std::function<void()> on_complete = {});
+
+  /// Nonblocking receive: `on_message` runs when a message whose tag
+  /// satisfies (msg.tag & mask) == (tag & mask) is matched and delivered.
+  /// The SPARC-side call cost is charged to `self`.
+  void rx(sim::Actor& self, std::uint64_t tag, std::uint64_t mask,
+          std::function<void(TportMessage)> on_message);
+
+  /// Blocking send: returns when the source buffer is reusable.
+  void send(sim::Actor& self, int dst, std::uint64_t tag, Bytes data);
+
+  /// Blocking receive.
+  TportMessage recv(sim::Actor& self, std::uint64_t tag, std::uint64_t mask);
+
+  /// Envelope information from a probe (payload not transferred).
+  struct ProbeInfo {
+    int src = -1;
+    std::uint64_t tag = 0;
+    std::uint64_t nbytes = 0;
+  };
+  /// Queries the Elan's unexpected queue without consuming (MPI_Iprobe
+  /// style); charges the SPARC call and an Elan scan.
+  std::optional<ProbeInfo> iprobe(sim::Actor& self, std::uint64_t tag, std::uint64_t mask);
+  /// Blocking probe: waits until a matching envelope is queued.
+  ProbeInfo probe(sim::Actor& self, std::uint64_t tag, std::uint64_t mask);
+
+  [[nodiscard]] int node_id() const { return node_; }
+  [[nodiscard]] Machine& machine() const { return machine_; }
+
+ private:
+  struct PostedRx {
+    std::uint64_t tag;
+    std::uint64_t mask;
+    std::function<void(TportMessage)> on_message;
+  };
+  struct Unexpected {
+    int src;
+    std::uint64_t tag;
+    bool inline_payload;
+    Bytes data;           // payload when inline
+    std::uint64_t key;    // staged-DMA key when rendezvous
+    std::uint64_t nbytes; // payload size when rendezvous
+  };
+
+  void on_packet(TxnDelivery d);
+  void try_match_incoming(Unexpected msg);
+  void deliver(PostedRx rx, int src, std::uint64_t tag, Bytes data);
+  void pull_and_deliver(PostedRx rx, Unexpected msg);
+  [[nodiscard]] Duration match_scan_cost(std::size_t entries_scanned) const;
+
+  Machine& machine_;
+  int node_;
+  // Matching state: conceptually Elan-resident. Mutated only from Elan
+  // server jobs or SPARC-issued commands (cooperatively scheduled, so no
+  // locking is needed; the *costs* are what the model charges carefully).
+  std::deque<PostedRx> posted_;
+  std::deque<Unexpected> unexpected_;
+  sim::Trigger arrivals_;  // notified whenever a packet reaches this node
+};
+
+}  // namespace lcmpi::meiko

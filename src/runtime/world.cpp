@@ -1,0 +1,116 @@
+#include "src/runtime/world.h"
+
+#include <string>
+
+namespace lcmpi::runtime {
+
+Duration run_ranks(sim::Kernel& kernel, fabric::Fabric& fabric,
+                   const mpi::EngineConfig& cfg, const RankFn& fn) {
+  const TimePoint t0 = kernel.now();
+  for (int r = 0; r < fabric.nranks(); ++r) {
+    kernel.spawn("rank-" + std::to_string(r), [&fabric, cfg, fn, r](sim::Actor& self) {
+      mpi::Engine engine(fabric.endpoint(r), self, cfg);
+      mpi::Comm world = mpi::Comm::world(engine);
+      fn(world, self);
+    });
+  }
+  kernel.run();
+  return kernel.now() - t0;
+}
+
+// ----------------------------------------------------------------- Meiko
+
+MeikoWorld::MeikoWorld(int nranks, meiko::Calib calib, mpi::EngineConfig engine_cfg)
+    : engine_cfg_(engine_cfg) {
+  machine_ = std::make_unique<meiko::Machine>(kernel_, nranks, calib);
+  fabric_ = std::make_unique<fabric::MeikoFabric>(*machine_);
+}
+
+Duration MeikoWorld::run(const RankFn& fn) {
+  return run_ranks(kernel_, *fabric_, engine_cfg_, fn);
+}
+
+MpichMeikoWorld::MpichMeikoWorld(int nranks, meiko::Calib calib) {
+  machine_ = std::make_unique<meiko::Machine>(kernel_, nranks, calib);
+  for (int i = 0; i < nranks; ++i)
+    tports_.push_back(std::make_unique<meiko::Tport>(*machine_, i));
+}
+
+Duration MpichMeikoWorld::run(const MpichRankFn& fn) {
+  const TimePoint t0 = kernel_.now();
+  const int n = nranks();
+  for (int r = 0; r < n; ++r) {
+    kernel_.spawn("rank-" + std::to_string(r), [this, fn, r, n](sim::Actor& self) {
+      mpi::MpichComm world(*tports_[static_cast<std::size_t>(r)], self, n);
+      fn(world, self);
+    });
+  }
+  kernel_.run();
+  return kernel_.now() - t0;
+}
+
+// ---------------------------------------------------------------- Cluster
+
+ClusterWorld::ClusterWorld(int nranks, Media media, Transport transport,
+                           mpi::EngineConfig engine_cfg,
+                           fabric::StreamFabric::Options fabric_opt,
+                           bool eth_broadcast_collectives)
+    : nranks_(nranks), engine_cfg_(engine_cfg) {
+  LCMPI_CHECK(!eth_broadcast_collectives || media == Media::kEthernet,
+              "broadcast collectives require the Ethernet medium");
+  if (media == Media::kAtm) {
+    net_ = std::make_unique<atmnet::AtmNetwork>(kernel_, nranks);
+    cluster_ = std::make_unique<inet::InetCluster>(*net_, inet::atm_profile());
+  } else {
+    net_ = std::make_unique<atmnet::EthernetNetwork>(kernel_, nranks);
+    cluster_ = std::make_unique<inet::InetCluster>(*net_, inet::ethernet_profile());
+  }
+
+  // Static all-pairs connections, as in the paper's clusters.
+  std::vector<std::vector<inet::StreamEndpoint*>> streams(
+      static_cast<std::size_t>(nranks),
+      std::vector<inet::StreamEndpoint*>(static_cast<std::size_t>(nranks), nullptr));
+  std::uint16_t next_port = 10000;
+  for (int i = 0; i < nranks; ++i) {
+    for (int j = i + 1; j < nranks; ++j) {
+      if (transport == Transport::kTcp) {
+        inet::TcpConnection& c = cluster_->tcp_pair(i, j);
+        streams[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = &c.on_host(i);
+        streams[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] = &c.on_host(j);
+      } else {
+        rudp_chans_.push_back(
+            std::make_unique<inet::RudpChannel>(*cluster_, i, j, next_port));
+        next_port = static_cast<std::uint16_t>(next_port + 2);
+        inet::RudpChannel& c = *rudp_chans_.back();
+        streams[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = &c.on_host(i);
+        streams[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] = &c.on_host(j);
+      }
+    }
+  }
+  std::vector<inet::DatagramSocket*> bcast_socks;
+  if (eth_broadcast_collectives) {
+    constexpr std::uint16_t kBcastPort = 9999;
+    for (int i = 0; i < nranks; ++i)
+      bcast_socks.push_back(&cluster_->udp_socket(i, kBcastPort));
+  }
+  fabric_ = std::make_unique<fabric::StreamFabric>(kernel_, std::move(streams), fabric_opt,
+                                                   std::move(bcast_socks));
+}
+
+Duration ClusterWorld::run(const RankFn& fn) {
+  return run_ranks(kernel_, *fabric_, engine_cfg_, fn);
+}
+
+// ------------------------------------------------------------------- Loop
+
+LoopWorld::LoopWorld(int nranks, fabric::LoopFabric::Options opt,
+                     mpi::EngineConfig engine_cfg)
+    : engine_cfg_(engine_cfg) {
+  fabric_ = std::make_unique<fabric::LoopFabric>(kernel_, nranks, opt);
+}
+
+Duration LoopWorld::run(const RankFn& fn) {
+  return run_ranks(kernel_, *fabric_, engine_cfg_, fn);
+}
+
+}  // namespace lcmpi::runtime

@@ -1,0 +1,123 @@
+// World builders: one object assembles a whole platform — simulator
+// kernel, machine/network model, fabric, and per-rank engines — and runs a
+// rank function on every rank, mirroring mpirun.
+//
+//   MeikoWorld      — CS/2 + the paper's low-latency MPI (mpi::Comm)
+//   MpichMeikoWorld — CS/2 + MPICH-over-tport baseline (mpi::MpichComm)
+//   ClusterWorld    — SGI cluster over {ATM, Ethernet} x {TCP, reliable-UDP}
+//                     with the low-latency MPI (mpi::Comm)
+//   LoopWorld       — idealised fabric for fast semantics tests
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/atmnet/atm.h"
+#include "src/atmnet/ethernet.h"
+#include "src/core/comm.h"
+#include "src/core/mpich.h"
+#include "src/fabric/loop_fabric.h"
+#include "src/fabric/meiko_fabric.h"
+#include "src/fabric/stream_fabric.h"
+#include "src/inet/rudp.h"
+#include "src/inet/tcp.h"
+#include "src/meiko/machine.h"
+#include "src/meiko/tport.h"
+
+namespace lcmpi::runtime {
+
+/// Rank function for worlds using the low-latency MPI.
+using RankFn = std::function<void(mpi::Comm& world, sim::Actor& self)>;
+/// Rank function for the MPICH baseline world.
+using MpichRankFn = std::function<void(mpi::MpichComm& world, sim::Actor& self)>;
+
+class MeikoWorld {
+ public:
+  explicit MeikoWorld(int nranks, meiko::Calib calib = {},
+                      mpi::EngineConfig engine_cfg = {});
+
+  [[nodiscard]] sim::Kernel& kernel() { return kernel_; }
+  [[nodiscard]] meiko::Machine& machine() { return *machine_; }
+  [[nodiscard]] int nranks() const { return machine_->size(); }
+
+  /// Spawns every rank running `fn` and drives the simulation to
+  /// completion. Returns the elapsed virtual time.
+  Duration run(const RankFn& fn);
+
+ private:
+  sim::Kernel kernel_;
+  std::unique_ptr<meiko::Machine> machine_;
+  std::unique_ptr<fabric::MeikoFabric> fabric_;
+  mpi::EngineConfig engine_cfg_;
+};
+
+class MpichMeikoWorld {
+ public:
+  explicit MpichMeikoWorld(int nranks, meiko::Calib calib = {});
+
+  [[nodiscard]] sim::Kernel& kernel() { return kernel_; }
+  [[nodiscard]] meiko::Machine& machine() { return *machine_; }
+  [[nodiscard]] int nranks() const { return machine_->size(); }
+
+  Duration run(const MpichRankFn& fn);
+
+ private:
+  sim::Kernel kernel_;
+  std::unique_ptr<meiko::Machine> machine_;
+  std::vector<std::unique_ptr<meiko::Tport>> tports_;
+};
+
+enum class Media { kAtm, kEthernet };
+enum class Transport { kTcp, kRudp };
+
+class ClusterWorld {
+ public:
+  /// `eth_broadcast_collectives` enables the Bruck-et-al.-style extension:
+  /// MPI_Bcast rides the Ethernet's link-layer broadcast instead of a
+  /// point-to-point tree. Ethernet media only.
+  ClusterWorld(int nranks, Media media, Transport transport,
+               mpi::EngineConfig engine_cfg = {},
+               fabric::StreamFabric::Options fabric_opt = {},
+               bool eth_broadcast_collectives = false);
+
+  [[nodiscard]] sim::Kernel& kernel() { return kernel_; }
+  [[nodiscard]] atmnet::Network& network() { return *net_; }
+  [[nodiscard]] inet::InetCluster& cluster() { return *cluster_; }
+  [[nodiscard]] int nranks() const { return nranks_; }
+
+  Duration run(const RankFn& fn);
+
+ private:
+  int nranks_;
+  sim::Kernel kernel_;
+  std::unique_ptr<atmnet::Network> net_;
+  std::unique_ptr<inet::InetCluster> cluster_;
+  std::vector<std::unique_ptr<inet::TcpConnection>> tcp_conns_;   // owned by cluster actually
+  std::vector<std::unique_ptr<inet::RudpChannel>> rudp_chans_;
+  std::unique_ptr<fabric::StreamFabric> fabric_;
+  mpi::EngineConfig engine_cfg_;
+};
+
+class LoopWorld {
+ public:
+  explicit LoopWorld(int nranks, fabric::LoopFabric::Options opt = {},
+                     mpi::EngineConfig engine_cfg = {});
+
+  [[nodiscard]] sim::Kernel& kernel() { return kernel_; }
+  [[nodiscard]] fabric::LoopFabric& fabric() { return *fabric_; }
+  [[nodiscard]] int nranks() const { return fabric_->nranks(); }
+
+  Duration run(const RankFn& fn);
+
+ private:
+  sim::Kernel kernel_;
+  std::unique_ptr<fabric::LoopFabric> fabric_;
+  mpi::EngineConfig engine_cfg_;
+};
+
+/// Shared helper: spawn one actor per rank running `fn` over `fabric`.
+Duration run_ranks(sim::Kernel& kernel, fabric::Fabric& fabric,
+                   const mpi::EngineConfig& cfg, const RankFn& fn);
+
+}  // namespace lcmpi::runtime

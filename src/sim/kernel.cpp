@@ -1,0 +1,239 @@
+#include "src/sim/kernel.h"
+
+#include <algorithm>
+
+namespace lcmpi::sim {
+
+// ---------------------------------------------------------------- Trigger
+
+void Trigger::notify_all() {
+  // Waiters re-register if their predicate still fails, so clearing the
+  // list up front is correct even if a woken actor immediately re-waits.
+  std::vector<Actor*> waiters;
+  waiters.swap(waiters_);
+  for (Actor* a : waiters) a->kernel().wake(a, a->wake_epoch_, /*by_trigger=*/true);
+}
+
+void Trigger::notify_one() {
+  if (waiters_.empty()) return;
+  Actor* a = waiters_.front();
+  waiters_.erase(waiters_.begin());
+  a->kernel().wake(a, a->wake_epoch_, /*by_trigger=*/true);
+}
+
+// ------------------------------------------------------------ EventHandle
+
+void EventHandle::cancel() {
+  if (cell_) *cell_ = true;
+  cell_.reset();
+}
+
+// ------------------------------------------------------------------ Actor
+
+Actor::Actor(Kernel* kernel, std::string name, std::function<void(Actor&)> body)
+    : kernel_(kernel), name_(std::move(name)), body_(std::move(body)) {}
+
+Actor::~Actor() {
+  if (thread_.joinable()) thread_.join();
+}
+
+TimePoint Actor::now() const { return kernel_->now(); }
+
+void Actor::start_thread() {
+  thread_ = std::thread([this] {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return turn_ == Turn::kActor; });
+    }
+    if (!kernel_->cancelling_) {
+      try {
+        body_(*this);
+      } catch (const ActorCancelled&) {
+        // Kernel teardown: unwind quietly.
+      } catch (...) {
+        error_ = std::current_exception();
+      }
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    finished_ = true;
+    turn_ = Turn::kKernel;
+    cv_.notify_all();
+  });
+}
+
+void Actor::yield_to_kernel() {
+  std::unique_lock<std::mutex> lock(mu_);
+  turn_ = Turn::kKernel;
+  cv_.notify_all();
+  cv_.wait(lock, [this] { return turn_ == Turn::kActor; });
+  if (kernel_->cancelling_) throw ActorCancelled{};
+}
+
+void Actor::resume_from_kernel() {
+  std::unique_lock<std::mutex> lock(mu_);
+  turn_ = Turn::kActor;
+  cv_.notify_all();
+  cv_.wait(lock, [this] { return turn_ == Turn::kKernel; });
+}
+
+void Actor::block() {
+  blocked_ = true;
+  ++wake_epoch_;
+  yield_to_kernel();
+  blocked_ = false;
+}
+
+void Actor::advance(Duration d) {
+  LCMPI_CHECK(d.ns >= 0, "advance by negative duration");
+  wait_until(now() + d);
+}
+
+void Actor::wait_until(TimePoint t) {
+  if (t <= now()) return;
+  const std::uint64_t epoch = wake_epoch_ + 1;  // epoch block() will assign
+  kernel_->schedule_at(t, [this, epoch] { kernel_->wake(this, epoch, false); });
+  block();
+}
+
+void Actor::wait(Trigger& trigger) {
+  trigger.waiters_.push_back(this);
+  block();
+}
+
+bool Actor::wait_with_timeout(Trigger& trigger, Duration timeout) {
+  trigger.waiters_.push_back(this);
+  const std::uint64_t epoch = wake_epoch_ + 1;
+  EventHandle timer = kernel_->schedule(
+      timeout, [this, epoch] { kernel_->wake(this, epoch, false); });
+  woke_by_trigger_ = false;
+  block();
+  timer.cancel();
+  if (!woke_by_trigger_) {
+    // Timed out: remove our stale registration from the trigger.
+    auto& ws = trigger.waiters_;
+    ws.erase(std::remove(ws.begin(), ws.end(), this), ws.end());
+  }
+  return woke_by_trigger_;
+}
+
+// ----------------------------------------------------------------- Kernel
+
+Kernel::~Kernel() { cancel_all_actors(); }
+
+void Kernel::cancel_all_actors() {
+  cancelling_ = true;
+  for (auto& a : actors_) {
+    if (a->finished_) continue;
+    // Resume the blocked (or never-started) actor; its blocking call throws
+    // ActorCancelled (or the start wrapper skips the body entirely).
+    a->resume_from_kernel();
+  }
+}
+
+EventHandle Kernel::schedule(Duration delay, std::function<void()> fn) {
+  LCMPI_CHECK(delay.ns >= 0, "schedule with negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventHandle Kernel::schedule_at(TimePoint t, std::function<void()> fn) {
+  LCMPI_CHECK(t >= now_, "schedule_at in the past");
+  auto cancelled = std::make_shared<bool>(false);
+  queue_.push(Event{t, next_seq_++, std::move(fn), cancelled});
+  return EventHandle(std::move(cancelled));
+}
+
+Actor& Kernel::spawn(std::string name, std::function<void(Actor&)> body) {
+  actors_.push_back(std::unique_ptr<Actor>(new Actor(this, std::move(name), std::move(body))));
+  Actor* a = actors_.back().get();
+  a->start_thread();
+  schedule_at(now_, [this, a] {
+    a->started_ = true;
+    transfer_to(a);
+  });
+  return *a;
+}
+
+void Kernel::wake(Actor* a, std::uint64_t epoch, bool by_trigger) {
+  schedule_at(now_, [this, a, epoch, by_trigger] {
+    if (a->finished_ || !a->blocked_ || a->wake_epoch_ != epoch) return;  // stale
+    a->woke_by_trigger_ = by_trigger;
+    transfer_to(a);
+  });
+}
+
+void Kernel::transfer_to(Actor* a) {
+  a->resume_from_kernel();
+  if (a->finished_ && a->error_) {
+    std::exception_ptr err = a->error_;
+    a->error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+std::size_t Kernel::live_actor_count() const {
+  std::size_t n = 0;
+  for (const auto& a : actors_)
+    if (!a->finished_) ++n;
+  return n;
+}
+
+void Kernel::drain_one_step(bool& made_progress) {
+  made_progress = false;
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (ev.cancelled && *ev.cancelled) continue;
+    LCMPI_CHECK(ev.time >= now_, "event queue went backwards");
+    if (ev.time > time_limit_)
+      throw SimTimeLimit("virtual time limit exceeded at " + to_string(ev.time));
+    now_ = ev.time;
+    ++events_executed_;
+    ev.fn();
+    made_progress = true;
+    return;
+  }
+}
+
+namespace {
+struct FlagGuard {
+  bool& flag;
+  explicit FlagGuard(bool& f) : flag(f) { flag = true; }
+  ~FlagGuard() { flag = false; }
+};
+}  // namespace
+
+void Kernel::run() {
+  LCMPI_CHECK(!running_, "Kernel::run is not reentrant");
+  FlagGuard guard(running_);
+  for (;;) {
+    bool progressed = false;
+    drain_one_step(progressed);
+    if (progressed) continue;
+    // Queue empty: either everything finished, or we are deadlocked.
+    std::string stuck;
+    for (const auto& a : actors_) {
+      if (a->started_ && !a->finished_) {
+        if (!stuck.empty()) stuck += ", ";
+        stuck += a->name();
+      }
+    }
+    if (!stuck.empty())
+      throw SimDeadlock("simulation deadlock at " + to_string(now_) +
+                        "; blocked actors: " + stuck);
+    return;
+  }
+}
+
+void Kernel::run_until(TimePoint t) {
+  LCMPI_CHECK(!running_, "Kernel::run is not reentrant");
+  FlagGuard guard(running_);
+  while (!queue_.empty()) {
+    if (queue_.top().time > t) break;
+    bool progressed = false;
+    drain_one_step(progressed);
+    if (!progressed) break;
+  }
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace lcmpi::sim

@@ -1,0 +1,217 @@
+// Deterministic discrete-event simulation kernel with cooperative actors.
+//
+// The kernel owns a virtual clock and an event queue. Two kinds of code run
+// on top of it:
+//
+//  * event handlers — plain callbacks executed on the kernel thread; the
+//    network models (links, switches, co-processors) are written this way;
+//  * actors — sequential "processes" (one per MPI rank, one per modelled
+//    co-processor loop) that may block on virtual time or on Triggers.
+//
+// Actors are real std::threads, but the kernel enforces that exactly one of
+// {kernel, some actor} runs at any instant, handing control back and forth
+// with a per-actor mutex/condvar pair. That makes the whole simulation
+// single-threaded in effect: deterministic, race-free on shared state, and
+// repeatable event order (ties broken by insertion sequence).
+//
+// Deadlock detection falls out naturally: if the event queue drains while
+// actors are still blocked, no future wakeup can exist, and the kernel
+// reports which actors were stuck — which is exactly what a hung MPI
+// program looks like, so the tests use it to assert deadlock behaviour.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/util/status.h"
+#include "src/util/time.h"
+
+namespace lcmpi::sim {
+
+class Kernel;
+class Actor;
+
+/// Thrown by Kernel::run when every remaining actor is blocked and the event
+/// queue is empty (no wakeup can ever arrive).
+class SimDeadlock : public std::runtime_error {
+ public:
+  explicit SimDeadlock(std::string what) : std::runtime_error(std::move(what)) {}
+};
+
+/// Thrown when virtual time passes the watchdog limit (a livelock guard:
+/// retransmission storms and poll loops generate events forever, which a
+/// deadlock detector cannot see).
+class SimTimeLimit : public std::runtime_error {
+ public:
+  explicit SimTimeLimit(std::string what) : std::runtime_error(std::move(what)) {}
+};
+
+/// Thrown inside actor blocking calls when the kernel is tearing down; the
+/// actor wrapper swallows it so threads can be joined.
+class ActorCancelled {};
+
+/// A waitable condition with condition-variable semantics (no memory): a
+/// notify wakes currently blocked waiters only. Blocked actors re-check
+/// their predicate in a loop, so this is safe under cooperative scheduling.
+class Trigger {
+ public:
+  Trigger() = default;
+  Trigger(const Trigger&) = delete;
+  Trigger& operator=(const Trigger&) = delete;
+
+  void notify_all();
+  void notify_one();
+
+  [[nodiscard]] std::size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  friend class Actor;
+  friend class Kernel;
+  std::vector<Actor*> waiters_;
+};
+
+/// Handle to a scheduled event; allows cancellation (used for timers).
+class EventHandle {
+ public:
+  EventHandle() = default;
+  void cancel();
+  [[nodiscard]] bool valid() const { return cell_ != nullptr; }
+
+ private:
+  friend class Kernel;
+  explicit EventHandle(std::shared_ptr<bool> cell) : cell_(std::move(cell)) {}
+  std::shared_ptr<bool> cell_;  // *cell_ == true => cancelled
+};
+
+/// A cooperative simulated process. Construct only via Kernel::spawn.
+class Actor {
+ public:
+  Actor(const Actor&) = delete;
+  Actor& operator=(const Actor&) = delete;
+  ~Actor();
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Kernel& kernel() const { return *kernel_; }
+  [[nodiscard]] TimePoint now() const;
+
+  /// Models local computation: blocks this actor for `d` of virtual time.
+  void advance(Duration d);
+  void wait_until(TimePoint t);
+
+  /// Blocks until the trigger is notified. Caller re-checks its predicate.
+  void wait(Trigger& trigger);
+
+  /// Blocks until the trigger is notified or `timeout` elapses.
+  /// Returns true if the trigger fired, false on timeout.
+  bool wait_with_timeout(Trigger& trigger, Duration timeout);
+
+  [[nodiscard]] bool finished() const { return finished_; }
+
+ private:
+  friend class Kernel;
+  friend class Trigger;
+
+  Actor(Kernel* kernel, std::string name, std::function<void(Actor&)> body);
+  void start_thread();
+
+  // Control transfer (called on the actor thread).
+  void yield_to_kernel();
+  // Control transfer (called on the kernel thread).
+  void resume_from_kernel();
+
+  // Blocks the actor; a wake is delivered by Kernel::wake(this, epoch).
+  void block();
+
+  Kernel* kernel_;
+  std::string name_;
+  std::function<void(Actor&)> body_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  enum class Turn { kKernel, kActor };
+  Turn turn_ = Turn::kKernel;
+  bool started_ = false;
+  bool finished_ = false;
+  std::exception_ptr error_;
+  std::thread thread_;
+
+  // Wakeup bookkeeping (touched only under cooperative scheduling).
+  std::uint64_t wake_epoch_ = 0;  // incremented on every block()
+  bool blocked_ = false;
+  bool woke_by_trigger_ = false;  // result channel for wait_with_timeout
+};
+
+class Kernel {
+ public:
+  Kernel() = default;
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+  ~Kernel();
+
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Schedules `fn` to run on the kernel thread after `delay`.
+  EventHandle schedule(Duration delay, std::function<void()> fn);
+  EventHandle schedule_at(TimePoint t, std::function<void()> fn);
+
+  /// Creates an actor whose body starts executing at the current time.
+  Actor& spawn(std::string name, std::function<void(Actor&)> body);
+
+  /// Runs until the event queue is empty and all actors have finished.
+  /// Throws SimDeadlock if actors remain blocked with no pending events,
+  /// and rethrows the first exception escaping any actor body.
+  void run();
+
+  /// Runs until virtual time would exceed `t` (events at exactly `t` run).
+  void run_until(TimePoint t);
+
+  /// Arms a watchdog: any event past `limit` makes run() throw
+  /// SimTimeLimit instead of executing it.
+  void set_time_limit(TimePoint limit) { time_limit_ = limit; }
+
+  [[nodiscard]] std::uint64_t events_executed() const { return events_executed_; }
+  [[nodiscard]] std::size_t live_actor_count() const;
+
+ private:
+  friend class Actor;
+  friend class Trigger;
+
+  struct Event {
+    TimePoint time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Schedules a wakeup for a blocked actor (valid only while its epoch
+  // matches, so stale notifies and raced timeouts are ignored).
+  void wake(Actor* a, std::uint64_t epoch, bool by_trigger);
+  void transfer_to(Actor* a);
+  void drain_one_step(bool& made_progress);
+  void cancel_all_actors();
+
+  TimePoint now_{};
+  TimePoint time_limit_ = TimePoint::max();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
+  std::vector<std::unique_ptr<Actor>> actors_;
+  bool cancelling_ = false;
+  bool running_ = false;
+};
+
+}  // namespace lcmpi::sim

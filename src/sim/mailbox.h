@@ -1,0 +1,65 @@
+// Mailbox<T> — an unbounded FIFO channel between event handlers and actors.
+//
+// Producers (usually network completion callbacks on the kernel thread)
+// push values; consumer actors block until a value is available. Built on
+// Trigger, so wakeups follow the kernel's deterministic event order.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "src/sim/kernel.h"
+
+namespace lcmpi::sim {
+
+template <typename T>
+class Mailbox {
+ public:
+  Mailbox() = default;
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  void push(T value) {
+    items_.push_back(std::move(value));
+    trigger_.notify_all();
+  }
+
+  /// Non-blocking take.
+  std::optional<T> try_pop() {
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+  /// Blocking take (actor context only).
+  T pop(Actor& self) {
+    for (;;) {
+      if (auto v = try_pop()) return std::move(*v);
+      self.wait(trigger_);
+    }
+  }
+
+  /// Blocking take with timeout; nullopt on timeout.
+  std::optional<T> pop_with_timeout(Actor& self, Duration timeout) {
+    const TimePoint deadline = self.now() + timeout;
+    for (;;) {
+      if (auto v = try_pop()) return v;
+      const Duration remaining = deadline - self.now();
+      if (remaining.ns <= 0) return std::nullopt;
+      self.wait_with_timeout(trigger_, remaining);
+      if (self.now() >= deadline && items_.empty()) return std::nullopt;
+    }
+  }
+
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] Trigger& trigger() { return trigger_; }
+
+ private:
+  std::deque<T> items_;
+  Trigger trigger_;
+};
+
+}  // namespace lcmpi::sim

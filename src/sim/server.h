@@ -1,0 +1,67 @@
+// FifoServer — a single-server queueing station for the network models.
+//
+// Links, switch output ports, the Elan co-processor's command engine, the
+// i960 SAR on the Fore NIC: all are resources that serve one job at a time
+// in arrival order. Submitting a job with its service time schedules the
+// completion callback when the job's service finishes, including any
+// queueing delay behind earlier jobs.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <utility>
+
+#include "src/sim/kernel.h"
+#include "src/util/time.h"
+
+namespace lcmpi::sim {
+
+class FifoServer {
+ public:
+  explicit FifoServer(Kernel& kernel) : kernel_(kernel) {}
+  FifoServer(const FifoServer&) = delete;
+  FifoServer& operator=(const FifoServer&) = delete;
+
+  /// Enqueues a job taking `service` time; `done` runs when it completes.
+  void submit(Duration service, std::function<void()> done) {
+    queue_.push_back(Job{service, std::move(done)});
+    if (!busy_) start_next();
+  }
+
+  /// Jobs queued or in service.
+  [[nodiscard]] std::size_t backlog() const { return queue_.size() + (busy_ ? 1 : 0); }
+
+  /// Virtual time when the server will next be idle (now if idle already).
+  [[nodiscard]] TimePoint idle_at() const { return busy_ ? busy_until_ : kernel_.now(); }
+
+  /// Total time spent serving jobs (utilisation accounting).
+  [[nodiscard]] Duration busy_time() const { return busy_time_; }
+
+ private:
+  struct Job {
+    Duration service;
+    std::function<void()> done;
+  };
+
+  void start_next() {
+    if (queue_.empty()) return;
+    Job job = std::move(queue_.front());
+    queue_.pop_front();
+    busy_ = true;
+    busy_until_ = kernel_.now() + job.service;
+    busy_time_ += job.service;
+    kernel_.schedule(job.service, [this, done = std::move(job.done)]() mutable {
+      busy_ = false;
+      if (done) done();
+      start_next();
+    });
+  }
+
+  Kernel& kernel_;
+  std::deque<Job> queue_;
+  bool busy_ = false;
+  TimePoint busy_until_{};
+  Duration busy_time_{};
+};
+
+}  // namespace lcmpi::sim

@@ -1,0 +1,73 @@
+// Byte-buffer packing helpers.
+//
+// Wire messages in the models are real byte vectors (envelopes are packed
+// and parsed, payloads are carried end to end), so data integrity is
+// testable through the whole stack. Writer/Reader give bounds-checked
+// little-endian access for the POD header fields.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace lcmpi {
+
+using Bytes = std::vector<std::byte>;
+
+class ByteWriter {
+ public:
+  explicit ByteWriter(Bytes& out) : out_(out) {}
+
+  template <typename T>
+  void put(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t at = out_.size();
+    out_.resize(at + sizeof(T));
+    std::memcpy(out_.data() + at, &v, sizeof(T));
+  }
+
+  void put_bytes(const void* p, std::size_t n) {
+    const std::size_t at = out_.size();
+    out_.resize(at + n);
+    if (n > 0) std::memcpy(out_.data() + at, p, n);
+  }
+
+ private:
+  Bytes& out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const Bytes& in) : in_(in) {}
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    LCMPI_CHECK(pos_ + sizeof(T) <= in_.size(), "byte reader underflow");
+    T v;
+    std::memcpy(&v, in_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  void get_bytes(void* p, std::size_t n) {
+    LCMPI_CHECK(pos_ + n <= in_.size(), "byte reader underflow");
+    if (n > 0) std::memcpy(p, in_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  /// Remaining bytes as a fresh vector.
+  [[nodiscard]] Bytes rest() const { return Bytes(in_.begin() + static_cast<std::ptrdiff_t>(pos_), in_.end()); }
+
+  [[nodiscard]] std::size_t remaining() const { return in_.size() - pos_; }
+  [[nodiscard]] std::size_t position() const { return pos_; }
+
+ private:
+  const Bytes& in_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace lcmpi

@@ -1,0 +1,36 @@
+#include "src/util/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace lcmpi {
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kError};
+std::mutex g_mu;
+
+const char* level_tag(LogLevel l) {
+  switch (l) {
+    case LogLevel::kError: return "E";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kTrace: return "T";
+    default: return "?";
+  }
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void log_at(LogLevel level, const char* fmt, ...) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  std::fprintf(stderr, "[lcmpi:%s] ", level_tag(level));
+  va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stderr, fmt, ap);
+  va_end(ap);
+  std::fprintf(stderr, "\n");
+}
+
+}  // namespace lcmpi

@@ -1,0 +1,27 @@
+// Minimal leveled logging.
+//
+// Logging is off by default (benchmarks measure virtual time, but log I/O
+// still slows real runs); tests enable kDebug selectively. Thread-safe: the
+// simulator hands control to one actor at a time, but the real-threads shm
+// fabric logs concurrently.
+#pragma once
+
+#include <cstdarg>
+
+namespace lcmpi {
+
+enum class LogLevel { kNone = 0, kError, kInfo, kDebug, kTrace };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_at(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+#define LCMPI_LOG(level, ...)                                        \
+  do {                                                               \
+    if (static_cast<int>(::lcmpi::log_level()) >=                    \
+        static_cast<int>(::lcmpi::LogLevel::level))                  \
+      ::lcmpi::log_at(::lcmpi::LogLevel::level, __VA_ARGS__);        \
+  } while (0)
+
+}  // namespace lcmpi

@@ -1,0 +1,79 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/status.h"
+
+namespace lcmpi {
+
+void Samples::ensure_sorted() const {
+  if (sorted_.size() != xs_.size()) {
+    sorted_ = xs_;
+    std::sort(sorted_.begin(), sorted_.end());
+  }
+}
+
+double Samples::mean() const {
+  LCMPI_CHECK(!xs_.empty(), "mean of empty sample set");
+  double s = 0.0;
+  for (double x : xs_) s += x;
+  return s / static_cast<double>(xs_.size());
+}
+
+double Samples::min() const {
+  ensure_sorted();
+  LCMPI_CHECK(!sorted_.empty(), "min of empty sample set");
+  return sorted_.front();
+}
+
+double Samples::max() const {
+  ensure_sorted();
+  LCMPI_CHECK(!sorted_.empty(), "max of empty sample set");
+  return sorted_.back();
+}
+
+double Samples::stddev() const {
+  if (xs_.size() < 2) return 0.0;
+  const double m = mean();
+  double s = 0.0;
+  for (double x : xs_) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs_.size() - 1));
+}
+
+double Samples::percentile(double p) const {
+  ensure_sorted();
+  LCMPI_CHECK(!sorted_.empty(), "percentile of empty sample set");
+  if (p <= 0.0) return sorted_.front();
+  if (p >= 100.0) return sorted_.back();
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y) {
+  LCMPI_CHECK(x.size() == y.size() && x.size() >= 2, "fit_linear needs >=2 points");
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i]; sy += y[i];
+    sxx += x[i] * x[i]; sxy += x[i] * y[i]; syy += y[i] * y[i];
+  }
+  LinearFit f;
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) return f;
+  f.slope = (n * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double e = y[i] - (f.intercept + f.slope * x[i]);
+    ss_res += e * e;
+  }
+  f.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return f;
+}
+
+}  // namespace lcmpi

@@ -1,0 +1,39 @@
+// Small statistics helpers used by the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lcmpi {
+
+/// Accumulates samples; supports mean, min/max, stddev and percentiles.
+class Samples {
+ public:
+  void add(double x) { xs_.push_back(x); }
+  [[nodiscard]] std::size_t count() const { return xs_.size(); }
+  [[nodiscard]] bool empty() const { return xs_.empty(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double stddev() const;
+  /// p in [0,100]; nearest-rank on the sorted samples.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+ private:
+  std::vector<double> xs_;
+  mutable std::vector<double> sorted_;
+  void ensure_sorted() const;
+};
+
+/// Least-squares fit y = a + b*x. Used to extract per-byte cost / fixed
+/// overhead from latency-vs-size sweeps (the LogGP-style decomposition the
+/// paper performs implicitly when it quotes crossover points).
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace lcmpi

@@ -1,0 +1,60 @@
+// Error model for the library.
+//
+// The MPI layer reports recoverable standard-defined failures (truncation,
+// erroneous ready sends, resource exhaustion) with error codes mirroring
+// MPI-1.1 error classes; programming errors abort via exceptions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace lcmpi {
+
+/// MPI-1.1-style error classes used by the core library.
+enum class Err {
+  kSuccess = 0,
+  kTruncate,       // receive buffer smaller than incoming message
+  kNoPostedRecv,   // ready-mode send with no matching posted receive
+  kResources,      // envelope/unexpected-buffer resources exhausted
+  kBufferExhausted,// buffered send with insufficient attached buffer
+  kBadArgument,    // invalid count/datatype/rank/tag
+  kInternal,
+};
+
+[[nodiscard]] inline const char* err_name(Err e) {
+  switch (e) {
+    case Err::kSuccess: return "SUCCESS";
+    case Err::kTruncate: return "TRUNCATE";
+    case Err::kNoPostedRecv: return "NO_POSTED_RECV";
+    case Err::kResources: return "RESOURCES";
+    case Err::kBufferExhausted: return "BUFFER_EXHAUSTED";
+    case Err::kBadArgument: return "BAD_ARGUMENT";
+    case Err::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+/// Exception carrying an MPI error class; thrown by the default error
+/// handler (the analogue of MPI_ERRORS_ARE_FATAL, but testable).
+class MpiError : public std::runtime_error {
+ public:
+  MpiError(Err code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+  [[nodiscard]] Err code() const { return code_; }
+
+ private:
+  Err code_;
+};
+
+/// Internal invariant violation in the simulator or library.
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+#define LCMPI_CHECK(cond, msg)                                    \
+  do {                                                            \
+    if (!(cond)) throw ::lcmpi::InternalError(std::string(msg));  \
+  } while (0)
+
+}  // namespace lcmpi

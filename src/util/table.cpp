@@ -1,0 +1,60 @@
+#include "src/util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/util/status.h"
+
+namespace lcmpi {
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  LCMPI_CHECK(cells.size() == headers_.size(), "row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_row_values(const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) cells.push_back(fmt(v, precision));
+  add_row(std::move(cells));
+}
+
+void Table::print(std::FILE* out) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      std::fprintf(out, "%s%-*s", c ? "  " : "", static_cast<int>(width[c]), cells[c].c_str());
+    std::fprintf(out, "\n");
+  };
+  line(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    rule += std::string(width[c], '-') + (c + 1 < headers_.size() ? "  " : "");
+  std::fprintf(out, "%s\n", rule.c_str());
+  for (const auto& row : rows_) line(row);
+}
+
+void Table::print_csv(std::FILE* out) const {
+  auto csv_line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      std::fprintf(out, "%s%s", c ? "," : "", cells[c].c_str());
+    std::fprintf(out, "\n");
+  };
+  csv_line(headers_);
+  for (const auto& row : rows_) csv_line(row);
+}
+
+}  // namespace lcmpi

@@ -1,0 +1,37 @@
+// Plain-text table / CSV emission for the benchmark harnesses.
+//
+// Every bench binary prints the same rows/series the paper's figure or table
+// reports; Table keeps that output aligned and optionally mirrors it to CSV
+// so the series can be re-plotted.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace lcmpi {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Convenience: formats doubles with the given precision.
+  void add_row_values(const std::vector<double>& values, int precision = 2);
+
+  /// Writes an aligned ASCII table to `out`.
+  void print(std::FILE* out = stdout) const;
+  /// Writes comma-separated values (headers + rows) to `out`.
+  void print_csv(std::FILE* out) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for table cells).
+std::string fmt(double v, int precision = 2);
+
+}  // namespace lcmpi

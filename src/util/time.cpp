@@ -1,0 +1,18 @@
+#include "src/util/time.h"
+
+#include <cstdio>
+
+namespace lcmpi {
+
+std::string to_string(Duration d) {
+  char buf[64];
+  if (d.ns < 10'000) std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(d.ns));
+  else if (d.ns < 10'000'000) std::snprintf(buf, sizeof buf, "%.2fus", d.usec());
+  else if (d.ns < 10'000'000'000LL) std::snprintf(buf, sizeof buf, "%.2fms", d.msec());
+  else std::snprintf(buf, sizeof buf, "%.3fs", d.sec());
+  return buf;
+}
+
+std::string to_string(TimePoint t) { return to_string(Duration{t.ns}) + "@"; }
+
+}  // namespace lcmpi

@@ -1,0 +1,58 @@
+// Virtual-time representation shared by the simulator and the MPI library.
+//
+// All simulated clocks count integer nanoseconds from the start of the run.
+// Strong typedefs (rather than raw int64_t) keep durations and absolute
+// times from being mixed up across the fabric/simulator boundary.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace lcmpi {
+
+/// A span of virtual time, in nanoseconds. Supports the arithmetic needed by
+/// the network models; deliberately minimal otherwise.
+struct Duration {
+  std::int64_t ns = 0;
+
+  [[nodiscard]] constexpr double usec() const { return static_cast<double>(ns) / 1e3; }
+  [[nodiscard]] constexpr double msec() const { return static_cast<double>(ns) / 1e6; }
+  [[nodiscard]] constexpr double sec() const { return static_cast<double>(ns) / 1e9; }
+
+  constexpr Duration& operator+=(Duration d) { ns += d.ns; return *this; }
+  constexpr Duration& operator-=(Duration d) { ns -= d.ns; return *this; }
+  constexpr auto operator<=>(const Duration&) const = default;
+};
+
+constexpr Duration operator+(Duration a, Duration b) { return {a.ns + b.ns}; }
+constexpr Duration operator-(Duration a, Duration b) { return {a.ns - b.ns}; }
+constexpr Duration operator*(Duration a, std::int64_t k) { return {a.ns * k}; }
+constexpr Duration operator*(std::int64_t k, Duration a) { return {a.ns * k}; }
+
+constexpr Duration nanoseconds(std::int64_t n) { return {n}; }
+constexpr Duration microseconds(double us) { return {static_cast<std::int64_t>(us * 1e3)}; }
+constexpr Duration milliseconds(double ms) { return {static_cast<std::int64_t>(ms * 1e6)}; }
+constexpr Duration seconds(double s) { return {static_cast<std::int64_t>(s * 1e9)}; }
+
+/// An absolute point on a virtual clock, in nanoseconds since run start.
+struct TimePoint {
+  std::int64_t ns = 0;
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  static constexpr TimePoint max() { return {std::numeric_limits<std::int64_t>::max()}; }
+};
+
+constexpr TimePoint operator+(TimePoint t, Duration d) { return {t.ns + d.ns}; }
+constexpr Duration operator-(TimePoint a, TimePoint b) { return {a.ns - b.ns}; }
+
+/// Time to move `bytes` across a link of `bytes_per_sec` throughput.
+constexpr Duration transmission_time(std::int64_t bytes, double bytes_per_sec) {
+  return {static_cast<std::int64_t>(static_cast<double>(bytes) / bytes_per_sec * 1e9)};
+}
+
+std::string to_string(Duration d);
+std::string to_string(TimePoint t);
+
+}  // namespace lcmpi

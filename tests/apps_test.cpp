@@ -1,0 +1,198 @@
+// Application kernels vs serial references, on multiple platforms and
+// both MPI implementations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/apps/matmul.h"
+#include "src/apps/particles.h"
+#include "src/apps/solver.h"
+#include "src/runtime/world.h"
+
+namespace lcmpi::apps {
+namespace {
+
+using mpi::Comm;
+using mpi::MpichComm;
+using runtime::ClusterWorld;
+using runtime::LoopWorld;
+using runtime::MeikoWorld;
+using runtime::Media;
+using runtime::MpichMeikoWorld;
+using runtime::Transport;
+
+TEST(SolverTest, SerialSolvesKnownSystem) {
+  LinearSystem s;
+  s.n = 2;
+  s.a = {2.0, 1.0, 1.0, 3.0};
+  s.b = {5.0, 10.0};
+  auto x = solve_serial(s);
+  EXPECT_NEAR(x[0], 1.0, 1e-9);
+  EXPECT_NEAR(x[1], 3.0, 1e-9);
+}
+
+TEST(SolverTest, SerialResidualSmall) {
+  LinearSystem s = LinearSystem::random(48, 7);
+  auto x = solve_serial(s);
+  for (int i = 0; i < s.n; ++i) {
+    double acc = 0;
+    for (int j = 0; j < s.n; ++j)
+      acc += s.a[static_cast<std::size_t>(i) * s.n + j] * x[static_cast<std::size_t>(j)];
+    EXPECT_NEAR(acc, s.b[static_cast<std::size_t>(i)], 1e-8);
+  }
+}
+
+class SolverParallelTest : public testing::TestWithParam<int> {};
+
+TEST_P(SolverParallelTest, MatchesSerialOnMeiko) {
+  const int p = GetParam();
+  LinearSystem sys = LinearSystem::random(32, 11);
+  auto want = solve_serial(sys);
+  std::vector<double> got;
+  MeikoWorld w(p);
+  w.run([&](Comm& c, sim::Actor& self) {
+    auto x = solve_parallel(c, self, sys, sparc_profile());
+    if (c.rank() == 0) got = x;
+  });
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) EXPECT_NEAR(got[i], want[i], 1e-8);
+}
+
+TEST_P(SolverParallelTest, MatchesSerialOnMpich) {
+  const int p = GetParam();
+  LinearSystem sys = LinearSystem::random(24, 13);
+  auto want = solve_serial(sys);
+  std::vector<double> got;
+  MpichMeikoWorld w(p);
+  w.run([&](MpichComm& c, sim::Actor& self) {
+    auto x = solve_parallel(c, self, sys, sparc_profile());
+    if (c.rank() == 0) got = x;
+  });
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) EXPECT_NEAR(got[i], want[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, SolverParallelTest, testing::Values(1, 2, 3, 4, 8),
+                         [](const testing::TestParamInfo<int>& i) {
+                           return "P" + std::to_string(i.param);
+                         });
+
+TEST(SolverTest, MoreRanksRunFasterOnMeiko) {
+  // Large enough that elimination compute dominates the broadcasts.
+  LinearSystem sys = LinearSystem::random(128, 17);
+  auto time_at = [&](int p) {
+    MeikoWorld w(p);
+    return w
+        .run([&](Comm& c, sim::Actor& self) {
+          (void)solve_parallel(c, self, sys, sparc_profile());
+        })
+        .usec();
+  };
+  const double t1 = time_at(1);
+  const double t4 = time_at(4);
+  EXPECT_LT(t4, t1 * 0.6);
+}
+
+TEST(MatmulTest, SerialAgainstHandResult) {
+  std::vector<double> a{1, 2, 3, 4};
+  std::vector<double> b{5, 6, 7, 8};
+  auto c = matmul_serial(a, b, 2);
+  EXPECT_DOUBLE_EQ(c[0], 19);
+  EXPECT_DOUBLE_EQ(c[1], 22);
+  EXPECT_DOUBLE_EQ(c[2], 43);
+  EXPECT_DOUBLE_EQ(c[3], 50);
+}
+
+TEST(MatmulTest, ParallelMatchesSerial) {
+  const int n = 24;
+  auto a = random_matrix(n, 3);
+  auto b = random_matrix(n, 4);
+  auto want = matmul_serial(a, b, n);
+  std::vector<double> got;
+  MeikoWorld w(4);
+  w.run([&](Comm& c, sim::Actor& self) {
+    auto r = matmul_parallel(c, self, a, b, n, sparc_profile());
+    if (c.rank() == 0) got = r;
+  });
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) EXPECT_NEAR(got[i], want[i], 1e-9);
+}
+
+TEST(ParticlesTest, SerialForcesAreAntisymmetricForTwoEqualCharges) {
+  std::vector<Particle> ps(2);
+  ps[0] = {0, 0, 0, 1.0};
+  ps[1] = {1, 0, 0, 1.0};
+  auto f = forces_serial(ps);
+  EXPECT_NEAR(f[0].fx, -f[1].fx, 1e-12);
+  EXPECT_LT(f[0].fx, 0.0);  // like charges repel: particle 0 pushed -x
+}
+
+class ParticlesRingTest : public testing::TestWithParam<int> {};
+
+TEST_P(ParticlesRingTest, RingMatchesSerialOnMeiko) {
+  const int p = GetParam();
+  auto all = random_particles(24, 5);  // the paper's Fig. 8 workload size
+  auto want = forces_serial(all);
+  std::vector<std::vector<Force>> got(static_cast<std::size_t>(p));
+  MeikoWorld w(p);
+  w.run([&](Comm& c, sim::Actor& self) {
+    got[static_cast<std::size_t>(c.rank())] = forces_ring(c, self, all, sparc_profile());
+  });
+  std::vector<Force> flat;
+  for (auto& part : got) flat.insert(flat.end(), part.begin(), part.end());
+  ASSERT_EQ(flat.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_NEAR(flat[i].fx, want[i].fx, 1e-9) << i;
+    EXPECT_NEAR(flat[i].fy, want[i].fy, 1e-9) << i;
+    EXPECT_NEAR(flat[i].fz, want[i].fz, 1e-9) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, ParticlesRingTest, testing::Values(1, 2, 3, 4, 6, 8),
+                         [](const testing::TestParamInfo<int>& i) {
+                           return "P" + std::to_string(i.param);
+                         });
+
+TEST(ParticlesTest, RingMatchesSerialOnMpich) {
+  auto all = random_particles(24, 9);
+  auto want = forces_serial(all);
+  std::vector<std::vector<Force>> got(4);
+  MpichMeikoWorld w(4);
+  w.run([&](MpichComm& c, sim::Actor& self) {
+    got[static_cast<std::size_t>(c.rank())] = forces_ring(c, self, all, sparc_profile());
+  });
+  std::vector<Force> flat;
+  for (auto& part : got) flat.insert(flat.end(), part.begin(), part.end());
+  for (std::size_t i = 0; i < want.size(); ++i) EXPECT_NEAR(flat[i].fx, want[i].fx, 1e-9);
+}
+
+TEST(ParticlesTest, RingMatchesSerialOnTcpCluster) {
+  auto all = random_particles(32, 15);
+  auto want = forces_serial(all);
+  std::vector<std::vector<Force>> got(4);
+  ClusterWorld w(4, Media::kAtm, Transport::kTcp);
+  w.run([&](Comm& c, sim::Actor& self) {
+    got[static_cast<std::size_t>(c.rank())] = forces_ring(c, self, all, sgi_profile());
+  });
+  std::vector<Force> flat;
+  for (auto& part : got) flat.insert(flat.end(), part.begin(), part.end());
+  ASSERT_EQ(flat.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) EXPECT_NEAR(flat[i].fx, want[i].fx, 1e-9);
+}
+
+TEST(ParticlesTest, UnevenPartitionStillCorrect) {
+  auto all = random_particles(25, 21);  // 25 particles over 4 ranks
+  auto want = forces_serial(all);
+  std::vector<std::vector<Force>> got(4);
+  LoopWorld w(4);
+  w.run([&](Comm& c, sim::Actor& self) {
+    got[static_cast<std::size_t>(c.rank())] = forces_ring(c, self, all, sparc_profile());
+  });
+  std::vector<Force> flat;
+  for (auto& part : got) flat.insert(flat.end(), part.begin(), part.end());
+  ASSERT_EQ(flat.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) EXPECT_NEAR(flat[i].fy, want[i].fy, 1e-9);
+}
+
+}  // namespace
+}  // namespace lcmpi::apps

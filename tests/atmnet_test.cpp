@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "src/atmnet/atm.h"
+#include "src/atmnet/ethernet.h"
+
+namespace lcmpi::atmnet {
+namespace {
+
+Bytes payload(std::size_t n) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = static_cast<std::byte>(i * 7 + 1);
+  return b;
+}
+
+TEST(AtmTest, CellMathIncludesTrailerAndPadding) {
+  sim::Kernel k;
+  AtmNetwork net(k, 2);
+  // 40 bytes + 8 trailer = 48 -> exactly one cell.
+  EXPECT_EQ(net.cells_for(40), 1);
+  // 41 bytes + 8 = 49 -> two cells.
+  EXPECT_EQ(net.cells_for(41), 2);
+  EXPECT_EQ(net.cells_for(9140), (9140 + 8 + 47) / 48);
+}
+
+TEST(AtmTest, WireTimeMatchesLinkRate) {
+  sim::Kernel k;
+  AtmNetwork net(k, 2);
+  // One cell: 53 bytes at 155 Mb/s = 2.735 us.
+  EXPECT_NEAR(net.wire_time(1).usec(), 53.0 * 8.0 / 155.0, 0.01);
+}
+
+TEST(AtmTest, PduDeliveredIntactWithExpectedLatency) {
+  sim::Kernel k;
+  AtmNetwork net(k, 4);
+  Bytes got;
+  std::int64_t at = -1;
+  net.set_handler(2, [&](int src, Bytes b) {
+    EXPECT_EQ(src, 0);
+    got = std::move(b);
+    at = k.now().ns;
+  });
+  k.schedule(Duration{0}, [&] { net.send(0, 2, payload(100)); });
+  k.run();
+  EXPECT_EQ(got, payload(100));
+  const AtmCalib c;
+  const std::int64_t ncells = net.cells_for(100);
+  const Duration expect = (c.sar_per_pdu + c.sar_per_cell * ncells) * 2 +
+                          net.wire_time(100) + c.switch_transit + c.propagation;
+  EXPECT_EQ(at, expect.ns);
+}
+
+TEST(AtmTest, UplinkSerializesConcurrentSendsFromOneHost) {
+  sim::Kernel k;
+  AtmNetwork net(k, 3);
+  std::vector<std::int64_t> at(3, -1);
+  net.set_handler(1, [&](int, Bytes) { at[1] = k.now().ns; });
+  net.set_handler(2, [&](int, Bytes) { at[2] = k.now().ns; });
+  k.schedule(Duration{0}, [&] {
+    net.send(0, 1, payload(4000));
+    net.send(0, 2, payload(4000));
+  });
+  k.run();
+  // The second PDU queues behind the first on host 0's uplink.
+  EXPECT_GE(at[2] - at[1], net.wire_time(4000).ns);
+}
+
+TEST(AtmTest, OversizedPduRejected) {
+  sim::Kernel k;
+  AtmNetwork net(k, 2);
+  EXPECT_THROW(net.send(0, 1, payload(20000)), InternalError);
+}
+
+TEST(AtmTest, LossInjectionDropsSomePdus) {
+  sim::Kernel k;
+  AtmNetwork net(k, 2);
+  net.set_loss(0.5, 1234);
+  int delivered = 0;
+  net.set_handler(1, [&](int, Bytes) { ++delivered; });
+  k.schedule(Duration{0}, [&] {
+    for (int i = 0; i < 100; ++i) net.send(0, 1, payload(10));
+  });
+  k.run();
+  EXPECT_GT(delivered, 20);
+  EXPECT_LT(delivered, 80);
+  EXPECT_EQ(delivered + net.pdus_dropped(), 100);
+}
+
+TEST(EthernetTest, FrameTimeIncludesOverheadAndPadding) {
+  sim::Kernel k;
+  EthernetNetwork net(k, 2);
+  // 1-byte payload pads to 46, +38 overhead = 84 bytes at 10 Mb/s = 67.2 us.
+  EXPECT_NEAR(net.frame_time(1).usec(), 84 * 0.8, 0.01);
+  // Full frame: 1500 + 38 = 1538 bytes = 1230.4 us.
+  EXPECT_NEAR(net.frame_time(1500).usec(), 1538 * 0.8, 0.01);
+}
+
+TEST(EthernetTest, SharedBusSerializesAllHosts) {
+  sim::Kernel k;
+  EthernetNetwork net(k, 4);
+  std::vector<std::int64_t> at;
+  net.set_handler(3, [&](int, Bytes) { at.push_back(k.now().ns); });
+  k.schedule(Duration{0}, [&] {
+    net.send(0, 3, payload(1000));
+    net.send(1, 3, payload(1000));  // different source, same bus
+  });
+  k.run();
+  ASSERT_EQ(at.size(), 2u);
+  EXPECT_GE(at[1] - at[0], net.frame_time(1000).ns);
+}
+
+TEST(EthernetTest, BroadcastReachesEveryoneInOneOccupancy) {
+  sim::Kernel k;
+  EthernetNetwork net(k, 5);
+  std::vector<int> hit;
+  std::vector<std::int64_t> at;
+  for (int h = 0; h < 5; ++h)
+    net.set_handler(h, [&, h](int src, Bytes) {
+      EXPECT_EQ(src, 2);
+      hit.push_back(h);
+      at.push_back(k.now().ns);
+    });
+  k.schedule(Duration{0}, [&] { net.broadcast(2, payload(100)); });
+  k.run();
+  EXPECT_EQ(hit.size(), 4u);
+  for (std::size_t i = 1; i < at.size(); ++i) EXPECT_EQ(at[i], at[0]);
+  // One frame time of bus occupancy, not four.
+  EXPECT_EQ(net.bus_busy_time().ns, net.frame_time(100).ns);
+}
+
+TEST(EthernetTest, DataIntegrityAcrossBus) {
+  sim::Kernel k;
+  EthernetNetwork net(k, 2);
+  Bytes got;
+  net.set_handler(1, [&](int, Bytes b) { got = std::move(b); });
+  k.schedule(Duration{0}, [&] { net.send(0, 1, payload(1500)); });
+  k.run();
+  EXPECT_EQ(got, payload(1500));
+}
+
+}  // namespace
+}  // namespace lcmpi::atmnet

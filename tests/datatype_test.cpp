@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <numeric>
+
+#include "src/core/datatype.h"
+
+namespace lcmpi::mpi {
+namespace {
+
+TEST(DatatypeTest, BasicTypesHaveExpectedGeometry) {
+  EXPECT_EQ(Datatype::byte_type().size(), 1);
+  EXPECT_EQ(Datatype::int32_type().size(), 4);
+  EXPECT_EQ(Datatype::int64_type().size(), 8);
+  EXPECT_EQ(Datatype::double_type().extent(), 8);
+  EXPECT_TRUE(Datatype::double_type().is_contiguous());
+  EXPECT_EQ(Datatype::float_type().primitive(), Datatype::Primitive::kFloat);
+}
+
+TEST(DatatypeTest, ContiguousComposes) {
+  Datatype t = Datatype::contiguous(5, Datatype::int32_type());
+  EXPECT_EQ(t.size(), 20);
+  EXPECT_EQ(t.extent(), 20);
+  EXPECT_TRUE(t.is_contiguous());
+  EXPECT_EQ(t.primitive(), Datatype::Primitive::kNone);  // derived
+}
+
+TEST(DatatypeTest, PackUnpackRoundTripContiguous) {
+  std::array<std::int32_t, 6> src{1, 2, 3, 4, 5, 6};
+  std::array<std::int32_t, 6> dst{};
+  Datatype t = Datatype::int32_type();
+  Bytes packed = t.pack(src.data(), 6);
+  EXPECT_EQ(packed.size(), 24u);
+  t.unpack(packed, dst.data(), 6);
+  EXPECT_EQ(src, dst);
+}
+
+TEST(DatatypeTest, VectorSelectsStridedColumns) {
+  // A 4x4 int matrix; vector(4, 1, 4) picks one column.
+  std::array<std::int32_t, 16> m{};
+  std::iota(m.begin(), m.end(), 0);
+  Datatype col = Datatype::vector(4, 1, 4, Datatype::int32_type());
+  EXPECT_EQ(col.size(), 16);       // four ints of payload
+  EXPECT_FALSE(col.is_contiguous());
+  Bytes packed = col.pack(m.data(), 1);
+  std::array<std::int32_t, 4> vals{};
+  std::memcpy(vals.data(), packed.data(), 16);
+  EXPECT_EQ(vals, (std::array<std::int32_t, 4>{0, 4, 8, 12}));
+}
+
+TEST(DatatypeTest, VectorUnpackScattersBack) {
+  Datatype col = Datatype::vector(4, 1, 4, Datatype::int32_type());
+  std::array<std::int32_t, 4> vals{10, 20, 30, 40};
+  Bytes packed(16);
+  std::memcpy(packed.data(), vals.data(), 16);
+  std::array<std::int32_t, 16> m{};
+  col.unpack(packed, m.data(), 1);
+  EXPECT_EQ(m[0], 10);
+  EXPECT_EQ(m[4], 20);
+  EXPECT_EQ(m[8], 30);
+  EXPECT_EQ(m[12], 40);
+  EXPECT_EQ(m[1], 0);  // holes untouched
+}
+
+TEST(DatatypeTest, IndexedIrregularBlocks) {
+  Datatype t = Datatype::indexed({2, 1}, {0, 3}, Datatype::int32_type());
+  EXPECT_EQ(t.size(), 12);
+  std::array<std::int32_t, 4> src{7, 8, 9, 10};
+  Bytes packed = t.pack(src.data(), 1);
+  std::array<std::int32_t, 3> got{};
+  std::memcpy(got.data(), packed.data(), 12);
+  EXPECT_EQ(got, (std::array<std::int32_t, 3>{7, 8, 10}));
+}
+
+TEST(DatatypeTest, StructMixedTypes) {
+  struct Particle {
+    double x;
+    double y;
+    std::int32_t id;
+    std::int32_t pad;
+  };
+  Datatype t = Datatype::structure({2, 1}, {0, 16},
+                                   {Datatype::double_type(), Datatype::int32_type()});
+  EXPECT_EQ(t.size(), 20);
+  Particle p{1.5, 2.5, 42, 0};
+  Bytes packed = t.pack(&p, 1);
+  double xy[2];
+  std::int32_t id = 0;
+  std::memcpy(xy, packed.data(), 16);
+  std::memcpy(&id, packed.data() + 16, 4);
+  EXPECT_DOUBLE_EQ(xy[0], 1.5);
+  EXPECT_DOUBLE_EQ(xy[1], 2.5);
+  EXPECT_EQ(id, 42);
+}
+
+TEST(DatatypeTest, AdjacentBlocksCoalesce) {
+  Datatype t = Datatype::indexed({1, 1}, {0, 1}, Datatype::int32_type());
+  EXPECT_EQ(t.blocks().size(), 1u);  // [0,4) and [4,8) merge
+  EXPECT_EQ(t.size(), 8);
+}
+
+TEST(DatatypeTest, MultiElementPackUsesExtentStride) {
+  Datatype two = Datatype::vector(2, 1, 2, Datatype::int32_type());
+  // extent: from byte 0 to end of second block = 3 ints? stride 2 ints,
+  // blocks at 0 and 8; extent = 12.
+  EXPECT_EQ(two.extent(), 12);
+  std::array<std::int32_t, 6> src{1, 2, 3, 4, 5, 6};
+  Bytes packed = two.pack(src.data(), 2);
+  EXPECT_EQ(packed.size(), 16u);
+  std::array<std::int32_t, 4> got{};
+  std::memcpy(got.data(), packed.data(), 16);
+  // Element 0 picks src[0], src[2]; element 1 starts at byte 12 -> src[3], src[5].
+  EXPECT_EQ(got, (std::array<std::int32_t, 4>{1, 3, 4, 6}));
+}
+
+TEST(DatatypeTest, OverlappingBlocksRejected) {
+  EXPECT_THROW(Datatype::indexed({2, 1}, {0, 1}, Datatype::int32_type()), InternalError);
+}
+
+TEST(DatatypeTest, PartialUnpackStopsAtAvailableBytes) {
+  Datatype t = Datatype::int32_type();
+  std::array<std::int32_t, 4> dst{9, 9, 9, 9};
+  Bytes packed(8);
+  std::int32_t vals[2] = {1, 2};
+  std::memcpy(packed.data(), vals, 8);
+  const std::int64_t used = t.unpack(packed, dst.data(), 4);
+  EXPECT_EQ(used, 8);
+  EXPECT_EQ(dst[0], 1);
+  EXPECT_EQ(dst[1], 2);
+  EXPECT_EQ(dst[2], 9);  // untouched
+}
+
+}  // namespace
+}  // namespace lcmpi::mpi

@@ -1,0 +1,224 @@
+// Fabric-layer unit tests: wire formats, delivery, capability plumbing.
+#include <gtest/gtest.h>
+
+#include "src/atmnet/atm.h"
+#include "src/fabric/loop_fabric.h"
+#include "src/fabric/meiko_fabric.h"
+#include "src/fabric/stream_fabric.h"
+#include "src/inet/tcp.h"
+
+namespace lcmpi::fabric {
+namespace {
+
+ProtoMsg sample_msg() {
+  ProtoMsg m;
+  m.kind = MsgKind::kEager;
+  m.tag = 1234;
+  m.context = 7;
+  m.mode = 2;
+  m.sender_req = 99;
+  m.seq = 5;
+  m.payload = Bytes(48, std::byte{0xab});
+  m.size = 48;
+  return m;
+}
+
+// ------------------------------------------------------------- MeikoFabric
+
+TEST(MeikoFabricTest, RoundTripsEveryEnvelopeField) {
+  sim::Kernel k;
+  meiko::Machine machine(k, 2);
+  MeikoFabric f(machine);
+  std::optional<ProtoMsg> got;
+  k.spawn("tx", [&](sim::Actor& self) { f.endpoint(0).send(self, 1, sample_msg()); });
+  k.spawn("rx", [&](sim::Actor& self) {
+    while (!(got = f.endpoint(1).poll(self))) f.endpoint(1).wait_activity(self);
+  });
+  k.run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->kind, MsgKind::kEager);
+  EXPECT_EQ(got->src, 0);
+  EXPECT_EQ(got->tag, 1234);
+  EXPECT_EQ(got->context, 7u);
+  EXPECT_EQ(got->mode, 2);
+  EXPECT_EQ(got->sender_req, 99u);
+  EXPECT_EQ(got->seq, 5u);
+  EXPECT_EQ(got->payload, Bytes(48, std::byte{0xab}));
+}
+
+TEST(MeikoFabricTest, CapsMatchThePaper) {
+  sim::Kernel k;
+  meiko::Machine machine(k, 2);
+  MeikoFabric f(machine);
+  EXPECT_TRUE(f.caps().hw_broadcast);
+  EXPECT_TRUE(f.caps().pull_bulk);
+  EXPECT_EQ(f.caps().flow, FlowControl::kSingleSlot);
+  EXPECT_EQ(f.caps().eager_threshold, 180);
+}
+
+TEST(MeikoFabricTest, PollChargesSparcPickup) {
+  sim::Kernel k;
+  meiko::Machine machine(k, 2);
+  MeikoFabric f(machine);
+  std::int64_t poll_cost = -1;
+  k.spawn("tx", [&](sim::Actor& self) { f.endpoint(0).send(self, 1, sample_msg()); });
+  k.spawn("rx", [&](sim::Actor& self) {
+    Endpoint& ep = f.endpoint(1);
+    self.advance(milliseconds(1));  // message already delivered
+    const TimePoint t0 = self.now();
+    auto m = ep.poll(self);
+    ASSERT_TRUE(m.has_value());
+    poll_cost = (self.now() - t0).ns;
+  });
+  k.run();
+  EXPECT_EQ(poll_cost, machine.calib().sparc_poll_deliver.ns);
+}
+
+TEST(MeikoFabricTest, BulkStagePullCarriesData) {
+  sim::Kernel k;
+  meiko::Machine machine(k, 2);
+  MeikoFabric f(machine);
+  Bytes got;
+  bool pulled = false;
+  k.spawn("owner", [&](sim::Actor& self) {
+    (void)f.endpoint(0).stage_bulk(self, Bytes(1000, std::byte{7}),
+                                   [&] { pulled = true; });
+  });
+  k.spawn("requester", [&](sim::Actor& self) {
+    self.advance(microseconds(100));
+    f.endpoint(1).pull_bulk(self, 0, 1, [&](Bytes data) { got = std::move(data); });
+    self.advance(milliseconds(5));
+  });
+  k.run();
+  EXPECT_TRUE(pulled);
+  EXPECT_EQ(got, Bytes(1000, std::byte{7}));
+}
+
+// ------------------------------------------------------------ StreamFabric
+
+struct StreamWorld {
+  sim::Kernel kernel;
+  atmnet::AtmNetwork net{kernel, 2};
+  inet::InetCluster cluster{net, inet::atm_profile()};
+  inet::TcpConnection* conn = nullptr;
+  std::unique_ptr<StreamFabric> fabric;
+
+  StreamWorld() {
+    conn = &cluster.tcp_pair(0, 1);
+    std::vector<std::vector<inet::StreamEndpoint*>> streams{
+        {nullptr, &conn->a()}, {&conn->b(), nullptr}};
+    fabric = std::make_unique<StreamFabric>(kernel, std::move(streams));
+  }
+};
+
+TEST(StreamFabricTest, ControlRecordIs25BytesOnTheWire) {
+  // One eager message with no payload = exactly the paper's 25 bytes of
+  // MPI protocol information on the stream.
+  StreamWorld w;
+  ProtoMsg m;
+  m.kind = MsgKind::kCredit;
+  w.kernel.spawn("tx", [&](sim::Actor& self) {
+    w.fabric->endpoint(0).send(self, 1, std::move(m));
+  });
+  w.kernel.spawn("rx", [&](sim::Actor& self) {
+    self.advance(milliseconds(4));
+    EXPECT_EQ(w.conn->b().available(), 25u);
+    auto got = w.fabric->endpoint(1).poll(self);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->kind, MsgKind::kCredit);
+  });
+  w.kernel.run();
+}
+
+TEST(StreamFabricTest, RoundTripsEnvelopeAndPayload) {
+  StreamWorld w;
+  std::optional<ProtoMsg> got;
+  w.kernel.spawn("tx", [&](sim::Actor& self) {
+    w.fabric->endpoint(0).send(self, 1, sample_msg());
+  });
+  w.kernel.spawn("rx", [&](sim::Actor& self) {
+    Endpoint& ep = w.fabric->endpoint(1);
+    while (!(got = ep.poll(self))) ep.wait_activity(self);
+  });
+  w.kernel.run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->tag, 1234);
+  EXPECT_EQ(got->context, 7u);
+  EXPECT_EQ(got->sender_req, 99u);
+  EXPECT_EQ(got->payload, Bytes(48, std::byte{0xab}));
+}
+
+TEST(StreamFabricTest, BackToBackRecordsParseCleanly) {
+  StreamWorld w;
+  std::vector<std::int32_t> tags;
+  w.kernel.spawn("tx", [&](sim::Actor& self) {
+    for (std::int32_t t = 0; t < 5; ++t) {
+      ProtoMsg m = sample_msg();
+      m.tag = t;
+      m.seq = static_cast<std::uint64_t>(t);
+      w.fabric->endpoint(0).send(self, 1, std::move(m));
+    }
+  });
+  w.kernel.spawn("rx", [&](sim::Actor& self) {
+    Endpoint& ep = w.fabric->endpoint(1);
+    while (tags.size() < 5) {
+      if (auto m = ep.poll(self)) tags.push_back(m->tag);
+      else ep.wait_activity(self);
+    }
+  });
+  w.kernel.run();
+  EXPECT_EQ(tags, (std::vector<std::int32_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(StreamFabricTest, CapsAreCreditPushMode) {
+  StreamWorld w;
+  EXPECT_FALSE(w.fabric->caps().hw_broadcast);
+  EXPECT_FALSE(w.fabric->caps().pull_bulk);
+  EXPECT_EQ(w.fabric->caps().flow, FlowControl::kCredit);
+  EXPECT_EQ(w.fabric->caps().control_record_bytes, 25);
+}
+
+// -------------------------------------------------------------- LoopFabric
+
+TEST(LoopFabricTest, DeliveryAfterConfiguredLatency) {
+  sim::Kernel k;
+  LoopFabric::Options opt;
+  opt.latency = microseconds(33);
+  LoopFabric f(k, 2, opt);
+  std::int64_t at = -1;
+  k.spawn("tx", [&](sim::Actor& self) { f.endpoint(0).send(self, 1, sample_msg()); });
+  k.spawn("rx", [&](sim::Actor& self) {
+    Endpoint& ep = f.endpoint(1);
+    std::optional<ProtoMsg> m;
+    while (!(m = ep.poll(self))) ep.wait_activity(self);
+    at = self.now().ns;
+  });
+  k.run();
+  EXPECT_EQ(at, 33'000);
+}
+
+TEST(LoopFabricTest, HwBroadcastReachesAllOthers) {
+  sim::Kernel k;
+  LoopFabric f(k, 4);
+  int received = 0;
+  k.spawn("root", [&](sim::Actor& self) {
+    ProtoMsg m = sample_msg();
+    m.kind = MsgKind::kBcast;
+    f.endpoint(2).hw_broadcast(self, std::move(m));
+  });
+  for (int r = 0; r < 4; ++r) {
+    if (r == 2) continue;
+    k.spawn("rx" + std::to_string(r), [&, r](sim::Actor& self) {
+      Endpoint& ep = f.endpoint(r);
+      std::optional<ProtoMsg> m;
+      while (!(m = ep.poll(self))) ep.wait_activity(self);
+      EXPECT_EQ(m->src, 2);
+      ++received;
+    });
+  }
+  k.run();
+  EXPECT_EQ(received, 3);
+}
+
+}  // namespace
+}  // namespace lcmpi::fabric

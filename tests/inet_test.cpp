@@ -1,0 +1,366 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/atmnet/atm.h"
+#include "src/atmnet/ethernet.h"
+#include "src/inet/rudp.h"
+#include "src/inet/tcp.h"
+#include "src/util/rng.h"
+
+namespace lcmpi::inet {
+namespace {
+
+Bytes random_bytes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Bytes b(n);
+  for (auto& x : b) x = static_cast<std::byte>(rng.next_below(256));
+  return b;
+}
+
+struct EthWorld {
+  sim::Kernel kernel;
+  atmnet::EthernetNetwork net{kernel, 4};
+  InetCluster cluster{net, ethernet_profile()};
+};
+
+struct AtmWorld {
+  sim::Kernel kernel;
+  atmnet::AtmNetwork net{kernel, 4};
+  InetCluster cluster{net, atm_profile()};
+};
+
+// --------------------------------------------------------------------- TCP
+
+TEST(TcpTest, StreamDeliversBytesInOrder) {
+  EthWorld w;
+  TcpConnection& c = w.cluster.tcp_pair(0, 1);
+  const Bytes msg = random_bytes(10'000, 42);
+  Bytes got(msg.size());
+  w.kernel.spawn("writer", [&](sim::Actor& self) { c.a().write(self, msg); });
+  w.kernel.spawn("reader", [&](sim::Actor& self) {
+    c.b().read_exact(self, got.data(), got.size());
+  });
+  w.kernel.run();
+  EXPECT_EQ(got, msg);
+}
+
+TEST(TcpTest, BidirectionalTrafficDoesNotInterfere) {
+  AtmWorld w;
+  TcpConnection& c = w.cluster.tcp_pair(0, 1);
+  const Bytes m1 = random_bytes(5'000, 1);
+  const Bytes m2 = random_bytes(7'000, 2);
+  Bytes g1(m1.size()), g2(m2.size());
+  w.kernel.spawn("h0", [&](sim::Actor& self) {
+    c.a().write(self, m1);
+    c.a().read_exact(self, g2.data(), g2.size());
+  });
+  w.kernel.spawn("h1", [&](sim::Actor& self) {
+    c.b().write(self, m2);
+    c.b().read_exact(self, g1.data(), g1.size());
+  });
+  w.kernel.run();
+  EXPECT_EQ(g1, m1);
+  EXPECT_EQ(g2, m2);
+}
+
+TEST(TcpTest, SegmentationRespectsMss) {
+  EthWorld w;
+  TcpConnection& c = w.cluster.tcp_pair(0, 1);
+  const std::int64_t mss = c.a().mss();
+  EXPECT_EQ(mss, 1500 - 40);
+  const Bytes msg = random_bytes(static_cast<std::size_t>(3 * mss + 10), 3);
+  Bytes got(msg.size());
+  w.kernel.spawn("writer", [&](sim::Actor& self) { c.a().write(self, msg); });
+  w.kernel.spawn("reader", [&](sim::Actor& self) {
+    c.b().read_exact(self, got.data(), got.size());
+  });
+  w.kernel.run();
+  EXPECT_EQ(got, msg);
+  EXPECT_EQ(c.a().segments_sent(), 4);
+}
+
+TEST(TcpTest, WriterBlocksOnFullSendBufferThenDrains) {
+  EthWorld w;
+  TcpConnection& c = w.cluster.tcp_pair(0, 1);
+  const Bytes msg = random_bytes(200'000, 4);  // > sndbuf + rcvbuf
+  Bytes got(msg.size());
+  bool write_done = false;
+  w.kernel.spawn("writer", [&](sim::Actor& self) {
+    c.a().write(self, msg);
+    write_done = true;
+  });
+  w.kernel.spawn("reader", [&](sim::Actor& self) {
+    self.advance(milliseconds(50));  // let buffers fill first
+    c.b().read_exact(self, got.data(), got.size());
+  });
+  w.kernel.run();
+  EXPECT_TRUE(write_done);
+  EXPECT_EQ(got, msg);
+}
+
+TEST(TcpTest, RecoversFromPacketLoss) {
+  EthWorld w;
+  w.net.set_loss(0.05, 99);
+  TcpConnection& c = w.cluster.tcp_pair(0, 1);
+  const Bytes msg = random_bytes(120'000, 5);
+  Bytes got(msg.size());
+  w.kernel.spawn("writer", [&](sim::Actor& self) { c.a().write(self, msg); });
+  w.kernel.spawn("reader", [&](sim::Actor& self) {
+    c.b().read_exact(self, got.data(), got.size());
+  });
+  w.kernel.run();
+  EXPECT_EQ(got, msg);
+  EXPECT_GT(c.a().retransmits(), 0);
+}
+
+TEST(TcpTest, SlowReaderThrottlesViaWindowWithoutLoss) {
+  AtmWorld w;
+  TcpConnection& c = w.cluster.tcp_pair(0, 1);
+  const Bytes msg = random_bytes(500'000, 6);
+  Bytes got(msg.size());
+  w.kernel.spawn("writer", [&](sim::Actor& self) { c.a().write(self, msg); });
+  w.kernel.spawn("reader", [&](sim::Actor& self) {
+    std::size_t off = 0;
+    while (off < got.size()) {
+      self.advance(milliseconds(1));  // slow consumer
+      Bytes chunk = c.b().read(self, 8192);
+      std::memcpy(got.data() + off, chunk.data(), chunk.size());
+      off += chunk.size();
+    }
+  });
+  w.kernel.run();
+  EXPECT_EQ(got, msg);
+}
+
+double tcp_pingpong_rtt_us(sim::Kernel& kernel, InetCluster& cluster, int bytes) {
+  TcpConnection& c = cluster.tcp_pair(0, 1);
+  double rtt = 0.0;
+  kernel.spawn("ping", [&, bytes](sim::Actor& self) {
+    Bytes buf(static_cast<std::size_t>(bytes), std::byte{7});
+    Bytes in(buf.size());
+    // Warm-up.
+    c.a().write(self, buf);
+    c.a().read_exact(self, in.data(), in.size());
+    const TimePoint t0 = self.now();
+    constexpr int kIters = 8;
+    for (int i = 0; i < kIters; ++i) {
+      c.a().write(self, buf);
+      c.a().read_exact(self, in.data(), in.size());
+    }
+    rtt = (self.now() - t0).usec() / kIters;
+  });
+  kernel.spawn("pong", [&, bytes](sim::Actor& self) {
+    Bytes in(static_cast<std::size_t>(bytes));
+    for (int i = 0; i < 9; ++i) {
+      c.b().read_exact(self, in.data(), in.size());
+      c.b().write(self, in);
+    }
+  });
+  kernel.run();
+  return rtt;
+}
+
+// Calibration targets from Table 1: raw TCP 1-byte round trips of 925 us
+// (Ethernet) and 1065 us (ATM).
+TEST(TcpCalibrationTest, OneByteRttEthernetNear925us) {
+  EthWorld w;
+  const double rtt = tcp_pingpong_rtt_us(w.kernel, w.cluster, 1);
+  EXPECT_NEAR(rtt, 925.0, 60.0);
+}
+
+TEST(TcpCalibrationTest, OneByteRttAtmNear1065us) {
+  AtmWorld w;
+  const double rtt = tcp_pingpong_rtt_us(w.kernel, w.cluster, 1);
+  EXPECT_NEAR(rtt, 1065.0, 60.0);
+}
+
+TEST(TcpCalibrationTest, AtmBeatsEthernetForLargeMessages) {
+  EthWorld we;
+  AtmWorld wa;
+  const double eth = tcp_pingpong_rtt_us(we.kernel, we.cluster, 32 * 1024);
+  const double atm = tcp_pingpong_rtt_us(wa.kernel, wa.cluster, 32 * 1024);
+  EXPECT_LT(atm, eth / 3.0);  // 155 Mb/s vs 10 Mb/s shows up at size
+}
+
+// --------------------------------------------------------------------- UDP
+
+TEST(UdpTest, DatagramRoundTrip) {
+  EthWorld w;
+  DatagramSocket& s0 = w.cluster.udp_socket(0, 5000);
+  DatagramSocket& s1 = w.cluster.udp_socket(1, 5001);
+  Bytes got;
+  w.kernel.spawn("tx", [&](sim::Actor& self) {
+    s0.send_to(self, 1, 5001, random_bytes(64, 7));
+  });
+  w.kernel.spawn("rx", [&](sim::Actor& self) {
+    Datagram d = s1.recv(self);
+    EXPECT_EQ(d.src_host, 0);
+    EXPECT_EQ(d.src_port, 5000);
+    got = std::move(d.data);
+  });
+  w.kernel.run();
+  EXPECT_EQ(got, random_bytes(64, 7));
+}
+
+TEST(UdpTest, OversizedDatagramRejected) {
+  AtmWorld w;
+  DatagramSocket& s = w.cluster.udp_socket(0, 5000);
+  w.kernel.spawn("tx", [&](sim::Actor& self) {
+    EXPECT_THROW(s.send_to(self, 1, 5001, Bytes(20'000)), InternalError);
+  });
+  w.kernel.run();
+}
+
+TEST(UdpTest, ReceiveQueueOverflowDropsSilently) {
+  EthWorld w;
+  DatagramSocket& s0 = w.cluster.udp_socket(0, 5000);
+  DatagramSocket& s1 = w.cluster.udp_socket(1, 5001);
+  w.kernel.spawn("tx", [&](sim::Actor& self) {
+    for (int i = 0; i < 100; ++i) s0.send_to(self, 1, 5001, Bytes(8));
+  });
+  // No reader: queue caps at its limit.
+  w.kernel.run();
+  EXPECT_EQ(s1.queued(), 64u);
+  EXPECT_EQ(s1.dropped_overflow(), 36);
+}
+
+TEST(UdpTest, UnboundPortDiscards) {
+  EthWorld w;
+  DatagramSocket& s0 = w.cluster.udp_socket(0, 5000);
+  w.kernel.spawn("tx", [&](sim::Actor& self) { s0.send_to(self, 1, 9999, Bytes(8)); });
+  w.kernel.run();  // must not crash or deadlock
+  SUCCEED();
+}
+
+TEST(UdpTest, RecvTimeoutExpires) {
+  EthWorld w;
+  DatagramSocket& s = w.cluster.udp_socket(0, 5000);
+  bool timed_out = false;
+  w.kernel.spawn("rx", [&](sim::Actor& self) {
+    timed_out = !s.recv_timeout(self, milliseconds(5)).has_value();
+  });
+  w.kernel.run();
+  EXPECT_TRUE(timed_out);
+}
+
+// -------------------------------------------------------------------- RUDP
+
+TEST(RudpTest, StreamDeliversBytesInOrder) {
+  AtmWorld w;
+  RudpChannel ch(w.cluster, 0, 1, 6000);
+  const Bytes msg = random_bytes(50'000, 11);
+  Bytes got(msg.size());
+  w.kernel.spawn("writer", [&](sim::Actor& self) { ch.a().write(self, msg); });
+  w.kernel.spawn("reader", [&](sim::Actor& self) {
+    ch.b().read_exact(self, got.data(), got.size());
+  });
+  w.kernel.run();
+  EXPECT_EQ(got, msg);
+  EXPECT_GT(ch.a().chunks_sent(), 0);
+}
+
+TEST(RudpTest, RecoversFromHeavyLoss) {
+  EthWorld w;
+  w.net.set_loss(0.10, 77);
+  RudpChannel ch(w.cluster, 0, 1, 6000);
+  const Bytes msg = random_bytes(40'000, 12);
+  Bytes got(msg.size());
+  w.kernel.spawn("writer", [&](sim::Actor& self) { ch.a().write(self, msg); });
+  w.kernel.spawn("reader", [&](sim::Actor& self) {
+    ch.b().read_exact(self, got.data(), got.size());
+  });
+  w.kernel.run();
+  EXPECT_EQ(got, msg);
+  EXPECT_GT(ch.a().retransmits(), 0);
+}
+
+TEST(RudpTest, LatencyComparableToTcp) {
+  // The paper: reliable-UDP MPI performed very similarly to TCP.
+  AtmWorld wt;
+  const double tcp_rtt = tcp_pingpong_rtt_us(wt.kernel, wt.cluster, 1);
+
+  AtmWorld wu;
+  RudpChannel ch(wu.cluster, 0, 1, 6000);
+  double rudp_rtt = 0.0;
+  wu.kernel.spawn("ping", [&](sim::Actor& self) {
+    Bytes b(1, std::byte{1});
+    Bytes in(1);
+    ch.a().write(self, b);
+    ch.a().read_exact(self, in.data(), 1);
+    const TimePoint t0 = self.now();
+    for (int i = 0; i < 8; ++i) {
+      ch.a().write(self, b);
+      ch.a().read_exact(self, in.data(), 1);
+    }
+    rudp_rtt = (self.now() - t0).usec() / 8;
+  });
+  wu.kernel.spawn("pong", [&](sim::Actor& self) {
+    Bytes in(1);
+    for (int i = 0; i < 9; ++i) {
+      ch.b().read_exact(self, in.data(), 1);
+      ch.b().write(self, in);
+    }
+  });
+  wu.kernel.run();
+  EXPECT_GT(rudp_rtt, tcp_rtt * 0.6);
+  EXPECT_LT(rudp_rtt, tcp_rtt * 1.6);
+}
+
+TEST(RudpTest, BidirectionalStreams) {
+  AtmWorld w;
+  RudpChannel ch(w.cluster, 0, 1, 6000);
+  const Bytes m1 = random_bytes(9'000, 13);
+  const Bytes m2 = random_bytes(6'000, 14);
+  Bytes g1(m1.size()), g2(m2.size());
+  w.kernel.spawn("h0", [&](sim::Actor& self) {
+    ch.a().write(self, m1);
+    ch.a().read_exact(self, g2.data(), g2.size());
+  });
+  w.kernel.spawn("h1", [&](sim::Actor& self) {
+    ch.b().write(self, m2);
+    ch.b().read_exact(self, g1.data(), g1.size());
+  });
+  w.kernel.run();
+  EXPECT_EQ(g1, m1);
+  EXPECT_EQ(g2, m2);
+}
+
+// --------------------------------------------------------- raw (Fore API)
+
+TEST(ForeApiTest, RawSocketCheaperThanUdpForSmallDatagrams) {
+  AtmWorld w;
+  DatagramSocket& u0 = w.cluster.udp_socket(0, 5000);
+  DatagramSocket& u1 = w.cluster.udp_socket(1, 5001);
+  DatagramSocket& r0 = w.cluster.raw_socket(0, 5000);
+  DatagramSocket& r1 = w.cluster.raw_socket(1, 5001);
+
+  auto pingpong = [&](DatagramSocket& a, DatagramSocket& b, double& rtt_us) {
+    w.kernel.spawn("ping", [&, &rtt = rtt_us](sim::Actor& self) {
+      a.send_to(self, 1, 5001, Bytes(1));
+      (void)a.recv(self);
+      const TimePoint t0 = self.now();
+      for (int i = 0; i < 4; ++i) {
+        a.send_to(self, 1, 5001, Bytes(1));
+        (void)a.recv(self);
+      }
+      rtt = (self.now() - t0).usec() / 4;
+    });
+    w.kernel.spawn("pong", [&](sim::Actor& self) {
+      for (int i = 0; i < 5; ++i) {
+        Datagram d = b.recv(self);
+        b.send_to(self, d.src_host, d.src_port, std::move(d.data));
+      }
+    });
+  };
+  double udp_rtt = 0.0, raw_rtt = 0.0;
+  pingpong(u0, u1, udp_rtt);
+  w.kernel.run();
+  pingpong(r0, r1, raw_rtt);
+  w.kernel.run();
+  EXPECT_LT(raw_rtt, udp_rtt);              // AAL4 path is cheaper...
+  EXPECT_GT(raw_rtt, udp_rtt * 0.7);        // ...but not dramatically (Fig. 4)
+}
+
+}  // namespace
+}  // namespace lcmpi::inet

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "src/core/matching.h"
+
+namespace lcmpi::mpi {
+namespace {
+
+using fabric::MsgKind;
+using fabric::ProtoMsg;
+
+ProtoMsg env(std::uint32_t ctx, int src, int tag, std::size_t payload = 0) {
+  ProtoMsg m;
+  m.kind = MsgKind::kEager;
+  m.context = ctx;
+  m.src = src;
+  m.tag = tag;
+  m.payload.resize(payload);
+  return m;
+}
+
+TEST(PostedQueueTest, ExactMatchRemovesEntry) {
+  PostedQueue q;
+  q.post({1, 0, 5, 100});
+  std::size_t scanned = 0;
+  auto e = q.match(1, 0, 5, &scanned);
+  ASSERT_TRUE(e);
+  EXPECT_EQ(e->request_id, 100u);
+  EXPECT_EQ(scanned, 1u);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(PostedQueueTest, ContextSegregates) {
+  PostedQueue q;
+  q.post({1, 0, 5, 100});
+  EXPECT_FALSE(q.match(2, 0, 5, nullptr));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(PostedQueueTest, WildcardsMatchAnything) {
+  PostedQueue q;
+  q.post({1, kAnySource, kAnyTag, 7});
+  auto e = q.match(1, 3, 999, nullptr);
+  ASSERT_TRUE(e);
+  EXPECT_EQ(e->request_id, 7u);
+}
+
+TEST(PostedQueueTest, FifoOrderAmongCandidates) {
+  PostedQueue q;
+  q.post({1, kAnySource, kAnyTag, 1});
+  q.post({1, 0, 5, 2});
+  auto e = q.match(1, 0, 5, nullptr);
+  ASSERT_TRUE(e);
+  EXPECT_EQ(e->request_id, 1u);  // earliest posted wins
+}
+
+TEST(PostedQueueTest, ScanCountReflectsPosition) {
+  PostedQueue q;
+  q.post({1, 0, 1, 1});
+  q.post({1, 0, 2, 2});
+  q.post({1, 0, 3, 3});
+  std::size_t scanned = 0;
+  auto e = q.match(1, 0, 3, &scanned);
+  ASSERT_TRUE(e);
+  EXPECT_EQ(scanned, 3u);
+}
+
+TEST(PostedQueueTest, RemoveCancelsEntry) {
+  PostedQueue q;
+  q.post({1, 0, 5, 42});
+  EXPECT_TRUE(q.remove(42));
+  EXPECT_FALSE(q.remove(42));
+  EXPECT_FALSE(q.match(1, 0, 5, nullptr));
+}
+
+TEST(UnexpectedQueueTest, MatchByPattern) {
+  UnexpectedQueue q;
+  q.add(env(1, 2, 9, 16));
+  std::size_t scanned = 0;
+  auto m = q.match(1, kAnySource, 9, &scanned);
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->src, 2);
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.buffered_bytes(), 0);
+}
+
+TEST(UnexpectedQueueTest, BufferedBytesTracksPayloads) {
+  UnexpectedQueue q;
+  q.add(env(1, 0, 1, 100));
+  q.add(env(1, 0, 2, 50));
+  EXPECT_EQ(q.buffered_bytes(), 150);
+  (void)q.match(1, 0, 1, nullptr);
+  EXPECT_EQ(q.buffered_bytes(), 50);
+}
+
+TEST(UnexpectedQueueTest, PeekDoesNotConsume) {
+  UnexpectedQueue q;
+  q.add(env(3, 1, 7, 8));
+  const ProtoMsg* p = q.peek(3, 1, 7, nullptr);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->tag, 7);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(UnexpectedQueueTest, FifoPreservedPerSourceAndTag) {
+  UnexpectedQueue q;
+  ProtoMsg a = env(1, 0, 5);
+  a.seq = 1;
+  ProtoMsg b = env(1, 0, 5);
+  b.seq = 2;
+  q.add(a);
+  q.add(b);
+  auto first = q.match(1, 0, 5, nullptr);
+  ASSERT_TRUE(first);
+  EXPECT_EQ(first->seq, 1u);
+}
+
+TEST(UnexpectedQueueTest, NoMatchLeavesQueueIntact) {
+  UnexpectedQueue q;
+  q.add(env(1, 0, 5));
+  std::size_t scanned = 0;
+  EXPECT_FALSE(q.match(1, 0, 6, &scanned));
+  EXPECT_EQ(scanned, 1u);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+}  // namespace
+}  // namespace lcmpi::mpi

@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+#include "src/meiko/machine.h"
+#include "src/meiko/tport.h"
+#include "src/util/bytes.h"
+
+namespace lcmpi::meiko {
+namespace {
+
+Bytes make_payload(std::size_t n, std::uint8_t seed = 1) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i)
+    b[i] = static_cast<std::byte>((seed + i) & 0xff);
+  return b;
+}
+
+TEST(MachineTest, TxnDeliversPayloadWithCosts) {
+  sim::Kernel k;
+  Machine m(k, 2);
+  Bytes got;
+  std::int64_t at = -1;
+  m.node(1).set_txn_handler(7, [&](TxnDelivery d) {
+    EXPECT_EQ(d.src, 0);
+    EXPECT_EQ(d.port, 7);
+    got = std::move(d.data);
+    at = k.now().ns;
+  });
+  k.schedule(Duration{0}, [&] { m.txn(0, 1, 7, make_payload(10)); });
+  k.run();
+  EXPECT_EQ(got, make_payload(10));
+  const Calib c;
+  EXPECT_EQ(at, (c.elan_txn_tx + c.txn_per_byte * 10 + c.wire_latency + c.elan_txn_rx).ns);
+}
+
+TEST(MachineTest, TxnToSelfSkipsWire) {
+  sim::Kernel k;
+  Machine m(k, 2);
+  std::int64_t at = -1;
+  m.node(0).set_txn_handler(1, [&](TxnDelivery) { at = k.now().ns; });
+  k.schedule(Duration{0}, [&] { m.txn(0, 0, 1, make_payload(1)); });
+  k.run();
+  const Calib c;
+  EXPECT_EQ(at, (c.elan_txn_tx + c.txn_per_byte + c.elan_txn_rx).ns);  // no wire latency
+}
+
+TEST(MachineTest, TxnsSerializeOnSourceElan) {
+  sim::Kernel k;
+  Machine m(k, 2);
+  std::vector<std::int64_t> at;
+  m.node(1).set_txn_handler(1, [&](TxnDelivery) { at.push_back(k.now().ns); });
+  k.schedule(Duration{0}, [&] {
+    m.txn(0, 1, 1, make_payload(1));
+    m.txn(0, 1, 1, make_payload(1));
+  });
+  k.run();
+  ASSERT_EQ(at.size(), 2u);
+  // Delivery spacing is bounded by the slower stage: the destination Elan's
+  // receive processing (elan_txn_rx), not the source launch spacing.
+  EXPECT_EQ(at[1] - at[0], Calib{}.elan_txn_rx.ns);
+}
+
+TEST(MachineTest, DmaPutBandwidthMatchesCalibration) {
+  sim::Kernel k;
+  Machine m(k, 2);
+  constexpr std::int64_t kBytes = 390'000;  // 10ms at 39 MB/s
+  std::int64_t at = -1;
+  k.schedule(Duration{0}, [&] {
+    m.dma_put(0, 1, make_payload(kBytes), {}, [&](Bytes data) {
+      EXPECT_EQ(static_cast<std::int64_t>(data.size()), kBytes);
+      at = k.now().ns;
+    });
+  });
+  k.run();
+  const Calib c;
+  EXPECT_EQ(at, (c.dma_setup_elan + transmission_time(kBytes, c.dma_bytes_per_sec) +
+                 c.wire_latency + c.dma_completion_elan)
+                    .ns);
+  EXPECT_EQ(m.dma_bytes_moved(), kBytes);
+}
+
+TEST(MachineTest, DmaPutLocalCompleteFiresBeforeRemoteDelivery) {
+  sim::Kernel k;
+  Machine m(k, 2);
+  std::int64_t local_at = -1, remote_at = -1;
+  k.schedule(Duration{0}, [&] {
+    m.dma_put(0, 1, make_payload(1000),
+              [&] { local_at = k.now().ns; },
+              [&](Bytes) { remote_at = k.now().ns; });
+  });
+  k.run();
+  EXPECT_GT(local_at, 0);
+  EXPECT_LT(local_at, remote_at);
+}
+
+TEST(MachineTest, DmaGetPullsStagedPayload) {
+  sim::Kernel k;
+  Machine m(k, 2);
+  bool pulled = false;
+  Bytes got;
+  k.schedule(Duration{0}, [&] {
+    const std::uint64_t key = m.node(0).stage_dma(make_payload(64), [&] { pulled = true; });
+    m.dma_get(1, 0, key, [&](Bytes data) { got = std::move(data); });
+  });
+  k.run();
+  EXPECT_TRUE(pulled);
+  EXPECT_EQ(got, make_payload(64));
+  EXPECT_EQ(m.node(0).staged_dma_count(), 0u);  // key consumed
+}
+
+TEST(MachineTest, DmaGetUnknownKeyAborts) {
+  sim::Kernel k;
+  Machine m(k, 2);
+  k.schedule(Duration{0}, [&] { m.dma_get(1, 0, 999, [](Bytes) {}); });
+  EXPECT_THROW(k.run(), InternalError);
+}
+
+TEST(MachineTest, BroadcastReachesAllOtherNodes) {
+  sim::Kernel k;
+  Machine m(k, 8);
+  std::vector<int> hits;
+  std::vector<std::int64_t> at;
+  for (int i = 0; i < 8; ++i) {
+    m.node(i).set_bcast_handler(2, [&, i](TxnDelivery d) {
+      EXPECT_EQ(d.src, 3);
+      hits.push_back(i);
+      at.push_back(k.now().ns);
+    });
+  }
+  k.schedule(Duration{0}, [&] { m.broadcast(3, 2, make_payload(16)); });
+  k.run();
+  EXPECT_EQ(hits.size(), 7u);  // everyone but the source
+  // Hardware replication: all deliveries at the same instant.
+  for (std::size_t i = 1; i < at.size(); ++i) EXPECT_EQ(at[i], at[0]);
+}
+
+// ----------------------------------------------------------------- tport
+
+struct TportPair {
+  sim::Kernel kernel;
+  Machine machine{kernel, 2};
+  Tport t0{machine, 0};
+  Tport t1{machine, 1};
+};
+
+TEST(TportTest, SendRecvRoundTripCarriesData) {
+  TportPair p;
+  Bytes got;
+  p.kernel.spawn("sender", [&](sim::Actor& self) {
+    p.t0.send(self, 1, /*tag=*/42, make_payload(32));
+  });
+  p.kernel.spawn("receiver", [&](sim::Actor& self) {
+    TportMessage m = p.t1.recv(self, 42, ~0ULL);
+    EXPECT_EQ(m.src, 0);
+    EXPECT_EQ(m.tag, 42u);
+    got = std::move(m.data);
+  });
+  p.kernel.run();
+  EXPECT_EQ(got, make_payload(32));
+}
+
+TEST(TportTest, MaskedMatchingSelectsCorrectMessage) {
+  TportPair p;
+  std::vector<std::uint64_t> got;
+  p.kernel.spawn("sender", [&](sim::Actor& self) {
+    p.t0.send(self, 1, 0x1100, make_payload(4, 1));
+    p.t0.send(self, 1, 0x2200, make_payload(4, 2));
+  });
+  p.kernel.spawn("receiver", [&](sim::Actor& self) {
+    // Match only tags whose high byte is 0x22, any low bits.
+    TportMessage m = p.t1.recv(self, 0x2200, 0xff00);
+    got.push_back(m.tag);
+    TportMessage m2 = p.t1.recv(self, 0, 0);  // wildcard: match anything
+    got.push_back(m2.tag);
+  });
+  p.kernel.run();
+  EXPECT_EQ(got, (std::vector<std::uint64_t>{0x2200, 0x1100}));
+}
+
+TEST(TportTest, UnexpectedMessagesQueueUntilReceivePosted) {
+  TportPair p;
+  Bytes got;
+  p.kernel.spawn("sender", [&](sim::Actor& self) {
+    p.t0.send(self, 1, 7, make_payload(8));
+  });
+  p.kernel.spawn("receiver", [&](sim::Actor& self) {
+    self.advance(milliseconds(1));  // message arrives long before the rx
+    TportMessage m = p.t1.recv(self, 7, ~0ULL);
+    got = std::move(m.data);
+  });
+  p.kernel.run();
+  EXPECT_EQ(got, make_payload(8));
+}
+
+TEST(TportTest, LargeMessagesTravelByDmaPull) {
+  TportPair p;
+  const std::int64_t big = p.machine.calib().tport_inline_max + 1;
+  Bytes got;
+  p.kernel.spawn("sender", [&](sim::Actor& self) {
+    p.t0.send(self, 1, 9, make_payload(static_cast<std::size_t>(big)));
+  });
+  p.kernel.spawn("receiver", [&](sim::Actor& self) {
+    got = p.t1.recv(self, 9, ~0ULL).data;
+  });
+  p.kernel.run();
+  EXPECT_EQ(static_cast<std::int64_t>(got.size()), big);
+  EXPECT_EQ(p.machine.dma_bytes_moved(), big);
+  EXPECT_EQ(got, make_payload(static_cast<std::size_t>(big)));
+}
+
+TEST(TportTest, FifoOrderForEqualTags) {
+  TportPair p;
+  std::vector<std::uint8_t> first_bytes;
+  p.kernel.spawn("sender", [&](sim::Actor& self) {
+    for (std::uint8_t i = 0; i < 5; ++i) p.t0.send(self, 1, 3, make_payload(4, i));
+  });
+  p.kernel.spawn("receiver", [&](sim::Actor& self) {
+    for (int i = 0; i < 5; ++i)
+      first_bytes.push_back(static_cast<std::uint8_t>(p.t1.recv(self, 3, ~0ULL).data[0]));
+  });
+  p.kernel.run();
+  EXPECT_EQ(first_bytes, (std::vector<std::uint8_t>{0, 1, 2, 3, 4}));
+}
+
+// Calibration: the raw tport 1-byte round trip should land on the paper's
+// 52 us figure (Fig. 2) within a small tolerance.
+TEST(TportTest, OneByteRoundTripNearPaper52us) {
+  TportPair p;
+  double rtt_us = 0.0;
+  p.kernel.spawn("ping", [&](sim::Actor& self) {
+    // Warm-up exchange so both sides have no startup skew.
+    p.t0.send(self, 1, 1, make_payload(1));
+    (void)p.t0.recv(self, 2, ~0ULL);
+    const TimePoint t0 = self.now();
+    constexpr int kIters = 10;
+    for (int i = 0; i < kIters; ++i) {
+      p.t0.send(self, 1, 1, make_payload(1));
+      (void)p.t0.recv(self, 2, ~0ULL);
+    }
+    rtt_us = (self.now() - t0).usec() / kIters;
+  });
+  p.kernel.spawn("pong", [&](sim::Actor& self) {
+    for (int i = 0; i < 11; ++i) {
+      (void)p.t1.recv(self, 1, ~0ULL);
+      p.t1.send(self, 0, 2, make_payload(1));
+    }
+  });
+  p.kernel.run();
+  EXPECT_NEAR(rtt_us, 52.0, 3.0) << "tport calibration drifted";
+}
+
+}  // namespace
+}  // namespace lcmpi::meiko

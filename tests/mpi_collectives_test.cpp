@@ -1,0 +1,356 @@
+// Collectives and communicator management, over the LoopFabric at several
+// world sizes (parameterised), with and without hardware broadcast.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "src/runtime/world.h"
+
+namespace lcmpi::mpi {
+namespace {
+
+using runtime::LoopWorld;
+
+class CollectivesTest : public testing::TestWithParam<int> {
+ protected:
+  [[nodiscard]] int n() const { return GetParam(); }
+};
+
+TEST_P(CollectivesTest, BcastFromRootZero) {
+  LoopWorld w(n());
+  std::vector<std::int32_t> got(static_cast<std::size_t>(n()), -1);
+  w.run([&](Comm& c, sim::Actor&) {
+    std::int32_t v = c.rank() == 0 ? 1234 : 0;
+    c.bcast(&v, 1, Datatype::int32_type(), 0);
+    got[static_cast<std::size_t>(c.rank())] = v;
+  });
+  for (int r = 0; r < n(); ++r) EXPECT_EQ(got[static_cast<std::size_t>(r)], 1234);
+}
+
+TEST_P(CollectivesTest, BcastFromNonzeroRoot) {
+  if (n() < 2) GTEST_SKIP();
+  LoopWorld w(n());
+  const int root = n() - 1;
+  std::vector<std::int32_t> got(static_cast<std::size_t>(n()), -1);
+  w.run([&](Comm& c, sim::Actor&) {
+    std::int32_t v = c.rank() == root ? 777 : 0;
+    c.bcast(&v, 1, Datatype::int32_type(), root);
+    got[static_cast<std::size_t>(c.rank())] = v;
+  });
+  for (int r = 0; r < n(); ++r) EXPECT_EQ(got[static_cast<std::size_t>(r)], 777);
+}
+
+TEST_P(CollectivesTest, BcastTreeWhenHwDisabled) {
+  mpi::EngineConfig cfg;
+  cfg.use_hw_bcast = false;
+  LoopWorld w(n(), {}, cfg);
+  std::vector<double> got(static_cast<std::size_t>(n()), -1.0);
+  w.run([&](Comm& c, sim::Actor&) {
+    double v = c.rank() == 0 ? 2.5 : 0.0;
+    c.bcast(&v, 1, Datatype::double_type(), 0);
+    got[static_cast<std::size_t>(c.rank())] = v;
+  });
+  for (int r = 0; r < n(); ++r) EXPECT_DOUBLE_EQ(got[static_cast<std::size_t>(r)], 2.5);
+}
+
+TEST_P(CollectivesTest, ConsecutiveBcastsStaySequenced) {
+  LoopWorld w(n());
+  std::vector<std::int32_t> sums(static_cast<std::size_t>(n()), 0);
+  w.run([&](Comm& c, sim::Actor&) {
+    for (std::int32_t i = 1; i <= 5; ++i) {
+      std::int32_t v = c.rank() == 0 ? i * 10 : 0;
+      c.bcast(&v, 1, Datatype::int32_type(), 0);
+      sums[static_cast<std::size_t>(c.rank())] += v;
+    }
+  });
+  for (int r = 0; r < n(); ++r) EXPECT_EQ(sums[static_cast<std::size_t>(r)], 150);
+}
+
+TEST_P(CollectivesTest, BarrierHoldsEarlyArrivals) {
+  if (n() < 2) GTEST_SKIP();
+  LoopWorld w(n());
+  std::vector<std::int64_t> exit_ns(static_cast<std::size_t>(n()), 0);
+  constexpr std::int64_t kLateNs = 3'000'000;
+  w.run([&](Comm& c, sim::Actor& self) {
+    if (c.rank() == n() - 1) self.advance(Duration{kLateNs});  // straggler
+    c.barrier();
+    exit_ns[static_cast<std::size_t>(c.rank())] = self.now().ns;
+  });
+  for (int r = 0; r < n(); ++r)
+    EXPECT_GE(exit_ns[static_cast<std::size_t>(r)], kLateNs) << "rank " << r;
+}
+
+TEST_P(CollectivesTest, ReduceSumToRoot) {
+  LoopWorld w(n());
+  std::int32_t result = -1;
+  w.run([&](Comm& c, sim::Actor&) {
+    std::int32_t v = c.rank() + 1;
+    std::int32_t out = 0;
+    c.reduce(&v, &out, 1, Datatype::int32_type(), Op::kSum, 0);
+    if (c.rank() == 0) result = out;
+  });
+  EXPECT_EQ(result, n() * (n() + 1) / 2);
+}
+
+TEST_P(CollectivesTest, ReduceMaxAndMinDoubles) {
+  LoopWorld w(n());
+  double mx = 0, mn = 0;
+  w.run([&](Comm& c, sim::Actor&) {
+    double v = static_cast<double>((c.rank() * 7) % n());
+    double omax = 0, omin = 0;
+    c.reduce(&v, &omax, 1, Datatype::double_type(), Op::kMax, 0);
+    c.reduce(&v, &omin, 1, Datatype::double_type(), Op::kMin, 0);
+    if (c.rank() == 0) {
+      mx = omax;
+      mn = omin;
+    }
+  });
+  double want_max = 0, want_min = 1e18;
+  for (int r = 0; r < n(); ++r) {
+    want_max = std::max(want_max, static_cast<double>((r * 7) % n()));
+    want_min = std::min(want_min, static_cast<double>((r * 7) % n()));
+  }
+  EXPECT_DOUBLE_EQ(mx, want_max);
+  EXPECT_DOUBLE_EQ(mn, want_min);
+}
+
+TEST_P(CollectivesTest, AllreduceEveryRankGetsSum) {
+  LoopWorld w(n());
+  std::vector<std::int64_t> got(static_cast<std::size_t>(n()), -1);
+  w.run([&](Comm& c, sim::Actor&) {
+    std::int64_t v = c.rank() * c.rank();
+    std::int64_t out = 0;
+    c.allreduce(&v, &out, 1, Datatype::int64_type(), Op::kSum);
+    got[static_cast<std::size_t>(c.rank())] = out;
+  });
+  std::int64_t want = 0;
+  for (int r = 0; r < n(); ++r) want += static_cast<std::int64_t>(r) * r;
+  for (int r = 0; r < n(); ++r) EXPECT_EQ(got[static_cast<std::size_t>(r)], want);
+}
+
+TEST_P(CollectivesTest, VectorReduceElementwise) {
+  LoopWorld w(n());
+  std::vector<std::int32_t> result(4, -1);
+  w.run([&](Comm& c, sim::Actor&) {
+    std::int32_t v[4] = {c.rank(), 1, -c.rank(), 2};
+    std::int32_t out[4] = {};
+    c.reduce(v, out, 4, Datatype::int32_type(), Op::kSum, 0);
+    if (c.rank() == 0)
+      for (int i = 0; i < 4; ++i) result[static_cast<std::size_t>(i)] = out[i];
+  });
+  const std::int32_t tri = n() * (n() - 1) / 2;
+  EXPECT_EQ(result[0], tri);
+  EXPECT_EQ(result[1], n());
+  EXPECT_EQ(result[2], -tri);
+  EXPECT_EQ(result[3], 2 * n());
+}
+
+TEST_P(CollectivesTest, GatherCollectsInRankOrder) {
+  LoopWorld w(n());
+  std::vector<std::int32_t> got(static_cast<std::size_t>(n()), -1);
+  w.run([&](Comm& c, sim::Actor&) {
+    std::int32_t v = c.rank() * 3;
+    std::vector<std::int32_t> all(static_cast<std::size_t>(n()));
+    c.gather(&v, 1, all.data(), Datatype::int32_type(), 0);
+    if (c.rank() == 0) got = all;
+  });
+  for (int r = 0; r < n(); ++r) EXPECT_EQ(got[static_cast<std::size_t>(r)], r * 3);
+}
+
+TEST_P(CollectivesTest, ScatterDistributesBlocks) {
+  LoopWorld w(n());
+  std::vector<std::int32_t> got(static_cast<std::size_t>(n()), -1);
+  w.run([&](Comm& c, sim::Actor&) {
+    std::vector<std::int32_t> all;
+    if (c.rank() == 0)
+      for (int r = 0; r < n(); ++r) all.push_back(100 + r);
+    std::int32_t mine = -1;
+    c.scatter(all.data(), &mine, 1, Datatype::int32_type(), 0);
+    got[static_cast<std::size_t>(c.rank())] = mine;
+  });
+  for (int r = 0; r < n(); ++r) EXPECT_EQ(got[static_cast<std::size_t>(r)], 100 + r);
+}
+
+TEST_P(CollectivesTest, AllgatherEveryoneHasEverything) {
+  LoopWorld w(n());
+  std::vector<std::vector<std::int32_t>> got(static_cast<std::size_t>(n()));
+  w.run([&](Comm& c, sim::Actor&) {
+    std::int32_t v = c.rank() + 50;
+    std::vector<std::int32_t> all(static_cast<std::size_t>(n()));
+    c.allgather(&v, 1, all.data(), Datatype::int32_type());
+    got[static_cast<std::size_t>(c.rank())] = all;
+  });
+  for (int r = 0; r < n(); ++r)
+    for (int i = 0; i < n(); ++i)
+      EXPECT_EQ(got[static_cast<std::size_t>(r)][static_cast<std::size_t>(i)], i + 50);
+}
+
+TEST_P(CollectivesTest, AlltoallTransposesBlocks) {
+  LoopWorld w(n());
+  std::vector<std::vector<std::int32_t>> got(static_cast<std::size_t>(n()));
+  w.run([&](Comm& c, sim::Actor&) {
+    std::vector<std::int32_t> out(static_cast<std::size_t>(n()));
+    for (int i = 0; i < n(); ++i)
+      out[static_cast<std::size_t>(i)] = c.rank() * 100 + i;
+    std::vector<std::int32_t> in(static_cast<std::size_t>(n()), -1);
+    c.alltoall(out.data(), 1, in.data(), Datatype::int32_type());
+    got[static_cast<std::size_t>(c.rank())] = in;
+  });
+  for (int r = 0; r < n(); ++r)
+    for (int s = 0; s < n(); ++s)
+      EXPECT_EQ(got[static_cast<std::size_t>(r)][static_cast<std::size_t>(s)],
+                s * 100 + r);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CollectivesTest, testing::Values(1, 2, 3, 4, 8, 16),
+                         [](const testing::TestParamInfo<int>& i) {
+                           return "N" + std::to_string(i.param);
+                         });
+
+
+TEST(BcastAlgoTest, LongBcastUsesScatterAllgatherAndIsCorrect) {
+  mpi::EngineConfig cfg;
+  cfg.use_hw_bcast = false;
+  cfg.bcast_long_threshold = 1024;
+  LoopWorld w(5, {}, cfg);
+  const int n = 4096;  // > threshold, not divisible by 5
+  std::vector<std::vector<std::int32_t>> got(5);
+  w.run([&](Comm& c, sim::Actor&) {
+    std::vector<std::int32_t> data(n);
+    if (c.rank() == 2)
+      for (int i = 0; i < n; ++i) data[static_cast<std::size_t>(i)] = i * 3 + 1;
+    c.bcast(data.data(), n, Datatype::int32_type(), 2);
+    got[static_cast<std::size_t>(c.rank())] = data;
+  });
+  for (int r = 0; r < 5; ++r)
+    for (int i = 0; i < n; ++i)
+      ASSERT_EQ(got[static_cast<std::size_t>(r)][static_cast<std::size_t>(i)], i * 3 + 1)
+          << "rank " << r << " index " << i;
+}
+
+TEST(BcastAlgoTest, ScatterAllgatherBeatsTreeForLongMessagesOnMeiko) {
+  auto bcast_time = [&](std::int64_t threshold) {
+    mpi::EngineConfig cfg;
+    cfg.use_hw_bcast = false;  // isolate the software algorithms
+    cfg.bcast_long_threshold = threshold;
+    runtime::MeikoWorld w(16, {}, cfg);
+    return w
+        .run([&](Comm& c, sim::Actor&) {
+          std::vector<double> big(32 * 1024);
+          c.bcast(big.data(), 32 * 1024, Datatype::double_type(), 0);
+        })
+        .usec();
+  };
+  const double tree = bcast_time(1LL << 40);  // force tree
+  const double vdg = bcast_time(0);           // force scatter+allgather
+  EXPECT_LT(vdg, tree * 0.75);
+}
+
+// ------------------------------------------------- communicator management
+
+TEST(CommMgmtTest, DupIsolatesTraffic) {
+  LoopWorld w(2);
+  std::int32_t got_parent = 0, got_dup = 0;
+  w.run([&](Comm& c, sim::Actor&) {
+    Comm d = c.dup();
+    if (c.rank() == 0) {
+      std::int32_t a = 1, b = 2;
+      c.send(&a, 1, Datatype::int32_type(), 1, 5);
+      d.send(&b, 1, Datatype::int32_type(), 1, 5);  // same tag, other comm
+    } else {
+      // Receive from the dup FIRST: context ids keep the two apart.
+      d.recv(&got_dup, 1, Datatype::int32_type(), 0, 5);
+      c.recv(&got_parent, 1, Datatype::int32_type(), 0, 5);
+    }
+  });
+  EXPECT_EQ(got_dup, 2);
+  EXPECT_EQ(got_parent, 1);
+}
+
+TEST(CommMgmtTest, SplitHalvesExchangeIndependently) {
+  LoopWorld w(8);
+  std::vector<std::int32_t> got(8, -1);
+  w.run([&](Comm& c, sim::Actor&) {
+    auto half = c.split(c.rank() % 2, c.rank());
+    ASSERT_TRUE(half.has_value());
+    EXPECT_EQ(half->size(), 4);
+    // Ring shift within each half.
+    const int to = (half->rank() + 1) % half->size();
+    const int from = (half->rank() + half->size() - 1) % half->size();
+    std::int32_t v = c.rank();
+    std::int32_t in = -1;
+    half->sendrecv(&v, 1, Datatype::int32_type(), to, 0, &in, 1, Datatype::int32_type(),
+                   from, 0);
+    got[static_cast<std::size_t>(c.rank())] = in;
+  });
+  // Even ranks form {0,2,4,6}; odd {1,3,5,7}; each receives from the
+  // previous member of its own half.
+  EXPECT_EQ(got[0], 6);
+  EXPECT_EQ(got[2], 0);
+  EXPECT_EQ(got[1], 7);
+  EXPECT_EQ(got[3], 1);
+}
+
+TEST(CommMgmtTest, SplitOrdersByKey) {
+  LoopWorld w(4);
+  std::vector<int> new_ranks(4, -1);
+  w.run([&](Comm& c, sim::Actor&) {
+    // Reverse the ordering via the key.
+    auto all = c.split(0, -c.rank());
+    ASSERT_TRUE(all.has_value());
+    new_ranks[static_cast<std::size_t>(c.rank())] = all->rank();
+  });
+  EXPECT_EQ(new_ranks, (std::vector<int>{3, 2, 1, 0}));
+}
+
+TEST(CommMgmtTest, NegativeColorGetsNoComm) {
+  LoopWorld w(4);
+  std::vector<bool> has(4, true);
+  w.run([&](Comm& c, sim::Actor&) {
+    auto sub = c.split(c.rank() == 0 ? -1 : 0, 0);
+    has[static_cast<std::size_t>(c.rank())] = sub.has_value();
+    if (sub) {
+      std::int32_t v = 1, out = 0;
+      sub->allreduce(&v, &out, 1, Datatype::int32_type(), Op::kSum);
+      EXPECT_EQ(out, 3);
+    }
+  });
+  EXPECT_FALSE(has[0]);
+  EXPECT_TRUE(has[1]);
+}
+
+TEST(CommMgmtTest, CollectivesOnSubCommunicator) {
+  LoopWorld w(6);
+  std::vector<std::int32_t> sums(6, -1);
+  w.run([&](Comm& c, sim::Actor&) {
+    auto sub = c.split(c.rank() / 3, c.rank());  // {0,1,2} and {3,4,5}
+    ASSERT_TRUE(sub.has_value());
+    std::int32_t v = c.rank();
+    std::int32_t out = 0;
+    sub->allreduce(&v, &out, 1, Datatype::int32_type(), Op::kSum);
+    sums[static_cast<std::size_t>(c.rank())] = out;
+  });
+  for (int r = 0; r < 3; ++r) EXPECT_EQ(sums[static_cast<std::size_t>(r)], 0 + 1 + 2);
+  for (int r = 3; r < 6; ++r) EXPECT_EQ(sums[static_cast<std::size_t>(r)], 3 + 4 + 5);
+}
+
+TEST(CommMgmtTest, NestedDerivedCommunicatorsDoNotCollide) {
+  LoopWorld w(4);
+  w.run([&](Comm& c, sim::Actor&) {
+    Comm d1 = c.dup();
+    auto halves = d1.split(c.rank() / 2, c.rank());
+    ASSERT_TRUE(halves.has_value());
+    Comm d2 = halves->dup();
+    std::int32_t v = 1, out = 0;
+    d2.allreduce(&v, &out, 1, Datatype::int32_type(), Op::kSum);
+    EXPECT_EQ(out, 2);
+    // Parent comm still fully functional afterwards.
+    std::int32_t w4 = 1, all4 = 0;
+    c.allreduce(&w4, &all4, 1, Datatype::int32_type(), Op::kSum);
+    EXPECT_EQ(all4, 4);
+  });
+}
+
+}  // namespace
+}  // namespace lcmpi::mpi

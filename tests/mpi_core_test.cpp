@@ -1,0 +1,525 @@
+// MPI point-to-point semantics, exercised over the idealised LoopFabric in
+// every protocol configuration: pull vs push rendezvous, and all three
+// flow-control disciplines. Every test runs under each combination.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "src/runtime/world.h"
+
+namespace lcmpi::mpi {
+namespace {
+
+using fabric::FlowControl;
+using runtime::LoopWorld;
+
+struct Param {
+  bool pull_bulk;
+  FlowControl flow;
+};
+
+std::string param_name(const testing::TestParamInfo<Param>& info) {
+  std::string s = info.param.pull_bulk ? "Pull" : "Push";
+  switch (info.param.flow) {
+    case FlowControl::kNone: s += "NoFlow"; break;
+    case FlowControl::kSingleSlot: s += "SingleSlot"; break;
+    case FlowControl::kCredit: s += "Credit"; break;
+  }
+  return s;
+}
+
+class MpiSemanticsTest : public testing::TestWithParam<Param> {
+ protected:
+  [[nodiscard]] fabric::LoopFabric::Options options() const {
+    fabric::LoopFabric::Options opt;
+    opt.caps.pull_bulk = GetParam().pull_bulk;
+    opt.caps.flow = GetParam().flow;
+    opt.caps.eager_threshold = 180;
+    opt.caps.credit_bytes = 4096;
+    return opt;
+  }
+};
+
+Bytes pattern(std::size_t n, std::uint8_t seed) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = static_cast<std::byte>((seed * 31 + i) & 0xff);
+  return b;
+}
+
+TEST_P(MpiSemanticsTest, BlockingEagerSendRecv) {
+  LoopWorld w(2, options());
+  Bytes got(64);
+  Status st;
+  w.run([&](Comm& c, sim::Actor&) {
+    if (c.rank() == 0) {
+      Bytes msg = pattern(64, 1);
+      c.send(msg.data(), 64, Datatype::byte_type(), 1, 42);
+    } else {
+      st = c.recv(got.data(), 64, Datatype::byte_type(), 0, 42);
+    }
+  });
+  EXPECT_EQ(got, pattern(64, 1));
+  EXPECT_EQ(st.source, 0);
+  EXPECT_EQ(st.tag, 42);
+  EXPECT_EQ(st.count_bytes, 64);
+}
+
+TEST_P(MpiSemanticsTest, RendezvousLargeMessageIntegrity) {
+  LoopWorld w(2, options());
+  const std::size_t n = 100'000;
+  Bytes got(n);
+  w.run([&](Comm& c, sim::Actor&) {
+    if (c.rank() == 0) {
+      Bytes msg = pattern(n, 2);
+      c.send(msg.data(), static_cast<int>(n), Datatype::byte_type(), 1, 0);
+    } else {
+      c.recv(got.data(), static_cast<int>(n), Datatype::byte_type(), 0, 0);
+    }
+  });
+  EXPECT_EQ(got, pattern(n, 2));
+}
+
+// Property sweep: sizes straddling the eager/rendezvous threshold all
+// deliver identically — the protocol switch is invisible to the user.
+TEST_P(MpiSemanticsTest, ThresholdStraddlingSizesAllDeliver) {
+  for (std::size_t n : {1u, 8u, 179u, 180u, 181u, 256u, 1024u, 4096u}) {
+    LoopWorld w(2, options());
+    Bytes got(n);
+    w.run([&](Comm& c, sim::Actor&) {
+      if (c.rank() == 0) {
+        Bytes msg = pattern(n, static_cast<std::uint8_t>(n));
+        c.send(msg.data(), static_cast<int>(n), Datatype::byte_type(), 1, 3);
+      } else {
+        c.recv(got.data(), static_cast<int>(n), Datatype::byte_type(), 0, 3);
+      }
+    });
+    EXPECT_EQ(got, pattern(n, static_cast<std::uint8_t>(n))) << "size " << n;
+  }
+}
+
+TEST_P(MpiSemanticsTest, NonOvertakingOrderPreserved) {
+  LoopWorld w(2, options());
+  std::vector<std::int32_t> got;
+  w.run([&](Comm& c, sim::Actor&) {
+    constexpr int kN = 50;
+    if (c.rank() == 0) {
+      for (std::int32_t i = 0; i < kN; ++i)
+        c.send(&i, 1, Datatype::int32_type(), 1, 7);
+    } else {
+      for (int i = 0; i < kN; ++i) {
+        std::int32_t v = -1;
+        c.recv(&v, 1, Datatype::int32_type(), 0, 7);
+        got.push_back(v);
+      }
+    }
+  });
+  std::vector<std::int32_t> want(50);
+  std::iota(want.begin(), want.end(), 0);
+  EXPECT_EQ(got, want);
+}
+
+TEST_P(MpiSemanticsTest, TagSelectsAmongPendingMessages) {
+  LoopWorld w(2, options());
+  std::int32_t first = 0, second = 0;
+  w.run([&](Comm& c, sim::Actor& self) {
+    if (c.rank() == 0) {
+      std::int32_t a = 111, b = 222;
+      c.send(&a, 1, Datatype::int32_type(), 1, 1);
+      c.send(&b, 1, Datatype::int32_type(), 1, 2);
+    } else {
+      self.advance(milliseconds(1));  // both messages are unexpected
+      c.recv(&first, 1, Datatype::int32_type(), 0, 2);   // tag 2 first
+      c.recv(&second, 1, Datatype::int32_type(), 0, 1);
+    }
+  });
+  EXPECT_EQ(first, 222);
+  EXPECT_EQ(second, 111);
+}
+
+TEST_P(MpiSemanticsTest, AnySourceAnyTagWithStatus) {
+  LoopWorld w(3, options());
+  Status st0, st1;
+  std::int32_t v0 = 0, v1 = 0;
+  w.run([&](Comm& c, sim::Actor& self) {
+    if (c.rank() == 1) {
+      self.advance(microseconds(50));
+      std::int32_t v = 100;
+      c.send(&v, 1, Datatype::int32_type(), 0, 11);
+    } else if (c.rank() == 2) {
+      self.advance(microseconds(150));
+      std::int32_t v = 200;
+      c.send(&v, 1, Datatype::int32_type(), 0, 22);
+    } else {
+      st0 = c.recv(&v0, 1, Datatype::int32_type(), kAnySource, kAnyTag);
+      st1 = c.recv(&v1, 1, Datatype::int32_type(), kAnySource, kAnyTag);
+    }
+  });
+  EXPECT_EQ(v0, 100);
+  EXPECT_EQ(st0.source, 1);
+  EXPECT_EQ(st0.tag, 11);
+  EXPECT_EQ(v1, 200);
+  EXPECT_EQ(st1.source, 2);
+  EXPECT_EQ(st1.tag, 22);
+}
+
+TEST_P(MpiSemanticsTest, NonblockingOverlapAndWaitAll) {
+  LoopWorld w(2, options());
+  std::vector<std::int32_t> got(8, -1);
+  w.run([&](Comm& c, sim::Actor&) {
+    if (c.rank() == 0) {
+      std::vector<std::int32_t> vals(8);
+      std::iota(vals.begin(), vals.end(), 10);
+      std::vector<Request> reqs;
+      for (int i = 0; i < 8; ++i)
+        reqs.push_back(c.isend(&vals[static_cast<std::size_t>(i)], 1,
+                               Datatype::int32_type(), 1, i));
+      c.wait_all(reqs);
+    } else {
+      std::vector<Request> reqs;
+      for (int i = 0; i < 8; ++i)
+        reqs.push_back(c.irecv(&got[static_cast<std::size_t>(i)], 1,
+                               Datatype::int32_type(), 0, i));
+      c.wait_all(reqs);
+    }
+  });
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], 10 + i);
+}
+
+TEST_P(MpiSemanticsTest, SendrecvExchangesWithoutDeadlock) {
+  LoopWorld w(2, options());
+  std::int32_t got0 = 0, got1 = 0;
+  w.run([&](Comm& c, sim::Actor&) {
+    const std::int32_t mine = c.rank() == 0 ? 5 : 6;
+    std::int32_t* got = c.rank() == 0 ? &got0 : &got1;
+    const int peer = 1 - c.rank();
+    c.sendrecv(&mine, 1, Datatype::int32_type(), peer, 9, got, 1,
+               Datatype::int32_type(), peer, 9);
+  });
+  EXPECT_EQ(got0, 6);
+  EXPECT_EQ(got1, 5);
+}
+
+TEST_P(MpiSemanticsTest, SynchronousSendWaitsForMatchingReceive) {
+  LoopWorld w(2, options());
+  std::int64_t send_done_ns = -1;
+  constexpr std::int64_t kDelayNs = 5'000'000;
+  w.run([&](Comm& c, sim::Actor& self) {
+    if (c.rank() == 0) {
+      std::int32_t v = 1;
+      c.send(&v, 1, Datatype::int32_type(), 1, 0, Mode::kSynchronous);
+      send_done_ns = self.now().ns;
+    } else {
+      self.advance(Duration{kDelayNs});  // receiver arrives late
+      std::int32_t got = 0;
+      c.recv(&got, 1, Datatype::int32_type(), 0, 0);
+    }
+  });
+  EXPECT_GE(send_done_ns, kDelayNs);  // ssend couldn't finish early
+}
+
+TEST_P(MpiSemanticsTest, StandardEagerSendCompletesBeforeReceiverArrives) {
+  LoopWorld w(2, options());
+  std::int64_t send_done_ns = -1;
+  constexpr std::int64_t kDelayNs = 5'000'000;
+  w.run([&](Comm& c, sim::Actor& self) {
+    if (c.rank() == 0) {
+      std::int32_t v = 1;
+      c.send(&v, 1, Datatype::int32_type(), 1, 0);
+      send_done_ns = self.now().ns;
+    } else {
+      self.advance(Duration{kDelayNs});
+      std::int32_t got = 0;
+      c.recv(&got, 1, Datatype::int32_type(), 0, 0);
+      EXPECT_EQ(got, 1);
+    }
+  });
+  EXPECT_LT(send_done_ns, kDelayNs);  // buffered at receiver, sender moved on
+}
+
+TEST_P(MpiSemanticsTest, ReadySendSucceedsWhenReceivePosted) {
+  LoopWorld w(2, options());
+  std::int32_t got = 0;
+  w.run([&](Comm& c, sim::Actor& self) {
+    if (c.rank() == 0) {
+      self.advance(milliseconds(1));  // let the receive get posted
+      std::int32_t v = 77;
+      c.send(&v, 1, Datatype::int32_type(), 1, 0, Mode::kReady);
+    } else {
+      Request r = c.irecv(&got, 1, Datatype::int32_type(), 0, 0);
+      c.wait(r);
+    }
+  });
+  EXPECT_EQ(got, 77);
+}
+
+TEST_P(MpiSemanticsTest, ReadySendWithNoPostedReceiveRaises) {
+  LoopWorld w(2, options());
+  EXPECT_THROW(
+      w.run([&](Comm& c, sim::Actor& self) {
+        if (c.rank() == 0) {
+          std::int32_t v = 1;
+          c.send(&v, 1, Datatype::int32_type(), 1, 0, Mode::kReady);
+        } else {
+          self.advance(milliseconds(10));  // receive never posted in time
+          std::int32_t got = 0;
+          c.recv(&got, 1, Datatype::int32_type(), 0, 0);
+        }
+      }),
+      MpiError);
+}
+
+TEST_P(MpiSemanticsTest, BufferedSendCompletesImmediatelyAndDelivers) {
+  LoopWorld w(2, options());
+  Bytes got(64);
+  std::int64_t send_done_ns = -1;
+  w.run([&](Comm& c, sim::Actor& self) {
+    if (c.rank() == 0) {
+      c.engine().buffer_attach(1 << 16);
+      Bytes msg = pattern(64, 9);
+      c.send(msg.data(), 64, Datatype::byte_type(), 1, 0, Mode::kBuffered);
+      send_done_ns = self.now().ns;
+      c.engine().buffer_detach();
+    } else {
+      self.advance(milliseconds(2));
+      c.recv(got.data(), 64, Datatype::byte_type(), 0, 0);
+    }
+  });
+  EXPECT_EQ(got, pattern(64, 9));
+  EXPECT_LT(send_done_ns, 2'000'000);
+}
+
+TEST_P(MpiSemanticsTest, BufferedSendOverflowRaises) {
+  LoopWorld w(2, options());
+  EXPECT_THROW(
+      w.run([&](Comm& c, sim::Actor&) {
+        if (c.rank() == 0) {
+          c.engine().buffer_attach(16);
+          Bytes msg(64);
+          c.send(msg.data(), 64, Datatype::byte_type(), 1, 0, Mode::kBuffered);
+        } else {
+          Bytes got(64);
+          c.recv(got.data(), 64, Datatype::byte_type(), 0, 0);
+        }
+      }),
+      MpiError);
+}
+
+TEST_P(MpiSemanticsTest, ProbeReportsEnvelopeWithoutConsuming) {
+  LoopWorld w(2, options());
+  Status probed;
+  std::int32_t got = 0;
+  w.run([&](Comm& c, sim::Actor& self) {
+    if (c.rank() == 0) {
+      std::int32_t v = 13;
+      c.send(&v, 1, Datatype::int32_type(), 1, 21);
+    } else {
+      self.advance(milliseconds(1));
+      probed = c.probe(kAnySource, kAnyTag);
+      c.recv(&got, 1, Datatype::int32_type(), probed.source, probed.tag);
+    }
+  });
+  EXPECT_EQ(probed.source, 0);
+  EXPECT_EQ(probed.tag, 21);
+  EXPECT_EQ(probed.count_bytes, 4);
+  EXPECT_EQ(got, 13);
+}
+
+TEST_P(MpiSemanticsTest, IprobeReturnsNulloptThenFinds) {
+  LoopWorld w(2, options());
+  bool early_empty = false, later_found = false;
+  w.run([&](Comm& c, sim::Actor& self) {
+    if (c.rank() == 0) {
+      self.advance(milliseconds(1));
+      std::int32_t v = 1;
+      c.send(&v, 1, Datatype::int32_type(), 1, 0);
+    } else {
+      early_empty = !c.iprobe(kAnySource, kAnyTag).has_value();
+      self.advance(milliseconds(2));
+      later_found = c.iprobe(0, 0).has_value();
+      std::int32_t got = 0;
+      c.recv(&got, 1, Datatype::int32_type(), 0, 0);
+    }
+  });
+  EXPECT_TRUE(early_empty);
+  EXPECT_TRUE(later_found);
+}
+
+TEST_P(MpiSemanticsTest, TruncationReportsErrorInStatus) {
+  mpi::EngineConfig cfg;
+  cfg.errors_return = true;
+  LoopWorld w(2, options(), cfg);
+  Status st;
+  std::array<std::int32_t, 2> got{};
+  w.run([&](Comm& c, sim::Actor&) {
+    if (c.rank() == 0) {
+      std::array<std::int32_t, 4> vals{1, 2, 3, 4};
+      c.send(vals.data(), 4, Datatype::int32_type(), 1, 0);
+    } else {
+      st = c.recv(got.data(), 2, Datatype::int32_type(), 0, 0);
+    }
+  });
+  EXPECT_EQ(st.error, Err::kTruncate);
+  EXPECT_EQ(st.count_bytes, 8);
+  EXPECT_EQ(got[0], 1);
+  EXPECT_EQ(got[1], 2);
+}
+
+TEST_P(MpiSemanticsTest, TruncationThrowsUnderFatalErrors) {
+  LoopWorld w(2, options());  // errors_return = false
+  EXPECT_THROW(
+      w.run([&](Comm& c, sim::Actor&) {
+        if (c.rank() == 0) {
+          std::array<std::int32_t, 4> vals{1, 2, 3, 4};
+          c.send(vals.data(), 4, Datatype::int32_type(), 1, 0);
+        } else {
+          std::array<std::int32_t, 2> got{};
+          c.recv(got.data(), 2, Datatype::int32_type(), 0, 0);
+        }
+      }),
+      MpiError);
+}
+
+TEST_P(MpiSemanticsTest, SelfSendRecvWorks) {
+  LoopWorld w(1, options());
+  std::int32_t got = 0;
+  w.run([&](Comm& c, sim::Actor&) {
+    std::int32_t v = 99;
+    Request r = c.irecv(&got, 1, Datatype::int32_type(), 0, 0);
+    c.send(&v, 1, Datatype::int32_type(), 0, 0);
+    c.wait(r);
+  });
+  EXPECT_EQ(got, 99);
+}
+
+TEST_P(MpiSemanticsTest, ManyToOneFanInWithAnySource) {
+  LoopWorld w(8, options());
+  std::vector<int> seen;
+  w.run([&](Comm& c, sim::Actor&) {
+    if (c.rank() == 0) {
+      for (int i = 1; i < 8; ++i) {
+        std::int32_t v = 0;
+        Status st = c.recv(&v, 1, Datatype::int32_type(), kAnySource, 0);
+        EXPECT_EQ(v, st.source * 10);
+        seen.push_back(st.source);
+      }
+    } else {
+      std::int32_t v = c.rank() * 10;
+      c.send(&v, 1, Datatype::int32_type(), 0, 0);
+    }
+  });
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST_P(MpiSemanticsTest, DerivedDatatypeTransfersColumn) {
+  LoopWorld w(2, options());
+  std::array<std::int32_t, 16> got_matrix{};
+  w.run([&](Comm& c, sim::Actor&) {
+    Datatype col = Datatype::vector(4, 1, 4, Datatype::int32_type());
+    if (c.rank() == 0) {
+      std::array<std::int32_t, 16> m{};
+      std::iota(m.begin(), m.end(), 0);
+      c.send(m.data(), 1, col, 1, 0);
+    } else {
+      c.recv(got_matrix.data(), 1, col, 0, 0);
+    }
+  });
+  EXPECT_EQ(got_matrix[0], 0);
+  EXPECT_EQ(got_matrix[4], 4);
+  EXPECT_EQ(got_matrix[8], 8);
+  EXPECT_EQ(got_matrix[12], 12);
+  EXPECT_EQ(got_matrix[1], 0);
+}
+
+TEST_P(MpiSemanticsTest, WaitAnyReturnsACompletedRequest) {
+  LoopWorld w(2, options());
+  std::size_t which = 99;
+  w.run([&](Comm& c, sim::Actor& self) {
+    if (c.rank() == 0) {
+      self.advance(milliseconds(1));
+      std::int32_t v = 5;
+      c.send(&v, 1, Datatype::int32_type(), 1, 2);  // only tag 2 ever sent
+    } else {
+      std::int32_t a = 0, b = 0;
+      std::vector<Request> reqs{c.irecv(&a, 1, Datatype::int32_type(), 0, 1),
+                                c.irecv(&b, 1, Datatype::int32_type(), 0, 2)};
+      which = c.wait_any(reqs);
+      EXPECT_EQ(b, 5);
+    }
+  });
+  EXPECT_EQ(which, 1u);
+}
+
+TEST_P(MpiSemanticsTest, MutualBlockingRendezvousSendsDeadlock) {
+  // Two ranks issue blocking large sends to each other before any receive:
+  // the classic unsafe MPI program. Rendezvous cannot complete, and the
+  // simulator's deadlock detector proves it.
+  LoopWorld w(2, options());
+  EXPECT_THROW(
+      w.run([&](Comm& c, sim::Actor&) {
+        Bytes big(100'000);
+        Bytes got(100'000);
+        const int peer = 1 - c.rank();
+        c.send(big.data(), static_cast<int>(big.size()), Datatype::byte_type(), peer, 0);
+        c.recv(got.data(), static_cast<int>(got.size()), Datatype::byte_type(), peer, 0);
+      }),
+      sim::SimDeadlock);
+}
+
+TEST_P(MpiSemanticsTest, MutualEagerSendsDoNotDeadlock) {
+  LoopWorld w(2, options());
+  std::array<std::int32_t, 2> got{};
+  w.run([&](Comm& c, sim::Actor&) {
+    std::int32_t v = c.rank() + 1;
+    const int peer = 1 - c.rank();
+    c.send(&v, 1, Datatype::int32_type(), peer, 0);
+    c.recv(&got[static_cast<std::size_t>(c.rank())], 1, Datatype::int32_type(), peer, 0);
+  });
+  EXPECT_EQ(got[0], 2);
+  EXPECT_EQ(got[1], 1);
+}
+
+TEST_P(MpiSemanticsTest, UnexpectedOverflowRaisesResourceError) {
+  if (GetParam().flow != FlowControl::kNone) GTEST_SKIP() << "flow control prevents it";
+  mpi::EngineConfig cfg;
+  cfg.max_unexpected_bytes = 512;
+  LoopWorld w(2, options(), cfg);
+  EXPECT_THROW(
+      w.run([&](Comm& c, sim::Actor& self) {
+        if (c.rank() == 0) {
+          Bytes chunk(128);
+          for (int i = 0; i < 10; ++i)
+            c.send(chunk.data(), 128, Datatype::byte_type(), 1, 0);
+        } else {
+          self.advance(seconds(1));         // never receives in time...
+          (void)c.iprobe(kAnySource, kAnyTag);  // ...then enters the library
+        }
+      }),
+      MpiError);
+}
+
+TEST_P(MpiSemanticsTest, DeterministicVirtualTimings) {
+  auto run_once = [&] {
+    LoopWorld w(4, options());
+    return w
+        .run([&](Comm& c, sim::Actor&) {
+          std::int32_t v = c.rank();
+          std::int32_t sum = 0;
+          c.allreduce(&v, &sum, 1, Datatype::int32_type(), Op::kSum);
+        })
+        .ns;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, MpiSemanticsTest,
+    testing::Values(Param{true, FlowControl::kNone}, Param{true, FlowControl::kSingleSlot},
+                    Param{true, FlowControl::kCredit}, Param{false, FlowControl::kNone},
+                    Param{false, FlowControl::kSingleSlot},
+                    Param{false, FlowControl::kCredit}),
+    param_name);
+
+}  // namespace
+}  // namespace lcmpi::mpi

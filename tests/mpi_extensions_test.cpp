@@ -1,0 +1,320 @@
+// Groups, Cartesian topologies, MPI_PROC_NULL, persistent requests, the
+// extended wait/test family, and the variable/prefix collectives.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/core/cart.h"
+#include "src/runtime/world.h"
+
+namespace lcmpi::mpi {
+namespace {
+
+using runtime::LoopWorld;
+
+// ------------------------------------------------------------------ groups
+
+TEST(GroupTest, InclExclPreserveOrder) {
+  Group g({0, 1, 2, 3, 4, 5});
+  Group sub = g.incl({4, 0, 2});
+  EXPECT_EQ(sub.ranks(), (std::vector<int>{4, 0, 2}));
+  EXPECT_EQ(sub.rank_of(2), 2);
+  Group rest = g.excl({0, 5});
+  EXPECT_EQ(rest.ranks(), (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(GroupTest, SetOperations) {
+  Group a({0, 1, 2, 3});
+  Group b({2, 3, 4, 5});
+  EXPECT_EQ(a.set_union(b).ranks(), (std::vector<int>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(a.set_intersection(b).ranks(), (std::vector<int>{2, 3}));
+  EXPECT_EQ(a.set_difference(b).ranks(), (std::vector<int>{0, 1}));
+}
+
+TEST(GroupTest, DuplicateRanksRejected) {
+  EXPECT_THROW(Group({0, 1, 1}), InternalError);
+}
+
+TEST(GroupTest, RankOfAbsentMemberIsUndefined) {
+  Group g({3, 5});
+  EXPECT_EQ(g.rank_of(4), -1);
+  EXPECT_FALSE(g.contains(4));
+  EXPECT_TRUE(g.contains(5));
+}
+
+TEST(GroupTest, CommCreateFromGroup) {
+  LoopWorld w(6);
+  std::vector<int> sums(6, -1);
+  w.run([&](Comm& c, sim::Actor&) {
+    Group evens = c.group().incl({0, 2, 4});
+    auto sub = c.create_from_group(evens);
+    EXPECT_EQ(sub.has_value(), c.rank() % 2 == 0);
+    if (sub) {
+      std::int32_t v = c.rank();
+      std::int32_t sum = 0;
+      sub->allreduce(&v, &sum, 1, Datatype::int32_type(), Op::kSum);
+      sums[static_cast<std::size_t>(c.rank())] = sum;
+    }
+  });
+  EXPECT_EQ(sums[0], 6);
+  EXPECT_EQ(sums[2], 6);
+  EXPECT_EQ(sums[4], 6);
+  EXPECT_EQ(sums[1], -1);
+}
+
+// ---------------------------------------------------------------- topology
+
+TEST(CartTest, DimsCreateBalances) {
+  EXPECT_EQ(dims_create(12, 2), (std::vector<int>{4, 3}));
+  EXPECT_EQ(dims_create(8, 3), (std::vector<int>{2, 2, 2}));
+  EXPECT_EQ(dims_create(7, 1), (std::vector<int>{7}));
+  // Constrained dimension respected.
+  EXPECT_EQ(dims_create(12, 2, {0, 6}), (std::vector<int>{2, 6}));
+}
+
+TEST(CartTest, DimsCreateRejectsBadConstraint) {
+  EXPECT_THROW(dims_create(12, 2, {5, 0}), InternalError);
+}
+
+TEST(CartTest, CoordsRankRoundTrip) {
+  LoopWorld w(6);
+  w.run([&](Comm& c, sim::Actor&) {
+    auto cart = CartComm::create(c, {2, 3}, {false, false});
+    ASSERT_TRUE(cart.has_value());
+    const auto xy = cart->my_coords();
+    EXPECT_EQ(cart->rank_at({xy[0], xy[1]}), cart->comm().rank());
+    // Row-major: rank 5 sits at (1, 2).
+    EXPECT_EQ(cart->coords(5), (std::vector<int>{1, 2}));
+    EXPECT_EQ(cart->rank_at({1, 2}), 5);
+  });
+}
+
+TEST(CartTest, ShiftAtNonPeriodicEdgeGivesProcNull) {
+  LoopWorld w(4);
+  w.run([&](Comm& c, sim::Actor&) {
+    auto cart = CartComm::create(c, {4}, {false});
+    ASSERT_TRUE(cart.has_value());
+    auto s = cart->shift(0, 1);
+    if (cart->comm().rank() == 3) EXPECT_EQ(s.dest, kProcNull);
+    else EXPECT_EQ(s.dest, cart->comm().rank() + 1);
+    if (cart->comm().rank() == 0) EXPECT_EQ(s.source, kProcNull);
+    else EXPECT_EQ(s.source, cart->comm().rank() - 1);
+  });
+}
+
+TEST(CartTest, PeriodicShiftWraps) {
+  LoopWorld w(4);
+  w.run([&](Comm& c, sim::Actor&) {
+    auto cart = CartComm::create(c, {4}, {true});
+    ASSERT_TRUE(cart.has_value());
+    auto s = cart->shift(0, 1);
+    EXPECT_EQ(s.dest, (cart->comm().rank() + 1) % 4);
+    EXPECT_EQ(s.source, (cart->comm().rank() + 3) % 4);
+  });
+}
+
+TEST(CartTest, ExtraRanksDropOut) {
+  LoopWorld w(5);
+  int dropped = 0;
+  w.run([&](Comm& c, sim::Actor&) {
+    auto cart = CartComm::create(c, {2, 2}, {false, false});
+    if (!cart) ++dropped;
+  });
+  EXPECT_EQ(dropped, 1);
+}
+
+TEST(CartTest, HaloExchangeWithProcNullEdges) {
+  LoopWorld w(4);
+  std::vector<std::int32_t> left_got(4, -99);
+  w.run([&](Comm& c, sim::Actor&) {
+    auto cart = CartComm::create(c, {4}, {false});
+    ASSERT_TRUE(cart.has_value());
+    Comm& cc = cart->comm();
+    auto s = cart->shift(0, 1);
+    const std::int32_t mine = cc.rank() * 7;
+    std::int32_t from_left = -1;
+    // Sends to PROC_NULL vanish; receives from PROC_NULL leave the buffer.
+    cc.sendrecv(&mine, 1, Datatype::int32_type(), s.dest, 0, &from_left, 1,
+                Datatype::int32_type(), s.source, 0);
+    left_got[static_cast<std::size_t>(cc.rank())] = from_left;
+  });
+  EXPECT_EQ(left_got[0], -1);  // untouched: received from PROC_NULL
+  EXPECT_EQ(left_got[1], 0);
+  EXPECT_EQ(left_got[2], 7);
+  EXPECT_EQ(left_got[3], 14);
+}
+
+// ------------------------------------------------------ proc-null requests
+
+TEST(ProcNullTest, SendAndRecvCompleteImmediately) {
+  LoopWorld w(1);
+  w.run([&](Comm& c, sim::Actor&) {
+    std::int32_t v = 5;
+    Request s = c.isend(&v, 1, Datatype::int32_type(), kProcNull, 0);
+    EXPECT_TRUE(c.test(s));
+    std::int32_t buf = 77;
+    Status st = c.recv(&buf, 1, Datatype::int32_type(), kProcNull, 0);
+    EXPECT_EQ(st.source, kProcNull);
+    EXPECT_EQ(st.count_bytes, 0);
+    EXPECT_EQ(buf, 77);  // untouched
+  });
+}
+
+// -------------------------------------------------------------- persistent
+
+TEST(PersistentTest, RestartableSendRecvPair) {
+  LoopWorld w(2);
+  std::vector<std::int32_t> got;
+  w.run([&](Comm& c, sim::Actor&) {
+    if (c.rank() == 0) {
+      std::int32_t v = 0;
+      auto op = c.send_init(&v, 1, Datatype::int32_type(), 1, 3);
+      for (v = 10; v <= 30; v += 10) {
+        Request r = c.start(op);
+        c.wait(r);
+      }
+    } else {
+      std::int32_t v = -1;
+      auto op = c.recv_init(&v, 1, Datatype::int32_type(), 0, 3);
+      for (int i = 0; i < 3; ++i) {
+        Request r = c.start(op);
+        c.wait(r);
+        got.push_back(v);
+      }
+    }
+  });
+  EXPECT_EQ(got, (std::vector<std::int32_t>{10, 20, 30}));
+}
+
+// -------------------------------------------------------- wait/test family
+
+TEST(WaitFamilyTest, WaitSomeReturnsCompletedSubset) {
+  LoopWorld w(2);
+  std::vector<std::size_t> first_batch;
+  w.run([&](Comm& c, sim::Actor& self) {
+    if (c.rank() == 0) {
+      self.advance(milliseconds(1));
+      std::int32_t a = 1;
+      c.send(&a, 1, Datatype::int32_type(), 1, 0);
+      self.advance(milliseconds(5));
+      c.send(&a, 1, Datatype::int32_type(), 1, 1);
+    } else {
+      std::int32_t x = 0, y = 0;
+      std::vector<Request> reqs{c.irecv(&x, 1, Datatype::int32_type(), 0, 0),
+                                c.irecv(&y, 1, Datatype::int32_type(), 0, 1)};
+      first_batch = c.wait_some(reqs);
+      c.wait_all(reqs);
+    }
+  });
+  EXPECT_EQ(first_batch, (std::vector<std::size_t>{0}));
+}
+
+TEST(WaitFamilyTest, TestAllAndTestAny) {
+  LoopWorld w(2);
+  w.run([&](Comm& c, sim::Actor& self) {
+    if (c.rank() == 0) {
+      self.advance(milliseconds(1));
+      std::int32_t a = 1;
+      c.send(&a, 1, Datatype::int32_type(), 1, 0);
+      c.send(&a, 1, Datatype::int32_type(), 1, 1);
+    } else {
+      std::int32_t x = 0, y = 0;
+      std::vector<Request> reqs{c.irecv(&x, 1, Datatype::int32_type(), 0, 0),
+                                c.irecv(&y, 1, Datatype::int32_type(), 0, 1)};
+      EXPECT_FALSE(c.test_all(reqs));
+      EXPECT_FALSE(c.test_any(reqs).has_value());
+      self.advance(milliseconds(5));
+      EXPECT_TRUE(c.test_all(reqs));
+      EXPECT_TRUE(c.test_any(reqs).has_value());
+    }
+  });
+}
+
+// ------------------------------------------------------ extended collectives
+
+TEST(ExtCollectivesTest, ScanComputesPrefixSums) {
+  LoopWorld w(5);
+  std::vector<std::int32_t> got(5, -1);
+  w.run([&](Comm& c, sim::Actor&) {
+    std::int32_t v = c.rank() + 1;
+    std::int32_t out = 0;
+    c.scan(&v, &out, 1, Datatype::int32_type(), Op::kSum);
+    got[static_cast<std::size_t>(c.rank())] = out;
+  });
+  EXPECT_EQ(got, (std::vector<std::int32_t>{1, 3, 6, 10, 15}));
+}
+
+TEST(ExtCollectivesTest, ScanMaxPrefix) {
+  LoopWorld w(4);
+  std::vector<std::int32_t> got(4, -1);
+  const std::int32_t vals[4] = {3, 1, 7, 2};
+  w.run([&](Comm& c, sim::Actor&) {
+    std::int32_t out = 0;
+    c.scan(&vals[c.rank()], &out, 1, Datatype::int32_type(), Op::kMax);
+    got[static_cast<std::size_t>(c.rank())] = out;
+  });
+  EXPECT_EQ(got, (std::vector<std::int32_t>{3, 3, 7, 7}));
+}
+
+TEST(ExtCollectivesTest, ReduceScatterBlock) {
+  LoopWorld w(3);
+  std::vector<std::int32_t> got(3, -1);
+  w.run([&](Comm& c, sim::Actor&) {
+    // Each rank contributes [r, r+1, r+2]; the reduction is the sum.
+    std::int32_t contrib[3] = {c.rank(), c.rank() + 1, c.rank() + 2};
+    std::int32_t mine = -1;
+    c.reduce_scatter_block(contrib, &mine, 1, Datatype::int32_type(), Op::kSum);
+    got[static_cast<std::size_t>(c.rank())] = mine;
+  });
+  // Sum over ranks of (r + k) = 3k + 3 for k = 0,1,2.
+  EXPECT_EQ(got, (std::vector<std::int32_t>{3, 6, 9}));
+}
+
+TEST(ExtCollectivesTest, GathervVariableBlocks) {
+  LoopWorld w(3);
+  std::vector<std::int32_t> got;
+  w.run([&](Comm& c, sim::Actor&) {
+    // Rank r contributes r+1 values of (r+1)*11.
+    std::vector<std::int32_t> mine(static_cast<std::size_t>(c.rank()) + 1,
+                                   (c.rank() + 1) * 11);
+    std::vector<int> counts{1, 2, 3};
+    std::vector<int> displs{0, 1, 3};
+    std::vector<std::int32_t> all(6, -1);
+    c.gatherv(mine.data(), static_cast<int>(mine.size()), all.data(), counts, displs,
+              Datatype::int32_type(), 0);
+    if (c.rank() == 0) got = all;
+  });
+  EXPECT_EQ(got, (std::vector<std::int32_t>{11, 22, 22, 33, 33, 33}));
+}
+
+TEST(ExtCollectivesTest, ScattervInverseOfGatherv) {
+  LoopWorld w(3);
+  std::vector<std::vector<std::int32_t>> got(3);
+  w.run([&](Comm& c, sim::Actor&) {
+    std::vector<std::int32_t> all{11, 22, 22, 33, 33, 33};
+    std::vector<int> counts{1, 2, 3};
+    std::vector<int> displs{0, 1, 3};
+    std::vector<std::int32_t> mine(static_cast<std::size_t>(c.rank()) + 1, -1);
+    c.scatterv(all.data(), counts, displs, mine.data(), static_cast<int>(mine.size()),
+               Datatype::int32_type(), 0);
+    got[static_cast<std::size_t>(c.rank())] = mine;
+  });
+  EXPECT_EQ(got[0], (std::vector<std::int32_t>{11}));
+  EXPECT_EQ(got[1], (std::vector<std::int32_t>{22, 22}));
+  EXPECT_EQ(got[2], (std::vector<std::int32_t>{33, 33, 33}));
+}
+
+TEST(ExtCollectivesTest, ExtendedCollectivesWorkOnMeiko) {
+  runtime::MeikoWorld w(4);
+  std::vector<std::int32_t> scans(4, -1);
+  w.run([&](Comm& c, sim::Actor&) {
+    std::int32_t v = 2;
+    std::int32_t out = 0;
+    c.scan(&v, &out, 1, Datatype::int32_type(), Op::kProd);
+    scans[static_cast<std::size_t>(c.rank())] = out;
+  });
+  EXPECT_EQ(scans, (std::vector<std::int32_t>{2, 4, 8, 16}));
+}
+
+}  // namespace
+}  // namespace lcmpi::mpi

@@ -1,0 +1,257 @@
+// MPI_Cancel, MPI_Pack/Unpack, MPI_Wtime, and engine statistics.
+#include <gtest/gtest.h>
+
+#include "src/runtime/world.h"
+
+namespace lcmpi::mpi {
+namespace {
+
+using runtime::LoopWorld;
+
+TEST(CancelTest, UnmatchedPostedReceiveCancels) {
+  LoopWorld w(2);
+  w.run([&](Comm& c, sim::Actor&) {
+    if (c.rank() == 0) {
+      std::int32_t v = 0;
+      Request r = c.irecv(&v, 1, Datatype::int32_type(), 1, 5);
+      EXPECT_TRUE(c.engine().cancel(r));
+      EXPECT_TRUE(r->done);
+      EXPECT_EQ(r->status.source, kProcNull);
+      EXPECT_FALSE(c.engine().cancel(r));  // already cancelled
+    }
+    c.barrier();
+  });
+}
+
+TEST(CancelTest, MatchedReceiveCannotCancel) {
+  LoopWorld w(2);
+  w.run([&](Comm& c, sim::Actor& self) {
+    if (c.rank() == 0) {
+      std::int32_t v = 0;
+      Request r = c.irecv(&v, 1, Datatype::int32_type(), 1, 5);
+      self.advance(milliseconds(1));  // message arrives and matches
+      c.engine().progress();
+      EXPECT_FALSE(c.engine().cancel(r));
+      c.wait(r);
+      EXPECT_EQ(v, 88);
+    } else {
+      std::int32_t v = 88;
+      c.send(&v, 1, Datatype::int32_type(), 0, 5);
+    }
+  });
+}
+
+TEST(CancelTest, SendCannotCancel) {
+  LoopWorld w(2);
+  w.run([&](Comm& c, sim::Actor&) {
+    if (c.rank() == 0) {
+      std::int32_t v = 3;
+      Request r = c.isend(&v, 1, Datatype::int32_type(), 1, 0);
+      EXPECT_FALSE(c.engine().cancel(r));
+      c.wait(r);
+    } else {
+      std::int32_t v = 0;
+      c.recv(&v, 1, Datatype::int32_type(), 0, 0);
+    }
+  });
+}
+
+TEST(CancelTest, CancelledReceiveDoesNotStealLaterMessage) {
+  LoopWorld w(2);
+  std::int32_t got = -1;
+  w.run([&](Comm& c, sim::Actor&) {
+    if (c.rank() == 0) {
+      std::int32_t a = 0;
+      Request cancelled = c.irecv(&a, 1, Datatype::int32_type(), 1, 7);
+      EXPECT_TRUE(c.engine().cancel(cancelled));
+      Status st = c.recv(&got, 1, Datatype::int32_type(), 1, 7);
+      EXPECT_EQ(st.tag, 7);
+      EXPECT_EQ(a, 0);  // cancelled buffer untouched
+    } else {
+      std::int32_t v = 55;
+      c.send(&v, 1, Datatype::int32_type(), 0, 7);
+    }
+  });
+  EXPECT_EQ(got, 55);
+}
+
+TEST(PackTest, PackUnpackRoundTripMixedTypes) {
+  auto i32 = Datatype::int32_type();
+  auto f64 = Datatype::double_type();
+  std::int32_t ints[3] = {1, 2, 3};
+  double d = 2.718;
+  Bytes packed;
+  i32.pack_append(ints, 3, packed);
+  f64.pack_append(&d, 1, packed);
+  EXPECT_EQ(packed.size(), 20u);
+  EXPECT_EQ(i32.pack_size(3), 12);
+
+  std::int32_t ints_out[3] = {};
+  double d_out = 0;
+  std::size_t pos = 0;
+  i32.unpack_at(packed, pos, ints_out, 3);
+  f64.unpack_at(packed, pos, &d_out, 1);
+  EXPECT_EQ(pos, 20u);
+  EXPECT_EQ(ints_out[2], 3);
+  EXPECT_DOUBLE_EQ(d_out, 2.718);
+}
+
+TEST(PackTest, UnpackPastEndThrows) {
+  auto i32 = Datatype::int32_type();
+  Bytes packed(4);
+  std::size_t pos = 0;
+  std::int32_t out[2];
+  EXPECT_THROW(i32.unpack_at(packed, pos, out, 2), InternalError);
+}
+
+TEST(PackTest, PackedBufferTravelsAsBytes) {
+  LoopWorld w(2);
+  double got_d = 0;
+  std::int32_t got_i = 0;
+  w.run([&](Comm& c, sim::Actor&) {
+    auto i32 = Datatype::int32_type();
+    auto f64 = Datatype::double_type();
+    if (c.rank() == 0) {
+      Bytes packed;
+      std::int32_t i = 42;
+      double d = 1.5;
+      i32.pack_append(&i, 1, packed);
+      f64.pack_append(&d, 1, packed);
+      c.send(packed.data(), static_cast<int>(packed.size()), Datatype::byte_type(), 1, 0);
+    } else {
+      Bytes packed(12);
+      c.recv(packed.data(), 12, Datatype::byte_type(), 0, 0);
+      std::size_t pos = 0;
+      i32.unpack_at(packed, pos, &got_i, 1);
+      f64.unpack_at(packed, pos, &got_d, 1);
+    }
+  });
+  EXPECT_EQ(got_i, 42);
+  EXPECT_DOUBLE_EQ(got_d, 1.5);
+}
+
+TEST(WtimeTest, AdvancesWithVirtualTime) {
+  LoopWorld w(1);
+  w.run([&](Comm& c, sim::Actor& self) {
+    const double t0 = c.wtime();
+    self.advance(milliseconds(250));
+    EXPECT_NEAR(c.wtime() - t0, 0.25, 1e-9);
+  });
+}
+
+TEST(EngineStatsTest, EagerAndRendezvousCountsSplitAtThreshold) {
+  LoopWorld w(2);
+  w.run([&](Comm& c, sim::Actor&) {
+    if (c.rank() == 0) {
+      Bytes small(64), big(4096);
+      c.send(small.data(), 64, Datatype::byte_type(), 1, 0);
+      c.send(big.data(), 4096, Datatype::byte_type(), 1, 1);
+      c.send(small.data(), 64, Datatype::byte_type(), 1, 2);
+      EXPECT_EQ(c.engine().eager_sends(), 2);
+      EXPECT_EQ(c.engine().rendezvous_sends(), 1);
+    } else {
+      Bytes buf(4096);
+      for (int t = 0; t < 3; ++t)
+        c.recv(buf.data(), 4096, Datatype::byte_type(), 0, t);
+    }
+  });
+}
+
+TEST(EngineStatsTest, UnexpectedQueueDrainsToZero) {
+  LoopWorld w(2);
+  w.run([&](Comm& c, sim::Actor& self) {
+    if (c.rank() == 0) {
+      Bytes b(32);
+      for (int t = 0; t < 5; ++t) c.send(b.data(), 32, Datatype::byte_type(), 1, t);
+    } else {
+      self.advance(milliseconds(1));
+      c.engine().progress();
+      EXPECT_EQ(c.engine().unexpected_count(), 5u);
+      EXPECT_EQ(c.engine().unexpected_bytes(), 5 * 32);
+      Bytes buf(32);
+      for (int t = 0; t < 5; ++t) c.recv(buf.data(), 32, Datatype::byte_type(), 0, t);
+      EXPECT_EQ(c.engine().unexpected_count(), 0u);
+      EXPECT_EQ(c.engine().unexpected_bytes(), 0);
+    }
+  });
+}
+
+
+TEST(SendrecvReplaceTest, RingRotationInPlace) {
+  LoopWorld w(4);
+  std::vector<std::int32_t> got(4, -1);
+  w.run([&](Comm& c, sim::Actor&) {
+    std::int32_t v = c.rank() * 10;
+    const int to = (c.rank() + 1) % 4;
+    const int from = (c.rank() + 3) % 4;
+    c.sendrecv_replace(&v, 1, Datatype::int32_type(), to, 0, from, 0);
+    got[static_cast<std::size_t>(c.rank())] = v;
+  });
+  for (int r = 0; r < 4; ++r)
+    EXPECT_EQ(got[static_cast<std::size_t>(r)], ((r + 3) % 4) * 10);
+}
+
+TEST(SendrecvReplaceTest, ProcNullLeavesBufferIntact) {
+  LoopWorld w(2);
+  w.run([&](Comm& c, sim::Actor&) {
+    if (c.rank() == 0) {
+      std::int32_t v = 123;
+      // Send to nobody, receive from nobody: buffer untouched.
+      Status st = c.sendrecv_replace(&v, 1, Datatype::int32_type(), kProcNull, 0,
+                                     kProcNull, 0);
+      EXPECT_EQ(v, 123);
+      EXPECT_EQ(st.source, kProcNull);
+    }
+    c.barrier();
+  });
+}
+
+TEST(UserOpTest, CustomReductionCombinesStructs) {
+  // A user-defined op over a pair (min, argmin) — the MPI_MINLOC pattern.
+  struct MinLoc {
+    double value;
+    std::int32_t rank;
+    std::int32_t pad;
+  };
+  LoopWorld w(5);
+  std::vector<MinLoc> results(5);
+  w.run([&](Comm& c, sim::Actor&) {
+    MinLoc mine{static_cast<double>((c.rank() * 3 + 2) % 7), c.rank(), 0};
+    MinLoc out{1e18, -1, 0};
+    auto minloc = [](const void* in, void* inout, int count) {
+      const auto* a = static_cast<const MinLoc*>(in);
+      auto* b = static_cast<MinLoc*>(inout);
+      for (int i = 0; i < count; ++i)
+        if (a[i].value < b[i].value) b[i] = a[i];
+    };
+    auto pair_type = Datatype::contiguous(static_cast<int>(sizeof(MinLoc)),
+                                          Datatype::byte_type());
+    c.allreduce(&mine, &out, 1, pair_type, minloc);
+    results[static_cast<std::size_t>(c.rank())] = out;
+  });
+  // Values: rank r has (3r+2) mod 7 -> r=0:2 r=1:5 r=2:1 r=3:4 r=4:0. Min at rank 4.
+  for (int r = 0; r < 5; ++r) {
+    EXPECT_DOUBLE_EQ(results[static_cast<std::size_t>(r)].value, 0.0);
+    EXPECT_EQ(results[static_cast<std::size_t>(r)].rank, 4);
+  }
+}
+
+TEST(UserOpTest, CustomReduceToRootOnly) {
+  LoopWorld w(4);
+  std::int64_t result = 0;
+  w.run([&](Comm& c, sim::Actor&) {
+    std::int64_t v = 1LL << c.rank();
+    std::int64_t out = 0;
+    auto bit_or = [](const void* in, void* inout, int count) {
+      const auto* a = static_cast<const std::int64_t*>(in);
+      auto* b = static_cast<std::int64_t*>(inout);
+      for (int i = 0; i < count; ++i) b[i] |= a[i];
+    };
+    c.reduce(&v, &out, 1, Datatype::int64_type(), bit_or, 0);
+    if (c.rank() == 0) result = out;
+  });
+  EXPECT_EQ(result, 0b1111);
+}
+
+}  // namespace
+}  // namespace lcmpi::mpi

@@ -1,0 +1,330 @@
+// End-to-end MPI over the modelled platforms: the Meiko CS/2 (low-latency
+// and MPICH-over-tport), and the SGI cluster over ATM/Ethernet with TCP
+// and reliable-UDP. Includes the paper's headline calibration points.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "src/runtime/world.h"
+
+namespace lcmpi::mpi {
+namespace {
+
+using runtime::ClusterWorld;
+using runtime::MeikoWorld;
+using runtime::Media;
+using runtime::MpichMeikoWorld;
+using runtime::Transport;
+
+Bytes pattern(std::size_t n, std::uint8_t seed) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = static_cast<std::byte>((seed + i * 3) & 0xff);
+  return b;
+}
+
+/// One-byte (or n-byte) MPI ping-pong round trip in microseconds.
+template <typename World>
+double pingpong_rtt_us(World& w, int bytes, int iters = 10) {
+  double rtt = 0.0;
+  w.run([&](auto& c, sim::Actor& self) {
+    Bytes buf(static_cast<std::size_t>(bytes), std::byte{5});
+    Bytes in(buf.size());
+    auto byte_t = Datatype::byte_type();
+    if (c.rank() == 0) {
+      c.send(buf.data(), bytes, byte_t, 1, 1);
+      c.recv(in.data(), bytes, byte_t, 1, 2);
+      const TimePoint t0 = self.now();
+      for (int i = 0; i < iters; ++i) {
+        c.send(buf.data(), bytes, byte_t, 1, 1);
+        c.recv(in.data(), bytes, byte_t, 1, 2);
+      }
+      rtt = (self.now() - t0).usec() / iters;
+    } else {
+      for (int i = 0; i < iters + 1; ++i) {
+        c.recv(in.data(), bytes, byte_t, 0, 1);
+        c.send(in.data(), bytes, byte_t, 0, 2);
+      }
+    }
+  });
+  return rtt;
+}
+
+// ------------------------------------------------------------------ Meiko
+
+TEST(MeikoMpiTest, EagerAndRendezvousIntegrity) {
+  for (std::size_t n : {1u, 64u, 180u, 181u, 4096u, 262144u}) {
+    MeikoWorld w(2);
+    Bytes got(n);
+    w.run([&](Comm& c, sim::Actor&) {
+      if (c.rank() == 0) {
+        Bytes msg = pattern(n, 3);
+        c.send(msg.data(), static_cast<int>(n), Datatype::byte_type(), 1, 0);
+      } else {
+        c.recv(got.data(), static_cast<int>(n), Datatype::byte_type(), 0, 0);
+      }
+    });
+    EXPECT_EQ(got, pattern(n, 3)) << "size " << n;
+  }
+}
+
+// Paper, Fig. 2: our low-latency MPI 1-byte round trip is 104 us.
+TEST(MeikoMpiTest, OneByteRttNearPaper104us) {
+  MeikoWorld w(2);
+  const double rtt = pingpong_rtt_us(w, 1);
+  EXPECT_NEAR(rtt, 104.0, 8.0);
+}
+
+// Paper, Fig. 3: rendezvous bandwidth approaches the 39 MB/s DMA ceiling.
+TEST(MeikoMpiTest, LargeTransferBandwidthNears39MBps) {
+  MeikoWorld w(2);
+  constexpr int kBytes = 1 << 20;
+  double mbps = 0.0;
+  w.run([&](Comm& c, sim::Actor& self) {
+    Bytes buf(kBytes, std::byte{1});
+    if (c.rank() == 0) {
+      const TimePoint t0 = self.now();
+      c.send(buf.data(), kBytes, Datatype::byte_type(), 1, 0);
+      std::uint8_t fin = 0;
+      c.recv(&fin, 1, Datatype::byte_type(), 1, 1);
+      mbps = kBytes / (self.now() - t0).sec() / 1e6;
+    } else {
+      c.recv(buf.data(), kBytes, Datatype::byte_type(), 0, 0);
+      std::uint8_t fin = 1;
+      c.send(&fin, 1, Datatype::byte_type(), 0, 1);
+    }
+  });
+  EXPECT_GT(mbps, 33.0);
+  EXPECT_LT(mbps, 39.5);
+}
+
+// Paper, Fig. 1: eager (buffered) beats rendezvous below the crossover and
+// loses above it; the crossover sits near 180 bytes.
+TEST(MeikoMpiTest, EagerRendezvousCrossoverNear180Bytes) {
+  auto rtt_with_threshold = [&](int bytes, std::int64_t threshold) {
+    mpi::EngineConfig cfg;
+    cfg.eager_threshold_override = threshold;
+    MeikoWorld w(2, {}, cfg);
+    return pingpong_rtt_us(w, bytes, 5);
+  };
+  // Force-eager vs force-rendezvous at several sizes.
+  const double eager64 = rtt_with_threshold(64, 1 << 20);
+  const double rndv64 = rtt_with_threshold(64, 0);
+  EXPECT_LT(eager64, rndv64);
+
+  const double eager512 = rtt_with_threshold(512, 1 << 20);
+  const double rndv512 = rtt_with_threshold(512, 0);
+  EXPECT_GT(eager512, rndv512);
+
+  // The curves cross between 64 and 512 bytes.
+  double lo = 64, hi = 512;
+  while (hi - lo > 16) {
+    const double mid = (lo + hi) / 2;
+    const int b = static_cast<int>(mid);
+    if (rtt_with_threshold(b, 1 << 20) < rtt_with_threshold(b, 0)) lo = mid;
+    else hi = mid;
+  }
+  EXPECT_NEAR((lo + hi) / 2, 180.0, 90.0);
+}
+
+TEST(MeikoMpiTest, HardwareBroadcastBeatsTreeBroadcast) {
+  auto bcast_time = [&](bool hw) {
+    mpi::EngineConfig cfg;
+    cfg.use_hw_bcast = hw;
+    MeikoWorld w(16, {}, cfg);
+    return w
+        .run([&](Comm& c, sim::Actor&) {
+          std::vector<double> row(128);
+          for (int i = 0; i < 20; ++i)
+            c.bcast(row.data(), 128, Datatype::double_type(), 0);
+          c.barrier();
+        })
+        .usec();
+  };
+  const double hw = bcast_time(true);
+  const double tree = bcast_time(false);
+  EXPECT_LT(hw, tree / 2.0);  // hardware replication wins big at 16 ranks
+}
+
+TEST(MeikoMpiTest, SixteenRankAllreduceCorrect) {
+  MeikoWorld w(16);
+  std::vector<std::int64_t> got(16, -1);
+  w.run([&](Comm& c, sim::Actor&) {
+    std::int64_t v = c.rank() + 1;
+    std::int64_t sum = 0;
+    c.allreduce(&v, &sum, 1, Datatype::int64_type(), Op::kSum);
+    got[static_cast<std::size_t>(c.rank())] = sum;
+  });
+  for (auto s : got) EXPECT_EQ(s, 136);
+}
+
+// ------------------------------------------------------------------ MPICH
+
+TEST(MpichTest, PingPongIntegrityAndOrdering) {
+  MpichMeikoWorld w(2);
+  std::vector<std::int32_t> got;
+  w.run([&](MpichComm& c, sim::Actor&) {
+    if (c.rank() == 0) {
+      for (std::int32_t i = 0; i < 20; ++i)
+        c.send(&i, 1, Datatype::int32_type(), 1, 7);
+    } else {
+      for (int i = 0; i < 20; ++i) {
+        std::int32_t v = -1;
+        c.recv(&v, 1, Datatype::int32_type(), 0, 7);
+        got.push_back(v);
+      }
+    }
+  });
+  std::vector<std::int32_t> want(20);
+  std::iota(want.begin(), want.end(), 0);
+  EXPECT_EQ(got, want);
+}
+
+// Paper, Fig. 2: MPICH-over-tport 1-byte round trip is ~210 us.
+TEST(MpichTest, OneByteRttNearPaper210us) {
+  MpichMeikoWorld w(2);
+  const double rtt = pingpong_rtt_us(w, 1);
+  EXPECT_NEAR(rtt, 210.0, 16.0);
+}
+
+TEST(MpichTest, AnySourceAnyTagRecv) {
+  MpichMeikoWorld w(3);
+  Status st;
+  std::int32_t got = 0;
+  w.run([&](MpichComm& c, sim::Actor& self) {
+    if (c.rank() == 2) {
+      self.advance(microseconds(100));
+      std::int32_t v = 55;
+      c.send(&v, 1, Datatype::int32_type(), 0, 9);
+    } else if (c.rank() == 0) {
+      st = c.recv(&got, 1, Datatype::int32_type(), kAnySource, kAnyTag);
+    }
+  });
+  EXPECT_EQ(got, 55);
+  EXPECT_EQ(st.source, 2);
+  EXPECT_EQ(st.tag, 9);
+}
+
+TEST(MpichTest, SynchronousSendWaitsForReceiver) {
+  MpichMeikoWorld w(2);
+  std::int64_t done_ns = -1;
+  constexpr std::int64_t kDelay = 4'000'000;
+  w.run([&](MpichComm& c, sim::Actor& self) {
+    if (c.rank() == 0) {
+      std::int32_t v = 1;
+      c.send(&v, 1, Datatype::int32_type(), 1, 0, Mode::kSynchronous);
+      done_ns = self.now().ns;
+    } else {
+      self.advance(Duration{kDelay});
+      std::int32_t got = 0;
+      c.recv(&got, 1, Datatype::int32_type(), 0, 0);
+    }
+  });
+  EXPECT_GE(done_ns, kDelay);
+}
+
+TEST(MpichTest, CollectivesCorrectAtEightRanks) {
+  MpichMeikoWorld w(8);
+  std::vector<std::int32_t> bsum(8, -1);
+  w.run([&](MpichComm& c, sim::Actor&) {
+    std::int32_t v = c.rank() == 3 ? 99 : 0;
+    c.bcast(&v, 1, Datatype::int32_type(), 3);
+    std::int32_t s = 0;
+    c.allreduce(&v, &s, 1, Datatype::int32_type(), Op::kSum);
+    bsum[static_cast<std::size_t>(c.rank())] = s;
+    c.barrier();
+  });
+  for (auto s : bsum) EXPECT_EQ(s, 99 * 8);
+}
+
+TEST(MpichTest, LowLatencyBeatsMpichOnLatency) {
+  MeikoWorld lw(2);
+  MpichMeikoWorld mw(2);
+  const double ll = pingpong_rtt_us(lw, 1);
+  const double mp = pingpong_rtt_us(mw, 1);
+  EXPECT_LT(ll, mp * 0.6);  // paper: 104 vs 210
+}
+
+// ---------------------------------------------------------------- Cluster
+
+class ClusterMpiTest
+    : public testing::TestWithParam<std::pair<Media, Transport>> {};
+
+TEST_P(ClusterMpiTest, MessageIntegrityAcrossSizes) {
+  for (std::size_t n : {1u, 500u, 8192u, 65536u}) {
+    ClusterWorld w(2, GetParam().first, GetParam().second);
+    Bytes got(n);
+    w.run([&](Comm& c, sim::Actor&) {
+      if (c.rank() == 0) {
+        Bytes msg = pattern(n, 8);
+        c.send(msg.data(), static_cast<int>(n), Datatype::byte_type(), 1, 0);
+      } else {
+        c.recv(got.data(), static_cast<int>(n), Datatype::byte_type(), 0, 0);
+      }
+    });
+    EXPECT_EQ(got, pattern(n, 8)) << "size " << n;
+  }
+}
+
+TEST_P(ClusterMpiTest, RingExchangeAtFourRanks) {
+  ClusterWorld w(4, GetParam().first, GetParam().second);
+  std::vector<std::int32_t> got(4, -1);
+  w.run([&](Comm& c, sim::Actor&) {
+    const int to = (c.rank() + 1) % 4;
+    const int from = (c.rank() + 3) % 4;
+    std::int32_t v = c.rank() * 11;
+    std::int32_t in = -1;
+    c.sendrecv(&v, 1, Datatype::int32_type(), to, 0, &in, 1, Datatype::int32_type(), from,
+               0);
+    got[static_cast<std::size_t>(c.rank())] = in;
+  });
+  for (int r = 0; r < 4; ++r)
+    EXPECT_EQ(got[static_cast<std::size_t>(r)], ((r + 3) % 4) * 11);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Platforms, ClusterMpiTest,
+    testing::Values(std::make_pair(Media::kAtm, Transport::kTcp),
+                    std::make_pair(Media::kEthernet, Transport::kTcp),
+                    std::make_pair(Media::kAtm, Transport::kRudp),
+                    std::make_pair(Media::kEthernet, Transport::kRudp)),
+    [](const testing::TestParamInfo<std::pair<Media, Transport>>& i) {
+      std::string s = i.param.first == Media::kAtm ? "Atm" : "Eth";
+      s += i.param.second == Transport::kTcp ? "Tcp" : "Rudp";
+      return s;
+    });
+
+// MPI-over-TCP adds a consistent software overhead above raw TCP (Fig. 5 /
+// Table 1): the 1-byte MPI round trip sits a few hundred microseconds
+// above the ~925/1065 us raw round trips.
+TEST(ClusterCalibrationTest, MpiOverTcpOverheadWithinExpectedBand) {
+  ClusterWorld we(2, Media::kEthernet, Transport::kTcp);
+  const double eth = pingpong_rtt_us(we, 1, 8);
+  EXPECT_GT(eth, 1100.0);
+  EXPECT_LT(eth, 1600.0);
+
+  ClusterWorld wa(2, Media::kAtm, Transport::kTcp);
+  const double atm = pingpong_rtt_us(wa, 1, 8);
+  EXPECT_GT(atm, 1200.0);
+  EXPECT_LT(atm, 1700.0);
+}
+
+TEST(ClusterCalibrationTest, AtmBeatsEthernetAtLargeMessages) {
+  ClusterWorld we(2, Media::kEthernet, Transport::kTcp);
+  ClusterWorld wa(2, Media::kAtm, Transport::kTcp);
+  const double eth = pingpong_rtt_us(we, 64 * 1024, 3);
+  const double atm = pingpong_rtt_us(wa, 64 * 1024, 3);
+  EXPECT_LT(atm, eth / 3.0);
+}
+
+TEST(ClusterCalibrationTest, RudpPerformsLikeTcp) {
+  ClusterWorld wt(2, Media::kAtm, Transport::kTcp);
+  ClusterWorld wu(2, Media::kAtm, Transport::kRudp);
+  const double tcp = pingpong_rtt_us(wt, 1, 8);
+  const double rudp = pingpong_rtt_us(wu, 1, 8);
+  EXPECT_GT(rudp, tcp * 0.6);
+  EXPECT_LT(rudp, tcp * 1.7);
+}
+
+}  // namespace
+}  // namespace lcmpi::mpi

@@ -1,0 +1,142 @@
+// tport probe, MPICH probe/iprobe, and the Nagle/TCP_NODELAY ablation.
+#include <gtest/gtest.h>
+
+#include "src/atmnet/ethernet.h"
+#include "src/inet/tcp.h"
+#include "src/runtime/world.h"
+
+namespace lcmpi {
+namespace {
+
+TEST(TportProbeTest, IprobeSeesUnexpectedWithoutConsuming) {
+  sim::Kernel k;
+  meiko::Machine m(k, 2);
+  meiko::Tport t0(m, 0), t1(m, 1);
+  k.spawn("tx", [&](sim::Actor& self) { t0.send(self, 1, 77, Bytes(32)); });
+  k.spawn("rx", [&](sim::Actor& self) {
+    self.advance(milliseconds(1));
+    auto none = t1.iprobe(self, 78, ~0ULL);
+    EXPECT_FALSE(none.has_value());
+    auto info = t1.iprobe(self, 77, ~0ULL);
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->src, 0);
+    EXPECT_EQ(info->nbytes, 32u);
+    // Still receivable afterwards.
+    meiko::TportMessage msg = t1.recv(self, 77, ~0ULL);
+    EXPECT_EQ(msg.data.size(), 32u);
+  });
+  k.run();
+}
+
+TEST(TportProbeTest, BlockingProbeWaitsForArrival) {
+  sim::Kernel k;
+  meiko::Machine m(k, 2);
+  meiko::Tport t0(m, 0), t1(m, 1);
+  std::int64_t probed_at = -1;
+  constexpr std::int64_t kSendAt = 2'000'000;
+  k.spawn("tx", [&](sim::Actor& self) {
+    self.advance(Duration{kSendAt});
+    t0.send(self, 1, 5, Bytes(8));
+  });
+  k.spawn("rx", [&](sim::Actor& self) {
+    auto info = t1.probe(self, 5, ~0ULL);
+    probed_at = self.now().ns;
+    EXPECT_EQ(info.nbytes, 8u);
+    (void)t1.recv(self, 5, ~0ULL);
+  });
+  k.run();
+  EXPECT_GT(probed_at, kSendAt);
+}
+
+TEST(MpichProbeTest, ProbeThenSizedRecv) {
+  runtime::MpichMeikoWorld w(2);
+  w.run([&](mpi::MpichComm& c, sim::Actor& self) {
+    if (c.rank() == 0) {
+      std::int32_t vals[6] = {1, 2, 3, 4, 5, 6};
+      c.send(vals, 6, mpi::Datatype::int32_type(), 1, 9);
+    } else {
+      self.advance(milliseconds(1));
+      mpi::Status st = c.probe(mpi::kAnySource, mpi::kAnyTag);
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 9);
+      EXPECT_EQ(st.count_bytes, 24);
+      std::vector<std::int32_t> buf(static_cast<std::size_t>(st.count_bytes) / 4);
+      c.recv(buf.data(), static_cast<int>(buf.size()), mpi::Datatype::int32_type(),
+             st.source, st.tag);
+      EXPECT_EQ(buf[5], 6);
+    }
+  });
+}
+
+TEST(MpichProbeTest, IprobeEmptyThenFound) {
+  runtime::MpichMeikoWorld w(2);
+  w.run([&](mpi::MpichComm& c, sim::Actor& self) {
+    if (c.rank() == 0) {
+      self.advance(milliseconds(1));
+      std::int32_t v = 4;
+      c.send(&v, 1, mpi::Datatype::int32_type(), 1, 2);
+    } else {
+      EXPECT_FALSE(c.iprobe(0, 2).has_value());
+      self.advance(milliseconds(2));
+      EXPECT_TRUE(c.iprobe(0, 2).has_value());
+      std::int32_t v = 0;
+      c.recv(&v, 1, mpi::Datatype::int32_type(), 0, 2);
+    }
+  });
+}
+
+// ----------------------------------------------------------------- Nagle
+
+TEST(NagleTest, WriteWriteReadInterlocksWithDelayedAck) {
+  // The classic pathology MPI implementations avoid with TCP_NODELAY: two
+  // small writes back to back; with Nagle the second holds for the first's
+  // ACK, which the receiver delays — the transfer stalls for the
+  // delayed-ACK timer.
+  auto transfer_time_ns = [](bool nodelay) {
+    sim::Kernel kernel;
+    atmnet::EthernetNetwork net(kernel, 2);
+    inet::InetCluster cluster(net, inet::ethernet_profile());
+    inet::TcpConnection& c = cluster.tcp_pair(0, 1);
+    c.a().set_nodelay(nodelay);
+    std::int64_t done = 0;
+    kernel.spawn("tx", [&](sim::Actor& self) {
+      c.a().write(self, Bytes(10));
+      c.a().write(self, Bytes(10));
+    });
+    kernel.spawn("rx", [&](sim::Actor& self) {
+      Bytes in(20);
+      c.b().read_exact(self, in.data(), 20);
+      done = self.now().ns;
+    });
+    kernel.run();
+    return done;
+  };
+  const std::int64_t with_nodelay = transfer_time_ns(true);
+  const std::int64_t with_nagle = transfer_time_ns(false);
+  const Duration delayed_ack = inet::ethernet_profile().delayed_ack;
+  EXPECT_GT(with_nagle - with_nodelay, delayed_ack.ns / 2);
+}
+
+TEST(NagleTest, BulkTransferUnaffected) {
+  // Nagle only holds sub-MSS tails: a large stream flows identically.
+  auto bw = [](bool nodelay) {
+    sim::Kernel kernel;
+    atmnet::AtmNetwork net(kernel, 2);
+    inet::InetCluster cluster(net, inet::atm_profile());
+    inet::TcpConnection& c = cluster.tcp_pair(0, 1);
+    c.a().set_nodelay(nodelay);
+    kernel.spawn("tx", [&](sim::Actor& self) { c.a().write(self, Bytes(500'000)); });
+    kernel.spawn("rx", [&](sim::Actor& self) {
+      Bytes in(500'000);
+      c.b().read_exact(self, in.data(), in.size());
+    });
+    kernel.run();
+    return kernel.now().ns;
+  };
+  const auto t_nodelay = bw(true);
+  const auto t_nagle = bw(false);
+  EXPECT_LT(std::abs(t_nagle - t_nodelay), milliseconds(2).ns);
+}
+
+}  // namespace
+}  // namespace lcmpi

@@ -1,0 +1,178 @@
+// Scale and stress tests: the paper's full 64-node Meiko, deep deferral
+// under tight flow control, chunk-boundary cases, and the time-limit
+// watchdog.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/inet/rudp.h"
+#include "src/atmnet/ethernet.h"
+#include "src/core/cart.h"
+#include "src/runtime/world.h"
+
+namespace lcmpi::mpi {
+namespace {
+
+TEST(ScaleTest, SixtyFourNodeMeikoAllreduce) {
+  // The paper's machine: a 64-node CS/2.
+  runtime::MeikoWorld w(64);
+  std::vector<std::int64_t> sums(64, -1);
+  w.run([&](Comm& c, sim::Actor&) {
+    std::int64_t v = c.rank() + 1;
+    std::int64_t out = 0;
+    c.allreduce(&v, &out, 1, Datatype::int64_type(), Op::kSum);
+    sums[static_cast<std::size_t>(c.rank())] = out;
+  });
+  for (auto s : sums) EXPECT_EQ(s, 64 * 65 / 2);
+}
+
+TEST(ScaleTest, SixtyFourNodeHardwareBroadcastLatencyFlat) {
+  // Hardware broadcast cost should be nearly independent of node count.
+  auto bcast_us = [](int nodes) {
+    runtime::MeikoWorld w(nodes);
+    return w
+        .run([&](Comm& c, sim::Actor&) {
+          double v = 1.0;
+          for (int i = 0; i < 10; ++i) c.bcast(&v, 1, Datatype::double_type(), 0);
+          c.barrier();
+        })
+        .usec();
+  };
+  const double t8 = bcast_us(8);
+  const double t64 = bcast_us(64);
+  // The barrier grows with log(n); broadcast itself should not. Allow the
+  // combined growth to stay well under the 8x node growth.
+  EXPECT_LT(t64, t8 * 3.0);
+}
+
+TEST(ScaleTest, SixtyFourNodeAlltoall) {
+  runtime::MeikoWorld w(64);
+  std::vector<bool> ok(64, false);
+  w.run([&](Comm& c, sim::Actor&) {
+    std::vector<std::int32_t> out(64), in(64, -1);
+    for (int i = 0; i < 64; ++i) out[static_cast<std::size_t>(i)] = c.rank() * 64 + i;
+    c.alltoall(out.data(), 1, in.data(), Datatype::int32_type());
+    bool good = true;
+    for (int s = 0; s < 64; ++s)
+      good = good && in[static_cast<std::size_t>(s)] == s * 64 + c.rank();
+    ok[static_cast<std::size_t>(c.rank())] = good;
+  });
+  for (bool b : ok) EXPECT_TRUE(b);
+}
+
+TEST(StressTest, DeferredSendsKeepFifoOrderUnderTightCredit) {
+  // Credit so small only one eager message fits at a time: every further
+  // send defers, and the per-destination queue must preserve order.
+  fabric::LoopFabric::Options opt;
+  opt.caps.flow = fabric::FlowControl::kCredit;
+  opt.caps.credit_bytes = 160;  // one 100 B message + record, no more
+  opt.caps.eager_threshold = 180;
+  runtime::LoopWorld w(2, opt);
+  std::vector<std::uint8_t> got;
+  w.run([&](Comm& c, sim::Actor&) {
+    constexpr int kN = 20;
+    if (c.rank() == 0) {
+      std::vector<Bytes> bufs;
+      std::vector<Request> reqs;
+      for (int i = 0; i < kN; ++i) {
+        bufs.emplace_back(100, static_cast<std::byte>(i));
+        reqs.push_back(c.isend(bufs.back().data(), 100, Datatype::byte_type(), 1, 0));
+      }
+      c.wait_all(reqs);
+    } else {
+      Bytes in(100);
+      for (int i = 0; i < kN; ++i) {
+        c.recv(in.data(), 100, Datatype::byte_type(), 0, 0);
+        got.push_back(static_cast<std::uint8_t>(in[0]));
+      }
+    }
+  });
+  std::vector<std::uint8_t> want(20);
+  std::iota(want.begin(), want.end(), 0);
+  EXPECT_EQ(got, want);
+}
+
+TEST(StressTest, ConcurrentCommunicatorsInterleaveSafely) {
+  runtime::MeikoWorld w(4);
+  w.run([&](Comm& c, sim::Actor&) {
+    Comm a = c.dup();
+    Comm b = c.dup();
+    // Same tags on three communicators simultaneously, nonblocking.
+    const int peer = c.rank() ^ 1;
+    std::int32_t sa = c.rank() * 3, sb = c.rank() * 3 + 1, sc = c.rank() * 3 + 2;
+    std::int32_t ra = -1, rb = -1, rc = -1;
+    std::vector<Request> reqs;
+    reqs.push_back(a.irecv(&ra, 1, Datatype::int32_type(), peer, 7));
+    reqs.push_back(b.irecv(&rb, 1, Datatype::int32_type(), peer, 7));
+    reqs.push_back(c.irecv(&rc, 1, Datatype::int32_type(), peer, 7));
+    reqs.push_back(b.isend(&sb, 1, Datatype::int32_type(), peer, 7));
+    reqs.push_back(c.isend(&sc, 1, Datatype::int32_type(), peer, 7));
+    reqs.push_back(a.isend(&sa, 1, Datatype::int32_type(), peer, 7));
+    c.wait_all(reqs);
+    EXPECT_EQ(ra, peer * 3);
+    EXPECT_EQ(rb, peer * 3 + 1);
+    EXPECT_EQ(rc, peer * 3 + 2);
+  });
+}
+
+TEST(StressTest, RudpChunkBoundarySizes) {
+  sim::Kernel kernel;
+  atmnet::EthernetNetwork net(kernel, 2);
+  inet::InetCluster cluster(net, inet::ethernet_profile());
+  inet::RudpChannel ch(cluster, 0, 1, 7000);
+  const std::int64_t chunk = ch.a().chunk_size();
+  for (std::int64_t n : {chunk - 1, chunk, chunk + 1, 3 * chunk}) {
+    Bytes msg(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i)
+      msg[static_cast<std::size_t>(i)] = static_cast<std::byte>(i * 31);
+    Bytes got(msg.size());
+    kernel.spawn("tx", [&](sim::Actor& self) { ch.a().write(self, msg); });
+    kernel.spawn("rx", [&](sim::Actor& self) {
+      ch.b().read_exact(self, got.data(), got.size());
+    });
+    kernel.run();
+    EXPECT_EQ(got, msg) << "size " << n;
+  }
+}
+
+TEST(WatchdogTest, TimeLimitConvertsLivelockToError) {
+  sim::Kernel k;
+  k.set_time_limit(TimePoint{1'000'000});
+  // A self-rescheduling event: would run forever without the watchdog.
+  std::function<void()> tick = [&] { k.schedule(microseconds(10), tick); };
+  k.schedule(microseconds(10), tick);
+  EXPECT_THROW(k.run(), sim::SimTimeLimit);
+  EXPECT_LE(k.now().ns, 1'000'000);
+}
+
+TEST(WatchdogTest, LimitBeyondWorkloadIsInvisible) {
+  sim::Kernel k;
+  k.set_time_limit(TimePoint{1'000'000'000});
+  int ran = 0;
+  k.spawn("a", [&](sim::Actor& self) {
+    self.advance(milliseconds(1));
+    ++ran;
+  });
+  k.run();
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(ScaleTest, DimsCreateProductProperty) {
+  Rng rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int nnodes = static_cast<int>(rng.uniform(1, 256));
+    const int ndims = static_cast<int>(rng.uniform(1, 4));
+    auto dims = dims_create(nnodes, ndims);
+    int prod = 1;
+    for (int d : dims) {
+      EXPECT_GE(d, 1);
+      prod *= d;
+    }
+    EXPECT_EQ(prod, nnodes) << "nnodes " << nnodes << " ndims " << ndims;
+    // Balanced: descending order.
+    for (std::size_t i = 1; i < dims.size(); ++i) EXPECT_GE(dims[i - 1], dims[i]);
+  }
+}
+
+}  // namespace
+}  // namespace lcmpi::mpi

@@ -1,0 +1,130 @@
+// Edge cases in the simulation kernel and the machine/network models.
+#include <gtest/gtest.h>
+
+#include "src/atmnet/atm.h"
+#include "src/atmnet/ethernet.h"
+#include "src/meiko/machine.h"
+#include "src/sim/mailbox.h"
+#include "src/sim/server.h"
+
+namespace lcmpi {
+namespace {
+
+TEST(SimEdgeTest, CancelAfterFireIsHarmless) {
+  sim::Kernel k;
+  bool ran = false;
+  sim::EventHandle h = k.schedule(microseconds(1), [&] { ran = true; });
+  k.run();
+  EXPECT_TRUE(ran);
+  h.cancel();  // already fired: must not crash or affect anything
+}
+
+TEST(SimEdgeTest, ZeroTimeoutWaitReturnsPromptly) {
+  sim::Kernel k;
+  sim::Trigger tr;
+  bool fired = true;
+  k.spawn("w", [&](sim::Actor& self) {
+    fired = self.wait_with_timeout(tr, Duration{0});
+  });
+  k.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimEdgeTest, MailboxTimeoutSuccessPath) {
+  sim::Kernel k;
+  sim::Mailbox<int> mb;
+  std::optional<int> got;
+  k.spawn("c", [&](sim::Actor& self) {
+    got = mb.pop_with_timeout(self, milliseconds(10));
+  });
+  k.schedule(microseconds(100), [&] { mb.push(5); });
+  k.run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 5);
+}
+
+TEST(SimEdgeTest, FifoServerIdleAtTracksBacklog) {
+  sim::Kernel k;
+  sim::FifoServer srv(k);
+  k.schedule(Duration{0}, [&] {
+    EXPECT_EQ(srv.idle_at().ns, 0);
+    srv.submit(microseconds(10), [] {});
+    EXPECT_EQ(srv.idle_at().ns, 10'000);
+    EXPECT_EQ(srv.backlog(), 1u);
+  });
+  k.run();
+  EXPECT_EQ(srv.backlog(), 0u);
+}
+
+TEST(SimEdgeTest, ActorFinishingWithoutBlockingIsClean) {
+  sim::Kernel k;
+  int order = 0;
+  k.spawn("instant", [&](sim::Actor&) { order = 1; });
+  k.run();
+  EXPECT_EQ(order, 1);
+  EXPECT_EQ(k.live_actor_count(), 0u);
+}
+
+TEST(MeikoEdgeTest, BroadcastPayloadChargesPerByteOnSourceElan) {
+  sim::Kernel k;
+  meiko::Machine m(k, 3);
+  std::int64_t at_small = -1, at_big = -1;
+  m.node(1).set_bcast_handler(1, [&](meiko::TxnDelivery d) {
+    if (d.data.size() == 16) at_small = k.now().ns;
+    else at_big = k.now().ns;
+  });
+  m.node(2).set_bcast_handler(1, [](meiko::TxnDelivery) {});
+  k.schedule(Duration{0}, [&] { m.broadcast(0, 1, meiko::Bytes(16)); });
+  k.schedule(milliseconds(1), [&] { m.broadcast(0, 1, meiko::Bytes(4096)); });
+  k.run();
+  ASSERT_GT(at_small, 0);
+  ASSERT_GT(at_big, 0);
+  const meiko::Calib c;
+  const std::int64_t delta_expected = (c.txn_per_byte * (4096 - 16)).ns;
+  EXPECT_EQ((at_big - 1'000'000) - at_small, delta_expected);
+}
+
+TEST(MeikoEdgeTest, StagedDmaLeakDetection) {
+  sim::Kernel k;
+  meiko::Machine m(k, 2);
+  k.schedule(Duration{0}, [&] {
+    (void)m.node(0).stage_dma(meiko::Bytes(100));
+    (void)m.node(0).stage_dma(meiko::Bytes(200));
+  });
+  k.run();
+  EXPECT_EQ(m.node(0).staged_dma_count(), 2u);  // never pulled: visible leak
+}
+
+TEST(AtmEdgeTest, EmptyPduStillOccupiesOneCell) {
+  sim::Kernel k;
+  atmnet::AtmNetwork net(k, 2);
+  EXPECT_EQ(net.cells_for(0), 1);  // AAL5 trailer alone needs a cell
+}
+
+TEST(EthernetEdgeTest, LossDropsBroadcastForAllReceiversAtomically) {
+  sim::Kernel k;
+  atmnet::EthernetNetwork net(k, 4);
+  net.set_loss(0.5, 7);
+  std::vector<int> per_host(4, 0);
+  for (int h = 0; h < 4; ++h)
+    net.set_handler(h, [&, h](int, Bytes) { ++per_host[static_cast<std::size_t>(h)]; });
+  k.schedule(Duration{0}, [&] {
+    for (int i = 0; i < 40; ++i) net.broadcast(0, Bytes(8));
+  });
+  k.run();
+  // A dropped broadcast is dropped for everyone: receivers agree exactly.
+  EXPECT_EQ(per_host[1], per_host[2]);
+  EXPECT_EQ(per_host[2], per_host[3]);
+  EXPECT_GT(per_host[1], 5);
+  EXPECT_LT(per_host[1], 35);
+}
+
+TEST(EthernetEdgeTest, MinimumFramePaddingAppliesBelowFortySixBytes) {
+  sim::Kernel k;
+  atmnet::EthernetNetwork net(k, 2);
+  EXPECT_EQ(net.frame_time(1).ns, net.frame_time(46).ns);
+  EXPECT_GT(net.frame_time(47).ns, net.frame_time(46).ns);
+}
+
+}  // namespace
+}  // namespace lcmpi

@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/sim/kernel.h"
+#include "src/sim/mailbox.h"
+#include "src/sim/server.h"
+
+namespace lcmpi::sim {
+namespace {
+
+TEST(KernelTest, EventsRunInTimeOrder) {
+  Kernel k;
+  std::vector<int> order;
+  k.schedule(microseconds(30), [&] { order.push_back(3); });
+  k.schedule(microseconds(10), [&] { order.push_back(1); });
+  k.schedule(microseconds(20), [&] { order.push_back(2); });
+  k.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(k.now().ns, microseconds(30).ns);
+}
+
+TEST(KernelTest, TiesBreakInInsertionOrder) {
+  Kernel k;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    k.schedule(microseconds(1), [&order, i] { order.push_back(i); });
+  k.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(KernelTest, CancelledEventsDoNotRun) {
+  Kernel k;
+  bool ran = false;
+  EventHandle h = k.schedule(microseconds(5), [&] { ran = true; });
+  h.cancel();
+  k.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(KernelTest, NestedSchedulingFromEvent) {
+  Kernel k;
+  std::vector<std::int64_t> at;
+  k.schedule(microseconds(1), [&] {
+    at.push_back(k.now().ns);
+    k.schedule(microseconds(2), [&] { at.push_back(k.now().ns); });
+  });
+  k.run();
+  ASSERT_EQ(at.size(), 2u);
+  EXPECT_EQ(at[0], 1'000);
+  EXPECT_EQ(at[1], 3'000);
+}
+
+TEST(KernelTest, SchedulingInPastThrows) {
+  Kernel k;
+  k.schedule(microseconds(10), [&] {
+    EXPECT_THROW(k.schedule_at(TimePoint{5'000}, [] {}), InternalError);
+  });
+  k.run();
+}
+
+TEST(ActorTest, AdvanceMovesVirtualTime) {
+  Kernel k;
+  std::int64_t end_ns = -1;
+  k.spawn("a", [&](Actor& self) {
+    self.advance(microseconds(52));
+    end_ns = self.now().ns;
+  });
+  k.run();
+  EXPECT_EQ(end_ns, 52'000);
+}
+
+TEST(ActorTest, TwoActorsInterleaveDeterministically) {
+  Kernel k;
+  std::vector<std::string> trace;
+  k.spawn("a", [&](Actor& self) {
+    for (int i = 0; i < 3; ++i) {
+      self.advance(microseconds(10));
+      trace.push_back("a" + std::to_string(self.now().ns / 1000));
+    }
+  });
+  k.spawn("b", [&](Actor& self) {
+    for (int i = 0; i < 2; ++i) {
+      self.advance(microseconds(15));
+      trace.push_back("b" + std::to_string(self.now().ns / 1000));
+    }
+  });
+  k.run();
+  // At t=30 both wake; b scheduled its wakeup earlier (at t=15 vs t=20), so
+  // the deterministic tie-break runs b first.
+  EXPECT_EQ(trace, (std::vector<std::string>{"a10", "b15", "a20", "b30", "a30"}));
+}
+
+TEST(ActorTest, TriggerWakesWaiter) {
+  Kernel k;
+  Trigger tr;
+  bool woke = false;
+  k.spawn("waiter", [&](Actor& self) {
+    self.wait(tr);
+    woke = true;
+    EXPECT_EQ(self.now().ns, 7'000);
+  });
+  k.schedule(microseconds(7), [&] { tr.notify_all(); });
+  k.run();
+  EXPECT_TRUE(woke);
+}
+
+TEST(ActorTest, NotifyOneWakesExactlyOne) {
+  Kernel k;
+  Trigger tr;
+  int woke = 0;
+  for (int i = 0; i < 3; ++i) {
+    k.spawn("w" + std::to_string(i), [&](Actor& self) {
+      self.wait(tr);
+      ++woke;
+    });
+  }
+  k.schedule(microseconds(1), [&] { tr.notify_one(); });
+  EXPECT_THROW(k.run(), SimDeadlock);  // two waiters remain blocked
+  EXPECT_EQ(woke, 1);
+}
+
+TEST(ActorTest, WaitWithTimeoutTimesOut) {
+  Kernel k;
+  Trigger tr;
+  bool fired = true;
+  k.spawn("w", [&](Actor& self) {
+    fired = self.wait_with_timeout(tr, microseconds(100));
+    EXPECT_EQ(self.now().ns, 100'000);
+  });
+  k.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(tr.waiter_count(), 0u);  // stale registration removed
+}
+
+TEST(ActorTest, WaitWithTimeoutFiresBeforeTimeout) {
+  Kernel k;
+  Trigger tr;
+  bool fired = false;
+  k.spawn("w", [&](Actor& self) {
+    fired = self.wait_with_timeout(tr, microseconds(100));
+    EXPECT_EQ(self.now().ns, 40'000);
+  });
+  k.schedule(microseconds(40), [&] { tr.notify_all(); });
+  k.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(ActorTest, StaleNotifyAfterTimeoutIsIgnored) {
+  Kernel k;
+  Trigger tr;
+  k.spawn("w", [&](Actor& self) {
+    EXPECT_FALSE(self.wait_with_timeout(tr, microseconds(10)));
+    self.advance(microseconds(100));
+  });
+  k.schedule(microseconds(50), [&] { tr.notify_all(); });  // no waiters by then
+  k.run();
+}
+
+TEST(ActorTest, ExceptionInActorPropagatesFromRun) {
+  Kernel k;
+  k.spawn("thrower", [&](Actor& self) {
+    self.advance(microseconds(1));
+    throw MpiError(Err::kTruncate, "boom");
+  });
+  EXPECT_THROW(k.run(), MpiError);
+}
+
+TEST(ActorTest, DeadlockDetectedWithBlockedActorNames) {
+  Kernel k;
+  Trigger never;
+  k.spawn("stuck-rank-0", [&](Actor& self) { self.wait(never); });
+  try {
+    k.run();
+    FAIL() << "expected SimDeadlock";
+  } catch (const SimDeadlock& e) {
+    EXPECT_NE(std::string(e.what()).find("stuck-rank-0"), std::string::npos);
+  }
+}
+
+TEST(ActorTest, KernelTeardownWithBlockedActorsDoesNotHang) {
+  auto k = std::make_unique<Kernel>();
+  Trigger never;
+  k->spawn("blocked", [&](Actor& self) { self.wait(never); });
+  k->run_until(TimePoint{1'000});
+  k.reset();  // must join the blocked actor thread cleanly
+  SUCCEED();
+}
+
+TEST(ActorTest, SpawnedButNeverStartedActorTearsDownCleanly) {
+  auto k = std::make_unique<Kernel>();
+  bool body_ran = false;
+  k->spawn("never-started", [&](Actor&) { body_ran = true; });
+  // Destroy without running: the start event never fires.
+  k.reset();
+  EXPECT_FALSE(body_ran);
+}
+
+TEST(ActorTest, RunUntilStopsAtBoundary) {
+  Kernel k;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i)
+    k.schedule(microseconds(i * 10), [&] { ++count; });
+  k.run_until(TimePoint{50'000});
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(k.now().ns, 50'000);
+}
+
+TEST(FifoServerTest, SerializesJobs) {
+  Kernel k;
+  std::vector<std::int64_t> done_at;
+  FifoServer srv(k);
+  k.schedule(Duration{0}, [&] {
+    srv.submit(microseconds(10), [&] { done_at.push_back(k.now().ns); });
+    srv.submit(microseconds(5), [&] { done_at.push_back(k.now().ns); });
+  });
+  k.run();
+  ASSERT_EQ(done_at.size(), 2u);
+  EXPECT_EQ(done_at[0], 10'000);
+  EXPECT_EQ(done_at[1], 15'000);  // queued behind the first
+  EXPECT_EQ(srv.busy_time().ns, 15'000);
+}
+
+TEST(FifoServerTest, IdleServerStartsImmediately) {
+  Kernel k;
+  std::int64_t done = -1;
+  FifoServer srv(k);
+  k.schedule(microseconds(100), [&] {
+    srv.submit(microseconds(1), [&] { done = k.now().ns; });
+  });
+  k.run();
+  EXPECT_EQ(done, 101'000);
+}
+
+TEST(MailboxTest, PopBlocksUntilPush) {
+  Kernel k;
+  Mailbox<int> mb;
+  int got = 0;
+  k.spawn("consumer", [&](Actor& self) { got = mb.pop(self); });
+  k.schedule(microseconds(33), [&] { mb.push(7); });
+  k.run();
+  EXPECT_EQ(got, 7);
+}
+
+TEST(MailboxTest, FifoOrderPreserved) {
+  Kernel k;
+  Mailbox<int> mb;
+  std::vector<int> got;
+  k.spawn("consumer", [&](Actor& self) {
+    for (int i = 0; i < 3; ++i) got.push_back(mb.pop(self));
+  });
+  k.schedule(microseconds(1), [&] {
+    mb.push(1);
+    mb.push(2);
+    mb.push(3);
+  });
+  k.run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(MailboxTest, PopWithTimeoutReturnsNulloptWhenEmpty) {
+  Kernel k;
+  Mailbox<int> mb;
+  bool timed_out = false;
+  k.spawn("consumer", [&](Actor& self) {
+    timed_out = !mb.pop_with_timeout(self, microseconds(20)).has_value();
+  });
+  k.run();
+  EXPECT_TRUE(timed_out);
+}
+
+TEST(DeterminismTest, IdenticalRunsProduceIdenticalTimings) {
+  auto run_once = [] {
+    Kernel k;
+    std::vector<std::int64_t> trace;
+    Mailbox<int> mb;
+    k.spawn("prod", [&](Actor& self) {
+      for (int i = 0; i < 50; ++i) {
+        self.advance(microseconds(3));
+        mb.push(i);
+      }
+    });
+    k.spawn("cons", [&](Actor& self) {
+      for (int i = 0; i < 50; ++i) {
+        const int v = mb.pop(self);
+        trace.push_back(self.now().ns + v);
+      }
+    });
+    k.run();
+    return trace;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace lcmpi::sim

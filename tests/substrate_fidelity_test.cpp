@@ -1,0 +1,116 @@
+// Fidelity features of the substrate models: Tahoe congestion control in
+// the simulated TCP, and output-port contention in the ATM switch.
+#include <gtest/gtest.h>
+
+#include "src/atmnet/atm.h"
+#include "src/atmnet/ethernet.h"
+#include "src/inet/tcp.h"
+#include "src/util/rng.h"
+
+namespace lcmpi::inet {
+namespace {
+
+Bytes filled(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Bytes b(n);
+  for (auto& x : b) x = static_cast<std::byte>(rng.next_below(256));
+  return b;
+}
+
+TEST(TcpCongestionTest, SlowStartGrowsWindowDuringTransfer) {
+  sim::Kernel kernel;
+  atmnet::AtmNetwork net(kernel, 2);
+  InetCluster cluster(net, atm_profile());
+  TcpConnection& c = cluster.tcp_pair(0, 1);
+  const Bytes msg = filled(200'000, 1);
+  Bytes got(msg.size());
+  kernel.spawn("tx", [&](sim::Actor& self) { c.a().write(self, msg); });
+  kernel.spawn("rx", [&](sim::Actor& self) { c.b().read_exact(self, got.data(), got.size()); });
+  kernel.run();
+  EXPECT_EQ(got, msg);
+  // The congestion window opened well beyond its initial single segment.
+  EXPECT_GT(c.a().cwnd(), 4 * c.a().mss());
+}
+
+TEST(TcpCongestionTest, TimeoutCollapsesWindow) {
+  sim::Kernel kernel;
+  atmnet::EthernetNetwork net(kernel, 2);
+  net.set_loss(0.35, 42);  // heavy loss forces timeouts
+  InetCluster cluster(net, ethernet_profile());
+  TcpConnection& c = cluster.tcp_pair(0, 1);
+  const Bytes msg = filled(30'000, 2);
+  Bytes got(msg.size());
+  kernel.spawn("tx", [&](sim::Actor& self) { c.a().write(self, msg); });
+  kernel.spawn("rx", [&](sim::Actor& self) { c.b().read_exact(self, got.data(), got.size()); });
+  kernel.run();
+  EXPECT_EQ(got, msg);  // reliability survives the loss
+  EXPECT_GT(c.a().retransmits(), 0);
+}
+
+TEST(TcpCongestionTest, SlowStartDelaysOnlyTheRampUp) {
+  // Steady-state bandwidth is unchanged by congestion control: measure a
+  // long transfer and confirm the plateau still nears the wire ceiling.
+  sim::Kernel kernel;
+  atmnet::AtmNetwork net(kernel, 2);
+  InetCluster cluster(net, atm_profile());
+  TcpConnection& c = cluster.tcp_pair(0, 1);
+  constexpr std::int64_t kBytes = 2'000'000;
+  Bytes msg(kBytes, std::byte{1});
+  Bytes got(msg.size());
+  kernel.spawn("tx", [&](sim::Actor& self) { c.a().write(self, msg); });
+  kernel.spawn("rx", [&](sim::Actor& self) { c.b().read_exact(self, got.data(), got.size()); });
+  kernel.run();
+  const double mbps = static_cast<double>(kBytes) / (kernel.now().ns / 1e9) / 1e6;
+  EXPECT_GT(mbps, 9.0);
+}
+
+TEST(AtmContentionTest, TwoSendersToOneReceiverSerializeOnOutputPort) {
+  sim::Kernel k;
+  atmnet::AtmNetwork net(k, 3);
+  std::vector<std::int64_t> at;
+  net.set_handler(2, [&](int, Bytes) { at.push_back(k.now().ns); });
+  constexpr std::int64_t kPdu = 8000;
+  k.schedule(Duration{0}, [&] {
+    net.send(0, 2, Bytes(kPdu));
+    net.send(1, 2, Bytes(kPdu));  // same instant, different uplinks
+  });
+  k.run();
+  ASSERT_EQ(at.size(), 2u);
+  // The second PDU queues behind the first on host 2's downlink.
+  EXPECT_GE(at[1] - at[0], net.wire_time(kPdu).ns);
+}
+
+TEST(AtmContentionTest, BackToBackFromOneSenderPaysNoExtraPortDelay) {
+  sim::Kernel k;
+  atmnet::AtmNetwork net(k, 2);
+  std::vector<std::int64_t> at;
+  net.set_handler(1, [&](int, Bytes) { at.push_back(k.now().ns); });
+  constexpr std::int64_t kPdu = 8000;
+  k.schedule(Duration{0}, [&] {
+    net.send(0, 1, Bytes(kPdu));
+    net.send(0, 1, Bytes(kPdu));
+  });
+  k.run();
+  ASSERT_EQ(at.size(), 2u);
+  // Delivery spacing is one wire time (the uplink serialisation); the
+  // downlink pipelines behind it rather than charging the time again.
+  EXPECT_EQ(at[1] - at[0], net.wire_time(kPdu).ns);
+}
+
+TEST(AtmContentionTest, DistinctReceiversDoNotContend) {
+  sim::Kernel k;
+  atmnet::AtmNetwork net(k, 4);
+  std::vector<std::int64_t> at(4, -1);
+  net.set_handler(2, [&](int, Bytes) { at[2] = k.now().ns; });
+  net.set_handler(3, [&](int, Bytes) { at[3] = k.now().ns; });
+  constexpr std::int64_t kPdu = 8000;
+  k.schedule(Duration{0}, [&] {
+    net.send(0, 2, Bytes(kPdu));
+    net.send(1, 3, Bytes(kPdu));
+  });
+  k.run();
+  EXPECT_EQ(at[2], at[3]);  // fully parallel paths through the switch
+}
+
+}  // namespace
+}  // namespace lcmpi::inet
