@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_eth_bcast.dir/ext_eth_bcast.cpp.o"
+  "CMakeFiles/ext_eth_bcast.dir/ext_eth_bcast.cpp.o.d"
+  "ext_eth_bcast"
+  "ext_eth_bcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_eth_bcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

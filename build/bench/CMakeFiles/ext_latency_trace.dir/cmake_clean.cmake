@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_latency_trace.dir/ext_latency_trace.cpp.o"
+  "CMakeFiles/ext_latency_trace.dir/ext_latency_trace.cpp.o.d"
+  "ext_latency_trace"
+  "ext_latency_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_latency_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

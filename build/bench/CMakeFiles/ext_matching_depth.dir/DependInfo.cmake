@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_matching_depth.cpp" "bench/CMakeFiles/ext_matching_depth.dir/ext_matching_depth.cpp.o" "gcc" "bench/CMakeFiles/ext_matching_depth.dir/ext_matching_depth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lcmpi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lcmpi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/meiko/CMakeFiles/lcmpi_meiko.dir/DependInfo.cmake"
+  "/root/repo/build/src/atmnet/CMakeFiles/lcmpi_atmnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/inet/CMakeFiles/lcmpi_inet.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/lcmpi_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lcmpi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/lcmpi_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/lcmpi_apps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_matching_depth.dir/ext_matching_depth.cpp.o"
+  "CMakeFiles/ext_matching_depth.dir/ext_matching_depth.cpp.o.d"
+  "ext_matching_depth"
+  "ext_matching_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_matching_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_meiko_transfer.dir/fig1_meiko_transfer.cpp.o"
+  "CMakeFiles/fig1_meiko_transfer.dir/fig1_meiko_transfer.cpp.o.d"
+  "fig1_meiko_transfer"
+  "fig1_meiko_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_meiko_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

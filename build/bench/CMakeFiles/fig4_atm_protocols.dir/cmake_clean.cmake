@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_atm_protocols.dir/fig4_atm_protocols.cpp.o"
+  "CMakeFiles/fig4_atm_protocols.dir/fig4_atm_protocols.cpp.o.d"
+  "fig4_atm_protocols"
+  "fig4_atm_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_atm_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_tcp_latency.dir/fig5_tcp_latency.cpp.o"
+  "CMakeFiles/fig5_tcp_latency.dir/fig5_tcp_latency.cpp.o.d"
+  "fig5_tcp_latency"
+  "fig5_tcp_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_tcp_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

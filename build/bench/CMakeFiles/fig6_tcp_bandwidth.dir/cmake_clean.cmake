@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_tcp_bandwidth.dir/fig6_tcp_bandwidth.cpp.o"
+  "CMakeFiles/fig6_tcp_bandwidth.dir/fig6_tcp_bandwidth.cpp.o.d"
+  "fig6_tcp_bandwidth"
+  "fig6_tcp_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_tcp_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

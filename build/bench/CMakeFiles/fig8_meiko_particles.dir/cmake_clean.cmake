@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_meiko_particles.dir/fig8_meiko_particles.cpp.o"
+  "CMakeFiles/fig8_meiko_particles.dir/fig8_meiko_particles.cpp.o.d"
+  "fig8_meiko_particles"
+  "fig8_meiko_particles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_meiko_particles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

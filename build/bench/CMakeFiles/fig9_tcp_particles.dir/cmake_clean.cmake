@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_tcp_particles.dir/fig9_tcp_particles.cpp.o"
+  "CMakeFiles/fig9_tcp_particles.dir/fig9_tcp_particles.cpp.o.d"
+  "fig9_tcp_particles"
+  "fig9_tcp_particles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_tcp_particles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

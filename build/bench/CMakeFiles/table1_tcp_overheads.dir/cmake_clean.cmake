@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_tcp_overheads.dir/table1_tcp_overheads.cpp.o"
+  "CMakeFiles/table1_tcp_overheads.dir/table1_tcp_overheads.cpp.o.d"
+  "table1_tcp_overheads"
+  "table1_tcp_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_tcp_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpi_legacy.dir/cpi_legacy.cpp.o"
+  "CMakeFiles/cpi_legacy.dir/cpi_legacy.cpp.o.d"
+  "cpi_legacy"
+  "cpi_legacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpi_legacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat2d_cart.dir/heat2d_cart.cpp.o"
+  "CMakeFiles/heat2d_cart.dir/heat2d_cart.cpp.o.d"
+  "heat2d_cart"
+  "heat2d_cart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat2d_cart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcmpirun.dir/lcmpirun.cpp.o"
+  "CMakeFiles/lcmpirun.dir/lcmpirun.cpp.o.d"
+  "lcmpirun"
+  "lcmpirun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcmpirun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

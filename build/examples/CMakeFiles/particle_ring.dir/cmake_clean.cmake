@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/particle_ring.dir/particle_ring.cpp.o"
+  "CMakeFiles/particle_ring.dir/particle_ring.cpp.o.d"
+  "particle_ring"
+  "particle_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/particle_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_linear_solver "/root/repo/build/examples/linear_solver" "48" "4")
+set_tests_properties(example_linear_solver PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_particle_ring "/root/repo/build/examples/particle_ring" "48" "4")
+set_tests_properties(example_particle_ring PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_heat_ring "/root/repo/build/examples/heat_ring" "120" "20" "4")
+set_tests_properties(example_heat_ring PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_heat2d_cart "/root/repo/build/examples/heat2d_cart" "24" "10" "4")
+set_tests_properties(example_heat2d_cart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cpi_legacy "/root/repo/build/examples/cpi_legacy" "5000" "4")
+set_tests_properties(example_cpi_legacy PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_lcmpirun_meiko "/root/repo/build/examples/lcmpirun" "--platform" "meiko" "--ranks" "8" "--app" "particles" "--n" "24")
+set_tests_properties(example_lcmpirun_meiko PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_lcmpirun_mpich "/root/repo/build/examples/lcmpirun" "--platform" "mpich" "--ranks" "4" "--app" "solver" "--n" "48")
+set_tests_properties(example_lcmpirun_mpich PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_lcmpirun_tcp "/root/repo/build/examples/lcmpirun" "--platform" "tcp-atm" "--ranks" "4" "--app" "pingpong" "--n" "1024")
+set_tests_properties(example_lcmpirun_tcp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")

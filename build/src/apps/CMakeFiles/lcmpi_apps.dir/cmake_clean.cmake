@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcmpi_apps.dir/matmul.cpp.o"
+  "CMakeFiles/lcmpi_apps.dir/matmul.cpp.o.d"
+  "CMakeFiles/lcmpi_apps.dir/particles.cpp.o"
+  "CMakeFiles/lcmpi_apps.dir/particles.cpp.o.d"
+  "CMakeFiles/lcmpi_apps.dir/solver.cpp.o"
+  "CMakeFiles/lcmpi_apps.dir/solver.cpp.o.d"
+  "liblcmpi_apps.a"
+  "liblcmpi_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcmpi_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcmpi_atmnet.dir/atm.cpp.o"
+  "CMakeFiles/lcmpi_atmnet.dir/atm.cpp.o.d"
+  "CMakeFiles/lcmpi_atmnet.dir/ethernet.cpp.o"
+  "CMakeFiles/lcmpi_atmnet.dir/ethernet.cpp.o.d"
+  "CMakeFiles/lcmpi_atmnet.dir/network.cpp.o"
+  "CMakeFiles/lcmpi_atmnet.dir/network.cpp.o.d"
+  "liblcmpi_atmnet.a"
+  "liblcmpi_atmnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcmpi_atmnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblcmpi_atmnet.a"
+)

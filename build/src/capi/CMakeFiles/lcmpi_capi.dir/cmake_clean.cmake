@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcmpi_capi.dir/mpi.cpp.o"
+  "CMakeFiles/lcmpi_capi.dir/mpi.cpp.o.d"
+  "liblcmpi_capi.a"
+  "liblcmpi_capi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcmpi_capi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cart.cpp" "src/core/CMakeFiles/lcmpi_core.dir/cart.cpp.o" "gcc" "src/core/CMakeFiles/lcmpi_core.dir/cart.cpp.o.d"
+  "/root/repo/src/core/comm.cpp" "src/core/CMakeFiles/lcmpi_core.dir/comm.cpp.o" "gcc" "src/core/CMakeFiles/lcmpi_core.dir/comm.cpp.o.d"
+  "/root/repo/src/core/datatype.cpp" "src/core/CMakeFiles/lcmpi_core.dir/datatype.cpp.o" "gcc" "src/core/CMakeFiles/lcmpi_core.dir/datatype.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/lcmpi_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/lcmpi_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/group.cpp" "src/core/CMakeFiles/lcmpi_core.dir/group.cpp.o" "gcc" "src/core/CMakeFiles/lcmpi_core.dir/group.cpp.o.d"
+  "/root/repo/src/core/mpich.cpp" "src/core/CMakeFiles/lcmpi_core.dir/mpich.cpp.o" "gcc" "src/core/CMakeFiles/lcmpi_core.dir/mpich.cpp.o.d"
+  "/root/repo/src/core/profile.cpp" "src/core/CMakeFiles/lcmpi_core.dir/profile.cpp.o" "gcc" "src/core/CMakeFiles/lcmpi_core.dir/profile.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/core/CMakeFiles/lcmpi_core.dir/trace.cpp.o" "gcc" "src/core/CMakeFiles/lcmpi_core.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fabric/CMakeFiles/lcmpi_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/meiko/CMakeFiles/lcmpi_meiko.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lcmpi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lcmpi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/inet/CMakeFiles/lcmpi_inet.dir/DependInfo.cmake"
+  "/root/repo/build/src/atmnet/CMakeFiles/lcmpi_atmnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcmpi_core.dir/cart.cpp.o"
+  "CMakeFiles/lcmpi_core.dir/cart.cpp.o.d"
+  "CMakeFiles/lcmpi_core.dir/comm.cpp.o"
+  "CMakeFiles/lcmpi_core.dir/comm.cpp.o.d"
+  "CMakeFiles/lcmpi_core.dir/datatype.cpp.o"
+  "CMakeFiles/lcmpi_core.dir/datatype.cpp.o.d"
+  "CMakeFiles/lcmpi_core.dir/engine.cpp.o"
+  "CMakeFiles/lcmpi_core.dir/engine.cpp.o.d"
+  "CMakeFiles/lcmpi_core.dir/group.cpp.o"
+  "CMakeFiles/lcmpi_core.dir/group.cpp.o.d"
+  "CMakeFiles/lcmpi_core.dir/mpich.cpp.o"
+  "CMakeFiles/lcmpi_core.dir/mpich.cpp.o.d"
+  "CMakeFiles/lcmpi_core.dir/profile.cpp.o"
+  "CMakeFiles/lcmpi_core.dir/profile.cpp.o.d"
+  "CMakeFiles/lcmpi_core.dir/trace.cpp.o"
+  "CMakeFiles/lcmpi_core.dir/trace.cpp.o.d"
+  "liblcmpi_core.a"
+  "liblcmpi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcmpi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

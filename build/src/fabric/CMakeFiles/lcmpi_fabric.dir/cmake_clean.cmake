@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcmpi_fabric.dir/fabric.cpp.o"
+  "CMakeFiles/lcmpi_fabric.dir/fabric.cpp.o.d"
+  "CMakeFiles/lcmpi_fabric.dir/loop_fabric.cpp.o"
+  "CMakeFiles/lcmpi_fabric.dir/loop_fabric.cpp.o.d"
+  "CMakeFiles/lcmpi_fabric.dir/meiko_fabric.cpp.o"
+  "CMakeFiles/lcmpi_fabric.dir/meiko_fabric.cpp.o.d"
+  "CMakeFiles/lcmpi_fabric.dir/stream_fabric.cpp.o"
+  "CMakeFiles/lcmpi_fabric.dir/stream_fabric.cpp.o.d"
+  "liblcmpi_fabric.a"
+  "liblcmpi_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcmpi_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/inet/cluster.cpp" "src/inet/CMakeFiles/lcmpi_inet.dir/cluster.cpp.o" "gcc" "src/inet/CMakeFiles/lcmpi_inet.dir/cluster.cpp.o.d"
+  "/root/repo/src/inet/rudp.cpp" "src/inet/CMakeFiles/lcmpi_inet.dir/rudp.cpp.o" "gcc" "src/inet/CMakeFiles/lcmpi_inet.dir/rudp.cpp.o.d"
+  "/root/repo/src/inet/stream.cpp" "src/inet/CMakeFiles/lcmpi_inet.dir/stream.cpp.o" "gcc" "src/inet/CMakeFiles/lcmpi_inet.dir/stream.cpp.o.d"
+  "/root/repo/src/inet/tcp.cpp" "src/inet/CMakeFiles/lcmpi_inet.dir/tcp.cpp.o" "gcc" "src/inet/CMakeFiles/lcmpi_inet.dir/tcp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/atmnet/CMakeFiles/lcmpi_atmnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lcmpi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lcmpi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcmpi_inet.dir/cluster.cpp.o"
+  "CMakeFiles/lcmpi_inet.dir/cluster.cpp.o.d"
+  "CMakeFiles/lcmpi_inet.dir/rudp.cpp.o"
+  "CMakeFiles/lcmpi_inet.dir/rudp.cpp.o.d"
+  "CMakeFiles/lcmpi_inet.dir/stream.cpp.o"
+  "CMakeFiles/lcmpi_inet.dir/stream.cpp.o.d"
+  "CMakeFiles/lcmpi_inet.dir/tcp.cpp.o"
+  "CMakeFiles/lcmpi_inet.dir/tcp.cpp.o.d"
+  "liblcmpi_inet.a"
+  "liblcmpi_inet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcmpi_inet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

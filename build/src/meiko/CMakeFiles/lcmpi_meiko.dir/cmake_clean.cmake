@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcmpi_meiko.dir/machine.cpp.o"
+  "CMakeFiles/lcmpi_meiko.dir/machine.cpp.o.d"
+  "CMakeFiles/lcmpi_meiko.dir/tport.cpp.o"
+  "CMakeFiles/lcmpi_meiko.dir/tport.cpp.o.d"
+  "liblcmpi_meiko.a"
+  "liblcmpi_meiko.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcmpi_meiko.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcmpi_runtime.dir/world.cpp.o"
+  "CMakeFiles/lcmpi_runtime.dir/world.cpp.o.d"
+  "liblcmpi_runtime.a"
+  "liblcmpi_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcmpi_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcmpi_sim.dir/kernel.cpp.o"
+  "CMakeFiles/lcmpi_sim.dir/kernel.cpp.o.d"
+  "liblcmpi_sim.a"
+  "liblcmpi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcmpi_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

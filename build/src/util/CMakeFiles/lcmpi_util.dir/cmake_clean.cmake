@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcmpi_util.dir/log.cpp.o"
+  "CMakeFiles/lcmpi_util.dir/log.cpp.o.d"
+  "CMakeFiles/lcmpi_util.dir/stats.cpp.o"
+  "CMakeFiles/lcmpi_util.dir/stats.cpp.o.d"
+  "CMakeFiles/lcmpi_util.dir/table.cpp.o"
+  "CMakeFiles/lcmpi_util.dir/table.cpp.o.d"
+  "CMakeFiles/lcmpi_util.dir/time.cpp.o"
+  "CMakeFiles/lcmpi_util.dir/time.cpp.o.d"
+  "liblcmpi_util.a"
+  "liblcmpi_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcmpi_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

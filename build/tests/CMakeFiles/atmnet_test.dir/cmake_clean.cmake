@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atmnet_test.dir/atmnet_test.cpp.o"
+  "CMakeFiles/atmnet_test.dir/atmnet_test.cpp.o.d"
+  "atmnet_test"
+  "atmnet_test.pdb"
+  "atmnet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atmnet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

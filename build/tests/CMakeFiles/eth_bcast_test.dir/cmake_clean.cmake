@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eth_bcast_test.dir/eth_bcast_test.cpp.o"
+  "CMakeFiles/eth_bcast_test.dir/eth_bcast_test.cpp.o.d"
+  "eth_bcast_test"
+  "eth_bcast_test.pdb"
+  "eth_bcast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eth_bcast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

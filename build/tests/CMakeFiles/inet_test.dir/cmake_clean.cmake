@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inet_test.dir/inet_test.cpp.o"
+  "CMakeFiles/inet_test.dir/inet_test.cpp.o.d"
+  "inet_test"
+  "inet_test.pdb"
+  "inet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meiko_test.dir/meiko_test.cpp.o"
+  "CMakeFiles/meiko_test.dir/meiko_test.cpp.o.d"
+  "meiko_test"
+  "meiko_test.pdb"
+  "meiko_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meiko_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

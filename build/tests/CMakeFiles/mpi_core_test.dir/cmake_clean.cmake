@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_core_test.dir/mpi_core_test.cpp.o"
+  "CMakeFiles/mpi_core_test.dir/mpi_core_test.cpp.o.d"
+  "mpi_core_test"
+  "mpi_core_test.pdb"
+  "mpi_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

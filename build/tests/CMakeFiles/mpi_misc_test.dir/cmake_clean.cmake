@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_misc_test.dir/mpi_misc_test.cpp.o"
+  "CMakeFiles/mpi_misc_test.dir/mpi_misc_test.cpp.o.d"
+  "mpi_misc_test"
+  "mpi_misc_test.pdb"
+  "mpi_misc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_misc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_platform_test.dir/mpi_platform_test.cpp.o"
+  "CMakeFiles/mpi_platform_test.dir/mpi_platform_test.cpp.o.d"
+  "mpi_platform_test"
+  "mpi_platform_test.pdb"
+  "mpi_platform_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_platform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe_nagle_test.dir/probe_nagle_test.cpp.o"
+  "CMakeFiles/probe_nagle_test.dir/probe_nagle_test.cpp.o.d"
+  "probe_nagle_test"
+  "probe_nagle_test.pdb"
+  "probe_nagle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe_nagle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

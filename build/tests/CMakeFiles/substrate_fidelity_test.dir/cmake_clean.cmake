@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/substrate_fidelity_test.dir/substrate_fidelity_test.cpp.o"
+  "CMakeFiles/substrate_fidelity_test.dir/substrate_fidelity_test.cpp.o.d"
+  "substrate_fidelity_test"
+  "substrate_fidelity_test.pdb"
+  "substrate_fidelity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/substrate_fidelity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/meiko_test[1]_include.cmake")
+include("/root/repo/build/tests/atmnet_test[1]_include.cmake")
+include("/root/repo/build/tests/inet_test[1]_include.cmake")
+include("/root/repo/build/tests/datatype_test[1]_include.cmake")
+include("/root/repo/build/tests/matching_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_core_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_collectives_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_platform_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/substrate_fidelity_test[1]_include.cmake")
+include("/root/repo/build/tests/eth_bcast_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_misc_test[1]_include.cmake")
+include("/root/repo/build/tests/profile_test[1]_include.cmake")
+include("/root/repo/build/tests/capi_test[1]_include.cmake")
+include("/root/repo/build/tests/probe_nagle_test[1]_include.cmake")
+include("/root/repo/build/tests/fabric_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/scale_test[1]_include.cmake")
+include("/root/repo/build/tests/flow_control_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_edge_test[1]_include.cmake")
