@@ -1,0 +1,274 @@
+// Host-time performance harness (wall-clock, not virtual time).
+//
+// Everything else in bench/ measures the *model* — virtual nanoseconds that
+// reproduce the paper's figures. This harness measures the *simulator*: how
+// fast the host executes matching lookups, kernel events, and whole solver
+// runs. It exists to (a) prove the bucketed matcher's O(1) host-time claim
+// against the retained linear reference, and (b) catch host-side perf
+// regressions, while golden_determinism_test proves the same changes left
+// virtual time bit-identical.
+//
+// Usage: host_perf [--quick] [--out PATH]
+//   --quick  ~10x fewer iterations (CI smoke mode)
+//   --out    JSON output path (default: BENCH_host.json in the cwd)
+//
+// JSON schema (lcmpi-host-perf-v1):
+//   matching[]   — ns/match for bucketed vs linear posted + unexpected
+//                  queues at several steady-state depths, with speedups
+//   event_kernel — callback-event dispatch and timer borrow/cancel/release
+//                  throughput (events per host second)
+//   end_to_end   — 16-rank Meiko solver: virtual ms simulated per host s
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/apps/solver.h"
+#include "src/core/matching.h"
+#include "src/core/matching_ref.h"
+#include "src/runtime/world.h"
+#include "src/sim/kernel.h"
+
+namespace lcmpi::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// Defeats dead-code elimination of the measured loops.
+std::size_t g_sink = 0;
+
+// --- matching: steady-state lookups at fixed depth ---------------------------
+//
+// The depth-isolating shape of bench/ext_matching_depth: `depth - 1` parked
+// entries from other sources sit at the front of the queue (receives whose
+// peers have not sent yet / unexpected messages nobody asked for), and the
+// entry the lookup wants arrived last. The linear matcher scans past every
+// parked entry on every lookup; the bucketed matcher goes straight to the
+// target source's bucket. Each iteration matches (a hit) and re-adds the
+// target, holding depth constant. The *virtual* charge is `depth` entries
+// for both implementations — only host time differs.
+
+template <typename Q>
+double posted_ns_per_match(int depth, int iters) {
+  Q q;
+  std::uint64_t id = 1;
+  for (int i = 0; i < depth - 1; ++i)
+    q.post({/*context=*/1, /*src=*/i, /*tag=*/0, /*request_id=*/id++});
+  const int target = depth - 1;
+  q.post({1, target, 0, id++});
+  const auto t0 = Clock::now();
+  for (int i = 0; i < iters; ++i) {
+    std::size_t scanned = 0;
+    auto e = q.match(1, target, 0, &scanned);
+    g_sink += scanned + (e ? 1u : 0u);
+    q.post({1, target, 0, id++});
+  }
+  return seconds_since(t0) * 1e9 / iters;
+}
+
+template <typename Q>
+double unexpected_ns_per_match(int depth, int iters) {
+  Q q;
+  std::uint64_t id = 1;
+  const auto park = [&q, &id](int src) {
+    fabric::ProtoMsg m;
+    m.kind = fabric::MsgKind::kEager;
+    m.context = 1;
+    m.src = src;
+    m.tag = 0;
+    m.sender_req = id++;
+    q.add(std::move(m));
+  };
+  for (int i = 0; i < depth - 1; ++i) park(i);
+  const int target = depth - 1;
+  park(target);
+  const auto t0 = Clock::now();
+  for (int i = 0; i < iters; ++i) {
+    std::size_t scanned = 0;
+    auto m = q.match(1, target, 0, &scanned);
+    g_sink += scanned + (m ? 1u : 0u);
+    park(target);
+  }
+  return seconds_since(t0) * 1e9 / iters;
+}
+
+struct MatchingPoint {
+  int depth;
+  double posted_linear_ns, posted_bucketed_ns, posted_speedup;
+  double unexpected_linear_ns, unexpected_bucketed_ns, unexpected_speedup;
+};
+
+MatchingPoint matching_point(int depth, int iters) {
+  MatchingPoint p{};
+  p.depth = depth;
+  p.posted_bucketed_ns = posted_ns_per_match<mpi::PostedQueue>(depth, iters);
+  p.posted_linear_ns = posted_ns_per_match<mpi::LinearPostedQueue>(depth, iters);
+  p.posted_speedup = p.posted_linear_ns / p.posted_bucketed_ns;
+  p.unexpected_bucketed_ns =
+      unexpected_ns_per_match<mpi::UnexpectedQueue>(depth, iters);
+  p.unexpected_linear_ns =
+      unexpected_ns_per_match<mpi::LinearUnexpectedQueue>(depth, iters);
+  p.unexpected_speedup = p.unexpected_linear_ns / p.unexpected_bucketed_ns;
+  return p;
+}
+
+// --- event kernel ------------------------------------------------------------
+
+/// Callback events scheduled and dispatched in waves (bounded heap).
+double fn_events_per_sec(int total) {
+  sim::Kernel k;
+  const int wave = 100'000;
+  long long done = 0;
+  const auto t0 = Clock::now();
+  for (int scheduled = 0; scheduled < total; scheduled += wave) {
+    const int n = std::min(wave, total - scheduled);
+    for (int i = 0; i < n; ++i)
+      k.schedule(microseconds(i + 1), [&done] { ++done; });
+    k.run();
+  }
+  g_sink += static_cast<std::size_t>(done);
+  return done / seconds_since(t0);
+}
+
+/// Timer churn: borrow a cancellation cell, cancel, pop the dead event —
+/// the wait_with_timeout fast path where the trigger fires first.
+double timer_churn_per_sec(int total) {
+  sim::Kernel k;
+  const int wave = 100'000;
+  const auto t0 = Clock::now();
+  for (int scheduled = 0; scheduled < total; scheduled += wave) {
+    const int n = std::min(wave, total - scheduled);
+    for (int i = 0; i < n; ++i) {
+      sim::EventHandle h = k.schedule(microseconds(i + 1), [] {});
+      h.cancel();
+    }
+    k.run();
+  }
+  return total / seconds_since(t0);
+}
+
+// --- end to end --------------------------------------------------------------
+
+struct EndToEnd {
+  int ranks = 16;
+  int solver_n = 96;
+  double virtual_ms = 0;
+  double host_s = 0;
+  double sim_ms_per_host_s = 0;
+};
+
+EndToEnd solver_end_to_end() {
+  EndToEnd e;
+  const apps::LinearSystem sys = apps::LinearSystem::random(e.solver_n, 42);
+  runtime::MeikoWorld w(e.ranks);
+  const auto t0 = Clock::now();
+  const Duration d = w.run([&](mpi::Comm& c, sim::Actor& self) {
+    (void)apps::solve_parallel(c, self, sys, apps::sparc_profile());
+  });
+  e.host_s = seconds_since(t0);
+  e.virtual_ms = static_cast<double>(d.ns) / 1e6;
+  e.sim_ms_per_host_s = e.virtual_ms / e.host_s;
+  return e;
+}
+
+// --- output ------------------------------------------------------------------
+
+void write_json(const std::string& path, bool quick,
+                const std::vector<MatchingPoint>& pts, double fn_eps,
+                double timer_cps, const EndToEnd& e2e) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "host_perf: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"schema\": \"lcmpi-host-perf-v1\",\n");
+  std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+  std::fprintf(f, "  \"matching\": [\n");
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const MatchingPoint& p = pts[i];
+    std::fprintf(f,
+                 "    {\"depth\": %d, "
+                 "\"posted_linear_ns\": %.1f, \"posted_bucketed_ns\": %.1f, "
+                 "\"posted_speedup\": %.2f, "
+                 "\"unexpected_linear_ns\": %.1f, \"unexpected_bucketed_ns\": %.1f, "
+                 "\"unexpected_speedup\": %.2f}%s\n",
+                 p.depth, p.posted_linear_ns, p.posted_bucketed_ns,
+                 p.posted_speedup, p.unexpected_linear_ns, p.unexpected_bucketed_ns,
+                 p.unexpected_speedup, i + 1 < pts.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"event_kernel\": {\"fn_events_per_sec\": %.0f, "
+               "\"timer_churn_per_sec\": %.0f},\n",
+               fn_eps, timer_cps);
+  std::fprintf(f,
+               "  \"end_to_end\": {\"ranks\": %d, \"solver_n\": %d, "
+               "\"virtual_ms\": %.3f, \"host_s\": %.3f, "
+               "\"sim_ms_per_host_s\": %.1f}\n",
+               e2e.ranks, e2e.solver_n, e2e.virtual_ms, e2e.host_s,
+               e2e.sim_ms_per_host_s);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+int run(int argc, char** argv) {
+  bool quick = false;
+  std::string out = "BENCH_host.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: host_perf [--quick] [--out PATH]\n");
+      return 2;
+    }
+  }
+
+  const int match_iters = quick ? 20'000 : 200'000;
+  const int event_total = quick ? 100'000 : 1'000'000;
+
+  std::printf("host_perf: matching (steady-state, non-wildcard, ns/match)\n");
+  std::printf("%8s %14s %14s %9s %14s %14s %9s\n", "depth", "post_lin",
+              "post_bucket", "speedup", "unexp_lin", "unexp_bucket", "speedup");
+  std::vector<MatchingPoint> pts;
+  bool meets_bar = false;
+  for (int depth : {16, 64, 256, 1024}) {
+    const MatchingPoint p = matching_point(depth, match_iters);
+    pts.push_back(p);
+    std::printf("%8d %14.1f %14.1f %8.2fx %14.1f %14.1f %8.2fx\n", p.depth,
+                p.posted_linear_ns, p.posted_bucketed_ns, p.posted_speedup,
+                p.unexpected_linear_ns, p.unexpected_bucketed_ns,
+                p.unexpected_speedup);
+    if (depth >= 256 && p.posted_speedup >= 5.0 && p.unexpected_speedup >= 5.0)
+      meets_bar = true;
+  }
+  std::printf("matching speedup bar (>=5x at depth>=256): %s\n",
+              meets_bar ? "PASS" : "FAIL");
+
+  std::printf("\nhost_perf: event kernel\n");
+  const double fn_eps = fn_events_per_sec(event_total);
+  const double timer_cps = timer_churn_per_sec(event_total);
+  std::printf("  fn events/sec:    %.0f\n", fn_eps);
+  std::printf("  timer churn/sec:  %.0f\n", timer_cps);
+
+  std::printf("\nhost_perf: end-to-end (16-rank Meiko solver, N=96)\n");
+  const EndToEnd e2e = solver_end_to_end();
+  std::printf("  virtual: %.3f ms, host: %.3f s -> %.1f sim-ms/host-s\n",
+              e2e.virtual_ms, e2e.host_s, e2e.sim_ms_per_host_s);
+
+  write_json(out, quick, pts, fn_eps, timer_cps, e2e);
+  std::printf("\nwrote %s\n", out.c_str());
+  return meets_bar ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace lcmpi::bench
+
+int main(int argc, char** argv) { return lcmpi::bench::run(argc, argv); }

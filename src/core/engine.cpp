@@ -147,7 +147,9 @@ void Engine::launch(const Request& req) {
 
   if (nbytes <= eager_threshold()) {
     msg.kind = MsgKind::kEager;
-    msg.payload = req->send_payload;  // copy: the fabric consumes it
+    // The request never reads the payload again after launch; hand the
+    // buffer to the fabric instead of copying it.
+    msg.payload = std::move(req->send_payload);
     req->data_out = true;
     send_msg(req->dst, std::move(msg));
     if (!req->needs_ssend_ack) complete_send(req);
@@ -232,13 +234,12 @@ Request Engine::irecv(void* buf, int count, const Datatype& type, int src_world,
     req->matched = true;
     if (m->kind == MsgKind::kEager) {
       // Second copy of the buffering path: temp buffer -> user buffer.
+      const std::int64_t payload_bytes = static_cast<std::int64_t>(m->payload.size());
       const fabric::MpiCosts& costs = ep_.fabric().mpi_costs();
-      self_.advance(costs.unexpected_copy_per_byte *
-                    static_cast<std::int64_t>(m->payload.size()));
+      self_.advance(costs.unexpected_copy_per_byte * payload_bytes);
       trace_ev(cfg_.trace, m->src, m->sender_req, MsgEvent::kMatched, now());
       deliver_payload(req, *m);
-      accrue_credit(m->src, caps().control_record_bytes +
-                                static_cast<std::int64_t>(m->payload.size()));
+      accrue_credit(m->src, caps().control_record_bytes + payload_bytes);
       complete_recv(req);
       trace_ev(cfg_.trace, m->src, m->sender_req, MsgEvent::kDelivered, now());
     } else {
@@ -253,9 +254,9 @@ Request Engine::irecv(void* buf, int count, const Datatype& type, int src_world,
   return req;
 }
 
-void Engine::deliver_payload(const Request& req, const ProtoMsg& msg) {
+void Engine::deliver_payload(const Request& req, ProtoMsg& msg) {
   const std::int64_t capacity = req->recv_type.size() * req->recv_count;
-  Bytes payload = msg.payload;  // copy; fabric message is transient
+  Bytes payload = std::move(msg.payload);  // consumed: delivery is terminal
   req->status.source = msg.src;
   req->status.tag = msg.tag;
   if (static_cast<std::int64_t>(msg.size) > capacity) {
@@ -357,7 +358,7 @@ void Engine::handle(ProtoMsg msg) {
       data.size = static_cast<std::uint32_t>(req->send_type.size() * req->send_count);
       data.payload = req->send_payload.empty() && req->send_count > 0
                          ? req->send_type.pack(req->send_buf, req->send_count)
-                         : req->send_payload;
+                         : std::move(req->send_payload);  // send completes below
       req->data_out = true;
       send_msg(req->dst, std::move(data));
       complete_send(req);

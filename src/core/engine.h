@@ -107,6 +107,10 @@ class Engine {
   [[nodiscard]] std::size_t posted_count() const { return posted_.size(); }
   [[nodiscard]] std::int64_t eager_sends() const { return eager_sends_; }
   [[nodiscard]] std::int64_t rendezvous_sends() const { return rndv_sends_; }
+  /// Matching-engine observability (depth high-water, logical scan totals,
+  /// bucket occupancy) — see MatchStats in src/core/matching.h.
+  [[nodiscard]] MatchStats posted_match_stats() const { return posted_.stats(); }
+  [[nodiscard]] MatchStats unexpected_match_stats() const { return unexpected_.stats(); }
 
   /// Effective eager/rendezvous threshold in force.
   [[nodiscard]] std::int64_t eager_threshold() const;
@@ -127,7 +131,8 @@ class Engine {
   void handle(fabric::ProtoMsg msg);
   void handle_eager(fabric::ProtoMsg msg);
   void handle_rts(fabric::ProtoMsg msg);
-  void deliver_payload(const Request& req, const fabric::ProtoMsg& msg);
+  /// Moves msg.payload into the user buffer (msg's envelope fields survive).
+  void deliver_payload(const Request& req, fabric::ProtoMsg& msg);
   void start_rendezvous(const Request& req, const fabric::ProtoMsg& rts);
   void complete_recv(const Request& req);
   void accrue_credit(int src, std::int64_t bytes);

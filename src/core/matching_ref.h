@@ -1,0 +1,131 @@
+// Reference linear matcher — the executable specification of matching.
+//
+// This is the original O(n)-scan implementation of the posted/unexpected
+// queues, retained verbatim (classes renamed Linear*) after the bucketed
+// rewrite in matching.h. It defines the semantics the fast path must
+// reproduce *exactly*: the FIFO match order and, critically, the `scanned`
+// count charged to the matching processor. The paper's cost model says a
+// match examines every entry ahead of the winner in arrival order; both
+// implementations must report that same number, bit for bit, so virtual
+// timings are implementation-independent (see DESIGN.md §6).
+//
+// Used by tests/matching_property_test.cpp (randomized equivalence) and by
+// bench/host_perf (the speedup baseline). Not used by the engine.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "src/core/types.h"
+#include "src/fabric/fabric.h"
+
+namespace lcmpi::mpi {
+
+/// True if a posted (context, src-or-any, tag-or-any) pattern accepts a
+/// concrete envelope (context, src, tag).
+inline bool envelope_matches(std::uint32_t posted_ctx, int posted_src, int posted_tag,
+                             std::uint32_t env_ctx, int env_src, int env_tag) {
+  return posted_ctx == env_ctx &&
+         (posted_src == kAnySource || posted_src == env_src) &&
+         (posted_tag == kAnyTag || posted_tag == env_tag);
+}
+
+/// FIFO of posted receives, linear scan (reference implementation).
+class LinearPostedQueue {
+ public:
+  struct Entry {
+    std::uint32_t context = 0;
+    int src = kAnySource;  // world rank or kAnySource
+    int tag = kAnyTag;
+    std::uint64_t request_id = 0;
+  };
+
+  void post(Entry e) { entries_.push_back(e); }
+
+  /// First posted receive accepting the envelope; removed if found.
+  /// `scanned` counts entries examined (matching cost accounting).
+  std::optional<Entry> match(std::uint32_t ctx, int src, int tag, std::size_t* scanned) {
+    std::size_t n = 0;
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      ++n;
+      if (envelope_matches(it->context, it->src, it->tag, ctx, src, tag)) {
+        Entry e = *it;
+        entries_.erase(it);
+        if (scanned) *scanned = n;
+        return e;
+      }
+    }
+    if (scanned) *scanned = n;
+    return std::nullopt;
+  }
+
+  /// Removes a posted receive (MPI_Cancel-style); true if it was present.
+  bool remove(std::uint64_t request_id) {
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->request_id == request_id) {
+        entries_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::deque<Entry> entries_;
+};
+
+/// FIFO of unexpected messages, linear scan (reference implementation).
+class LinearUnexpectedQueue {
+ public:
+  void add(fabric::ProtoMsg msg) {
+    buffered_bytes_ += static_cast<std::int64_t>(msg.payload.size());
+    entries_.push_back(std::move(msg));
+  }
+
+  /// First unexpected message a (context, src-or-any, tag-or-any) receive
+  /// accepts; removed if found.
+  std::optional<fabric::ProtoMsg> match(std::uint32_t ctx, int src, int tag,
+                                        std::size_t* scanned) {
+    std::size_t n = 0;
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      ++n;
+      if (envelope_matches(ctx, src, tag, it->context, it->src, it->tag)) {
+        fabric::ProtoMsg m = std::move(*it);
+        entries_.erase(it);
+        buffered_bytes_ -= static_cast<std::int64_t>(m.payload.size());
+        if (scanned) *scanned = n;
+        return m;
+      }
+    }
+    if (scanned) *scanned = n;
+    return std::nullopt;
+  }
+
+  /// Probe: peek without removing.
+  [[nodiscard]] const fabric::ProtoMsg* peek(std::uint32_t ctx, int src, int tag,
+                                             std::size_t* scanned) const {
+    std::size_t n = 0;
+    for (const auto& m : entries_) {
+      ++n;
+      if (envelope_matches(ctx, src, tag, m.context, m.src, m.tag)) {
+        if (scanned) *scanned = n;
+        return &m;
+      }
+    }
+    if (scanned) *scanned = n;
+    return nullptr;
+  }
+
+  /// Bytes of eager payload parked here (Burns & Daoud resource accounting).
+  [[nodiscard]] std::int64_t buffered_bytes() const { return buffered_bytes_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::deque<fabric::ProtoMsg> entries_;
+  std::int64_t buffered_bytes_ = 0;
+};
+
+}  // namespace lcmpi::mpi

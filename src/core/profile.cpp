@@ -27,6 +27,23 @@ const char* call_kind_name(CallKind k) {
   return "?";
 }
 
+Table matching_report(const MatchStats& posted, const MatchStats& unexpected) {
+  Table t({"queue", "lookups", "hits", "entries_scanned", "avg_scan", "max_depth",
+           "buckets", "max_bucket"});
+  const auto row = [&t](const char* name, const MatchStats& s) {
+    const double avg =
+        s.lookups == 0 ? 0.0
+                       : static_cast<double>(s.entries_scanned) / static_cast<double>(s.lookups);
+    t.add_row({name, std::to_string(s.lookups), std::to_string(s.hits),
+               std::to_string(s.entries_scanned), fmt(avg, 2),
+               std::to_string(s.max_depth), std::to_string(s.buckets),
+               std::to_string(s.max_bucket)});
+  };
+  row("posted", posted);
+  row("unexpected", unexpected);
+  return t;
+}
+
 Table Profiler::report() const {
   Table t({"call", "count", "time_us", "bytes"});
   for (std::size_t k = 0; k < entries_.size(); ++k) {

@@ -11,11 +11,20 @@
 #include <array>
 #include <cstdint>
 
+#include "src/core/matching.h"
 #include "src/util/status.h"
 #include "src/util/table.h"
 #include "src/util/time.h"
 
 namespace lcmpi::mpi {
+
+/// Formats the matching-engine counters of one rank (posted + unexpected
+/// queues) as a table: queue depth high-water, lookup/scan totals, and
+/// bucket occupancy. The `entries_scanned` column is the *logical* linear
+/// scan count — exactly what Engine::charge_match billed in virtual time —
+/// so the paper's cost model stays observable after the bucketed rewrite.
+[[nodiscard]] Table matching_report(const MatchStats& posted,
+                                    const MatchStats& unexpected);
 
 enum class CallKind : std::uint8_t {
   kSend, kRecv, kIsend, kIrecv, kWait, kTest, kProbe, kSendrecv,

@@ -7,11 +7,17 @@ namespace lcmpi::sim {
 // ---------------------------------------------------------------- Trigger
 
 void Trigger::notify_all() {
-  // Waiters re-register if their predicate still fails, so clearing the
-  // list up front is correct even if a woken actor immediately re-waits.
-  std::vector<Actor*> waiters;
-  waiters.swap(waiters_);
-  for (Actor* a : waiters) a->kernel().wake(a, a->wake_epoch_, /*by_trigger=*/true);
+  if (waiters_.empty()) return;
+  // Drain into the reusable scratch buffer first: a woken actor only gets a
+  // wake *event* here (it runs later), but being defensive about re-entrant
+  // registration keeps the iteration valid even if wake() ever runs waiter
+  // code synchronously. Swapping (not copying) preserves both capacities.
+  scratch_.swap(waiters_);
+  for (Actor* a : scratch_) a->kernel().wake(a, a->wake_epoch_, /*by_trigger=*/true);
+  scratch_.clear();
+  // Shrink policy: a burst (e.g. a barrier over a large world) should not
+  // pin its high-water capacity forever.
+  if (scratch_.capacity() > 1024) scratch_.shrink_to_fit();
 }
 
 void Trigger::notify_one() {
@@ -24,8 +30,9 @@ void Trigger::notify_one() {
 // ------------------------------------------------------------ EventHandle
 
 void EventHandle::cancel() {
-  if (cell_) *cell_ = true;
-  cell_.reset();
+  if (kernel_ != nullptr && !alive_.expired()) kernel_->cancel_cell(cell_, gen_);
+  kernel_ = nullptr;
+  alive_.reset();
 }
 
 // ------------------------------------------------------------------ Actor
@@ -91,7 +98,8 @@ void Actor::advance(Duration d) {
 void Actor::wait_until(TimePoint t) {
   if (t <= now()) return;
   const std::uint64_t epoch = wake_epoch_ + 1;  // epoch block() will assign
-  kernel_->schedule_at(t, [this, epoch] { kernel_->wake(this, epoch, false); });
+  kernel_->schedule_wake_at(t, this, epoch, /*by_trigger=*/false,
+                            /*with_cell=*/false);
   block();
 }
 
@@ -103,8 +111,8 @@ void Actor::wait(Trigger& trigger) {
 bool Actor::wait_with_timeout(Trigger& trigger, Duration timeout) {
   trigger.waiters_.push_back(this);
   const std::uint64_t epoch = wake_epoch_ + 1;
-  EventHandle timer = kernel_->schedule(
-      timeout, [this, epoch] { kernel_->wake(this, epoch, false); });
+  EventHandle timer = kernel_->schedule_wake_at(
+      kernel_->now() + timeout, this, epoch, /*by_trigger=*/false, /*with_cell=*/true);
   woke_by_trigger_ = false;
   block();
   timer.cancel();
@@ -118,6 +126,8 @@ bool Actor::wait_with_timeout(Trigger& trigger, Duration timeout) {
 
 // ----------------------------------------------------------------- Kernel
 
+Kernel::Kernel() { heap_.reserve(64); }
+
 Kernel::~Kernel() { cancel_all_actors(); }
 
 void Kernel::cancel_all_actors() {
@@ -130,35 +140,87 @@ void Kernel::cancel_all_actors() {
   }
 }
 
+std::uint32_t Kernel::borrow_cell() {
+  if (free_cells_.empty()) {
+    cells_.push_back(CancelCell{});
+    free_cells_.push_back(static_cast<std::uint32_t>(cells_.size() - 1));
+  }
+  const std::uint32_t idx = free_cells_.back();
+  free_cells_.pop_back();
+  cells_[idx].cancelled = false;
+  cells_[idx].in_use = true;
+  return idx;
+}
+
+bool Kernel::release_cell(std::uint32_t idx) {
+  CancelCell& c = cells_[idx];
+  const bool was_cancelled = c.cancelled;
+  c.in_use = false;
+  c.cancelled = false;
+  ++c.gen;  // invalidates outstanding handles to this borrow
+  free_cells_.push_back(idx);
+  return was_cancelled;
+}
+
+void Kernel::cancel_cell(std::uint32_t idx, std::uint32_t gen) {
+  if (idx < cells_.size() && cells_[idx].in_use && cells_[idx].gen == gen)
+    cells_[idx].cancelled = true;
+}
+
+void Kernel::push_event(Event ev) {
+  LCMPI_CHECK(ev.time >= now_, "schedule_at in the past");
+  ev.seq = next_seq_++;
+  heap_.push_back(std::move(ev));
+  std::push_heap(heap_.begin(), heap_.end(), EventAfter{});
+}
+
 EventHandle Kernel::schedule(Duration delay, std::function<void()> fn) {
   LCMPI_CHECK(delay.ns >= 0, "schedule with negative delay");
   return schedule_at(now_ + delay, std::move(fn));
 }
 
 EventHandle Kernel::schedule_at(TimePoint t, std::function<void()> fn) {
-  LCMPI_CHECK(t >= now_, "schedule_at in the past");
-  auto cancelled = std::make_shared<bool>(false);
-  queue_.push(Event{t, next_seq_++, std::move(fn), cancelled});
-  return EventHandle(std::move(cancelled));
+  Event ev;
+  ev.time = t;
+  ev.kind = Event::Kind::kFn;
+  ev.fn = std::move(fn);
+  ev.cell = borrow_cell();
+  EventHandle h(this, ev.cell, cells_[ev.cell].gen, alive_);
+  push_event(std::move(ev));
+  return h;
+}
+
+EventHandle Kernel::schedule_wake_at(TimePoint t, Actor* a, std::uint64_t epoch,
+                                     bool by_trigger, bool with_cell) {
+  Event ev;
+  ev.time = t;
+  ev.kind = Event::Kind::kWake;
+  ev.actor = a;
+  ev.epoch = epoch;
+  ev.by_trigger = by_trigger;
+  EventHandle h;
+  if (with_cell) {
+    ev.cell = borrow_cell();
+    h = EventHandle(this, ev.cell, cells_[ev.cell].gen, alive_);
+  }
+  push_event(std::move(ev));
+  return h;
 }
 
 Actor& Kernel::spawn(std::string name, std::function<void(Actor&)> body) {
   actors_.push_back(std::unique_ptr<Actor>(new Actor(this, std::move(name), std::move(body))));
   Actor* a = actors_.back().get();
   a->start_thread();
-  schedule_at(now_, [this, a] {
-    a->started_ = true;
-    transfer_to(a);
-  });
+  Event ev;
+  ev.time = now_;
+  ev.kind = Event::Kind::kStart;
+  ev.actor = a;
+  push_event(std::move(ev));
   return *a;
 }
 
 void Kernel::wake(Actor* a, std::uint64_t epoch, bool by_trigger) {
-  schedule_at(now_, [this, a, epoch, by_trigger] {
-    if (a->finished_ || !a->blocked_ || a->wake_epoch_ != epoch) return;  // stale
-    a->woke_by_trigger_ = by_trigger;
-    transfer_to(a);
-  });
+  schedule_wake_at(now_, a, epoch, by_trigger, /*with_cell=*/false);
 }
 
 void Kernel::transfer_to(Actor* a) {
@@ -177,18 +239,38 @@ std::size_t Kernel::live_actor_count() const {
   return n;
 }
 
+void Kernel::dispatch(Event& ev) {
+  switch (ev.kind) {
+    case Event::Kind::kFn:
+      ev.fn();
+      break;
+    case Event::Kind::kWake: {
+      Actor* a = ev.actor;
+      if (a->finished_ || !a->blocked_ || a->wake_epoch_ != ev.epoch) return;  // stale
+      a->woke_by_trigger_ = ev.by_trigger;
+      transfer_to(a);
+      break;
+    }
+    case Event::Kind::kStart:
+      ev.actor->started_ = true;
+      transfer_to(ev.actor);
+      break;
+  }
+}
+
 void Kernel::drain_one_step(bool& made_progress) {
   made_progress = false;
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    if (ev.cancelled && *ev.cancelled) continue;
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
+    if (ev.cell != kNoCell && release_cell(ev.cell)) continue;  // cancelled
     LCMPI_CHECK(ev.time >= now_, "event queue went backwards");
     if (ev.time > time_limit_)
       throw SimTimeLimit("virtual time limit exceeded at " + to_string(ev.time));
     now_ = ev.time;
     ++events_executed_;
-    ev.fn();
+    dispatch(ev);
     made_progress = true;
     return;
   }
@@ -227,8 +309,8 @@ void Kernel::run() {
 void Kernel::run_until(TimePoint t) {
   LCMPI_CHECK(!running_, "Kernel::run is not reentrant");
   FlagGuard guard(running_);
-  while (!queue_.empty()) {
-    if (queue_.top().time > t) break;
+  while (!heap_.empty()) {
+    if (heap_.front().time > t) break;
     bool progressed = false;
     drain_one_step(progressed);
     if (!progressed) break;

@@ -18,6 +18,15 @@
 // actors are still blocked, no future wakeup can exist, and the kernel
 // reports which actors were stuck — which is exactly what a hung MPI
 // program looks like, so the tests use it to assert deadlock behaviour.
+//
+// Hot-path design: the dominant event kinds — actor wakeups from advance()
+// / Trigger notifies, and actor starts — carry their payload inline in the
+// Event record instead of a std::function, so scheduling them performs no
+// heap allocation. Cancellation state lives in a pooled slab indexed by
+// (cell, generation) instead of a per-event shared_ptr; callback events
+// and cancellable timers borrow a cell from the free list and return it
+// when they fire. The event queue is a binary heap over a plain vector
+// (reserved up front, entries moved out on pop, never copied).
 #pragma once
 
 #include <condition_variable>
@@ -25,7 +34,6 @@
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <queue>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -76,19 +84,30 @@ class Trigger {
   friend class Actor;
   friend class Kernel;
   std::vector<Actor*> waiters_;
+  // notify_all drains into this reusable buffer before waking, so a waiter
+  // that re-waits (mutating waiters_) cannot invalidate the iteration, and
+  // neither vector's capacity is thrown away per notify.
+  std::vector<Actor*> scratch_;
 };
 
 /// Handle to a scheduled event; allows cancellation (used for timers).
+/// Refers to a pooled (cell, generation) slot in the kernel; safe to hold
+/// or cancel after the event fired and even after the kernel is destroyed.
 class EventHandle {
  public:
   EventHandle() = default;
   void cancel();
-  [[nodiscard]] bool valid() const { return cell_ != nullptr; }
+  [[nodiscard]] bool valid() const { return kernel_ != nullptr; }
 
  private:
   friend class Kernel;
-  explicit EventHandle(std::shared_ptr<bool> cell) : cell_(std::move(cell)) {}
-  std::shared_ptr<bool> cell_;  // *cell_ == true => cancelled
+  EventHandle(Kernel* kernel, std::uint32_t cell, std::uint32_t gen,
+              std::weak_ptr<const bool> alive)
+      : kernel_(kernel), cell_(cell), gen_(gen), alive_(std::move(alive)) {}
+  Kernel* kernel_ = nullptr;
+  std::uint32_t cell_ = 0;
+  std::uint32_t gen_ = 0;
+  std::weak_ptr<const bool> alive_;  // expires with the kernel
 };
 
 /// A cooperative simulated process. Construct only via Kernel::spawn.
@@ -151,7 +170,7 @@ class Actor {
 
 class Kernel {
  public:
-  Kernel() = default;
+  Kernel();
   Kernel(const Kernel&) = delete;
   Kernel& operator=(const Kernel&) = delete;
   ~Kernel();
@@ -183,12 +202,20 @@ class Kernel {
  private:
   friend class Actor;
   friend class Trigger;
+  friend class EventHandle;
+
+  static constexpr std::uint32_t kNoCell = 0xFFFFFFFFu;
 
   struct Event {
     TimePoint time;
-    std::uint64_t seq;
-    std::function<void()> fn;
-    std::shared_ptr<bool> cancelled;
+    std::uint64_t seq = 0;
+    enum class Kind : std::uint8_t { kFn, kWake, kStart };
+    Kind kind = Kind::kFn;
+    bool by_trigger = false;        // kWake
+    std::uint32_t cell = kNoCell;   // cancellation slot, kNoCell = none
+    Actor* actor = nullptr;         // kWake / kStart target
+    std::uint64_t epoch = 0;        // kWake staleness check
+    std::function<void()> fn;       // kFn only (empty otherwise)
   };
   struct EventAfter {
     bool operator()(const Event& a, const Event& b) const {
@@ -197,9 +224,26 @@ class Kernel {
     }
   };
 
+  // Pooled cancellation slab. A cell is borrowed while its event is queued
+  // and recycled (generation bumped) when the event pops or is skipped.
+  struct CancelCell {
+    std::uint32_t gen = 0;
+    bool cancelled = false;
+    bool in_use = false;
+  };
+
   // Schedules a wakeup for a blocked actor (valid only while its epoch
   // matches, so stale notifies and raced timeouts are ignored).
   void wake(Actor* a, std::uint64_t epoch, bool by_trigger);
+  /// Allocation-free wake/timer event; with_cell => cancellable via handle.
+  EventHandle schedule_wake_at(TimePoint t, Actor* a, std::uint64_t epoch,
+                               bool by_trigger, bool with_cell);
+  void push_event(Event ev);
+  std::uint32_t borrow_cell();
+  /// Recycles a cell; returns whether it had been cancelled.
+  bool release_cell(std::uint32_t idx);
+  void cancel_cell(std::uint32_t idx, std::uint32_t gen);
+  void dispatch(Event& ev);
   void transfer_to(Actor* a);
   void drain_one_step(bool& made_progress);
   void cancel_all_actors();
@@ -208,7 +252,10 @@ class Kernel {
   TimePoint time_limit_ = TimePoint::max();
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
+  std::vector<Event> heap_;  // binary heap ordered by EventAfter
+  std::vector<CancelCell> cells_;
+  std::vector<std::uint32_t> free_cells_;
+  std::shared_ptr<const bool> alive_ = std::make_shared<const bool>(true);
   std::vector<std::unique_ptr<Actor>> actors_;
   bool cancelling_ = false;
   bool running_ = false;

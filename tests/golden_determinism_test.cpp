@@ -1,0 +1,108 @@
+// Golden determinism: the paper-figure workloads must produce *bit-identical*
+// virtual times across host-side optimizations. The constants below were
+// harvested from the original linear-scan matcher and allocating event
+// kernel; the bucketed matcher (src/core/matching.h) and the pooled event
+// kernel (src/sim/kernel.*) must reproduce them exactly, because host-time
+// engineering is only legitimate here if it leaves the model's physics —
+// including the per-entry matching charges — untouched.
+//
+// If a test in this file fails after an intentional cost-model change (new
+// MpiCosts rates, protocol change, fabric timing change), re-harvest the
+// constants and say so in the commit; if it fails after a "pure perf"
+// change, the change is not pure.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "src/apps/solver.h"
+#include "src/core/datatype.h"
+#include "src/runtime/world.h"
+
+namespace lcmpi {
+namespace {
+
+/// Steady-state ping-pong: one warm-up round trip, then kIters timed round
+/// trips on rank 0's virtual clock. Mirrors bench/fig2_latency.cpp.
+template <typename World, typename CommT>
+std::int64_t pingpong_ns(World& w, int bytes, int iters) {
+  std::int64_t elapsed_ns = 0;
+  w.run([&](CommT& c, sim::Actor& self) {
+    Bytes buf(static_cast<std::size_t>(bytes), std::byte{5});
+    Bytes in(buf.size());
+    auto t = mpi::Datatype::byte_type();
+    if (c.rank() == 0) {
+      c.send(buf.data(), bytes, t, 1, 1);
+      c.recv(in.data(), bytes, t, 1, 2);
+      const TimePoint t0 = self.now();
+      for (int i = 0; i < iters; ++i) {
+        c.send(buf.data(), bytes, t, 1, 1);
+        c.recv(in.data(), bytes, t, 1, 2);
+      }
+      elapsed_ns = (self.now() - t0).ns;
+    } else {
+      for (int i = 0; i < iters + 1; ++i) {
+        c.recv(in.data(), bytes, t, 0, 1);
+        c.send(in.data(), bytes, t, 0, 2);
+      }
+    }
+  });
+  return elapsed_ns;
+}
+
+TEST(GoldenDeterminismTest, Fig2MeikoPingpongVirtualTimes) {
+  struct Point { int bytes; std::int64_t ns; };
+  // 10 timed iterations, Meiko low-latency MPI, 2 ranks.
+  constexpr Point kGolden[] = {
+      {1, 1006760},      {2, 1009400},    {4, 1014680},   {8, 1025240},
+      {16, 1046360},     {32, 1088600},   {64, 1173080},  {128, 1342040},
+      {180, 1479320},    {256, 1534520},  {512, 1665800}, {1024, 1928360},
+      {2048, 2453480},   {4096, 3503740},
+  };
+  for (const Point& p : kGolden) {
+    runtime::MeikoWorld w(2);
+    EXPECT_EQ((pingpong_ns<runtime::MeikoWorld, mpi::Comm>(w, p.bytes, 10)), p.ns)
+        << "fig2 " << p.bytes << "B drifted from seed";
+  }
+}
+
+TEST(GoldenDeterminismTest, Fig2MpichBaselineVirtualTime) {
+  runtime::MpichMeikoWorld w(2);
+  EXPECT_EQ((pingpong_ns<runtime::MpichMeikoWorld, mpi::MpichComm>(w, 64, 10)),
+            2047680);
+}
+
+TEST(GoldenDeterminismTest, Fig5TcpAtmPingpongVirtualTimes) {
+  struct Point { int bytes; std::int64_t ns; };
+  // 4 timed iterations, ATM media over the TCP transport stack.
+  constexpr Point kGolden[] = {{16, 6469960}, {1024, 7891528}};
+  for (const Point& p : kGolden) {
+    runtime::ClusterWorld w(2, runtime::Media::kAtm, runtime::Transport::kTcp);
+    EXPECT_EQ((pingpong_ns<runtime::ClusterWorld, mpi::Comm>(w, p.bytes, 4)), p.ns)
+        << "fig5_tcp " << p.bytes << "B drifted from seed";
+  }
+}
+
+TEST(GoldenDeterminismTest, Fig7SolverVirtualTimes) {
+  const apps::LinearSystem sys = apps::LinearSystem::random(96, 42);
+  struct Point { int p; std::int64_t ns; };
+  constexpr Point kLowlat[] = {{1, 60828800},  {2, 43587686}, {4, 28801624},
+                               {8, 21433962},  {16, 17772700}};
+  for (const Point& pt : kLowlat) {
+    runtime::MeikoWorld w(pt.p);
+    const Duration d = w.run([&](mpi::Comm& c, sim::Actor& self) {
+      (void)apps::solve_parallel(c, self, sys, apps::sparc_profile());
+    });
+    EXPECT_EQ(d.ns, pt.ns) << "fig7 lowlat p=" << pt.p << " drifted from seed";
+  }
+  constexpr Point kMpich[] = {{1, 60828800}, {4, 63661891}};
+  for (const Point& pt : kMpich) {
+    runtime::MpichMeikoWorld w(pt.p);
+    const Duration d = w.run([&](mpi::MpichComm& c, sim::Actor& self) {
+      (void)apps::solve_parallel(c, self, sys, apps::sparc_profile());
+    });
+    EXPECT_EQ(d.ns, pt.ns) << "fig7 mpich p=" << pt.p << " drifted from seed";
+  }
+}
+
+}  // namespace
+}  // namespace lcmpi

@@ -1,0 +1,218 @@
+// Randomized equivalence: the bucketed matcher (src/core/matching.h) must
+// behave *identically* to the retained linear reference
+// (src/core/matching_ref.h) — same match results, same FIFO order, and the
+// same `scanned` counts — because the engine converts `scanned` straight
+// into virtual time. Any divergence here would silently change every
+// paper-figure result.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <vector>
+
+#include "src/core/matching.h"
+#include "src/core/matching_ref.h"
+#include "src/util/rng.h"
+
+namespace lcmpi::mpi {
+namespace {
+
+using fabric::MsgKind;
+using fabric::ProtoMsg;
+
+struct WorkloadCfg {
+  std::uint64_t seed = 1;
+  int ops = 5000;
+  int nctx = 2;
+  int nsrc = 6;
+  int ntag = 4;          // small tag space forces bucket-internal scans
+  double p_wild_src = 0.25;
+  double p_wild_tag = 0.25;
+};
+
+int pick_src(Rng& rng, const WorkloadCfg& cfg, bool allow_wild, double p_wild) {
+  if (allow_wild && rng.next_double() < p_wild) return kAnySource;
+  return static_cast<int>(rng.next_u64() % static_cast<std::uint64_t>(cfg.nsrc));
+}
+
+int pick_tag(Rng& rng, const WorkloadCfg& cfg, bool allow_wild, double p_wild) {
+  if (allow_wild && rng.next_double() < p_wild) return kAnyTag;
+  return static_cast<int>(rng.next_u64() % static_cast<std::uint64_t>(cfg.ntag));
+}
+
+std::uint32_t pick_ctx(Rng& rng, const WorkloadCfg& cfg) {
+  return static_cast<std::uint32_t>(rng.next_u64() % static_cast<std::uint64_t>(cfg.nctx));
+}
+
+void run_posted_workload(const WorkloadCfg& cfg) {
+  PostedQueue fast;
+  LinearPostedQueue ref;
+  Rng rng(cfg.seed);
+  std::uint64_t next_req = 1;
+  std::deque<std::uint64_t> live_reqs;  // candidates for cancel
+  for (int op = 0; op < cfg.ops; ++op) {
+    const double r = rng.next_double();
+    if (r < 0.45) {  // post a receive (patterns may wildcard)
+      PostedQueue::Entry e;
+      e.context = pick_ctx(rng, cfg);
+      e.src = pick_src(rng, cfg, true, cfg.p_wild_src);
+      e.tag = pick_tag(rng, cfg, true, cfg.p_wild_tag);
+      e.request_id = next_req++;
+      fast.post(e);
+      ref.post({e.context, e.src, e.tag, e.request_id});
+      live_reqs.push_back(e.request_id);
+    } else if (r < 0.85) {  // concrete envelope arrival attempts a match
+      const std::uint32_t ctx = pick_ctx(rng, cfg);
+      const int src = pick_src(rng, cfg, false, 0);
+      const int tag = pick_tag(rng, cfg, false, 0);
+      std::size_t scanned_fast = 0, scanned_ref = 0;
+      auto got_fast = fast.match(ctx, src, tag, &scanned_fast);
+      auto got_ref = ref.match(ctx, src, tag, &scanned_ref);
+      ASSERT_EQ(got_fast.has_value(), got_ref.has_value())
+          << "op " << op << " seed " << cfg.seed;
+      EXPECT_EQ(scanned_fast, scanned_ref) << "op " << op << " seed " << cfg.seed;
+      if (got_fast) {
+        EXPECT_EQ(got_fast->request_id, got_ref->request_id)
+            << "op " << op << " seed " << cfg.seed;
+        EXPECT_EQ(got_fast->context, got_ref->context);
+        EXPECT_EQ(got_fast->src, got_ref->src);
+        EXPECT_EQ(got_fast->tag, got_ref->tag);
+      }
+    } else if (!live_reqs.empty()) {  // MPI_Cancel of a random-ish request
+      const std::size_t i =
+          static_cast<std::size_t>(rng.next_u64() % live_reqs.size());
+      const std::uint64_t id = live_reqs[i];
+      live_reqs.erase(live_reqs.begin() + static_cast<std::ptrdiff_t>(i));
+      EXPECT_EQ(fast.remove(id), ref.remove(id)) << "op " << op;
+    }
+    ASSERT_EQ(fast.size(), ref.size()) << "op " << op << " seed " << cfg.seed;
+  }
+}
+
+void run_unexpected_workload(const WorkloadCfg& cfg) {
+  UnexpectedQueue fast;
+  LinearUnexpectedQueue ref;
+  Rng rng(cfg.seed);
+  std::uint64_t next_id = 1;
+  for (int op = 0; op < cfg.ops; ++op) {
+    const double r = rng.next_double();
+    if (r < 0.45) {  // concrete message arrival
+      ProtoMsg m;
+      m.kind = MsgKind::kEager;
+      m.context = pick_ctx(rng, cfg);
+      m.src = pick_src(rng, cfg, false, 0);
+      m.tag = pick_tag(rng, cfg, false, 0);
+      m.sender_req = next_id++;  // identity for comparing match results
+      m.payload.resize(static_cast<std::size_t>(rng.next_u64() % 32));
+      ProtoMsg copy = m;
+      fast.add(std::move(m));
+      ref.add(std::move(copy));
+    } else if (r < 0.8) {  // receive pattern attempts a match
+      const std::uint32_t ctx = pick_ctx(rng, cfg);
+      const int src = pick_src(rng, cfg, true, cfg.p_wild_src);
+      const int tag = pick_tag(rng, cfg, true, cfg.p_wild_tag);
+      std::size_t scanned_fast = 0, scanned_ref = 0;
+      auto got_fast = fast.match(ctx, src, tag, &scanned_fast);
+      auto got_ref = ref.match(ctx, src, tag, &scanned_ref);
+      ASSERT_EQ(got_fast.has_value(), got_ref.has_value())
+          << "op " << op << " seed " << cfg.seed;
+      EXPECT_EQ(scanned_fast, scanned_ref) << "op " << op << " seed " << cfg.seed;
+      if (got_fast) {
+        EXPECT_EQ(got_fast->sender_req, got_ref->sender_req)
+            << "op " << op << " seed " << cfg.seed;
+        EXPECT_EQ(got_fast->payload.size(), got_ref->payload.size());
+      }
+    } else {  // probe (peek): must agree and must not consume
+      const std::uint32_t ctx = pick_ctx(rng, cfg);
+      const int src = pick_src(rng, cfg, true, cfg.p_wild_src);
+      const int tag = pick_tag(rng, cfg, true, cfg.p_wild_tag);
+      std::size_t scanned_fast = 0, scanned_ref = 0;
+      const ProtoMsg* got_fast = fast.peek(ctx, src, tag, &scanned_fast);
+      const ProtoMsg* got_ref = ref.peek(ctx, src, tag, &scanned_ref);
+      ASSERT_EQ(got_fast != nullptr, got_ref != nullptr) << "op " << op;
+      EXPECT_EQ(scanned_fast, scanned_ref) << "op " << op << " seed " << cfg.seed;
+      if (got_fast) {
+        EXPECT_EQ(got_fast->sender_req, got_ref->sender_req);
+      }
+    }
+    ASSERT_EQ(fast.size(), ref.size()) << "op " << op << " seed " << cfg.seed;
+    ASSERT_EQ(fast.buffered_bytes(), ref.buffered_bytes()) << "op " << op;
+  }
+}
+
+TEST(MatchingPropertyTest, PostedQueueMatchesLinearReference) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    WorkloadCfg cfg;
+    cfg.seed = seed;
+    run_posted_workload(cfg);
+  }
+}
+
+TEST(MatchingPropertyTest, PostedQueueSingleSourceDeepTags) {
+  // The ext_matching_depth shape: everything from one source, many tags —
+  // the whole queue lives in one bucket, stressing in-bucket tag scans.
+  WorkloadCfg cfg;
+  cfg.seed = 99;
+  cfg.nsrc = 1;
+  cfg.ntag = 64;
+  cfg.p_wild_src = 0.0;
+  cfg.p_wild_tag = 0.1;
+  run_posted_workload(cfg);
+}
+
+TEST(MatchingPropertyTest, PostedQueueWildcardHeavy) {
+  WorkloadCfg cfg;
+  cfg.seed = 7;
+  cfg.p_wild_src = 0.7;
+  cfg.p_wild_tag = 0.7;
+  run_posted_workload(cfg);
+}
+
+TEST(MatchingPropertyTest, UnexpectedQueueMatchesLinearReference) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    WorkloadCfg cfg;
+    cfg.seed = seed;
+    run_unexpected_workload(cfg);
+  }
+}
+
+TEST(MatchingPropertyTest, UnexpectedQueueManySourcesWildcardHeavy) {
+  WorkloadCfg cfg;
+  cfg.seed = 13;
+  cfg.nsrc = 16;
+  cfg.ntag = 2;
+  cfg.p_wild_src = 0.6;
+  cfg.p_wild_tag = 0.5;
+  run_unexpected_workload(cfg);
+}
+
+TEST(MatchingPropertyTest, UnexpectedQueueSingleContextChurn) {
+  // Long churn in one context exercises the ArrivalRanker's dead-prefix
+  // compaction (many sequence numbers retired in FIFO-ish order).
+  WorkloadCfg cfg;
+  cfg.seed = 21;
+  cfg.ops = 20000;
+  cfg.nctx = 1;
+  cfg.nsrc = 4;
+  cfg.ntag = 2;
+  run_unexpected_workload(cfg);
+}
+
+TEST(MatchingPropertyTest, StatsTrackDepthAndScans) {
+  PostedQueue q;
+  q.post({1, 0, 1, 10});
+  q.post({1, 1, 2, 11});
+  q.post({1, 0, 3, 12});
+  std::size_t scanned = 0;
+  (void)q.match(1, 0, 3, &scanned);  // rank 3 in arrival order
+  EXPECT_EQ(scanned, 3u);
+  const MatchStats s = q.stats();
+  EXPECT_EQ(s.lookups, 1);
+  EXPECT_EQ(s.hits, 1);
+  EXPECT_EQ(s.entries_scanned, 3);
+  EXPECT_EQ(s.max_depth, 3u);
+  EXPECT_EQ(s.depth, 2u);
+  EXPECT_EQ(s.buckets, 2u);  // (1,0) and (1,1) remain
+}
+
+}  // namespace
+}  // namespace lcmpi::mpi

@@ -270,6 +270,128 @@ TEST(MailboxTest, PopWithTimeoutReturnsNulloptWhenEmpty) {
   EXPECT_TRUE(timed_out);
 }
 
+// --- Trigger notify / EventHandle lifetime regressions -----------------------
+//
+// notify_all() hands the waiter list to a scratch vector before waking, so a
+// waiter that re-registers (directly or via a freshly woken actor) mutates
+// `waiters_`, never the list being iterated. These tests pin that contract
+// plus the EventHandle pooling rules: cancel must be safe after the event
+// fired, after a second cancel, and after the owning kernel is gone.
+
+TEST(TriggerTest, ReWaitingActorSeesEachSubsequentNotify) {
+  Kernel k;
+  Trigger tr;
+  std::vector<std::int64_t> wakes;
+  k.spawn("looper", [&](Actor& self) {
+    for (int i = 0; i < 3; ++i) {
+      self.wait(tr);  // re-registers on the trigger just notified
+      wakes.push_back(self.now().ns);
+    }
+  });
+  for (int t : {10, 20, 30})
+    k.schedule(microseconds(t), [&] { tr.notify_all(); });
+  k.run();
+  EXPECT_EQ(wakes, (std::vector<std::int64_t>{10'000, 20'000, 30'000}));
+  EXPECT_EQ(tr.waiter_count(), 0u);
+}
+
+TEST(TriggerTest, NotifyAllLeavesTriggerReusableForNewWaiters) {
+  Kernel k;
+  Trigger tr;
+  int wakes = 0;
+  for (int i = 0; i < 4; ++i) {
+    k.spawn("w" + std::to_string(i), [&](Actor& self) {
+      self.wait(tr);
+      ++wakes;
+      self.wait(tr);  // second round on the same trigger
+      ++wakes;
+    });
+  }
+  k.schedule(microseconds(1), [&] { tr.notify_all(); });
+  k.schedule(microseconds(2), [&] { tr.notify_all(); });
+  k.run();
+  EXPECT_EQ(wakes, 8);
+}
+
+TEST(TriggerTest, NotifyOneRepeatedlyDrainsWaitersInOrder) {
+  Kernel k;
+  Trigger tr;
+  std::vector<int> woke;
+  for (int i = 0; i < 3; ++i) {
+    k.spawn("w" + std::to_string(i), [&woke, &tr, i](Actor& self) {
+      self.wait(tr);
+      woke.push_back(i);
+    });
+  }
+  for (int t : {1, 2, 3})
+    k.schedule(microseconds(t), [&] { tr.notify_one(); });
+  k.run();
+  EXPECT_EQ(woke, (std::vector<int>{0, 1, 2}));  // FIFO wake order
+}
+
+TEST(EventHandleTest, CancelAfterKernelDestroyedIsSafe) {
+  EventHandle h;
+  {
+    Kernel k;
+    bool ran = false;
+    h = k.schedule(microseconds(5), [&] { ran = true; });
+    // Kernel destroyed with the event still pending.
+  }
+  h.cancel();  // must not touch the dead kernel's pool
+  SUCCEED();
+}
+
+TEST(EventHandleTest, DoubleCancelAndCancelAfterFireAreSafe) {
+  Kernel k;
+  int runs = 0;
+  EventHandle a = k.schedule(microseconds(1), [&] { ++runs; });
+  EventHandle b = k.schedule(microseconds(2), [&] { ++runs; });
+  a.cancel();
+  a.cancel();  // idempotent
+  k.run();
+  b.cancel();  // already fired; the pooled cell may be reused — must be a no-op
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(EventHandleTest, StaleHandleDoesNotCancelRecycledCell) {
+  Kernel k;
+  EventHandle stale = k.schedule(microseconds(1), [] {});
+  k.run();  // fires; its cancellation cell returns to the pool
+  bool ran = false;
+  EventHandle fresh = k.schedule(microseconds(2), [&] { ran = true; });
+  stale.cancel();  // generation mismatch: must NOT cancel the new event
+  k.run();
+  EXPECT_TRUE(ran);
+  (void)fresh;
+}
+
+TEST(KernelTest, TimerCellPoolingSurvivesChurn) {
+  // Thousands of cancellable timers, alternating fired / timed-out /
+  // cancelled, recycling pool cells continuously.
+  Kernel k;
+  Trigger tr;
+  int fired = 0, timed_out = 0;
+  k.spawn("churn", [&](Actor& self) {
+    for (int i = 0; i < 2000; ++i) {
+      if (self.wait_with_timeout(tr, microseconds(3)))
+        ++fired;
+      else
+        ++timed_out;
+    }
+  });
+  k.spawn("ticker", [&](Actor& self) {
+    for (int i = 0; i < 1000; ++i) {
+      self.advance(microseconds(4));
+      tr.notify_all();
+    }
+  });
+  k.run();
+  EXPECT_EQ(fired + timed_out, 2000);
+  EXPECT_GT(fired, 0);
+  EXPECT_GT(timed_out, 0);
+  EXPECT_EQ(tr.waiter_count(), 0u);
+}
+
 TEST(DeterminismTest, IdenticalRunsProduceIdenticalTimings) {
   auto run_once = [] {
     Kernel k;
