@@ -12,11 +12,17 @@
 //   --quick  ~10x fewer iterations (CI smoke mode)
 //   --out    JSON output path (default: BENCH_host.json in the cwd)
 //
-// JSON schema (lcmpi-host-perf-v1):
+// JSON schema (lcmpi-host-perf-v2):
 //   matching[]   — ns/match for bucketed vs linear posted + unexpected
 //                  queues at several steady-state depths, with speedups
 //   event_kernel — callback-event dispatch and timer borrow/cancel/release
-//                  throughput (events per host second)
+//                  throughput (events per host second), per scheduler backend
+//   scheduler    — timer-heavy TCP-cluster workload (ring traffic over an
+//                  ATM cluster plus per-host connection-table timer wheels):
+//                  events per host second for the calendar queue vs the heap
+//                  reference, with a cross-backend determinism check. The
+//                  process exits nonzero if the calendar queue regresses
+//                  below the heap or the two backends diverge in virtual time.
 //   end_to_end   — 16-rank Meiko solver: virtual ms simulated per host s
 #include <algorithm>
 #include <chrono>
@@ -26,10 +32,14 @@
 #include <vector>
 
 #include "src/apps/solver.h"
+#include "src/atmnet/atm.h"
 #include "src/core/matching.h"
 #include "src/core/matching_ref.h"
+#include "src/inet/cluster.h"
+#include "src/inet/tcp.h"
 #include "src/runtime/world.h"
 #include "src/sim/kernel.h"
+#include "src/util/rng.h"
 
 namespace lcmpi::bench {
 namespace {
@@ -120,9 +130,9 @@ MatchingPoint matching_point(int depth, int iters) {
 
 // --- event kernel ------------------------------------------------------------
 
-/// Callback events scheduled and dispatched in waves (bounded heap).
-double fn_events_per_sec(int total) {
-  sim::Kernel k;
+/// Callback events scheduled and dispatched in waves (bounded queue).
+double fn_events_per_sec(sim::SchedBackend backend, int total) {
+  sim::Kernel k(backend);
   const int wave = 100'000;
   long long done = 0;
   const auto t0 = Clock::now();
@@ -138,8 +148,8 @@ double fn_events_per_sec(int total) {
 
 /// Timer churn: borrow a cancellation cell, cancel, pop the dead event —
 /// the wait_with_timeout fast path where the trigger fires first.
-double timer_churn_per_sec(int total) {
-  sim::Kernel k;
+double timer_churn_per_sec(sim::SchedBackend backend, int total) {
+  sim::Kernel k(backend);
   const int wave = 100'000;
   const auto t0 = Clock::now();
   for (int scheduled = 0; scheduled < total; scheduled += wave) {
@@ -151,6 +161,128 @@ double timer_churn_per_sec(int total) {
     k.run();
   }
   return total / seconds_since(t0);
+}
+
+// --- scheduler: timer-heavy TCP cluster --------------------------------------
+//
+// The workload the calendar queue is sized against (ROADMAP: host_perf only
+// covered the Meiko fabric before this point). An 8-host ATM cluster runs
+// TCP ring traffic — every hop arms delayed-ACK and RTO timers — while each
+// host additionally maintains a connection-table timer wheel: kTableTimers
+// cancellable timers spread over the next ~10 ms of virtual time, all
+// cancelled and re-armed every wheel tick, the way a TCP stack re-arms
+// per-connection retransmit clocks on every ACK. The scheduler therefore
+// sees a large standing timer population with constant cancel/re-arm churn
+// (the heap pays O(log n) per operation on it, the calendar queue O(1)),
+// with real protocol traffic interleaved so pop order still matters.
+//
+// Both backends run the identical deterministic workload; virtual time and
+// event counts must match exactly (checked), and host time gives events/sec.
+
+struct SchedPoint {
+  double host_s = 0;
+  double events_per_sec = 0;
+  std::uint64_t events = 0;
+  std::int64_t virtual_ns = 0;
+  std::int64_t tcp_timer_arms = 0;  // RTO + delayed-ACK arms, all endpoints
+};
+
+struct SchedResult {
+  int hosts = 8;
+  int table_timers = 1024;
+  SchedPoint calendar, heap;
+  double speedup = 0;
+  bool deterministic = false;
+  bool calendar_at_least_heap = false;
+};
+
+SchedPoint tcp_timer_workload(sim::SchedBackend backend, int hosts,
+                              int table_timers, int wheel_ticks, int ring_laps) {
+  SchedPoint out;
+  const auto t0 = Clock::now();
+  sim::Kernel kernel(backend);
+  atmnet::AtmNetwork net{kernel, hosts};
+  inet::InetCluster cluster{net, inet::atm_profile()};
+  std::vector<inet::TcpConnection*> ring;
+  ring.reserve(static_cast<std::size_t>(hosts));
+  for (int h = 0; h < hosts; ++h)
+    ring.push_back(&cluster.tcp_pair(h, (h + 1) % hosts));
+
+  // Per-host connection-table wheel: a self-rescheduling tick that cancels
+  // the previous generation of table timers and arms a fresh one at
+  // deterministic pseudo-random deadlines. Most timers die cancelled (like
+  // RTO clocks on an ACKed connection); the survivors of the last tick fire.
+  struct Wheel {
+    std::vector<sim::EventHandle> timers;
+    Rng rng{0};
+    int ticks_left = 0;
+  };
+  std::vector<Wheel> wheels(static_cast<std::size_t>(hosts));
+  std::function<void(int)> tick = [&](int h) {
+    Wheel& w = wheels[static_cast<std::size_t>(h)];
+    for (sim::EventHandle& t : w.timers) t.cancel();
+    w.timers.clear();
+    for (int i = 0; i < table_timers; ++i) {
+      const Duration d{w.rng.uniform(1'000, 10'000'000)};  // 1 µs .. 10 ms
+      w.timers.push_back(kernel.schedule(d, [] {}));
+    }
+    if (--w.ticks_left > 0)
+      kernel.schedule(microseconds(200), [&tick, h] { tick(h); });
+  };
+  for (int h = 0; h < hosts; ++h) {
+    wheels[static_cast<std::size_t>(h)].rng = Rng(0x9E3779B9u + static_cast<std::uint64_t>(h));
+    wheels[static_cast<std::size_t>(h)].ticks_left = wheel_ticks;
+    kernel.schedule(microseconds(1 + h), [&tick, h] { tick(h); });
+  }
+
+  // Ring traffic: a token circulates `ring_laps` times; every hop crosses a
+  // TCP connection, arming ACK/RTO timers against the standing wheel load.
+  for (int h = 0; h < hosts; ++h) {
+    kernel.spawn("host" + std::to_string(h), [&, h](sim::Actor& self) {
+      inet::TcpEndpoint& rx = ring[static_cast<std::size_t>((h + hosts - 1) % hosts)]->b();
+      inet::TcpEndpoint& tx = ring[static_cast<std::size_t>(h)]->a();
+      Bytes token(256, std::byte{7});
+      if (h == 0) tx.write(self, token);  // inject
+      for (int lap = 0; lap < ring_laps; ++lap) {
+        Bytes in(token.size());
+        rx.read_exact(self, in.data(), in.size());
+        if (h == 0 && lap + 1 == ring_laps) break;  // token retired at origin
+        tx.write(self, in);
+      }
+    });
+  }
+
+  kernel.run();
+  out.host_s = seconds_since(t0);
+  out.events = kernel.events_executed();
+  out.virtual_ns = kernel.now().ns;
+  out.events_per_sec = static_cast<double>(out.events) / out.host_s;
+  for (inet::TcpConnection* c : ring)
+    out.tcp_timer_arms += c->a().rto_timer_arms() + c->a().delayed_ack_timer_arms() +
+                          c->b().rto_timer_arms() + c->b().delayed_ack_timer_arms();
+  return out;
+}
+
+SchedResult scheduler_point(bool quick) {
+  SchedResult r;
+  const int wheel_ticks = quick ? 60 : 300;
+  const int ring_laps = quick ? 60 : 300;
+  // Best of two runs per backend damps host-side noise; the virtual-time
+  // observables are identical across runs by construction (determinism).
+  for (int rep = 0; rep < 2; ++rep) {
+    SchedPoint c = tcp_timer_workload(sim::SchedBackend::kCalendar, r.hosts,
+                                      r.table_timers, wheel_ticks, ring_laps);
+    if (rep == 0 || c.events_per_sec > r.calendar.events_per_sec) r.calendar = c;
+    SchedPoint h = tcp_timer_workload(sim::SchedBackend::kHeap, r.hosts,
+                                      r.table_timers, wheel_ticks, ring_laps);
+    if (rep == 0 || h.events_per_sec > r.heap.events_per_sec) r.heap = h;
+  }
+  r.speedup = r.calendar.events_per_sec / r.heap.events_per_sec;
+  r.deterministic = r.calendar.virtual_ns == r.heap.virtual_ns &&
+                    r.calendar.events == r.heap.events &&
+                    r.calendar.tcp_timer_arms == r.heap.tcp_timer_arms;
+  r.calendar_at_least_heap = r.calendar.events_per_sec >= r.heap.events_per_sec;
+  return r;
 }
 
 // --- end to end --------------------------------------------------------------
@@ -179,15 +311,21 @@ EndToEnd solver_end_to_end() {
 
 // --- output ------------------------------------------------------------------
 
+struct EventKernelNumbers {
+  double fn_eps_calendar = 0, fn_eps_heap = 0;
+  double timer_cps_calendar = 0, timer_cps_heap = 0;
+};
+
 void write_json(const std::string& path, bool quick,
-                const std::vector<MatchingPoint>& pts, double fn_eps,
-                double timer_cps, const EndToEnd& e2e) {
+                const std::vector<MatchingPoint>& pts,
+                const EventKernelNumbers& ek, const SchedResult& sched,
+                const EndToEnd& e2e) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "host_perf: cannot open %s\n", path.c_str());
     std::exit(1);
   }
-  std::fprintf(f, "{\n  \"schema\": \"lcmpi-host-perf-v1\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"lcmpi-host-perf-v2\",\n");
   std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
   std::fprintf(f, "  \"matching\": [\n");
   for (std::size_t i = 0; i < pts.size(); ++i) {
@@ -204,9 +342,30 @@ void write_json(const std::string& path, bool quick,
   }
   std::fprintf(f, "  ],\n");
   std::fprintf(f,
-               "  \"event_kernel\": {\"fn_events_per_sec\": %.0f, "
-               "\"timer_churn_per_sec\": %.0f},\n",
-               fn_eps, timer_cps);
+               "  \"event_kernel\": {"
+               "\"fn_events_per_sec_calendar\": %.0f, "
+               "\"fn_events_per_sec_heap\": %.0f, "
+               "\"timer_churn_per_sec_calendar\": %.0f, "
+               "\"timer_churn_per_sec_heap\": %.0f},\n",
+               ek.fn_eps_calendar, ek.fn_eps_heap, ek.timer_cps_calendar,
+               ek.timer_cps_heap);
+  std::fprintf(f,
+               "  \"scheduler\": {\"workload\": \"tcp_timer_wheel\", "
+               "\"hosts\": %d, \"table_timers\": %d,\n"
+               "    \"calendar\": {\"events\": %llu, \"host_s\": %.3f, "
+               "\"events_per_sec\": %.0f},\n"
+               "    \"heap\": {\"events\": %llu, \"host_s\": %.3f, "
+               "\"events_per_sec\": %.0f},\n"
+               "    \"speedup\": %.2f, \"virtual_ns\": %lld, "
+               "\"tcp_timer_arms\": %lld, \"deterministic\": %s},\n",
+               sched.hosts, sched.table_timers,
+               static_cast<unsigned long long>(sched.calendar.events),
+               sched.calendar.host_s, sched.calendar.events_per_sec,
+               static_cast<unsigned long long>(sched.heap.events),
+               sched.heap.host_s, sched.heap.events_per_sec, sched.speedup,
+               static_cast<long long>(sched.calendar.virtual_ns),
+               static_cast<long long>(sched.calendar.tcp_timer_arms),
+               sched.deterministic ? "true" : "false");
   std::fprintf(f,
                "  \"end_to_end\": {\"ranks\": %d, \"solver_n\": %d, "
                "\"virtual_ms\": %.3f, \"host_s\": %.3f, "
@@ -252,20 +411,45 @@ int run(int argc, char** argv) {
   std::printf("matching speedup bar (>=5x at depth>=256): %s\n",
               meets_bar ? "PASS" : "FAIL");
 
-  std::printf("\nhost_perf: event kernel\n");
-  const double fn_eps = fn_events_per_sec(event_total);
-  const double timer_cps = timer_churn_per_sec(event_total);
-  std::printf("  fn events/sec:    %.0f\n", fn_eps);
-  std::printf("  timer churn/sec:  %.0f\n", timer_cps);
+  std::printf("\nhost_perf: event kernel (calendar | heap)\n");
+  EventKernelNumbers ek;
+  ek.fn_eps_calendar = fn_events_per_sec(sim::SchedBackend::kCalendar, event_total);
+  ek.fn_eps_heap = fn_events_per_sec(sim::SchedBackend::kHeap, event_total);
+  ek.timer_cps_calendar =
+      timer_churn_per_sec(sim::SchedBackend::kCalendar, event_total);
+  ek.timer_cps_heap = timer_churn_per_sec(sim::SchedBackend::kHeap, event_total);
+  std::printf("  fn events/sec:    %.0f | %.0f\n", ek.fn_eps_calendar,
+              ek.fn_eps_heap);
+  std::printf("  timer churn/sec:  %.0f | %.0f\n", ek.timer_cps_calendar,
+              ek.timer_cps_heap);
+
+  std::printf("\nhost_perf: scheduler (timer-heavy TCP cluster, calendar vs heap)\n");
+  const SchedResult sched = scheduler_point(quick);
+  std::printf("  calendar: %.0f events/sec (%llu events in %.3f s)\n",
+              sched.calendar.events_per_sec,
+              static_cast<unsigned long long>(sched.calendar.events),
+              sched.calendar.host_s);
+  std::printf("  heap:     %.0f events/sec (%llu events in %.3f s)\n",
+              sched.heap.events_per_sec,
+              static_cast<unsigned long long>(sched.heap.events),
+              sched.heap.host_s);
+  std::printf("  speedup: %.2fx, tcp timer arms: %lld, deterministic: %s\n",
+              sched.speedup,
+              static_cast<long long>(sched.calendar.tcp_timer_arms),
+              sched.deterministic ? "yes" : "NO");
+  const bool sched_ok = sched.calendar_at_least_heap && sched.deterministic;
+  std::printf("scheduler bar (calendar >= heap events/sec, identical virtual "
+              "time): %s\n",
+              sched_ok ? "PASS" : "FAIL");
 
   std::printf("\nhost_perf: end-to-end (16-rank Meiko solver, N=96)\n");
   const EndToEnd e2e = solver_end_to_end();
   std::printf("  virtual: %.3f ms, host: %.3f s -> %.1f sim-ms/host-s\n",
               e2e.virtual_ms, e2e.host_s, e2e.sim_ms_per_host_s);
 
-  write_json(out, quick, pts, fn_eps, timer_cps, e2e);
+  write_json(out, quick, pts, ek, sched, e2e);
   std::printf("\nwrote %s\n", out.c_str());
-  return meets_bar ? 0 : 1;
+  return meets_bar && sched_ok ? 0 : 1;
 }
 
 }  // namespace

@@ -1,6 +1,11 @@
 #include "src/sim/kernel.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+#include "src/sim/kernel_ref.h"
 
 namespace lcmpi::sim {
 
@@ -8,13 +13,26 @@ namespace lcmpi::sim {
 
 void Trigger::notify_all() {
   if (waiters_.empty()) return;
+  if (draining_) {
+    // Re-entrant notify on the same trigger (a synchronously-run callee
+    // notifying the trigger it is being drained from): the scratch buffer
+    // is busy holding the outer drain, so take a local one. Only waiters
+    // registered since the outer drain began are here — the outer loop
+    // already owns the earlier registrations.
+    std::vector<Actor*> local;
+    local.swap(waiters_);
+    for (Actor* a : local) a->kernel().wake(a, a->wake_epoch_, /*by_trigger=*/true);
+    return;
+  }
   // Drain into the reusable scratch buffer first: a woken actor only gets a
   // wake *event* here (it runs later), but being defensive about re-entrant
   // registration keeps the iteration valid even if wake() ever runs waiter
   // code synchronously. Swapping (not copying) preserves both capacities.
+  draining_ = true;
   scratch_.swap(waiters_);
   for (Actor* a : scratch_) a->kernel().wake(a, a->wake_epoch_, /*by_trigger=*/true);
   scratch_.clear();
+  draining_ = false;
   // Shrink policy: a burst (e.g. a barrier over a large world) should not
   // pin its high-water capacity forever.
   if (scratch_.capacity() > 1024) scratch_.shrink_to_fit();
@@ -35,7 +53,150 @@ void EventHandle::cancel() {
   alive_.reset();
 }
 
-// ------------------------------------------------------------------ Actor
+// ---------------------------------------------------------- CalendarQueue
+
+namespace {
+
+constexpr std::size_t kMinBuckets = 16;
+constexpr std::size_t kMaxBuckets = std::size_t{1} << 22;
+// Days are clamped so window-boundary arithmetic (base_day_ + bucket count)
+// can never overflow even for TimePoint::max()-dated events; clamping is
+// monotone in time, so bucket separation still orders distinct days.
+constexpr std::int64_t kMaxDay = std::numeric_limits<std::int64_t>::max() / 4;
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+CalendarQueue::CalendarQueue() : buckets_(kMinBuckets) {}
+
+std::int64_t CalendarQueue::day_of(TimePoint t) const {
+  const std::int64_t d = t.ns / width_;
+  return d < kMaxDay ? d : kMaxDay;
+}
+
+void CalendarQueue::place(Event&& ev) {
+  const std::int64_t day = day_of(ev.time);
+  const auto count = static_cast<std::int64_t>(buckets_.size());
+  if (day < base_day_ + count) {
+    // In-window. Pushes behind the cursor are legal (the cursor may have
+    // skipped the event's empty bucket during a peek; the clock has not
+    // passed it): rewind — the day→bucket mapping is fixed between
+    // rebuilds, so no events need to move.
+    auto& b = buckets_[static_cast<std::size_t>(day) & (buckets_.size() - 1)];
+    b.push_back(std::move(ev));
+    std::push_heap(b.begin(), b.end(), EventAfter{});
+    ++in_window_;
+    if (day < cur_day_) cur_day_ = day;
+  } else {
+    overflow_.push_back(std::move(ev));
+  }
+}
+
+void CalendarQueue::rebuild() {
+  ++rebuilds_;
+  // Collect everything still pending.
+  std::vector<Event> all;
+  all.reserve(size_);
+  for (auto& b : buckets_)
+    for (Event& ev : b) all.push_back(std::move(ev));
+  for (Event& ev : overflow_) all.push_back(std::move(ev));
+  for (auto& b : buckets_) b.clear();
+  overflow_.clear();
+  in_window_ = 0;
+
+  const std::size_t target = next_pow2(std::clamp(size_, kMinBuckets, kMaxBuckets));
+  if (buckets_.size() != target) {
+    buckets_.assign(target, {});
+  }
+  const auto count = static_cast<std::int64_t>(buckets_.size());
+
+  // The window is anchored at the clock floor (time of the last pop), not
+  // at the earliest pending event: the floor lower-bounds every legal
+  // future push, so a push can never land before the window and corrupt
+  // the day→bucket mapping (the pending minimum does not have that
+  // property — the kernel's clock may lag it, and an actor woken at the
+  // current time may schedule in between).
+  //
+  // Width estimate: twice the average gap from the floor to the 75th
+  // percentile of the pending population. The top quartile is excluded so
+  // far-future outliers (watchdogs, idle retransmit timers) cannot inflate
+  // the width and collapse the near-term traffic into one bucket; outliers
+  // land in the overflow rung instead, where they cost nothing until due.
+  if (!all.empty()) {
+    std::vector<std::int64_t> times;
+    times.reserve(all.size());
+    for (const Event& ev : all) times.push_back(ev.time.ns);
+    const std::size_t q3 = (times.size() * 3) / 4;
+    std::nth_element(times.begin(),
+                     times.begin() + static_cast<std::ptrdiff_t>(q3), times.end());
+    const std::int64_t t_q3 = times[q3];
+    const std::int64_t t_min = *std::min_element(
+        times.begin(), times.begin() + static_cast<std::ptrdiff_t>(q3) + 1);
+    const auto denom = static_cast<std::int64_t>(std::max<std::size_t>((times.size() * 3) / 4, 1));
+    width_ = std::max<std::int64_t>(1, 2 * (t_q3 - floor_ns_) / denom);
+    base_day_ = floor_ns_ / width_;
+    // Guarantee the earliest pending event fits the window, whatever the
+    // estimate did (huge idle gap, tiny bucket array): otherwise the
+    // peek → rebuild cycle could spin without ever exposing an event.
+    if (day_of(TimePoint{t_min}) >= base_day_ + count) {
+      width_ = (t_min - floor_ns_) / (count / 2) + 1;
+      base_day_ = floor_ns_ / width_;
+    }
+    if (base_day_ > kMaxDay) base_day_ = kMaxDay;
+  } else {
+    width_ = std::max<std::int64_t>(width_, 1);
+    base_day_ = floor_ns_ / width_;
+    if (base_day_ > kMaxDay) base_day_ = kMaxDay;
+  }
+  cur_day_ = base_day_;
+
+  for (Event& ev : all) place(std::move(ev));
+}
+
+void CalendarQueue::push(Event&& ev) {
+  ++size_;
+  if (size_ > 2 * buckets_.size() && buckets_.size() < kMaxBuckets) {
+    --size_;  // rebuild sizes the array from size_; count this event after
+    rebuild();
+    ++size_;
+  }
+  place(std::move(ev));
+}
+
+const Event* CalendarQueue::peek() {
+  if (size_ == 0) return nullptr;
+  for (;;) {
+    const auto count = static_cast<std::int64_t>(buckets_.size());
+    while (in_window_ > 0 && cur_day_ < base_day_ + count) {
+      const auto& b = buckets_[static_cast<std::size_t>(cur_day_) & (buckets_.size() - 1)];
+      if (!b.empty()) return &b.front();
+      ++cur_day_;
+    }
+    // Window drained; everything pending sits in the overflow rung.
+    rebuild();
+  }
+}
+
+Event CalendarQueue::pop() {
+  const Event* top = peek();
+  LCMPI_CHECK(top != nullptr, "pop from empty calendar queue");
+  auto& b = buckets_[static_cast<std::size_t>(cur_day_) & (buckets_.size() - 1)];
+  std::pop_heap(b.begin(), b.end(), EventAfter{});
+  Event ev = std::move(b.back());
+  b.pop_back();
+  floor_ns_ = ev.time.ns;  // pops are time-ordered: the floor is monotone
+  --in_window_;
+  --size_;
+  if (size_ < buckets_.size() / 8 && buckets_.size() > kMinBuckets) rebuild();
+  return ev;
+}
+
+// ----------------------------------------------------------------- Actor
 
 Actor::Actor(Kernel* kernel, std::string name, std::function<void(Actor&)> body)
     : kernel_(kernel), name_(std::move(name)), body_(std::move(body)) {}
@@ -126,7 +287,22 @@ bool Actor::wait_with_timeout(Trigger& trigger, Duration timeout) {
 
 // ----------------------------------------------------------------- Kernel
 
-Kernel::Kernel() { heap_.reserve(64); }
+SchedBackend sched_backend_from_env() {
+  const char* v = std::getenv("LCMPI_SCHED");
+  if (v != nullptr && std::strcmp(v, "heap") == 0) return SchedBackend::kHeap;
+  return SchedBackend::kCalendar;
+}
+
+std::unique_ptr<EventQueue> make_event_queue(SchedBackend backend) {
+  if (backend == SchedBackend::kHeap)
+    return std::make_unique<HeapEventQueue>();
+  return std::make_unique<CalendarQueue>();
+}
+
+Kernel::Kernel() : Kernel(sched_backend_from_env()) {}
+
+Kernel::Kernel(SchedBackend backend)
+    : backend_(backend), queue_(make_event_queue(backend)) {}
 
 Kernel::~Kernel() { cancel_all_actors(); }
 
@@ -170,8 +346,7 @@ void Kernel::cancel_cell(std::uint32_t idx, std::uint32_t gen) {
 void Kernel::push_event(Event ev) {
   LCMPI_CHECK(ev.time >= now_, "schedule_at in the past");
   ev.seq = next_seq_++;
-  heap_.push_back(std::move(ev));
-  std::push_heap(heap_.begin(), heap_.end(), EventAfter{});
+  queue_->push(std::move(ev));
 }
 
 EventHandle Kernel::schedule(Duration delay, std::function<void()> fn) {
@@ -260,10 +435,8 @@ void Kernel::dispatch(Event& ev) {
 
 void Kernel::drain_one_step(bool& made_progress) {
   made_progress = false;
-  while (!heap_.empty()) {
-    std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
-    Event ev = std::move(heap_.back());
-    heap_.pop_back();
+  while (queue_->peek() != nullptr) {
+    Event ev = queue_->pop();
     if (ev.cell != kNoCell && release_cell(ev.cell)) continue;  // cancelled
     LCMPI_CHECK(ev.time >= now_, "event queue went backwards");
     if (ev.time > time_limit_)
@@ -309,8 +482,9 @@ void Kernel::run() {
 void Kernel::run_until(TimePoint t) {
   LCMPI_CHECK(!running_, "Kernel::run is not reentrant");
   FlagGuard guard(running_);
-  while (!heap_.empty()) {
-    if (heap_.front().time > t) break;
+  for (;;) {
+    const Event* top = queue_->peek();
+    if (top == nullptr || top->time > t) break;
     bool progressed = false;
     drain_one_step(progressed);
     if (!progressed) break;

@@ -25,8 +25,17 @@
 // heap allocation. Cancellation state lives in a pooled slab indexed by
 // (cell, generation) instead of a per-event shared_ptr; callback events
 // and cancellable timers borrow a cell from the free list and return it
-// when they fire. The event queue is a binary heap over a plain vector
-// (reserved up front, entries moved out on pop, never copied).
+// when they fire.
+//
+// The event list itself is pluggable (EventQueue): the production backend
+// is a calendar queue (CalendarQueue, O(1) amortized enqueue/dequeue for
+// the timer-heavy TCP/ATM workloads), and the original binary heap survives
+// as HeapEventQueue in kernel_ref.h — the executable specification the
+// differential tests compare against. Both backends implement the same
+// determinism contract: events pop in strictly non-decreasing (time, seq)
+// order, where seq is the kernel-assigned insertion sequence number, so the
+// executed event order — and therefore every virtual-time observable — is
+// identical regardless of backend.
 #pragma once
 
 #include <condition_variable>
@@ -85,9 +94,13 @@ class Trigger {
   friend class Kernel;
   std::vector<Actor*> waiters_;
   // notify_all drains into this reusable buffer before waking, so a waiter
-  // that re-waits (mutating waiters_) cannot invalidate the iteration, and
-  // neither vector's capacity is thrown away per notify.
+  // that re-registers (mutating waiters_) cannot invalidate the iteration,
+  // and neither vector's capacity is thrown away per notify. `draining_`
+  // guards the scratch buffer against re-entrant notify_all on the same
+  // trigger (a woken callee notifying the trigger it was woken from): the
+  // nested call falls back to a local drain buffer.
   std::vector<Actor*> scratch_;
+  bool draining_ = false;
 };
 
 /// Handle to a scheduled event; allows cancellation (used for timers).
@@ -168,9 +181,137 @@ class Actor {
   bool woke_by_trigger_ = false;  // result channel for wait_with_timeout
 };
 
+// --------------------------------------------------------- event scheduler
+
+/// Sentinel for "this event holds no cancellation cell".
+inline constexpr std::uint32_t kNoCell = 0xFFFFFFFFu;
+
+/// One pending occurrence in the event list. `seq` is assigned by the
+/// kernel at push time and makes (time, seq) a strict total order — the
+/// determinism contract every EventQueue backend must honour.
+struct Event {
+  TimePoint time;
+  std::uint64_t seq = 0;
+  enum class Kind : std::uint8_t { kFn, kWake, kStart };
+  Kind kind = Kind::kFn;
+  bool by_trigger = false;        // kWake
+  std::uint32_t cell = kNoCell;   // cancellation slot, kNoCell = none
+  Actor* actor = nullptr;         // kWake / kStart target
+  std::uint64_t epoch = 0;        // kWake staleness check
+  std::function<void()> fn;       // kFn only (empty otherwise)
+};
+
+/// "a fires after b" — the shared ordering predicate. Used directly as the
+/// comparator of the reference binary heap and inside calendar buckets.
+struct EventAfter {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+/// Pluggable pending-event list. Contract: pop() removes and returns the
+/// minimum event under (time, seq); peek() exposes it without removing.
+/// peek() is non-const because backends may advance internal cursors to
+/// locate the minimum (the work is then amortized against the next pop).
+/// Push times never precede the time of the last popped event (the kernel
+/// clock only moves forward), which backends may exploit.
+class EventQueue {
+ public:
+  virtual ~EventQueue() = default;
+  /// Enqueues an event (seq already assigned by the kernel).
+  virtual void push(Event&& ev) = 0;
+  /// The minimum pending event, or nullptr if empty. The pointer is
+  /// invalidated by any subsequent push/pop.
+  virtual const Event* peek() = 0;
+  /// Removes and returns the minimum pending event. Precondition: not empty.
+  virtual Event pop() = 0;
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// Calendar queue (Brown, CACM 1988) with a ladder-style overflow rung.
+///
+/// Layout: a power-of-two array of buckets, each `width_` nanoseconds of
+/// virtual time wide, covering one "window" of bucket_count() consecutive
+/// days starting at `base_day_`. An event whose day (= time / width)
+/// falls inside the window lands in bucket `day & (count-1)`; anything
+/// beyond the window end goes to the unordered overflow rung. Each bucket
+/// is a tiny binary heap under EventAfter, so same-timestamp bursts inside
+/// one bucket stay O(log k) and FIFO-by-seq — never O(k²) scan-min.
+///
+/// The cursor `cur_day_` sweeps forward across the window looking for the
+/// first non-empty bucket; because bucket→day mapping is fixed between
+/// rebuilds, a push behind the cursor (legal: pushes at the current virtual
+/// time after the cursor skipped empty buckets during a peek) just rewinds
+/// the cursor — no remapping needed. When the window drains and only
+/// overflow remains, the queue rebuilds: re-anchor at the clock floor (the
+/// time of the last pop, which lower-bounds every legal push) and
+/// redistribute.
+///
+/// Resize policy: rebuild doubles/halves the bucket array when the
+/// population crosses 2× / ⅛× the bucket count. The width is re-estimated
+/// at each rebuild from the spread of the earliest three quarters of the
+/// pending population (2× their average gap), which keeps the estimate
+/// immune to far-future outliers (watchdogs, idle RTO timers) — those
+/// simply stay in the overflow rung, untouched until their day comes.
+///
+/// Determinism: pops are strictly ordered by (time, seq) — bucket
+/// separation orders distinct days, the in-bucket heap orders the rest, and
+/// window/overflow separation is strict at the boundary — so the executed
+/// schedule is bit-identical to HeapEventQueue's (pinned by
+/// tests/sched_property_test.cpp and tests/golden_determinism_test.cpp).
+class CalendarQueue final : public EventQueue {
+ public:
+  CalendarQueue();
+
+  void push(Event&& ev) override;
+  const Event* peek() override;
+  Event pop() override;
+  [[nodiscard]] std::size_t size() const override { return size_; }
+  [[nodiscard]] const char* name() const override { return "calendar"; }
+
+  // Introspection (tests and host_perf).
+  [[nodiscard]] std::size_t bucket_count() const { return buckets_.size(); }
+  [[nodiscard]] std::int64_t bucket_width_ns() const { return width_; }
+  [[nodiscard]] std::size_t overflow_size() const { return overflow_.size(); }
+  [[nodiscard]] std::uint64_t rebuild_count() const { return rebuilds_; }
+
+ private:
+  [[nodiscard]] std::int64_t day_of(TimePoint t) const;
+  void place(Event&& ev);      // window bucket or overflow, no resize check
+  void rebuild();              // re-anchor, re-estimate width, redistribute
+
+  std::vector<std::vector<Event>> buckets_;  // each a binary heap (EventAfter)
+  std::vector<Event> overflow_;              // unordered ladder rung
+  std::int64_t width_ = 1;                   // bucket width, ns (>= 1)
+  std::int64_t base_day_ = 0;                // first day of the window
+  std::int64_t cur_day_ = 0;                 // cursor, in [base, base+count]
+  std::int64_t floor_ns_ = 0;                // time of last pop (clock floor);
+                                             // rebuilds anchor the window here
+                                             // because pushes never precede it
+  std::size_t in_window_ = 0;                // events currently in buckets_
+  std::size_t size_ = 0;
+  std::uint64_t rebuilds_ = 0;
+};
+
+/// Which EventQueue backend a Kernel uses. The calendar queue is the
+/// production default; the heap is the executable reference (kernel_ref.h).
+enum class SchedBackend : std::uint8_t { kCalendar, kHeap };
+
+/// Backend selection from the environment: LCMPI_SCHED=calendar|heap
+/// (unset or anything else ⇒ calendar). Read at every Kernel construction,
+/// so tests and CI can flip backends per-world without code changes.
+SchedBackend sched_backend_from_env();
+
+/// Constructs the queue for `backend` (factory shared by Kernel and tests).
+std::unique_ptr<EventQueue> make_event_queue(SchedBackend backend);
+
 class Kernel {
  public:
+  /// Backend comes from LCMPI_SCHED (default: calendar queue).
   Kernel();
+  explicit Kernel(SchedBackend backend);
   Kernel(const Kernel&) = delete;
   Kernel& operator=(const Kernel&) = delete;
   ~Kernel();
@@ -198,31 +339,14 @@ class Kernel {
 
   [[nodiscard]] std::uint64_t events_executed() const { return events_executed_; }
   [[nodiscard]] std::size_t live_actor_count() const;
+  [[nodiscard]] SchedBackend backend() const { return backend_; }
+  [[nodiscard]] const char* scheduler_name() const { return queue_->name(); }
+  [[nodiscard]] std::size_t pending_events() const { return queue_->size(); }
 
  private:
   friend class Actor;
   friend class Trigger;
   friend class EventHandle;
-
-  static constexpr std::uint32_t kNoCell = 0xFFFFFFFFu;
-
-  struct Event {
-    TimePoint time;
-    std::uint64_t seq = 0;
-    enum class Kind : std::uint8_t { kFn, kWake, kStart };
-    Kind kind = Kind::kFn;
-    bool by_trigger = false;        // kWake
-    std::uint32_t cell = kNoCell;   // cancellation slot, kNoCell = none
-    Actor* actor = nullptr;         // kWake / kStart target
-    std::uint64_t epoch = 0;        // kWake staleness check
-    std::function<void()> fn;       // kFn only (empty otherwise)
-  };
-  struct EventAfter {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
 
   // Pooled cancellation slab. A cell is borrowed while its event is queued
   // and recycled (generation bumped) when the event pops or is skipped.
@@ -252,7 +376,8 @@ class Kernel {
   TimePoint time_limit_ = TimePoint::max();
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
-  std::vector<Event> heap_;  // binary heap ordered by EventAfter
+  SchedBackend backend_;
+  std::unique_ptr<EventQueue> queue_;
   std::vector<CancelCell> cells_;
   std::vector<std::uint32_t> free_cells_;
   std::shared_ptr<const bool> alive_ = std::make_shared<const bool>(true);

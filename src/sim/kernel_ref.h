@@ -1,0 +1,54 @@
+// Reference heap event queue — the executable specification of scheduling.
+//
+// This is the original binary-heap-over-vector event list of sim::Kernel,
+// retained verbatim (as HeapEventQueue) after the calendar-queue rewrite in
+// kernel.h/kernel.cpp. It defines the semantics the fast path must
+// reproduce *exactly*: events pop in strictly increasing (time, seq) order,
+// seq being the kernel-assigned insertion sequence number — the FIFO
+// tie-break that makes every simulation repeatable. Because that order is a
+// strict total order, any two correct backends execute the identical event
+// schedule, and therefore produce bit-identical virtual times; the golden
+// figures in EXPERIMENTS.md are pinned against this property.
+//
+// Used by tests/sched_property_test.cpp (randomized differential
+// equivalence), tests/sched_fuzz_test.cpp (EventHandle lifecycle parity),
+// bench/host_perf (the events/sec baseline), and selectable at runtime via
+// LCMPI_SCHED=heap or Kernel(SchedBackend::kHeap).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "src/sim/kernel.h"
+
+namespace lcmpi::sim {
+
+/// Binary heap over a plain vector, ordered by EventAfter (reference
+/// implementation). Reserved up front, entries moved out on pop, never
+/// copied. O(log n) push and pop, O(1) peek.
+class HeapEventQueue final : public EventQueue {
+ public:
+  HeapEventQueue() { heap_.reserve(64); }
+
+  void push(Event&& ev) override {
+    heap_.push_back(std::move(ev));
+    std::push_heap(heap_.begin(), heap_.end(), EventAfter{});
+  }
+
+  const Event* peek() override { return heap_.empty() ? nullptr : &heap_.front(); }
+
+  Event pop() override {
+    std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
+    return ev;
+  }
+
+  [[nodiscard]] std::size_t size() const override { return heap_.size(); }
+  [[nodiscard]] const char* name() const override { return "heap"; }
+
+ private:
+  std::vector<Event> heap_;
+};
+
+}  // namespace lcmpi::sim

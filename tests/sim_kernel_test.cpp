@@ -329,6 +329,97 @@ TEST(TriggerTest, NotifyOneRepeatedlyDrainsWaitersInOrder) {
   EXPECT_EQ(woke, (std::vector<int>{0, 1, 2}));  // FIFO wake order
 }
 
+TEST(TriggerTest, ReRegistrationDuringDrainWaitsForNextNotify) {
+  // Regression for the notify_all scratch-buffer drain: the first waiter
+  // woken by a notify re-registers on the same trigger while the wake
+  // events for the *other* waiters from that drain are still mid-delivery.
+  // The fresh registration must not be consumed by the in-flight drain —
+  // it belongs to the next notify.
+  Kernel k;
+  Trigger tr;
+  std::vector<std::string> log;
+  k.spawn("w0", [&](Actor& self) {
+    self.wait(tr);
+    log.push_back("w0@" + std::to_string(self.now().ns));
+    self.wait(tr);  // re-registers while w1/w2 wakes are in flight
+    log.push_back("w0b@" + std::to_string(self.now().ns));
+  });
+  for (int i = 1; i <= 2; ++i) {
+    k.spawn("w" + std::to_string(i), [&log, &tr, i](Actor& self) {
+      self.wait(tr);
+      log.push_back("w" + std::to_string(i) + "@" +
+                    std::to_string(self.now().ns));
+    });
+  }
+  k.schedule(microseconds(1), [&] { tr.notify_all(); });
+  k.schedule(microseconds(2), [&] { tr.notify_all(); });
+  k.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"w0@1000", "w1@1000", "w2@1000",
+                                           "w0b@2000"}));
+  EXPECT_EQ(tr.waiter_count(), 0u);
+}
+
+TEST(TriggerTest, WokenActorNotifyingSameTriggerMidDrainIsSafe) {
+  // The first actor woken by a drain immediately notifies the same trigger
+  // while the second actor's wake event from that drain is still pending.
+  // The nested notify must neither double-wake the in-flight actor (its
+  // registration was already claimed by the drain) nor corrupt the scratch
+  // buffer for subsequent notifies.
+  Kernel k;
+  Trigger tr;
+  std::vector<std::string> log;
+  k.spawn("w0", [&](Actor& self) {
+    self.wait(tr);
+    log.push_back("w0@" + std::to_string(self.now().ns));
+    tr.notify_all();  // mid-drain: w1's wake is still in flight, no waiters
+    self.wait(tr);
+    log.push_back("w0b@" + std::to_string(self.now().ns));
+  });
+  k.spawn("w1", [&](Actor& self) {
+    self.wait(tr);
+    log.push_back("w1@" + std::to_string(self.now().ns));
+    self.wait(tr);
+    log.push_back("w1b@" + std::to_string(self.now().ns));
+  });
+  k.schedule(microseconds(1), [&] { tr.notify_all(); });
+  k.schedule(microseconds(5), [&] { tr.notify_all(); });
+  k.run();
+  // w0's mid-drain notify finds no registered waiters (w1's registration
+  // was claimed by the external drain; w0 itself had not re-waited yet), so
+  // both re-waits are satisfied only by the t=5 notify.
+  EXPECT_EQ(log, (std::vector<std::string>{"w0@1000", "w1@1000", "w0b@5000",
+                                           "w1b@5000"}));
+  EXPECT_EQ(tr.waiter_count(), 0u);
+}
+
+TEST(TriggerTest, NotifyStormWithReRegistrationKeepsExactWakeCounts) {
+  // Churn version of the two regressions above: every woken actor both
+  // re-waits and re-notifies the trigger, across many rounds. Wake counts
+  // must stay exact (no lost registrations, no duplicate wakes).
+  Kernel k;
+  Trigger tr;
+  constexpr int kRounds = 200;
+  int wakes = 0;
+  for (int i = 0; i < 3; ++i) {
+    k.spawn("w" + std::to_string(i), [&](Actor& self) {
+      for (int r = 0; r < kRounds; ++r) {
+        self.wait(tr);
+        ++wakes;
+        tr.notify_all();  // mid-delivery for the other two actors
+      }
+    });
+  }
+  k.spawn("ticker", [&](Actor& self) {
+    for (int r = 0; r < kRounds; ++r) {
+      self.advance(microseconds(10));
+      tr.notify_all();
+    }
+  });
+  k.run();
+  EXPECT_EQ(wakes, 3 * kRounds);
+  EXPECT_EQ(tr.waiter_count(), 0u);
+}
+
 TEST(EventHandleTest, CancelAfterKernelDestroyedIsSafe) {
   EventHandle h;
   {
