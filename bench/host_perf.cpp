@@ -12,7 +12,7 @@
 //   --quick  ~10x fewer iterations (CI smoke mode)
 //   --out    JSON output path (default: BENCH_host.json in the cwd)
 //
-// JSON schema (lcmpi-host-perf-v2):
+// JSON schema (lcmpi-host-perf-v3):
 //   matching[]   — ns/match for bucketed vs linear posted + unexpected
 //                  queues at several steady-state depths, with speedups
 //   event_kernel — callback-event dispatch and timer borrow/cancel/release
@@ -23,6 +23,15 @@
 //                  reference, with a cross-backend determinism check. The
 //                  process exits nonzero if the calendar queue regresses
 //                  below the heap or the two backends diverge in virtual time.
+//   actors       — switch-heavy trigger ping-pong: context switches per host
+//                  second for the fiber backend vs the thread reference, with
+//                  a cross-backend determinism check, plus an actor-lifecycle
+//                  churn point (fiber stack pool reuse / high-water). The
+//                  process exits nonzero if fibers deliver < 5x the thread
+//                  backend's switches/sec or the backends diverge.
+//   cluster_points[] — whole-cluster runs on the non-default fabrics
+//                  (Ethernet media, RUDP transport): events and virtual ms
+//                  simulated per host second
 //   end_to_end   — 16-rank Meiko solver: virtual ms simulated per host s
 #include <algorithm>
 #include <chrono>
@@ -31,13 +40,16 @@
 #include <string>
 #include <vector>
 
+#include "src/apps/particles.h"
 #include "src/apps/solver.h"
 #include "src/atmnet/atm.h"
 #include "src/core/matching.h"
 #include "src/core/matching_ref.h"
+#include "src/core/profile.h"
 #include "src/inet/cluster.h"
 #include "src/inet/tcp.h"
 #include "src/runtime/world.h"
+#include "src/sim/fiber.h"
 #include "src/sim/kernel.h"
 #include "src/util/rng.h"
 
@@ -285,6 +297,157 @@ SchedResult scheduler_point(bool quick) {
   return r;
 }
 
+// --- actors: switch-heavy trigger ping-pong ----------------------------------
+//
+// Two actors bounce a token through a pair of Triggers; every round is two
+// wakes, each costing one kernel→actor and one actor→kernel transfer plus a
+// wake event — the simulated-MPI blocking pattern with all payload work
+// stripped out, so host time is dominated by the context-switch mechanism
+// itself. The thread reference pays two futex round trips per transfer; the
+// fiber backend a few dozen instructions. Both backends run the identical
+// event schedule (checked: virtual time, switch and event counts).
+
+struct ActorPoint {
+  double host_s = 0;
+  double switches_per_sec = 0;
+  std::uint64_t switches = 0;
+  std::uint64_t events = 0;
+  std::int64_t virtual_ns = 0;
+  sim::ActorStats stats;
+};
+
+ActorPoint actor_switch_workload(sim::ActorBackend backend, int rounds) {
+  ActorPoint out;
+  const auto t0 = Clock::now();
+  sim::Kernel kernel(backend);
+  sim::Trigger ping, pong;
+  int turn = 0;
+  kernel.spawn("ping", [&](sim::Actor& a) {
+    for (int i = 0; i < rounds; ++i) {
+      turn = 1;
+      pong.notify_all();
+      while (turn != 0) a.wait(ping);
+    }
+  });
+  kernel.spawn("pong", [&](sim::Actor& a) {
+    for (int i = 0; i < rounds; ++i) {
+      while (turn != 1) a.wait(pong);
+      turn = 0;
+      ping.notify_all();
+    }
+  });
+  kernel.run();
+  out.host_s = seconds_since(t0);
+  out.stats = kernel.actor_stats();
+  out.switches = out.stats.switches;
+  out.events = kernel.events_executed();
+  out.virtual_ns = kernel.now().ns;
+  out.switches_per_sec = static_cast<double>(out.switches) / out.host_s;
+  return out;
+}
+
+/// Actor churn: waves of trivial actors that finish on their first resume,
+/// so the fiber backend's stack pool serves every spawn after the first
+/// from its free list. Reported per backend (stack numbers are fiber-only).
+ActorPoint actor_lifecycle_workload(sim::ActorBackend backend, int spawns) {
+  ActorPoint out;
+  const auto t0 = Clock::now();
+  long long done = 0;
+  {
+    sim::Kernel kernel(backend);
+    for (int i = 0; i < spawns; ++i)
+      kernel.spawn("a" + std::to_string(i), [&done](sim::Actor& self) {
+        self.advance(Duration{0});
+        ++done;
+      });
+    kernel.run();
+    out.host_s = seconds_since(t0);
+    out.stats = kernel.actor_stats();
+    out.switches = out.stats.switches;
+    out.events = kernel.events_executed();
+    out.virtual_ns = kernel.now().ns;
+  }
+  g_sink += static_cast<std::size_t>(done);
+  out.switches_per_sec = static_cast<double>(out.switches) / out.host_s;
+  return out;
+}
+
+struct ActorResult {
+  int rounds = 0;
+  int spawns = 0;
+  ActorPoint fibers, threads;
+  ActorPoint lifecycle_fibers, lifecycle_threads;
+  double speedup = 0;
+  bool deterministic = false;
+  bool meets_bar = false;   // fibers >= 5x threads switches/sec
+  bool comparable = false;  // both backends actually available
+};
+
+ActorResult actor_point(bool quick) {
+  ActorResult r;
+  r.rounds = quick ? 20'000 : 100'000;
+  r.spawns = quick ? 2'000 : 10'000;
+  r.comparable = sim::fibers_available();
+  // Best of two runs per backend damps host-side noise; virtual-time
+  // observables are identical across runs by construction.
+  for (int rep = 0; rep < 2; ++rep) {
+    ActorPoint fb = actor_switch_workload(sim::ActorBackend::kFibers, r.rounds);
+    if (rep == 0 || fb.switches_per_sec > r.fibers.switches_per_sec) r.fibers = fb;
+    ActorPoint th = actor_switch_workload(sim::ActorBackend::kThreads, r.rounds);
+    if (rep == 0 || th.switches_per_sec > r.threads.switches_per_sec) r.threads = th;
+  }
+  r.lifecycle_fibers =
+      actor_lifecycle_workload(sim::ActorBackend::kFibers, r.spawns);
+  r.lifecycle_threads =
+      actor_lifecycle_workload(sim::ActorBackend::kThreads, r.spawns);
+  r.speedup = r.fibers.switches_per_sec / r.threads.switches_per_sec;
+  r.deterministic = r.fibers.virtual_ns == r.threads.virtual_ns &&
+                    r.fibers.switches == r.threads.switches &&
+                    r.fibers.events == r.threads.events &&
+                    r.lifecycle_fibers.virtual_ns == r.lifecycle_threads.virtual_ns;
+  r.meets_bar = !r.comparable || r.speedup >= 5.0;
+  return r;
+}
+
+// --- cluster points: non-default fabrics -------------------------------------
+//
+// Whole-platform runs over the cluster media/transport combinations the
+// default benches do not already track as host-perf numbers: the shared
+// Ethernet segment (every frame serialises on the bus, contention events
+// dominate) and the reliable-UDP transport (per-datagram ack/retransmit
+// timers instead of TCP's stream machinery).
+
+struct ClusterPoint {
+  const char* media = "";
+  const char* transport = "";
+  int ranks = 8;
+  int particles = 64;
+  double virtual_ms = 0;
+  double host_s = 0;
+  std::uint64_t events = 0;
+  double events_per_sec = 0;
+  double sim_ms_per_host_s = 0;
+};
+
+ClusterPoint cluster_point(runtime::Media media, runtime::Transport transport,
+                           const std::vector<apps::Particle>& particles) {
+  ClusterPoint p;
+  p.media = media == runtime::Media::kEthernet ? "ethernet" : "atm";
+  p.transport = transport == runtime::Transport::kRudp ? "rudp" : "tcp";
+  p.particles = static_cast<int>(particles.size());
+  runtime::ClusterWorld w(p.ranks, media, transport);
+  const auto t0 = Clock::now();
+  const Duration d = w.run([&](mpi::Comm& c, sim::Actor& self) {
+    (void)apps::forces_ring(c, self, particles, apps::sgi_profile());
+  });
+  p.host_s = seconds_since(t0);
+  p.virtual_ms = static_cast<double>(d.ns) / 1e6;
+  p.events = w.kernel().events_executed();
+  p.events_per_sec = static_cast<double>(p.events) / p.host_s;
+  p.sim_ms_per_host_s = p.virtual_ms / p.host_s;
+  return p;
+}
+
 // --- end to end --------------------------------------------------------------
 
 struct EndToEnd {
@@ -319,13 +482,15 @@ struct EventKernelNumbers {
 void write_json(const std::string& path, bool quick,
                 const std::vector<MatchingPoint>& pts,
                 const EventKernelNumbers& ek, const SchedResult& sched,
+                const ActorResult& actors,
+                const std::vector<ClusterPoint>& cluster,
                 const EndToEnd& e2e) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "host_perf: cannot open %s\n", path.c_str());
     std::exit(1);
   }
-  std::fprintf(f, "{\n  \"schema\": \"lcmpi-host-perf-v2\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"lcmpi-host-perf-v3\",\n");
   std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
   std::fprintf(f, "  \"matching\": [\n");
   for (std::size_t i = 0; i < pts.size(); ++i) {
@@ -366,6 +531,46 @@ void write_json(const std::string& path, bool quick,
                static_cast<long long>(sched.calendar.virtual_ns),
                static_cast<long long>(sched.calendar.tcp_timer_arms),
                sched.deterministic ? "true" : "false");
+  const auto actor_side = [f](const char* name, const ActorPoint& p,
+                              const char* trailing) {
+    std::fprintf(f,
+                 "    \"%s\": {\"switches\": %llu, \"host_s\": %.3f, "
+                 "\"switches_per_sec\": %.0f, \"stacks_allocated\": %llu, "
+                 "\"stack_reuses\": %llu, \"stack_high_water\": %zu}%s\n",
+                 name, static_cast<unsigned long long>(p.switches), p.host_s,
+                 p.switches_per_sec,
+                 static_cast<unsigned long long>(p.stats.stacks_allocated),
+                 static_cast<unsigned long long>(p.stats.stack_reuses),
+                 p.stats.stack_high_water, trailing);
+  };
+  std::fprintf(f,
+               "  \"actors\": {\"workload\": \"trigger_pingpong\", "
+               "\"rounds\": %d, \"spawns\": %d,\n",
+               actors.rounds, actors.spawns);
+  actor_side("fibers", actors.fibers, ",");
+  actor_side("threads", actors.threads, ",");
+  actor_side("lifecycle_fibers", actors.lifecycle_fibers, ",");
+  actor_side("lifecycle_threads", actors.lifecycle_threads, ",");
+  std::fprintf(f,
+               "    \"speedup\": %.2f, \"virtual_ns\": %lld, "
+               "\"deterministic\": %s, \"comparable\": %s},\n",
+               actors.speedup, static_cast<long long>(actors.fibers.virtual_ns),
+               actors.deterministic ? "true" : "false",
+               actors.comparable ? "true" : "false");
+  std::fprintf(f, "  \"cluster_points\": [\n");
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    const ClusterPoint& p = cluster[i];
+    std::fprintf(f,
+                 "    {\"media\": \"%s\", \"transport\": \"%s\", "
+                 "\"ranks\": %d, \"particles\": %d, \"virtual_ms\": %.3f, "
+                 "\"host_s\": %.3f, \"events\": %llu, "
+                 "\"events_per_sec\": %.0f, \"sim_ms_per_host_s\": %.1f}%s\n",
+                 p.media, p.transport, p.ranks, p.particles, p.virtual_ms,
+                 p.host_s, static_cast<unsigned long long>(p.events),
+                 p.events_per_sec, p.sim_ms_per_host_s,
+                 i + 1 < cluster.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
   std::fprintf(f,
                "  \"end_to_end\": {\"ranks\": %d, \"solver_n\": %d, "
                "\"virtual_ms\": %.3f, \"host_s\": %.3f, "
@@ -442,14 +647,48 @@ int run(int argc, char** argv) {
               "time): %s\n",
               sched_ok ? "PASS" : "FAIL");
 
+  std::printf("\nhost_perf: actors (switch-heavy trigger ping-pong, fibers vs "
+              "threads)\n");
+  const ActorResult actors = actor_point(quick);
+  std::printf("  fibers:  %.0f switches/sec (%llu switches in %.3f s)\n",
+              actors.fibers.switches_per_sec,
+              static_cast<unsigned long long>(actors.fibers.switches),
+              actors.fibers.host_s);
+  std::printf("  threads: %.0f switches/sec (%llu switches in %.3f s)\n",
+              actors.threads.switches_per_sec,
+              static_cast<unsigned long long>(actors.threads.switches),
+              actors.threads.host_s);
+  std::printf("  speedup: %.1fx, deterministic: %s\n", actors.speedup,
+              actors.deterministic ? "yes" : "NO");
+  std::printf("  lifecycle (%d spawns), fiber backend:\n", actors.spawns);
+  mpi::actor_report(actors.lifecycle_fibers.stats).print();
+  const bool actor_ok = actors.meets_bar && actors.deterministic;
+  std::printf("actor bar (fibers >= 5x threads switches/sec, identical "
+              "virtual time): %s\n",
+              actor_ok ? "PASS" : "FAIL");
+
+  std::printf("\nhost_perf: cluster points (non-default fabrics, 8-rank "
+              "particle ring)\n");
+  const auto cluster_particles = apps::random_particles(64, 11);
+  std::vector<ClusterPoint> cluster;
+  cluster.push_back(cluster_point(runtime::Media::kEthernet,
+                                  runtime::Transport::kTcp, cluster_particles));
+  cluster.push_back(cluster_point(runtime::Media::kAtm,
+                                  runtime::Transport::kRudp, cluster_particles));
+  for (const ClusterPoint& p : cluster)
+    std::printf("  %s/%s: %.0f events/sec, %.1f sim-ms/host-s "
+                "(%.3f virtual ms in %.3f s)\n",
+                p.media, p.transport, p.events_per_sec, p.sim_ms_per_host_s,
+                p.virtual_ms, p.host_s);
+
   std::printf("\nhost_perf: end-to-end (16-rank Meiko solver, N=96)\n");
   const EndToEnd e2e = solver_end_to_end();
   std::printf("  virtual: %.3f ms, host: %.3f s -> %.1f sim-ms/host-s\n",
               e2e.virtual_ms, e2e.host_s, e2e.sim_ms_per_host_s);
 
-  write_json(out, quick, pts, ek, sched, e2e);
+  write_json(out, quick, pts, ek, sched, actors, cluster, e2e);
   std::printf("\nwrote %s\n", out.c_str());
-  return meets_bar && sched_ok ? 0 : 1;
+  return meets_bar && sched_ok && actor_ok ? 0 : 1;
 }
 
 }  // namespace

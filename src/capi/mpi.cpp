@@ -14,8 +14,12 @@ using lcmpi::mpi::Datatype;
 using lcmpi::mpi::Mode;
 using lcmpi::mpi::Op;
 
-/// Per-rank C API state. Each rank is an actor thread, so thread_local
-/// gives the classic global-feeling API per-rank semantics.
+/// Per-rank C API state. Each rank is a sim::Actor, so the state lives in
+/// the actor-local storage slot (Actor::set_local) and is found through
+/// Actor::current() — the classic global-feeling API gets per-rank
+/// semantics under every actor backend. (A plain thread_local would only
+/// work for the thread backend; under fibers every rank shares the kernel
+/// thread, so thread identity no longer distinguishes ranks.)
 struct RankState {
   std::vector<std::optional<Comm>> comms;       // handle -> communicator
   std::vector<lcmpi::mpi::Request> requests;    // handle -> request
@@ -27,11 +31,15 @@ struct RankState {
 
 constexpr MPI_Datatype kFirstDerived = 5;
 
-thread_local RankState* tls = nullptr;
+RankState* rank_state() {
+  lcmpi::sim::Actor* a = lcmpi::sim::Actor::current();
+  return a == nullptr ? nullptr : static_cast<RankState*>(a->local());
+}
 
 RankState& st() {
-  LCMPI_CHECK(tls != nullptr, "MPI C API used outside capi::run_on");
-  return *tls;
+  RankState* s = rank_state();
+  LCMPI_CHECK(s != nullptr, "MPI C API used outside capi::run_on");
+  return *s;
 }
 
 Comm& comm_of(MPI_Comm c) {
@@ -127,7 +135,8 @@ int MPI_Finalize() {
 }
 
 int MPI_Initialized(int* flag) {
-  *flag = tls != nullptr && st().initialized ? 1 : 0;
+  RankState* s = rank_state();
+  *flag = s != nullptr && s->initialized ? 1 : 0;
   return MPI_SUCCESS;
 }
 
@@ -451,17 +460,17 @@ namespace {
 
 template <typename World>
 Duration run_impl(World& world, const std::function<void()>& c_main) {
-  return world.run([&c_main](mpi::Comm& comm, sim::Actor&) {
+  return world.run([&c_main](mpi::Comm& comm, sim::Actor& actor) {
     RankState state;
     state.comms.emplace_back(std::move(comm));
-    tls = &state;
+    actor.set_local(&state);
     try {
       c_main();
     } catch (...) {
-      tls = nullptr;
+      actor.set_local(nullptr);
       throw;
     }
-    tls = nullptr;
+    actor.set_local(nullptr);
   });
 }
 

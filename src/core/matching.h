@@ -13,7 +13,9 @@
 // Host-time implementation: hash buckets keyed by (context, source) with a
 // global arrival sequence number per queue. A non-wildcard lookup touches
 // only its own bucket (O(1) expected when sources are spread); a wildcard
-// receive merge-scans just the buckets of its context in arrival order.
+// receive walks a per-context arrival-order index — one entry per arrival,
+// pointing back into the buckets — so its cost is linear in the candidates
+// it actually examines, not in the number of live source buckets.
 // The *virtual* cost stays that of the paper's linear scan: `scanned` is
 // the matched entry's rank in global arrival order among the entries still
 // queued, computed by a Fenwick order-statistic over sequence numbers —
@@ -23,6 +25,7 @@
 // equivalence on randomized workloads.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <optional>
@@ -255,8 +258,9 @@ class PostedQueue {
 
 /// FIFO of messages that arrived before a matching receive was posted,
 /// bucketed by (context, sender). A concrete-source receive looks at one
-/// bucket; a wildcard-source receive merge-scans every bucket of its
-/// context in arrival order (still skipping all other contexts).
+/// bucket; a wildcard-source receive walks the context's arrival-order
+/// index (one entry per arrival, in sequence order) instead of
+/// merge-scanning every source bucket of the context.
 class UnexpectedQueue {
  public:
   void add(fabric::ProtoMsg msg) {
@@ -265,9 +269,9 @@ class UnexpectedQueue {
     ranker_.insert_next();
     const std::uint64_t key = detail::match_key(msg.context, msg.src);
     const std::uint32_t ctx = msg.context;
-    auto [it, inserted] = buckets_.try_emplace(key);
-    if (inserted) ctx_keys_[ctx].push_back(key);
-    it->second.push_back(Stamped{std::move(msg), seq});
+    Bucket& b = buckets_[key];  // references survive rehashing
+    b.push_back(Stamped{std::move(msg), seq});
+    ctx_index_[ctx].order.push_back(IndexEntry{seq, &b});
     stats_.depth = ranker_.size();
     if (stats_.depth > stats_.max_depth) stats_.max_depth = stats_.depth;
   }
@@ -282,6 +286,7 @@ class UnexpectedQueue {
     fabric::ProtoMsg m = std::move(b[loc.index].msg);
     ranker_.erase(b[loc.index].seq);
     b.erase(b.begin() + static_cast<std::ptrdiff_t>(loc.index));
+    ++ctx_index_[ctx].stale;  // its arrival-index entry now dangles
     buffered_bytes_ -= static_cast<std::int64_t>(m.payload.size());
     stats_.depth = ranker_.size();
     return m;
@@ -320,6 +325,32 @@ class UnexpectedQueue {
     std::size_t index = 0;
   };
 
+  /// One arrival, as the per-context index saw it. Bucket pointers are
+  /// stable (unordered_map never moves its nodes); the entry goes stale —
+  /// rather than being unlinked — when the message is consumed, because
+  /// consumption happens in the bucket, which has no back-pointer here.
+  struct IndexEntry {
+    std::uint64_t seq;
+    const Bucket* bucket;
+  };
+  struct CtxIndex {
+    std::deque<IndexEntry> order;  // every arrival of the context, seq order
+    std::size_t stale = 0;         // entries whose message was consumed
+  };
+
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+  /// Position of `seq` in a bucket, or kNpos if consumed. Buckets are
+  /// seq-sorted (adds are stamped by one monotone counter), so this is a
+  /// binary search.
+  static std::size_t position_of(const Bucket& b, std::uint64_t seq) {
+    auto it = std::lower_bound(
+        b.begin(), b.end(), seq,
+        [](const Stamped& s, std::uint64_t v) { return s.seq < v; });
+    if (it == b.end() || it->seq != seq) return kNpos;
+    return static_cast<std::size_t>(it - b.begin());
+  }
+
   /// Earliest-arrival message the pattern accepts; also records the
   /// lookup's logical scan count into `scanned` and the stats.
   Location find(std::uint32_t ctx, int src, int tag, std::size_t* scanned) const {
@@ -331,31 +362,39 @@ class UnexpectedQueue {
           if (tag == kAnyTag || b[i].msg.tag == tag) return found(b, i, scanned);
         }
       }
-    } else if (auto cit = ctx_keys_.find(ctx); cit != ctx_keys_.end()) {
-      // Merge-scan every bucket of this context in arrival order. The
-      // per-bucket cursors advance monotonically, so this examines each
-      // candidate at most once (O(k) bucket-head comparisons per step; k =
-      // live sources in the context, bounded by the world size).
-      const std::vector<std::uint64_t>& keys = cit->second;
-      cursor_.assign(keys.size(), 0);
-      heads_.clear();
-      for (std::uint64_t k : keys) heads_.push_back(&buckets_.find(k)->second);
-      while (true) {
-        const Bucket* best = nullptr;
-        std::size_t best_i = 0, best_cur = 0;
-        for (std::size_t i = 0; i < heads_.size(); ++i) {
-          const Bucket& b = *heads_[i];
-          if (cursor_[i] >= b.size()) continue;
-          if (best == nullptr || b[cursor_[i]].seq < (*best)[best_cur].seq) {
-            best = &b;
-            best_i = i;
-            best_cur = cursor_[i];
+    } else if (auto cit = ctx_index_.find(ctx); cit != ctx_index_.end()) {
+      // Walk the context's arrivals oldest-first: the same candidates, in
+      // the same order, as a merge-scan over its source buckets — without
+      // paying a bucket-head comparison per live source at every step.
+      CtxIndex& ix = cit->second;
+      if (ix.stale >= 16 && ix.stale * 2 > ix.order.size()) {
+        // Consumed entries dominate: drop them in one sweep (amortized
+        // against the matches that created them), so wildcard walks stay
+        // linear in *live* entries.
+        std::deque<IndexEntry> live;
+        for (const IndexEntry& en : ix.order)
+          if (position_of(*en.bucket, en.seq) != kNpos) live.push_back(en);
+        ix.order.swap(live);
+        ix.stale = 0;
+      }
+      std::size_t pos = 0;
+      while (pos < ix.order.size()) {
+        const IndexEntry en = ix.order[pos];
+        const std::size_t bi = position_of(*en.bucket, en.seq);
+        if (bi == kNpos) {
+          // Stale. At the head it can be unlinked for good; mid-queue it
+          // is skipped until a sweep collects it.
+          if (pos == 0) {
+            ix.order.pop_front();
+            --ix.stale;
+          } else {
+            ++pos;
           }
+          continue;
         }
-        if (best == nullptr) break;
-        if (tag == kAnyTag || (*best)[best_cur].msg.tag == tag)
-          return found(*best, best_cur, scanned);
-        ++cursor_[best_i];
+        const Stamped& s = (*en.bucket)[bi];
+        if (tag == kAnyTag || s.msg.tag == tag) return found(*en.bucket, bi, scanned);
+        ++pos;
       }
     }
     note_lookup(ranker_.size(), false);
@@ -377,16 +416,13 @@ class UnexpectedQueue {
   }
 
   std::unordered_map<std::uint64_t, Bucket> buckets_;
-  // Every bucket key ever created per context (buckets persist once drained,
-  // keeping their allocation; the merge-scan cursors skip empty ones).
-  std::unordered_map<std::uint32_t, std::vector<std::uint64_t>> ctx_keys_;
+  // Per-context arrival-order index for MPI_ANY_SOURCE receives. Mutable
+  // because find() (shared by const peek) prunes stale entries in place.
+  mutable std::unordered_map<std::uint32_t, CtxIndex> ctx_index_;
   ArrivalRanker ranker_;
   std::uint64_t next_seq_ = 0;
   std::int64_t buffered_bytes_ = 0;
   mutable MatchStats stats_;  // peek() records lookups too
-  // Scratch for the wildcard merge-scan (reused to avoid per-match mallocs).
-  mutable std::vector<std::size_t> cursor_;
-  mutable std::vector<const Bucket*> heads_;
 };
 
 }  // namespace lcmpi::mpi

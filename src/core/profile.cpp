@@ -44,6 +44,17 @@ Table matching_report(const MatchStats& posted, const MatchStats& unexpected) {
   return t;
 }
 
+Table actor_report(const sim::ActorStats& s) {
+  Table t({"metric", "value"});
+  t.add_row({"switches", std::to_string(s.switches)});
+  t.add_row({"actors_spawned", std::to_string(s.actors_spawned)});
+  t.add_row({"stacks_allocated", std::to_string(s.stacks_allocated)});
+  t.add_row({"stack_reuses", std::to_string(s.stack_reuses)});
+  t.add_row({"stack_high_water", std::to_string(s.stack_high_water)});
+  t.add_row({"stack_bytes", std::to_string(s.stack_bytes)});
+  return t;
+}
+
 Table Profiler::report() const {
   Table t({"call", "count", "time_us", "bytes"});
   for (std::size_t k = 0; k < entries_.size(); ++k) {

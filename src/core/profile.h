@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "src/core/matching.h"
+#include "src/sim/kernel.h"
 #include "src/util/status.h"
 #include "src/util/table.h"
 #include "src/util/time.h"
@@ -25,6 +26,12 @@ namespace lcmpi::mpi {
 /// so the paper's cost model stays observable after the bucketed rewrite.
 [[nodiscard]] Table matching_report(const MatchStats& posted,
                                     const MatchStats& unexpected);
+
+/// Formats a kernel's actor-execution counters (Kernel::actor_stats) as a
+/// table: context switches, spawns, and — fiber backend only — stack
+/// allocations vs. pool reuses, stack high-water, and the configured stack
+/// size. These are host-side numbers; virtual time never depends on them.
+[[nodiscard]] Table actor_report(const sim::ActorStats& s);
 
 enum class CallKind : std::uint8_t {
   kSend, kRecv, kIsend, kIrecv, kWait, kTest, kProbe, kSendrecv,

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <limits>
 
+#include "src/sim/fiber.h"
 #include "src/sim/kernel_ref.h"
 
 namespace lcmpi::sim {
@@ -196,52 +197,97 @@ Event CalendarQueue::pop() {
   return ev;
 }
 
+// ------------------------------------------------- actor execution backend
+
+namespace {
+
+/// Production backend: each actor body runs on a pooled fiber stack. The
+/// Fiber is created lazily on the first resume (the kStart event), so an
+/// actor cancelled before it ever ran never allocates a stack — that is
+/// what discard_if_unstarted() exploits during teardown.
+class FiberActorContext final : public ActorContext {
+ public:
+  FiberActorContext(StackPool& pool, std::function<void()> run)
+      : pool_(pool), run_(std::move(run)) {}
+
+  void resume() override {
+    if (!fiber_)
+      fiber_ = std::make_unique<Fiber>(pool_, &FiberActorContext::entry, this);
+    fiber_->switch_in();
+  }
+
+  void yield() override { fiber_->switch_out(); }
+
+  bool discard_if_unstarted() override { return fiber_ == nullptr; }
+
+  [[nodiscard]] const char* name() const override { return "fibers"; }
+
+ private:
+  static void entry(void* self) {
+    static_cast<FiberActorContext*>(self)->run_();
+  }
+
+  StackPool& pool_;
+  std::function<void()> run_;
+  std::unique_ptr<Fiber> fiber_;
+};
+
+}  // namespace
+
+ActorBackend actor_backend_from_env() {
+  if (!fibers_available()) return ActorBackend::kThreads;
+  const char* v = std::getenv("LCMPI_ACTORS");
+  if (v != nullptr && std::strcmp(v, "threads") == 0) return ActorBackend::kThreads;
+  return ActorBackend::kFibers;
+}
+
 // ----------------------------------------------------------------- Actor
+
+namespace {
+// The actor the calling code is executing inside, nullptr on the kernel
+// side. thread_local so the two backends compose: under fibers every actor
+// shares the kernel thread and resume_from_kernel() maintains the slot
+// across switches; under threads each actor body pins its own thread's
+// slot once (run_body) and the kernel thread's copy is simply unused by
+// actor code.
+thread_local Actor* g_current_actor = nullptr;
+}  // namespace
+
+Actor* Actor::current() { return g_current_actor; }
 
 Actor::Actor(Kernel* kernel, std::string name, std::function<void(Actor&)> body)
     : kernel_(kernel), name_(std::move(name)), body_(std::move(body)) {}
 
-Actor::~Actor() {
-  if (thread_.joinable()) thread_.join();
-}
+Actor::~Actor() = default;
 
 TimePoint Actor::now() const { return kernel_->now(); }
 
-void Actor::start_thread() {
-  thread_ = std::thread([this] {
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return turn_ == Turn::kActor; });
+void Actor::run_body() {
+  g_current_actor = this;  // pins the slot for thread-backend bodies
+  if (!kernel_->cancelling_) {
+    try {
+      body_(*this);
+    } catch (const ActorCancelled&) {
+      // Kernel teardown: unwind quietly.
+    } catch (...) {
+      error_ = std::current_exception();
     }
-    if (!kernel_->cancelling_) {
-      try {
-        body_(*this);
-      } catch (const ActorCancelled&) {
-        // Kernel teardown: unwind quietly.
-      } catch (...) {
-        error_ = std::current_exception();
-      }
-    }
-    std::unique_lock<std::mutex> lock(mu_);
-    finished_ = true;
-    turn_ = Turn::kKernel;
-    cv_.notify_all();
-  });
+  }
+  finished_ = true;
 }
 
 void Actor::yield_to_kernel() {
-  std::unique_lock<std::mutex> lock(mu_);
-  turn_ = Turn::kKernel;
-  cv_.notify_all();
-  cv_.wait(lock, [this] { return turn_ == Turn::kActor; });
+  ctx_->yield();
   if (kernel_->cancelling_) throw ActorCancelled{};
 }
 
 void Actor::resume_from_kernel() {
-  std::unique_lock<std::mutex> lock(mu_);
-  turn_ = Turn::kActor;
-  cv_.notify_all();
-  cv_.wait(lock, [this] { return turn_ == Turn::kKernel; });
+  // Each resume comes back via exactly one yield (or the body finishing),
+  // so count both one-way transfers here.
+  kernel_->actor_switches_ += 2;
+  g_current_actor = this;  // fibers run on this thread; see Actor::current
+  ctx_->resume();
+  g_current_actor = nullptr;
 }
 
 void Actor::block() {
@@ -299,21 +345,61 @@ std::unique_ptr<EventQueue> make_event_queue(SchedBackend backend) {
   return std::make_unique<CalendarQueue>();
 }
 
-Kernel::Kernel() : Kernel(sched_backend_from_env()) {}
+Kernel::Kernel() : Kernel(sched_backend_from_env(), actor_backend_from_env()) {}
 
 Kernel::Kernel(SchedBackend backend)
-    : backend_(backend), queue_(make_event_queue(backend)) {}
+    : Kernel(backend, actor_backend_from_env()) {}
+
+Kernel::Kernel(ActorBackend actors)
+    : Kernel(sched_backend_from_env(), actors) {}
+
+Kernel::Kernel(SchedBackend backend, ActorBackend actors)
+    : backend_(backend),
+      actor_backend_(fibers_available() ? actors : ActorBackend::kThreads),
+      queue_(make_event_queue(backend)) {
+  if (actor_backend_ == ActorBackend::kFibers)
+    stack_pool_ = std::make_unique<StackPool>();
+}
 
 Kernel::~Kernel() { cancel_all_actors(); }
 
 void Kernel::cancel_all_actors() {
   cancelling_ = true;
   for (auto& a : actors_) {
-    if (a->finished_) continue;
-    // Resume the blocked (or never-started) actor; its blocking call throws
-    // ActorCancelled (or the start wrapper skips the body entirely).
-    a->resume_from_kernel();
+    // Resume until the body has actually finished: an actor that catches
+    // ActorCancelled and blocks again gets cancelled again, so no fiber
+    // stack stays parked and no thread stays joinable-but-waiting. An
+    // actor whose body never started is discarded outright when its
+    // backend allows (fibers: no stack exists yet); thread contexts must
+    // be resumed once so the parked thread can exit and be joined.
+    while (!a->finished_) {
+      if (!a->started_ && a->ctx_->discard_if_unstarted()) {
+        a->finished_ = true;
+        break;
+      }
+      a->resume_from_kernel();
+    }
   }
+}
+
+ActorStats Kernel::actor_stats() const {
+  ActorStats s;
+  s.switches = actor_switches_;
+  s.actors_spawned = actors_spawned_;
+  if (stack_pool_ != nullptr) {
+    const StackPoolStats& p = stack_pool_->stats();
+    s.stacks_allocated = p.allocated;
+    s.stack_reuses = p.reused;
+    s.stack_high_water = p.high_water;
+    s.stack_bytes = p.stack_bytes;
+  }
+  return s;
+}
+
+std::unique_ptr<ActorContext> Kernel::make_actor_context(Actor* a) {
+  if (actor_backend_ == ActorBackend::kFibers)
+    return std::make_unique<FiberActorContext>(*stack_pool_, [a] { a->run_body(); });
+  return std::make_unique<ThreadActorContext>([a] { a->run_body(); });
 }
 
 std::uint32_t Kernel::borrow_cell() {
@@ -385,7 +471,8 @@ EventHandle Kernel::schedule_wake_at(TimePoint t, Actor* a, std::uint64_t epoch,
 Actor& Kernel::spawn(std::string name, std::function<void(Actor&)> body) {
   actors_.push_back(std::unique_ptr<Actor>(new Actor(this, std::move(name), std::move(body))));
   Actor* a = actors_.back().get();
-  a->start_thread();
+  a->ctx_ = make_actor_context(a);
+  ++actors_spawned_;
   Event ev;
   ev.time = now_;
   ev.kind = Event::Kind::kStart;

@@ -8,11 +8,22 @@
 //  * actors — sequential "processes" (one per MPI rank, one per modelled
 //    co-processor loop) that may block on virtual time or on Triggers.
 //
-// Actors are real std::threads, but the kernel enforces that exactly one of
-// {kernel, some actor} runs at any instant, handing control back and forth
-// with a per-actor mutex/condvar pair. That makes the whole simulation
+// The kernel enforces that exactly one of {kernel, some actor} runs at any
+// instant, handing control back and forth. That makes the whole simulation
 // single-threaded in effect: deterministic, race-free on shared state, and
 // repeatable event order (ties broken by insertion sequence).
+//
+// *How* control transfers is pluggable (ActorContext / ActorBackend): the
+// production backend runs each actor as a stackful fiber (src/sim/fiber.h)
+// — a user-space coroutine switched in a few dozen instructions — while
+// the original std::thread + mutex/condvar turn-taking handoff survives
+// verbatim as ThreadActorContext in kernel_ref.h, the executable reference
+// (selectable via LCMPI_ACTORS=threads or a Kernel constructor argument).
+// Both backends make the identical scheduling decisions — which actor
+// starts, yields, or wakes, and in what order, is decided entirely by the
+// kernel's event queue — so every virtual-time observable is bit-identical
+// across them (pinned by tests/actor_backend_test.cpp and the golden
+// figures); only the host-time cost of a switch differs (~10-100x).
 //
 // Deadlock detection falls out naturally: if the event queue drains while
 // actors are still blocked, no future wakeup can exist, and the kernel
@@ -38,14 +49,11 @@
 // identical regardless of backend.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "src/util/status.h"
@@ -55,6 +63,7 @@ namespace lcmpi::sim {
 
 class Kernel;
 class Actor;
+class StackPool;  // src/sim/fiber.h
 
 /// Thrown by Kernel::run when every remaining actor is blocked and the event
 /// queue is empty (no wakeup can ever arrive).
@@ -71,9 +80,59 @@ class SimTimeLimit : public std::runtime_error {
   explicit SimTimeLimit(std::string what) : std::runtime_error(std::move(what)) {}
 };
 
-/// Thrown inside actor blocking calls when the kernel is tearing down; the
-/// actor wrapper swallows it so threads can be joined.
+/// Thrown inside actor blocking calls when the kernel is tearing down; it
+/// unwinds the actor's stack (running destructors of locals parked in
+/// Mailbox::pop and friends) and the actor body wrapper swallows it so
+/// fiber stacks can be recycled and threads joined.
 class ActorCancelled {};
+
+// ------------------------------------------------------- actor execution
+
+/// Which execution mechanism actors use. Fibers (stackful user-space
+/// coroutines, src/sim/fiber.h) are the production default; threads is the
+/// original std::thread + mutex/condvar handoff, retained in kernel_ref.h
+/// as the executable reference.
+enum class ActorBackend : std::uint8_t { kFibers, kThreads };
+
+/// Backend selection from the environment: LCMPI_ACTORS=fibers|threads
+/// (unset or anything else ⇒ fibers; targets with no fiber implementation
+/// always get threads). Read at every Kernel construction, so tests and
+/// CI can flip backends per-world without code changes.
+ActorBackend actor_backend_from_env();
+
+/// Host-side counters for actor execution (host_perf and tests; virtual
+/// time is unaffected by any of this). Switches count one-way transfers —
+/// each kernel→actor resume and each actor→kernel yield is one switch —
+/// and are backend-invariant; the stack fields are fiber-backend-only.
+struct ActorStats {
+  std::uint64_t switches = 0;         // one-way kernel<->actor transfers
+  std::uint64_t actors_spawned = 0;
+  std::uint64_t stacks_allocated = 0; // fresh fiber stacks mmap'd
+  std::uint64_t stack_reuses = 0;     // fiber stacks recycled from the pool
+  std::size_t stack_high_water = 0;   // deepest observed fiber stack use
+  std::size_t stack_bytes = 0;        // configured usable fiber stack size
+};
+
+/// The execution mechanism of one actor: how its body gets a stack and how
+/// control transfers between the kernel and that stack. Exactly one side
+/// runs at a time; resume() is called on the kernel side only, yield() on
+/// the actor side only. Implementations: the fiber context (kernel.cpp)
+/// and ThreadActorContext (kernel_ref.h).
+class ActorContext {
+ public:
+  virtual ~ActorContext() = default;
+  /// Runs or resumes the actor body; returns when it yields or finishes.
+  virtual void resume() = 0;
+  /// Suspends the actor body; returns when the kernel next resumes it.
+  virtual void yield() = 0;
+  /// Teardown fast path: if the body never started and this context can
+  /// discard it without ever running it (fibers: nothing is parked on a
+  /// stack yet), do so and return true. Thread contexts must return false
+  /// — a parked thread has to be resumed once so it can exit and be
+  /// joined.
+  virtual bool discard_if_unstarted() { return false; }
+  [[nodiscard]] virtual const char* name() const = 0;
+};
 
 /// A waitable condition with condition-variable semantics (no memory): a
 /// notify wakes currently blocked waiters only. Blocked actors re-check
@@ -147,16 +206,35 @@ class Actor {
 
   [[nodiscard]] bool finished() const { return finished_; }
 
+  /// The actor whose body the calling code is running inside, or nullptr
+  /// on the kernel side. Valid under every backend: fibers share the
+  /// kernel thread, so the kernel maintains this across switches; a thread
+  /// backend actor sets it once on its own thread.
+  [[nodiscard]] static Actor* current();
+
+  /// Actor-local storage (one slot, like pthread_setspecific for simulated
+  /// processes): ambient per-rank state for layers like the C API whose
+  /// functions take no context argument. Plain thread_local is wrong for
+  /// that purpose under the fiber backend — every fiber would share the
+  /// kernel thread's slot — so such layers key off Actor::current()
+  /// instead. The actor does not own the pointee.
+  void set_local(void* p) { local_ = p; }
+  [[nodiscard]] void* local() const { return local_; }
+
  private:
   friend class Kernel;
   friend class Trigger;
 
   Actor(Kernel* kernel, std::string name, std::function<void(Actor&)> body);
-  void start_thread();
 
-  // Control transfer (called on the actor thread).
+  /// The body wrapper every backend runs on the actor's own stack: skips
+  /// the body if the kernel is already cancelling, swallows ActorCancelled
+  /// (teardown unwind), captures anything else for the kernel to rethrow.
+  void run_body();
+
+  // Control transfer (called on the actor side).
   void yield_to_kernel();
-  // Control transfer (called on the kernel thread).
+  // Control transfer (called on the kernel side).
   void resume_from_kernel();
 
   // Blocks the actor; a wake is delivered by Kernel::wake(this, epoch).
@@ -165,15 +243,12 @@ class Actor {
   Kernel* kernel_;
   std::string name_;
   std::function<void(Actor&)> body_;
+  std::unique_ptr<ActorContext> ctx_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  enum class Turn { kKernel, kActor };
-  Turn turn_ = Turn::kKernel;
   bool started_ = false;
   bool finished_ = false;
   std::exception_ptr error_;
-  std::thread thread_;
+  void* local_ = nullptr;  // actor-local storage slot
 
   // Wakeup bookkeeping (touched only under cooperative scheduling).
   std::uint64_t wake_epoch_ = 0;  // incremented on every block()
@@ -309,9 +384,12 @@ std::unique_ptr<EventQueue> make_event_queue(SchedBackend backend);
 
 class Kernel {
  public:
-  /// Backend comes from LCMPI_SCHED (default: calendar queue).
+  /// Backends come from the environment: LCMPI_SCHED (default: calendar
+  /// queue) and LCMPI_ACTORS (default: fibers).
   Kernel();
   explicit Kernel(SchedBackend backend);
+  explicit Kernel(ActorBackend actors);
+  Kernel(SchedBackend backend, ActorBackend actors);
   Kernel(const Kernel&) = delete;
   Kernel& operator=(const Kernel&) = delete;
   ~Kernel();
@@ -342,6 +420,13 @@ class Kernel {
   [[nodiscard]] SchedBackend backend() const { return backend_; }
   [[nodiscard]] const char* scheduler_name() const { return queue_->name(); }
   [[nodiscard]] std::size_t pending_events() const { return queue_->size(); }
+  [[nodiscard]] ActorBackend actor_backend() const { return actor_backend_; }
+  [[nodiscard]] const char* actor_backend_name() const {
+    return actor_backend_ == ActorBackend::kFibers ? "fibers" : "threads";
+  }
+  /// Context-switch / actor-lifecycle counters (merges the fiber stack
+  /// pool's numbers when that backend is active).
+  [[nodiscard]] ActorStats actor_stats() const;
 
  private:
   friend class Actor;
@@ -372,16 +457,23 @@ class Kernel {
   void drain_one_step(bool& made_progress);
   void cancel_all_actors();
 
+  /// Constructs the ActorContext for a newly spawned actor.
+  std::unique_ptr<ActorContext> make_actor_context(Actor* a);
+
   TimePoint now_{};
   TimePoint time_limit_ = TimePoint::max();
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
   SchedBackend backend_;
+  ActorBackend actor_backend_;
   std::unique_ptr<EventQueue> queue_;
+  std::unique_ptr<StackPool> stack_pool_;  // fiber backend only
   std::vector<CancelCell> cells_;
   std::vector<std::uint32_t> free_cells_;
   std::shared_ptr<const bool> alive_ = std::make_shared<const bool>(true);
   std::vector<std::unique_ptr<Actor>> actors_;
+  std::uint64_t actor_switches_ = 0;
+  std::uint64_t actors_spawned_ = 0;
   bool cancelling_ = false;
   bool running_ = false;
 };

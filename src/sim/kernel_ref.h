@@ -1,7 +1,8 @@
-// Reference heap event queue — the executable specification of scheduling.
+// Reference backends — the executable specifications the fast paths are
+// differentially tested against.
 //
-// This is the original binary-heap-over-vector event list of sim::Kernel,
-// retained verbatim (as HeapEventQueue) after the calendar-queue rewrite in
+// HeapEventQueue is the original binary-heap-over-vector event list of
+// sim::Kernel, retained verbatim after the calendar-queue rewrite in
 // kernel.h/kernel.cpp. It defines the semantics the fast path must
 // reproduce *exactly*: events pop in strictly increasing (time, seq) order,
 // seq being the kernel-assigned insertion sequence number — the FIFO
@@ -10,13 +11,27 @@
 // schedule, and therefore produce bit-identical virtual times; the golden
 // figures in EXPERIMENTS.md are pinned against this property.
 //
+// ThreadActorContext is, likewise, the original actor execution mechanism
+// — one std::thread per actor with a mutex/condvar turn-taking handoff —
+// retained verbatim after the stackful-fiber rewrite (src/sim/fiber.h).
+// Which side runs is a pure function of the kernel's event order, so both
+// actor backends produce bit-identical virtual-time behaviour; only the
+// host-time cost of a switch differs.
+//
 // Used by tests/sched_property_test.cpp (randomized differential
 // equivalence), tests/sched_fuzz_test.cpp (EventHandle lifecycle parity),
-// bench/host_perf (the events/sec baseline), and selectable at runtime via
-// LCMPI_SCHED=heap or Kernel(SchedBackend::kHeap).
+// tests/actor_backend_test.cpp (actor order/cancellation parity),
+// bench/host_perf (the events/sec and switches/sec baselines), and
+// selectable at runtime via LCMPI_SCHED=heap / LCMPI_ACTORS=threads or the
+// Kernel backend constructors.
 #pragma once
 
 #include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "src/sim/kernel.h"
@@ -49,6 +64,59 @@ class HeapEventQueue final : public EventQueue {
 
  private:
   std::vector<Event> heap_;
+};
+
+/// Reference actor backend: a dedicated OS thread per actor, with a
+/// mutex/condvar "turn" token enforcing that exactly one of {kernel,
+/// actor} runs at a time. This is the pre-fiber implementation, verbatim;
+/// every switch costs two futex round trips, which is precisely the
+/// overhead the fiber backend removes. The thread is started parked
+/// (waiting for the first resume) and joined by the destructor — the
+/// kernel guarantees the body has finished (Kernel::cancel_all_actors)
+/// before any Actor is destroyed, so the join never blocks.
+class ThreadActorContext final : public ActorContext {
+ public:
+  explicit ThreadActorContext(std::function<void()> run) : run_(std::move(run)) {
+    thread_ = std::thread([this] {
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return turn_ == Turn::kActor; });
+      }
+      run_();
+      std::unique_lock<std::mutex> lock(mu_);
+      turn_ = Turn::kKernel;
+      cv_.notify_all();
+    });
+  }
+
+  ~ThreadActorContext() override {
+    if (thread_.joinable()) thread_.join();
+  }
+
+  void resume() override {
+    std::unique_lock<std::mutex> lock(mu_);
+    turn_ = Turn::kActor;
+    cv_.notify_all();
+    cv_.wait(lock, [this] { return turn_ == Turn::kKernel; });
+  }
+
+  void yield() override {
+    std::unique_lock<std::mutex> lock(mu_);
+    turn_ = Turn::kKernel;
+    cv_.notify_all();
+    cv_.wait(lock, [this] { return turn_ == Turn::kActor; });
+  }
+
+  [[nodiscard]] const char* name() const override { return "threads"; }
+
+ private:
+  enum class Turn : std::uint8_t { kKernel, kActor };
+
+  std::function<void()> run_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  Turn turn_ = Turn::kKernel;
+  std::thread thread_;
 };
 
 }  // namespace lcmpi::sim

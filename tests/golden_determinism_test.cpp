@@ -33,27 +33,42 @@
 namespace lcmpi {
 namespace {
 
-/// Forces a scheduler backend for every Kernel constructed in scope.
-class ScopedSchedBackend {
+/// Forces one environment variable for every Kernel constructed in scope.
+class ScopedEnv {
  public:
-  explicit ScopedSchedBackend(const char* backend) {
-    const char* old = std::getenv("LCMPI_SCHED");
+  ScopedEnv(const char* var, const char* value) : var_(var) {
+    const char* old = std::getenv(var);
     if (old != nullptr) saved_ = old;
     had_ = old != nullptr;
-    ::setenv("LCMPI_SCHED", backend, /*overwrite=*/1);
+    ::setenv(var, value, /*overwrite=*/1);
   }
-  ~ScopedSchedBackend() {
+  ~ScopedEnv() {
     if (had_)
-      ::setenv("LCMPI_SCHED", saved_.c_str(), 1);
+      ::setenv(var_, saved_.c_str(), 1);
     else
-      ::unsetenv("LCMPI_SCHED");
+      ::unsetenv(var_);
   }
-  ScopedSchedBackend(const ScopedSchedBackend&) = delete;
-  ScopedSchedBackend& operator=(const ScopedSchedBackend&) = delete;
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
 
  private:
+  const char* var_;
   std::string saved_;
   bool had_ = false;
+};
+
+/// Forces a scheduler backend (LCMPI_SCHED=calendar|heap) in scope.
+class ScopedSchedBackend : public ScopedEnv {
+ public:
+  explicit ScopedSchedBackend(const char* backend)
+      : ScopedEnv("LCMPI_SCHED", backend) {}
+};
+
+/// Forces an actor backend (LCMPI_ACTORS=fibers|threads) in scope.
+class ScopedActorBackend : public ScopedEnv {
+ public:
+  explicit ScopedActorBackend(const char* backend)
+      : ScopedEnv("LCMPI_ACTORS", backend) {}
 };
 
 /// Steady-state ping-pong: one warm-up round trip, then kIters timed round
@@ -299,6 +314,43 @@ TEST(GoldenDeterminismTest, KeyFiguresIdenticalUnderHeapReference) {
     EXPECT_EQ(fig4_tcp_rtt_ns(64), 9035936) << "fig4 tcp 64B under " << backend;
     EXPECT_EQ(fig6_raw_tcp_stream_ns(runtime::Media::kAtm, 4096), 2401037)
         << "fig6 raw atm 4096B under " << backend;
+  }
+}
+
+TEST(GoldenDeterminismTest, KeyFiguresIdenticalAcrossActorAndSchedBackends) {
+  // The full backend cross-product — {fiber, thread} actors × {calendar,
+  // heap} scheduler — re-checked against the pinned constants. The actor
+  // backend decides only *how* control transfers to an actor, never *which*
+  // actor runs next, so every figure must be invariant across all four
+  // combinations.
+  for (const char* actors : {"fibers", "threads"}) {
+    ScopedActorBackend actor_scope(actors);
+    for (const char* sched : {"calendar", "heap"}) {
+      ScopedSchedBackend sched_scope(sched);
+      {
+        runtime::MeikoWorld w(2);
+        EXPECT_EQ((pingpong_ns<runtime::MeikoWorld, mpi::Comm>(w, 64, 10)),
+                  1173080) << "fig2 64B under " << actors << "/" << sched;
+      }
+      {
+        runtime::ClusterWorld w(2, runtime::Media::kAtm,
+                                runtime::Transport::kTcp);
+        EXPECT_EQ((pingpong_ns<runtime::ClusterWorld, mpi::Comm>(w, 1024, 4)),
+                  7891528) << "fig5 1024B under " << actors << "/" << sched;
+      }
+      EXPECT_EQ(fig4_tcp_rtt_ns(64), 9035936)
+          << "fig4 tcp 64B under " << actors << "/" << sched;
+      EXPECT_EQ(fig6_raw_tcp_stream_ns(runtime::Media::kAtm, 4096), 2401037)
+          << "fig6 raw atm 4096B under " << actors << "/" << sched;
+    }
+    // One solver point per actor backend: exercises collectives and the
+    // C API-free MPI path with many concurrent ranks.
+    runtime::MeikoWorld w(4);
+    const Duration d = w.run([&](mpi::Comm& c, sim::Actor& self) {
+      (void)apps::solve_parallel(c, self, apps::LinearSystem::random(96, 42),
+                                 apps::sparc_profile());
+    });
+    EXPECT_EQ(d.ns, 28801624) << "fig7 p=4 under " << actors;
   }
 }
 

@@ -197,6 +197,41 @@ TEST(MatchingPropertyTest, UnexpectedQueueSingleContextChurn) {
   run_unexpected_workload(cfg);
 }
 
+TEST(MatchingPropertyTest, UnexpectedQueueWildcardSourceChurn) {
+  // MPI_ANY_SOURCE-dominated consumption in one context: nearly every
+  // match retires an arrival-index entry, driving the index's stale
+  // counting, lazy front-pops, and periodic sweep-rebuild. The linear
+  // reference has no index at all, so any bookkeeping slip shows up as a
+  // result or `scanned` divergence.
+  WorkloadCfg cfg;
+  cfg.seed = 31;
+  cfg.ops = 30000;
+  cfg.nctx = 1;
+  cfg.nsrc = 12;
+  cfg.ntag = 2;
+  cfg.p_wild_src = 0.9;
+  cfg.p_wild_tag = 0.3;
+  run_unexpected_workload(cfg);
+}
+
+TEST(MatchingPropertyTest, UnexpectedQueueMixedWildcardAndDirectedChurn) {
+  // Directed matches retire entries *out of arrival order*, leaving stale
+  // holes in the middle of each context's index (exercising the mid-scan
+  // skip path rather than the front-pop fast path); wildcard matches then
+  // have to step over them.
+  for (std::uint64_t seed = 41; seed <= 44; ++seed) {
+    WorkloadCfg cfg;
+    cfg.seed = seed;
+    cfg.ops = 12000;
+    cfg.nctx = 3;
+    cfg.nsrc = 10;
+    cfg.ntag = 3;
+    cfg.p_wild_src = 0.45;
+    cfg.p_wild_tag = 0.4;
+    run_unexpected_workload(cfg);
+  }
+}
+
 TEST(MatchingPropertyTest, StatsTrackDepthAndScans) {
   PostedQueue q;
   q.post({1, 0, 1, 10});

@@ -84,6 +84,28 @@ TEST(ProfileTest, CommunicationTimeExcludesCompute) {
   EXPECT_GT(prof.total_time().ns, 0);
 }
 
+TEST(ProfileTest, ActorReportFormatsKernelCounters) {
+  sim::Kernel k;
+  k.spawn("a", [](sim::Actor& self) { self.advance(microseconds(1)); });
+  k.spawn("b", [](sim::Actor& self) { self.advance(microseconds(2)); });
+  k.run();
+  const sim::ActorStats s = k.actor_stats();
+  EXPECT_EQ(s.actors_spawned, 2u);
+  // Per actor: one start resume + one wakeup resume, 2 one-way switches
+  // each — identical under either backend.
+  EXPECT_EQ(s.switches, 8u);
+  Table t = actor_report(s);
+  EXPECT_EQ(t.rows(), 6u);
+  if (k.actor_backend() == sim::ActorBackend::kFibers) {
+    EXPECT_EQ(s.stacks_allocated + s.stack_reuses, 2u);
+    EXPECT_GT(s.stack_high_water, 0u);
+    EXPECT_GT(s.stack_bytes, 0u);
+  } else {
+    EXPECT_EQ(s.stacks_allocated, 0u);
+    EXPECT_EQ(s.stack_bytes, 0u);
+  }
+}
+
 TEST(ProfileTest, ReportListsNonEmptyRowsOnly) {
   Profiler p;
   p.record(CallKind::kSend, microseconds(10), 64);

@@ -4,6 +4,7 @@
 #include "src/atmnet/atm.h"
 #include "src/atmnet/ethernet.h"
 #include "src/meiko/machine.h"
+#include "src/sim/fiber.h"
 #include "src/sim/mailbox.h"
 #include "src/sim/server.h"
 
@@ -63,6 +64,70 @@ TEST(SimEdgeTest, ActorFinishingWithoutBlockingIsClean) {
   k.run();
   EXPECT_EQ(order, 1);
   EXPECT_EQ(k.live_actor_count(), 0u);
+}
+
+// ------------------------------------------------------ kernel teardown
+// Destroying a kernel mid-run must tear every actor down deterministically
+// under either actor backend: blocked actors unwind via ActorCancelled,
+// never-started actors are discarded, and — the hard case — an actor that
+// *catches* the cancellation and blocks again is cancelled again until its
+// body actually exits (no leaked fiber stack, no unjoined thread).
+
+void run_teardown_midway(sim::ActorBackend backend) {
+  int stubborn_catches = 0;
+  bool unwound = false;
+  bool late_ran = false;
+  {
+    sim::Kernel k(backend);
+    sim::Trigger never;
+    sim::Mailbox<int> mb;
+    k.spawn("stubborn", [&](sim::Actor& self) {
+      try {
+        (void)mb.pop(self);
+      } catch (const sim::ActorCancelled&) {
+        ++stubborn_catches;
+        self.wait(never);  // re-blocks during teardown: must be re-cancelled
+      }
+    });
+    k.spawn("plain", [&](sim::Actor& self) {
+      struct Sentinel {
+        bool* flag;
+        ~Sentinel() { *flag = true; }
+      } s{&unwound};
+      self.wait(never);
+    });
+    k.schedule(microseconds(1), [] {});
+    k.run_until(TimePoint{microseconds(1).ns});
+    // "late" is spawned but its start event never fires before teardown.
+    k.spawn("late", [&](sim::Actor&) { late_ran = true; });
+  }
+  EXPECT_EQ(stubborn_catches, 1);
+  EXPECT_TRUE(unwound);
+  EXPECT_FALSE(late_ran);
+}
+
+TEST(SimEdgeTest, TeardownMidRunCancelsActorsUnderFibers) {
+  if (!sim::fibers_available()) GTEST_SKIP() << "no fiber backend";
+  run_teardown_midway(sim::ActorBackend::kFibers);
+}
+
+TEST(SimEdgeTest, TeardownMidRunCancelsActorsUnderThreads) {
+  run_teardown_midway(sim::ActorBackend::kThreads);
+}
+
+TEST(SimEdgeTest, TeardownWithoutRunDiscardsAllActors) {
+  for (const sim::ActorBackend backend :
+       {sim::ActorBackend::kFibers, sim::ActorBackend::kThreads}) {
+    if (backend == sim::ActorBackend::kFibers && !sim::fibers_available())
+      continue;
+    bool ran = false;
+    {
+      sim::Kernel k(backend);
+      for (int i = 0; i < 4; ++i)
+        k.spawn("unstarted", [&](sim::Actor&) { ran = true; });
+    }
+    EXPECT_FALSE(ran);
+  }
 }
 
 TEST(MeikoEdgeTest, BroadcastPayloadChargesPerByteOnSourceElan) {
