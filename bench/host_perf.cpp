@@ -12,7 +12,7 @@
 //   --quick  ~10x fewer iterations (CI smoke mode)
 //   --out    JSON output path (default: BENCH_host.json in the cwd)
 //
-// JSON schema (lcmpi-host-perf-v3):
+// JSON schema (lcmpi-host-perf-v4):
 //   matching[]   — ns/match for bucketed vs linear posted + unexpected
 //                  queues at several steady-state depths, with speedups
 //   event_kernel — callback-event dispatch and timer borrow/cancel/release
@@ -32,12 +32,20 @@
 //   cluster_points[] — whole-cluster runs on the non-default fabrics
 //                  (Ethernet media, RUDP transport): events and virtual ms
 //                  simulated per host second
+//   threads_world — REAL execution numbers (wall clock, not virtual):
+//                  SPSC-ring vs mutex/condvar channel throughput and
+//                  ping-pong between two OS threads, plus a 2-rank MPI
+//                  ping-pong over ThreadsWorld/ShmFabric. The process
+//                  exits nonzero if the ring delivers < 5x the mutex
+//                  channel's msgs/sec.
 //   end_to_end   — 16-rank Meiko solver: virtual ms simulated per host s
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/apps/particles.h"
@@ -52,6 +60,7 @@
 #include "src/sim/fiber.h"
 #include "src/sim/kernel.h"
 #include "src/util/rng.h"
+#include "src/util/spsc_ring.h"
 
 namespace lcmpi::bench {
 namespace {
@@ -448,6 +457,155 @@ ClusterPoint cluster_point(runtime::Media media, runtime::Transport transport,
   return p;
 }
 
+// --- threads world: real execution over the SPSC-ring fabric -----------------
+//
+// Everything above measures the simulator; this section measures the one
+// backend that is not a simulation. Two channel microbenchmarks compare the
+// lock-free SPSC ring against the in-tree mutex/condvar reference under the
+// identical two-thread workloads — one-way streaming throughput (the ring's
+// design target: a burst of eager envelopes) and request/response ping-pong
+// (the latency shape MPI blocking calls produce). A third point runs a real
+// 2-rank MPI ping-pong through ThreadsWorld, so protocol cost (matching,
+// credits, parking) is included, not just raw slot transfer. Failed spins
+// yield rather than burn the timeslice: on single-CPU hosts the other side
+// needs the core to make progress at all.
+
+struct ThreadsWorldResult {
+  std::uint64_t channel_items = 0, pingpong_rounds = 0, mpi_rounds = 0;
+  double ring_msgs_per_sec = 0, mutex_msgs_per_sec = 0;
+  double ring_rt_per_sec = 0, mutex_rt_per_sec = 0;
+  double throughput_speedup = 0, pingpong_speedup = 0;
+  double mpi_usec_per_rtt = 0, mpi_msgs_per_sec = 0;
+  fabric::ShmFabric::Stats mpi_stats;
+  bool meets_bar = false;  // ring >= 5x mutex msgs/sec
+};
+
+double ring_throughput(std::uint64_t items) {
+  util::SpscRing<std::uint64_t> ring(1024);
+  const auto t0 = Clock::now();
+  std::thread consumer([&ring, items] {
+    std::uint64_t got = 0, acc = 0;
+    while (got < items) {
+      if (auto v = ring.try_pop()) {
+        acc += *v;
+        ++got;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+    g_sink += static_cast<std::size_t>(acc);
+  });
+  for (std::uint64_t i = 0; i < items; ++i) {
+    std::uint64_t v = i;
+    while (!ring.try_push(std::move(v))) std::this_thread::yield();
+  }
+  consumer.join();
+  return static_cast<double>(items) / seconds_since(t0);
+}
+
+double mutex_throughput(std::uint64_t items) {
+  util::MutexChannel<std::uint64_t> ch(1024);
+  const auto forever = Clock::now() + std::chrono::minutes(10);
+  const auto t0 = Clock::now();
+  std::thread consumer([&ch, items, forever] {
+    std::uint64_t got = 0, acc = 0;
+    while (got < items) {
+      if (auto v = ch.pop_until(forever)) {
+        acc += *v;
+        ++got;
+      }
+    }
+    g_sink += static_cast<std::size_t>(acc);
+  });
+  for (std::uint64_t i = 0; i < items; ++i) {
+    std::uint64_t v = i;
+    ch.push_until(v, forever);
+  }
+  consumer.join();
+  return static_cast<double>(items) / seconds_since(t0);
+}
+
+double ring_pingpong(std::uint64_t rounds) {
+  util::SpscRing<std::uint64_t> req(16), rsp(16);
+  const auto t0 = Clock::now();
+  std::thread echo([&req, &rsp, rounds] {
+    for (std::uint64_t i = 0; i < rounds; ++i) {
+      std::optional<std::uint64_t> v;
+      while (!(v = req.try_pop())) std::this_thread::yield();
+      while (!rsp.try_push(std::move(*v))) std::this_thread::yield();
+    }
+  });
+  for (std::uint64_t i = 0; i < rounds; ++i) {
+    std::uint64_t v = i;
+    while (!req.try_push(std::move(v))) std::this_thread::yield();
+    std::optional<std::uint64_t> r;
+    while (!(r = rsp.try_pop())) std::this_thread::yield();
+    g_sink += static_cast<std::size_t>(*r & 1);
+  }
+  echo.join();
+  return static_cast<double>(rounds) / seconds_since(t0);
+}
+
+double mutex_pingpong(std::uint64_t rounds) {
+  util::MutexChannel<std::uint64_t> req(16), rsp(16);
+  const auto forever = Clock::now() + std::chrono::minutes(10);
+  const auto t0 = Clock::now();
+  std::thread echo([&req, &rsp, rounds, forever] {
+    for (std::uint64_t i = 0; i < rounds; ++i) {
+      auto v = req.pop_until(forever);
+      rsp.push_until(*v, forever);
+    }
+  });
+  for (std::uint64_t i = 0; i < rounds; ++i) {
+    std::uint64_t v = i;
+    req.push_until(v, forever);
+    auto r = rsp.pop_until(forever);
+    g_sink += static_cast<std::size_t>(*r & 1);
+  }
+  echo.join();
+  return static_cast<double>(rounds) / seconds_since(t0);
+}
+
+ThreadsWorldResult threads_world_point(bool quick) {
+  ThreadsWorldResult r;
+  r.channel_items = quick ? 200'000 : 2'000'000;
+  r.pingpong_rounds = quick ? 20'000 : 200'000;
+  r.mpi_rounds = quick ? 1'000 : 10'000;
+  // Best of two runs damps scheduler noise on shared hosts.
+  for (int rep = 0; rep < 2; ++rep) {
+    r.ring_msgs_per_sec = std::max(r.ring_msgs_per_sec, ring_throughput(r.channel_items));
+    r.mutex_msgs_per_sec =
+        std::max(r.mutex_msgs_per_sec, mutex_throughput(r.channel_items));
+    r.ring_rt_per_sec = std::max(r.ring_rt_per_sec, ring_pingpong(r.pingpong_rounds));
+    r.mutex_rt_per_sec =
+        std::max(r.mutex_rt_per_sec, mutex_pingpong(r.pingpong_rounds));
+  }
+  r.throughput_speedup = r.ring_msgs_per_sec / r.mutex_msgs_per_sec;
+  r.pingpong_speedup = r.ring_rt_per_sec / r.mutex_rt_per_sec;
+
+  const std::uint64_t rounds = r.mpi_rounds;
+  runtime::ThreadsWorld world(2);
+  const Duration wall = world.run([rounds](mpi::Comm& c, sim::Actor&) {
+    const auto byte = mpi::Datatype::byte_type();
+    unsigned char buf[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+    for (std::uint64_t i = 0; i < rounds; ++i) {
+      if (c.rank() == 0) {
+        c.send(buf, sizeof buf, byte, 1, 1);
+        c.recv(buf, sizeof buf, byte, 1, 2);
+      } else {
+        c.recv(buf, sizeof buf, byte, 0, 1);
+        c.send(buf, sizeof buf, byte, 0, 2);
+      }
+    }
+  });
+  r.mpi_usec_per_rtt = static_cast<double>(wall.ns) / 1e3 / static_cast<double>(rounds);
+  r.mpi_msgs_per_sec =
+      static_cast<double>(2 * rounds) / (static_cast<double>(wall.ns) / 1e9);
+  r.mpi_stats = world.fabric().stats();
+  r.meets_bar = r.throughput_speedup >= 5.0;
+  return r;
+}
+
 // --- end to end --------------------------------------------------------------
 
 struct EndToEnd {
@@ -484,13 +642,13 @@ void write_json(const std::string& path, bool quick,
                 const EventKernelNumbers& ek, const SchedResult& sched,
                 const ActorResult& actors,
                 const std::vector<ClusterPoint>& cluster,
-                const EndToEnd& e2e) {
+                const ThreadsWorldResult& tw, const EndToEnd& e2e) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "host_perf: cannot open %s\n", path.c_str());
     std::exit(1);
   }
-  std::fprintf(f, "{\n  \"schema\": \"lcmpi-host-perf-v3\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"lcmpi-host-perf-v4\",\n");
   std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
   std::fprintf(f, "  \"matching\": [\n");
   for (std::size_t i = 0; i < pts.size(); ++i) {
@@ -571,6 +729,25 @@ void write_json(const std::string& path, bool quick,
                  i + 1 < cluster.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"threads_world\": {\"channel_items\": %llu, "
+               "\"pingpong_rounds\": %llu, \"mpi_rounds\": %llu,\n"
+               "    \"ring_msgs_per_sec\": %.0f, \"mutex_msgs_per_sec\": %.0f, "
+               "\"throughput_speedup\": %.2f,\n"
+               "    \"ring_roundtrips_per_sec\": %.0f, "
+               "\"mutex_roundtrips_per_sec\": %.0f, \"pingpong_speedup\": %.2f,\n"
+               "    \"mpi_usec_per_rtt\": %.2f, \"mpi_msgs_per_sec\": %.0f, "
+               "\"fabric_messages\": %llu, \"fabric_full_parks\": %llu, "
+               "\"fabric_idle_parks\": %llu},\n",
+               static_cast<unsigned long long>(tw.channel_items),
+               static_cast<unsigned long long>(tw.pingpong_rounds),
+               static_cast<unsigned long long>(tw.mpi_rounds),
+               tw.ring_msgs_per_sec, tw.mutex_msgs_per_sec, tw.throughput_speedup,
+               tw.ring_rt_per_sec, tw.mutex_rt_per_sec, tw.pingpong_speedup,
+               tw.mpi_usec_per_rtt, tw.mpi_msgs_per_sec,
+               static_cast<unsigned long long>(tw.mpi_stats.messages),
+               static_cast<unsigned long long>(tw.mpi_stats.full_parks),
+               static_cast<unsigned long long>(tw.mpi_stats.idle_parks));
   std::fprintf(f,
                "  \"end_to_end\": {\"ranks\": %d, \"solver_n\": %d, "
                "\"virtual_ms\": %.3f, \"host_s\": %.3f, "
@@ -681,14 +858,30 @@ int run(int argc, char** argv) {
                 p.media, p.transport, p.events_per_sec, p.sim_ms_per_host_s,
                 p.virtual_ms, p.host_s);
 
+  std::printf("\nhost_perf: threads world (real OS threads, wall clock)\n");
+  const ThreadsWorldResult tw = threads_world_point(quick);
+  std::printf("  channel throughput: ring %.0f msgs/s | mutex %.0f msgs/s "
+              "(%.1fx)\n",
+              tw.ring_msgs_per_sec, tw.mutex_msgs_per_sec, tw.throughput_speedup);
+  std::printf("  channel ping-pong:  ring %.0f rt/s | mutex %.0f rt/s (%.1fx)\n",
+              tw.ring_rt_per_sec, tw.mutex_rt_per_sec, tw.pingpong_speedup);
+  std::printf("  mpi ping-pong (2 ranks, 8 B): %.2f us/rtt, %.0f msgs/s "
+              "(%llu fabric msgs, %llu full parks, %llu idle parks)\n",
+              tw.mpi_usec_per_rtt, tw.mpi_msgs_per_sec,
+              static_cast<unsigned long long>(tw.mpi_stats.messages),
+              static_cast<unsigned long long>(tw.mpi_stats.full_parks),
+              static_cast<unsigned long long>(tw.mpi_stats.idle_parks));
+  std::printf("threads-world bar (ring >= 5x mutex channel msgs/sec): %s\n",
+              tw.meets_bar ? "PASS" : "FAIL");
+
   std::printf("\nhost_perf: end-to-end (16-rank Meiko solver, N=96)\n");
   const EndToEnd e2e = solver_end_to_end();
   std::printf("  virtual: %.3f ms, host: %.3f s -> %.1f sim-ms/host-s\n",
               e2e.virtual_ms, e2e.host_s, e2e.sim_ms_per_host_s);
 
-  write_json(out, quick, pts, ek, sched, actors, cluster, e2e);
+  write_json(out, quick, pts, ek, sched, actors, cluster, tw, e2e);
   std::printf("\nwrote %s\n", out.c_str());
-  return meets_bar && sched_ok && actor_ok ? 0 : 1;
+  return meets_bar && sched_ok && actor_ok && tw.meets_bar ? 0 : 1;
 }
 
 }  // namespace

@@ -485,5 +485,10 @@ Duration run_on(runtime::ClusterWorld& world, const std::function<void()>& c_mai
 Duration run_on(runtime::LoopWorld& world, const std::function<void()>& c_main) {
   return run_impl(world, c_main);
 }
+Duration run_on(runtime::ThreadsWorld& world, const std::function<void()>& c_main) {
+  // Real threads: RankState still routes through Actor::current(), which a
+  // detached actor pins per OS thread (Actor::BindScope in ThreadsWorld).
+  return run_impl(world, c_main);
+}
 
 }  // namespace lcmpi::capi

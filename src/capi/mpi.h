@@ -143,5 +143,7 @@ namespace lcmpi::capi {
 Duration run_on(runtime::MeikoWorld& world, const std::function<void()>& c_main);
 Duration run_on(runtime::ClusterWorld& world, const std::function<void()>& c_main);
 Duration run_on(runtime::LoopWorld& world, const std::function<void()>& c_main);
+/// Real execution: one OS thread per rank, elapsed time is wall-clock.
+Duration run_on(runtime::ThreadsWorld& world, const std::function<void()>& c_main);
 
 }  // namespace lcmpi::capi

@@ -137,8 +137,17 @@ inline std::uint64_t match_key(std::uint32_t ctx, int src) {
 }  // namespace detail
 
 /// FIFO of posted receives, bucketed by (context, posted source). Wildcard
-/// sources live in the (context, kAnySource) bucket; a concrete envelope
-/// merge-scans its own bucket against the wildcard bucket in arrival order.
+/// sources live in the (context, kAnySource) bucket.
+///
+/// A concrete envelope arriving in a context with *no* live MPI_ANY_SOURCE
+/// receives scans only its own bucket — no wildcard-bucket lookup, no
+/// merge machinery. When wildcards are parked, the probe walks the
+/// context's arrival-order index (the same stale-counting deque the
+/// unexpected queue uses for the mirror-image case): candidates from the
+/// exact and wildcard buckets are visited in arrival order, and entries
+/// belonging to other sources' concrete buckets are skipped by a pointer
+/// compare without their buckets ever being merge-scanned. `scanned`
+/// billing is unchanged either way (Fenwick rank of the matched arrival).
 class PostedQueue {
  public:
   struct Entry {
@@ -151,7 +160,11 @@ class PostedQueue {
   void post(Entry e) {
     const std::uint64_t seq = next_seq_++;
     ranker_.insert_next();
-    buckets_[detail::match_key(e.context, e.src)].push_back(Stamped{e, seq});
+    const std::uint64_t key = detail::match_key(e.context, e.src);
+    const std::uint32_t ctx = e.context;
+    Bucket& b = buckets_[key];  // references survive rehashing
+    b.push_back(Stamped{e, seq});
+    ctx_index_[ctx].order.push_back(IndexEntry{seq, &b});
     stats_.depth = ranker_.size();
     if (stats_.depth > stats_.max_depth) stats_.max_depth = stats_.depth;
   }
@@ -159,40 +172,59 @@ class PostedQueue {
   /// First posted receive accepting the envelope; removed if found.
   /// `scanned` counts entries a linear scan would have examined.
   std::optional<Entry> match(std::uint32_t ctx, int src, int tag, std::size_t* scanned) {
-    auto* exact = find_bucket(detail::match_key(ctx, src));
-    auto* wild = src == kAnySource ? nullptr
-                                   : find_bucket(detail::match_key(ctx, kAnySource));
-    // Merge the two candidate buckets in arrival order; the tag is the only
-    // field left to test (context and source acceptance are the bucket key).
-    std::size_t ie = 0, iw = 0;
-    while (true) {
-      Bucket* from = nullptr;
-      std::size_t* idx = nullptr;
-      const bool he = exact != nullptr && ie < exact->size();
-      const bool hw = wild != nullptr && iw < wild->size();
-      if (he && (!hw || (*exact)[ie].seq < (*wild)[iw].seq)) {
-        from = exact;
-        idx = &ie;
-      } else if (hw) {
-        from = wild;
-        idx = &iw;
-      } else {
-        break;
+    Bucket* wild = find_bucket(detail::match_key(ctx, kAnySource));
+    if (src == kAnySource) {
+      // A kAnySource probe (tests only; envelopes always carry a concrete
+      // sender) can only be accepted by wildcard-posted receives.
+      if (wild != nullptr) {
+        for (std::size_t i = 0; i < wild->size(); ++i) {
+          if ((*wild)[i].e.tag == kAnyTag || (*wild)[i].e.tag == tag)
+            return take(ctx, *wild, i, scanned);
+        }
       }
-      const Stamped& s = (*from)[*idx];
-      if (s.e.tag == kAnyTag || s.e.tag == tag) {
-        const Entry e = s.e;
-        const std::size_t n = ranker_.rank(s.seq);
-        note_lookup(n, true);
-        if (scanned) *scanned = n;
-        erase_at(*from, *idx);
-        return e;
-      }
-      ++*idx;
+      return miss(scanned);
     }
-    note_lookup(ranker_.size(), false);
-    if (scanned) *scanned = ranker_.size();
-    return std::nullopt;
+    Bucket* exact = find_bucket(detail::match_key(ctx, src));
+    if (wild == nullptr || wild->empty()) {
+      // No parked wildcards: the exact bucket is the whole candidate set.
+      if (exact != nullptr) {
+        for (std::size_t i = 0; i < exact->size(); ++i) {
+          if ((*exact)[i].e.tag == kAnyTag || (*exact)[i].e.tag == tag)
+            return take(ctx, *exact, i, scanned);
+        }
+      }
+      return miss(scanned);
+    }
+    // Parked wildcards: walk the context's arrivals oldest-first. Entries
+    // in other sources' concrete buckets are skipped by pointer compare —
+    // their buckets are never content-scanned.
+    CtxIndex& ix = ctx_index_[ctx];
+    maybe_sweep(ix);
+    std::size_t pos = 0;
+    while (pos < ix.order.size()) {
+      const IndexEntry en = ix.order[pos];
+      if (en.bucket != exact && en.bucket != wild) {
+        ++pos;
+        continue;
+      }
+      const std::size_t bi = position_of(*en.bucket, en.seq);
+      if (bi == kNpos) {
+        // Stale. At the head it can be unlinked for good; mid-queue it is
+        // skipped until a sweep collects it.
+        if (pos == 0) {
+          ix.order.pop_front();
+          --ix.stale;
+        } else {
+          ++pos;
+        }
+        continue;
+      }
+      const Stamped& s = (*en.bucket)[bi];
+      if (s.e.tag == kAnyTag || s.e.tag == tag)
+        return take(ctx, *const_cast<Bucket*>(en.bucket), bi, scanned);
+      ++pos;
+    }
+    return miss(scanned);
   }
 
   /// Removes a posted receive (MPI_Cancel-style); true if it was present.
@@ -202,7 +234,7 @@ class PostedQueue {
     for (auto& [key, b] : buckets_) {
       for (std::size_t i = 0; i < b.size(); ++i) {
         if (b[i].e.request_id == request_id) {
-          erase_at(b, i);
+          erase_at(b[i].e.context, b, i);
           return true;
         }
       }
@@ -221,6 +253,19 @@ class PostedQueue {
   };
   using Bucket = std::deque<Stamped>;
 
+  /// One arrival, as the per-context index saw it (see UnexpectedQueue:
+  /// bucket nodes are stable; entries go stale rather than being unlinked).
+  struct IndexEntry {
+    std::uint64_t seq;
+    const Bucket* bucket;
+  };
+  struct CtxIndex {
+    std::deque<IndexEntry> order;  // every post of the context, seq order
+    std::size_t stale = 0;         // entries whose receive was consumed
+  };
+
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
   // Empty buckets are kept alive (their deque keeps its allocation for the
   // next entry with that key), so occupancy counts only non-empty ones.
   template <typename Buckets>
@@ -233,15 +278,56 @@ class PostedQueue {
     return s;
   }
 
+  /// Position of `seq` in a bucket (seq-sorted), or kNpos if consumed.
+  static std::size_t position_of(const Bucket& b, std::uint64_t seq) {
+    auto it = std::lower_bound(
+        b.begin(), b.end(), seq,
+        [](const Stamped& s, std::uint64_t v) { return s.seq < v; });
+    if (it == b.end() || it->seq != seq) return kNpos;
+    return static_cast<std::size_t>(it - b.begin());
+  }
+
+  /// Drops consumed index entries once they dominate, so wildcard-present
+  /// walks stay linear in live posts. Also called from the erase path:
+  /// contexts that never park a wildcard would otherwise accrete stale
+  /// entries without bound, since only the walk prunes incrementally.
+  void maybe_sweep(CtxIndex& ix) {
+    if (ix.stale < 16 || ix.stale * 2 <= ix.order.size()) return;
+    std::deque<IndexEntry> live;
+    for (const IndexEntry& en : ix.order)
+      if (position_of(*en.bucket, en.seq) != kNpos) live.push_back(en);
+    ix.order.swap(live);
+    ix.stale = 0;
+  }
+
   Bucket* find_bucket(std::uint64_t key) {
     auto it = buckets_.find(key);
     return it == buckets_.end() ? nullptr : &it->second;
   }
 
-  void erase_at(Bucket& b, std::size_t i) {
+  std::optional<Entry> take(std::uint32_t ctx, Bucket& b, std::size_t i,
+                            std::size_t* scanned) {
+    const Entry e = b[i].e;
+    const std::size_t n = ranker_.rank(b[i].seq);
+    note_lookup(n, true);
+    if (scanned) *scanned = n;
+    erase_at(ctx, b, i);
+    return e;
+  }
+
+  std::optional<Entry> miss(std::size_t* scanned) {
+    note_lookup(ranker_.size(), false);
+    if (scanned) *scanned = ranker_.size();
+    return std::nullopt;
+  }
+
+  void erase_at(std::uint32_t ctx, Bucket& b, std::size_t i) {
     ranker_.erase(b[i].seq);
     b.erase(b.begin() + static_cast<std::ptrdiff_t>(i));
     stats_.depth = ranker_.size();
+    CtxIndex& ix = ctx_index_[ctx];
+    ++ix.stale;  // its arrival-index entry now dangles
+    maybe_sweep(ix);
   }
 
   void note_lookup(std::size_t scanned, bool hit) {
@@ -251,6 +337,9 @@ class PostedQueue {
   }
 
   std::unordered_map<std::uint64_t, Bucket> buckets_;
+  // Per-context arrival-order index, consulted by concrete probes when
+  // MPI_ANY_SOURCE receives are parked in the context.
+  std::unordered_map<std::uint32_t, CtxIndex> ctx_index_;
   ArrivalRanker ranker_;
   std::uint64_t next_seq_ = 0;
   MatchStats stats_;

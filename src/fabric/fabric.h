@@ -107,7 +107,11 @@ class Endpoint {
 
   [[nodiscard]] int rank() const { return rank_; }
   [[nodiscard]] Fabric& fabric() const { return fabric_; }
-  [[nodiscard]] TimePoint now() const;
+
+  /// The clock MPI-level timestamps (traces, Comm::wtime) are drawn from:
+  /// virtual time on the simulated fabrics, wall-clock time on the
+  /// real-threads shared-memory fabric.
+  [[nodiscard]] virtual TimePoint now() const;
 
   /// Sends a control/eager/rdata message. Reliable; ordered per (src,dst).
   /// Transport costs are charged to `self` and/or the modelled NIC.
@@ -130,12 +134,13 @@ class Endpoint {
   virtual std::optional<ProtoMsg> poll(sim::Actor& self);
 
   /// Blocks until something may have arrived. Condition-variable
-  /// semantics: callers re-check poll() in a loop.
-  void wait_activity(sim::Actor& self);
+  /// semantics: callers re-check poll() in a loop. Simulated fabrics park
+  /// the actor on a Trigger; the shared-memory fabric parks the OS thread.
+  virtual void wait_activity(sim::Actor& self);
 
   /// Wakes a blocked wait_activity without a delivery (completion
   /// callbacks — e.g. a DMA pull finishing — use this).
-  void wake() { activity_.notify_all(); }
+  virtual void wake() { activity_.notify_all(); }
 
  protected:
   /// Delivery from the fabric's event machinery: enqueue + wake.
@@ -159,13 +164,22 @@ class Fabric {
   [[nodiscard]] virtual Endpoint& endpoint(int rank) = 0;
   [[nodiscard]] const FabricCaps& caps() const { return caps_; }
   [[nodiscard]] const MpiCosts& mpi_costs() const { return mpi_costs_; }
-  [[nodiscard]] sim::Kernel& kernel() const { return kernel_; }
+
+  /// The driving simulator. Only the simulated fabrics have one; the
+  /// real-threads shared-memory fabric (src/fabric/shm_fabric.h) runs on
+  /// OS threads and wall-clock time instead.
+  [[nodiscard]] sim::Kernel& kernel() const {
+    LCMPI_CHECK(kernel_ != nullptr, "this fabric runs on real threads, not a sim kernel");
+    return *kernel_;
+  }
 
  protected:
   Fabric(sim::Kernel& kernel, FabricCaps caps, MpiCosts costs)
-      : kernel_(kernel), caps_(caps), mpi_costs_(costs) {}
+      : kernel_(&kernel), caps_(caps), mpi_costs_(costs) {}
+  /// Kernel-less base for fabrics driven by real threads.
+  Fabric(FabricCaps caps, MpiCosts costs) : caps_(caps), mpi_costs_(costs) {}
 
-  sim::Kernel& kernel_;
+  sim::Kernel* kernel_ = nullptr;
   FabricCaps caps_;
   MpiCosts mpi_costs_;
 };

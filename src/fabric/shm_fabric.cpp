@@ -1,0 +1,165 @@
+#include "src/fabric/shm_fabric.h"
+
+#include <deque>
+
+namespace lcmpi::fabric {
+namespace {
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#endif
+}
+
+// How long an idle receiver sleeps per park. wait_activity has
+// condition-variable semantics (callers re-poll in a loop), so this only
+// bounds wakeup staleness in the already-fenced-away race cases.
+constexpr std::chrono::milliseconds kIdleSlice{10};
+
+}  // namespace
+
+class ShmFabric::Ep final : public Endpoint {
+ public:
+  Ep(ShmFabric& f, int rank) : Endpoint(f, rank), owner_(f) {}
+
+  void send(sim::Actor&, int dst, ProtoMsg msg) override {
+    msg.src = rank_;
+    Channel& ch = owner_.chan(rank_, dst);
+    if (!ch.try_push(std::move(msg))) {
+      // Ring full: transport backpressure. A failed try_push moves nothing
+      // (the full check precedes the move), so msg is still intact for the
+      // retry loop. Crucially, a blocked sender must KEEP DRAINING its own
+      // inbound rings: rank A stuck pushing into a full A->B ring while B
+      // is stuck pushing (say, a credit update) into a full B->A ring is a
+      // deadlock unless someone consumes — and the engine only polls
+      // between fabric calls, not during them. Drained envelopes go to a
+      // staging queue that poll() serves first, preserving per-source
+      // FIFO. Short park slices bound retry latency when inbound is dry.
+      full_parks_.fetch_add(1, std::memory_order_relaxed);
+      for (;;) {
+        const bool drained = drain_inbound();
+        if (ch.try_push(std::move(msg))) break;
+        if (!drained &&
+            ch.push_until(msg, std::chrono::steady_clock::now() +
+                                   std::chrono::milliseconds(1)))
+          break;
+      }
+    }
+    messages_.fetch_add(1, std::memory_order_relaxed);
+    owner_.eps_[static_cast<std::size_t>(dst)]->notify_arrival();
+  }
+
+  std::optional<ProtoMsg> poll(sim::Actor&) override {
+    if (!staged_.empty()) {
+      ProtoMsg m = std::move(staged_.front());
+      staged_.pop_front();
+      return m;
+    }
+    const int n = owner_.nranks();
+    for (int i = 0; i < n; ++i) {
+      const int src = cursor_;
+      cursor_ = cursor_ + 1 == n ? 0 : cursor_ + 1;
+      if (std::optional<ProtoMsg> m = owner_.chan(src, rank_).try_pop()) return m;
+    }
+    return std::nullopt;
+  }
+
+  void wait_activity(sim::Actor&) override {
+    const std::uint64_t seen = wake_seq_.load(std::memory_order_acquire);
+    const auto ready = [this, seen] {
+      if (wake_seq_.load(std::memory_order_acquire) != seen) return true;
+      const int n = owner_.nranks();
+      for (int src = 0; src < n; ++src)
+        if (!owner_.chan(src, rank_).ring().empty_approx()) return true;
+      return false;
+    };
+    // Spin briefly first: the latency-critical case (ping-pong) has the
+    // answer in flight, and a park/unpark round trip costs microseconds.
+    for (int i = 0; i < 512; ++i) {
+      if (ready()) return;
+      cpu_relax();
+    }
+    idle_parks_.fetch_add(1, std::memory_order_relaxed);
+    pad_.park_until(std::chrono::steady_clock::now() + kIdleSlice, ready);
+  }
+
+  void wake() override {
+    wake_seq_.fetch_add(1, std::memory_order_release);
+    pad_.unpark();
+  }
+
+  [[nodiscard]] TimePoint now() const override { return owner_.wall_now(); }
+
+  void notify_arrival() { pad_.unpark(); }
+
+  [[nodiscard]] util::ParkingLot& pad() { return pad_; }
+
+ private:
+  /// Pops every currently-available inbound envelope into the staging
+  /// queue. Only the owning rank's thread calls this (from a blocked
+  /// send), and only that thread touches staged_ — no locking needed.
+  bool drain_inbound() {
+    bool any = false;
+    const int n = owner_.nranks();
+    for (int src = 0; src < n; ++src) {
+      while (std::optional<ProtoMsg> m = owner_.chan(src, rank_).try_pop()) {
+        staged_.push_back(std::move(*m));
+        any = true;
+      }
+    }
+    return any;
+  }
+
+  friend class ShmFabric;
+  ShmFabric& owner_;
+  int cursor_ = 0;  // round-robin fairness over inbound rings
+  std::deque<ProtoMsg> staged_;  // inbound drained during blocked sends
+  util::ParkingLot pad_;  // shared consumer pad of every inbound ring
+  std::atomic<std::uint64_t> wake_seq_{0};
+  std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> full_parks_{0};
+  std::atomic<std::uint64_t> idle_parks_{0};
+};
+
+ShmFabric::ShmFabric(int nranks, Options opt)
+    : Fabric(opt.caps, opt.costs), opt_(opt),
+      epoch_(std::chrono::steady_clock::now()) {
+  LCMPI_CHECK(nranks > 0, "ShmFabric needs at least one rank");
+  eps_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r)
+    eps_.push_back(std::make_unique<Ep>(*this, r));
+  chans_.reserve(static_cast<std::size_t>(nranks) * static_cast<std::size_t>(nranks));
+  for (int src = 0; src < nranks; ++src) {
+    for (int dst = 0; dst < nranks; ++dst) {
+      auto ch = std::make_unique<Channel>(opt_.ring_slots);
+      ch->share_consumer_pad(&eps_[static_cast<std::size_t>(dst)]->pad());
+      chans_.push_back(std::move(ch));
+    }
+  }
+}
+
+ShmFabric::~ShmFabric() = default;
+
+Endpoint& ShmFabric::endpoint(int rank) {
+  return *eps_.at(static_cast<std::size_t>(rank));
+}
+
+TimePoint ShmFabric::wall_now() const {
+  return TimePoint{std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - epoch_)
+                       .count()};
+}
+
+ShmFabric::Stats ShmFabric::stats() const {
+  Stats s;
+  for (const auto& ep : eps_) {
+    s.messages += ep->messages_.load(std::memory_order_relaxed);
+    s.full_parks += ep->full_parks_.load(std::memory_order_relaxed);
+    s.idle_parks += ep->idle_parks_.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+}  // namespace lcmpi::fabric

@@ -1,0 +1,90 @@
+// ShmFabric — the real-threads shared-memory fabric.
+//
+// Every other fabric in the tree is simulated: one kernel thread, virtual
+// time, modelled costs. This one is real: each MPI rank runs on its own OS
+// thread (runtime::ThreadsWorld), and ProtoMsg envelopes *and* rendezvous
+// payloads move through bounded lock-free SPSC rings
+// (src/util/spsc_ring.h) — one ring per directed rank pair, so per-(src,
+// dst) FIFO order (the MPI non-overtaking substrate every engine assumes)
+// is a structural property, not a locking discipline.
+//
+// Protocol shape, mirroring the paper's ATM/TCP port rather than the
+// Meiko one: push-mode rendezvous (RTS → CTS → RDATA through the rings;
+// nothing is staged in sender memory for a remote pull, which would need
+// cross-thread synchronization the rings already provide) and per-sender
+// credit flow control at the MPI layer. Backpressure is two-layered:
+// credits bound the *bytes* a sender may have parked at a receiver, and
+// ring occupancy bounds the *messages* in flight — a producer hitting a
+// full ring parks on the ring's mutex/condvar pad until the consumer
+// drains a slot.
+//
+// Blocking receives park the endpoint on one ParkingLot shared by all of
+// its inbound rings ("anything for me"), after a short spin for the
+// latency-critical ping-pong case. MpiCosts are zero: host work takes
+// real time here, and endpoint now() reports wall-clock nanoseconds since
+// fabric construction, which is what makes this the repo's first source
+// of real (not virtual) latency numbers.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "src/fabric/fabric.h"
+#include "src/util/spsc_ring.h"
+
+namespace lcmpi::fabric {
+
+class ShmFabric final : public Fabric {
+ public:
+  struct Options {
+    FabricCaps caps;
+    /// Zero by default: matching/copy work costs whatever it costs the
+    /// host CPU; there is no virtual clock to charge.
+    MpiCosts costs;
+    /// Slots per directed-pair ring (rounded up to a power of two).
+    /// Small enough that an unresponsive receiver exerts backpressure,
+    /// large enough that a credit window of eager messages fits.
+    std::size_t ring_slots = 1024;
+    Options() {
+      caps.hw_broadcast = false;  // software tree broadcast
+      caps.pull_bulk = false;     // push-mode rendezvous (CTS/RDATA)
+      caps.flow = FlowControl::kCredit;
+      caps.eager_threshold = 180;
+    }
+  };
+
+  explicit ShmFabric(int nranks, Options opt = {});
+  ~ShmFabric() override;
+
+  [[nodiscard]] int nranks() const override { return static_cast<int>(eps_.size()); }
+  [[nodiscard]] Endpoint& endpoint(int rank) override;
+
+  /// Wall-clock nanoseconds since fabric construction (= endpoint now()).
+  [[nodiscard]] TimePoint wall_now() const;
+
+  /// Aggregated transport counters (relaxed atomics; exact once quiescent).
+  struct Stats {
+    std::uint64_t messages = 0;    // successful ring pushes
+    std::uint64_t full_parks = 0;  // sender parked on a full ring
+    std::uint64_t idle_parks = 0;  // receiver parked awaiting traffic
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  class Ep;
+  using Channel = util::SpscChannel<ProtoMsg>;
+
+  [[nodiscard]] Channel& chan(int src, int dst) {
+    return *chans_[static_cast<std::size_t>(src) * eps_.size() +
+                   static_cast<std::size_t>(dst)];
+  }
+
+  Options opt_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<std::unique_ptr<Channel>> chans_;  // [src * n + dst]
+  std::vector<std::unique_ptr<Ep>> eps_;
+};
+
+}  // namespace lcmpi::fabric

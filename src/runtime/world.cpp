@@ -1,6 +1,7 @@
 #include "src/runtime/world.h"
 
 #include <string>
+#include <thread>
 
 namespace lcmpi::runtime {
 
@@ -111,6 +112,48 @@ LoopWorld::LoopWorld(int nranks, fabric::LoopFabric::Options opt,
 
 Duration LoopWorld::run(const RankFn& fn) {
   return run_ranks(kernel_, *fabric_, engine_cfg_, fn);
+}
+
+// ---------------------------------------------------------------- Threads
+
+ThreadsWorld::ThreadsWorld(int nranks, fabric::ShmFabric::Options opt,
+                           mpi::EngineConfig engine_cfg)
+    : engine_cfg_(engine_cfg) {
+  fabric_ = std::make_unique<fabric::ShmFabric>(nranks, opt);
+}
+
+Duration ThreadsWorld::run(const RankFn& fn) {
+  LCMPI_CHECK(!ran_, "a ThreadsWorld can run only once");
+  ran_ = true;
+  const int n = nranks();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
+  const TimePoint t0 = fabric_->wall_now();
+  for (int r = 0; r < n; ++r) {
+    threads.emplace_back([this, &fn, &errors, r] {
+      try {
+        auto actor = sim::Actor::detached("rank-" + std::to_string(r));
+        sim::Actor::BindScope bind(actor.get());
+        mpi::Engine engine(fabric_->endpoint(r), *actor, engine_cfg_);
+        mpi::Comm world = mpi::Comm::world(engine);
+        fn(world, *actor);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const Duration elapsed = fabric_->wall_now() - t0;
+  for (const std::exception_ptr& e : errors)
+    if (e) std::rethrow_exception(e);
+  return elapsed;
+}
+
+Duration run_threads(int nranks, const RankFn& fn, fabric::ShmFabric::Options opt,
+                     mpi::EngineConfig engine_cfg) {
+  ThreadsWorld world(nranks, opt, engine_cfg);
+  return world.run(fn);
 }
 
 }  // namespace lcmpi::runtime

@@ -7,6 +7,8 @@
 //   ClusterWorld    — SGI cluster over {ATM, Ethernet} x {TCP, reliable-UDP}
 //                     with the low-latency MPI (mpi::Comm)
 //   LoopWorld       — idealised fabric for fast semantics tests
+//   ThreadsWorld    — REAL execution: one OS thread per rank over the
+//                     shared-memory SPSC-ring fabric (wall-clock time)
 #pragma once
 
 #include <functional>
@@ -19,6 +21,7 @@
 #include "src/core/mpich.h"
 #include "src/fabric/loop_fabric.h"
 #include "src/fabric/meiko_fabric.h"
+#include "src/fabric/shm_fabric.h"
 #include "src/fabric/stream_fabric.h"
 #include "src/inet/rudp.h"
 #include "src/inet/tcp.h"
@@ -115,6 +118,35 @@ class LoopWorld {
   std::unique_ptr<fabric::LoopFabric> fabric_;
   mpi::EngineConfig engine_cfg_;
 };
+
+/// The one world that is not a simulation: every rank is a real OS thread
+/// and messages move through the lock-free SPSC rings of ShmFabric. The
+/// same RankFn programs run unchanged — each thread gets a detached
+/// sim::Actor (no kernel) so Actor::current(), actor-local state (the C
+/// API), and the engine's cost charging (inert here) all keep working.
+/// run() returns elapsed *wall-clock* time, and a World can run only once.
+class ThreadsWorld {
+ public:
+  explicit ThreadsWorld(int nranks, fabric::ShmFabric::Options opt = {},
+                        mpi::EngineConfig engine_cfg = {});
+
+  [[nodiscard]] fabric::ShmFabric& fabric() { return *fabric_; }
+  [[nodiscard]] int nranks() const { return fabric_->nranks(); }
+
+  /// Runs `fn` on every rank concurrently; joins all threads, rethrowing
+  /// the lowest-ranked escaped exception. Returns elapsed wall-clock time.
+  Duration run(const RankFn& fn);
+
+ private:
+  std::unique_ptr<fabric::ShmFabric> fabric_;
+  mpi::EngineConfig engine_cfg_;
+  bool ran_ = false;
+};
+
+/// One-shot convenience mirroring the other worlds' run() entry points.
+Duration run_threads(int nranks, const RankFn& fn,
+                     fabric::ShmFabric::Options opt = {},
+                     mpi::EngineConfig engine_cfg = {});
 
 /// Shared helper: spawn one actor per rank running `fn` over `fabric`.
 Duration run_ranks(sim::Kernel& kernel, fabric::Fabric& fabric,

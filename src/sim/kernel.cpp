@@ -260,7 +260,20 @@ Actor::Actor(Kernel* kernel, std::string name, std::function<void(Actor&)> body)
 
 Actor::~Actor() = default;
 
-TimePoint Actor::now() const { return kernel_->now(); }
+std::unique_ptr<Actor> Actor::detached(std::string name) {
+  // Not make_unique: the constructor is private and only befriends types.
+  return std::unique_ptr<Actor>(new Actor(nullptr, std::move(name), nullptr));
+}
+
+Actor::BindScope::BindScope(Actor* a) : prev_(g_current_actor) {
+  g_current_actor = a;
+}
+
+Actor::BindScope::~BindScope() { g_current_actor = prev_; }
+
+TimePoint Actor::now() const {
+  return kernel_ == nullptr ? TimePoint{} : kernel_->now();
+}
 
 void Actor::run_body() {
   g_current_actor = this;  // pins the slot for thread-backend bodies
@@ -303,6 +316,7 @@ void Actor::advance(Duration d) {
 }
 
 void Actor::wait_until(TimePoint t) {
+  if (kernel_ == nullptr) return;  // detached: host work takes real time
   if (t <= now()) return;
   const std::uint64_t epoch = wake_epoch_ + 1;  // epoch block() will assign
   kernel_->schedule_wake_at(t, this, epoch, /*by_trigger=*/false,
@@ -311,11 +325,13 @@ void Actor::wait_until(TimePoint t) {
 }
 
 void Actor::wait(Trigger& trigger) {
+  LCMPI_CHECK(kernel_ != nullptr, "detached actor cannot wait on a sim Trigger");
   trigger.waiters_.push_back(this);
   block();
 }
 
 bool Actor::wait_with_timeout(Trigger& trigger, Duration timeout) {
+  LCMPI_CHECK(kernel_ != nullptr, "detached actor cannot wait on a sim Trigger");
   trigger.waiters_.push_back(this);
   const std::uint64_t epoch = wake_epoch_ + 1;
   EventHandle timer = kernel_->schedule_wake_at(

@@ -182,15 +182,44 @@ class EventHandle {
   std::weak_ptr<const bool> alive_;  // expires with the kernel
 };
 
-/// A cooperative simulated process. Construct only via Kernel::spawn.
+/// A cooperative simulated process. Construct via Kernel::spawn — or via
+/// Actor::detached for code that runs on a real OS thread (the
+/// shared-memory threads world) but still needs an Actor identity.
 class Actor {
  public:
   Actor(const Actor&) = delete;
   Actor& operator=(const Actor&) = delete;
   ~Actor();
 
+  /// An actor bound to no kernel: each rank of runtime::ThreadsWorld gets
+  /// one so Actor::current(), actor-local storage, and the engine's cost
+  /// charging keep working on real threads. Virtual-time calls are inert
+  /// (now() is the epoch, advance()/wait_until return immediately — host
+  /// work takes real time instead); blocking on a Trigger requires a
+  /// kernel and throws. Pair with Actor::BindScope on the owning thread.
+  [[nodiscard]] static std::unique_ptr<Actor> detached(std::string name);
+
+  /// Binds an actor as Actor::current() for the calling OS thread and
+  /// restores the previous binding on destruction. The kernel backends
+  /// bind automatically (run_body / resume_from_kernel); only detached
+  /// actors need this.
+  class [[nodiscard]] BindScope {
+   public:
+    explicit BindScope(Actor* a);
+    ~BindScope();
+    BindScope(const BindScope&) = delete;
+    BindScope& operator=(const BindScope&) = delete;
+
+   private:
+    Actor* prev_;
+  };
+
   [[nodiscard]] const std::string& name() const { return name_; }
-  [[nodiscard]] Kernel& kernel() const { return *kernel_; }
+  [[nodiscard]] Kernel& kernel() const {
+    LCMPI_CHECK(kernel_ != nullptr, "detached actor has no kernel");
+    return *kernel_;
+  }
+  [[nodiscard]] bool is_detached() const { return kernel_ == nullptr; }
   [[nodiscard]] TimePoint now() const;
 
   /// Models local computation: blocks this actor for `d` of virtual time.

@@ -1,13 +1,15 @@
 #include "src/util/log.h"
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
-#include <mutex>
 
 namespace lcmpi {
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kError};
-std::mutex g_mu;
+std::atomic<int> g_fd{STDERR_FILENO};
 
 const char* level_tag(LogLevel l) {
   switch (l) {
@@ -22,15 +24,25 @@ const char* level_tag(LogLevel l) {
 
 void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+void set_log_fd(int fd) { g_fd.store(fd, std::memory_order_relaxed); }
 
 void log_at(LogLevel level, const char* fmt, ...) {
-  std::lock_guard<std::mutex> lock(g_mu);
-  std::fprintf(stderr, "[lcmpi:%s] ", level_tag(level));
+  if (static_cast<int>(log_level()) < static_cast<int>(level)) return;
+  // One local buffer, one write(2): concurrent writers emit whole lines
+  // (POSIX pipes/terminals keep writes this small atomic) and share no
+  // stdio stream state. Overlong messages are truncated, never split.
+  char buf[1024];
+  int n = std::snprintf(buf, sizeof buf, "[lcmpi:%s] ", level_tag(level));
+  if (n < 0) return;
   va_list ap;
   va_start(ap, fmt);
-  std::vfprintf(stderr, fmt, ap);
+  const int m = std::vsnprintf(buf + n, sizeof buf - static_cast<std::size_t>(n) - 1,
+                               fmt, ap);
   va_end(ap);
-  std::fprintf(stderr, "\n");
+  if (m > 0) n = std::min(n + m, static_cast<int>(sizeof buf) - 2);
+  buf[n] = '\n';
+  [[maybe_unused]] const ssize_t written =
+      ::write(g_fd.load(std::memory_order_relaxed), buf, static_cast<std::size_t>(n) + 1);
 }
 
 }  // namespace lcmpi

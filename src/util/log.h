@@ -1,9 +1,12 @@
 // Minimal leveled logging.
 //
 // Logging is off by default (benchmarks measure virtual time, but log I/O
-// still slows real runs); tests enable kDebug selectively. Thread-safe: the
-// simulator hands control to one actor at a time, but the real-threads shm
-// fabric logs concurrently.
+// still slows real runs); tests enable kDebug selectively. Thread-safe for
+// concurrent writers (the real-threads shm fabric logs from every rank
+// thread at once): the level is an atomic, and each call formats its whole
+// line into a local buffer and emits it with a single write(2), so lines
+// never interleave mid-record and there is no shared stdio state to race
+// on. log_at itself rechecks the level, so direct calls are also gated.
 #pragma once
 
 #include <cstdarg>
@@ -14,6 +17,10 @@ enum class LogLevel { kNone = 0, kError, kInfo, kDebug, kTrace };
 
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Redirects log output to `fd` (default: stderr). Tests point this at
+/// /dev/null to exercise the concurrent formatting path silently.
+void set_log_fd(int fd);
 
 void log_at(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
 

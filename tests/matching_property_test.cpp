@@ -167,6 +167,88 @@ TEST(MatchingPropertyTest, PostedQueueWildcardHeavy) {
   run_posted_workload(cfg);
 }
 
+TEST(MatchingPropertyTest, PostedQueueConcreteProbesWithParkedWildcards) {
+  // The posted-side mirror of the unexpected queue's ANY_SOURCE walk:
+  // concrete envelopes probe contexts where wildcard receives are parked,
+  // driving the per-context arrival index (front-pops of stale heads,
+  // mid-index skips, sweep-rebuilds) instead of the old 2-way merge. The
+  // linear reference has no index, so any slip shows up as a result or
+  // `scanned` divergence.
+  WorkloadCfg cfg;
+  cfg.seed = 51;
+  cfg.ops = 30000;
+  cfg.nctx = 1;
+  cfg.nsrc = 10;
+  cfg.ntag = 3;
+  cfg.p_wild_src = 0.6;
+  cfg.p_wild_tag = 0.3;
+  run_posted_workload(cfg);
+}
+
+TEST(MatchingPropertyTest, PostedQueueNoWildcardFastPath) {
+  // Wildcard-free contexts take the exact-bucket-only path (no wildcard
+  // lookup, no index walk); staleness is then swept from the erase side.
+  for (std::uint64_t seed = 61; seed <= 64; ++seed) {
+    WorkloadCfg cfg;
+    cfg.seed = seed;
+    cfg.ops = 12000;
+    cfg.nctx = 3;
+    cfg.nsrc = 8;
+    cfg.ntag = 3;
+    cfg.p_wild_src = 0.0;
+    cfg.p_wild_tag = 0.3;
+    run_posted_workload(cfg);
+  }
+}
+
+TEST(MatchingPropertyTest, PostedQueueCancelHolesInWildcardWalk) {
+  // Cancels retire posts out of arrival order, punching stale holes into
+  // the middle of each context's index; subsequent concrete probes with
+  // parked wildcards must step over them without perturbing `scanned`.
+  for (std::uint64_t seed = 71; seed <= 74; ++seed) {
+    WorkloadCfg cfg;
+    cfg.seed = seed;
+    cfg.ops = 12000;
+    cfg.nctx = 3;
+    cfg.nsrc = 10;
+    cfg.ntag = 3;
+    cfg.p_wild_src = 0.45;
+    cfg.p_wild_tag = 0.4;
+    run_posted_workload(cfg);
+  }
+}
+
+TEST(MatchingPropertyTest, PostedQueueScannedBillingWithParkedWildcard) {
+  // Deterministic pin of the billed charges on the indexed path: arrival
+  // order is wild(tag 5), exact(tag 7), exact(tag 5), other-src(tag 5).
+  PostedQueue q;
+  q.post({1, kAnySource, 5, 10});
+  q.post({1, 2, 7, 11});
+  q.post({1, 2, 5, 12});
+  q.post({1, 3, 5, 13});
+  std::size_t scanned = 0;
+  // From src 2 with tag 5: the wildcard at arrival rank 1 matches first.
+  auto got = q.match(1, 2, 5, &scanned);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->request_id, 10u);
+  EXPECT_EQ(scanned, 1u);
+  // Again: the wildcard is gone; tag 7 is stepped over (a live candidate),
+  // and the match is the 2nd surviving arrival — a linear scan examines 2.
+  got = q.match(1, 2, 5, &scanned);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->request_id, 12u);
+  EXPECT_EQ(scanned, 2u);
+  // Src 3 now misses nothing: its entry is rank 2 among the 2 survivors.
+  got = q.match(1, 3, 5, &scanned);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->request_id, 13u);
+  EXPECT_EQ(scanned, 2u);
+  // Only the tag-7 post remains; a mismatched probe bills the full depth.
+  got = q.match(1, 2, 5, &scanned);
+  EXPECT_FALSE(got.has_value());
+  EXPECT_EQ(scanned, 1u);
+}
+
 TEST(MatchingPropertyTest, UnexpectedQueueMatchesLinearReference) {
   for (std::uint64_t seed = 1; seed <= 8; ++seed) {
     WorkloadCfg cfg;
