@@ -12,7 +12,7 @@
 //   --quick  ~10x fewer iterations (CI smoke mode)
 //   --out    JSON output path (default: BENCH_host.json in the cwd)
 //
-// JSON schema (lcmpi-host-perf-v4):
+// JSON schema (lcmpi-host-perf-v5):
 //   matching[]   — ns/match for bucketed vs linear posted + unexpected
 //                  queues at several steady-state depths, with speedups
 //   event_kernel — callback-event dispatch and timer borrow/cancel/release
@@ -38,6 +38,12 @@
 //                  ping-pong over ThreadsWorld/ShmFabric. The process
 //                  exits nonzero if the ring delivers < 5x the mutex
 //                  channel's msgs/sec.
+//   socket_world — REAL multi-process numbers: a 2-rank MPI ping-pong over
+//                  SocketWorld (one forked process per rank, kernel stream
+//                  sockets), once per domain (AF_UNIX and AF_INET loopback).
+//                  Wall time includes fork + rendezvous, so this is a whole-
+//                  launch figure, not a pure wire latency. The process exits
+//                  nonzero if either domain fails to complete the exchange.
 //   end_to_end   — 16-rank Meiko solver: virtual ms simulated per host s
 #include <algorithm>
 #include <chrono>
@@ -606,6 +612,56 @@ ThreadsWorldResult threads_world_point(bool quick) {
   return r;
 }
 
+// --- socket world ------------------------------------------------------------
+//
+// Whole-launch numbers: the measured wall clock spans fork, rendezvous, the
+// ping-pong exchange, and teardown, because that is what run_sockets() gives
+// every caller. Rounds are sized so the exchange dominates on a healthy host.
+
+struct SocketWorldResult {
+  std::uint64_t rounds = 0;
+  double unix_usec_per_rtt = 0, unix_msgs_per_sec = 0;
+  double inet_usec_per_rtt = 0, inet_msgs_per_sec = 0;
+  bool meets_bar = false;  // both domains completed the exchange
+};
+
+SocketWorldResult socket_world_point(bool quick) {
+  SocketWorldResult r;
+  r.rounds = quick ? 2'000 : 20'000;
+  const std::uint64_t rounds = r.rounds;
+  const auto pingpong = [rounds](mpi::Comm& c, sim::Actor&) {
+    const auto byte = mpi::Datatype::byte_type();
+    unsigned char buf[8] = {8, 7, 6, 5, 4, 3, 2, 1};
+    for (std::uint64_t i = 0; i < rounds; ++i) {
+      if (c.rank() == 0) {
+        c.send(buf, sizeof buf, byte, 1, 1);
+        c.recv(buf, sizeof buf, byte, 1, 2);
+      } else {
+        c.recv(buf, sizeof buf, byte, 0, 1);
+        c.send(buf, sizeof buf, byte, 0, 2);
+      }
+    }
+    // Runs in a forked rank: throwing (not EXPECT) is what reaches the launcher.
+    if (buf[0] != 8) throw std::runtime_error("socket ping-pong corrupted payload");
+  };
+  const auto point = [&](fabric::SocketFabric::Domain d, double& usec_per_rtt,
+                         double& msgs_per_sec) {
+    fabric::SocketFabric::Options opt;
+    opt.domain = d;
+    const Duration wall = runtime::run_sockets(2, pingpong, opt);
+    usec_per_rtt =
+        static_cast<double>(wall.ns) / 1e3 / static_cast<double>(rounds);
+    msgs_per_sec =
+        static_cast<double>(2 * rounds) / (static_cast<double>(wall.ns) / 1e9);
+  };
+  point(fabric::SocketFabric::Domain::kUnix, r.unix_usec_per_rtt,
+        r.unix_msgs_per_sec);
+  point(fabric::SocketFabric::Domain::kInet, r.inet_usec_per_rtt,
+        r.inet_msgs_per_sec);
+  r.meets_bar = r.unix_msgs_per_sec > 0 && r.inet_msgs_per_sec > 0;
+  return r;
+}
+
 // --- end to end --------------------------------------------------------------
 
 struct EndToEnd {
@@ -642,13 +698,14 @@ void write_json(const std::string& path, bool quick,
                 const EventKernelNumbers& ek, const SchedResult& sched,
                 const ActorResult& actors,
                 const std::vector<ClusterPoint>& cluster,
-                const ThreadsWorldResult& tw, const EndToEnd& e2e) {
+                const ThreadsWorldResult& tw, const SocketWorldResult& sw,
+                const EndToEnd& e2e) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "host_perf: cannot open %s\n", path.c_str());
     std::exit(1);
   }
-  std::fprintf(f, "{\n  \"schema\": \"lcmpi-host-perf-v4\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"lcmpi-host-perf-v5\",\n");
   std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
   std::fprintf(f, "  \"matching\": [\n");
   for (std::size_t i = 0; i < pts.size(); ++i) {
@@ -748,6 +805,12 @@ void write_json(const std::string& path, bool quick,
                static_cast<unsigned long long>(tw.mpi_stats.messages),
                static_cast<unsigned long long>(tw.mpi_stats.full_parks),
                static_cast<unsigned long long>(tw.mpi_stats.idle_parks));
+  std::fprintf(f,
+               "  \"socket_world\": {\"rounds\": %llu,\n"
+               "    \"unix_usec_per_rtt\": %.2f, \"unix_msgs_per_sec\": %.0f,\n"
+               "    \"inet_usec_per_rtt\": %.2f, \"inet_msgs_per_sec\": %.0f},\n",
+               static_cast<unsigned long long>(sw.rounds), sw.unix_usec_per_rtt,
+               sw.unix_msgs_per_sec, sw.inet_usec_per_rtt, sw.inet_msgs_per_sec);
   std::fprintf(f,
                "  \"end_to_end\": {\"ranks\": %d, \"solver_n\": %d, "
                "\"virtual_ms\": %.3f, \"host_s\": %.3f, "
@@ -874,14 +937,26 @@ int run(int argc, char** argv) {
   std::printf("threads-world bar (ring >= 5x mutex channel msgs/sec): %s\n",
               tw.meets_bar ? "PASS" : "FAIL");
 
+  std::printf("\nhost_perf: socket world (one process per rank, kernel "
+              "sockets, whole-launch wall clock)\n");
+  const SocketWorldResult sw = socket_world_point(quick);
+  std::printf("  mpi ping-pong (2 ranks, 8 B, %llu rounds):\n",
+              static_cast<unsigned long long>(sw.rounds));
+  std::printf("    unix: %.2f us/rtt, %.0f msgs/s\n", sw.unix_usec_per_rtt,
+              sw.unix_msgs_per_sec);
+  std::printf("    inet: %.2f us/rtt, %.0f msgs/s\n", sw.inet_usec_per_rtt,
+              sw.inet_msgs_per_sec);
+  std::printf("socket-world bar (both domains complete the exchange): %s\n",
+              sw.meets_bar ? "PASS" : "FAIL");
+
   std::printf("\nhost_perf: end-to-end (16-rank Meiko solver, N=96)\n");
   const EndToEnd e2e = solver_end_to_end();
   std::printf("  virtual: %.3f ms, host: %.3f s -> %.1f sim-ms/host-s\n",
               e2e.virtual_ms, e2e.host_s, e2e.sim_ms_per_host_s);
 
-  write_json(out, quick, pts, ek, sched, actors, cluster, tw, e2e);
+  write_json(out, quick, pts, ek, sched, actors, cluster, tw, sw, e2e);
   std::printf("\nwrote %s\n", out.c_str());
-  return meets_bar && sched_ok && actor_ok && tw.meets_bar ? 0 : 1;
+  return meets_bar && sched_ok && actor_ok && tw.meets_bar && sw.meets_bar ? 0 : 1;
 }
 
 }  // namespace

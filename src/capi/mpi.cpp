@@ -490,5 +490,10 @@ Duration run_on(runtime::ThreadsWorld& world, const std::function<void()>& c_mai
   // detached actor pins per OS thread (Actor::BindScope in ThreadsWorld).
   return run_impl(world, c_main);
 }
+Duration run_on(runtime::SocketWorld& world, const std::function<void()>& c_main) {
+  // Real processes: the lambda below executes in the forked child, where
+  // SocketWorld binds a detached actor exactly as ThreadsWorld does.
+  return run_impl(world, c_main);
+}
 
 }  // namespace lcmpi::capi

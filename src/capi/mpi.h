@@ -145,5 +145,8 @@ Duration run_on(runtime::ClusterWorld& world, const std::function<void()>& c_mai
 Duration run_on(runtime::LoopWorld& world, const std::function<void()>& c_main);
 /// Real execution: one OS thread per rank, elapsed time is wall-clock.
 Duration run_on(runtime::ThreadsWorld& world, const std::function<void()>& c_main);
+/// Real execution: one OS process per rank over kernel sockets; `c_main`
+/// runs in the child, so side effects stay in the child (wall-clock).
+Duration run_on(runtime::SocketWorld& world, const std::function<void()>& c_main);
 
 }  // namespace lcmpi::capi

@@ -185,10 +185,12 @@ void Engine::send_msg(int dst, ProtoMsg msg) {
     return;
   }
   if (caps().flow == FlowControl::kCredit) {
-    // Piggyback any credit we owe this peer.
+    // Piggyback any credit we owe this peer — clamped to the u32 wire
+    // field; any overflow stays owed and rides the next message.
     auto& owed = owed_[static_cast<std::size_t>(dst)];
-    msg.credit = static_cast<std::uint32_t>(owed);
-    owed = 0;
+    const CreditGrant g = clamp_credit(owed);
+    msg.credit = g.grant;
+    owed = g.remainder;
   }
   msg.seq = next_seq_[static_cast<std::size_t>(dst)]++;
   ep_.send(self_, dst, std::move(msg));

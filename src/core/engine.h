@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <limits>
 #include <map>
 #include <optional>
 
@@ -36,6 +37,24 @@
 #include "src/fabric/fabric.h"
 
 namespace lcmpi::mpi {
+
+/// How much of an owed-credit balance fits the wire's u32 credit field.
+struct CreditGrant {
+  std::uint32_t grant = 0;        // goes out in ProtoMsg::credit
+  std::int64_t remainder = 0;     // stays in owed_ for a later message
+};
+
+/// Splits `owed` into the largest grant the u32 field can carry plus the
+/// remainder to keep owing. The engine's credit unit is bytes, so a
+/// balance past 4 GiB is exotic but legal (credit_bytes is configurable);
+/// truncating it would silently destroy credit and eventually wedge the
+/// sender — the remainder must ride a later message instead.
+[[nodiscard]] constexpr CreditGrant clamp_credit(std::int64_t owed) {
+  constexpr std::int64_t kFieldMax = std::numeric_limits<std::uint32_t>::max();
+  if (owed <= 0) return {0, owed};
+  if (owed <= kFieldMax) return {static_cast<std::uint32_t>(owed), 0};
+  return {static_cast<std::uint32_t>(kFieldMax), owed - kFieldMax};
+}
 
 struct EngineConfig {
   /// Cap on eager payload bytes parked in the unexpected queue; exceeding

@@ -31,6 +31,15 @@
 
 namespace lcmpi::fabric {
 
+/// A transport-level failure on a real (non-simulated) fabric: a peer
+/// process died mid-run (EOF/reset on its connection), a rendezvous timed
+/// out, or a socket syscall failed unrecoverably. Simulated fabrics never
+/// throw this — their transports are modelled, not real.
+class FabricError : public std::runtime_error {
+ public:
+  explicit FabricError(const std::string& what) : std::runtime_error(what) {}
+};
+
 /// Protocol message kinds exchanged by the MPI engines.
 enum class MsgKind : std::uint8_t {
   kEager = 1,    // envelope + payload, overlapped with matching

@@ -1,0 +1,579 @@
+#include "src/fabric/socket_fabric.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+namespace lcmpi::fabric {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Frame header behind the u32 length prefix. Full-width fields: this wire
+// is private to the fabric, so nothing is squeezed into Table-1 widths.
+struct FrameHeader {
+  std::uint8_t kind = 0;  // MsgKind, or kByeKind for the goodbye record
+  std::uint8_t mode = 0;
+  std::int32_t tag = 0;
+  std::uint32_t context = 0;
+  std::uint32_t size = 0;
+  std::uint32_t credit = 0;
+  std::uint64_t sender_req = 0;
+  std::uint64_t bulk_key = 0;
+  std::uint64_t seq = 0;
+};
+
+// Clean-shutdown sentinel; never a live MsgKind (those start at 1).
+constexpr std::uint8_t kByeKind = 0;
+
+[[noreturn]] void die(const std::string& what) { throw FabricError(what); }
+
+std::string errno_str() { return std::strerror(errno); }
+
+void set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  LCMPI_CHECK(flags >= 0, "fcntl(F_GETFL) failed");
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  LCMPI_CHECK(::fcntl(fd, F_SETFL, want) == 0, "fcntl(F_SETFL) failed");
+}
+
+void set_cloexec(int fd) { (void)::fcntl(fd, F_SETFD, FD_CLOEXEC); }
+
+/// Blocking full write during the rendezvous (EINTR-safe).
+void write_all(int fd, const void* data, std::size_t n, const char* what) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::send(fd, p + off, n - off, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      die(std::string(what) + ": write failed: " + errno_str());
+    }
+    off += static_cast<std::size_t>(w);
+  }
+}
+
+/// Blocking full read during the rendezvous (EINTR-safe; EOF is fatal —
+/// a peer died mid-handshake).
+void read_all(int fd, void* data, std::size_t n, const char* what) {
+  auto* p = static_cast<unsigned char*>(data);
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t r = ::recv(fd, p + off, n - off, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      die(std::string(what) + ": read failed: " + errno_str());
+    }
+    if (r == 0) die(std::string(what) + ": peer closed during rendezvous");
+    off += static_cast<std::size_t>(r);
+  }
+}
+
+struct Addr {
+  sockaddr_storage ss{};
+  socklen_t len = 0;
+  int family() const { return ss.ss_family; }
+};
+
+Addr unix_addr(const std::string& path) {
+  Addr a;
+  auto* sun = reinterpret_cast<sockaddr_un*>(&a.ss);
+  sun->sun_family = AF_UNIX;
+  LCMPI_CHECK(path.size() < sizeof(sun->sun_path), "AF_UNIX path too long");
+  std::memcpy(sun->sun_path, path.c_str(), path.size() + 1);
+  a.len = static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) + path.size() + 1);
+  return a;
+}
+
+Addr inet_addr_port(std::uint16_t port) {
+  Addr a;
+  auto* sin = reinterpret_cast<sockaddr_in*>(&a.ss);
+  sin->sin_family = AF_INET;
+  sin->sin_port = htons(port);
+  sin->sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  a.len = sizeof(sockaddr_in);
+  return a;
+}
+
+int make_socket(int family) {
+  const int fd = ::socket(family, SOCK_STREAM, 0);
+  if (fd < 0) die("socket() failed: " + errno_str());
+  set_cloexec(fd);
+  if (family == AF_INET) {
+    const int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  }
+  return fd;
+}
+
+int bind_listener(const Addr& a) {
+  const int fd = make_socket(a.family());
+  if (a.family() == AF_INET) {
+    const int one = 1;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&a.ss), a.len) != 0)
+    die("bind() failed: " + errno_str());
+  if (::listen(fd, SOMAXCONN) != 0) die("listen() failed: " + errno_str());
+  return fd;
+}
+
+std::uint16_t local_port(int fd) {
+  sockaddr_in sin{};
+  socklen_t len = sizeof sin;
+  LCMPI_CHECK(::getsockname(fd, reinterpret_cast<sockaddr*>(&sin), &len) == 0,
+              "getsockname failed");
+  return ntohs(sin.sin_port);
+}
+
+/// Accept with a deadline (the listener is blocking; poll() bounds it).
+int accept_within(int listen_fd, Clock::time_point deadline, const char* what) {
+  for (;;) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    if (left.count() <= 0) die(std::string(what) + ": rendezvous accept timed out");
+    pollfd p{listen_fd, POLLIN, 0};
+    const int rc = ::poll(&p, 1, static_cast<int>(left.count()));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      die(std::string(what) + ": poll failed: " + errno_str());
+    }
+    if (rc == 0) continue;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      die(std::string(what) + ": accept failed: " + errno_str());
+    }
+    set_cloexec(fd);
+    return fd;
+  }
+}
+
+// Rendezvous hello: who is dialing, and (during bootstrap) where their
+// own listener lives.
+struct Hello {
+  std::uint32_t magic = 0x4c43'4d50;  // "LCMP"
+  std::int32_t rank = -1;
+  std::uint16_t port = 0;             // kInet listener
+  char unix_path[104] = {};           // kUnix listener
+};
+
+}  // namespace
+
+// -------------------------------------------------------------- endpoint
+
+class SocketFabric::Ep final : public Endpoint {
+ public:
+  Ep(SocketFabric& f, int rank) : Endpoint(f, rank), owner_(f) {}
+
+  [[nodiscard]] TimePoint now() const override { return owner_.wall_now(); }
+
+  void send(sim::Actor&, int dst, ProtoMsg msg) override {
+    msg.src = rank_;
+    owner_.send_frame(dst, msg);
+  }
+
+  std::optional<ProtoMsg> poll(sim::Actor&) override {
+    if (owner_.arrivals_.empty()) {
+      // One fair sweep over all peers; pump_peer parses complete frames.
+      const int n = owner_.nranks_;
+      for (int i = 0; i < n; ++i) {
+        const int peer = owner_.pump_cursor_;
+        owner_.pump_cursor_ = owner_.pump_cursor_ + 1 == n ? 0 : owner_.pump_cursor_ + 1;
+        if (peer == rank_) continue;
+        (void)owner_.pump_peer(peer);
+      }
+    }
+    if (owner_.arrivals_.empty()) return std::nullopt;
+    ProtoMsg m = std::move(owner_.arrivals_.front());
+    owner_.arrivals_.pop_front();
+    return m;
+  }
+
+  void wait_activity(sim::Actor&) override {
+    if (!owner_.arrivals_.empty()) return;
+    auto& fds = pollfds_;
+    fds.clear();
+    for (int peer = 0; peer < owner_.nranks_; ++peer) {
+      const Conn& c = owner_.conns_[static_cast<std::size_t>(peer)];
+      if (peer == rank_ || c.closed) continue;
+      fds.push_back(pollfd{c.fd, POLLIN, 0});
+    }
+    if (fds.empty()) return;  // all peers gone; caller re-checks and decides
+    owner_.stats_.idle_polls++;
+    const int rc = ::poll(fds.data(), fds.size(),
+                          static_cast<int>(owner_.opt_.poll_slice.count()));
+    if (rc < 0 && errno != EINTR)
+      die(owner_.who() + ": wait_activity poll failed: " + errno_str());
+    // Readable/HUP peers are picked up by the next poll() sweep, which
+    // also classifies EOF (clean BYE vs peer death).
+  }
+
+  /// Single-threaded process: nothing can be blocked in wait_activity
+  /// while this runs, so there is nobody to wake.
+  void wake() override {}
+
+ private:
+  SocketFabric& owner_;
+  std::vector<pollfd> pollfds_;  // scratch, avoids per-wait allocation
+};
+
+// ---------------------------------------------------------------- fabric
+
+SocketFabric::SocketFabric(int nranks, int rank, const Rendezvous& rdv, Options opt)
+    : Fabric(opt.caps, opt.costs),
+      nranks_(nranks),
+      rank_(rank),
+      opt_(opt),
+      epoch_(Clock::now()) {
+  LCMPI_CHECK(nranks > 0, "SocketFabric needs at least one rank");
+  LCMPI_CHECK(rank >= 0 && rank < nranks, "rank out of range");
+  conns_.resize(static_cast<std::size_t>(nranks));
+  ep_ = std::make_unique<Ep>(*this, rank);
+  try {
+    build_mesh(rdv);
+  } catch (...) {
+    for (Conn& c : conns_)
+      if (c.fd >= 0) ::close(c.fd);
+    throw;
+  }
+}
+
+SocketFabric::~SocketFabric() {
+  say_bye();
+  for (Conn& c : conns_) {
+    if (c.fd >= 0) ::close(c.fd);
+    c.fd = -1;
+  }
+}
+
+SocketFabric SocketFabric::from_env(Options opt) {
+  const char* rank_env = std::getenv("LCMPI_RANK");
+  const char* n_env = std::getenv("LCMPI_NRANKS");
+  LCMPI_CHECK(rank_env != nullptr && n_env != nullptr,
+              "LCMPI_RANK/LCMPI_NRANKS not set");
+  Rendezvous rdv;
+  if (const char* dir = std::getenv("LCMPI_SOCKET_DIR"); dir != nullptr) {
+    opt.domain = Domain::kUnix;
+    rdv.unix_dir = dir;
+  } else if (const char* port = std::getenv("LCMPI_PORT"); port != nullptr) {
+    opt.domain = Domain::kInet;
+    rdv.port = static_cast<std::uint16_t>(std::atoi(port));
+  } else {
+    LCMPI_CHECK(false, "neither LCMPI_SOCKET_DIR nor LCMPI_PORT set");
+  }
+  return SocketFabric(std::atoi(n_env), std::atoi(rank_env), rdv, opt);
+}
+
+Endpoint& SocketFabric::endpoint(int rank) {
+  LCMPI_CHECK(rank == rank_,
+              "SocketFabric holds only the local rank's endpoint (one process per rank)");
+  return *ep_;
+}
+
+TimePoint SocketFabric::wall_now() const {
+  return TimePoint{std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       Clock::now() - epoch_)
+                       .count()};
+}
+
+std::string SocketFabric::who() const { return "rank " + std::to_string(rank_); }
+
+// ------------------------------------------------------------- bootstrap
+
+void SocketFabric::build_mesh(const Rendezvous& rdv) {
+  if (nranks_ == 1) return;  // self-sends never touch the fabric
+  const bool unix_domain = opt_.domain == Domain::kUnix;
+  LCMPI_CHECK(!unix_domain || !rdv.unix_dir.empty(), "kUnix needs a socket directory");
+  LCMPI_CHECK(unix_domain || rdv.port != 0 || rdv.listen_fd >= 0,
+              "kInet needs a rendezvous port or a pre-bound listener");
+
+  const auto deadline = Clock::now() + opt_.dial_deadline;
+  const std::string r0_path = unix_domain ? rdv.unix_dir + "/rendezvous.sock" : "";
+
+  // Dial `addr` with exponential backoff until `deadline` — the listener
+  // may not exist yet (rank 0 still booting, a higher rank still binding).
+  const auto dial = [&](const Addr& addr, const std::string& label) {
+    auto backoff = opt_.backoff_floor;
+    bool first = true;
+    for (;;) {
+      const int fd = make_socket(addr.family());
+      if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr.ss), addr.len) == 0)
+        return fd;
+      const int err = errno;
+      ::close(fd);
+      const bool retryable = err == ECONNREFUSED || err == ENOENT || err == EAGAIN ||
+                             err == ETIMEDOUT || err == EINTR || err == ECONNRESET;
+      if (!retryable)
+        die(who() + ": connect to " + label + " failed: " + std::strerror(err));
+      if (Clock::now() >= deadline)
+        die(who() + ": connect to " + label + " timed out (" +
+            std::strerror(err) + ") — peer never came up");
+      if (!first) stats_.dial_retries++;
+      first = false;
+      std::this_thread::sleep_for(backoff);
+      backoff = std::min(backoff * 2, opt_.backoff_cap);
+    }
+  };
+
+  // Per-rank listener addresses, filled by the rendezvous.
+  std::vector<std::uint16_t> ports(static_cast<std::size_t>(nranks_), 0);
+  const auto rank_path = [&](int r) {
+    return rdv.unix_dir + "/rank-" + std::to_string(r) + ".sock";
+  };
+
+  int listen_fd = -1;
+  if (rank_ == 0) {
+    if (rdv.listen_fd >= 0) {
+      listen_fd = rdv.listen_fd;
+    } else {
+      listen_fd = bind_listener(unix_domain ? unix_addr(r0_path)
+                                            : inet_addr_port(rdv.port));
+    }
+    // Collect n-1 hellos; the rendezvous connection IS the 0<->r link.
+    std::vector<Hello> hellos(static_cast<std::size_t>(nranks_));
+    for (int got = 1; got < nranks_; ++got) {
+      const int fd = accept_within(listen_fd, deadline, "rank 0");
+      Hello h;
+      read_all(fd, &h, sizeof h, "rank 0");
+      LCMPI_CHECK(h.magic == Hello{}.magic, "bad rendezvous hello");
+      LCMPI_CHECK(h.rank > 0 && h.rank < nranks_, "hello rank out of range");
+      Conn& c = conns_[static_cast<std::size_t>(h.rank)];
+      LCMPI_CHECK(c.fd < 0, "duplicate rendezvous hello");
+      c.fd = fd;
+      hellos[static_cast<std::size_t>(h.rank)] = h;
+    }
+    // Broadcast the listener table.
+    for (int r = 1; r < nranks_; ++r)
+      write_all(conns_[static_cast<std::size_t>(r)].fd, hellos.data(),
+                sizeof(Hello) * static_cast<std::size_t>(nranks_), "rank 0");
+  } else {
+    // Bind our own listener first so the table can point at it.
+    Hello mine;
+    mine.rank = rank_;
+    if (unix_domain) {
+      const std::string path = rank_path(rank_);
+      (void)::unlink(path.c_str());
+      listen_fd = bind_listener(unix_addr(path));
+      LCMPI_CHECK(path.size() < sizeof(mine.unix_path), "unix path too long");
+      std::memcpy(mine.unix_path, path.c_str(), path.size() + 1);
+    } else {
+      listen_fd = bind_listener(inet_addr_port(0));
+      mine.port = local_port(listen_fd);
+    }
+    // Dial rank 0, introduce ourselves, learn everyone's listener.
+    const int r0 = dial(unix_domain ? unix_addr(r0_path) : inet_addr_port(rdv.port),
+                        "rank 0 rendezvous");
+    conns_[0].fd = r0;
+    write_all(r0, &mine, sizeof mine, who().c_str());
+    std::vector<Hello> hellos(static_cast<std::size_t>(nranks_));
+    read_all(r0, hellos.data(), sizeof(Hello) * static_cast<std::size_t>(nranks_),
+             who().c_str());
+
+    // Mesh completion: dial every higher rank's listener...
+    for (int peer = rank_ + 1; peer < nranks_; ++peer) {
+      const Hello& h = hellos[static_cast<std::size_t>(peer)];
+      const Addr a = unix_domain ? unix_addr(h.unix_path) : inet_addr_port(h.port);
+      const int fd = dial(a, "rank " + std::to_string(peer));
+      Hello id = mine;
+      write_all(fd, &id, sizeof id, who().c_str());
+      conns_[static_cast<std::size_t>(peer)].fd = fd;
+    }
+    // ...and accept one connection from every lower nonzero rank.
+    for (int expected = 1; expected < rank_; ++expected) {
+      const int fd = accept_within(listen_fd, deadline, who().c_str());
+      Hello h;
+      read_all(fd, &h, sizeof h, who().c_str());
+      LCMPI_CHECK(h.magic == Hello{}.magic, "bad mesh hello");
+      LCMPI_CHECK(h.rank > 0 && h.rank < rank_, "mesh hello rank out of range");
+      Conn& c = conns_[static_cast<std::size_t>(h.rank)];
+      LCMPI_CHECK(c.fd < 0, "duplicate mesh hello");
+      c.fd = fd;
+    }
+  }
+
+  if (listen_fd >= 0 && listen_fd != rdv.listen_fd) ::close(listen_fd);
+  if (rank_ == 0 && rdv.listen_fd >= 0) ::close(rdv.listen_fd);
+  if (unix_domain) {
+    if (rank_ == 0) (void)::unlink(r0_path.c_str());
+    else (void)::unlink(rank_path(rank_).c_str());
+  }
+
+  for (int peer = 0; peer < nranks_; ++peer) {
+    if (peer == rank_) continue;
+    const Conn& c = conns_[static_cast<std::size_t>(peer)];
+    LCMPI_CHECK(c.fd >= 0, "mesh incomplete");
+    set_nonblocking(c.fd, true);
+  }
+}
+
+// ------------------------------------------------------------ data phase
+
+void SocketFabric::send_frame(int peer, const ProtoMsg& msg) {
+  LCMPI_CHECK(peer >= 0 && peer < nranks_ && peer != rank_, "bad destination");
+  Conn& c = conns_[static_cast<std::size_t>(peer)];
+  if (c.closed || c.bye_seen)
+    die(who() + ": send to rank " + std::to_string(peer) + " after it " +
+        (c.bye_seen ? "finished" : "died"));
+
+  FrameHeader h;
+  h.kind = static_cast<std::uint8_t>(msg.kind);
+  h.mode = msg.mode;
+  h.tag = msg.tag;
+  h.context = msg.context;
+  h.size = msg.size;
+  h.credit = msg.credit;
+  h.sender_req = msg.sender_req;
+  h.bulk_key = msg.bulk_key;
+  h.seq = msg.seq;
+
+  Bytes frame;
+  ByteWriter w(frame);
+  w.put(static_cast<std::uint32_t>(sizeof(FrameHeader) + msg.payload.size()));
+  w.put(h);
+  w.put_bytes(msg.payload.data(), msg.payload.size());
+
+  const auto* p = reinterpret_cast<const unsigned char*>(frame.data());
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::send(c.fd, p + off, frame.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Kernel buffer full: transport backpressure. Keep draining our own
+      // inbound sockets while waiting for POLLOUT — the peer may be
+      // blocked writing to us (send/send deadlock otherwise, since the
+      // engine only polls between fabric calls). Drained frames queue in
+      // arrivals_, which poll() serves in order.
+      stats_.send_stalls++;
+      bool drained = false;
+      for (int src = 0; src < nranks_; ++src)
+        if (src != rank_) drained = pump_peer(src) || drained;
+      if (drained) continue;  // buffer may have cleared meanwhile
+      pollfd pf{c.fd, POLLOUT, 0};
+      const int rc = ::poll(&pf, 1, 1 /*ms*/);
+      if (rc < 0 && errno != EINTR)
+        die(who() + ": poll(POLLOUT) failed: " + errno_str());
+      continue;
+    }
+    die(who() + ": rank " + std::to_string(peer) + " died mid-send (" +
+        (n < 0 ? errno_str() : "connection closed") + ")");
+  }
+  stats_.messages_tx++;
+  stats_.bytes_tx += frame.size();
+}
+
+bool SocketFabric::pump_peer(int peer) {
+  Conn& c = conns_[static_cast<std::size_t>(peer)];
+  if (c.closed) return false;
+  bool any = false;
+  for (;;) {
+    constexpr std::size_t kChunk = 64 * 1024;
+    const std::size_t at = c.rx.size();
+    c.rx.resize(at + kChunk);
+    const ssize_t n = ::recv(c.fd, c.rx.data() + at, kChunk, 0);
+    if (n > 0) {
+      c.rx.resize(at + static_cast<std::size_t>(n));
+      stats_.bytes_rx += static_cast<std::uint64_t>(n);
+      any = true;
+      if (static_cast<std::size_t>(n) < kChunk) break;  // drained for now
+      continue;
+    }
+    c.rx.resize(at);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    // EOF or hard error: classify. A BYE followed by EOF is a peer that
+    // finished cleanly; anything else is a death.
+    ::close(c.fd);
+    c.closed = true;
+    if (!c.bye_seen) {
+      if (!c.rx.empty()) parse_frames(peer);  // salvage complete frames
+      if (c.bye_seen) return any;             // the BYE was in the tail
+      die(who() + ": rank " + std::to_string(peer) + " died (" +
+          (n < 0 ? errno_str() : "EOF without goodbye") + ")");
+    }
+    return any;
+  }
+  if (any) parse_frames(peer);
+  return any;
+}
+
+void SocketFabric::parse_frames(int peer) {
+  Conn& c = conns_[static_cast<std::size_t>(peer)];
+  std::size_t pos = 0;
+  while (c.rx.size() - pos >= sizeof(std::uint32_t)) {
+    std::uint32_t len = 0;
+    std::memcpy(&len, c.rx.data() + pos, sizeof len);
+    LCMPI_CHECK(len >= sizeof(FrameHeader), "runt frame");
+    if (c.rx.size() - pos - sizeof len < len) break;  // partial tail
+    FrameHeader h;
+    std::memcpy(&h, c.rx.data() + pos + sizeof len, sizeof h);
+    const std::size_t payload_at = pos + sizeof len + sizeof h;
+    const std::size_t payload_len = len - sizeof h;
+    if (h.kind == kByeKind) {
+      c.bye_seen = true;
+    } else {
+      ProtoMsg m;
+      m.kind = static_cast<MsgKind>(h.kind);
+      m.src = peer;
+      m.mode = h.mode;
+      m.tag = h.tag;
+      m.context = h.context;
+      m.size = h.size;
+      m.credit = h.credit;
+      m.sender_req = h.sender_req;
+      m.bulk_key = h.bulk_key;
+      m.seq = h.seq;
+      if (payload_len > 0)
+        m.payload.assign(c.rx.begin() + static_cast<std::ptrdiff_t>(payload_at),
+                         c.rx.begin() + static_cast<std::ptrdiff_t>(payload_at + payload_len));
+      arrivals_.push_back(std::move(m));
+      stats_.messages_rx++;
+    }
+    pos = payload_at + payload_len;
+  }
+  if (pos > 0) c.rx.erase(c.rx.begin(), c.rx.begin() + static_cast<std::ptrdiff_t>(pos));
+}
+
+void SocketFabric::say_bye() noexcept {
+  // Best-effort goodbye so peers can tell "finished" from "died". The
+  // sockets are nonblocking; a full buffer or dead peer just means no BYE.
+  Bytes frame;
+  ByteWriter w(frame);
+  w.put(static_cast<std::uint32_t>(sizeof(FrameHeader)));
+  FrameHeader bye;
+  bye.kind = kByeKind;
+  w.put(bye);
+  for (int peer = 0; peer < nranks_; ++peer) {
+    if (peer == rank_) continue;
+    Conn& c = conns_[static_cast<std::size_t>(peer)];
+    if (c.fd < 0 || c.closed) continue;
+    std::size_t off = 0;
+    while (off < frame.size()) {
+      const ssize_t n = ::send(c.fd, frame.data() + off, frame.size() - off,
+                               MSG_NOSIGNAL);
+      if (n > 0) {
+        off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      break;  // EAGAIN/EPIPE/anything: give up quietly
+    }
+  }
+}
+
+}  // namespace lcmpi::fabric

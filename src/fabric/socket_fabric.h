@@ -1,0 +1,152 @@
+// SocketFabric — real multi-process execution over kernel stream sockets.
+//
+// ShmFabric (§6d) made one rank = one OS thread inside a single address
+// space; this fabric takes the next rung the paper's ATM/Ethernet port
+// implies: one rank = one OS *process*, with every byte crossing the
+// kernel's socket layer (AF_UNIX by default, AF_INET/127.0.0.1 on
+// request). The unchanged MPI engine runs verbatim on top — eager ≤
+// threshold with the envelope, CTS-then-push rendezvous, per-sender
+// credit flow control — exactly the seam MPICH2's channel abstraction
+// exposes between protocol and wire.
+//
+// Topology and bootstrap: a full mesh of pre-connected stream sockets,
+// built by a rank-0 rendezvous. Every rank r>0 binds its own listener,
+// connects to rank 0's well-known rendezvous address (retrying with
+// exponential backoff — rank 0 may not have bound yet), and sends a hello
+// naming itself and its listener. Rank 0 collects all n-1 hellos, then
+// broadcasts the address table; the rendezvous connections themselves
+// become the 0<->r mesh links, and each remaining pair (i, j), 0 < i < j,
+// is completed by i dialing j's listener. Rendezvous I/O is blocking;
+// after the mesh is up every socket switches to nonblocking for the data
+// phase.
+//
+// Wire format: length-prefixed records ([u32 frame length][fixed header]
+// [payload]), full-width fields (no 16-bit context squeeze — this wire is
+// ours, not Table 1's). All I/O is short-read/short-write/EINTR-safe. A
+// blocked sender (kernel socket buffer full, EAGAIN) drains its inbound
+// sockets into the arrival queue while waiting for POLLOUT — the same
+// discipline ShmFabric uses to break send/send deadlocks, because the
+// engine only polls between fabric calls.
+//
+// Failure model: each fabric sends a BYE record before closing (ranks
+// finish at different times; a goodbye is not an error). EOF or
+// ECONNRESET *without* a preceding BYE means the peer process died —
+// poll()/send() throw FabricError instead of letting a blocked receive
+// hang forever. wait_activity is a poll(2) over every live peer socket
+// with a bounded slice (condition-variable semantics: callers re-check).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/fabric/fabric.h"
+
+namespace lcmpi::fabric {
+
+class SocketFabric final : public Fabric {
+ public:
+  /// Which kernel transport carries the mesh.
+  enum class Domain : std::uint8_t { kUnix, kInet };
+
+  struct Options {
+    FabricCaps caps;
+    /// Zero: host work takes real time, as on ShmFabric.
+    MpiCosts costs;
+    Domain domain = Domain::kUnix;
+    /// Rendezvous/connect patience: per-attempt backoff doubles from
+    /// `backoff_floor` to `backoff_cap`; giving up after `dial_deadline`
+    /// total raises FabricError (a peer that never came up).
+    std::chrono::milliseconds backoff_floor{1};
+    std::chrono::milliseconds backoff_cap{100};
+    std::chrono::milliseconds dial_deadline{10'000};
+    /// wait_activity poll(2) slice (bounds wakeup staleness only;
+    /// arrivals interrupt it immediately).
+    std::chrono::milliseconds poll_slice{100};
+    Options() {
+      caps.hw_broadcast = false;  // software tree broadcast
+      caps.pull_bulk = false;     // push-mode rendezvous (CTS/RDATA)
+      caps.flow = FlowControl::kCredit;
+      caps.eager_threshold = 180;
+    }
+  };
+
+  /// Where rank 0 listens for the rendezvous. `unix_dir` (kUnix) is a
+  /// private directory for this world's socket files; `port` (kInet) is
+  /// rank 0's rendezvous port on 127.0.0.1. `listen_fd` optionally hands
+  /// rank 0 a pre-bound listener inherited from the launcher (how
+  /// SocketWorld gets an ephemeral AF_INET port with no conflict window);
+  /// -1 makes rank 0 bind the named address itself.
+  struct Rendezvous {
+    std::string unix_dir;
+    std::uint16_t port = 0;
+    int listen_fd = -1;
+  };
+
+  /// Builds this rank's attachment: binds/dials the mesh (blocking, with
+  /// retry) and leaves every connection nonblocking. Call once per
+  /// process; throws FabricError if the mesh cannot be built.
+  SocketFabric(int nranks, int rank, const Rendezvous& rdv, Options opt = {});
+  ~SocketFabric() override;
+
+  /// Attachment described by LCMPI_RANK / LCMPI_NRANKS plus either
+  /// LCMPI_SOCKET_DIR (AF_UNIX) or LCMPI_PORT (AF_INET) — the env
+  /// contract for external launchers that re-exec one binary per rank.
+  [[nodiscard]] static SocketFabric from_env(Options opt = {});
+
+  [[nodiscard]] int nranks() const override { return nranks_; }
+  [[nodiscard]] int local_rank() const { return rank_; }
+  /// Only the local rank's endpoint exists in this process.
+  [[nodiscard]] Endpoint& endpoint(int rank) override;
+
+  /// Wall-clock nanoseconds since fabric construction (= endpoint now()).
+  [[nodiscard]] TimePoint wall_now() const;
+
+  struct Stats {
+    std::uint64_t messages_tx = 0;   // frames written
+    std::uint64_t messages_rx = 0;   // frames parsed
+    std::uint64_t bytes_tx = 0;      // framed bytes written
+    std::uint64_t bytes_rx = 0;      // framed bytes read
+    std::uint64_t send_stalls = 0;   // EAGAIN on write (kernel buffer full)
+    std::uint64_t idle_polls = 0;    // wait_activity entered poll(2)
+    std::uint64_t dial_retries = 0;  // rendezvous connect attempts beyond the first
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  class Ep;
+  friend class Ep;
+
+  /// One mesh connection (index = peer rank; self slot unused).
+  struct Conn {
+    int fd = -1;
+    Bytes rx;                 // unparsed bytes (partial frame tail)
+    bool bye_seen = false;    // peer announced clean shutdown
+    bool closed = false;      // fd closed (after EOF)
+  };
+
+  void build_mesh(const Rendezvous& rdv);
+  /// Drains fd until EAGAIN, parsing complete frames into arrivals_.
+  /// Returns true if anything new arrived. Throws FabricError on
+  /// unannounced EOF/reset.
+  bool pump_peer(int peer);
+  void parse_frames(int peer);
+  void send_frame(int peer, const ProtoMsg& msg);
+  void say_bye() noexcept;
+  [[nodiscard]] std::string who() const;  // "rank R" for error texts
+
+  int nranks_;
+  int rank_;
+  Options opt_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<Conn> conns_;           // by peer rank
+  std::deque<ProtoMsg> arrivals_;     // parsed, FIFO per source
+  int pump_cursor_ = 0;               // round-robin fairness over peers
+  Stats stats_;
+  std::unique_ptr<Ep> ep_;
+};
+
+}  // namespace lcmpi::fabric

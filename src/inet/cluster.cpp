@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/inet/rudp.h"
 #include "src/inet/tcp.h"
 
 namespace lcmpi::inet {
@@ -128,6 +129,11 @@ TcpConnection& InetCluster::tcp_pair(int host_a, int host_b) {
   const auto conn_id = static_cast<std::uint32_t>(tcp_conns_.size());
   tcp_conns_.push_back(std::make_unique<TcpConnection>(*this, host_a, host_b, conn_id));
   return *tcp_conns_.back();
+}
+
+RudpChannel& InetCluster::rudp_pair(int host_a, int host_b, std::uint16_t port_base) {
+  rudp_chans_.push_back(std::make_unique<RudpChannel>(*this, host_a, host_b, port_base));
+  return *rudp_chans_.back();
 }
 
 DatagramSocket& InetCluster::udp_socket(int host, std::uint16_t port) {

@@ -24,6 +24,7 @@ namespace lcmpi::inet {
 
 class TcpEndpoint;
 class TcpConnection;
+class RudpChannel;
 
 /// A datagram as seen by UDP / raw sockets.
 struct Datagram {
@@ -108,6 +109,13 @@ class InetCluster {
   /// clusters use static connections; setup dynamics are out of scope).
   TcpConnection& tcp_pair(int host_a, int host_b);
 
+  /// Creates a reliable-UDP channel between two hosts, binding
+  /// `port_base` on host_a and `port_base + 1` on host_b. Owned by the
+  /// cluster, like tcp_pair — so the sockets a channel points into
+  /// outlive it by construction (channels are declared after, and thus
+  /// destroyed before, the socket map).
+  RudpChannel& rudp_pair(int host_a, int host_b, std::uint16_t port_base);
+
   /// Binds a UDP socket on `host`:`port`.
   DatagramSocket& udp_socket(int host, std::uint16_t port);
   /// Binds a Fore-API (raw AAL) socket on `host`:`port`.
@@ -140,6 +148,7 @@ class InetCluster {
   std::vector<std::unique_ptr<sim::FifoServer>> softirq_;
   std::map<std::uint64_t, std::unique_ptr<DatagramSocket>> dgram_socks_;  // host:port:raw
   std::vector<std::unique_ptr<TcpConnection>> tcp_conns_;
+  std::vector<std::unique_ptr<RudpChannel>> rudp_chans_;  // after dgram_socks_: see rudp_pair
   friend class TcpEndpoint;
 };
 

@@ -36,6 +36,7 @@ void RudpEndpoint::attach(InetCluster& cluster, DatagramSocket& sock, int peer_h
   sock_ = &sock;
   peer_host_ = peer_host;
   peer_port_ = peer_port;
+  rto_cur_ = cluster.profile().rto;
   sock_->set_on_arrival([this](Datagram d) { on_datagram(std::move(d)); });
 }
 
@@ -105,7 +106,7 @@ void RudpEndpoint::send_ack() {
 void RudpEndpoint::arm_rto() {
   if (rto_armed_) return;
   rto_armed_ = true;
-  rto_timer_ = cluster_->kernel().schedule(cluster_->profile().rto, [this] {
+  rto_timer_ = cluster_->kernel().schedule(rto_cur_, [this] {
     rto_armed_ = false;
     on_rto();
   });
@@ -115,6 +116,11 @@ void RudpEndpoint::on_rto() {
   if (in_flight() == 0 && send_q_.empty()) return;
   snd_nxt_ = snd_una_;  // go-back-N
   ++retransmits_;
+  // Exponential backoff: each expiry without forward progress doubles the
+  // next timeout (capped), so an unreachable peer costs O(log) probes per
+  // unit time, not a retransmit burst every fixed RTO. Any cumulative-ACK
+  // advance resets to the profile base (on_datagram).
+  rto_cur_ = std::min(rto_cur_ * 2, cluster_->profile().rto * kRtoBackoffCap);
   pump();
   arm_rto();
 }
@@ -131,6 +137,7 @@ void RudpEndpoint::on_datagram(Datagram d) {
       send_q_.erase(send_q_.begin(), send_q_.begin() + static_cast<std::ptrdiff_t>(acked));
       snd_una_ = seq;
       if (snd_nxt_ < snd_una_) snd_nxt_ = snd_una_;
+      rto_cur_ = cluster_->profile().rto;  // forward progress: reset backoff
       if (rto_armed_) {
         rto_timer_.cancel();
         rto_armed_ = false;

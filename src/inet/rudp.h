@@ -33,6 +33,14 @@ class RudpEndpoint final : public StreamEndpoint {
   [[nodiscard]] std::int64_t chunk_size() const;
   [[nodiscard]] std::int64_t retransmits() const { return retransmits_; }
   [[nodiscard]] std::int64_t chunks_sent() const { return chunks_sent_; }
+  /// The RTO the next timer will be armed with: profile().rto after any
+  /// forward ACK progress, doubled per expiry up to kRtoBackoffCap times
+  /// the base — so a dead or partitioned peer is probed at a geometrically
+  /// decaying rate instead of a fixed line-rate burst per RTO.
+  [[nodiscard]] Duration current_rto() const { return rto_cur_; }
+
+  /// Backoff ceiling, as a multiple of the profile's base RTO.
+  static constexpr std::int64_t kRtoBackoffCap = 64;
 
  private:
   friend class RudpChannel;
@@ -62,6 +70,7 @@ class RudpEndpoint final : public StreamEndpoint {
   std::int64_t window_bytes_ = 32 * 1024;
   sim::EventHandle rto_timer_;
   bool rto_armed_ = false;
+  Duration rto_cur_{};  // current (possibly backed-off) RTO; set in attach()
   sim::Trigger writable_;
   std::int64_t sndbuf_ = 65536;
 

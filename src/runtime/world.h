@@ -9,6 +9,8 @@
 //   LoopWorld       — idealised fabric for fast semantics tests
 //   ThreadsWorld    — REAL execution: one OS thread per rank over the
 //                     shared-memory SPSC-ring fabric (wall-clock time)
+//   SocketWorld     — REAL execution: one OS *process* per rank over a
+//                     kernel socket mesh (SocketFabric, wall-clock time)
 #pragma once
 
 #include <functional>
@@ -22,6 +24,7 @@
 #include "src/fabric/loop_fabric.h"
 #include "src/fabric/meiko_fabric.h"
 #include "src/fabric/shm_fabric.h"
+#include "src/fabric/socket_fabric.h"
 #include "src/fabric/stream_fabric.h"
 #include "src/inet/rudp.h"
 #include "src/inet/tcp.h"
@@ -95,9 +98,10 @@ class ClusterWorld {
   int nranks_;
   sim::Kernel kernel_;
   std::unique_ptr<atmnet::Network> net_;
+  // All connections/channels live in the cluster (tcp_pair / rudp_pair):
+  // one owner, and teardown order is fixed by the cluster's member order
+  // (channels before the sockets they point into).
   std::unique_ptr<inet::InetCluster> cluster_;
-  std::vector<std::unique_ptr<inet::TcpConnection>> tcp_conns_;   // owned by cluster actually
-  std::vector<std::unique_ptr<inet::RudpChannel>> rudp_chans_;
   std::unique_ptr<fabric::StreamFabric> fabric_;
   mpi::EngineConfig engine_cfg_;
 };
@@ -146,6 +150,51 @@ class ThreadsWorld {
 /// One-shot convenience mirroring the other worlds' run() entry points.
 Duration run_threads(int nranks, const RankFn& fn,
                      fabric::ShmFabric::Options opt = {},
+                     mpi::EngineConfig engine_cfg = {});
+
+/// Rank function whose returned bytes are shipped back to the launcher —
+/// the only way data leaves a SocketWorld rank, since each rank is a
+/// separate process and writes to captured variables die with the child.
+using CollectRankFn = std::function<Bytes(mpi::Comm& world, sim::Actor& self)>;
+
+/// Real execution across PROCESS boundaries: run() forks one child per
+/// rank; each child builds its SocketFabric attachment (rank-0 rendezvous
+/// over AF_UNIX or AF_INET loopback, full mesh, nonblocking data phase)
+/// and runs the unchanged engine + RankFn. The launcher harvests one
+/// result record per rank over a pipe, reaps every child, and propagates
+/// failure: a rank that threw reports its message (FabricError kept as
+/// FabricError — the peer-death path), a rank that died without a record
+/// is named by exit status or signal. Like ThreadsWorld, a SocketWorld
+/// runs only once (second run() throws std::logic_error) and run()
+/// returns elapsed wall-clock time.
+class SocketWorld {
+ public:
+  explicit SocketWorld(int nranks, fabric::SocketFabric::Options opt = {},
+                       mpi::EngineConfig engine_cfg = {});
+  ~SocketWorld();
+  SocketWorld(const SocketWorld&) = delete;
+  SocketWorld& operator=(const SocketWorld&) = delete;
+
+  [[nodiscard]] int nranks() const { return nranks_; }
+
+  /// Forks, runs `fn` on every rank, joins. Returns wall-clock elapsed.
+  Duration run(const RankFn& fn);
+
+  /// As run(), but returns each rank's result bytes (index = rank).
+  std::vector<Bytes> run_collect(const CollectRankFn& fn);
+
+ private:
+  int nranks_;
+  fabric::SocketFabric::Options opt_;
+  mpi::EngineConfig engine_cfg_;
+  std::string unix_dir_;  // mkdtemp'd socket dir (kUnix), removed in dtor
+  Duration elapsed_{};    // wall-clock of the (single) run
+  bool ran_ = false;
+};
+
+/// One-shot convenience mirroring run_threads.
+Duration run_sockets(int nranks, const RankFn& fn,
+                     fabric::SocketFabric::Options opt = {},
                      mpi::EngineConfig engine_cfg = {});
 
 /// Shared helper: spawn one actor per rank running `fn` over `fabric`.

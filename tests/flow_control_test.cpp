@@ -140,6 +140,46 @@ TEST(BadArgsTest, InvalidSendArgumentsRaise) {
   });
 }
 
+TEST(CreditClampTest, PiggybackGrantClampsAtWireFieldBoundary) {
+  // The wire's credit field is u32; owed_ is an int64 byte balance. The
+  // old static_cast silently dropped the high bits — a 4 GiB+1 balance
+  // became 1 byte of credit and the rest vanished, eventually wedging the
+  // sender. clamp_credit must conserve the balance across the split.
+  constexpr std::int64_t kMax = std::numeric_limits<std::uint32_t>::max();
+
+  EXPECT_EQ(clamp_credit(0).grant, 0u);
+  EXPECT_EQ(clamp_credit(0).remainder, 0);
+  EXPECT_EQ(clamp_credit(1).grant, 1u);
+  EXPECT_EQ(clamp_credit(1).remainder, 0);
+
+  // At the boundary: exactly representable, nothing carried.
+  EXPECT_EQ(clamp_credit(kMax).grant, std::numeric_limits<std::uint32_t>::max());
+  EXPECT_EQ(clamp_credit(kMax).remainder, 0);
+
+  // One past: the old cast produced grant == 0 here (all credit lost).
+  EXPECT_EQ(clamp_credit(kMax + 1).grant, std::numeric_limits<std::uint32_t>::max());
+  EXPECT_EQ(clamp_credit(kMax + 1).remainder, 1);
+
+  // Far past: conservation grant + remainder == owed, repeatedly applied
+  // until drained.
+  std::int64_t owed = 3 * kMax + 12345;
+  std::uint64_t granted = 0;
+  int rounds = 0;
+  while (owed > 0) {
+    const CreditGrant g = clamp_credit(owed);
+    EXPECT_EQ(static_cast<std::int64_t>(g.grant) + g.remainder, owed);
+    granted += g.grant;
+    owed = g.remainder;
+    ++rounds;
+  }
+  EXPECT_EQ(granted, static_cast<std::uint64_t>(3 * kMax + 12345));
+  EXPECT_EQ(rounds, 4);  // three full fields + the tail
+
+  // Extreme: no UB, no loss at int64 max.
+  EXPECT_EQ(clamp_credit(std::numeric_limits<std::int64_t>::max()).remainder,
+            std::numeric_limits<std::int64_t>::max() - kMax);
+}
+
 TEST(BadArgsTest, InvalidRecvArgumentsRaise) {
   LoopWorld w(2);
   w.run([&](Comm& c, sim::Actor&) {

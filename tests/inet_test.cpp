@@ -6,6 +6,7 @@
 #include "src/atmnet/ethernet.h"
 #include "src/inet/rudp.h"
 #include "src/inet/tcp.h"
+#include "src/runtime/world.h"
 #include "src/util/rng.h"
 
 namespace lcmpi::inet {
@@ -324,6 +325,58 @@ TEST(RudpTest, BidirectionalStreams) {
   w.kernel.run();
   EXPECT_EQ(g1, m1);
   EXPECT_EQ(g2, m2);
+}
+
+TEST(RudpTest, RtoBacksOffExponentiallyAndResetsOnAck) {
+  // Phase 1: the peer is effectively unreachable (99.99% loss, seeded so
+  // no datagram survives the window). Each expiry must double the next
+  // RTO up to the cap — the pinned retransmit count over 40 virtual
+  // seconds is the geometric schedule's, not line rate's (a fixed
+  // profile-RTO re-arm would fire ~160 times here).
+  EthWorld w;
+  w.net.set_loss(0.9999, 4242);
+  RudpChannel& ch = w.cluster.rudp_pair(0, 1, 6000);
+  const Bytes msg = random_bytes(20'000, 15);
+  Bytes got(msg.size());
+  w.kernel.spawn("writer", [&](sim::Actor& self) { ch.a().write(self, msg); });
+  w.kernel.spawn("reader", [&](sim::Actor& self) {
+    ch.b().read_exact(self, got.data(), got.size());
+  });
+  const Duration base = w.cluster.profile().rto;  // 250 ms
+  w.kernel.run_until(TimePoint{seconds(40).ns});
+  // Expiries at base * (2^(k+1) - 1): 0.25, 0.75, 1.75, ..., 31.75 s.
+  EXPECT_EQ(ch.a().retransmits(), 7);
+  EXPECT_EQ(ch.a().current_rto().ns, (base * RudpEndpoint::kRtoBackoffCap).ns);
+
+  // Phase 2: the network heals; the next retransmission round is ACKed,
+  // the backoff resets to the profile base, and the transfer completes.
+  w.net.set_loss(0.0, 0);
+  w.kernel.run();
+  EXPECT_EQ(got, msg);
+  EXPECT_GE(ch.a().retransmits(), 8);
+  EXPECT_EQ(ch.a().current_rto().ns, base.ns);
+}
+
+// ------------------------------------------------- cluster-world ownership
+
+TEST(ClusterWorldOwnership, RudpConstructDestructRepeatedly) {
+  // Regression for the old double-ownership: RudpChannels used to live in
+  // ClusterWorld while TCP connections lived in the cluster, leaving
+  // teardown order across the two objects accidental. Both now live in
+  // the cluster, channels declared after the socket map they point into —
+  // so destruction (channels first) can never leave a DatagramSocket
+  // calling into a freed endpoint. ASan CI runs this binary; the loop
+  // makes any double-free / use-after-free deterministic.
+  for (int i = 0; i < 3; ++i) {
+    runtime::ClusterWorld w(4, runtime::Media::kAtm, runtime::Transport::kRudp);
+  }
+  runtime::ClusterWorld w(3, runtime::Media::kEthernet, runtime::Transport::kRudp);
+  w.run([](mpi::Comm& c, sim::Actor&) {
+    std::int32_t v = c.rank();
+    std::int32_t sum = 0;
+    c.allreduce(&v, &sum, 1, mpi::Datatype::int32_type(), mpi::Op::kSum);
+    LCMPI_CHECK(sum == 0 + 1 + 2, "allreduce over rudp cluster broke");
+  });
 }
 
 // --------------------------------------------------------- raw (Fore API)

@@ -1,0 +1,200 @@
+// SocketWorld conformance + multi-process-only behavior.
+//
+// The shared battery (tests/world_conformance.h) runs on LoopWorld and on
+// one-process-per-rank SocketWorld; logs come back from the forked ranks
+// as serialized bytes over the launcher pipes (run_collect). Anything
+// asserted INSIDE a rank must throw rather than use gtest EXPECTs — a
+// failing EXPECT in a forked child cannot fail the parent's test, but an
+// exception becomes a rank-failure record the launcher rethrows.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/capi/mpi.h"
+#include "src/runtime/world.h"
+#include "tests/world_conformance.h"
+
+namespace lcmpi {
+namespace {
+
+using mpi::Datatype;
+using namespace lcmpi::conformance;
+
+std::vector<RankLog> run_on_sockets(int nranks, const Program& prog,
+                                    fabric::SocketFabric::Options opt = {}) {
+  runtime::SocketWorld world(nranks, opt);
+  const std::vector<Bytes> raw =
+      world.run_collect([&prog](mpi::Comm& comm, sim::Actor&) {
+        RankLog log;
+        prog(comm, log);
+        return log.serialize();
+      });
+  std::vector<RankLog> logs;
+  logs.reserve(raw.size());
+  for (const Bytes& b : raw) logs.push_back(RankLog::deserialize(b));
+  return logs;
+}
+
+/// Runs `prog` on both worlds and asserts rank-by-rank identical logs.
+void conform(int nranks, const Program& prog, fabric::SocketFabric::Options opt = {}) {
+  expect_logs_equal(run_on_loop(nranks, prog), run_on_sockets(nranks, prog, opt));
+}
+
+// ---------------------------------------------------------------- battery
+
+TEST(SocketWorldConformance, EagerAndRendezvousPingPong) {
+  conform(2, pingpong_program);
+}
+
+TEST(SocketWorldConformance, WildcardGatherPerStreamOrdering) {
+  conform(4, wildcard_gather_program);
+}
+
+TEST(SocketWorldConformance, NonblockingAllPairs) {
+  conform(4, nonblocking_program);
+}
+
+TEST(SocketWorldConformance, SendrecvRing) {
+  conform(4, sendrecv_ring_program);
+}
+
+TEST(SocketWorldConformance, Collectives) {
+  conform(4, collectives_program);
+}
+
+TEST(SocketWorldConformance, CreditExhaustion) {
+  conform(2, credit_exhaustion_program);
+}
+
+TEST(SocketWorldConformance, ThreeRankShapes) {
+  // Odd size: ring arithmetic, non-power-of-two collective trees.
+  conform(3, wildcard_gather_program);
+  conform(3, sendrecv_ring_program);
+  conform(3, collectives_program);
+}
+
+TEST(SocketWorldConformance, InetLoopbackPingPong) {
+  // Same battery entry over AF_INET/127.0.0.1 (TCP_NODELAY) instead of
+  // AF_UNIX: exercises the pre-bound-listener rendezvous handoff.
+  fabric::SocketFabric::Options opt;
+  opt.domain = fabric::SocketFabric::Domain::kInet;
+  conform(2, pingpong_program, opt);
+}
+
+// ------------------------------------------------------ process-only bits
+
+TEST(SocketWorldTest, ReportsWallClockTime) {
+  runtime::SocketWorld world(2);
+  const Duration elapsed = world.run([](mpi::Comm& c, sim::Actor&) {
+    const auto i32 = Datatype::int32_type();
+    std::int32_t v = 42;
+    if (c.rank() == 0) {
+      c.send(&v, 1, i32, 1, 1);
+    } else {
+      std::int32_t in = 0;
+      c.recv(&in, 1, i32, 0, 1);
+      if (in != 42) throw std::runtime_error("payload corrupted");
+    }
+  });
+  EXPECT_GT(elapsed.ns, 0);  // real time, not virtual
+}
+
+TEST(SocketWorldTest, RunCollectShipsPerRankBytes) {
+  runtime::SocketWorld world(3);
+  const std::vector<Bytes> results = world.run_collect([](mpi::Comm& c, sim::Actor&) {
+    // Rank results of different sizes: rank r returns r+1 bytes of r.
+    return Bytes(static_cast<std::size_t>(c.rank() + 1),
+                 static_cast<std::byte>(c.rank()));
+  });
+  ASSERT_EQ(results.size(), 3u);
+  for (int r = 0; r < 3; ++r) {
+    const auto& b = results[static_cast<std::size_t>(r)];
+    ASSERT_EQ(b.size(), static_cast<std::size_t>(r + 1)) << "rank " << r;
+    for (const std::byte v : b) EXPECT_EQ(v, static_cast<std::byte>(r));
+  }
+}
+
+TEST(SocketWorldTest, PeerDeathSurfacesCleanErrorNotHang) {
+  // Rank 1 dies abruptly (no BYE, no unwind) while rank 0 is blocked in a
+  // receive. Rank 0's fabric must classify the EOF as a death and throw
+  // FabricError — which the launcher propagates — instead of hanging.
+  runtime::SocketWorld world(2);
+  try {
+    world.run([](mpi::Comm& c, sim::Actor&) {
+      if (c.rank() == 1) std::_Exit(7);  // skips destructors: no BYE
+      std::int32_t v = 0;
+      c.recv(&v, 1, Datatype::int32_type(), 1, 1);  // never satisfied
+    });
+    FAIL() << "peer death was not detected";
+  } catch (const fabric::FabricError& e) {
+    EXPECT_NE(std::string(e.what()).find("died"), std::string::npos) << e.what();
+  }
+}
+
+TEST(SocketWorldTest, RankExceptionPropagates) {
+  runtime::SocketWorld world(2);
+  try {
+    world.run([](mpi::Comm& c, sim::Actor&) {
+      // Both ranks throw, so neither blocks in a recv forever; the
+      // launcher must rethrow the rank-0 message.
+      throw std::runtime_error("boom from rank " + std::to_string(c.rank()));
+    });
+    FAIL() << "rank exception did not propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("boom from rank 0"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SocketWorldTest, SecondRunThrowsLogicError) {
+  // Same contract as ThreadsWorld: a world runs exactly once.
+  runtime::SocketWorld world(2);
+  world.run([](mpi::Comm&, sim::Actor&) {});
+  EXPECT_THROW(world.run([](mpi::Comm&, sim::Actor&) {}), std::logic_error);
+}
+
+TEST(SocketWorldTest, DetachedActorIdentityInChild) {
+  // Assertions run in the forked rank: violations throw and surface
+  // through the launcher as rank failures.
+  runtime::SocketWorld world(2);
+  world.run([](mpi::Comm& c, sim::Actor& self) {
+    if (!self.is_detached()) throw std::logic_error("actor not detached");
+    if (sim::Actor::current() != &self) throw std::logic_error("current() unbound");
+    if (self.name() != "rank-" + std::to_string(c.rank()))
+      throw std::logic_error("wrong actor name");
+  });
+}
+
+TEST(SocketWorldTest, CApiPerRankStateAcrossProcesses) {
+  // The C API binds RankState to the child's detached actor; each process
+  // must see its own rank and a correct collective result.
+  runtime::SocketWorld world(4);
+  capi::run_on(world, [] {
+    MPI_Init(nullptr, nullptr);
+    int rank = -1, size = -1;
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &size);
+    if (size != 4) throw std::runtime_error("wrong world size");
+    int token = rank * 11;
+    int sum = 0;
+    MPI_Allreduce(&token, &sum, 1, MPI_INT, MPI_SUM, MPI_COMM_WORLD);
+    if (sum != 11 * (0 + 1 + 2 + 3)) throw std::runtime_error("allreduce mismatch");
+    MPI_Finalize();
+  });
+}
+
+TEST(SocketWorldTest, RunSocketsConvenience) {
+  const Duration d = runtime::run_sockets(2, [](mpi::Comm& c, sim::Actor&) {
+    std::int32_t v = c.rank();
+    std::int32_t sum = 0;
+    c.allreduce(&v, &sum, 1, Datatype::int32_type(), mpi::Op::kSum);
+    if (sum != 1) throw std::runtime_error("allreduce mismatch");
+  });
+  EXPECT_GT(d.ns, 0);
+}
+
+}  // namespace
+}  // namespace lcmpi

@@ -1,80 +1,25 @@
-// Cross-world conformance: the same battery of rank programs runs on the
-// single-threaded simulator (LoopWorld) and on real OS threads over the
-// shared-memory SPSC-ring fabric (ThreadsWorld), and every observable that
-// MPI pins down must agree — payload bytes, Status fields, and the order
-// of messages *within* each (source, tag) stream. What MPI deliberately
-// leaves open (the interleaving *across* sources under wildcards) is
-// compared order-insensitively, which is exactly what keying the logs by
-// (source, tag) encodes.
+// ThreadsWorld conformance + threads-only behavior. The cross-world
+// battery itself lives in tests/world_conformance.h, shared with the
+// multi-process socket backend (socket_world_test.cpp); this file binds it
+// to ThreadsWorld and adds what only makes sense with threads (ring
+// parking, detached-actor identity under one address space).
 //
 // This file is the first place the MPI core executes under true
 // concurrency, so CI also runs it under ThreadSanitizer.
 #include <gtest/gtest.h>
 
 #include <cstdint>
-#include <cstring>
-#include <functional>
-#include <map>
-#include <numeric>
-#include <utility>
 #include <vector>
 
 #include "src/capi/mpi.h"
 #include "src/runtime/world.h"
+#include "tests/world_conformance.h"
 
 namespace lcmpi {
 namespace {
 
 using mpi::Datatype;
-using mpi::kAnySource;
-using mpi::kAnyTag;
-
-// ------------------------------------------------------------ the harness
-
-/// What one rank observed. Streams are keyed by (source, tag) — the unit
-/// MPI orders — holding payload checksums in receive order; scalars hold
-/// collective results and other single values, in program order.
-struct RankLog {
-  std::map<std::pair<int, int>, std::vector<std::uint64_t>> streams;
-  std::vector<std::int64_t> scalars;
-
-  void log_msg(int src, int tag, std::uint64_t checksum) {
-    streams[{src, tag}].push_back(checksum);
-  }
-  void log_scalar(std::int64_t v) { scalars.push_back(v); }
-};
-
-std::uint64_t fnv1a(const void* data, std::size_t n) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  std::uint64_t h = 1469598103934665603ull;
-  for (std::size_t i = 0; i < n; ++i) h = (h ^ p[i]) * 1099511628211ull;
-  return h;
-}
-
-/// Deterministic payload: a pure function of (src, tag, index, size), so
-/// both worlds generate — and must observe — identical bytes.
-std::vector<unsigned char> make_payload(int src, int tag, int index, std::size_t size) {
-  std::vector<unsigned char> buf(size);
-  std::uint64_t x = fnv1a(&size, sizeof size) ^ static_cast<std::uint64_t>(src) << 40 ^
-                    static_cast<std::uint64_t>(tag) << 20 ^
-                    static_cast<std::uint64_t>(index);
-  for (std::size_t i = 0; i < size; ++i) {
-    x = x * 6364136223846793005ull + 1442695040888963407ull;
-    buf[i] = static_cast<unsigned char>(x >> 56);
-  }
-  return buf;
-}
-
-using Program = std::function<void(mpi::Comm&, RankLog&)>;
-
-std::vector<RankLog> run_on_loop(int nranks, const Program& prog) {
-  std::vector<RankLog> logs(static_cast<std::size_t>(nranks));
-  runtime::LoopWorld world(nranks);
-  world.run([&prog, &logs](mpi::Comm& comm, sim::Actor&) {
-    prog(comm, logs[static_cast<std::size_t>(comm.rank())]);
-  });
-  return logs;
-}
+using namespace lcmpi::conformance;
 
 std::vector<RankLog> run_on_threads(int nranks, const Program& prog,
                                     fabric::ShmFabric::Options opt = {}) {
@@ -89,173 +34,7 @@ std::vector<RankLog> run_on_threads(int nranks, const Program& prog,
 
 /// Runs `prog` on both worlds and asserts rank-by-rank identical logs.
 void conform(int nranks, const Program& prog, fabric::ShmFabric::Options opt = {}) {
-  const std::vector<RankLog> sim = run_on_loop(nranks, prog);
-  const std::vector<RankLog> real = run_on_threads(nranks, prog, opt);
-  for (int r = 0; r < nranks; ++r) {
-    const RankLog& a = sim[static_cast<std::size_t>(r)];
-    const RankLog& b = real[static_cast<std::size_t>(r)];
-    EXPECT_EQ(a.scalars, b.scalars) << "rank " << r;
-    ASSERT_EQ(a.streams.size(), b.streams.size()) << "rank " << r;
-    for (const auto& [key, seq] : a.streams) {
-      auto it = b.streams.find(key);
-      ASSERT_NE(it, b.streams.end())
-          << "rank " << r << " missing stream (" << key.first << "," << key.second << ")";
-      EXPECT_EQ(seq, it->second)
-          << "rank " << r << " stream (" << key.first << "," << key.second << ")";
-    }
-  }
-}
-
-// ------------------------------------------------------------ the battery
-
-/// Eager and rendezvous sizes straddling the 180-byte crossover, echoed
-/// back so both directions of each protocol mode are exercised.
-void pingpong_program(mpi::Comm& c, RankLog& log) {
-  const auto byte = Datatype::byte_type();
-  const std::size_t sizes[] = {1, 64, 179, 180, 4096, 64 * 1024};
-  int tag = 100;
-  for (const std::size_t size : sizes) {
-    if (c.rank() == 0) {
-      auto out = make_payload(0, tag, 0, size);
-      c.send(out.data(), static_cast<int>(size), byte, 1, tag);
-      std::vector<unsigned char> back(size);
-      const mpi::Status st = c.recv(back.data(), static_cast<int>(size), byte, 1, tag + 1);
-      log.log_msg(st.source, st.tag, fnv1a(back.data(), back.size()));
-      log.log_scalar(st.count_bytes);
-    } else if (c.rank() == 1) {
-      std::vector<unsigned char> in(size);
-      const mpi::Status st = c.recv(in.data(), static_cast<int>(size), byte, 0, tag);
-      log.log_msg(st.source, st.tag, fnv1a(in.data(), in.size()));
-      c.send(in.data(), static_cast<int>(size), byte, 0, tag + 1);
-    }
-    tag += 2;
-  }
-}
-
-/// Every rank but 0 fires bursts at rank 0, which receives fully wildcarded
-/// and logs per actual (source, tag) — the interleaving across sources is
-/// free, the order within each stream is not.
-void wildcard_gather_program(mpi::Comm& c, RankLog& log) {
-  const auto byte = Datatype::byte_type();
-  constexpr int kPerRank = 9;
-  if (c.rank() == 0) {
-    const int total = (c.size() - 1) * kPerRank;
-    for (int i = 0; i < total; ++i) {
-      std::vector<unsigned char> buf(512);
-      const mpi::Status st =
-          c.recv(buf.data(), static_cast<int>(buf.size()), byte, kAnySource, kAnyTag);
-      log.log_msg(st.source, st.tag,
-                  fnv1a(buf.data(), static_cast<std::size_t>(st.count_bytes)));
-    }
-  } else {
-    for (int i = 0; i < kPerRank; ++i) {
-      const int tag = i % 3;
-      // Mixed sizes: eager and rendezvous messages interleave per stream.
-      const std::size_t size = i % 2 == 0 ? 96 : 400;
-      auto out = make_payload(c.rank(), tag, i, size);
-      c.send(out.data(), static_cast<int>(size), byte, 0, tag);
-    }
-  }
-}
-
-/// All-pairs nonblocking exchange: isend to every peer, irecv from every
-/// peer, one wait_all over the lot.
-void nonblocking_program(mpi::Comm& c, RankLog& log) {
-  const auto byte = Datatype::byte_type();
-  const int n = c.size();
-  const std::size_t size = 300;  // rendezvous-side, so completion needs progress
-  std::vector<std::vector<unsigned char>> outs, ins;
-  std::vector<mpi::Request> reqs;
-  for (int peer = 0; peer < n; ++peer) {
-    if (peer == c.rank()) continue;
-    outs.push_back(make_payload(c.rank(), peer, 0, size));
-    reqs.push_back(c.isend(outs.back().data(), static_cast<int>(size), byte, peer,
-                           /*tag=*/c.rank()));
-  }
-  for (int peer = 0; peer < n; ++peer) {
-    if (peer == c.rank()) continue;
-    ins.emplace_back(size);
-    reqs.push_back(c.irecv(ins.back().data(), static_cast<int>(size), byte, peer,
-                           /*tag=*/peer));
-  }
-  c.wait_all(reqs);
-  std::size_t slot = 0;
-  for (int peer = 0; peer < n; ++peer) {
-    if (peer == c.rank()) continue;
-    log.log_msg(peer, peer, fnv1a(ins[slot].data(), ins[slot].size()));
-    ++slot;
-  }
-}
-
-/// sendrecv ring rotations, then sendrecv_replace in the other direction.
-void sendrecv_ring_program(mpi::Comm& c, RankLog& log) {
-  const auto i32 = Datatype::int32_type();
-  const int n = c.size();
-  const int right = (c.rank() + 1) % n;
-  const int left = (c.rank() + n - 1) % n;
-  std::int32_t vals[8];
-  for (int i = 0; i < 8; ++i) vals[i] = c.rank() * 1000 + i;
-  for (int round = 0; round < n; ++round) {
-    std::int32_t incoming[8];
-    const mpi::Status st = c.sendrecv(vals, 8, i32, right, 7, incoming, 8, i32, left, 7);
-    std::memcpy(vals, incoming, sizeof vals);
-    log.log_msg(st.source, st.tag, fnv1a(vals, sizeof vals));
-  }
-  for (int round = 0; round < n; ++round) {
-    const mpi::Status st = c.sendrecv_replace(vals, 8, i32, left, 9, right, 9);
-    log.log_msg(st.source, st.tag, fnv1a(vals, sizeof vals));
-  }
-  log.log_scalar(vals[0]);
-}
-
-/// bcast from every root, reduce/allreduce, barriers between phases.
-void collectives_program(mpi::Comm& c, RankLog& log) {
-  const auto i32 = Datatype::int32_type();
-  const int n = c.size();
-  for (int root = 0; root < n; ++root) {
-    std::int32_t buf[16];
-    if (c.rank() == root)
-      for (int i = 0; i < 16; ++i) buf[i] = root * 100 + i;
-    c.bcast(buf, 16, i32, root);
-    log.log_scalar(fnv1a(buf, sizeof buf) & 0x7fffffff);
-    c.barrier();
-  }
-  std::int32_t mine = (c.rank() + 1) * 7;
-  std::int32_t sum = 0;
-  c.reduce(&mine, &sum, 1, i32, mpi::Op::kSum, 0);
-  if (c.rank() == 0) log.log_scalar(sum);
-  std::int32_t maxv = 0;
-  c.allreduce(&mine, &maxv, 1, i32, mpi::Op::kMax);
-  log.log_scalar(maxv);
-  c.barrier();
-}
-
-/// One sender floods eager messages far past the credit window (16 KB by
-/// default) at a receiver that only starts consuming after the flood is in
-/// flight — deferred launches, credit returns, and (with tiny rings) the
-/// full-ring producer parking path all fire. Every payload must still
-/// arrive intact and in order.
-void credit_exhaustion_program(mpi::Comm& c, RankLog& log) {
-  const auto byte = Datatype::byte_type();
-  constexpr int kMsgs = 400;
-  constexpr std::size_t kSize = 128;  // eager; 400 * (128+25) >> 16 KB credit
-  if (c.rank() == 0) {
-    std::vector<mpi::Request> reqs;
-    std::vector<std::vector<unsigned char>> bufs;
-    reqs.reserve(kMsgs);
-    for (int i = 0; i < kMsgs; ++i) {
-      bufs.push_back(make_payload(0, 3, i, kSize));
-      reqs.push_back(c.isend(bufs.back().data(), static_cast<int>(kSize), byte, 1, 3));
-    }
-    c.wait_all(reqs);
-  } else if (c.rank() == 1) {
-    for (int i = 0; i < kMsgs; ++i) {
-      std::vector<unsigned char> buf(kSize);
-      const mpi::Status st = c.recv(buf.data(), static_cast<int>(kSize), byte, 0, 3);
-      log.log_msg(st.source, st.tag, fnv1a(buf.data(), buf.size()));
-    }
-  }
-  c.barrier();
+  expect_logs_equal(run_on_loop(nranks, prog), run_on_threads(nranks, prog, opt));
 }
 
 // ---------------------------------------------------------------- tests
@@ -355,10 +134,12 @@ TEST(ThreadsWorldTest, RankExceptionPropagatesAfterJoin) {
                std::runtime_error);
 }
 
-TEST(ThreadsWorldTest, RunsOnlyOnce) {
+TEST(ThreadsWorldTest, SecondRunThrowsLogicError) {
+  // The documented contract is std::logic_error (InternalError derives
+  // from it); pin the std type so callers need not know the hierarchy.
   runtime::ThreadsWorld world(2);
   world.run([](mpi::Comm&, sim::Actor&) {});
-  EXPECT_THROW(world.run([](mpi::Comm&, sim::Actor&) {}), InternalError);
+  EXPECT_THROW(world.run([](mpi::Comm&, sim::Actor&) {}), std::logic_error);
 }
 
 TEST(ThreadsWorldTest, DetachedActorIdentity) {
