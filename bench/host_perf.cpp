@@ -44,6 +44,21 @@
 //                  Wall time includes fork + rendezvous, so this is a whole-
 //                  launch figure, not a pure wire latency. The process exits
 //                  nonzero if either domain fails to complete the exchange.
+//   bulk_plane   — REAL bulk-data-plane numbers: a one-way rendezvous
+//                  bandwidth sweep (64 KiB .. 4 MiB) per transport —
+//                  ThreadsWorld direct handoff, SocketWorld AF_UNIX with the
+//                  memfd ring / dedicated stream socket / inline (pre-bulk
+//                  baseline) planes, and AF_INET with MSG_ZEROCOPY — with a
+//                  least-squares y(N) = a + b*N fit per transport (a = fixed
+//                  per-transfer cost, 1/b = asymptotic bytes/sec). Timings
+//                  are taken INSIDE rank 0 and shipped out via run_collect,
+//                  so fork + rendezvous cost is excluded. Two gates: the
+//                  memfd plane must deliver >= 2x the inline plane's
+//                  large-transfer bandwidth, and the eager ping-pong RTT
+//                  measured concurrently with a huge in-flight rendezvous
+//                  must stay <= 2x the idle RTT (bulk/control isolation —
+//                  the whole point of the split data plane). The process
+//                  exits nonzero if either gate fails.
 //   end_to_end   — 16-rank Meiko solver: virtual ms simulated per host s
 #include <algorithm>
 #include <chrono>
@@ -662,6 +677,265 @@ SocketWorldResult socket_world_point(bool quick) {
   return r;
 }
 
+// --- bulk plane: per-transport rendezvous bandwidth + control isolation ------
+//
+// The zero-copy bulk plane exists to make two numbers better: large-transfer
+// bandwidth (fewer copies per byte) and small-message latency while a large
+// transfer is in flight (bulk bytes no longer head-of-line-block the framed
+// control channel). This section measures both on the real backends.
+//
+// Bandwidth: rank 0 pushes `reps` rendezvous messages of N bytes to rank 1
+// and waits for a 1-byte ack; N sweeps 64 KiB -> 4 MiB. Per-transfer time is
+// fit with least squares to t(N) = a + b*N, so the per-transfer fixed cost
+// (a) and the marginal cost per byte (b, reported as 1/b bytes/sec) separate
+// cleanly even though small-N points include protocol overhead. Timing runs
+// inside rank 0 (after a warmup transfer and a barrier), so fork/rendezvous
+// setup never pollutes the fit.
+//
+// Isolation: with a huge rendezvous in flight 1 -> 0, rank 0 runs eager
+// ping-pongs against rank 1 and compares the loaded RTT to the idle RTT
+// measured moments earlier in the same world. On the inline plane the bulk
+// payload serialises ahead of control frames; on the split planes the bulk
+// bytes move in 256 KiB pump quanta on their own socket/ring, so control
+// frames overtake them.
+
+struct BulkFit {
+  double a_usec = 0;        // fixed per-transfer cost (fit intercept)
+  double bytes_per_sec = 0; // asymptotic bandwidth (1 / fit slope)
+};
+
+struct BulkSweepPoint {
+  std::size_t bytes = 0;
+  double usec_per_transfer = 0;
+  double mb_per_sec = 0;
+};
+
+struct BulkTransport {
+  std::string name;
+  std::vector<BulkSweepPoint> points;
+  BulkFit fit;
+};
+
+struct BulkPlaneResult {
+  int reps = 0;
+  std::vector<std::size_t> sizes;
+  std::vector<BulkTransport> transports;
+  double memfd_vs_inline = 0;   // bandwidth ratio at the largest size
+  bool bandwidth_bar = false;   // memfd >= 2x inline at >= 1 MiB
+  std::size_t isolation_bulk_bytes = 0;
+  std::uint64_t isolation_rounds = 0;
+  double idle_usec_per_rtt = 0;
+  double loaded_usec_per_rtt = 0;
+  double isolation_ratio = 0;
+  bool isolation_bar = false;   // loaded RTT <= 2x idle RTT
+};
+
+/// Least squares for t(N) = a + b*N over the sweep points.
+BulkFit fit_points(const std::vector<BulkSweepPoint>& pts) {
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const double n = static_cast<double>(pts.size());
+  for (const BulkSweepPoint& p : pts) {
+    const double x = static_cast<double>(p.bytes);
+    const double y = p.usec_per_transfer * 1e-6;
+    sx += x; sy += y; sxx += x * x; sxy += x * y;
+  }
+  const double denom = n * sxx - sx * sx;
+  const double b = (n * sxy - sx * sy) / denom;
+  BulkFit f;
+  f.a_usec = (sy - b * sx) / n * 1e6;
+  f.bytes_per_sec = b > 0 ? 1.0 / b : 0;
+  return f;
+}
+
+/// One-way rendezvous push, timed inside rank 0: barrier, `reps` pipelined
+/// sends of `size` bytes (the receiver pre-posts every irecv, netpipe-style,
+/// so the RTS/CTS handshakes overlap the data and the plane's streaming
+/// rate is what gets measured), then a 1-byte ack so the clock stops at
+/// full delivery. Returns the measured seconds (meaningful on rank 0 only).
+double bulk_push_seconds(mpi::Comm& c, std::size_t size, int reps) {
+  const auto byte = mpi::Datatype::byte_type();
+  std::vector<unsigned char> buf(size, 0xb5);
+  unsigned char ack = 0;
+  // Warmup: first rendezvous on a fresh pair walks the negotiation path.
+  if (c.rank() == 0) {
+    c.send(buf.data(), static_cast<int>(size), byte, 1, 7);
+  } else {
+    c.recv(buf.data(), static_cast<int>(size), byte, 0, 7);
+  }
+  c.barrier();
+  const auto t0 = Clock::now();
+  std::vector<mpi::Request> window;
+  window.reserve(static_cast<std::size_t>(reps));
+  if (c.rank() == 0) {
+    for (int i = 0; i < reps; ++i)
+      window.push_back(c.isend(buf.data(), static_cast<int>(size), byte, 1, 7));
+    c.wait_all(window);
+    c.recv(&ack, 1, byte, 1, 8);
+  } else {
+    for (int i = 0; i < reps; ++i)
+      window.push_back(c.irecv(buf.data(), static_cast<int>(size), byte, 0, 7));
+    c.wait_all(window);
+    c.send(&ack, 1, byte, 0, 8);
+  }
+  return seconds_since(t0);
+}
+
+/// Eager ping-pong RTT idle, then again with a huge rendezvous in flight
+/// 1 -> 0. Writes {idle_s, loaded_s} (rank 0 only).
+void bulk_isolation_program(mpi::Comm& c, std::size_t bulk_bytes,
+                            std::uint64_t rounds, double out[2]) {
+  const auto byte = mpi::Datatype::byte_type();
+  unsigned char small[64] = {1};
+  const auto pingpong = [&](int tag_out, int tag_in) {
+    for (std::uint64_t i = 0; i < rounds; ++i) {
+      if (c.rank() == 0) {
+        c.send(small, sizeof small, byte, 1, tag_out);
+        c.recv(small, sizeof small, byte, 1, tag_in);
+      } else {
+        c.recv(small, sizeof small, byte, 0, tag_out);
+        c.send(small, sizeof small, byte, 0, tag_in);
+      }
+    }
+  };
+  c.barrier();
+  auto t0 = Clock::now();
+  pingpong(1, 2);
+  out[0] = seconds_since(t0);
+  c.barrier();
+  std::vector<unsigned char> big(bulk_bytes, 0x7e);
+  if (c.rank() == 0) {
+    mpi::Request r = c.irecv(big.data(), static_cast<int>(bulk_bytes), byte, 1, 99);
+    t0 = Clock::now();
+    pingpong(3, 4);
+    out[1] = seconds_since(t0);
+    c.wait(r);
+  } else {
+    mpi::Request r = c.isend(big.data(), static_cast<int>(bulk_bytes), byte, 0, 99);
+    pingpong(3, 4);
+    c.wait(r);
+  }
+  c.barrier();
+}
+
+Bytes pack_doubles(const double* v, std::size_t n) {
+  Bytes out(n * sizeof(double));
+  std::memcpy(out.data(), v, out.size());
+  return out;
+}
+
+double unpack_double(const Bytes& b, std::size_t i) {
+  double v = 0;
+  std::memcpy(&v, b.data() + i * sizeof(double), sizeof(double));
+  return v;
+}
+
+BulkPlaneResult bulk_plane_point(bool quick) {
+  BulkPlaneResult r;
+  // Enough reps to amortise scheduler quanta — on a single-CPU host the
+  // two rank processes time-slice, so short runs measure the scheduler.
+  r.reps = quick ? 32 : 64;
+  r.sizes = {64 << 10, 256 << 10, 1 << 20, 4 << 20};
+
+  const auto add_transport = [&](std::string name,
+                                 const std::function<double(std::size_t)>& run) {
+    BulkTransport t;
+    t.name = std::move(name);
+    for (const std::size_t size : r.sizes) {
+      BulkSweepPoint p;
+      p.bytes = size;
+      // Best of two launches damps host noise on the small sizes.
+      double s = run(size);
+      s = std::min(s, run(size));
+      p.usec_per_transfer = s * 1e6 / r.reps;
+      p.mb_per_sec = static_cast<double>(size) * r.reps / s / 1e6;
+      t.points.push_back(p);
+    }
+    t.fit = fit_points(t.points);
+    r.transports.push_back(std::move(t));
+  };
+
+  add_transport("threads-shm", [&](std::size_t size) {
+    double s = 0;
+    runtime::ThreadsWorld world(2);
+    world.run([&](mpi::Comm& c, sim::Actor&) {
+      const double mine = bulk_push_seconds(c, size, r.reps);
+      if (c.rank() == 0) s = mine;
+    });
+    return s;
+  });
+  const auto socket_bw = [&](fabric::SocketFabric::Options opt,
+                             std::size_t size) {
+    runtime::SocketWorld world(2, opt);
+    std::vector<Bytes> out =
+        world.run_collect([&](mpi::Comm& c, sim::Actor&) -> Bytes {
+          const double s = bulk_push_seconds(c, size, r.reps);
+          return pack_doubles(&s, 1);
+        });
+    return unpack_double(out[0], 0);
+  };
+  {
+    fabric::SocketFabric::Options opt;  // AF_UNIX + memfd ring (default)
+    add_transport("unix-memfd",
+                  [&, opt](std::size_t size) { return socket_bw(opt, size); });
+  }
+  {
+    fabric::SocketFabric::Options opt;
+    opt.bulk = fabric::SocketFabric::Bulk::kStream;
+    add_transport("unix-stream",
+                  [&, opt](std::size_t size) { return socket_bw(opt, size); });
+  }
+  {
+    fabric::SocketFabric::Options opt;
+    opt.bulk = fabric::SocketFabric::Bulk::kInline;  // pre-bulk baseline
+    add_transport("unix-inline",
+                  [&, opt](std::size_t size) { return socket_bw(opt, size); });
+  }
+  {
+    fabric::SocketFabric::Options opt;
+    opt.domain = fabric::SocketFabric::Domain::kInet;  // stream + MSG_ZEROCOPY
+    add_transport("inet-stream",
+                  [&, opt](std::size_t size) { return socket_bw(opt, size); });
+  }
+
+  const auto find = [&](const char* name) -> const BulkTransport& {
+    for (const BulkTransport& t : r.transports)
+      if (t.name == name) return t;
+    std::fprintf(stderr, "bulk_plane: missing transport %s\n", name);
+    std::exit(1);
+  };
+  // Gate on the measured >= 1 MiB points (both must clear), not the fit:
+  // the fit's intercept can soak up noise the gate should see.
+  const BulkTransport& memfd = find("unix-memfd");
+  const BulkTransport& inline_t = find("unix-inline");
+  double worst = 1e9;
+  for (std::size_t i = 0; i < r.sizes.size(); ++i) {
+    if (r.sizes[i] < (1u << 20)) continue;
+    worst = std::min(worst, memfd.points[i].mb_per_sec / inline_t.points[i].mb_per_sec);
+  }
+  r.memfd_vs_inline = worst;
+  r.bandwidth_bar = worst >= 2.0;
+
+  // Control/bulk isolation on the default SocketWorld transport.
+  r.isolation_bulk_bytes = quick ? (8u << 20) : (64u << 20);
+  r.isolation_rounds = quick ? 300 : 1500;
+  {
+    runtime::SocketWorld world(2);
+    std::vector<Bytes> out =
+        world.run_collect([&](mpi::Comm& c, sim::Actor&) -> Bytes {
+          double t[2] = {0, 0};
+          bulk_isolation_program(c, r.isolation_bulk_bytes, r.isolation_rounds, t);
+          return pack_doubles(t, 2);
+        });
+    r.idle_usec_per_rtt =
+        unpack_double(out[0], 0) * 1e6 / static_cast<double>(r.isolation_rounds);
+    r.loaded_usec_per_rtt =
+        unpack_double(out[0], 1) * 1e6 / static_cast<double>(r.isolation_rounds);
+  }
+  r.isolation_ratio = r.loaded_usec_per_rtt / r.idle_usec_per_rtt;
+  r.isolation_bar = r.isolation_ratio <= 2.0;
+  return r;
+}
+
 // --- end to end --------------------------------------------------------------
 
 struct EndToEnd {
@@ -699,13 +973,13 @@ void write_json(const std::string& path, bool quick,
                 const ActorResult& actors,
                 const std::vector<ClusterPoint>& cluster,
                 const ThreadsWorldResult& tw, const SocketWorldResult& sw,
-                const EndToEnd& e2e) {
+                const BulkPlaneResult& bp, const EndToEnd& e2e) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "host_perf: cannot open %s\n", path.c_str());
     std::exit(1);
   }
-  std::fprintf(f, "{\n  \"schema\": \"lcmpi-host-perf-v5\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"lcmpi-host-perf-v6\",\n");
   std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
   std::fprintf(f, "  \"matching\": [\n");
   for (std::size_t i = 0; i < pts.size(); ++i) {
@@ -811,6 +1085,31 @@ void write_json(const std::string& path, bool quick,
                "    \"inet_usec_per_rtt\": %.2f, \"inet_msgs_per_sec\": %.0f},\n",
                static_cast<unsigned long long>(sw.rounds), sw.unix_usec_per_rtt,
                sw.unix_msgs_per_sec, sw.inet_usec_per_rtt, sw.inet_msgs_per_sec);
+  std::fprintf(f, "  \"bulk_plane\": {\"reps\": %d,\n    \"transports\": [\n",
+               bp.reps);
+  for (std::size_t i = 0; i < bp.transports.size(); ++i) {
+    const BulkTransport& t = bp.transports[i];
+    std::fprintf(f, "      {\"name\": \"%s\", \"points\": [", t.name.c_str());
+    for (std::size_t j = 0; j < t.points.size(); ++j)
+      std::fprintf(f, "{\"bytes\": %zu, \"usec_per_transfer\": %.1f, "
+                      "\"mb_per_sec\": %.1f}%s",
+                   t.points[j].bytes, t.points[j].usec_per_transfer,
+                   t.points[j].mb_per_sec, j + 1 < t.points.size() ? ", " : "");
+    std::fprintf(f, "],\n       \"fit_a_usec\": %.1f, \"fit_mb_per_sec\": %.1f}%s\n",
+                 t.fit.a_usec, t.fit.bytes_per_sec / 1e6,
+                 i + 1 < bp.transports.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "    ],\n    \"memfd_vs_inline\": %.2f, "
+               "\"bandwidth_bar\": %s,\n"
+               "    \"isolation\": {\"bulk_bytes\": %zu, \"rounds\": %llu, "
+               "\"idle_usec_per_rtt\": %.2f, \"loaded_usec_per_rtt\": %.2f, "
+               "\"ratio\": %.2f, \"isolation_bar\": %s}},\n",
+               bp.memfd_vs_inline, bp.bandwidth_bar ? "true" : "false",
+               bp.isolation_bulk_bytes,
+               static_cast<unsigned long long>(bp.isolation_rounds),
+               bp.idle_usec_per_rtt, bp.loaded_usec_per_rtt, bp.isolation_ratio,
+               bp.isolation_bar ? "true" : "false");
   std::fprintf(f,
                "  \"end_to_end\": {\"ranks\": %d, \"solver_n\": %d, "
                "\"virtual_ms\": %.3f, \"host_s\": %.3f, "
@@ -949,14 +1248,39 @@ int run(int argc, char** argv) {
   std::printf("socket-world bar (both domains complete the exchange): %s\n",
               sw.meets_bar ? "PASS" : "FAIL");
 
+  std::printf("\nhost_perf: bulk plane (rendezvous bandwidth sweep + "
+              "control/bulk isolation)\n");
+  const BulkPlaneResult bp = bulk_plane_point(quick);
+  std::printf("  %-12s %10s %10s %10s %10s | fit a=%s, 1/b=%s\n", "transport",
+              "64K", "256K", "1M", "4M", "usec", "MB/s");
+  for (const BulkTransport& t : bp.transports) {
+    std::printf("  %-12s", t.name.c_str());
+    for (const BulkSweepPoint& p : t.points) std::printf(" %9.1f", p.mb_per_sec);
+    std::printf("  | a=%.1f us, %.0f MB/s\n", t.fit.a_usec,
+                t.fit.bytes_per_sec / 1e6);
+  }
+  std::printf("  memfd vs inline bandwidth (worst point >= 1 MiB): %.2fx\n",
+              bp.memfd_vs_inline);
+  std::printf("bulk bandwidth bar (memfd >= 2x inline at >= 1 MiB): %s\n",
+              bp.bandwidth_bar ? "PASS" : "FAIL");
+  std::printf("  control RTT: idle %.2f us, with %zu MiB bulk in flight "
+              "%.2f us (%.2fx)\n",
+              bp.idle_usec_per_rtt, bp.isolation_bulk_bytes >> 20,
+              bp.loaded_usec_per_rtt, bp.isolation_ratio);
+  std::printf("bulk/control isolation bar (loaded RTT <= 2x idle): %s\n",
+              bp.isolation_bar ? "PASS" : "FAIL");
+
   std::printf("\nhost_perf: end-to-end (16-rank Meiko solver, N=96)\n");
   const EndToEnd e2e = solver_end_to_end();
   std::printf("  virtual: %.3f ms, host: %.3f s -> %.1f sim-ms/host-s\n",
               e2e.virtual_ms, e2e.host_s, e2e.sim_ms_per_host_s);
 
-  write_json(out, quick, pts, ek, sched, actors, cluster, tw, sw, e2e);
+  write_json(out, quick, pts, ek, sched, actors, cluster, tw, sw, bp, e2e);
   std::printf("\nwrote %s\n", out.c_str());
-  return meets_bar && sched_ok && actor_ok && tw.meets_bar && sw.meets_bar ? 0 : 1;
+  return meets_bar && sched_ok && actor_ok && tw.meets_bar && sw.meets_bar &&
+                 bp.bandwidth_bar && bp.isolation_bar
+             ? 0
+             : 1;
 }
 
 }  // namespace

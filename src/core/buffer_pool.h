@@ -1,0 +1,86 @@
+// BufferPool — recycled byte buffers for per-call staging.
+//
+// The collectives (van de Geijn scatter-allgather broadcast) and the
+// bulk-plane rendezvous path both need a transient staging buffer sized
+// to the message. Allocating a fresh multi-megabyte vector per call is
+// pure overhead on the hot path, so each Engine owns one small pool:
+// acquire() hands back a cleared buffer whose capacity is already big
+// enough whenever one is available, release() returns it. Single-threaded
+// by design — the engine runs on one rank's actor/thread — so there is no
+// locking. Reuse counters feed mpi::pool_report (src/core/profile.h).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/util/bytes.h"
+
+namespace lcmpi::mpi {
+
+class BufferPool {
+ public:
+  struct Stats {
+    std::int64_t acquires = 0;       // total acquire() calls
+    std::int64_t reuses = 0;         // served by a pooled buffer's capacity
+    std::int64_t releases = 0;       // buffers returned
+    std::int64_t discards = 0;       // returns dropped (pool already full)
+    std::int64_t bytes_allocated = 0;  // fresh capacity allocated on misses
+  };
+
+  explicit BufferPool(std::size_t max_buffers = 8) : max_buffers_(max_buffers) {}
+
+  /// A buffer with size 0 and capacity >= min_capacity. Callers resize()
+  /// (value-initializing, as a fresh vector would) or pack_append into it.
+  [[nodiscard]] Bytes acquire(std::size_t min_capacity) {
+    ++stats_.acquires;
+    // Smallest pooled buffer that already fits, so big buffers survive
+    // for the big callers instead of being burned on small requests.
+    std::size_t best = free_.size();
+    for (std::size_t i = 0; i < free_.size(); ++i) {
+      if (free_[i].capacity() < min_capacity) continue;
+      if (best == free_.size() || free_[i].capacity() < free_[best].capacity())
+        best = i;
+    }
+    if (best != free_.size()) {
+      ++stats_.reuses;
+      Bytes b = std::move(free_[best]);
+      free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(best));
+      b.clear();
+      return b;
+    }
+    Bytes b;
+    b.reserve(min_capacity);
+    stats_.bytes_allocated += static_cast<std::int64_t>(min_capacity);
+    return b;
+  }
+
+  /// Returns a buffer to the pool (keeps at most max_buffers, preferring
+  /// to keep the larger capacities).
+  void release(Bytes&& b) {
+    ++stats_.releases;
+    if (b.capacity() == 0) return;
+    if (free_.size() < max_buffers_) {
+      free_.push_back(std::move(b));
+      return;
+    }
+    auto smallest = std::min_element(
+        free_.begin(), free_.end(),
+        [](const Bytes& a, const Bytes& c) { return a.capacity() < c.capacity(); });
+    if (smallest->capacity() < b.capacity()) {
+      *smallest = std::move(b);
+    }
+    ++stats_.discards;
+  }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t pooled() const { return free_.size(); }
+
+ private:
+  std::size_t max_buffers_;
+  std::vector<Bytes> free_;
+  Stats stats_;
+};
+
+}  // namespace lcmpi::mpi

@@ -344,18 +344,26 @@ void Comm::scatter_allgather_bcast(void* buf, int count, const Datatype& type, i
   const std::int64_t block = (total + p - 1) / p;
   auto bt = Datatype::byte_type();
 
-  Bytes packed(static_cast<std::size_t>(block) * static_cast<std::size_t>(p));
+  // Staging comes from the engine's pool: a broadcast-heavy loop reuses
+  // the same two allocations instead of paying a multi-megabyte malloc
+  // per call. resize() value-initializes, matching the old fresh vectors.
+  BufferPool& pool = eng_->pool();
+  Bytes packed = pool.acquire(static_cast<std::size_t>(block) * static_cast<std::size_t>(p));
+  packed.resize(static_cast<std::size_t>(block) * static_cast<std::size_t>(p));
   if (my_rank_ == root) {
     Bytes real = type.pack(buf, count);
     std::copy(real.begin(), real.end(), packed.begin());
   }
-  Bytes mine(static_cast<std::size_t>(block));
+  Bytes mine = pool.acquire(static_cast<std::size_t>(block));
+  mine.resize(static_cast<std::size_t>(block));
   scatter(packed.data(), mine.data(), static_cast<int>(block), bt, root);
   allgather(mine.data(), static_cast<int>(block), packed.data(), bt);
   if (my_rank_ != root) {
     packed.resize(static_cast<std::size_t>(total));
     type.unpack(packed, buf, count);
   }
+  pool.release(std::move(packed));
+  pool.release(std::move(mine));
 }
 
 void Comm::bcast(void* buf, int count, const Datatype& type, int root) {

@@ -312,6 +312,29 @@ void Engine::start_rendezvous(const Request& req, const ProtoMsg& rts) {
   }
   // Push path (TCP): tell the sender to transmit; route the data back to
   // this request by the sender's request id.
+  if (ep_.bulk_plane(rts.src) != fabric::BulkPlane::kInline) {
+    // Bulk plane: the payload will bypass the framed control channel, so
+    // register the landing buffer with the fabric BEFORE the CTS leaves —
+    // the sender writes bulk bytes only after the CTS arrives, so the
+    // registration always precedes the transfer header. A contiguous
+    // receive type lands straight in the user buffer (single-copy or
+    // zero-copy, per transport); otherwise the fabric fills a pooled
+    // staging buffer unpacked at kBulkDelivered.
+    const std::int64_t capacity = req->recv_type.size() * req->recv_count;
+    const std::int64_t expect =
+        std::min<std::int64_t>(capacity, static_cast<std::int64_t>(rts.size));
+    req->bulk_total = rts.size;
+    void* dst = nullptr;
+    if (req->recv_type.is_contiguous()) {
+      req->bulk_direct = true;
+      dst = req->recv_buf;
+    } else {
+      req->bulk_staging = pool_.acquire(static_cast<std::size_t>(expect));
+      req->bulk_staging.resize(static_cast<std::size_t>(expect));
+      dst = req->bulk_staging.data();
+    }
+    ep_.bulk_post(rts.src, rts.sender_req, dst, static_cast<std::size_t>(expect));
+  }
   pending_rdata_[{rts.src, rts.sender_req}] = req->id;
   ProtoMsg cts;
   cts.kind = MsgKind::kCts;
@@ -334,7 +357,11 @@ void Engine::progress_until(const std::function<bool()>& until) {
 }
 
 void Engine::handle(ProtoMsg msg) {
-  if (msg.src != rank() && msg.kind != MsgKind::kBcast) {
+  // Bulk completion notes are synthesized by the local fabric, not popped
+  // off a sequenced channel: they carry no seq and no piggybacked credit.
+  const bool local_note =
+      msg.kind == MsgKind::kBulkSent || msg.kind == MsgKind::kBulkDelivered;
+  if (msg.src != rank() && msg.kind != MsgKind::kBcast && !local_note) {
     LCMPI_CHECK(msg.seq == expect_seq_[static_cast<std::size_t>(msg.src)]++,
                 "fabric delivered out of order");
     if (caps().flow == FlowControl::kCredit && msg.credit > 0) {
@@ -353,6 +380,32 @@ void Engine::handle(ProtoMsg msg) {
       auto it = live_.find(msg.sender_req);
       LCMPI_CHECK(it != live_.end(), "CTS for unknown send");
       const Request req = it->second;
+      if (ep_.bulk_plane(req->dst) != fabric::BulkPlane::kInline) {
+        // Bulk plane: stream the payload outside the framed control
+        // channel. A contiguous user buffer is handed to the fabric
+        // as-is — zero pack copy; the MPI standard keeps it valid until
+        // the request completes, which happens at kBulkSent. Bsend
+        // snapshots and pull-staged payloads already sit in send_payload;
+        // non-contiguous sends pack into a pooled buffer returned at
+        // completion. The transfer is asynchronous and chunk-pumped from
+        // poll()/wait_activity, so eager envelopes interleave with it.
+        const std::int64_t nbytes = req->send_type.size() * req->send_count;
+        const void* src = nullptr;
+        if (!req->send_payload.empty()) {
+          src = req->send_payload.data();
+        } else if (req->send_type.is_contiguous()) {
+          src = req->send_buf;
+        } else {
+          req->send_payload = pool_.acquire(static_cast<std::size_t>(nbytes));
+          req->send_type.pack_append(req->send_buf, req->send_count,
+                                     req->send_payload);
+          req->bulk_pooled = true;
+          src = req->send_payload.data();
+        }
+        ep_.bulk_send(self_, req->dst, req->id, src,
+                      static_cast<std::size_t>(nbytes));
+        break;  // completes at kBulkSent
+      }
       ProtoMsg data;
       data.kind = MsgKind::kRdata;
       data.sender_req = req->id;
@@ -405,6 +458,41 @@ void Engine::handle(ProtoMsg msg) {
     case MsgKind::kBcast:
       bcast_q_[msg.context].push_back(std::move(msg));
       break;
+    case MsgKind::kBulkSent: {
+      // Local note: our bulk payload has fully left the user buffer.
+      auto it = live_.find(msg.sender_req);
+      LCMPI_CHECK(it != live_.end(), "bulk-sent note for unknown send");
+      const Request req = it->second;
+      req->data_out = true;
+      if (req->bulk_pooled) {
+        pool_.release(std::move(req->send_payload));
+        req->bulk_pooled = false;
+      }
+      complete_send(req);
+      break;
+    }
+    case MsgKind::kBulkDelivered: {
+      // Local note: a bulk transfer fully landed in the registered buffer.
+      const auto key = std::make_pair(msg.src, msg.sender_req);
+      auto it = pending_rdata_.find(key);
+      LCMPI_CHECK(it != pending_rdata_.end(), "bulk delivery with no pending rendezvous");
+      const std::uint64_t req_id = it->second;
+      pending_rdata_.erase(it);
+      auto lit = live_.find(req_id);
+      LCMPI_CHECK(lit != live_.end(), "bulk delivery for dead request");
+      const Request req = lit->second;
+      const std::int64_t capacity = req->recv_type.size() * req->recv_count;
+      const std::int64_t total = static_cast<std::int64_t>(req->bulk_total);
+      if (total > capacity) req->status.error = Err::kTruncate;
+      req->status.count_bytes = std::min(capacity, total);
+      if (!req->bulk_direct) {
+        req->recv_type.unpack(req->bulk_staging, req->recv_buf, req->recv_count);
+        pool_.release(std::move(req->bulk_staging));
+      }
+      complete_recv(req);
+      trace_ev(cfg_.trace, msg.src, msg.sender_req, MsgEvent::kDelivered, now());
+      break;
+    }
   }
 }
 

@@ -29,6 +29,7 @@
 #include <map>
 #include <optional>
 
+#include "src/core/buffer_pool.h"
 #include "src/core/datatype.h"
 #include "src/core/matching.h"
 #include "src/core/request.h"
@@ -88,6 +89,9 @@ class Engine {
   [[nodiscard]] sim::Actor& self() const { return self_; }
   [[nodiscard]] TimePoint now() const { return ep_.now(); }
   [[nodiscard]] const EngineConfig& config() const { return cfg_; }
+  /// MPI_Errhandler_set(MPI_ERRORS_RETURN) equivalent: report failed
+  /// requests through Status::error instead of throwing on wait.
+  void set_errors_return(bool v) { cfg_.errors_return = v; }
   [[nodiscard]] const fabric::FabricCaps& caps() const { return ep_.fabric().caps(); }
 
   // --- point-to-point (world ranks; communicators translate) ---------------
@@ -133,6 +137,9 @@ class Engine {
 
   /// Effective eager/rendezvous threshold in force.
   [[nodiscard]] std::int64_t eager_threshold() const;
+
+  /// Recycled staging buffers (bulk rendezvous, long-message collectives).
+  [[nodiscard]] BufferPool& pool() { return pool_; }
 
   /// Next derived-communicator context id (managed by Comm).
   std::uint32_t next_context_ = 2;
@@ -187,6 +194,9 @@ class Engine {
   // Buffered sends.
   std::int64_t bsend_capacity_ = 0;
   std::int64_t bsend_used_ = 0;
+
+  // Recycled staging buffers.
+  BufferPool pool_;
 
   // Stats.
   std::int64_t eager_sends_ = 0;

@@ -55,6 +55,16 @@ Table actor_report(const sim::ActorStats& s) {
   return t;
 }
 
+Table pool_report(const BufferPool::Stats& s) {
+  Table t({"metric", "value"});
+  t.add_row({"acquires", std::to_string(s.acquires)});
+  t.add_row({"reuses", std::to_string(s.reuses)});
+  t.add_row({"releases", std::to_string(s.releases)});
+  t.add_row({"discards", std::to_string(s.discards)});
+  t.add_row({"bytes_allocated", std::to_string(s.bytes_allocated)});
+  return t;
+}
+
 Table Profiler::report() const {
   Table t({"call", "count", "time_us", "bytes"});
   for (std::size_t k = 0; k < entries_.size(); ++k) {

@@ -11,6 +11,7 @@
 #include <array>
 #include <cstdint>
 
+#include "src/core/buffer_pool.h"
 #include "src/core/matching.h"
 #include "src/sim/kernel.h"
 #include "src/util/status.h"
@@ -32,6 +33,11 @@ namespace lcmpi::mpi {
 /// allocations vs. pool reuses, stack high-water, and the configured stack
 /// size. These are host-side numbers; virtual time never depends on them.
 [[nodiscard]] Table actor_report(const sim::ActorStats& s);
+
+/// Formats an engine BufferPool's recycling counters (acquires, capacity
+/// hits, fresh bytes allocated) — the observable for the pooled-staging
+/// fix on the long-broadcast and bulk-rendezvous paths.
+[[nodiscard]] Table pool_report(const BufferPool::Stats& s);
 
 enum class CallKind : std::uint8_t {
   kSend, kRecv, kIsend, kIrecv, kWait, kTest, kProbe, kSendrecv,

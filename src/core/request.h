@@ -34,6 +34,7 @@ struct RequestState {
   std::uint32_t context = 0;
   bool from_bsend_buffer = false;  // on completion, release attached-buffer bytes
   std::int64_t bsend_bytes = 0;
+  bool bulk_pooled = false;  // send_payload came from the engine's BufferPool
 
   // --- receive-side fields ----------------------------------------------------
   void* recv_buf = nullptr;
@@ -41,6 +42,12 @@ struct RequestState {
   Datatype recv_type;
   int src = kAnySource;  // world rank or wildcard
   bool matched = false;
+  // Bulk-plane rendezvous state: total size announced by the RTS, whether
+  // the fabric writes straight into the user buffer (contiguous type) or
+  // into the pooled staging buffer unpacked at kBulkDelivered.
+  std::uint32_t bulk_total = 0;
+  bool bulk_direct = false;
+  Bytes bulk_staging;
 };
 
 using Request = std::shared_ptr<RequestState>;

@@ -16,6 +16,14 @@ void Endpoint::hw_broadcast(sim::Actor&, ProtoMsg) {
   throw InternalError("this fabric does not support hardware broadcast");
 }
 
+void Endpoint::bulk_post(int, std::uint64_t, void*, std::size_t) {
+  throw InternalError("this fabric has no bulk data plane (bulk_plane() is kInline)");
+}
+
+void Endpoint::bulk_send(sim::Actor&, int, std::uint64_t, const void*, std::size_t) {
+  throw InternalError("this fabric has no bulk data plane (bulk_plane() is kInline)");
+}
+
 std::optional<ProtoMsg> Endpoint::poll(sim::Actor&) {
   if (incoming_.empty()) return std::nullopt;
   ProtoMsg m = std::move(incoming_.front());

@@ -50,6 +50,24 @@ enum class MsgKind : std::uint8_t {
   kSlotFree = 6, // envelope slot released (single-slot fabrics)
   kSsendAck = 7, // synchronous-mode send matched at the receiver
   kBcast = 8,    // hardware broadcast payload
+  // Bulk-plane completion notes. Locally synthesized by fabrics with a
+  // separate bulk data plane (never encoded on any wire): kBulkSent tells
+  // the SENDING engine its bulk payload has fully left the user buffer;
+  // kBulkDelivered tells the RECEIVING engine a transfer has fully landed
+  // in the buffer it registered with bulk_post(). Both carry sender_req
+  // as the transfer cookie and no seq/credit (they never crossed a
+  // sequenced channel).
+  kBulkSent = 9,
+  kBulkDelivered = 10,
+};
+
+/// Which plane carries rendezvous payload bytes to a given peer.
+/// Selected per-pair by the fabric at bootstrap (see each fabric's
+/// negotiation); the engine only branches on kInline vs not.
+enum class BulkPlane : std::uint8_t {
+  kInline = 0,  // payload rides the framed control channel (kRdata)
+  kStream = 1,  // dedicated raw byte stream (second socket per pair)
+  kShared = 2,  // shared memory: copied straight into the posted buffer
 };
 
 /// A parsed protocol message. Fabrics own the wire encoding; the engine
@@ -137,6 +155,43 @@ class Endpoint {
 
   /// Hardware broadcast to every other rank (caps().hw_broadcast only).
   virtual void hw_broadcast(sim::Actor& self, ProtoMsg msg);
+
+  // --- bulk data plane (per-pair transport selection) ----------------------
+  //
+  // Push-mode fabrics with a dedicated bulk plane move rendezvous payloads
+  // OUTSIDE the framed control channel, so a 64 MiB transfer cannot
+  // head-of-line-block eager envelopes. Protocol (driven by the engine):
+  //
+  //   receiver: bulk_post(src, cookie, dst, cap)  -- BEFORE sending CTS
+  //   sender:   bulk_send(dst, cookie, data, n)   -- on CTS; async, data
+  //             must stay valid until kBulkSent is delivered locally
+  //   fabric:   streams bytes opportunistically from poll()/wait_activity,
+  //             clamps writes at `cap` (discarding overflow), then
+  //             delivers kBulkDelivered (receiver) / kBulkSent (sender).
+  //
+  // The registration always precedes the transfer header on the wire
+  // because bulk_post happens before the CTS leaves the receiver and the
+  // sender writes bulk bytes only after the CTS arrives.
+
+  /// The plane carrying bulk payloads to `peer`. kInline (the default)
+  /// keeps the classic kRdata path; self-sends are always kInline.
+  [[nodiscard]] virtual BulkPlane bulk_plane(int peer) const {
+    (void)peer;
+    return BulkPlane::kInline;
+  }
+
+  /// Receiver: register the posted buffer for an expected bulk arrival
+  /// from `src` with transfer cookie `cookie` (the sender's request id).
+  /// At most `capacity` bytes are written; overflow is consumed and
+  /// discarded (the engine reports truncation from the RTS size).
+  virtual void bulk_post(int src, std::uint64_t cookie, void* dst,
+                         std::size_t capacity);
+
+  /// Sender: start the asynchronous bulk transfer of `size` bytes to
+  /// `dst`. `data` is borrowed — it must remain valid until the fabric
+  /// delivers the matching kBulkSent completion note.
+  virtual void bulk_send(sim::Actor& self, int dst, std::uint64_t cookie,
+                         const void* data, std::size_t size);
 
   /// Dequeues the next arrived message, if any. Stream fabrics perform the
   /// actual (charged) socket reads here, which is why `self` is needed.

@@ -1,6 +1,9 @@
 #include "src/fabric/shm_fabric.h"
 
+#include <cstring>
 #include <deque>
+#include <map>
+#include <mutex>
 
 namespace lcmpi::fabric {
 namespace {
@@ -92,6 +95,58 @@ class ShmFabric::Ep final : public Endpoint {
 
   [[nodiscard]] TimePoint now() const override { return owner_.wall_now(); }
 
+  // --- bulk plane: direct cross-thread copy into the posted buffer --------
+  //
+  // The receiver registers its landing buffer (under this endpoint's
+  // mutex) BEFORE its CTS enters the ring; the sender looks it up when
+  // the CTS arrives, so the registration is always visible (mutex) and
+  // the payload copy happens-before the receiver's read (the completion
+  // note travels through the SPSC ring's release/acquire publication).
+  // One memcpy total for contiguous types — the payload never stages
+  // through ring slots at all.
+
+  [[nodiscard]] BulkPlane bulk_plane(int peer) const override {
+    return owner_.opt_.bulk_direct && peer != rank_ ? BulkPlane::kShared
+                                                    : BulkPlane::kInline;
+  }
+
+  void bulk_post(int src, std::uint64_t cookie, void* dst,
+                 std::size_t capacity) override {
+    const std::lock_guard<std::mutex> lock(bulk_mu_);
+    bulk_regs_[{src, cookie}] = Landing{dst, capacity};
+  }
+
+  void bulk_send(sim::Actor& self, int dst, std::uint64_t cookie,
+                 const void* data, std::size_t size) override {
+    Ep& peer = *owner_.eps_[static_cast<std::size_t>(dst)];
+    {
+      const std::lock_guard<std::mutex> lock(peer.bulk_mu_);
+      auto it = peer.bulk_regs_.find({rank_, cookie});
+      LCMPI_CHECK(it != peer.bulk_regs_.end(),
+                  "bulk transfer with no registered landing buffer");
+      const Landing reg = it->second;
+      peer.bulk_regs_.erase(it);
+      const std::size_t n = std::min(size, reg.capacity);
+      if (n > 0) std::memcpy(reg.dst, data, n);  // overflow past cap: dropped
+    }
+    bulk_transfers_.fetch_add(1, std::memory_order_relaxed);
+    bulk_bytes_.fetch_add(size, std::memory_order_relaxed);
+    // Receiver completion rides the normal sequencedless note: the ring
+    // push publishes (release) after the copy above.
+    ProtoMsg done;
+    done.kind = MsgKind::kBulkDelivered;
+    done.sender_req = cookie;
+    done.size = static_cast<std::uint32_t>(size);
+    send(self, dst, std::move(done));
+    // Sender completion is local and synchronous: the bytes left the user
+    // buffer in the memcpy. poll() serves staged_ first.
+    ProtoMsg sent;
+    sent.kind = MsgKind::kBulkSent;
+    sent.src = rank_;
+    sent.sender_req = cookie;
+    staged_.push_back(std::move(sent));
+  }
+
   void notify_arrival() { pad_.unpark(); }
 
   [[nodiscard]] util::ParkingLot& pad() { return pad_; }
@@ -121,6 +176,17 @@ class ShmFabric::Ep final : public Endpoint {
   std::atomic<std::uint64_t> messages_{0};
   std::atomic<std::uint64_t> full_parks_{0};
   std::atomic<std::uint64_t> idle_parks_{0};
+
+  /// A posted receive buffer awaiting a bulk transfer (this endpoint is
+  /// the receiver; senders look it up under bulk_mu_).
+  struct Landing {
+    void* dst = nullptr;
+    std::size_t capacity = 0;
+  };
+  std::mutex bulk_mu_;
+  std::map<std::pair<int, std::uint64_t>, Landing> bulk_regs_;
+  std::atomic<std::uint64_t> bulk_transfers_{0};
+  std::atomic<std::uint64_t> bulk_bytes_{0};
 };
 
 ShmFabric::ShmFabric(int nranks, Options opt)
@@ -158,6 +224,8 @@ ShmFabric::Stats ShmFabric::stats() const {
     s.messages += ep->messages_.load(std::memory_order_relaxed);
     s.full_parks += ep->full_parks_.load(std::memory_order_relaxed);
     s.idle_parks += ep->idle_parks_.load(std::memory_order_relaxed);
+    s.bulk_transfers += ep->bulk_transfers_.load(std::memory_order_relaxed);
+    s.bulk_bytes += ep->bulk_bytes_.load(std::memory_order_relaxed);
   }
   return s;
 }

@@ -9,10 +9,13 @@
 // is a structural property, not a locking discipline.
 //
 // Protocol shape, mirroring the paper's ATM/TCP port rather than the
-// Meiko one: push-mode rendezvous (RTS → CTS → RDATA through the rings;
-// nothing is staged in sender memory for a remote pull, which would need
+// Meiko one: push-mode rendezvous (RTS → CTS through the rings; nothing
+// is staged in sender memory for a remote pull, which would need
 // cross-thread synchronization the rings already provide) and per-sender
-// credit flow control at the MPI layer. Backpressure is two-layered:
+// credit flow control at the MPI layer. Rendezvous PAYLOADS default to
+// the shared-memory bulk plane (BulkPlane::kShared): the sender thread
+// copies once, straight into the buffer the receiver registered with
+// bulk_post — ring slots carry only envelopes and completion notes. Backpressure is two-layered:
 // credits bound the *bytes* a sender may have parked at a receiver, and
 // ring occupancy bounds the *messages* in flight — a producer hitting a
 // full ring parks on the ring's mutex/condvar pad until the consumer
@@ -47,6 +50,12 @@ class ShmFabric final : public Fabric {
     /// Small enough that an unresponsive receiver exerts backpressure,
     /// large enough that a credit window of eager messages fits.
     std::size_t ring_slots = 1024;
+    /// Bulk plane (BulkPlane::kShared): rendezvous payloads are copied by
+    /// the sender thread straight into the buffer the receiver registered
+    /// with bulk_post — ONE copy for contiguous types, instead of staging
+    /// through ring slots. false reverts to the inline kRdata path (the
+    /// pre-bulk-plane baseline, kept for ablation).
+    bool bulk_direct = true;
     Options() {
       caps.hw_broadcast = false;  // software tree broadcast
       caps.pull_bulk = false;     // push-mode rendezvous (CTS/RDATA)
@@ -69,6 +78,8 @@ class ShmFabric final : public Fabric {
     std::uint64_t messages = 0;    // successful ring pushes
     std::uint64_t full_parks = 0;  // sender parked on a full ring
     std::uint64_t idle_parks = 0;  // receiver parked awaiting traffic
+    std::uint64_t bulk_transfers = 0;  // direct posted-buffer handoffs
+    std::uint64_t bulk_bytes = 0;      // bytes moved by those handoffs
   };
   [[nodiscard]] Stats stats() const;
 

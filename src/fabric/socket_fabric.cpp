@@ -4,16 +4,26 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/mman.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
 #include <thread>
 #include <utility>
+
+#if defined(__linux__) && defined(SO_ZEROCOPY) && defined(MSG_ZEROCOPY)
+#include <linux/errqueue.h>
+#define LCMPI_HAVE_ZEROCOPY 1
+#else
+#define LCMPI_HAVE_ZEROCOPY 0
+#endif
 
 namespace lcmpi::fabric {
 namespace {
@@ -161,15 +171,202 @@ int accept_within(int listen_fd, Clock::time_point deadline, const char* what) {
 }
 
 // Rendezvous hello: who is dialing, and (during bootstrap) where their
-// own listener lives.
+// own listener lives. `channel` separates the two per-pair connections:
+// 0 = framed control socket, 1 = bulk data socket.
 struct Hello {
   std::uint32_t magic = 0x4c43'4d50;  // "LCMP"
   std::int32_t rank = -1;
   std::uint16_t port = 0;             // kInet listener
   char unix_path[104] = {};           // kUnix listener
+  std::uint8_t channel = 0;
 };
 
+// Per-pair bulk negotiation, exchanged on the bulk socket right after the
+// Hello. Both sides willing (kMemfd + AF_UNIX) => the dialer creates a
+// memfd and passes it via SCM_RIGHTS; any mismatch degrades the pair to
+// plain stream mode — worlds may mix kMemfd and kStream ranks freely.
+struct BulkHello {
+  std::uint32_t magic = 0x4c42'4c4b;  // "LBLK"
+  std::uint8_t wants_memfd = 0;
+  std::uint8_t pad[3] = {};
+  std::uint64_t ring_bytes = 0;  // dialer's value sizes the rings
+};
+
+// Each bulk transfer is one 16-byte header then `size` raw payload bytes
+// — no per-chunk framing on the entire data plane.
+constexpr std::size_t kBulkHdrBytes = 16;
+void put_bulk_hdr(unsigned char* p, std::uint64_t cookie, std::uint64_t size) {
+  std::memcpy(p, &cookie, sizeof cookie);
+  std::memcpy(p + sizeof cookie, &size, sizeof size);
+}
+void get_bulk_hdr(const unsigned char* p, std::uint64_t* cookie, std::uint64_t* size) {
+  std::memcpy(cookie, p, sizeof *cookie);
+  std::memcpy(size, p + sizeof *cookie, sizeof *size);
+}
+
+// MSG_ZEROCOPY pins pages and reaps completions through the error queue;
+// below this chunk size the bookkeeping costs more than the copy saves
+// (the kernel's own documented guidance is ~10 KB; we are conservative).
+constexpr std::size_t kZcMinChunk = 64 * 1024;
+
+// Shared-ring control block: one producer counter and one consumer
+// counter per direction, each on its own cache line, both monotonic (the
+// ring index is counter % capacity). Lives in the memfd mapping, so the
+// atomics synchronize across processes.
+struct RingCtl {
+  alignas(64) std::atomic<std::uint64_t> head;  // producer: bytes written
+  alignas(64) std::atomic<std::uint64_t> tail;  // consumer: bytes read
+};
+
+// One direction of the shared ring, as seen by whichever side this is.
+// Producer calls writable()/write(); consumer calls readable()/read()/
+// discard(). The release store on the counter publishes the memcpy to
+// the other process (acquire load on the far side).
+struct RingView {
+  RingCtl* ctl = nullptr;
+  std::byte* data = nullptr;
+  std::uint64_t cap = 0;
+
+  [[nodiscard]] std::uint64_t writable() const {
+    return cap - (ctl->head.load(std::memory_order_relaxed) -
+                  ctl->tail.load(std::memory_order_acquire));
+  }
+  void write(const void* p, std::uint64_t n) {
+    const std::uint64_t head = ctl->head.load(std::memory_order_relaxed);
+    const std::uint64_t at = head % cap;
+    const std::uint64_t first = std::min(n, cap - at);
+    std::memcpy(data + at, p, first);
+    if (n > first)
+      std::memcpy(data, static_cast<const std::byte*>(p) + first, n - first);
+    ctl->head.store(head + n, std::memory_order_release);
+  }
+
+  [[nodiscard]] std::uint64_t readable() const {
+    return ctl->head.load(std::memory_order_acquire) -
+           ctl->tail.load(std::memory_order_relaxed);
+  }
+  void read(void* p, std::uint64_t n) {
+    const std::uint64_t tail = ctl->tail.load(std::memory_order_relaxed);
+    const std::uint64_t at = tail % cap;
+    const std::uint64_t first = std::min(n, cap - at);
+    std::memcpy(p, data + at, first);
+    if (n > first)
+      std::memcpy(static_cast<std::byte*>(p) + first, data, n - first);
+    ctl->tail.store(tail + n, std::memory_order_release);
+  }
+  void discard(std::uint64_t n) {  // truncated transfer: consume, drop
+    ctl->tail.store(ctl->tail.load(std::memory_order_relaxed) + n,
+                    std::memory_order_release);
+  }
+};
+
+/// Passes one fd over an AF_UNIX socket (blocking; bootstrap only).
+void send_fd(int sock, int fd, const char* what) {
+  msghdr msg{};
+  char token = 'F';
+  iovec iov{&token, 1};
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+  alignas(cmsghdr) char ctl[CMSG_SPACE(sizeof(int))] = {};
+  msg.msg_control = ctl;
+  msg.msg_controllen = sizeof ctl;
+  cmsghdr* cm = CMSG_FIRSTHDR(&msg);
+  cm->cmsg_level = SOL_SOCKET;
+  cm->cmsg_type = SCM_RIGHTS;
+  cm->cmsg_len = CMSG_LEN(sizeof(int));
+  std::memcpy(CMSG_DATA(cm), &fd, sizeof(int));
+  for (;;) {
+    const ssize_t n = ::sendmsg(sock, &msg, MSG_NOSIGNAL);
+    if (n >= 0) return;
+    if (errno == EINTR) continue;
+    die(std::string(what) + ": fd pass failed: " + errno_str());
+  }
+}
+
+[[nodiscard]] int recv_fd(int sock, const char* what) {
+  msghdr msg{};
+  char token = 0;
+  iovec iov{&token, 1};
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+  alignas(cmsghdr) char ctl[CMSG_SPACE(sizeof(int))] = {};
+  msg.msg_control = ctl;
+  msg.msg_controllen = sizeof ctl;
+  for (;;) {
+    const ssize_t n = ::recvmsg(sock, &msg, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      die(std::string(what) + ": fd receive failed: " + errno_str());
+    }
+    if (n == 0) die(std::string(what) + ": peer closed during fd pass");
+    break;
+  }
+  const cmsghdr* cm = CMSG_FIRSTHDR(&msg);
+  LCMPI_CHECK(cm != nullptr && cm->cmsg_level == SOL_SOCKET &&
+                  cm->cmsg_type == SCM_RIGHTS &&
+                  cm->cmsg_len == CMSG_LEN(sizeof(int)),
+              "fd pass: no SCM_RIGHTS attached");
+  int fd = -1;
+  std::memcpy(&fd, CMSG_DATA(cm), sizeof(int));
+  return fd;
+}
+
 }  // namespace
+
+// ----------------------------------------------------------- bulk channel
+
+/// Everything one peer pair's bulk data plane owns: the dedicated socket,
+/// the optional memfd ring mapping, and both transfer state machines.
+struct SocketFabric::BulkChan {
+  int fd = -1;
+  bool closed = false;
+  bool dialer = false;  // we initiated this connection (own ring A)
+  void* map_base = nullptr;  // non-null: memfd rings negotiated
+  std::size_t map_len = 0;
+  RingView tx_ring, rx_ring;
+  [[nodiscard]] bool use_ring() const { return map_base != nullptr; }
+
+  // Transmit side: FIFO of transfers; head-of-queue progresses in
+  // bounded chunks. `data` points into the engine's send buffer, valid
+  // until the kBulkSent note (the MPI contract for send completion).
+  struct Tx {
+    std::uint64_t cookie = 0;
+    const std::byte* data = nullptr;
+    std::uint64_t size = 0;
+    std::uint64_t off = 0;  // payload bytes handed to ring/kernel
+    unsigned char hdr[kBulkHdrBytes];
+    std::uint64_t hdr_off = 0;
+    bool zc_used = false;
+    std::uint32_t zc_last = 0;  // highest zerocopy seq this transfer used
+  };
+  std::deque<Tx> txq;
+  // Fully-written transfers whose pages the kernel still references
+  // (MSG_ZEROCOPY); kBulkSent is withheld until the errqueue confirms.
+  struct ZcWait {
+    std::uint64_t cookie = 0;
+    std::uint32_t zc_last = 0;
+  };
+  std::deque<ZcWait> zc_wait;
+
+  // Receive side: one transfer at a time (the plane is a FIFO stream).
+  unsigned char rhdr[kBulkHdrBytes];
+  std::uint64_t rhdr_got = 0;
+  bool in_transfer = false;
+  std::uint64_t rx_cookie = 0;
+  std::uint64_t rx_size = 0;
+  std::uint64_t rx_got = 0;
+  std::byte* rx_dst = nullptr;  // registered landing buffer
+  std::uint64_t rx_cap = 0;     // bytes past this are consumed and dropped
+
+  bool zc_enabled = false;
+  std::uint32_t zc_seq = 0;   // seq the next MSG_ZEROCOPY send will get
+  std::uint32_t zc_done = 0;  // all seqs below this are reaped
+
+  ~BulkChan() {
+    if (map_base != nullptr) ::munmap(map_base, map_len);
+    if (fd >= 0) ::close(fd);
+  }
+};
 
 // -------------------------------------------------------------- endpoint
 
@@ -186,13 +383,16 @@ class SocketFabric::Ep final : public Endpoint {
 
   std::optional<ProtoMsg> poll(sim::Actor&) override {
     if (owner_.arrivals_.empty()) {
-      // One fair sweep over all peers; pump_peer parses complete frames.
+      // One fair sweep over all peers; pump_peer parses complete frames,
+      // pump_bulk moves a bounded chunk of any in-flight transfer (which
+      // is what keeps a 64 MiB push from starving control traffic).
       const int n = owner_.nranks_;
       for (int i = 0; i < n; ++i) {
         const int peer = owner_.pump_cursor_;
         owner_.pump_cursor_ = owner_.pump_cursor_ + 1 == n ? 0 : owner_.pump_cursor_ + 1;
         if (peer == rank_) continue;
         (void)owner_.pump_peer(peer);
+        (void)owner_.pump_bulk(peer);
       }
     }
     if (owner_.arrivals_.empty()) return std::nullopt;
@@ -203,12 +403,25 @@ class SocketFabric::Ep final : public Endpoint {
 
   void wait_activity(sim::Actor&) override {
     if (!owner_.arrivals_.empty()) return;
+    // A bulk transfer that can progress right now is activity: make some
+    // and let the caller re-poll instead of parking under it.
+    if (owner_.pump_bulk_tx_all()) return;
     auto& fds = pollfds_;
     fds.clear();
     for (int peer = 0; peer < owner_.nranks_; ++peer) {
       const Conn& c = owner_.conns_[static_cast<std::size_t>(peer)];
-      if (peer == rank_ || c.closed) continue;
-      fds.push_back(pollfd{c.fd, POLLIN, 0});
+      if (peer == rank_) continue;
+      if (!c.closed) fds.push_back(pollfd{c.fd, POLLIN, 0});
+      const BulkChan* b = owner_.bulk_[static_cast<std::size_t>(peer)].get();
+      if (b != nullptr && !b->closed) {
+        // POLLIN: inbound bytes or a ring doorbell (data or freed space).
+        // POLLOUT: only while a stream-mode transfer is blocked on the
+        // kernel buffer. Errqueue readiness (zerocopy reap) reports as
+        // POLLERR regardless of the event mask.
+        short events = POLLIN;
+        if (!b->use_ring() && !b->txq.empty()) events |= POLLOUT;
+        fds.push_back(pollfd{b->fd, events, 0});
+      }
     }
     if (fds.empty()) return;  // all peers gone; caller re-checks and decides
     owner_.stats_.idle_polls++;
@@ -218,6 +431,25 @@ class SocketFabric::Ep final : public Endpoint {
       die(owner_.who() + ": wait_activity poll failed: " + errno_str());
     // Readable/HUP peers are picked up by the next poll() sweep, which
     // also classifies EOF (clean BYE vs peer death).
+  }
+
+  // --- bulk plane ---------------------------------------------------------
+
+  [[nodiscard]] BulkPlane bulk_plane(int peer) const override {
+    if (peer == rank_) return BulkPlane::kInline;
+    const BulkChan* b = owner_.bulk_[static_cast<std::size_t>(peer)].get();
+    if (b == nullptr) return BulkPlane::kInline;
+    return b->use_ring() ? BulkPlane::kShared : BulkPlane::kStream;
+  }
+
+  void bulk_post(int src, std::uint64_t cookie, void* dst,
+                 std::size_t capacity) override {
+    owner_.bulk_regs_[{src, cookie}] = {dst, capacity};
+  }
+
+  void bulk_send(sim::Actor&, int dst, std::uint64_t cookie, const void* data,
+                 std::size_t size) override {
+    owner_.bulk_queue(dst, cookie, data, size);
   }
 
   /// Single-threaded process: nothing can be blocked in wait_activity
@@ -240,17 +472,20 @@ SocketFabric::SocketFabric(int nranks, int rank, const Rendezvous& rdv, Options 
   LCMPI_CHECK(nranks > 0, "SocketFabric needs at least one rank");
   LCMPI_CHECK(rank >= 0 && rank < nranks, "rank out of range");
   conns_.resize(static_cast<std::size_t>(nranks));
+  bulk_.resize(static_cast<std::size_t>(nranks));
   ep_ = std::make_unique<Ep>(*this, rank);
   try {
     build_mesh(rdv);
   } catch (...) {
     for (Conn& c : conns_)
       if (c.fd >= 0) ::close(c.fd);
+    bulk_.clear();
     throw;
   }
 }
 
 SocketFabric::~SocketFabric() {
+  flush_bulk();
   say_bye();
   for (Conn& c : conns_) {
     if (c.fd >= 0) ::close(c.fd);
@@ -333,6 +568,41 @@ void SocketFabric::build_mesh(const Rendezvous& rdv) {
     return rdv.unix_dir + "/rank-" + std::to_string(r) + ".sock";
   };
 
+  // With a bulk plane every pair has TWO connections: the dialer dials
+  // the same listener twice, tagging each Hello with its channel. A
+  // world mixing kInline with bulk-enabled ranks would disagree on the
+  // accept counts below and hang until the deadline — Options::bulk's
+  // kInline/non-kInline split must be uniform (kStream vs kMemfd may
+  // mix; that is what the BulkHello negotiation is for).
+  const bool bulk_on = opt_.bulk != Bulk::kInline;
+  const int conns_per_pair = bulk_on ? 2 : 1;
+
+  // Accept `expected` connections, filing each by its hello's (rank,
+  // channel). Bulk channels complete their BulkHello/memfd handshake
+  // inline — it only ever involves the dialer on the far end of this fd,
+  // which wrote its side of the handshake right after connecting.
+  const auto accept_mesh = [&](int lfd, int expected, int max_rank,
+                               std::vector<Hello>* stash) {
+    for (int got = 0; got < expected; ++got) {
+      const int fd = accept_within(lfd, deadline, who().c_str());
+      Hello h;
+      read_all(fd, &h, sizeof h, who().c_str());
+      LCMPI_CHECK(h.magic == Hello{}.magic, "bad mesh hello");
+      LCMPI_CHECK(h.rank > 0 && h.rank < max_rank, "mesh hello rank out of range");
+      if (h.channel == 0) {
+        Conn& c = conns_[static_cast<std::size_t>(h.rank)];
+        LCMPI_CHECK(c.fd < 0, "duplicate mesh hello");
+        c.fd = fd;
+        if (stash != nullptr) (*stash)[static_cast<std::size_t>(h.rank)] = h;
+      } else {
+        LCMPI_CHECK(bulk_on && h.channel == 1, "bad mesh hello channel");
+        LCMPI_CHECK(bulk_[static_cast<std::size_t>(h.rank)] == nullptr,
+                    "duplicate bulk hello");
+        bulk_handshake(h.rank, fd, /*dialer=*/false);
+      }
+    }
+  };
+
   int listen_fd = -1;
   if (rank_ == 0) {
     if (rdv.listen_fd >= 0) {
@@ -341,19 +611,10 @@ void SocketFabric::build_mesh(const Rendezvous& rdv) {
       listen_fd = bind_listener(unix_domain ? unix_addr(r0_path)
                                             : inet_addr_port(rdv.port));
     }
-    // Collect n-1 hellos; the rendezvous connection IS the 0<->r link.
+    // Collect the hellos; each rendezvous control connection IS the
+    // 0<->r link, and each bulk connection handshakes on arrival.
     std::vector<Hello> hellos(static_cast<std::size_t>(nranks_));
-    for (int got = 1; got < nranks_; ++got) {
-      const int fd = accept_within(listen_fd, deadline, "rank 0");
-      Hello h;
-      read_all(fd, &h, sizeof h, "rank 0");
-      LCMPI_CHECK(h.magic == Hello{}.magic, "bad rendezvous hello");
-      LCMPI_CHECK(h.rank > 0 && h.rank < nranks_, "hello rank out of range");
-      Conn& c = conns_[static_cast<std::size_t>(h.rank)];
-      LCMPI_CHECK(c.fd < 0, "duplicate rendezvous hello");
-      c.fd = fd;
-      hellos[static_cast<std::size_t>(h.rank)] = h;
-    }
+    accept_mesh(listen_fd, (nranks_ - 1) * conns_per_pair, nranks_, &hellos);
     // Broadcast the listener table.
     for (int r = 1; r < nranks_; ++r)
       write_all(conns_[static_cast<std::size_t>(r)].fd, hellos.data(),
@@ -372,11 +633,19 @@ void SocketFabric::build_mesh(const Rendezvous& rdv) {
       listen_fd = bind_listener(inet_addr_port(0));
       mine.port = local_port(listen_fd);
     }
-    // Dial rank 0, introduce ourselves, learn everyone's listener.
-    const int r0 = dial(unix_domain ? unix_addr(r0_path) : inet_addr_port(rdv.port),
-                        "rank 0 rendezvous");
+    // Dial rank 0 (twice with a bulk plane), introduce ourselves, learn
+    // everyone's listener.
+    const Addr r0_addr = unix_domain ? unix_addr(r0_path) : inet_addr_port(rdv.port);
+    const int r0 = dial(r0_addr, "rank 0 rendezvous");
     conns_[0].fd = r0;
     write_all(r0, &mine, sizeof mine, who().c_str());
+    if (bulk_on) {
+      const int bfd = dial(r0_addr, "rank 0 bulk");
+      Hello bh = mine;
+      bh.channel = 1;
+      write_all(bfd, &bh, sizeof bh, who().c_str());
+      bulk_handshake(0, bfd, /*dialer=*/true);
+    }
     std::vector<Hello> hellos(static_cast<std::size_t>(nranks_));
     read_all(r0, hellos.data(), sizeof(Hello) * static_cast<std::size_t>(nranks_),
              who().c_str());
@@ -389,18 +658,16 @@ void SocketFabric::build_mesh(const Rendezvous& rdv) {
       Hello id = mine;
       write_all(fd, &id, sizeof id, who().c_str());
       conns_[static_cast<std::size_t>(peer)].fd = fd;
+      if (bulk_on) {
+        const int bfd = dial(a, "rank " + std::to_string(peer) + " bulk");
+        Hello bid = mine;
+        bid.channel = 1;
+        write_all(bfd, &bid, sizeof bid, who().c_str());
+        bulk_handshake(peer, bfd, /*dialer=*/true);
+      }
     }
-    // ...and accept one connection from every lower nonzero rank.
-    for (int expected = 1; expected < rank_; ++expected) {
-      const int fd = accept_within(listen_fd, deadline, who().c_str());
-      Hello h;
-      read_all(fd, &h, sizeof h, who().c_str());
-      LCMPI_CHECK(h.magic == Hello{}.magic, "bad mesh hello");
-      LCMPI_CHECK(h.rank > 0 && h.rank < rank_, "mesh hello rank out of range");
-      Conn& c = conns_[static_cast<std::size_t>(h.rank)];
-      LCMPI_CHECK(c.fd < 0, "duplicate mesh hello");
-      c.fd = fd;
-    }
+    // ...and accept from every lower nonzero rank.
+    accept_mesh(listen_fd, (rank_ - 1) * conns_per_pair, rank_, nullptr);
   }
 
   if (listen_fd >= 0 && listen_fd != rdv.listen_fd) ::close(listen_fd);
@@ -415,6 +682,9 @@ void SocketFabric::build_mesh(const Rendezvous& rdv) {
     const Conn& c = conns_[static_cast<std::size_t>(peer)];
     LCMPI_CHECK(c.fd >= 0, "mesh incomplete");
     set_nonblocking(c.fd, true);
+    BulkChan* b = bulk_[static_cast<std::size_t>(peer)].get();
+    LCMPI_CHECK(!bulk_on || b != nullptr, "bulk mesh incomplete");
+    if (b != nullptr) set_nonblocking(b->fd, true);
   }
 }
 
@@ -461,8 +731,14 @@ void SocketFabric::send_frame(int peer, const ProtoMsg& msg) {
       // arrivals_, which poll() serves in order.
       stats_.send_stalls++;
       bool drained = false;
-      for (int src = 0; src < nranks_; ++src)
-        if (src != rank_) drained = pump_peer(src) || drained;
+      for (int src = 0; src < nranks_; ++src) {
+        if (src == rank_) continue;
+        drained = pump_peer(src) || drained;
+        // Keep the bulk plane moving too: the peer may be waiting for
+        // our bulk bytes (or ring space) before it can drain the control
+        // socket we are blocked on. pump_bulk never re-enters send_frame.
+        drained = pump_bulk(src) || drained;
+      }
       if (drained) continue;  // buffer may have cleared meanwhile
       pollfd pf{c.fd, POLLOUT, 0};
       const int rc = ::poll(&pf, 1, 1 /*ms*/);
@@ -547,6 +823,447 @@ void SocketFabric::parse_frames(int peer) {
     pos = payload_at + payload_len;
   }
   if (pos > 0) c.rx.erase(c.rx.begin(), c.rx.begin() + static_cast<std::ptrdiff_t>(pos));
+}
+
+// ------------------------------------------------------------- bulk plane
+
+void SocketFabric::bulk_handshake(int peer, int fd, bool dialer) {
+  auto b = std::make_unique<BulkChan>();
+  b->fd = fd;
+  b->dialer = dialer;
+
+  BulkHello mine;
+  mine.wants_memfd =
+      (opt_.bulk == Bulk::kMemfd && opt_.domain == Domain::kUnix) ? 1 : 0;
+  mine.ring_bytes = opt_.bulk_ring_bytes;
+  write_all(fd, &mine, sizeof mine, who().c_str());
+  BulkHello theirs;
+  read_all(fd, &theirs, sizeof theirs, who().c_str());
+  LCMPI_CHECK(theirs.magic == BulkHello{}.magic, "bad bulk hello");
+
+  if (mine.wants_memfd != 0 && theirs.wants_memfd != 0) {
+    // The dialer's ring size governs (it creates the region); one byte
+    // ring per direction, each fronted by its cache-padded control block.
+    const std::size_t ring = static_cast<std::size_t>(
+        dialer ? mine.ring_bytes : theirs.ring_bytes);
+    LCMPI_CHECK(ring > 0, "bulk ring size must be positive");
+    const std::size_t map_len = 2 * (sizeof(RingCtl) + ring);
+    int mfd = -1;
+    if (dialer) {
+      mfd = ::memfd_create("lcmpi-bulk", MFD_CLOEXEC);
+      if (mfd < 0) die(who() + ": memfd_create failed: " + errno_str());
+      if (::ftruncate(mfd, static_cast<off_t>(map_len)) != 0)
+        die(who() + ": ftruncate(memfd) failed: " + errno_str());
+    } else {
+      mfd = recv_fd(fd, who().c_str());
+    }
+    void* base = ::mmap(nullptr, map_len, PROT_READ | PROT_WRITE, MAP_SHARED,
+                        mfd, 0);
+    if (base == MAP_FAILED) die(who() + ": mmap(memfd) failed: " + errno_str());
+    b->map_base = base;
+    b->map_len = map_len;
+    auto* raw = static_cast<std::byte*>(base);
+    auto* ctl_a = reinterpret_cast<RingCtl*>(raw);
+    std::byte* data_a = raw + sizeof(RingCtl);
+    auto* ctl_b = reinterpret_cast<RingCtl*>(raw + sizeof(RingCtl) + ring);
+    std::byte* data_b = raw + 2 * sizeof(RingCtl) + ring;
+    if (dialer) {
+      // Initialize both control blocks BEFORE the fd crosses — the
+      // SCM_RIGHTS pass is the synchronization point.
+      new (ctl_a) RingCtl;
+      new (ctl_b) RingCtl;
+      ctl_a->head.store(0, std::memory_order_relaxed);
+      ctl_a->tail.store(0, std::memory_order_relaxed);
+      ctl_b->head.store(0, std::memory_order_relaxed);
+      ctl_b->tail.store(0, std::memory_order_relaxed);
+      send_fd(fd, mfd, who().c_str());
+    }
+    ::close(mfd);  // the mapping keeps the memory alive
+    // Ring A carries dialer->acceptor traffic, ring B the reverse.
+    b->tx_ring = dialer ? RingView{ctl_a, data_a, ring} : RingView{ctl_b, data_b, ring};
+    b->rx_ring = dialer ? RingView{ctl_b, data_b, ring} : RingView{ctl_a, data_a, ring};
+    stats_.memfd_pairs++;
+  } else {
+#if LCMPI_HAVE_ZEROCOPY
+    if (opt_.bulk_zerocopy && opt_.domain == Domain::kInet) {
+      const int one = 1;
+      b->zc_enabled =
+          ::setsockopt(fd, SOL_SOCKET, SO_ZEROCOPY, &one, sizeof one) == 0;
+    }
+#endif
+  }
+  bulk_[static_cast<std::size_t>(peer)] = std::move(b);
+}
+
+void SocketFabric::bulk_queue(int peer, std::uint64_t cookie, const void* data,
+                              std::size_t size) {
+  BulkChan* b = bulk_[static_cast<std::size_t>(peer)].get();
+  LCMPI_CHECK(b != nullptr, "bulk_send without a negotiated bulk channel");
+  if (b->closed)
+    die(who() + ": bulk send to rank " + std::to_string(peer) + " after it died");
+  BulkChan::Tx t;
+  t.cookie = cookie;
+  t.data = static_cast<const std::byte*>(data);
+  t.size = size;
+  put_bulk_hdr(t.hdr, cookie, size);
+  b->txq.push_back(t);
+  // Start moving bytes immediately — the common case (ring space or an
+  // empty socket buffer) completes small transfers in this one call.
+  (void)pump_bulk_tx(peer);
+}
+
+bool SocketFabric::pump_bulk(int peer) {
+  if (bulk_[static_cast<std::size_t>(peer)] == nullptr) return false;
+  bool any = pump_bulk_rx(peer);
+  any = pump_bulk_tx(peer) || any;
+  return any;
+}
+
+bool SocketFabric::pump_bulk_tx_all() {
+  bool any = false;
+  for (int peer = 0; peer < nranks_; ++peer) {
+    if (peer == rank_ || bulk_[static_cast<std::size_t>(peer)] == nullptr)
+      continue;
+    any = pump_bulk_tx(peer) || any;
+  }
+  return any;
+}
+
+/// EOF/reset on the bulk socket. Mid-transfer (either direction) this is
+/// a death; otherwise stay quiet — the control socket's BYE-or-EOF
+/// classification owns the verdict for idle peers. Transfers waiting only
+/// on zerocopy reaping are NOT mid-transfer: their bytes are fully with
+/// the kernel, and a closed connection (ACKed or reset) releases the
+/// pinned pages either way, so the send buffer is reusable — complete
+/// them rather than racing the errqueue against the peer's clean BYE.
+void SocketFabric::bulk_eof(int peer, const char* detail) {
+  BulkChan* b = bulk_[static_cast<std::size_t>(peer)].get();
+  if (!b->zc_wait.empty()) {
+    (void)reap_zerocopy(peer);  // harvest anything already confirmed
+    while (!b->zc_wait.empty()) {
+      ProtoMsg m;
+      m.kind = MsgKind::kBulkSent;
+      m.src = rank_;
+      m.sender_req = b->zc_wait.front().cookie;
+      arrivals_.push_back(std::move(m));
+      b->zc_wait.pop_front();
+    }
+  }
+  b->closed = true;
+  if (b->in_transfer || !b->txq.empty())
+    die(who() + ": rank " + std::to_string(peer) + " died mid-bulk-transfer (" +
+        detail + ")");
+}
+
+/// Parsed a complete 16-byte transfer header: bind the registered landing
+/// buffer. The engine guarantees bulk_post ran before its CTS, and the
+/// sender only writes after the CTS — so a missing registration is a
+/// protocol bug, not a race.
+void SocketFabric::begin_bulk_rx(int peer) {
+  BulkChan* b = bulk_[static_cast<std::size_t>(peer)].get();
+  get_bulk_hdr(b->rhdr, &b->rx_cookie, &b->rx_size);
+  b->rhdr_got = 0;
+  const auto it = bulk_regs_.find({peer, b->rx_cookie});
+  LCMPI_CHECK(it != bulk_regs_.end(),
+              "bulk transfer with no registered landing buffer");
+  b->rx_dst = static_cast<std::byte*>(it->second.first);
+  b->rx_cap = it->second.second;
+  bulk_regs_.erase(it);
+  b->rx_got = 0;
+  b->in_transfer = true;
+}
+
+void SocketFabric::finish_bulk_rx(int peer) {
+  BulkChan* b = bulk_[static_cast<std::size_t>(peer)].get();
+  b->in_transfer = false;
+  stats_.bulk_rx_transfers++;
+  stats_.bulk_rx_bytes += b->rx_size;
+  ProtoMsg m;
+  m.kind = MsgKind::kBulkDelivered;
+  m.src = peer;
+  m.sender_req = b->rx_cookie;
+  m.size = static_cast<std::uint32_t>(b->rx_size);
+  arrivals_.push_back(std::move(m));
+}
+
+/// Rings a ring-mode peer's doorbell: one byte meaning "state changed"
+/// (new data, or space freed). Best-effort — EAGAIN means the socket
+/// already holds unread doorbells, which is wake-up enough.
+void SocketFabric::ring_doorbell(int peer) {
+  BulkChan* b = bulk_[static_cast<std::size_t>(peer)].get();
+  const char byte = 1;
+  for (;;) {
+    const ssize_t n = ::send(b->fd, &byte, 1, MSG_NOSIGNAL);
+    if (n > 0) stats_.doorbells_tx++;
+    if (n < 0 && errno == EINTR) continue;
+    return;  // sent, EAGAIN, or peer gone (classified elsewhere)
+  }
+}
+
+bool SocketFabric::pump_bulk_rx(int peer) {
+  BulkChan* b = bulk_[static_cast<std::size_t>(peer)].get();
+  if (b == nullptr || b->closed) return false;
+  bool any = false;
+  if (b->use_ring()) {
+    // Drain doorbell bytes (their only content is "look at the ring").
+    char bells[256];
+    for (;;) {
+      const ssize_t n = ::recv(b->fd, bells, sizeof bells, 0);
+      if (n > 0) {
+        if (static_cast<std::size_t>(n) < sizeof bells) break;
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      bulk_eof(peer, n < 0 ? errno_str().c_str() : "EOF on bulk socket");
+      return any;
+    }
+    // Consume everything the ring holds right now.
+    std::uint64_t consumed = 0;
+    for (;;) {
+      const std::uint64_t avail = b->rx_ring.readable();
+      if (avail == 0) break;
+      if (!b->in_transfer) {
+        const std::uint64_t n =
+            std::min<std::uint64_t>(avail, kBulkHdrBytes - b->rhdr_got);
+        b->rx_ring.read(b->rhdr + b->rhdr_got, n);
+        b->rhdr_got += n;
+        consumed += n;
+        any = true;
+        if (b->rhdr_got == kBulkHdrBytes) begin_bulk_rx(peer);
+        if (b->in_transfer && b->rx_size == 0) finish_bulk_rx(peer);
+        continue;
+      }
+      const std::uint64_t n = std::min(avail, b->rx_size - b->rx_got);
+      const std::uint64_t in_cap =
+          b->rx_got < b->rx_cap ? std::min(n, b->rx_cap - b->rx_got) : 0;
+      if (in_cap > 0) {
+        b->rx_ring.read(b->rx_dst + b->rx_got, in_cap);
+        b->rx_got += in_cap;
+      }
+      const std::uint64_t over = n - in_cap;  // truncation: consume + drop
+      if (over > 0) {
+        b->rx_ring.discard(over);
+        b->rx_got += over;
+      }
+      consumed += n;
+      any = true;
+      if (b->rx_got == b->rx_size) finish_bulk_rx(peer);
+    }
+    if (consumed > 0) ring_doorbell(peer);  // freed ring space: credit
+  } else {
+    static thread_local std::vector<unsigned char> overflow(64 * 1024);
+    for (;;) {
+      void* dst = nullptr;
+      std::size_t want = 0;
+      if (!b->in_transfer) {
+        dst = b->rhdr + b->rhdr_got;
+        want = kBulkHdrBytes - static_cast<std::size_t>(b->rhdr_got);
+      } else if (b->rx_got < b->rx_cap) {
+        dst = b->rx_dst + b->rx_got;
+        want = static_cast<std::size_t>(
+            std::min(b->rx_size - b->rx_got, b->rx_cap - b->rx_got));
+      } else {
+        dst = overflow.data();
+        want = static_cast<std::size_t>(std::min<std::uint64_t>(
+            b->rx_size - b->rx_got, overflow.size()));
+      }
+      const ssize_t n = ::recv(b->fd, dst, want, 0);
+      if (n > 0) {
+        any = true;
+        if (!b->in_transfer) {
+          b->rhdr_got += static_cast<std::uint64_t>(n);
+          if (b->rhdr_got == kBulkHdrBytes) {
+            begin_bulk_rx(peer);
+            if (b->rx_size == 0) finish_bulk_rx(peer);
+          }
+        } else {
+          b->rx_got += static_cast<std::uint64_t>(n);
+          if (b->rx_got == b->rx_size) finish_bulk_rx(peer);
+        }
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      bulk_eof(peer, n < 0 ? errno_str().c_str() : "EOF on bulk socket");
+      return any;
+    }
+  }
+  return any;
+}
+
+bool SocketFabric::pump_bulk_tx(int peer) {
+  BulkChan* b = bulk_[static_cast<std::size_t>(peer)].get();
+  if (b == nullptr || b->closed) return false;
+  bool any = false;
+  if (!b->zc_wait.empty()) any = reap_zerocopy(peer) || any;
+  // The chunk budget bounds how much payload one pump moves, so control
+  // frames interleave with a long transfer at chunk granularity.
+  std::uint64_t budget = opt_.bulk_chunk_bytes;
+  bool rang = false;
+  while (!b->txq.empty() && budget > 0) {
+    BulkChan::Tx& t = b->txq.front();
+    if (b->use_ring()) {
+      if (t.hdr_off < kBulkHdrBytes) {
+        const std::uint64_t n = std::min(kBulkHdrBytes - t.hdr_off,
+                                         b->tx_ring.writable());
+        if (n == 0) break;
+        b->tx_ring.write(t.hdr + t.hdr_off, n);
+        t.hdr_off += n;
+        any = rang = true;
+        if (t.hdr_off < kBulkHdrBytes) break;  // ring crammed full
+      }
+      if (t.off < t.size) {
+        const std::uint64_t n =
+            std::min({t.size - t.off, b->tx_ring.writable(), budget});
+        if (n == 0) break;  // ring full: the peer's doorbell will wake us
+        b->tx_ring.write(t.data + t.off, n);
+        t.off += n;
+        budget -= n;
+        any = rang = true;
+      }
+    } else {
+      if (t.hdr_off < kBulkHdrBytes) {
+        const ssize_t n =
+            ::send(b->fd, t.hdr + t.hdr_off,
+                   static_cast<std::size_t>(kBulkHdrBytes - t.hdr_off),
+                   MSG_NOSIGNAL);
+        if (n < 0 && errno == EINTR) continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        if (n <= 0) {
+          bulk_eof(peer, n < 0 ? errno_str().c_str() : "peer closed");
+          return any;
+        }
+        t.hdr_off += static_cast<std::uint64_t>(n);
+        any = true;
+        if (t.hdr_off < kBulkHdrBytes) break;
+      }
+      bool blocked = false;
+      while (t.off < t.size && budget > 0) {
+        const std::size_t chunk = static_cast<std::size_t>(
+            std::min<std::uint64_t>(t.size - t.off, budget));
+        int flags = MSG_NOSIGNAL;
+        bool zc = false;
+#if LCMPI_HAVE_ZEROCOPY
+        if (b->zc_enabled && chunk >= kZcMinChunk) {
+          flags |= MSG_ZEROCOPY;
+          zc = true;
+        }
+#endif
+        ssize_t n = ::send(b->fd, t.data + t.off, chunk, flags);
+#if LCMPI_HAVE_ZEROCOPY
+        if (n < 0 && zc && errno == ENOBUFS) {
+          // Optmem exhausted: fall back to plain copies for good.
+          b->zc_enabled = false;
+          zc = false;
+          n = ::send(b->fd, t.data + t.off, chunk, MSG_NOSIGNAL);
+        }
+#endif
+        if (n < 0 && errno == EINTR) continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+          blocked = true;
+          break;
+        }
+        if (n <= 0) {
+          bulk_eof(peer, n < 0 ? errno_str().c_str() : "peer closed");
+          return any;
+        }
+        if (zc) {
+          stats_.zerocopy_sends++;
+          t.zc_used = true;
+          t.zc_last = b->zc_seq;
+          b->zc_seq++;
+        }
+        t.off += static_cast<std::uint64_t>(n);
+        budget -= static_cast<std::uint64_t>(n);
+        any = true;
+      }
+      if (blocked) break;
+    }
+    if (t.hdr_off == kBulkHdrBytes && t.off == t.size) {
+      stats_.bulk_tx_transfers++;
+      stats_.bulk_tx_bytes += t.size;
+      if (t.zc_used && t.zc_last >= b->zc_done) {
+        // Pages still pinned by the kernel: hold kBulkSent until the
+        // errqueue confirms (the engine's send buffer must stay valid).
+        b->zc_wait.push_back({t.cookie, t.zc_last});
+      } else {
+        ProtoMsg m;
+        m.kind = MsgKind::kBulkSent;
+        m.src = rank_;
+        m.sender_req = t.cookie;
+        arrivals_.push_back(std::move(m));
+      }
+      b->txq.pop_front();
+    } else {
+      break;
+    }
+  }
+  if (rang) ring_doorbell(peer);  // data available
+  return any;
+}
+
+bool SocketFabric::reap_zerocopy(int peer) {
+  BulkChan* b = bulk_[static_cast<std::size_t>(peer)].get();
+  bool any = false;
+#if LCMPI_HAVE_ZEROCOPY
+  for (;;) {
+    msghdr msg{};
+    alignas(cmsghdr) char ctl[256];
+    msg.msg_control = ctl;
+    msg.msg_controllen = sizeof ctl;
+    const ssize_t n = ::recvmsg(b->fd, &msg, MSG_ERRQUEUE);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN: queue empty
+    }
+    for (cmsghdr* cm = CMSG_FIRSTHDR(&msg); cm != nullptr;
+         cm = CMSG_NXTHDR(&msg, cm)) {
+      if (cm->cmsg_len < CMSG_LEN(sizeof(sock_extended_err))) continue;
+      sock_extended_err serr;
+      std::memcpy(&serr, CMSG_DATA(cm), sizeof serr);
+      if (serr.ee_errno != 0 || serr.ee_origin != SO_EE_ORIGIN_ZEROCOPY)
+        continue;
+      // [ee_info, ee_data] is the completed zerocopy-send seq range.
+      stats_.zerocopy_completions += serr.ee_data - serr.ee_info + 1;
+      b->zc_done = std::max(b->zc_done, serr.ee_data + 1);
+    }
+  }
+#endif
+  while (!b->zc_wait.empty() && b->zc_wait.front().zc_last < b->zc_done) {
+    ProtoMsg m;
+    m.kind = MsgKind::kBulkSent;
+    m.src = rank_;
+    m.sender_req = b->zc_wait.front().cookie;
+    arrivals_.push_back(std::move(m));
+    b->zc_wait.pop_front();
+    any = true;
+  }
+  return any;
+}
+
+void SocketFabric::flush_bulk() noexcept {
+  // Bounded best-effort drain of whatever the bulk plane still owes
+  // (normally nothing: every engine send completed before finalize).
+  try {
+    const auto deadline = Clock::now() + std::chrono::seconds(2);
+    for (;;) {
+      bool pending = false;
+      bool progress = false;
+      for (int peer = 0; peer < nranks_; ++peer) {
+        if (peer == rank_) continue;
+        BulkChan* b = bulk_[static_cast<std::size_t>(peer)].get();
+        if (b == nullptr || b->closed) continue;
+        if (b->txq.empty() && b->zc_wait.empty()) continue;
+        pending = true;
+        progress = pump_bulk_tx(peer) || progress;
+      }
+      if (!pending || Clock::now() >= deadline) return;
+      if (!progress) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  } catch (...) {
+    // Teardown path: a dead peer here is somebody else's error to report.
+  }
 }
 
 void SocketFabric::say_bye() noexcept {

@@ -34,13 +34,28 @@
 // poll()/send() throw FabricError instead of letting a blocked receive
 // hang forever. wait_activity is a poll(2) over every live peer socket
 // with a bounded slice (condition-variable semantics: callers re-check).
+//
+// Bulk data plane (Options::bulk, default kMemfd): rendezvous payloads
+// leave the framed control socket entirely. Each pair gets a SECOND
+// dedicated socket — raw streaming, one 16-byte {cookie, size} header per
+// transfer, no per-chunk framing — and co-located AF_UNIX pairs upgrade
+// further to a memfd-backed pair of mmap'd byte rings (one per
+// direction), negotiated with a BulkHello + SCM_RIGHTS fd pass at mesh
+// time: the sender's single copy lands in shared memory and the receiver
+// copies straight into the buffer the engine registered with bulk_post.
+// Transfers pump in bounded chunks interleaved with control-plane polls,
+// so a 64 MiB push no longer head-of-line-blocks an eager ping — the
+// latency/bandwidth isolation the paper gets from separating its
+// protocol and data channels.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/fabric/fabric.h"
@@ -52,11 +67,38 @@ class SocketFabric final : public Fabric {
   /// Which kernel transport carries the mesh.
   enum class Domain : std::uint8_t { kUnix, kInet };
 
+  /// How rendezvous payloads travel (the bulk data plane).
+  ///
+  ///  kInline — the pre-bulk-plane baseline: payloads ride the framed
+  ///            control socket as kRdata (head-of-line-blocks envelopes;
+  ///            kept for ablation/benchmark comparison). Must be uniform
+  ///            across the world: kInline ranks build no bulk sockets.
+  ///  kStream — a SECOND per-pair socket dedicated to bulk bytes: raw
+  ///            streaming with one 16-byte header per transfer (no
+  ///            per-chunk framing), MSG_ZEROCOPY opportunistically where
+  ///            the kernel supports it (AF_INET).
+  ///  kMemfd  — as kStream, plus co-located AF_UNIX pairs negotiate a
+  ///            memfd + mmap'd byte ring per direction at Hello time and
+  ///            do single-copy receives straight into the posted buffer;
+  ///            pairs where either side lacks memfd support (or the
+  ///            domain is AF_INET) degrade to the stream socket.
+  enum class Bulk : std::uint8_t { kInline, kStream, kMemfd };
+
   struct Options {
     FabricCaps caps;
     /// Zero: host work takes real time, as on ShmFabric.
     MpiCosts costs;
     Domain domain = Domain::kUnix;
+    Bulk bulk = Bulk::kMemfd;
+    /// Per-direction memfd ring capacity (kMemfd pairs).
+    std::size_t bulk_ring_bytes = 4 << 20;
+    /// Max bulk payload bytes moved per pump: bounds how long a huge
+    /// transfer can monopolize the progress loop between control-plane
+    /// polls (the anti-head-of-line knob).
+    std::size_t bulk_chunk_bytes = 256 << 10;
+    /// Attempt SO_ZEROCOPY/MSG_ZEROCOPY on AF_INET bulk stream sockets
+    /// (completion-reaped via MSG_ERRQUEUE; plain send on any failure).
+    bool bulk_zerocopy = true;
     /// Rendezvous/connect patience: per-attempt backoff doubles from
     /// `backoff_floor` to `backoff_cap`; giving up after `dial_deadline`
     /// total raises FabricError (a peer that never came up).
@@ -113,6 +155,15 @@ class SocketFabric final : public Fabric {
     std::uint64_t send_stalls = 0;   // EAGAIN on write (kernel buffer full)
     std::uint64_t idle_polls = 0;    // wait_activity entered poll(2)
     std::uint64_t dial_retries = 0;  // rendezvous connect attempts beyond the first
+    // Bulk data plane (zero when Options::bulk == Bulk::kInline).
+    std::uint64_t bulk_tx_transfers = 0;  // bulk_send transfers completed
+    std::uint64_t bulk_rx_transfers = 0;  // inbound transfers delivered
+    std::uint64_t bulk_tx_bytes = 0;      // payload bytes sent on the bulk plane
+    std::uint64_t bulk_rx_bytes = 0;      // payload bytes received on the bulk plane
+    std::uint64_t memfd_pairs = 0;        // pairs that negotiated a shared ring
+    std::uint64_t doorbells_tx = 0;       // ring doorbell bytes written
+    std::uint64_t zerocopy_sends = 0;     // MSG_ZEROCOPY sendmsg calls issued
+    std::uint64_t zerocopy_completions = 0;  // errqueue notifications reaped
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -128,13 +179,40 @@ class SocketFabric final : public Fabric {
     bool closed = false;      // fd closed (after EOF)
   };
 
+  /// Per-pair bulk channel state (second socket, optional shared ring).
+  /// Full definition lives in the .cpp — the header stays free of the
+  /// mmap/atomics plumbing.
+  struct BulkChan;
+
   void build_mesh(const Rendezvous& rdv);
+  /// Second-socket handshake for one peer: BulkHello exchange, then (both
+  /// willing, AF_UNIX) memfd creation/passing + ring mapping. `dialer` is
+  /// true when this rank initiated the connection — the dialer creates
+  /// the memfd and owns ring direction A.
+  void bulk_handshake(int peer, int fd, bool dialer);
   /// Drains fd until EAGAIN, parsing complete frames into arrivals_.
   /// Returns true if anything new arrived. Throws FabricError on
   /// unannounced EOF/reset.
   bool pump_peer(int peer);
   void parse_frames(int peer);
   void send_frame(int peer, const ProtoMsg& msg);
+  /// Bulk-plane progress for one peer: receive side (ring or stream, into
+  /// the registered landing buffer) then transmit side (chunk-capped).
+  /// Returns true if any bytes moved or completions surfaced.
+  bool pump_bulk(int peer);
+  bool pump_bulk_rx(int peer);
+  bool pump_bulk_tx(int peer);
+  /// One tx pass over every peer; true if any bytes moved (wait_activity
+  /// uses this to avoid parking while a transfer could progress).
+  bool pump_bulk_tx_all();
+  void bulk_queue(int peer, std::uint64_t cookie, const void* data,
+                  std::size_t size);
+  void bulk_eof(int peer, const char* detail);
+  void begin_bulk_rx(int peer);
+  void finish_bulk_rx(int peer);
+  void ring_doorbell(int peer);
+  bool reap_zerocopy(int peer);
+  void flush_bulk() noexcept;  // bounded best-effort tx drain before BYE
   void say_bye() noexcept;
   [[nodiscard]] std::string who() const;  // "rank R" for error texts
 
@@ -143,6 +221,10 @@ class SocketFabric final : public Fabric {
   Options opt_;
   std::chrono::steady_clock::time_point epoch_;
   std::vector<Conn> conns_;           // by peer rank
+  std::vector<std::unique_ptr<BulkChan>> bulk_;  // by peer rank (null: no plane)
+  /// Landing buffers registered by bulk_post, keyed (src, cookie).
+  std::map<std::pair<int, std::uint64_t>, std::pair<void*, std::size_t>>
+      bulk_regs_;
   std::deque<ProtoMsg> arrivals_;     // parsed, FIFO per source
   int pump_cursor_ = 0;               // round-robin fairness over peers
   Stats stats_;

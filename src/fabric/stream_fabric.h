@@ -11,6 +11,13 @@
 // Receive-side costs land where Table 1 measured them: the engine's poll()
 // performs one charged read for the type byte, one for the control block,
 // and one for any payload.
+//
+// Bulk plane: deliberately BulkPlane::kInline. This fabric exists to
+// reproduce the paper's measured virtual-time figures, whose cost model
+// charges rendezvous payloads on the same stream as the control records;
+// routing them around the model would invalidate every calibrated number.
+// The zero-copy seam (fabric.h) is exercised by the real-execution
+// fabrics (ShmFabric, SocketFabric) instead.
 #pragma once
 
 #include <map>

@@ -313,7 +313,8 @@ std::vector<Bytes> SocketWorld::run_collect(const CollectRankFn& fn) {
     try {
       fabric::SocketFabric::Rendezvous child_rdv = rdv;
       child_rdv.listen_fd = (!unix_domain && r == 0) ? listen_fd : -1;
-      fabric::SocketFabric fab(n, r, child_rdv, opt_);
+      fabric::SocketFabric fab(n, r, child_rdv,
+                               rank_opt_ ? rank_opt_(r, opt_) : opt_);
       auto actor = sim::Actor::detached("rank-" + std::to_string(r));
       sim::Actor::BindScope bind(actor.get());
       mpi::Engine engine(fab.endpoint(r), *actor, engine_cfg_);

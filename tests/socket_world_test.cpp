@@ -84,6 +84,124 @@ TEST(SocketWorldConformance, InetLoopbackPingPong) {
   conform(2, pingpong_program, opt);
 }
 
+// ------------------------------------------------- bulk-data-plane battery
+
+TEST(SocketWorldConformance, MixedTrafficMemfdBulk) {
+  // Default options: co-located AF_UNIX ranks negotiate the memfd ring;
+  // 1 MiB rendezvous payloads and eager pings interleave on one pair.
+  conform(2, mixed_traffic_program);
+}
+
+TEST(SocketWorldConformance, MixedTrafficStreamBulk) {
+  fabric::SocketFabric::Options opt;
+  opt.bulk = fabric::SocketFabric::Bulk::kStream;
+  conform(2, mixed_traffic_program, opt);
+}
+
+TEST(SocketWorldConformance, MixedTrafficInlineBaseline) {
+  // The pre-bulk-plane path (payloads as framed kRdata) must still agree.
+  fabric::SocketFabric::Options opt;
+  opt.bulk = fabric::SocketFabric::Bulk::kInline;
+  conform(2, mixed_traffic_program, opt);
+}
+
+TEST(SocketWorldConformance, MixedTrafficInetZerocopyStream) {
+  // AF_INET never negotiates memfd: kMemfd degrades to the zerocopy
+  // stream path (MSG_ZEROCOPY where the kernel grants SO_ZEROCOPY).
+  fabric::SocketFabric::Options opt;
+  opt.domain = fabric::SocketFabric::Domain::kInet;
+  conform(2, mixed_traffic_program, opt);
+}
+
+TEST(SocketWorldConformance, MixedTrafficTinyRingForcesWraparound) {
+  // A ring far smaller than the 1 MiB transfers: wraparound split copies
+  // and ring-full backpressure (doorbell credit wakeups) every round.
+  fabric::SocketFabric::Options opt;
+  opt.bulk_ring_bytes = 64 * 1024;
+  conform(2, mixed_traffic_program, opt);
+}
+
+TEST(SocketWorldConformance, TruncatedRendezvousAllPlanes) {
+  for (const auto bulk : {fabric::SocketFabric::Bulk::kMemfd,
+                          fabric::SocketFabric::Bulk::kStream,
+                          fabric::SocketFabric::Bulk::kInline}) {
+    fabric::SocketFabric::Options opt;
+    opt.bulk = bulk;
+    conform(2, truncation_program, opt);
+  }
+}
+
+TEST(SocketWorldConformance, MemfdFallbackNegotiation) {
+  // Rank 0 wants the memfd ring, rank 1 is stream-only: the BulkHello
+  // exchange must degrade the pair to stream mode — identical results,
+  // no hang, no misdelivered bytes.
+  const Program& prog = mixed_traffic_program;
+  runtime::SocketWorld world(2);
+  world.set_rank_options([](int rank, fabric::SocketFabric::Options base) {
+    base.bulk = rank == 0 ? fabric::SocketFabric::Bulk::kMemfd
+                          : fabric::SocketFabric::Bulk::kStream;
+    return base;
+  });
+  const std::vector<Bytes> raw =
+      world.run_collect([&prog](mpi::Comm& comm, sim::Actor&) {
+        RankLog log;
+        prog(comm, log);
+        return log.serialize();
+      });
+  std::vector<RankLog> logs;
+  for (const Bytes& b : raw) logs.push_back(RankLog::deserialize(b));
+  expect_logs_equal(run_on_loop(2, prog), logs);
+}
+
+TEST(SocketWorldTest, PeerDeathMidBulkTransferMemfd) {
+  // Rank 1 dies with an 8 MiB rendezvous push in flight (it fits only
+  // twice over in the ring, so the transfer cannot have completed).
+  // Rank 0 must classify the EOF as a death, not deliver short data.
+  runtime::SocketWorld world(2);
+  try {
+    world.run([](mpi::Comm& c, sim::Actor&) {
+      const auto byte = Datatype::byte_type();
+      constexpr std::size_t kBig = 8 * 1024 * 1024;
+      if (c.rank() == 1) {
+        std::vector<unsigned char> out(kBig, 0x5a);
+        const mpi::Request r =
+            c.isend(out.data(), static_cast<int>(kBig), byte, 0, 4);
+        (void)c.test(r);  // start the push, then die mid-stream
+        std::_Exit(7);
+      }
+      std::vector<unsigned char> in(kBig);
+      c.recv(in.data(), static_cast<int>(kBig), byte, 1, 4);
+    });
+    FAIL() << "mid-bulk peer death was not detected";
+  } catch (const fabric::FabricError& e) {
+    EXPECT_NE(std::string(e.what()).find("died"), std::string::npos) << e.what();
+  }
+}
+
+TEST(SocketWorldTest, PeerDeathMidBulkTransferStream) {
+  fabric::SocketFabric::Options opt;
+  opt.bulk = fabric::SocketFabric::Bulk::kStream;
+  runtime::SocketWorld world(2, opt);
+  try {
+    world.run([](mpi::Comm& c, sim::Actor&) {
+      const auto byte = Datatype::byte_type();
+      constexpr std::size_t kBig = 8 * 1024 * 1024;
+      if (c.rank() == 1) {
+        std::vector<unsigned char> out(kBig, 0xa5);
+        const mpi::Request r =
+            c.isend(out.data(), static_cast<int>(kBig), byte, 0, 4);
+        (void)c.test(r);
+        std::_Exit(7);
+      }
+      std::vector<unsigned char> in(kBig);
+      c.recv(in.data(), static_cast<int>(kBig), byte, 1, 4);
+    });
+    FAIL() << "mid-bulk peer death was not detected";
+  } catch (const fabric::FabricError& e) {
+    EXPECT_NE(std::string(e.what()).find("died"), std::string::npos) << e.what();
+  }
+}
+
 // ------------------------------------------------------ process-only bits
 
 TEST(SocketWorldTest, ReportsWallClockTime) {

@@ -71,6 +71,48 @@ TEST(ThreadsWorldConformance, CreditExhaustionTinyRings) {
   conform(2, credit_exhaustion_program, opt);
 }
 
+TEST(ThreadsWorldConformance, MixedTrafficDirectBulkHandoff) {
+  // Default: rendezvous payloads cross threads via the registered-buffer
+  // direct copy (BulkPlane::kShared), eager chatter via the rings.
+  conform(2, mixed_traffic_program);
+}
+
+TEST(ThreadsWorldConformance, MixedTrafficInlineAblation) {
+  // bulk_direct off: payloads staged through ring slots (the pre-bulk
+  // baseline). Same observable results, one extra copy.
+  fabric::ShmFabric::Options opt;
+  opt.bulk_direct = false;
+  conform(2, mixed_traffic_program, opt);
+}
+
+TEST(ThreadsWorldConformance, TruncatedRendezvousBothPlanes) {
+  for (const bool direct : {true, false}) {
+    fabric::ShmFabric::Options opt;
+    opt.bulk_direct = direct;
+    conform(2, truncation_program, opt);
+  }
+}
+
+TEST(ThreadsWorldTest, DirectBulkHandoffCountsTransfers) {
+  runtime::ThreadsWorld world(2);
+  world.run([](mpi::Comm& c, sim::Actor&) {
+    const auto byte = Datatype::byte_type();
+    constexpr std::size_t kBig = 1 << 20;
+    if (c.rank() == 0) {
+      std::vector<unsigned char> out(kBig, 0x3c);
+      c.send(out.data(), static_cast<int>(kBig), byte, 1, 8);
+    } else {
+      std::vector<unsigned char> in(kBig);
+      c.recv(in.data(), static_cast<int>(kBig), byte, 0, 8);
+      for (const unsigned char v : in)
+        if (v != 0x3c) throw std::runtime_error("bulk payload corrupted");
+    }
+  });
+  const fabric::ShmFabric::Stats s = world.fabric().stats();
+  EXPECT_EQ(s.bulk_transfers, 1u);
+  EXPECT_EQ(s.bulk_bytes, std::uint64_t{1} << 20);
+}
+
 TEST(ThreadsWorldConformance, WholeBatteryBackToBack) {
   // One world per program, all shapes again at 3 ranks where applicable —
   // catches size-dependent assumptions (ring arithmetic, tree collectives).

@@ -279,4 +279,78 @@ inline void credit_exhaustion_program(mpi::Comm& c, RankLog& log) {
   c.barrier();
 }
 
+/// Interleaved small-eager and huge-rendezvous traffic between the SAME
+/// pair, both directions at once — the bulk-data-plane stress case. Each
+/// side posts its big irecv first, isends a large (well past any eager
+/// threshold) payload, then ping-pongs small eager messages while the
+/// bulk transfers are still in flight. The eager stream and the bulk
+/// stream must not corrupt each other, and per-(source, tag) order must
+/// hold even though the bytes travel different channels.
+inline void mixed_traffic_program(mpi::Comm& c, RankLog& log) {
+  const auto byte = mpi::Datatype::byte_type();
+  if (c.rank() > 1) {
+    c.barrier();
+    return;
+  }
+  const int me = c.rank();
+  const int peer = 1 - me;
+  constexpr std::size_t kBulk = 1 << 20;  // 1 MiB: far rendezvous-side
+  constexpr int kRounds = 3;
+  constexpr int kSmallPerRound = 8;
+  constexpr std::size_t kSmall = 64;
+  for (int round = 0; round < kRounds; ++round) {
+    const int bulk_tag = 500 + round;
+    std::vector<unsigned char> bulk_in(kBulk);
+    auto bulk_out = make_payload(me, bulk_tag, round, kBulk);
+    mpi::Request rr = c.irecv(bulk_in.data(), static_cast<int>(kBulk), byte,
+                              peer, bulk_tag);
+    mpi::Request sr = c.isend(bulk_out.data(), static_cast<int>(kBulk), byte,
+                              peer, bulk_tag);
+    // Small eager chatter while both 1 MiB transfers are in flight.
+    for (int i = 0; i < kSmallPerRound; ++i) {
+      const int tag = 900 + i % 2;
+      auto small_out = make_payload(me, tag, round * kSmallPerRound + i, kSmall);
+      std::vector<unsigned char> small_in(kSmall);
+      mpi::Status st;
+      if (me == 0) {
+        c.send(small_out.data(), static_cast<int>(kSmall), byte, peer, tag);
+        st = c.recv(small_in.data(), static_cast<int>(kSmall), byte, peer, tag);
+      } else {
+        st = c.recv(small_in.data(), static_cast<int>(kSmall), byte, peer, tag);
+        c.send(small_out.data(), static_cast<int>(kSmall), byte, peer, tag);
+      }
+      log.log_msg(st.source, st.tag, fnv1a(small_in.data(), small_in.size()));
+    }
+    c.wait(rr);
+    c.wait(sr);
+    const mpi::Status& bst = rr->status;
+    log.log_msg(bst.source, bst.tag, fnv1a(bulk_in.data(), bulk_in.size()));
+    log.log_scalar(bst.count_bytes);
+  }
+  c.barrier();
+}
+
+/// A rendezvous receive posted with a SMALLER buffer than the incoming
+/// payload: the fabric must clamp at the registered capacity, drop the
+/// overflow, and the Status must report truncation with the clamped
+/// count — identically on every transport (inline kRdata unpacks a
+/// partial payload; the bulk planes discard in flight).
+inline void truncation_program(mpi::Comm& c, RankLog& log) {
+  c.engine().set_errors_return(true);  // MPI_ERRORS_RETURN: inspect Status
+  const auto byte = mpi::Datatype::byte_type();
+  constexpr std::size_t kSend = 300 * 1024;
+  constexpr std::size_t kRecv = 64 * 1024;
+  if (c.rank() == 0) {
+    auto out = make_payload(0, 31, 0, kSend);
+    c.send(out.data(), static_cast<int>(kSend), byte, 1, 31);
+  } else if (c.rank() == 1) {
+    std::vector<unsigned char> in(kRecv);
+    const mpi::Status st = c.recv(in.data(), static_cast<int>(kRecv), byte, 0, 31);
+    log.log_scalar(st.error == Err::kTruncate ? 1 : 0);
+    log.log_scalar(st.count_bytes);
+    log.log_msg(st.source, st.tag, fnv1a(in.data(), in.size()));
+  }
+  c.barrier();
+}
+
 }  // namespace lcmpi::conformance
