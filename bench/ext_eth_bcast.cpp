@@ -20,7 +20,7 @@ using runtime::Transport;
 
 double bcast_sweep_us(int ranks, int doubles, bool link_broadcast) {
   mpi::EngineConfig cfg;
-  cfg.bcast_long_threshold = 1LL << 40;  // isolate tree vs link broadcast
+  cfg.coll.force = mpi::coll::Algo::kBinomial;  // isolate tree vs link broadcast
   ClusterWorld w(ranks, Media::kEthernet, Transport::kTcp, cfg, {}, link_broadcast);
   return w
       .run([&](mpi::Comm& c, sim::Actor&) {
@@ -52,7 +52,7 @@ int run() {
   for (int p : {2, 4, 8}) {
     auto run_solver = [&](bool bc) {
       mpi::EngineConfig cfg;
-      cfg.bcast_long_threshold = 1LL << 40;  // pure tree vs link broadcast
+      cfg.coll.force = mpi::coll::Algo::kBinomial;  // pure tree vs link broadcast
       ClusterWorld w(p, Media::kEthernet, Transport::kTcp, cfg, {}, bc);
       return w
           .run([&](mpi::Comm& c, sim::Actor& self) {

@@ -12,7 +12,7 @@
 //   --quick  ~10x fewer iterations (CI smoke mode)
 //   --out    JSON output path (default: BENCH_host.json in the cwd)
 //
-// JSON schema (lcmpi-host-perf-v5):
+// JSON schema (lcmpi-host-perf-v7):
 //   matching[]   — ns/match for bucketed vs linear posted + unexpected
 //                  queues at several steady-state depths, with speedups
 //   event_kernel — callback-event dispatch and timer borrow/cancel/release
@@ -59,6 +59,15 @@
 //                  must stay <= 2x the idle RTT (bulk/control isolation —
 //                  the whole point of the split data plane). The process
 //                  exits nonzero if either gate fails.
+//   collectives  — VIRTUAL-time sweep of the collective-algorithm engine on
+//                  the CS/2 model: (size x ranks x algorithm) for bcast and
+//                  allreduce with hw offload disabled, an hw-enabled bcast
+//                  column, and the Fig. 7 solver re-run per forced
+//                  algorithm. Two gates feed the exit code: the
+//                  auto-selection table must land within 10% of the best
+//                  fixed algorithm at every swept point, and the modelled
+//                  Elan hardware broadcast must beat the software binomial
+//                  tree at >= 8 ranks.
 //   end_to_end   — 16-rank Meiko solver: virtual ms simulated per host s
 #include <algorithm>
 #include <chrono>
@@ -936,6 +945,137 @@ BulkPlaneResult bulk_plane_point(bool quick) {
   return r;
 }
 
+// --- collectives engine ------------------------------------------------------
+//
+// Virtual-time sweep of the software collective algorithms on the CS/2
+// model: (message size x ranks x algorithm) for bcast and allreduce, with
+// hardware offload DISABLED so the software algorithms are actually
+// measured, plus one hw-enabled bcast column. Two gates:
+//   * the auto-selection table must land within 10% of the best fixed
+//     algorithm at every swept point (the crossover table earns its keep);
+//   * the modelled Elan hardware broadcast must beat the software binomial
+//     tree at >= 8 ranks (the paper's core hardware-broadcast claim).
+// Also re-runs the Fig. 7 solver study once per forced algorithm (hw
+// offload off, so the force reaches the solver's broadcasts) plus the
+// hw-offload row benches compare against.
+
+struct CollSweepPoint {
+  int ranks = 0;
+  std::int64_t bytes = 0;
+  double fixed_usec[3] = {0, 0, 0};  // indexed by coll::Algo
+  double auto_usec = 0;
+  double hw_usec = 0;          // bcast only; 0 for allreduce
+  mpi::coll::Algo auto_choice = mpi::coll::Algo::kBinomial;
+  bool auto_ok = false;        // auto <= 1.1x best fixed
+  bool hw_ok = true;           // ranks < 8 || hw < binomial (bcast only)
+};
+
+struct CollFig7Row {
+  int procs = 0;
+  double fixed_s[3] = {0, 0, 0};
+  double hw_s = 0;
+};
+
+struct CollectivesResult {
+  std::vector<CollSweepPoint> bcast;
+  std::vector<CollSweepPoint> allreduce;
+  std::vector<CollFig7Row> fig7;
+  bool auto_bar = true;  // every swept point's auto_ok
+  bool hw_bar = true;    // every bcast point's hw_ok
+};
+
+/// Virtual us per collective on the Meiko model. `force` pins a software
+/// algorithm (nullopt = the selection table); `hw` enables the Elan
+/// offload (which outranks any force for world-spanning comms).
+double coll_virtual_usec(int ranks, int doubles, bool is_allreduce,
+                         std::optional<mpi::coll::Algo> force, bool hw) {
+  mpi::EngineConfig cfg;
+  cfg.coll.force = force;
+  cfg.use_hw_bcast = hw;
+  cfg.use_hw_barrier = hw;
+  runtime::MeikoWorld w(ranks, {}, cfg);
+  constexpr int kReps = 4;
+  const Duration d = w.run([&](mpi::Comm& c, sim::Actor&) {
+    std::vector<double> buf(static_cast<std::size_t>(doubles), 1.0);
+    std::vector<double> out(static_cast<std::size_t>(doubles));
+    c.barrier();  // absorb startup skew outside the measured reps
+    for (int i = 0; i < kReps; ++i) {
+      if (is_allreduce) {
+        c.allreduce(buf.data(), out.data(), doubles, mpi::Datatype::double_type(),
+                    mpi::Op::kSum);
+        std::swap(buf, out);
+      } else {
+        c.bcast(buf.data(), doubles, mpi::Datatype::double_type(), 0);
+      }
+    }
+  });
+  return d.usec() / kReps;
+}
+
+CollectivesResult collectives_point(bool quick) {
+  CollectivesResult r;
+  const std::vector<int> ranks = quick ? std::vector<int>{2, 8, 16}
+                                       : std::vector<int>{2, 4, 8, 16};
+  // 256 B / 16 KiB / 256 KiB / 1 MiB of doubles: one size per selection
+  // zone plus both crossover boundaries.
+  const std::vector<int> counts = quick ? std::vector<int>{32, 2048, 32768}
+                                        : std::vector<int>{32, 2048, 32768, 131072};
+  for (const bool is_allreduce : {false, true}) {
+    for (const int n : ranks) {
+      for (const int doubles : counts) {
+        CollSweepPoint p;
+        p.ranks = n;
+        p.bytes = static_cast<std::int64_t>(doubles) * 8;
+        double best = 0;
+        for (const mpi::coll::Algo a : mpi::coll::kAllAlgos) {
+          const double us = coll_virtual_usec(n, doubles, is_allreduce, a, false);
+          p.fixed_usec[static_cast<int>(a)] = us;
+          if (best == 0 || us < best) best = us;
+        }
+        p.auto_usec = coll_virtual_usec(n, doubles, is_allreduce, std::nullopt, false);
+        p.auto_choice = mpi::coll::select(
+            is_allreduce ? mpi::coll::Kind::kAllreduce : mpi::coll::Kind::kBcast,
+            p.bytes, n, mpi::coll::Tuning{});
+        p.auto_ok = p.auto_usec <= 1.1 * best;
+        if (!p.auto_ok) r.auto_bar = false;
+        if (!is_allreduce) {
+          p.hw_usec = coll_virtual_usec(n, doubles, false, std::nullopt, true);
+          p.hw_ok = n < 8 ||
+                    p.hw_usec < p.fixed_usec[static_cast<int>(mpi::coll::Algo::kBinomial)];
+          if (!p.hw_ok) r.hw_bar = false;
+        }
+        (is_allreduce ? r.allreduce : r.bcast).push_back(p);
+      }
+    }
+  }
+  // Fig. 7 solver study per algorithm (hw off so the force matters), plus
+  // the hw-offload row everything in bench/ compares against.
+  const apps::LinearSystem sys = apps::LinearSystem::random(96, 5);
+  const std::vector<int> procs = quick ? std::vector<int>{4, 16}
+                                       : std::vector<int>{2, 4, 8, 16};
+  for (const int p : procs) {
+    CollFig7Row row;
+    row.procs = p;
+    auto solver_s = [&](std::optional<mpi::coll::Algo> force, bool hw) {
+      mpi::EngineConfig cfg;
+      cfg.coll.force = force;
+      cfg.use_hw_bcast = hw;
+      cfg.use_hw_barrier = hw;
+      runtime::MeikoWorld w(p, {}, cfg);
+      return w
+          .run([&](mpi::Comm& c, sim::Actor& self) {
+            (void)apps::solve_parallel(c, self, sys, apps::sparc_profile());
+          })
+          .sec();
+    };
+    for (const mpi::coll::Algo a : mpi::coll::kAllAlgos)
+      row.fixed_s[static_cast<int>(a)] = solver_s(a, false);
+    row.hw_s = solver_s(std::nullopt, true);
+    r.fig7.push_back(row);
+  }
+  return r;
+}
+
 // --- end to end --------------------------------------------------------------
 
 struct EndToEnd {
@@ -973,13 +1113,14 @@ void write_json(const std::string& path, bool quick,
                 const ActorResult& actors,
                 const std::vector<ClusterPoint>& cluster,
                 const ThreadsWorldResult& tw, const SocketWorldResult& sw,
-                const BulkPlaneResult& bp, const EndToEnd& e2e) {
+                const BulkPlaneResult& bp, const CollectivesResult& coll,
+                const EndToEnd& e2e) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "host_perf: cannot open %s\n", path.c_str());
     std::exit(1);
   }
-  std::fprintf(f, "{\n  \"schema\": \"lcmpi-host-perf-v6\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"lcmpi-host-perf-v7\",\n");
   std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
   std::fprintf(f, "  \"matching\": [\n");
   for (std::size_t i = 0; i < pts.size(); ++i) {
@@ -1110,6 +1251,41 @@ void write_json(const std::string& path, bool quick,
                static_cast<unsigned long long>(bp.isolation_rounds),
                bp.idle_usec_per_rtt, bp.loaded_usec_per_rtt, bp.isolation_ratio,
                bp.isolation_bar ? "true" : "false");
+  const auto coll_sweep = [f](const char* name, const std::vector<CollSweepPoint>& v,
+                              bool has_hw) {
+    std::fprintf(f, "    \"%s\": [\n", name);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      const CollSweepPoint& p = v[i];
+      std::fprintf(f,
+                   "      {\"ranks\": %d, \"bytes\": %lld, "
+                   "\"binomial_usec\": %.2f, \"scatter_allgather_usec\": %.2f, "
+                   "\"ring_usec\": %.2f, \"auto_usec\": %.2f, "
+                   "\"auto_choice\": \"%s\", \"auto_ok\": %s",
+                   p.ranks, static_cast<long long>(p.bytes), p.fixed_usec[0],
+                   p.fixed_usec[1], p.fixed_usec[2], p.auto_usec,
+                   mpi::coll::name(p.auto_choice), p.auto_ok ? "true" : "false");
+      if (has_hw)
+        std::fprintf(f, ", \"hw_usec\": %.2f, \"hw_ok\": %s", p.hw_usec,
+                     p.hw_ok ? "true" : "false");
+      std::fprintf(f, "}%s\n", i + 1 < v.size() ? "," : "");
+    }
+    std::fprintf(f, "    ],\n");
+  };
+  std::fprintf(f, "  \"collectives\": {\n");
+  coll_sweep("bcast", coll.bcast, true);
+  coll_sweep("allreduce", coll.allreduce, false);
+  std::fprintf(f, "    \"fig7_per_algorithm\": [\n");
+  for (std::size_t i = 0; i < coll.fig7.size(); ++i) {
+    const CollFig7Row& row = coll.fig7[i];
+    std::fprintf(f,
+                 "      {\"procs\": %d, \"binomial_s\": %.4f, "
+                 "\"scatter_allgather_s\": %.4f, \"ring_s\": %.4f, "
+                 "\"hw_offload_s\": %.4f}%s\n",
+                 row.procs, row.fixed_s[0], row.fixed_s[1], row.fixed_s[2],
+                 row.hw_s, i + 1 < coll.fig7.size() ? "," : "");
+  }
+  std::fprintf(f, "    ],\n    \"auto_bar\": %s, \"hw_bar\": %s},\n",
+               coll.auto_bar ? "true" : "false", coll.hw_bar ? "true" : "false");
   std::fprintf(f,
                "  \"end_to_end\": {\"ranks\": %d, \"solver_n\": %d, "
                "\"virtual_ms\": %.3f, \"host_s\": %.3f, "
@@ -1270,15 +1446,46 @@ int run(int argc, char** argv) {
   std::printf("bulk/control isolation bar (loaded RTT <= 2x idle): %s\n",
               bp.isolation_bar ? "PASS" : "FAIL");
 
+  std::printf("\nhost_perf: collectives engine (CS/2 model, virtual us per "
+              "call; software algorithms, hw offload column)\n");
+  const CollectivesResult coll = collectives_point(quick);
+  const auto print_sweep = [](const char* name, const std::vector<CollSweepPoint>& v,
+                              bool has_hw) {
+    std::printf("  %s:\n  %6s %9s %10s %10s %10s %10s %18s%s\n", name, "ranks",
+                "bytes", "binomial", "scat_ag", "ring", "auto", "auto_choice",
+                has_hw ? "         hw" : "");
+    for (const CollSweepPoint& p : v) {
+      std::printf("  %6d %9lld %10.1f %10.1f %10.1f %10.1f %18s", p.ranks,
+                  static_cast<long long>(p.bytes), p.fixed_usec[0], p.fixed_usec[1],
+                  p.fixed_usec[2], p.auto_usec, mpi::coll::name(p.auto_choice));
+      if (has_hw) std::printf(" %10.1f", p.hw_usec);
+      std::printf("%s%s\n", p.auto_ok ? "" : "  AUTO-MISS",
+                  p.hw_ok ? "" : "  HW-SLOW");
+    }
+  };
+  print_sweep("bcast", coll.bcast, true);
+  print_sweep("allreduce", coll.allreduce, false);
+  std::printf("  fig7 solver per algorithm (seconds; hw off for the fixed "
+              "columns):\n  %6s %10s %10s %10s %10s\n", "procs", "binomial",
+              "scat_ag", "ring", "hw_offload");
+  for (const CollFig7Row& row : coll.fig7)
+    std::printf("  %6d %10.4f %10.4f %10.4f %10.4f\n", row.procs, row.fixed_s[0],
+                row.fixed_s[1], row.fixed_s[2], row.hw_s);
+  std::printf("collectives auto bar (auto <= 1.1x best fixed at every point): "
+              "%s\n", coll.auto_bar ? "PASS" : "FAIL");
+  std::printf("collectives hw bar (Elan bcast < software binomial at >= 8 "
+              "ranks): %s\n", coll.hw_bar ? "PASS" : "FAIL");
+
   std::printf("\nhost_perf: end-to-end (16-rank Meiko solver, N=96)\n");
   const EndToEnd e2e = solver_end_to_end();
   std::printf("  virtual: %.3f ms, host: %.3f s -> %.1f sim-ms/host-s\n",
               e2e.virtual_ms, e2e.host_s, e2e.sim_ms_per_host_s);
 
-  write_json(out, quick, pts, ek, sched, actors, cluster, tw, sw, bp, e2e);
+  write_json(out, quick, pts, ek, sched, actors, cluster, tw, sw, bp, coll, e2e);
   std::printf("\nwrote %s\n", out.c_str());
   return meets_bar && sched_ok && actor_ok && tw.meets_bar && sw.meets_bar &&
-                 bp.bandwidth_bar && bp.isolation_bar
+                 bp.bandwidth_bar && bp.isolation_bar && coll.auto_bar &&
+                 coll.hw_bar
              ? 0
              : 1;
 }

@@ -1,0 +1,60 @@
+#include "src/core/coll.h"
+
+#include <cstdlib>
+
+namespace lcmpi::mpi::coll {
+
+const char* name(Algo a) {
+  switch (a) {
+    case Algo::kBinomial:
+      return "binomial";
+    case Algo::kScatterAllgather:
+      return "scatter_allgather";
+    case Algo::kRing:
+      return "ring";
+  }
+  return "?";
+}
+
+std::optional<Algo> parse_algo(std::string_view s) {
+  if (s == "binomial" || s == "tree") return Algo::kBinomial;
+  if (s == "scatter_allgather" || s == "vdg") return Algo::kScatterAllgather;
+  if (s == "ring" || s == "pipeline") return Algo::kRing;
+  return std::nullopt;
+}
+
+std::optional<Algo> env_force() {
+  const char* v = std::getenv("LCMPI_COLL");
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  return parse_algo(v);
+}
+
+Tuning resolve(Tuning t) {
+  if (!t.force) t.force = env_force();
+  return t;
+}
+
+Algo select(Kind kind, std::int64_t bytes, int nranks, const Tuning& t) {
+  if (t.force) return *t.force;
+  // Barriers carry no payload: the dissemination exchange (filed under the
+  // scatter-allgather family — symmetric, log2(n) rounds, no root) beats
+  // both the two-pass tree and the 2(n-1)-step token ring.
+  if (kind == Kind::kBarrier) return Algo::kScatterAllgather;
+  // Reductions: the block reduce-scatter + ring allgatherv owns the
+  // bandwidth regime at EVERY rank count (even 2 ranks split the fold work
+  // in half), and the chain pipeline never wins — its reduce pass cannot
+  // overlap with the redistribution the way reduce-scatter does. Measured
+  // in bench/host_perf's collectives sweep on the CS/2 model.
+  if (kind == Kind::kReduce || kind == Kind::kAllreduce)
+    return bytes <= t.reduce_long_msg_bytes ? Algo::kBinomial
+                                            : Algo::kScatterAllgather;
+  // Broadcast: the tree's log2(n) byte retransmissions only hurt once the
+  // payload is long, and with <= 2 ranks every algorithm degenerates to
+  // the same single send. Past huge_msg_bytes the pipelined ring's
+  // fill-once-then-stream behaviour beats even the scatter's p-way split.
+  if (nranks <= 2 || bytes <= t.long_msg_bytes) return Algo::kBinomial;
+  if (bytes <= t.huge_msg_bytes) return Algo::kScatterAllgather;
+  return Algo::kRing;
+}
+
+}  // namespace lcmpi::mpi::coll

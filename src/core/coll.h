@@ -1,0 +1,87 @@
+// Collective-algorithm selection — the seam between "what collective was
+// called" and "which algorithm runs it".
+//
+// Three software algorithm families cover the latency/bandwidth plane:
+//
+//   kBinomial          log2(n) rounds; each payload byte crosses up to
+//                      log2(n) links. Latency-optimal — short messages.
+//   kScatterAllgather  van de Geijn split collectives (scatter + ring
+//                      allgather for bcast, block reduce-scatter + ring
+//                      allgatherv for reductions): every byte crosses each
+//                      link ~twice regardless of n. Bandwidth-optimal for
+//                      long messages at moderate rank counts.
+//   kRing              pipelined chain, segmented at ring_segment_bytes:
+//                      near-perfect link utilisation once the pipeline
+//                      fills. Wins for huge messages where even the
+//                      scatter phase's p-way fan-out is the bottleneck.
+//
+// select() maps (collective kind, payload bytes, communicator size) to one
+// algorithm through the crossover table below, unless a force is in effect.
+// Forces layer as: programmatic Tuning::force (tests, ablations) beats the
+// LCMPI_COLL environment variable (CI forced-algorithm legs) beats the
+// table. resolve() folds the environment into a Tuning once, at Engine
+// construction. Hardware offload (the Meiko broadcast/barrier) is NOT part
+// of this table: Comm checks fabric caps first, so a forced software
+// algorithm never disables the offload path — it only picks which software
+// algorithm runs when the hardware path is unavailable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace lcmpi::mpi::coll {
+
+enum class Algo : std::uint8_t {
+  kBinomial = 0,
+  kScatterAllgather = 1,
+  kRing = 2,
+};
+
+/// All software algorithms, for tests/benches sweeping the space.
+inline constexpr Algo kAllAlgos[] = {Algo::kBinomial, Algo::kScatterAllgather,
+                                     Algo::kRing};
+
+/// Which collective is asking (the crossover differs per collective).
+enum class Kind : std::uint8_t {
+  kBcast = 0,
+  kReduce = 1,
+  kAllreduce = 2,
+  kBarrier = 3,
+};
+
+struct Tuning {
+  /// Forced algorithm for every software collective (programmatic: beats
+  /// the LCMPI_COLL environment variable). Unset = consult the table.
+  std::optional<Algo> force;
+  /// Broadcast payloads above this leave the binomial tree (bytes).
+  std::int64_t long_msg_bytes = 16 * 1024;
+  /// Broadcast payloads above this leave scatter-allgather for the
+  /// pipelined ring.
+  std::int64_t huge_msg_bytes = 128 * 1024;
+  /// Reduce/allreduce payloads above this leave the binomial tree for the
+  /// block reduce-scatter path (which wins earlier than the broadcast
+  /// crossover: the fold work parallelises as well as the bytes do).
+  std::int64_t reduce_long_msg_bytes = 4 * 1024;
+  /// Pipelined-ring segment size (bytes).
+  std::int64_t ring_segment_bytes = 8 * 1024;
+};
+
+[[nodiscard]] const char* name(Algo a);
+
+/// "binomial"/"tree", "scatter_allgather"/"vdg", "ring"/"pipeline".
+[[nodiscard]] std::optional<Algo> parse_algo(std::string_view s);
+
+/// The LCMPI_COLL environment override, if set to a recognised algorithm
+/// (unset, empty, or unrecognised values mean "no override").
+[[nodiscard]] std::optional<Algo> env_force();
+
+/// Folds env_force() into `t.force` when no programmatic force is present.
+/// Called once at Engine construction so selection stays stable per run.
+[[nodiscard]] Tuning resolve(Tuning t);
+
+/// The selection table: exactly one algorithm per (kind, bytes, nranks)
+/// cell. A force (already resolved into `t`) wins over the table.
+[[nodiscard]] Algo select(Kind kind, std::int64_t bytes, int nranks, const Tuning& t);
+
+}  // namespace lcmpi::mpi::coll

@@ -7,8 +7,30 @@ namespace lcmpi::mpi {
 namespace {
 
 /// Internal tags for collective phases (user tags are >= 0, and the
-/// collective context separates this traffic anyway).
+/// collective context separates this traffic anyway). Offsets from
+/// kCollTag: 0 tree bcast, +1 binomial reduce, +2 gather, +3 scatter,
+/// +4 allgather, +5 alltoall, +6 context agreement, +7 scan, +8 gatherv,
+/// +9 scatterv, +10 ring bcast, +11 reduce-scatter exchange, +12
+/// reduce-scatter gather-to-root, +13 reduce-scatter ring allgatherv,
+/// +14 chain reduce, +16 binomial-reduce root relay, +20/+21 ring-barrier
+/// laps, +22/+23 tree-barrier fan-in/fan-out, +64+k dissemination rounds.
 constexpr int kCollTag = 0;
+
+/// Equal block partition of `count` elements over `n` ranks (the first
+/// count%n blocks get one extra element). Shared by the reduce-scatter
+/// family so senders and receivers agree on every block boundary.
+void block_partition(int count, int n, std::vector<int>& starts, std::vector<int>& lens) {
+  starts.assign(static_cast<std::size_t>(n), 0);
+  lens.assign(static_cast<std::size_t>(n), 0);
+  const int base = count / n;
+  const int extra = count % n;
+  int at = 0;
+  for (int r = 0; r < n; ++r) {
+    lens[static_cast<std::size_t>(r)] = base + (r < extra ? 1 : 0);
+    starts[static_cast<std::size_t>(r)] = at;
+    at += lens[static_cast<std::size_t>(r)];
+  }
+}
 
 template <typename T>
 void apply_op(Op op, const T* in, T* inout, int n) {
@@ -291,6 +313,28 @@ std::optional<Status> Comm::iprobe(int src, int tag) {
 
 void Comm::barrier() {
   ProfScope prof(profiler_, *eng_, CallKind::kBarrier, 0);
+  if (size() == 1) return;
+  // Hardware offload is checked before software selection and is never
+  // disabled by a forced software algorithm: the fat tree's combine
+  // network synchronises world-spanning communicators in one round trip.
+  if (eng_->caps().hw_barrier && eng_->config().use_hw_barrier && spans_world()) {
+    eng_->hw_barrier();
+    return;
+  }
+  switch (coll::select(coll::Kind::kBarrier, 0, size(), eng_->config().coll)) {
+    case coll::Algo::kBinomial:
+      barrier_tree();
+      break;
+    case coll::Algo::kScatterAllgather:
+      barrier_dissemination();
+      break;
+    case coll::Algo::kRing:
+      barrier_ring();
+      break;
+  }
+}
+
+void Comm::barrier_dissemination() {
   // Dissemination barrier: log2(n) rounds of paired exchanges.
   const int n = size();
   std::uint8_t token = 0;
@@ -304,6 +348,76 @@ void Comm::barrier() {
                              kCollTag + 64 + k, ctx_coll_, Mode::kStandard);
     eng_->wait(sr);
     eng_->wait(rr);
+  }
+}
+
+void Comm::barrier_tree() {
+  // Binomial fan-in to rank 0, then a binomial fan-out: two half-trees of
+  // empty tokens.
+  const int n = size();
+  std::uint8_t token = 0;
+  std::uint8_t sink = 0;
+  int mask = 1;
+  while (mask < n) {
+    if (my_rank_ & mask) {
+      Request r = eng_->isend(&token, 1, Datatype::byte_type(),
+                              world_rank(my_rank_ - mask), kCollTag + 22, ctx_coll_,
+                              Mode::kStandard);
+      eng_->wait(r);
+      break;
+    }
+    if (my_rank_ + mask < n) {
+      Request r = eng_->irecv(&sink, 1, Datatype::byte_type(),
+                              world_rank(my_rank_ + mask), kCollTag + 22, ctx_coll_);
+      eng_->wait(r);
+    }
+    mask <<= 1;
+  }
+  mask = 1;
+  while (mask < n) {
+    if (my_rank_ & mask) {
+      Request r = eng_->irecv(&sink, 1, Datatype::byte_type(),
+                              world_rank(my_rank_ - mask), kCollTag + 23, ctx_coll_);
+      eng_->wait(r);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (my_rank_ + mask < n) {
+      Request r = eng_->isend(&token, 1, Datatype::byte_type(),
+                              world_rank(my_rank_ + mask), kCollTag + 23, ctx_coll_,
+                              Mode::kStandard);
+      eng_->wait(r);
+    }
+    mask >>= 1;
+  }
+}
+
+void Comm::barrier_ring() {
+  // Two token laps around the ring: the first lap's return to rank 0
+  // proves every rank entered; the second lap releases them.
+  const int n = size();
+  std::uint8_t token = 0;
+  std::uint8_t sink = 0;
+  const int right = world_rank((my_rank_ + 1) % n);
+  const int left = world_rank((my_rank_ - 1 + n) % n);
+  for (int lap = 0; lap < 2; ++lap) {
+    const int tag = kCollTag + 20 + lap;
+    if (my_rank_ == 0) {
+      Request sr = eng_->isend(&token, 1, Datatype::byte_type(), right, tag, ctx_coll_,
+                               Mode::kStandard);
+      eng_->wait(sr);
+      Request rr = eng_->irecv(&sink, 1, Datatype::byte_type(), left, tag, ctx_coll_);
+      eng_->wait(rr);
+    } else {
+      Request rr = eng_->irecv(&sink, 1, Datatype::byte_type(), left, tag, ctx_coll_);
+      eng_->wait(rr);
+      Request sr = eng_->isend(&token, 1, Datatype::byte_type(), right, tag, ctx_coll_,
+                               Mode::kStandard);
+      eng_->wait(sr);
+    }
   }
 }
 
@@ -366,6 +480,43 @@ void Comm::scatter_allgather_bcast(void* buf, int count, const Datatype& type, i
   pool.release(std::move(mine));
 }
 
+void Comm::ring_bcast(void* buf, int count, const Datatype& type, int root) {
+  // Pipelined chain in root-relative rank order: the payload streams
+  // through the ring in ring_segment_bytes slices, so every byte crosses
+  // each link exactly once and all links run concurrently once the
+  // pipeline fills. Wins for huge messages.
+  const int n = size();
+  const int vrank = (my_rank_ - root + n) % n;
+  const std::int64_t total = type.size() * count;
+  if (total == 0) return;
+  auto bt = Datatype::byte_type();
+  BufferPool& pool = eng_->pool();
+  Bytes packed = pool.acquire(static_cast<std::size_t>(total));
+  if (my_rank_ == root) {
+    type.pack_append(buf, count, packed);
+  } else {
+    packed.resize(static_cast<std::size_t>(total));
+  }
+  const std::int64_t seg =
+      std::max<std::int64_t>(1, eng_->config().coll.ring_segment_bytes);
+  const int prev = world_rank((my_rank_ - 1 + n) % n);
+  const int next = world_rank((my_rank_ + 1) % n);
+  for (std::int64_t off = 0; off < total; off += seg) {
+    const int len = static_cast<int>(std::min(seg, total - off));
+    if (vrank > 0) {
+      Request r = eng_->irecv(packed.data() + off, len, bt, prev, kCollTag + 10, ctx_coll_);
+      eng_->wait(r);
+    }
+    if (vrank + 1 < n) {
+      Request r = eng_->isend(packed.data() + off, len, bt, next, kCollTag + 10, ctx_coll_,
+                              Mode::kStandard);
+      eng_->wait(r);
+    }
+  }
+  if (my_rank_ != root) type.unpack(packed, buf, count);
+  pool.release(std::move(packed));
+}
+
 void Comm::bcast(void* buf, int count, const Datatype& type, int root) {
   ProfScope prof(profiler_, *eng_, CallKind::kBcast, type.size() * count);
   LCMPI_CHECK(root >= 0 && root < size(), "bcast root out of range");
@@ -373,6 +524,9 @@ void Comm::bcast(void* buf, int count, const Datatype& type, int root) {
     ++bcast_seq_;
     return;
   }
+  // Hardware offload is checked before software selection and is never
+  // disabled by a forced software algorithm (the force only picks which
+  // software algorithm runs when the offload path is unavailable).
   const bool hw = eng_->caps().hw_broadcast && eng_->config().use_hw_bcast && spans_world();
   if (hw) {
     // The Meiko hardware broadcast: one launch reaches every node.
@@ -389,91 +543,333 @@ void Comm::bcast(void* buf, int count, const Datatype& type, int root) {
     return;
   }
   ++bcast_seq_;
-  if (size() > 2 && type.size() * count > eng_->config().bcast_long_threshold) {
-    scatter_allgather_bcast(buf, count, type, root);
-    return;
+  switch (coll::select(coll::Kind::kBcast, type.size() * count, size(),
+                       eng_->config().coll)) {
+    case coll::Algo::kBinomial:
+      p2p_tree_bcast(buf, count, type, root);
+      break;
+    case coll::Algo::kScatterAllgather:
+      scatter_allgather_bcast(buf, count, type, root);
+      break;
+    case coll::Algo::kRing:
+      ring_bcast(buf, count, type, root);
+      break;
   }
-  p2p_tree_bcast(buf, count, type, root);
 }
 
 // --------------------------------------------------------------- reductions
+
+void Comm::binomial_reduce(const void* sendbuf, void* recvbuf, int count,
+                           const Datatype& type, const CombineFn& combine, int root) {
+  // Binomial reduction tree rooted at rank 0: children fold into parents,
+  // and a parent's accumulator always covers a contiguous lower rank range
+  // while the incoming child data covers the adjacent higher range — so
+  // contributions combine in ascending rank order and non-commutative ops
+  // are safe. Rooting at 0 keeps that order independent of `root`; the
+  // result is relayed to a non-zero root in one extra message.
+  const int n = size();
+  const std::size_t bytes = static_cast<std::size_t>(type.size() * count);
+  BufferPool& pool = eng_->pool();
+  Bytes acc = pool.acquire(bytes);
+  acc.resize(bytes);
+  std::memcpy(acc.data(), sendbuf, bytes);
+  Bytes incoming = pool.acquire(bytes);
+  incoming.resize(bytes);
+  int mask = 1;
+  while (mask < n) {
+    if (my_rank_ & mask) {
+      Request r = eng_->isend(acc.data(), count, type, world_rank(my_rank_ - mask),
+                              kCollTag + 1, ctx_coll_, Mode::kStandard);
+      eng_->wait(r);
+      break;
+    }
+    if (my_rank_ + mask < n) {
+      Request r = eng_->irecv(incoming.data(), count, type, world_rank(my_rank_ + mask),
+                              kCollTag + 1, ctx_coll_);
+      eng_->wait(r);
+      combine(incoming.data(), acc.data(), count);
+    }
+    mask <<= 1;
+  }
+  if (root == 0) {
+    if (my_rank_ == 0) std::memcpy(recvbuf, acc.data(), bytes);
+  } else if (my_rank_ == 0) {
+    Request r = eng_->isend(acc.data(), count, type, world_rank(root), kCollTag + 16,
+                            ctx_coll_, Mode::kStandard);
+    eng_->wait(r);
+  } else if (my_rank_ == root) {
+    Request r = eng_->irecv(recvbuf, count, type, world_rank(0), kCollTag + 16, ctx_coll_);
+    eng_->wait(r);
+  }
+  pool.release(std::move(acc));
+  pool.release(std::move(incoming));
+}
+
+void Comm::chain_reduce(const void* sendbuf, void* recvbuf, int count, const Datatype& type,
+                        const CombineFn& combine, int root) {
+  // Pipelined bidirectional chain: ranks below the root stream a growing
+  // prefix fold upward (0 -> root), ranks above stream a suffix fold
+  // downward (n-1 -> root), segment by segment; the root splices
+  // prefix op own op suffix. Contributions always combine in ascending
+  // rank order, and the segmentation overlaps the links into a pipeline.
+  const int n = size();
+  const auto elem = static_cast<std::size_t>(type.size());
+  const std::size_t bytes = elem * static_cast<std::size_t>(count);
+  const int seg_elems = std::max(
+      1, static_cast<int>(static_cast<std::size_t>(std::max<std::int64_t>(
+                              1, eng_->config().coll.ring_segment_bytes)) /
+                          elem));
+  BufferPool& pool = eng_->pool();
+  Bytes own = pool.acquire(bytes);
+  own.resize(bytes);
+  std::memcpy(own.data(), sendbuf, bytes);
+  Bytes stage = pool.acquire(static_cast<std::size_t>(seg_elems) * elem);
+  stage.resize(static_cast<std::size_t>(seg_elems) * elem);
+  auto* out = static_cast<std::byte*>(recvbuf);
+  for (int at = 0; at < count; at += seg_elems) {
+    const int len = std::min(seg_elems, count - at);
+    std::byte* own_seg = own.data() + static_cast<std::size_t>(at) * elem;
+    if (my_rank_ < root) {
+      if (my_rank_ > 0) {
+        Request r = eng_->irecv(stage.data(), len, type, world_rank(my_rank_ - 1),
+                                kCollTag + 14, ctx_coll_);
+        eng_->wait(r);
+        combine(own_seg, stage.data(), len);  // stage = prefix(0..r-1) op own
+        Request s = eng_->isend(stage.data(), len, type, world_rank(my_rank_ + 1),
+                                kCollTag + 14, ctx_coll_, Mode::kStandard);
+        eng_->wait(s);
+      } else {
+        Request s = eng_->isend(own_seg, len, type, world_rank(my_rank_ + 1),
+                                kCollTag + 14, ctx_coll_, Mode::kStandard);
+        eng_->wait(s);
+      }
+    } else if (my_rank_ > root) {
+      if (my_rank_ < n - 1) {
+        Request r = eng_->irecv(stage.data(), len, type, world_rank(my_rank_ + 1),
+                                kCollTag + 14, ctx_coll_);
+        eng_->wait(r);
+        combine(stage.data(), own_seg, len);  // own = own op suffix(r+1..n-1)
+      }
+      Request s = eng_->isend(own_seg, len, type, world_rank(my_rank_ - 1), kCollTag + 14,
+                              ctx_coll_, Mode::kStandard);
+      eng_->wait(s);
+    } else {
+      std::byte* out_seg = out + static_cast<std::size_t>(at) * elem;
+      if (root > 0) {
+        Request r = eng_->irecv(stage.data(), len, type, world_rank(root - 1),
+                                kCollTag + 14, ctx_coll_);
+        eng_->wait(r);
+        std::memcpy(out_seg, stage.data(), static_cast<std::size_t>(len) * elem);
+        combine(own_seg, out_seg, len);  // out = prefix op own
+      } else {
+        std::memcpy(out_seg, own_seg, static_cast<std::size_t>(len) * elem);
+      }
+      if (root < n - 1) {
+        Request r = eng_->irecv(stage.data(), len, type, world_rank(root + 1),
+                                kCollTag + 14, ctx_coll_);
+        eng_->wait(r);
+        combine(stage.data(), out_seg, len);  // out op= suffix
+      }
+    }
+  }
+  pool.release(std::move(own));
+  pool.release(std::move(stage));
+}
+
+void Comm::reduce_scatter_ascending(const void* sendbuf, const Datatype& type,
+                                    const std::vector<int>& starts,
+                                    const std::vector<int>& lens, const CombineFn& combine,
+                                    std::byte* myblock) {
+  // Direct exchange: rank b owns block b, everyone sends its contribution
+  // for block b straight to the owner (a transposed all-to-all), then each
+  // owner folds the n contributions in ascending rank order. Combined with
+  // a gather or ring allgatherv this moves every payload byte ~twice total
+  // regardless of rank count — the bandwidth-optimal family.
+  const int n = size();
+  const auto elem = static_cast<std::size_t>(type.size());
+  const auto* in = static_cast<const std::byte*>(sendbuf);
+  const auto myl = static_cast<std::size_t>(lens[static_cast<std::size_t>(my_rank_)]);
+  BufferPool& pool = eng_->pool();
+  Bytes contrib = pool.acquire(myl * elem * static_cast<std::size_t>(n));
+  contrib.resize(myl * elem * static_cast<std::size_t>(n));
+  std::vector<Request> reqs;
+  for (int s = 0; s < n && myl > 0; ++s) {
+    std::byte* slot = contrib.data() + static_cast<std::size_t>(s) * myl * elem;
+    if (s == my_rank_) {
+      std::memcpy(slot,
+                  in + static_cast<std::size_t>(starts[static_cast<std::size_t>(s)]) * elem,
+                  myl * elem);
+      continue;
+    }
+    reqs.push_back(eng_->irecv(slot, static_cast<int>(myl), type, world_rank(s),
+                               kCollTag + 11, ctx_coll_));
+  }
+  for (int b = 0; b < n; ++b) {
+    if (b == my_rank_ || lens[static_cast<std::size_t>(b)] == 0) continue;
+    reqs.push_back(eng_->isend(
+        in + static_cast<std::size_t>(starts[static_cast<std::size_t>(b)]) * elem,
+        lens[static_cast<std::size_t>(b)], type, world_rank(b), kCollTag + 11, ctx_coll_,
+        Mode::kStandard));
+  }
+  for (const Request& r : reqs) eng_->wait(r);
+  if (myl > 0) {
+    std::memcpy(myblock, contrib.data(), myl * elem);
+    for (int s = 1; s < n; ++s)
+      combine(contrib.data() + static_cast<std::size_t>(s) * myl * elem, myblock,
+              static_cast<int>(myl));
+  }
+  pool.release(std::move(contrib));
+}
+
+void Comm::rs_reduce(const void* sendbuf, void* recvbuf, int count, const Datatype& type,
+                     const CombineFn& combine, int root) {
+  // Reduce-scatter, then gather the reduced blocks at the root.
+  const int n = size();
+  const auto elem = static_cast<std::size_t>(type.size());
+  std::vector<int> starts;
+  std::vector<int> lens;
+  block_partition(count, n, starts, lens);
+  const auto myl = static_cast<std::size_t>(lens[static_cast<std::size_t>(my_rank_)]);
+  BufferPool& pool = eng_->pool();
+  Bytes myblock = pool.acquire(myl * elem);
+  myblock.resize(myl * elem);
+  reduce_scatter_ascending(sendbuf, type, starts, lens, combine, myblock.data());
+  if (my_rank_ == root) {
+    auto* out = static_cast<std::byte*>(recvbuf);
+    std::memcpy(out + static_cast<std::size_t>(starts[static_cast<std::size_t>(root)]) * elem,
+                myblock.data(), myl * elem);
+    std::vector<Request> reqs;
+    for (int b = 0; b < n; ++b) {
+      if (b == my_rank_ || lens[static_cast<std::size_t>(b)] == 0) continue;
+      reqs.push_back(eng_->irecv(
+          out + static_cast<std::size_t>(starts[static_cast<std::size_t>(b)]) * elem,
+          lens[static_cast<std::size_t>(b)], type, world_rank(b), kCollTag + 12, ctx_coll_));
+    }
+    for (const Request& r : reqs) eng_->wait(r);
+  } else if (myl > 0) {
+    Request r = eng_->isend(myblock.data(), static_cast<int>(myl), type, world_rank(root),
+                            kCollTag + 12, ctx_coll_, Mode::kStandard);
+    eng_->wait(r);
+  }
+  pool.release(std::move(myblock));
+}
+
+void Comm::rs_allreduce(const void* sendbuf, void* recvbuf, int count, const Datatype& type,
+                        const CombineFn& combine) {
+  // Reduce-scatter, then a ring allgatherv of the reduced blocks.
+  const int n = size();
+  const auto elem = static_cast<std::size_t>(type.size());
+  std::vector<int> starts;
+  std::vector<int> lens;
+  block_partition(count, n, starts, lens);
+  auto* out = static_cast<std::byte*>(recvbuf);
+  const auto block_at = [&](int b) {
+    return out + static_cast<std::size_t>(starts[static_cast<std::size_t>(b)]) * elem;
+  };
+  reduce_scatter_ascending(sendbuf, type, starts, lens, combine, block_at(my_rank_));
+  const int left = world_rank((my_rank_ - 1 + n) % n);
+  const int right = world_rank((my_rank_ + 1) % n);
+  int have = my_rank_;
+  for (int step = 0; step < n - 1; ++step) {
+    const int incoming = (my_rank_ - 1 - step + 2 * n) % n;
+    Request rr;
+    Request sr;
+    if (lens[static_cast<std::size_t>(incoming)] > 0)
+      rr = eng_->irecv(block_at(incoming), lens[static_cast<std::size_t>(incoming)], type,
+                       left, kCollTag + 13, ctx_coll_);
+    if (lens[static_cast<std::size_t>(have)] > 0)
+      sr = eng_->isend(block_at(have), lens[static_cast<std::size_t>(have)], type, right,
+                       kCollTag + 13, ctx_coll_, Mode::kStandard);
+    if (sr) eng_->wait(sr);
+    if (rr) eng_->wait(rr);
+    have = incoming;
+  }
+}
+
+void Comm::reduce_impl(const void* sendbuf, void* recvbuf, int count, const Datatype& type,
+                       const CombineFn& combine, int root, coll::Algo algo) {
+  if (count == 0) return;
+  if (size() == 1) {
+    std::memmove(recvbuf, sendbuf, static_cast<std::size_t>(type.size() * count));
+    return;
+  }
+  switch (algo) {
+    case coll::Algo::kBinomial:
+      binomial_reduce(sendbuf, recvbuf, count, type, combine, root);
+      break;
+    case coll::Algo::kScatterAllgather:
+      rs_reduce(sendbuf, recvbuf, count, type, combine, root);
+      break;
+    case coll::Algo::kRing:
+      chain_reduce(sendbuf, recvbuf, count, type, combine, root);
+      break;
+  }
+}
+
+void Comm::allreduce_impl(const void* sendbuf, void* recvbuf, int count,
+                          const Datatype& type, const CombineFn& combine) {
+  if (count == 0) return;
+  if (size() == 1) {
+    // 1-rank fast path: a plain copy — no tree, no pool staging.
+    std::memmove(recvbuf, sendbuf, static_cast<std::size_t>(type.size() * count));
+    return;
+  }
+  switch (coll::select(coll::Kind::kAllreduce, type.size() * count, size(),
+                       eng_->config().coll)) {
+    case coll::Algo::kBinomial:
+      // Reduce to 0, then bcast — which dispatches again and may take the
+      // hardware broadcast (today's Meiko behavior for short payloads).
+      reduce_impl(sendbuf, recvbuf, count, type, combine, 0, coll::Algo::kBinomial);
+      bcast(recvbuf, count, type, 0);
+      break;
+    case coll::Algo::kScatterAllgather:
+      rs_allreduce(sendbuf, recvbuf, count, type, combine);
+      break;
+    case coll::Algo::kRing:
+      reduce_impl(sendbuf, recvbuf, count, type, combine, 0, coll::Algo::kRing);
+      ring_bcast(recvbuf, count, type, 0);
+      break;
+  }
+}
 
 void Comm::reduce(const void* sendbuf, void* recvbuf, int count, const Datatype& type,
                   Op op, int root) {
   ProfScope prof(profiler_, *eng_, CallKind::kReduce, type.size() * count);
   LCMPI_CHECK(type.is_contiguous(), "reduce requires a contiguous basic type");
-  const int n = size();
-  const int vrank = (my_rank_ - root + n) % n;
-  const std::size_t bytes = static_cast<std::size_t>(type.size() * count);
-
-  std::vector<std::byte> acc(bytes);
-  std::memcpy(acc.data(), sendbuf, bytes);
-  std::vector<std::byte> incoming(bytes);
-
-  // Binomial reduction tree: children fold into parents.
-  int mask = 1;
-  while (mask < n) {
-    if (vrank & mask) {
-      const int parent = ((vrank - mask) + root) % n;
-      Request r = eng_->isend(acc.data(), count, type, world_rank(parent), kCollTag + 1,
-                              ctx_coll_, Mode::kStandard);
-      eng_->wait(r);
-      break;
-    }
-    if (vrank + mask < n) {
-      const int child = ((vrank + mask) + root) % n;
-      Request r = eng_->irecv(incoming.data(), count, type, world_rank(child), kCollTag + 1,
-                              ctx_coll_);
-      eng_->wait(r);
-      reduce_op(type, op, incoming.data(), acc.data(), count);
-    }
-    mask <<= 1;
-  }
-  if (my_rank_ == root) std::memcpy(recvbuf, acc.data(), bytes);
+  LCMPI_CHECK(root >= 0 && root < size(), "reduce root out of range");
+  const CombineFn combine = [&type, op](const void* in, void* inout, int cnt) {
+    reduce_op(type, op, in, inout, cnt);
+  };
+  reduce_impl(sendbuf, recvbuf, count, type, combine, root,
+              coll::select(coll::Kind::kReduce, type.size() * count, size(),
+                           eng_->config().coll));
 }
 
 void Comm::allreduce(const void* sendbuf, void* recvbuf, int count, const Datatype& type,
                      Op op) {
   ProfScope prof(profiler_, *eng_, CallKind::kAllreduce, type.size() * count);
-  reduce(sendbuf, recvbuf, count, type, op, 0);
-  bcast(recvbuf, count, type, 0);
+  LCMPI_CHECK(type.is_contiguous(), "allreduce requires a contiguous basic type");
+  const CombineFn combine = [&type, op](const void* in, void* inout, int cnt) {
+    reduce_op(type, op, in, inout, cnt);
+  };
+  allreduce_impl(sendbuf, recvbuf, count, type, combine);
 }
 
 void Comm::reduce(const void* sendbuf, void* recvbuf, int count, const Datatype& type,
                   const UserOp& op, int root) {
   ProfScope prof(profiler_, *eng_, CallKind::kReduce, type.size() * count);
   LCMPI_CHECK(type.is_contiguous(), "reduce requires a contiguous type");
-  const int n = size();
-  const int vrank = (my_rank_ - root + n) % n;
-  const std::size_t bytes = static_cast<std::size_t>(type.size() * count);
-  std::vector<std::byte> acc(bytes), incoming(bytes);
-  std::memcpy(acc.data(), sendbuf, bytes);
-  int mask = 1;
-  while (mask < n) {
-    if (vrank & mask) {
-      const int parent = ((vrank - mask) + root) % n;
-      Request r = eng_->isend(acc.data(), count, type, world_rank(parent), kCollTag + 1,
-                              ctx_coll_, Mode::kStandard);
-      eng_->wait(r);
-      break;
-    }
-    if (vrank + mask < n) {
-      const int child = ((vrank + mask) + root) % n;
-      Request r = eng_->irecv(incoming.data(), count, type, world_rank(child), kCollTag + 1,
-                              ctx_coll_);
-      eng_->wait(r);
-      op(incoming.data(), acc.data(), count);
-    }
-    mask <<= 1;
-  }
-  if (my_rank_ == root) std::memcpy(recvbuf, acc.data(), bytes);
+  LCMPI_CHECK(root >= 0 && root < size(), "reduce root out of range");
+  reduce_impl(sendbuf, recvbuf, count, type, op, root,
+              coll::select(coll::Kind::kReduce, type.size() * count, size(),
+                           eng_->config().coll));
 }
 
 void Comm::allreduce(const void* sendbuf, void* recvbuf, int count, const Datatype& type,
                      const UserOp& op) {
   ProfScope prof(profiler_, *eng_, CallKind::kAllreduce, type.size() * count);
-  reduce(sendbuf, recvbuf, count, type, op, 0);
-  bcast(recvbuf, count, type, 0);
+  LCMPI_CHECK(type.is_contiguous(), "allreduce requires a contiguous type");
+  allreduce_impl(sendbuf, recvbuf, count, type, op);
 }
 
 // --------------------------------------------------------- gather / scatter

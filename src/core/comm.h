@@ -92,7 +92,9 @@ class Comm {
 
   /// User-defined reduction operator (MPI_Op_create): combines `in` into
   /// `inout`, elementwise over `count` elements of the datatype. Must be
-  /// associative (commutativity is assumed, as MPI_Op_create's default).
+  /// associative; commutativity is NOT required — every reduction
+  /// algorithm folds contributions in ascending rank order
+  /// (lower-rank accumulator op= higher-rank data).
   using UserOp = std::function<void(const void* in, void* inout, int count)>;
   void reduce(const void* sendbuf, void* recvbuf, int count, const Datatype& type,
               const UserOp& op, int root);
@@ -144,8 +146,41 @@ class Comm {
  private:
   Comm(Engine& engine, std::vector<int> group, int my_rank, std::uint32_t ctx_pt2pt);
 
+  /// Elementwise fold shared by the built-in Op and UserOp reduction paths:
+  /// inout = inout op in, over count elements.
+  using CombineFn = std::function<void(const void* in, void* inout, int count)>;
+
+  // Broadcast algorithms (software).
   void p2p_tree_bcast(void* buf, int count, const Datatype& type, int root);
   void scatter_allgather_bcast(void* buf, int count, const Datatype& type, int root);
+  void ring_bcast(void* buf, int count, const Datatype& type, int root);
+
+  // Reduction algorithms. All fold in ascending rank order, so results are
+  // bit-identical across algorithms whenever the op is exactly associative.
+  void reduce_impl(const void* sendbuf, void* recvbuf, int count, const Datatype& type,
+                   const CombineFn& combine, int root, coll::Algo algo);
+  void binomial_reduce(const void* sendbuf, void* recvbuf, int count, const Datatype& type,
+                       const CombineFn& combine, int root);
+  void chain_reduce(const void* sendbuf, void* recvbuf, int count, const Datatype& type,
+                    const CombineFn& combine, int root);
+  void rs_reduce(const void* sendbuf, void* recvbuf, int count, const Datatype& type,
+                 const CombineFn& combine, int root);
+  void rs_allreduce(const void* sendbuf, void* recvbuf, int count, const Datatype& type,
+                    const CombineFn& combine);
+  void allreduce_impl(const void* sendbuf, void* recvbuf, int count, const Datatype& type,
+                      const CombineFn& combine);
+  /// Block reduce-scatter: direct exchange (rank b owns block b), then an
+  /// ascending fold of all contributions locally. On return `myblock`
+  /// holds this rank's reduced block.
+  void reduce_scatter_ascending(const void* sendbuf, const Datatype& type,
+                                const std::vector<int>& starts, const std::vector<int>& lens,
+                                const CombineFn& combine, std::byte* myblock);
+
+  // Barrier algorithms (software).
+  void barrier_dissemination();
+  void barrier_tree();
+  void barrier_ring();
+
   std::uint32_t agree_new_context();
   [[nodiscard]] bool spans_world() const;
 

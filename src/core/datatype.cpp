@@ -108,7 +108,7 @@ Bytes Datatype::pack(const void* src, int count) const {
   const auto* base = static_cast<const std::byte*>(src);
   Bytes out(static_cast<std::size_t>(size_ * count));
   if (is_contiguous()) {
-    std::memcpy(out.data(), base, out.size());
+    if (!out.empty()) std::memcpy(out.data(), base, out.size());
     return out;
   }
   std::size_t at = 0;
@@ -129,7 +129,7 @@ std::int64_t Datatype::unpack(const Bytes& packed, void* dst, int count) const {
   const auto avail = static_cast<std::int64_t>(packed.size());
   LCMPI_CHECK(avail <= capacity, "unpack overflow (truncation unhandled upstream)");
   if (is_contiguous()) {
-    std::memcpy(base, packed.data(), packed.size());
+    if (!packed.empty()) std::memcpy(base, packed.data(), packed.size());
     return avail;
   }
   std::int64_t at = 0;

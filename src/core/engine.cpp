@@ -12,6 +12,7 @@ using fabric::ProtoMsg;
 
 Engine::Engine(fabric::Endpoint& ep, sim::Actor& self, EngineConfig cfg)
     : ep_(ep), self_(self), cfg_(cfg) {
+  cfg_.coll = coll::resolve(cfg_.coll);
   const int n = nranks();
   slot_free_.assign(static_cast<std::size_t>(n), true);
   credit_.assign(static_cast<std::size_t>(n), caps().credit_bytes);
@@ -359,9 +360,12 @@ void Engine::progress_until(const std::function<bool()>& until) {
 void Engine::handle(ProtoMsg msg) {
   // Bulk completion notes are synthesized by the local fabric, not popped
   // off a sequenced channel: they carry no seq and no piggybacked credit.
+  // Hardware broadcast and barrier releases likewise bypass the per-pair
+  // sequenced channel (the fat tree replicates them in hardware).
   const bool local_note =
       msg.kind == MsgKind::kBulkSent || msg.kind == MsgKind::kBulkDelivered;
-  if (msg.src != rank() && msg.kind != MsgKind::kBcast && !local_note) {
+  if (msg.src != rank() && msg.kind != MsgKind::kBcast &&
+      msg.kind != MsgKind::kBarrier && !local_note) {
     LCMPI_CHECK(msg.seq == expect_seq_[static_cast<std::size_t>(msg.src)]++,
                 "fabric delivered out of order");
     if (caps().flow == FlowControl::kCredit && msg.credit > 0) {
@@ -457,6 +461,9 @@ void Engine::handle(ProtoMsg msg) {
     }
     case MsgKind::kBcast:
       bcast_q_[msg.context].push_back(std::move(msg));
+      break;
+    case MsgKind::kBarrier:
+      ++hw_barrier_released_;
       break;
     case MsgKind::kBulkSent: {
       // Local note: our bulk payload has fully left the user buffer.
@@ -666,6 +673,12 @@ Bytes Engine::hw_bcast_recv(std::uint32_t context, std::uint64_t seq) {
   self_.advance(c.unexpected_copy_base +
                 c.bcast_copy_per_byte * static_cast<std::int64_t>(msg.payload.size()));
   return std::move(msg.payload);
+}
+
+void Engine::hw_barrier() {
+  ep_.hw_barrier_enter(self_);
+  const std::uint64_t target = ++hw_barrier_entered_;
+  progress_until([&] { return hw_barrier_released_ >= target; });
 }
 
 }  // namespace lcmpi::mpi

@@ -30,6 +30,7 @@
 #include <optional>
 
 #include "src/core/buffer_pool.h"
+#include "src/core/coll.h"
 #include "src/core/datatype.h"
 #include "src/core/matching.h"
 #include "src/core/request.h"
@@ -69,11 +70,13 @@ struct EngineConfig {
   std::optional<std::int64_t> eager_threshold_override;
   /// Use fabric hardware broadcast for world-spanning communicators.
   bool use_hw_bcast = true;
-  /// Software-broadcast algorithm switch: payloads above this use the
-  /// van de Geijn scatter + ring-allgather (bandwidth-optimal) instead of
-  /// the binomial tree (latency-optimal). 0 forces scatter-allgather
-  /// always; a huge value forces the tree (ablation knobs).
-  std::int64_t bcast_long_threshold = 16 * 1024;
+  /// Use the fabric's hardware barrier for world-spanning communicators.
+  bool use_hw_barrier = true;
+  /// Software collective-algorithm selection (src/core/coll.h): crossover
+  /// thresholds plus an optional forced algorithm. The LCMPI_COLL
+  /// environment override is folded in once, at Engine construction; a
+  /// programmatic force set here beats it.
+  coll::Tuning coll;
   /// Optional shared protocol-milestone tracer (see src/core/trace.h).
   MsgTrace* trace = nullptr;
 };
@@ -114,9 +117,14 @@ class Engine {
   std::int64_t buffer_detach();
   [[nodiscard]] std::int64_t buffer_bytes_in_use() const { return bsend_used_; }
 
-  // --- hardware broadcast support for collectives ---------------------------
+  // --- hardware collective offload ------------------------------------------
   void hw_bcast_root(Bytes payload, std::uint32_t context, std::uint64_t seq);
   Bytes hw_bcast_recv(std::uint32_t context, std::uint64_t seq);
+  /// Enters the fabric's hardware barrier and blocks until the release
+  /// (caps().hw_barrier only). Releases arrive strictly one per enter, so
+  /// concurrent communicators cannot confuse them: no engine can re-enter
+  /// before every engine left the previous barrier.
+  void hw_barrier();
 
   // --- progress --------------------------------------------------------------
   /// Drains and handles every arrived message. Nonblocking.
@@ -190,6 +198,10 @@ class Engine {
 
   // Hardware broadcast reassembly: per context, in-order payload queue.
   std::map<std::uint32_t, std::deque<fabric::ProtoMsg>> bcast_q_;
+
+  // Hardware barrier bookkeeping (entered vs released counts).
+  std::uint64_t hw_barrier_entered_ = 0;
+  std::uint64_t hw_barrier_released_ = 0;
 
   // Buffered sends.
   std::int64_t bsend_capacity_ = 0;

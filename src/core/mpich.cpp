@@ -226,7 +226,11 @@ void MpichComm::barrier() {
 
 void MpichComm::bcast(void* buf, int count, const Datatype& type, int root) {
   // Point-to-point binomial tree: the MPICH approach the paper's hardware
-  // broadcast beats in Fig. 7.
+  // broadcast beats in Fig. 7. Deliberately NOT wired to the coll::select
+  // engine (and immune to LCMPI_COLL): this communicator exists to model
+  // the fixed-algorithm MPICH-over-tport baseline, so its broadcast stays
+  // a plain binomial tree no matter how the low-latency library tunes its
+  // own collectives.
   const int n = size();
   const int vrank = (rank() - root + n) % n;
   int mask = 1;

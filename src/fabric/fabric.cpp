@@ -16,6 +16,10 @@ void Endpoint::hw_broadcast(sim::Actor&, ProtoMsg) {
   throw InternalError("this fabric does not support hardware broadcast");
 }
 
+void Endpoint::hw_barrier_enter(sim::Actor&) {
+  throw InternalError("this fabric does not support hardware barrier");
+}
+
 void Endpoint::bulk_post(int, std::uint64_t, void*, std::size_t) {
   throw InternalError("this fabric has no bulk data plane (bulk_plane() is kInline)");
 }

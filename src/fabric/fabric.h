@@ -59,6 +59,10 @@ enum class MsgKind : std::uint8_t {
   // sequenced channel).
   kBulkSent = 9,
   kBulkDelivered = 10,
+  // Hardware barrier release: the fabric's combine network saw every rank
+  // enter and replicated the release to all nodes. Like kBcast it bypasses
+  // the per-pair sequenced channel (no seq, no credit).
+  kBarrier = 11,
 };
 
 /// Which plane carries rendezvous payload bytes to a given peer.
@@ -95,6 +99,9 @@ enum class FlowControl : std::uint8_t {
 
 struct FabricCaps {
   bool hw_broadcast = false;
+  /// Hardware barrier: ranks enter via hw_barrier_enter and the fabric
+  /// delivers a kBarrier release to every rank once all have entered.
+  bool hw_barrier = false;
   /// True: rendezvous data is pulled by the receiver (DMA get). False: the
   /// receiver sends CTS and the sender pushes a kRdata message.
   bool pull_bulk = false;
@@ -155,6 +162,11 @@ class Endpoint {
 
   /// Hardware broadcast to every other rank (caps().hw_broadcast only).
   virtual void hw_broadcast(sim::Actor& self, ProtoMsg msg);
+
+  /// Enters the fabric's hardware barrier (caps().hw_barrier only). The
+  /// fabric delivers one kBarrier message to every rank — this one
+  /// included — once all ranks have entered.
+  virtual void hw_barrier_enter(sim::Actor& self);
 
   // --- bulk data plane (per-pair transport selection) ----------------------
   //

@@ -42,6 +42,7 @@ ProtoMsg decode(int src, const Bytes& data) {
 FabricCaps MeikoFabric::caps_from(const meiko::Calib& c) {
   FabricCaps caps;
   caps.hw_broadcast = true;
+  caps.hw_barrier = true;
   caps.pull_bulk = true;
   caps.flow = FlowControl::kSingleSlot;
   caps.eager_threshold = c.eager_threshold;
@@ -109,6 +110,19 @@ void MeikoFabric::Ep::hw_broadcast(sim::Actor& self, ProtoMsg msg) {
   self.advance(c.sparc_issue_txn);
   msg.src = rank_;
   owner_.machine().broadcast(rank_, kMpiBcastPort, encode(msg));
+}
+
+void MeikoFabric::Ep::hw_barrier_enter(sim::Actor& self) {
+  const meiko::Calib& c = owner_.machine().calib();
+  self.advance(c.sparc_issue_txn);
+  // The release lands as a locally synthesized kBarrier message (the
+  // combine network carries no payload, so nothing crosses encode/decode).
+  owner_.machine().barrier_enter(rank_, [this] {
+    ProtoMsg m;
+    m.kind = MsgKind::kBarrier;
+    m.src = rank_;
+    deliver(std::move(m));
+  });
 }
 
 std::optional<ProtoMsg> MeikoFabric::Ep::poll(sim::Actor& self) {

@@ -49,6 +49,7 @@ class MeikoFabric::Ep final : public Endpoint {
   void pull_bulk(sim::Actor& self, int src, std::uint64_t key,
                  std::function<void(Bytes)> on_data) override;
   void hw_broadcast(sim::Actor& self, ProtoMsg msg) override;
+  void hw_barrier_enter(sim::Actor& self) override;
   std::optional<ProtoMsg> poll(sim::Actor& self) override;
 
  private:

@@ -55,6 +55,14 @@ struct Calib {
   /// Extra Elan cost to launch a broadcast rather than a unicast packet.
   Duration bcast_extra_tx = microseconds(2.0);
 
+  // --- hardware barrier -----------------------------------------------------
+  /// Elan cost to issue a barrier-enter transaction into the combine tree
+  /// (a tiny fixed packet: cheaper than a full payload transaction).
+  Duration barrier_enter_tx = microseconds(3.0);
+  /// Fat-tree combine propagation plus release replication, charged once
+  /// when the last node's arrival reaches the switch.
+  Duration barrier_release = microseconds(2.0);
+
   // --- tport widget (Meiko's tagged message layer, matching on the Elan) ---
   /// SPARC-side cost of the tport tx/rx calls themselves.
   Duration tport_sparc_call = microseconds(3.0);

@@ -140,12 +140,37 @@ void Machine::broadcast(int src, int port, Bytes data) {
   const Duration tx_cost = calib_.elan_txn_tx + calib_.bcast_extra_tx +
                            calib_.txn_per_byte * static_cast<std::int64_t>(data.size());
   s.elan_.submit(tx_cost, [this, src, port, data = std::move(data)]() mutable {
+    ++hw_bcasts_;
     // The fat tree replicates the packet in hardware: every destination
     // sees it one wire latency later, in parallel.
     kernel_.schedule(calib_.wire_latency, [this, src, port, data = std::move(data)]() mutable {
       for (int dst = 0; dst < size(); ++dst) {
         if (dst == src) continue;
         deliver_txn(src, dst, port, data, /*broadcast_path=*/true);
+      }
+    });
+  });
+}
+
+void Machine::barrier_enter(int src, std::function<void()> on_release) {
+  Node& s = node(src);
+  s.elan_.submit(calib_.barrier_enter_tx,
+                 [this, src, on_release = std::move(on_release)]() mutable {
+    // The arrival crosses one wire hop into the combine network.
+    kernel_.schedule(calib_.wire_latency,
+                     [this, src, on_release = std::move(on_release)]() mutable {
+      barrier_waiters_.push_back({src, std::move(on_release)});
+      if (static_cast<int>(barrier_waiters_.size()) < size()) return;
+      ++hw_barriers_;
+      // Last arrival: the tree combines and replicates the release to
+      // every node in parallel; each destination Elan retires it.
+      auto waiters = std::move(barrier_waiters_);
+      barrier_waiters_.clear();
+      for (auto& w : waiters) {
+        kernel_.schedule(calib_.barrier_release + calib_.wire_latency,
+                         [this, n = w.node, cb = std::move(w.on_release)]() mutable {
+          node(n).elan_.submit(calib_.elan_txn_rx, std::move(cb));
+        });
       }
     });
   });

@@ -122,16 +122,35 @@ class Machine {
   /// except the source via each destination's bcast handler.
   void broadcast(int src, int port, Bytes data);
 
+  /// Hardware barrier: `src` enters the fat tree's combine network; once
+  /// every node has entered, the release replicates to all of them and
+  /// each node's `on_release` runs in its Elan context. Strictly phased —
+  /// no node can re-enter before its release fires, so one arrival
+  /// counter suffices.
+  void barrier_enter(int src, std::function<void()> on_release);
+
   /// Total bytes moved by DMA engines (bandwidth accounting for Fig. 3).
   [[nodiscard]] std::int64_t dma_bytes_moved() const { return dma_bytes_moved_; }
+
+  /// Completed hardware-offload operations (offload-vs-software tests).
+  [[nodiscard]] std::int64_t hw_bcasts() const { return hw_bcasts_; }
+  [[nodiscard]] std::int64_t hw_barriers() const { return hw_barriers_; }
 
  private:
   void deliver_txn(int src, int dst, int port, Bytes data, bool broadcast_path);
 
+  struct BarrierWaiter {
+    int node;
+    std::function<void()> on_release;
+  };
+
   sim::Kernel& kernel_;
   Calib calib_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<BarrierWaiter> barrier_waiters_;
   std::int64_t dma_bytes_moved_ = 0;
+  std::int64_t hw_bcasts_ = 0;
+  std::int64_t hw_barriers_ = 0;
 };
 
 }  // namespace lcmpi::meiko

@@ -80,7 +80,12 @@ TEST(BufferPoolTest, RetentionCapKeepsLargestCapacities) {
 TEST(BufferPoolTest, CollectivesRecycleStagingBuffers) {
   // Repeated large broadcasts on a real world: after warm-up every
   // scatter_allgather staging acquire should be served from the pool.
-  runtime::ThreadsWorld world(4);
+  // The algorithm is pinned programmatically (outranks LCMPI_COLL): a
+  // forced-binomial suite leg would otherwise bcast straight from the
+  // user buffer with no staging at all.
+  mpi::EngineConfig cfg;
+  cfg.coll.force = mpi::coll::Algo::kScatterAllgather;
+  runtime::ThreadsWorld world(4, {}, cfg);
   world.run([](mpi::Comm& c, sim::Actor&) {
     std::vector<unsigned char> buf(256 << 10);
     if (c.rank() == 0)

@@ -323,6 +323,11 @@ TEST(GoldenDeterminismTest, KeyFiguresIdenticalAcrossActorAndSchedBackends) {
   // backend decides only *how* control transfers to an actor, never *which*
   // actor runs next, so every figure must be invariant across all four
   // combinations.
+  // Collective selection must stay on the auto table: a forced-algorithm
+  // CI leg (LCMPI_COLL=...) must not perturb these figures — on the Meiko
+  // the solver's collectives ride the hardware broadcast/barrier, which a
+  // software-algorithm force never disables.
+  ScopedEnv coll_scope("LCMPI_COLL", "");
   for (const char* actors : {"fibers", "threads"}) {
     ScopedActorBackend actor_scope(actors);
     for (const char* sched : {"calendar", "heap"}) {
@@ -350,15 +355,19 @@ TEST(GoldenDeterminismTest, KeyFiguresIdenticalAcrossActorAndSchedBackends) {
       (void)apps::solve_parallel(c, self, apps::LinearSystem::random(96, 42),
                                  apps::sparc_profile());
     });
-    EXPECT_EQ(d.ns, 28801624) << "fig7 p=4 under " << actors;
+    EXPECT_EQ(d.ns, 28680492) << "fig7 p=4 under " << actors;
   }
 }
 
 TEST(GoldenDeterminismTest, Fig7SolverVirtualTimes) {
+  ScopedEnv coll_scope("LCMPI_COLL", "");  // pin the auto selection table
   const apps::LinearSystem sys = apps::LinearSystem::random(96, 42);
   struct Point { int p; std::int64_t ns; };
-  constexpr Point kLowlat[] = {{1, 60828800},  {2, 43587686}, {4, 28801624},
-                               {8, 21433962},  {16, 17772700}};
+  // Re-harvested when the solver's closing barrier moved onto the modelled
+  // Elan hardware barrier (it was a software dissemination barrier before);
+  // p=1 skips the barrier entirely and is unchanged.
+  constexpr Point kLowlat[] = {{1, 60828800},  {2, 43534892}, {4, 28680492},
+                               {8, 21248492},  {16, 17522892}};
   for (const Point& pt : kLowlat) {
     runtime::MeikoWorld w(pt.p);
     const Duration d = w.run([&](mpi::Comm& c, sim::Actor& self) {

@@ -212,7 +212,7 @@ INSTANTIATE_TEST_SUITE_P(Sizes, CollectivesTest, testing::Values(1, 2, 3, 4, 8, 
 TEST(BcastAlgoTest, LongBcastUsesScatterAllgatherAndIsCorrect) {
   mpi::EngineConfig cfg;
   cfg.use_hw_bcast = false;
-  cfg.bcast_long_threshold = 1024;
+  cfg.coll.force = mpi::coll::Algo::kScatterAllgather;
   LoopWorld w(5, {}, cfg);
   const int n = 4096;  // > threshold, not divisible by 5
   std::vector<std::vector<std::int32_t>> got(5);
@@ -230,10 +230,10 @@ TEST(BcastAlgoTest, LongBcastUsesScatterAllgatherAndIsCorrect) {
 }
 
 TEST(BcastAlgoTest, ScatterAllgatherBeatsTreeForLongMessagesOnMeiko) {
-  auto bcast_time = [&](std::int64_t threshold) {
+  auto bcast_time = [&](mpi::coll::Algo algo) {
     mpi::EngineConfig cfg;
     cfg.use_hw_bcast = false;  // isolate the software algorithms
-    cfg.bcast_long_threshold = threshold;
+    cfg.coll.force = algo;
     runtime::MeikoWorld w(16, {}, cfg);
     return w
         .run([&](Comm& c, sim::Actor&) {
@@ -242,8 +242,8 @@ TEST(BcastAlgoTest, ScatterAllgatherBeatsTreeForLongMessagesOnMeiko) {
         })
         .usec();
   };
-  const double tree = bcast_time(1LL << 40);  // force tree
-  const double vdg = bcast_time(0);           // force scatter+allgather
+  const double tree = bcast_time(mpi::coll::Algo::kBinomial);
+  const double vdg = bcast_time(mpi::coll::Algo::kScatterAllgather);
   EXPECT_LT(vdg, tree * 0.75);
 }
 

@@ -24,8 +24,9 @@ using mpi::Datatype;
 using namespace lcmpi::conformance;
 
 std::vector<RankLog> run_on_sockets(int nranks, const Program& prog,
-                                    fabric::SocketFabric::Options opt = {}) {
-  runtime::SocketWorld world(nranks, opt);
+                                    fabric::SocketFabric::Options opt = {},
+                                    const mpi::EngineConfig& cfg = {}) {
+  runtime::SocketWorld world(nranks, opt, cfg);
   const std::vector<Bytes> raw =
       world.run_collect([&prog](mpi::Comm& comm, sim::Actor&) {
         RankLog log;
@@ -39,8 +40,9 @@ std::vector<RankLog> run_on_sockets(int nranks, const Program& prog,
 }
 
 /// Runs `prog` on both worlds and asserts rank-by-rank identical logs.
-void conform(int nranks, const Program& prog, fabric::SocketFabric::Options opt = {}) {
-  expect_logs_equal(run_on_loop(nranks, prog), run_on_sockets(nranks, prog, opt));
+void conform(int nranks, const Program& prog, fabric::SocketFabric::Options opt = {},
+             const mpi::EngineConfig& cfg = {}) {
+  expect_logs_equal(run_on_loop(nranks, prog, cfg), run_on_sockets(nranks, prog, opt, cfg));
 }
 
 // ---------------------------------------------------------------- battery
@@ -63,6 +65,17 @@ TEST(SocketWorldConformance, SendrecvRing) {
 
 TEST(SocketWorldConformance, Collectives) {
   conform(4, collectives_program);
+}
+
+TEST(SocketWorldConformance, CollectiveAlgorithmBattery) {
+  // Each software algorithm forced across process boundaries; the logs
+  // must match the LoopWorld reference under the same force bit-for-bit.
+  for (const mpi::coll::Algo algo : mpi::coll::kAllAlgos) {
+    mpi::EngineConfig cfg;
+    cfg.coll.force = algo;
+    conform(4, coll_battery_program, {}, cfg);
+  }
+  conform(4, coll_battery_program);  // auto-selection table
 }
 
 TEST(SocketWorldConformance, CreditExhaustion) {

@@ -22,9 +22,10 @@ using mpi::Datatype;
 using namespace lcmpi::conformance;
 
 std::vector<RankLog> run_on_threads(int nranks, const Program& prog,
-                                    fabric::ShmFabric::Options opt = {}) {
+                                    fabric::ShmFabric::Options opt = {},
+                                    const mpi::EngineConfig& cfg = {}) {
   std::vector<RankLog> logs(static_cast<std::size_t>(nranks));
-  runtime::ThreadsWorld world(nranks, opt);
+  runtime::ThreadsWorld world(nranks, opt, cfg);
   // Each rank thread writes only its own slot; join() publishes them all.
   world.run([&prog, &logs](mpi::Comm& comm, sim::Actor&) {
     prog(comm, logs[static_cast<std::size_t>(comm.rank())]);
@@ -33,8 +34,9 @@ std::vector<RankLog> run_on_threads(int nranks, const Program& prog,
 }
 
 /// Runs `prog` on both worlds and asserts rank-by-rank identical logs.
-void conform(int nranks, const Program& prog, fabric::ShmFabric::Options opt = {}) {
-  expect_logs_equal(run_on_loop(nranks, prog), run_on_threads(nranks, prog, opt));
+void conform(int nranks, const Program& prog, fabric::ShmFabric::Options opt = {},
+             const mpi::EngineConfig& cfg = {}) {
+  expect_logs_equal(run_on_loop(nranks, prog, cfg), run_on_threads(nranks, prog, opt, cfg));
 }
 
 // ---------------------------------------------------------------- tests
@@ -57,6 +59,24 @@ TEST(ThreadsWorldConformance, SendrecvRing) {
 
 TEST(ThreadsWorldConformance, Collectives) {
   conform(4, collectives_program);
+}
+
+TEST(ThreadsWorldConformance, CollectiveAlgorithmBattery) {
+  // The engine-v2 battery (crossover-straddling sizes, non-commutative
+  // user-op fold order, zero-length and sub/self-comm collectives), once
+  // per forced software algorithm and once under auto-selection.
+  for (const mpi::coll::Algo algo : mpi::coll::kAllAlgos) {
+    mpi::EngineConfig cfg;
+    cfg.coll.force = algo;
+    conform(4, coll_battery_program, {}, cfg);
+  }
+  conform(4, coll_battery_program);
+}
+
+TEST(ThreadsWorldConformance, CollectiveAlgorithmBatteryOddSize) {
+  mpi::EngineConfig cfg;
+  cfg.coll.force = mpi::coll::Algo::kRing;
+  conform(3, coll_battery_program, {}, cfg);
 }
 
 TEST(ThreadsWorldConformance, CreditExhaustion) {

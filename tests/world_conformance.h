@@ -97,10 +97,13 @@ inline std::vector<unsigned char> make_payload(int src, int tag, int index,
 
 using Program = std::function<void(mpi::Comm&, RankLog&)>;
 
-/// The reference run: the program on the idealised simulated fabric.
-inline std::vector<RankLog> run_on_loop(int nranks, const Program& prog) {
+/// The reference run: the program on the idealised simulated fabric. The
+/// EngineConfig rides along so the collective battery can force one
+/// algorithm on BOTH sides of a conformance comparison.
+inline std::vector<RankLog> run_on_loop(int nranks, const Program& prog,
+                                        const mpi::EngineConfig& cfg = {}) {
   std::vector<RankLog> logs(static_cast<std::size_t>(nranks));
-  runtime::LoopWorld world(nranks);
+  runtime::LoopWorld world(nranks, {}, cfg);
   world.run([&prog, &logs](mpi::Comm& comm, sim::Actor&) {
     prog(comm, logs[static_cast<std::size_t>(comm.rank())]);
   });
@@ -326,6 +329,128 @@ inline void mixed_traffic_program(mpi::Comm& c, RankLog& log) {
     const mpi::Status& bst = rr->status;
     log.log_msg(bst.source, bst.tag, fnv1a(bulk_in.data(), bulk_in.size()));
     log.log_scalar(bst.count_bytes);
+  }
+  c.barrier();
+}
+
+/// 2x2 int32 matrix product — associative but NOT commutative, the
+/// canonical probe for reduction fold order. One datatype element is one
+/// whole matrix (contiguous(4, int32)), so algorithm segmentation can
+/// never split a matrix. Entry values stay in [0, 2]: the worst-case
+/// subtree product over 8 ranks is far below INT32_MAX.
+inline void matmul2x2_combine(const void* in, void* inout, int count) {
+  const auto* a = static_cast<const std::int32_t*>(in);
+  auto* b = static_cast<std::int32_t*>(inout);
+  for (int mat = 0; mat < count; ++mat) {
+    const int m = mat * 4;
+    const std::int32_t r0 = b[m] * a[m] + b[m + 1] * a[m + 2];
+    const std::int32_t r1 = b[m] * a[m + 1] + b[m + 1] * a[m + 3];
+    const std::int32_t r2 = b[m + 2] * a[m] + b[m + 3] * a[m + 2];
+    const std::int32_t r3 = b[m + 2] * a[m + 1] + b[m + 3] * a[m + 3];
+    b[m] = r0;
+    b[m + 1] = r1;
+    b[m + 2] = r2;
+    b[m + 3] = r3;
+  }
+}
+
+/// The collectives-engine battery: broadcast/reduce/allreduce/barrier at
+/// sizes straddling both selection crossovers (16 KiB and 256 KiB),
+/// rotating roots, a non-commutative user-op reduction (fold order must be
+/// ascending comm rank on every substrate and algorithm), zero-length
+/// collectives, and sub-/self-communicator collectives after a split.
+/// Run it under a forced EngineConfig::coll.force to pin one algorithm on
+/// both sides of the comparison, or with the default config to conform
+/// the auto-selection table itself.
+inline void coll_battery_program(mpi::Comm& c, RankLog& log) {
+  const auto i32 = mpi::Datatype::int32_type();
+  const int n = c.size();
+
+  // Broadcast sweep: 0 B, eager-small, ~20 KB (past long_msg_bytes) and
+  // ~280 KB (past huge_msg_bytes), root rotating across ranks.
+  const int bcast_counts[] = {0, 9, 5000, 70000};
+  int root = 0;
+  for (const int count : bcast_counts) {
+    std::vector<std::int32_t> buf(static_cast<std::size_t>(count < 1 ? 1 : count));
+    if (c.rank() == root)
+      for (int i = 0; i < count; ++i)
+        buf[static_cast<std::size_t>(i)] = root * 1000003 + i * 7;
+    c.bcast(buf.data(), count, i32, root);
+    log.log_scalar(static_cast<std::int64_t>(
+        fnv1a(buf.data(), static_cast<std::size_t>(count) * 4) & 0x7fffffffffff));
+    root = (root + 1) % n;
+  }
+  c.barrier();
+
+  // Rooted reduce + allreduce, built-in op, a size in the reduce-scatter
+  // zone so blocks and the ring allgatherv carry real data.
+  {
+    const int count = 6000;
+    std::vector<std::int32_t> mine(count), out(count, -1);
+    for (int i = 0; i < count; ++i) mine[static_cast<std::size_t>(i)] =
+        (c.rank() + 1) * (i % 97) - 48;
+    for (int r = 0; r < n; ++r) {
+      std::fill(out.begin(), out.end(), -1);
+      c.reduce(mine.data(), out.data(), count, i32, mpi::Op::kSum, r);
+      log.log_scalar(c.rank() == r
+                         ? static_cast<std::int64_t>(fnv1a(out.data(), out.size() * 4) &
+                                                     0x7fffffffffff)
+                         : -7);
+    }
+    std::fill(out.begin(), out.end(), -1);
+    c.allreduce(mine.data(), out.data(), count, i32, mpi::Op::kMin);
+    log.log_scalar(static_cast<std::int64_t>(fnv1a(out.data(), out.size() * 4) &
+                                             0x7fffffffffff));
+  }
+
+  // Non-commutative user-op reduction: ascending comm-rank fold order is
+  // pinned by the scalar below, identically on every substrate.
+  {
+    const auto mat4 = mpi::Datatype::contiguous(4, i32);
+    const int mats = 700;  // 11200 B: past the binomial zone when auto
+    std::vector<std::int32_t> mine(static_cast<std::size_t>(mats) * 4), out(mine.size(), 0);
+    for (std::size_t i = 0; i < mine.size(); ++i)
+      mine[i] = static_cast<std::int32_t>((static_cast<std::size_t>(c.rank()) * 31 + i) % 3);
+    c.reduce(mine.data(), out.data(), mats, mat4, mpi::Comm::UserOp(matmul2x2_combine), 0);
+    log.log_scalar(c.rank() == 0
+                       ? static_cast<std::int64_t>(fnv1a(out.data(), out.size() * 4) &
+                                                   0x7fffffffffff)
+                       : -11);
+    std::fill(out.begin(), out.end(), 0);
+    c.allreduce(mine.data(), out.data(), mats, mat4, mpi::Comm::UserOp(matmul2x2_combine));
+    log.log_scalar(static_cast<std::int64_t>(fnv1a(out.data(), out.size() * 4) &
+                                             0x7fffffffffff));
+  }
+
+  // Zero-length reduce/allreduce: must complete (and move no data).
+  {
+    std::int32_t dummy_in = 5, dummy_out = -5;
+    c.reduce(&dummy_in, &dummy_out, 0, i32, mpi::Op::kSum, n - 1);
+    c.allreduce(&dummy_in, &dummy_out, 0, i32, mpi::Op::kMax);
+    log.log_scalar(dummy_out);  // untouched: -5
+  }
+  c.barrier();
+
+  // Sub-communicator (even ranks) and self-communicator (one color per
+  // rank) collectives: the split machinery plus the 1-rank fast paths.
+  {
+    std::optional<mpi::Comm> sub = c.split(c.rank() % 2 == 0 ? 0 : -1, c.rank());
+    if (sub) {
+      std::int32_t v = sub->rank() == 0 ? 4242 : 0;
+      sub->bcast(&v, 1, i32, 0);
+      std::int32_t s = 0;
+      sub->allreduce(&v, &s, 1, i32, mpi::Op::kSum);
+      sub->barrier();
+      log.log_scalar(s);
+    } else {
+      log.log_scalar(-1);
+    }
+    std::optional<mpi::Comm> solo = c.split(c.rank(), 0);
+    std::int32_t me = c.rank() * 17 + 1, out = -1;
+    solo->allreduce(&me, &out, 1, i32, mpi::Op::kProd);
+    solo->bcast(&out, 1, i32, 0);
+    solo->barrier();
+    log.log_scalar(out);
   }
   c.barrier();
 }
