@@ -55,6 +55,43 @@ Table actor_report(const sim::ActorStats& s) {
   return t;
 }
 
+Table fabric_report(const fabric::SocketFabric::Stats& s) {
+  Table t({"metric", "value"});
+  t.add_row({"messages_tx", std::to_string(s.messages_tx)});
+  t.add_row({"messages_rx", std::to_string(s.messages_rx)});
+  t.add_row({"bytes_tx", std::to_string(s.bytes_tx)});
+  t.add_row({"bytes_rx", std::to_string(s.bytes_rx)});
+  t.add_row({"send_stalls", std::to_string(s.send_stalls)});
+  t.add_row({"idle_polls", std::to_string(s.idle_polls)});
+  t.add_row({"dial_retries", std::to_string(s.dial_retries)});
+  t.add_row({"fds_open", std::to_string(s.fds_open)});
+  t.add_row({"pairs_connected", std::to_string(s.pairs_connected)});
+  t.add_row({"lazy_dials", std::to_string(s.lazy_dials)});
+  t.add_row({"epoll_wakeups", std::to_string(s.epoll_wakeups)});
+  t.add_row({"bulk_tx_transfers", std::to_string(s.bulk_tx_transfers)});
+  t.add_row({"bulk_rx_transfers", std::to_string(s.bulk_rx_transfers)});
+  t.add_row({"bulk_tx_bytes", std::to_string(s.bulk_tx_bytes)});
+  t.add_row({"bulk_rx_bytes", std::to_string(s.bulk_rx_bytes)});
+  t.add_row({"memfd_pairs", std::to_string(s.memfd_pairs)});
+  t.add_row({"doorbells_tx", std::to_string(s.doorbells_tx)});
+  t.add_row({"zerocopy_sends", std::to_string(s.zerocopy_sends)});
+  t.add_row({"zerocopy_completions", std::to_string(s.zerocopy_completions)});
+  return t;
+}
+
+Table fabric_report(const fabric::ShmFabric::Stats& s) {
+  Table t({"metric", "value"});
+  t.add_row({"messages", std::to_string(s.messages)});
+  t.add_row({"full_parks", std::to_string(s.full_parks)});
+  t.add_row({"idle_parks", std::to_string(s.idle_parks)});
+  t.add_row({"bulk_transfers", std::to_string(s.bulk_transfers)});
+  t.add_row({"bulk_bytes", std::to_string(s.bulk_bytes)});
+  t.add_row({"mux_msgs", std::to_string(s.mux_msgs)});
+  t.add_row({"promoted_pairs", std::to_string(s.promoted_pairs)});
+  t.add_row({"mux_pairs", std::to_string(s.mux_pairs)});
+  return t;
+}
+
 Table pool_report(const BufferPool::Stats& s) {
   Table t({"metric", "value"});
   t.add_row({"acquires", std::to_string(s.acquires)});

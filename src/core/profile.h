@@ -13,6 +13,8 @@
 
 #include "src/core/buffer_pool.h"
 #include "src/core/matching.h"
+#include "src/fabric/shm_fabric.h"
+#include "src/fabric/socket_fabric.h"
 #include "src/sim/kernel.h"
 #include "src/util/status.h"
 #include "src/util/table.h"
@@ -33,6 +35,16 @@ namespace lcmpi::mpi {
 /// allocations vs. pool reuses, stack high-water, and the configured stack
 /// size. These are host-side numbers; virtual time never depends on them.
 [[nodiscard]] Table actor_report(const sim::ActorStats& s);
+
+/// Formats one rank's SocketFabric transport counters as a table. The
+/// scale gauges (fds_open, pairs_connected, lazy_dials, epoll_wakeups)
+/// sit next to the traffic totals so a scaling run can assert the lazy
+/// story directly: idle pairs cost zero fds and zero dials.
+[[nodiscard]] Table fabric_report(const fabric::SocketFabric::Stats& s);
+
+/// Formats ShmFabric transport counters, including the mux-mode gauges
+/// (mux_msgs, promoted_pairs, mux_pairs — all zero when mux is off).
+[[nodiscard]] Table fabric_report(const fabric::ShmFabric::Stats& s);
 
 /// Formats an engine BufferPool's recycling counters (acquires, capacity
 /// hits, fresh bytes allocated) — the observable for the pooled-staging

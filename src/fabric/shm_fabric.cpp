@@ -21,34 +21,31 @@ inline void cpu_relax() {
 // bounds wakeup staleness in the already-fenced-away race cases.
 constexpr std::chrono::milliseconds kIdleSlice{10};
 
+// Mux promotion marker: the sender's LAST message through the shared
+// MPMC ring, telling the receiver "everything after this is in our
+// dedicated ring". Kind 0 is never a live MsgKind (those start at 1) and
+// never leaves the fabric.
+constexpr auto kPromoteMarker = static_cast<MsgKind>(0);
+
 }  // namespace
 
 class ShmFabric::Ep final : public Endpoint {
  public:
-  Ep(ShmFabric& f, int rank) : Endpoint(f, rank), owner_(f) {}
+  Ep(ShmFabric& f, int rank, int nranks) : Endpoint(f, rank), owner_(f) {
+    if (f.opt_.mux) {
+      sent_count_ =
+          std::make_unique<std::atomic<std::uint32_t>[]>(static_cast<std::size_t>(nranks));
+      for (int d = 0; d < nranks; ++d)
+        sent_count_[static_cast<std::size_t>(d)].store(0, std::memory_order_relaxed);
+    }
+  }
 
   void send(sim::Actor&, int dst, ProtoMsg msg) override {
     msg.src = rank_;
-    Channel& ch = owner_.chan(rank_, dst);
-    if (!ch.try_push(std::move(msg))) {
-      // Ring full: transport backpressure. A failed try_push moves nothing
-      // (the full check precedes the move), so msg is still intact for the
-      // retry loop. Crucially, a blocked sender must KEEP DRAINING its own
-      // inbound rings: rank A stuck pushing into a full A->B ring while B
-      // is stuck pushing (say, a credit update) into a full B->A ring is a
-      // deadlock unless someone consumes — and the engine only polls
-      // between fabric calls, not during them. Drained envelopes go to a
-      // staging queue that poll() serves first, preserving per-source
-      // FIFO. Short park slices bound retry latency when inbound is dry.
-      full_parks_.fetch_add(1, std::memory_order_relaxed);
-      for (;;) {
-        const bool drained = drain_inbound();
-        if (ch.try_push(std::move(msg))) break;
-        if (!drained &&
-            ch.push_until(msg, std::chrono::steady_clock::now() +
-                                   std::chrono::milliseconds(1)))
-          break;
-      }
+    if (owner_.opt_.mux) {
+      send_mux(dst, std::move(msg));
+    } else {
+      push_blocking(owner_.chan(rank_, dst), std::move(msg));
     }
     messages_.fetch_add(1, std::memory_order_relaxed);
     owner_.eps_[static_cast<std::size_t>(dst)]->notify_arrival();
@@ -60,19 +57,25 @@ class ShmFabric::Ep final : public Endpoint {
       staged_.pop_front();
       return m;
     }
-    const int n = owner_.nranks();
-    for (int i = 0; i < n; ++i) {
-      const int src = cursor_;
-      cursor_ = cursor_ + 1 == n ? 0 : cursor_ + 1;
-      if (std::optional<ProtoMsg> m = owner_.chan(src, rank_).try_pop()) return m;
-    }
-    return std::nullopt;
+    return pop_any();
   }
 
   void wait_activity(sim::Actor&) override {
     const std::uint64_t seen = wake_seq_.load(std::memory_order_acquire);
     const auto ready = [this, seen] {
       if (wake_seq_.load(std::memory_order_acquire) != seen) return true;
+      if (owner_.opt_.mux) {
+        // A promoted pair whose marker we have not consumed yet still
+        // has that marker in the mux ring, so "mux ring non-empty" also
+        // covers not-yet-visible dedicated rings.
+        if (!owner_.mux_[static_cast<std::size_t>(rank_)]->ring().empty_approx())
+          return true;
+        for (const int src : promoted_srcs_) {
+          Channel* sp = owner_.promoted(src, rank_).load(std::memory_order_acquire);
+          if (!sp->ring().empty_approx()) return true;
+        }
+        return false;
+      }
       const int n = owner_.nranks();
       for (int src = 0; src < n; ++src)
         if (!owner_.chan(src, rank_).ring().empty_approx()) return true;
@@ -152,17 +155,100 @@ class ShmFabric::Ep final : public Endpoint {
   [[nodiscard]] util::ParkingLot& pad() { return pad_; }
 
  private:
+  /// Pushes one envelope into `ch`, parking on backpressure. Ring full is
+  /// transport backpressure: a failed try_push moves nothing (the full
+  /// check precedes the move), so msg stays intact for the retry loop.
+  /// Crucially, a blocked sender must KEEP DRAINING its own inbound
+  /// rings: rank A stuck pushing into a full A->B ring while B is stuck
+  /// pushing (say, a credit update) into a full B->A ring is a deadlock
+  /// unless someone consumes — and the engine only polls between fabric
+  /// calls, not during them. Drained envelopes go to a staging queue that
+  /// poll() serves first, preserving per-source FIFO. Short park slices
+  /// bound retry latency when inbound is dry.
+  template <typename Ch>
+  void push_blocking(Ch& ch, ProtoMsg msg) {
+    if (ch.try_push(std::move(msg))) return;
+    full_parks_.fetch_add(1, std::memory_order_relaxed);
+    for (;;) {
+      const bool drained = drain_inbound();
+      if (ch.try_push(std::move(msg))) break;
+      if (!drained &&
+          ch.push_until(msg, std::chrono::steady_clock::now() +
+                                 std::chrono::milliseconds(1)))
+        break;
+    }
+  }
+
+  /// Mux-mode send: promoted pairs use their dedicated SPSC ring; the
+  /// rest share the receiver's MPMC ring. Promotion happens here, on the
+  /// sender's thread, when this pair's traffic crosses the threshold: the
+  /// dedicated ring is published first (release), then the marker goes
+  /// into the mux ring as this sender's LAST mux message — the receiver
+  /// orders the two streams by refusing to read the dedicated ring until
+  /// the marker arrives, which keeps per-(src,dst) FIFO intact.
+  void send_mux(int dst, ProtoMsg msg) {
+    if (Channel* sp = owner_.promoted(rank_, dst).load(std::memory_order_acquire)) {
+      push_blocking(*sp, std::move(msg));
+      return;
+    }
+    MuxChannel& mux = *owner_.mux_[static_cast<std::size_t>(dst)];
+    push_blocking(mux, std::move(msg));
+    mux_msgs_.fetch_add(1, std::memory_order_relaxed);
+    const auto sent =
+        sent_count_[static_cast<std::size_t>(dst)].fetch_add(
+            1, std::memory_order_relaxed) + 1;
+    if (sent == owner_.opt_.mux_promote_after) {
+      auto ch = std::make_unique<Channel>(owner_.opt_.ring_slots);
+      ch->share_consumer_pad(&owner_.eps_[static_cast<std::size_t>(dst)]->pad());
+      owner_.promoted(rank_, dst).store(ch.release(), std::memory_order_release);
+      ProtoMsg marker;
+      marker.kind = kPromoteMarker;
+      marker.src = rank_;
+      push_blocking(mux, std::move(marker));
+    }
+  }
+
+  /// Pops the next available inbound envelope from the transport rings
+  /// (staging queue NOT consulted — callers handle staged_ first). Mux
+  /// mode drains markers inline: consuming src's marker makes its
+  /// dedicated ring eligible from then on.
+  std::optional<ProtoMsg> pop_any() {
+    if (owner_.opt_.mux) {
+      MuxChannel& mux = *owner_.mux_[static_cast<std::size_t>(rank_)];
+      while (std::optional<ProtoMsg> m = mux.try_pop()) {
+        if (m->kind == kPromoteMarker) {
+          promoted_srcs_.push_back(m->src);
+          continue;
+        }
+        return m;
+      }
+      const int np = static_cast<int>(promoted_srcs_.size());
+      for (int i = 0; i < np; ++i) {
+        if (cursor_ >= np) cursor_ = 0;
+        const int src = promoted_srcs_[static_cast<std::size_t>(cursor_)];
+        ++cursor_;
+        Channel* sp = owner_.promoted(src, rank_).load(std::memory_order_acquire);
+        if (std::optional<ProtoMsg> m = sp->try_pop()) return m;
+      }
+      return std::nullopt;
+    }
+    const int n = owner_.nranks();
+    for (int i = 0; i < n; ++i) {
+      const int src = cursor_;
+      cursor_ = cursor_ + 1 == n ? 0 : cursor_ + 1;
+      if (std::optional<ProtoMsg> m = owner_.chan(src, rank_).try_pop()) return m;
+    }
+    return std::nullopt;
+  }
+
   /// Pops every currently-available inbound envelope into the staging
   /// queue. Only the owning rank's thread calls this (from a blocked
   /// send), and only that thread touches staged_ — no locking needed.
   bool drain_inbound() {
     bool any = false;
-    const int n = owner_.nranks();
-    for (int src = 0; src < n; ++src) {
-      while (std::optional<ProtoMsg> m = owner_.chan(src, rank_).try_pop()) {
-        staged_.push_back(std::move(*m));
-        any = true;
-      }
+    while (std::optional<ProtoMsg> m = pop_any()) {
+      staged_.push_back(std::move(*m));
+      any = true;
     }
     return any;
   }
@@ -176,6 +262,14 @@ class ShmFabric::Ep final : public Endpoint {
   std::atomic<std::uint64_t> messages_{0};
   std::atomic<std::uint64_t> full_parks_{0};
   std::atomic<std::uint64_t> idle_parks_{0};
+
+  // Mux mode only. sent_count_[dst] is written by this rank's thread and
+  // read by stats(); promoted_srcs_ is the receive-side gate — srcs whose
+  // promotion marker this endpoint has consumed (only then may their
+  // dedicated ring be read, preserving FIFO across the switch).
+  std::unique_ptr<std::atomic<std::uint32_t>[]> sent_count_;
+  std::vector<int> promoted_srcs_;
+  std::atomic<std::uint64_t> mux_msgs_{0};
 
   /// A posted receive buffer awaiting a bulk transfer (this endpoint is
   /// the receiver; senders look it up under bulk_mu_).
@@ -195,18 +289,39 @@ ShmFabric::ShmFabric(int nranks, Options opt)
   LCMPI_CHECK(nranks > 0, "ShmFabric needs at least one rank");
   eps_.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r)
-    eps_.push_back(std::make_unique<Ep>(*this, r));
-  chans_.reserve(static_cast<std::size_t>(nranks) * static_cast<std::size_t>(nranks));
-  for (int src = 0; src < nranks; ++src) {
+    eps_.push_back(std::make_unique<Ep>(*this, r, nranks));
+  const auto n = static_cast<std::size_t>(nranks);
+  if (opt_.mux) {
+    // O(N) shared inbound rings + an initially-empty promoted-pair table
+    // instead of the N² dedicated mesh.
+    mux_.reserve(n);
     for (int dst = 0; dst < nranks; ++dst) {
-      auto ch = std::make_unique<Channel>(opt_.ring_slots);
-      ch->share_consumer_pad(&eps_[static_cast<std::size_t>(dst)]->pad());
-      chans_.push_back(std::move(ch));
+      auto mc = std::make_unique<MuxChannel>(opt_.mux_ring_slots);
+      mc->share_consumer_pad(&eps_[static_cast<std::size_t>(dst)]->pad());
+      mux_.push_back(std::move(mc));
+    }
+    promoted_ = std::make_unique<std::atomic<Channel*>[]>(n * n);
+    for (std::size_t i = 0; i < n * n; ++i)
+      promoted_[i].store(nullptr, std::memory_order_relaxed);
+  } else {
+    chans_.reserve(n * n);
+    for (int src = 0; src < nranks; ++src) {
+      for (int dst = 0; dst < nranks; ++dst) {
+        auto ch = std::make_unique<Channel>(opt_.ring_slots);
+        ch->share_consumer_pad(&eps_[static_cast<std::size_t>(dst)]->pad());
+        chans_.push_back(std::move(ch));
+      }
     }
   }
 }
 
-ShmFabric::~ShmFabric() = default;
+ShmFabric::~ShmFabric() {
+  if (promoted_) {
+    const auto n = eps_.size();
+    for (std::size_t i = 0; i < n * n; ++i)
+      delete promoted_[i].load(std::memory_order_relaxed);
+  }
+}
 
 Endpoint& ShmFabric::endpoint(int rank) {
   return *eps_.at(static_cast<std::size_t>(rank));
@@ -226,6 +341,18 @@ ShmFabric::Stats ShmFabric::stats() const {
     s.idle_parks += ep->idle_parks_.load(std::memory_order_relaxed);
     s.bulk_transfers += ep->bulk_transfers_.load(std::memory_order_relaxed);
     s.bulk_bytes += ep->bulk_bytes_.load(std::memory_order_relaxed);
+    s.mux_msgs += ep->mux_msgs_.load(std::memory_order_relaxed);
+  }
+  if (promoted_) {
+    const auto n = eps_.size();
+    for (std::size_t src = 0; src < n; ++src) {
+      for (std::size_t dst = 0; dst < n; ++dst) {
+        if (promoted_[src * n + dst].load(std::memory_order_relaxed) != nullptr)
+          ++s.promoted_pairs;
+        else if (eps_[src]->sent_count_[dst].load(std::memory_order_relaxed) > 0)
+          ++s.mux_pairs;
+      }
+    }
   }
   return s;
 }

@@ -56,6 +56,21 @@ class ShmFabric final : public Fabric {
     /// through ring slots. false reverts to the inline kRdata path (the
     /// pre-bulk-plane baseline, kept for ablation).
     bool bulk_direct = true;
+    /// Multiplexed mode for large N. Default (false): one SPSC ring per
+    /// directed pair — O(N²) rings, the latency fast path. true: each
+    /// receiver owns ONE shared MPMC ring that every sender produces
+    /// into, so an idle pair costs nothing; a pair is promoted to its own
+    /// dedicated SPSC ring once its sender has pushed mux_promote_after
+    /// messages (high-traffic pairs get the fast path back). Promotion
+    /// keeps per-(src,dst) FIFO: the sender's last mux message is a
+    /// marker, and the receiver never reads the promoted ring until the
+    /// marker has been consumed.
+    bool mux = false;
+    /// Shared per-receiver MPMC ring capacity (mux mode).
+    std::size_t mux_ring_slots = 4096;
+    /// Messages a sender pushes into the mux ring before the pair is
+    /// promoted to a dedicated SPSC ring.
+    std::size_t mux_promote_after = 64;
     Options() {
       caps.hw_broadcast = false;  // software tree broadcast
       caps.pull_bulk = false;     // push-mode rendezvous (CTS/RDATA)
@@ -80,21 +95,37 @@ class ShmFabric final : public Fabric {
     std::uint64_t idle_parks = 0;  // receiver parked awaiting traffic
     std::uint64_t bulk_transfers = 0;  // direct posted-buffer handoffs
     std::uint64_t bulk_bytes = 0;      // bytes moved by those handoffs
+    // Mux mode (all zero when Options::mux is false).
+    std::uint64_t mux_msgs = 0;        // messages that rode a shared MPMC ring
+    std::uint64_t promoted_pairs = 0;  // pairs upgraded to a dedicated ring
+    std::uint64_t mux_pairs = 0;       // active pairs still multiplexed
   };
   [[nodiscard]] Stats stats() const;
 
  private:
   class Ep;
   using Channel = util::SpscChannel<ProtoMsg>;
+  using MuxChannel = util::MpmcChannel<ProtoMsg>;
 
   [[nodiscard]] Channel& chan(int src, int dst) {
     return *chans_[static_cast<std::size_t>(src) * eps_.size() +
                    static_cast<std::size_t>(dst)];
   }
+  /// Mux mode: the promoted-ring slot for a pair (nullptr until the
+  /// sender promotes it; written only by the src thread, read by dst).
+  [[nodiscard]] std::atomic<Channel*>& promoted(int src, int dst) {
+    return promoted_[static_cast<std::size_t>(src) * eps_.size() +
+                     static_cast<std::size_t>(dst)];
+  }
 
   Options opt_;
   std::chrono::steady_clock::time_point epoch_;
-  std::vector<std::unique_ptr<Channel>> chans_;  // [src * n + dst]
+  std::vector<std::unique_ptr<Channel>> chans_;  // [src * n + dst]; empty in mux mode
+  // Mux mode: one shared inbound MPMC ring per receiver...
+  std::vector<std::unique_ptr<MuxChannel>> mux_;
+  // ...plus a lazily-filled promoted-pair table [src * n + dst] (raw
+  // pointers: single-writer slots, deleted in the fabric dtor).
+  std::unique_ptr<std::atomic<Channel*>[]> promoted_;
   std::vector<std::unique_ptr<Ep>> eps_;
 };
 

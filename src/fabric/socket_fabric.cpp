@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/epoll.h>
 #include <sys/mman.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -60,7 +61,7 @@ void set_nonblocking(int fd, bool on) {
 
 void set_cloexec(int fd) { (void)::fcntl(fd, F_SETFD, FD_CLOEXEC); }
 
-/// Blocking full write during the rendezvous (EINTR-safe).
+/// Blocking full write during a handshake (EINTR-safe).
 void write_all(int fd, const void* data, std::size_t n, const char* what) {
   const auto* p = static_cast<const unsigned char*>(data);
   std::size_t off = 0;
@@ -86,6 +87,36 @@ void read_all(int fd, void* data, std::size_t n, const char* what) {
       die(std::string(what) + ": read failed: " + errno_str());
     }
     if (r == 0) die(std::string(what) + ": peer closed during rendezvous");
+    off += static_cast<std::size_t>(r);
+  }
+}
+
+/// Bounded full read for post-accept handshakes: the dialer wrote its
+/// Hello immediately after connect, so this returns promptly; the
+/// deadline only guards against a dialer that died mid-handshake with
+/// the connection still open. Works on blocking and nonblocking fds
+/// (poll-first).
+void read_all_within(int fd, void* data, std::size_t n,
+                     Clock::time_point deadline, const char* what) {
+  auto* p = static_cast<unsigned char*>(data);
+  std::size_t off = 0;
+  while (off < n) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    if (left.count() <= 0) die(std::string(what) + ": handshake timed out");
+    pollfd pf{fd, POLLIN, 0};
+    const int rc = ::poll(&pf, 1, static_cast<int>(left.count()));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      die(std::string(what) + ": poll failed: " + errno_str());
+    }
+    if (rc == 0) continue;
+    const ssize_t r = ::recv(fd, p + off, n - off, 0);
+    if (r < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      die(std::string(what) + ": read failed: " + errno_str());
+    }
+    if (r == 0) die(std::string(what) + ": peer closed during handshake");
     off += static_cast<std::size_t>(r);
   }
 }
@@ -147,7 +178,7 @@ std::uint16_t local_port(int fd) {
   return ntohs(sin.sin_port);
 }
 
-/// Accept with a deadline (the listener is blocking; poll() bounds it).
+/// Accept with a deadline (bootstrap; poll() bounds a blocking listener).
 int accept_within(int listen_fd, Clock::time_point deadline, const char* what) {
   for (;;) {
     const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -162,7 +193,9 @@ int accept_within(int listen_fd, Clock::time_point deadline, const char* what) {
     if (rc == 0) continue;
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+          errno == EWOULDBLOCK)
+        continue;
       die(std::string(what) + ": accept failed: " + errno_str());
     }
     set_cloexec(fd);
@@ -170,21 +203,30 @@ int accept_within(int listen_fd, Clock::time_point deadline, const char* what) {
   }
 }
 
-// Rendezvous hello: who is dialing, and (during bootstrap) where their
-// own listener lives. `channel` separates the two per-pair connections:
-// 0 = framed control socket, 1 = bulk data socket.
+// Identifies a dialing rank to whoever accepts the connection. `intent`
+// separates bootstrap rendezvous dials (which carry the dialer's own
+// listener address and are closed after the table exchange) from
+// data-phase lazy dials; `channel` separates the framed control socket
+// (0) from the bulk data socket (1).
 struct Hello {
   std::uint32_t magic = 0x4c43'4d50;  // "LCMP"
   std::int32_t rank = -1;
   std::uint16_t port = 0;             // kInet listener
-  char unix_path[104] = {};           // kUnix listener
   std::uint8_t channel = 0;
+  std::uint8_t intent = 0;
+  char unix_path[104] = {};           // kUnix listener
 };
+constexpr std::uint8_t kIntentBoot = 0;
+constexpr std::uint8_t kIntentData = 1;
 
 // Per-pair bulk negotiation, exchanged on the bulk socket right after the
 // Hello. Both sides willing (kMemfd + AF_UNIX) => the dialer creates a
 // memfd and passes it via SCM_RIGHTS; any mismatch degrades the pair to
 // plain stream mode — worlds may mix kMemfd and kStream ranks freely.
+// The dialer does not wait for the acceptor's reply: it writes its half
+// (BulkHello, plus the fd if it wants a ring), marks the channel
+// `negotiating`, and queues transfers until the reply arrives through
+// the normal nonblocking pump.
 struct BulkHello {
   std::uint32_t magic = 0x4c42'4c4b;  // "LBLK"
   std::uint8_t wants_memfd = 0;
@@ -260,7 +302,7 @@ struct RingView {
   }
 };
 
-/// Passes one fd over an AF_UNIX socket (blocking; bootstrap only).
+/// Passes one fd over an AF_UNIX socket (blocking; handshake only).
 void send_fd(int sock, int fd, const char* what) {
   msghdr msg{};
   char token = 'F';
@@ -315,12 +357,23 @@ void send_fd(int sock, int fd, const char* what) {
 
 // ----------------------------------------------------------- bulk channel
 
-/// Everything one peer pair's bulk data plane owns: the dedicated socket,
-/// the optional memfd ring mapping, and both transfer state machines.
+/// Everything one bulk connection owns: the dedicated socket, the
+/// optional memfd ring mapping, and both transfer state machines. A pair
+/// has one channel per dial direction (usually just one; two after a
+/// cross-dial race) — this rank transmits only on the pair's `tx`
+/// channel and receives on any.
 struct SocketFabric::BulkChan {
   int fd = -1;
   bool closed = false;
   bool dialer = false;  // we initiated this connection (own ring A)
+  bool out_armed = false;   // EPOLLOUT armed (stream tx blocked)
+  bool tx_listed = false;   // peer is in bulk_tx_pending_
+  bool rx_listed = false;   // ring data left unconsumed by a budget cap
+  // Dialer side: the acceptor's BulkHello reply has not arrived yet.
+  // Transfers queue; nothing is transmitted until the reply lands.
+  bool negotiating = false;
+  unsigned char neg[sizeof(BulkHello)];
+  std::size_t neg_got = 0;
   void* map_base = nullptr;  // non-null: memfd rings negotiated
   std::size_t map_len = 0;
   RingView tx_ring, rx_ring;
@@ -382,19 +435,11 @@ class SocketFabric::Ep final : public Endpoint {
   }
 
   std::optional<ProtoMsg> poll(sim::Actor&) override {
-    if (owner_.arrivals_.empty()) {
-      // One fair sweep over all peers; pump_peer parses complete frames,
-      // pump_bulk moves a bounded chunk of any in-flight transfer (which
-      // is what keeps a 64 MiB push from starving control traffic).
-      const int n = owner_.nranks_;
-      for (int i = 0; i < n; ++i) {
-        const int peer = owner_.pump_cursor_;
-        owner_.pump_cursor_ = owner_.pump_cursor_ + 1 == n ? 0 : owner_.pump_cursor_ + 1;
-        if (peer == rank_) continue;
-        (void)owner_.pump_peer(peer);
-        (void)owner_.pump_bulk(peer);
-      }
-    }
+    // One nonblocking epoll_wait serves every ready socket — accepting
+    // inbound dials, parsing control frames, and moving a bounded chunk
+    // of any in-flight bulk transfer (which is what keeps a 64 MiB push
+    // from starving control traffic). Idle pairs cost nothing.
+    if (owner_.arrivals_.empty()) (void)owner_.progress(0);
     if (owner_.arrivals_.empty()) return std::nullopt;
     ProtoMsg m = std::move(owner_.arrivals_.front());
     owner_.arrivals_.pop_front();
@@ -405,41 +450,27 @@ class SocketFabric::Ep final : public Endpoint {
     if (!owner_.arrivals_.empty()) return;
     // A bulk transfer that can progress right now is activity: make some
     // and let the caller re-poll instead of parking under it.
-    if (owner_.pump_bulk_tx_all()) return;
-    auto& fds = pollfds_;
-    fds.clear();
-    for (int peer = 0; peer < owner_.nranks_; ++peer) {
-      const Conn& c = owner_.conns_[static_cast<std::size_t>(peer)];
-      if (peer == rank_) continue;
-      if (!c.closed) fds.push_back(pollfd{c.fd, POLLIN, 0});
-      const BulkChan* b = owner_.bulk_[static_cast<std::size_t>(peer)].get();
-      if (b != nullptr && !b->closed) {
-        // POLLIN: inbound bytes or a ring doorbell (data or freed space).
-        // POLLOUT: only while a stream-mode transfer is blocked on the
-        // kernel buffer. Errqueue readiness (zerocopy reap) reports as
-        // POLLERR regardless of the event mask.
-        short events = POLLIN;
-        if (!b->use_ring() && !b->txq.empty()) events |= POLLOUT;
-        fds.push_back(pollfd{b->fd, events, 0});
-      }
-    }
-    if (fds.empty()) return;  // all peers gone; caller re-checks and decides
+    if (owner_.pump_bulk_tx_pending()) return;
+    if (owner_.pump_bulk_rx_pending()) return;
     owner_.stats_.idle_polls++;
-    const int rc = ::poll(fds.data(), fds.size(),
-                          static_cast<int>(owner_.opt_.poll_slice.count()));
-    if (rc < 0 && errno != EINTR)
-      die(owner_.who() + ": wait_activity poll failed: " + errno_str());
-    // Readable/HUP peers are picked up by the next poll() sweep, which
-    // also classifies EOF (clean BYE vs peer death).
+    (void)owner_.progress(static_cast<int>(owner_.opt_.poll_slice.count()));
   }
 
   // --- bulk plane ---------------------------------------------------------
 
   [[nodiscard]] BulkPlane bulk_plane(int peer) const override {
-    if (peer == rank_) return BulkPlane::kInline;
-    const BulkChan* b = owner_.bulk_[static_cast<std::size_t>(peer)].get();
-    if (b == nullptr) return BulkPlane::kInline;
-    return b->use_ring() ? BulkPlane::kShared : BulkPlane::kStream;
+    if (peer == rank_ || owner_.opt_.bulk == Bulk::kInline)
+      return BulkPlane::kInline;
+    // Before the lazy dial completes the answer is provisional (kStream);
+    // the engine only branches on kInline vs not, so pre-negotiation
+    // conservatism is safe. Both sides agree on that split because
+    // Options::bulk's kInline/non-kInline choice is world-uniform.
+    const BulkPair& bp = owner_.bulk_[static_cast<std::size_t>(peer)];
+    const BulkChan* c = bp.tx != nullptr ? bp.tx
+                        : bp.b != nullptr ? bp.b.get()
+                                          : bp.a.get();
+    if (c == nullptr || c->negotiating) return BulkPlane::kStream;
+    return c->use_ring() ? BulkPlane::kShared : BulkPlane::kStream;
   }
 
   void bulk_post(int src, std::uint64_t cookie, void* dst,
@@ -458,7 +489,6 @@ class SocketFabric::Ep final : public Endpoint {
 
  private:
   SocketFabric& owner_;
-  std::vector<pollfd> pollfds_;  // scratch, avoids per-wait allocation
 };
 
 // ---------------------------------------------------------------- fabric
@@ -471,15 +501,23 @@ SocketFabric::SocketFabric(int nranks, int rank, const Rendezvous& rdv, Options 
       epoch_(Clock::now()) {
   LCMPI_CHECK(nranks > 0, "SocketFabric needs at least one rank");
   LCMPI_CHECK(rank >= 0 && rank < nranks, "rank out of range");
+  peers_.resize(static_cast<std::size_t>(nranks));
   conns_.resize(static_cast<std::size_t>(nranks));
   bulk_.resize(static_cast<std::size_t>(nranks));
   ep_ = std::make_unique<Ep>(*this, rank);
+  epfd_ = track_open(::epoll_create1(EPOLL_CLOEXEC));
+  if (epfd_ < 0) die(who() + ": epoll_create1 failed: " + errno_str());
   try {
-    build_mesh(rdv);
+    bootstrap(rdv);
   } catch (...) {
-    for (Conn& c : conns_)
-      if (c.fd >= 0) ::close(c.fd);
+    for (Conn& c : conns_) {
+      if (c.a.fd >= 0) ::close(c.a.fd);
+      if (c.b.fd >= 0) ::close(c.b.fd);
+    }
     bulk_.clear();
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (!listen_path_.empty()) (void)::unlink(listen_path_.c_str());
+    ::close(epfd_);
     throw;
   }
 }
@@ -488,9 +526,15 @@ SocketFabric::~SocketFabric() {
   flush_bulk();
   say_bye();
   for (Conn& c : conns_) {
-    if (c.fd >= 0) ::close(c.fd);
-    c.fd = -1;
+    close_link(c.a);
+    close_link(c.b);
   }
+  bulk_.clear();  // BulkChan dtors close bulk fds and unmap rings
+  if (listen_fd_ >= 0) track_close(listen_fd_);
+  listen_fd_ = -1;
+  if (!listen_path_.empty()) (void)::unlink(listen_path_.c_str());
+  if (epfd_ >= 0) track_close(epfd_);
+  epfd_ = -1;
 }
 
 SocketFabric SocketFabric::from_env(Options opt) {
@@ -525,9 +569,39 @@ TimePoint SocketFabric::wall_now() const {
 
 std::string SocketFabric::who() const { return "rank " + std::to_string(rank_); }
 
+int SocketFabric::track_open(int fd) {
+  if (fd >= 0) stats_.fds_open++;
+  return fd;
+}
+
+void SocketFabric::track_close(int fd) noexcept {
+  if (fd >= 0) {
+    ::close(fd);
+    stats_.fds_open--;
+  }
+}
+
+void SocketFabric::epoll_add(int fd, FdKind kind, int peer) {
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = (static_cast<std::uint64_t>(kind) << 32) |
+                static_cast<std::uint32_t>(peer);
+  if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) != 0)
+    die(who() + ": epoll_ctl(ADD) failed: " + errno_str());
+}
+
+void SocketFabric::epoll_arm_out(int fd, FdKind kind, int peer, bool on) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | (on ? EPOLLOUT : 0);
+  ev.data.u64 = (static_cast<std::uint64_t>(kind) << 32) |
+                static_cast<std::uint32_t>(peer);
+  if (::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev) != 0)
+    die(who() + ": epoll_ctl(MOD) failed: " + errno_str());
+}
+
 // ------------------------------------------------------------- bootstrap
 
-void SocketFabric::build_mesh(const Rendezvous& rdv) {
+void SocketFabric::bootstrap(const Rendezvous& rdv) {
   if (nranks_ == 1) return;  // self-sends never touch the fabric
   const bool unix_domain = opt_.domain == Domain::kUnix;
   LCMPI_CHECK(!unix_domain || !rdv.unix_dir.empty(), "kUnix needs a socket directory");
@@ -536,89 +610,54 @@ void SocketFabric::build_mesh(const Rendezvous& rdv) {
 
   const auto deadline = Clock::now() + opt_.dial_deadline;
   const std::string r0_path = unix_domain ? rdv.unix_dir + "/rendezvous.sock" : "";
-
-  // Dial `addr` with exponential backoff until `deadline` — the listener
-  // may not exist yet (rank 0 still booting, a higher rank still binding).
-  const auto dial = [&](const Addr& addr, const std::string& label) {
-    auto backoff = opt_.backoff_floor;
-    bool first = true;
-    for (;;) {
-      const int fd = make_socket(addr.family());
-      if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr.ss), addr.len) == 0)
-        return fd;
-      const int err = errno;
-      ::close(fd);
-      const bool retryable = err == ECONNREFUSED || err == ENOENT || err == EAGAIN ||
-                             err == ETIMEDOUT || err == EINTR || err == ECONNRESET;
-      if (!retryable)
-        die(who() + ": connect to " + label + " failed: " + std::strerror(err));
-      if (Clock::now() >= deadline)
-        die(who() + ": connect to " + label + " timed out (" +
-            std::strerror(err) + ") — peer never came up");
-      if (!first) stats_.dial_retries++;
-      first = false;
-      std::this_thread::sleep_for(backoff);
-      backoff = std::min(backoff * 2, opt_.backoff_cap);
-    }
-  };
-
-  // Per-rank listener addresses, filled by the rendezvous.
-  std::vector<std::uint16_t> ports(static_cast<std::size_t>(nranks_), 0);
   const auto rank_path = [&](int r) {
     return rdv.unix_dir + "/rank-" + std::to_string(r) + ".sock";
   };
 
-  // With a bulk plane every pair has TWO connections: the dialer dials
-  // the same listener twice, tagging each Hello with its channel. A
-  // world mixing kInline with bulk-enabled ranks would disagree on the
-  // accept counts below and hang until the deadline — Options::bulk's
-  // kInline/non-kInline split must be uniform (kStream vs kMemfd may
-  // mix; that is what the BulkHello negotiation is for).
-  const bool bulk_on = opt_.bulk != Bulk::kInline;
-  const int conns_per_pair = bulk_on ? 2 : 1;
-
-  // Accept `expected` connections, filing each by its hello's (rank,
-  // channel). Bulk channels complete their BulkHello/memfd handshake
-  // inline — it only ever involves the dialer on the far end of this fd,
-  // which wrote its side of the handshake right after connecting.
-  const auto accept_mesh = [&](int lfd, int expected, int max_rank,
-                               std::vector<Hello>* stash) {
-    for (int got = 0; got < expected; ++got) {
-      const int fd = accept_within(lfd, deadline, who().c_str());
-      Hello h;
-      read_all(fd, &h, sizeof h, who().c_str());
-      LCMPI_CHECK(h.magic == Hello{}.magic, "bad mesh hello");
-      LCMPI_CHECK(h.rank > 0 && h.rank < max_rank, "mesh hello rank out of range");
-      if (h.channel == 0) {
-        Conn& c = conns_[static_cast<std::size_t>(h.rank)];
-        LCMPI_CHECK(c.fd < 0, "duplicate mesh hello");
-        c.fd = fd;
-        if (stash != nullptr) (*stash)[static_cast<std::size_t>(h.rank)] = h;
-      } else {
-        LCMPI_CHECK(bulk_on && h.channel == 1, "bad mesh hello channel");
-        LCMPI_CHECK(bulk_[static_cast<std::size_t>(h.rank)] == nullptr,
-                    "duplicate bulk hello");
-        bulk_handshake(h.rank, fd, /*dialer=*/false);
-      }
-    }
-  };
-
-  int listen_fd = -1;
+  // The rendezvous exchanges listener addresses ONLY. Data connections
+  // are dialed lazily on first send, so rank 0's rendezvous listener
+  // must survive the whole run (lazy dials to rank 0 land on it), as
+  // must every other rank's listener from the table.
+  std::vector<Hello> hellos(static_cast<std::size_t>(nranks_));
   if (rank_ == 0) {
     if (rdv.listen_fd >= 0) {
-      listen_fd = rdv.listen_fd;
+      listen_fd_ = track_open(rdv.listen_fd);
     } else {
-      listen_fd = bind_listener(unix_domain ? unix_addr(r0_path)
-                                            : inet_addr_port(rdv.port));
+      listen_fd_ = track_open(bind_listener(
+          unix_domain ? unix_addr(r0_path) : inet_addr_port(rdv.port)));
+      if (unix_domain) listen_path_ = r0_path;
     }
-    // Collect the hellos; each rendezvous control connection IS the
-    // 0<->r link, and each bulk connection handshakes on arrival.
-    std::vector<Hello> hellos(static_cast<std::size_t>(nranks_));
-    accept_mesh(listen_fd, (nranks_ - 1) * conns_per_pair, nranks_, &hellos);
-    // Broadcast the listener table.
-    for (int r = 1; r < nranks_; ++r)
-      write_all(conns_[static_cast<std::size_t>(r)].fd, hellos.data(),
+    Hello& me = hellos[0];
+    me.rank = 0;
+    if (unix_domain) {
+      LCMPI_CHECK(r0_path.size() < sizeof(me.unix_path), "unix path too long");
+      std::memcpy(me.unix_path, r0_path.c_str(), r0_path.size() + 1);
+    } else {
+      me.port = local_port(listen_fd_);
+    }
+    // Collect all n-1 bootstrap hellos, then broadcast the table and
+    // close the rendezvous connections — they carried addresses, not
+    // data. (No data dial can arrive before the table is out: every
+    // other rank blocks reading it before its data phase starts.)
+    std::vector<int> boot(static_cast<std::size_t>(nranks_), -1);
+    for (int got = 0; got < nranks_ - 1; ++got) {
+      const int fd = accept_within(listen_fd_, deadline, "rank 0");
+      Hello h;
+      read_all(fd, &h, sizeof h, "rank 0");
+      LCMPI_CHECK(h.magic == Hello{}.magic, "bad rendezvous hello");
+      LCMPI_CHECK(h.intent == kIntentBoot && h.channel == 0,
+                  "data dial before the address table was broadcast");
+      LCMPI_CHECK(h.rank > 0 && h.rank < nranks_, "rendezvous rank out of range");
+      LCMPI_CHECK(boot[static_cast<std::size_t>(h.rank)] < 0,
+                  "duplicate rendezvous hello");
+      boot[static_cast<std::size_t>(h.rank)] = fd;
+      hellos[static_cast<std::size_t>(h.rank)] = h;
+    }
+    for (int r = 1; r < nranks_; ++r) {
+      write_all(boot[static_cast<std::size_t>(r)], hellos.data(),
                 sizeof(Hello) * static_cast<std::size_t>(nranks_), "rank 0");
+      ::close(boot[static_cast<std::size_t>(r)]);
+    }
   } else {
     // Bind our own listener first so the table can point at it.
     Hello mine;
@@ -626,74 +665,209 @@ void SocketFabric::build_mesh(const Rendezvous& rdv) {
     if (unix_domain) {
       const std::string path = rank_path(rank_);
       (void)::unlink(path.c_str());
-      listen_fd = bind_listener(unix_addr(path));
+      listen_fd_ = track_open(bind_listener(unix_addr(path)));
+      listen_path_ = path;
       LCMPI_CHECK(path.size() < sizeof(mine.unix_path), "unix path too long");
       std::memcpy(mine.unix_path, path.c_str(), path.size() + 1);
     } else {
-      listen_fd = bind_listener(inet_addr_port(0));
-      mine.port = local_port(listen_fd);
+      listen_fd_ = track_open(bind_listener(inet_addr_port(0)));
+      mine.port = local_port(listen_fd_);
     }
-    // Dial rank 0 (twice with a bulk plane), introduce ourselves, learn
-    // everyone's listener.
-    const Addr r0_addr = unix_domain ? unix_addr(r0_path) : inet_addr_port(rdv.port);
-    const int r0 = dial(r0_addr, "rank 0 rendezvous");
-    conns_[0].fd = r0;
-    write_all(r0, &mine, sizeof mine, who().c_str());
-    if (bulk_on) {
-      const int bfd = dial(r0_addr, "rank 0 bulk");
-      Hello bh = mine;
-      bh.channel = 1;
-      write_all(bfd, &bh, sizeof bh, who().c_str());
-      bulk_handshake(0, bfd, /*dialer=*/true);
-    }
-    std::vector<Hello> hellos(static_cast<std::size_t>(nranks_));
-    read_all(r0, hellos.data(), sizeof(Hello) * static_cast<std::size_t>(nranks_),
+    // Dial rank 0 (retrying — it may not have bound yet), introduce
+    // ourselves, learn everyone's listener, hang up.
+    PeerAddr r0;
+    r0.port = rdv.port;
+    r0.unix_path = r0_path;
+    const int fd = dial(r0, "rank 0 rendezvous", deadline);
+    stats_.fds_open--;  // transient: closed right after the table read
+    write_all(fd, &mine, sizeof mine, who().c_str());
+    read_all(fd, hellos.data(), sizeof(Hello) * static_cast<std::size_t>(nranks_),
              who().c_str());
-
-    // Mesh completion: dial every higher rank's listener...
-    for (int peer = rank_ + 1; peer < nranks_; ++peer) {
-      const Hello& h = hellos[static_cast<std::size_t>(peer)];
-      const Addr a = unix_domain ? unix_addr(h.unix_path) : inet_addr_port(h.port);
-      const int fd = dial(a, "rank " + std::to_string(peer));
-      Hello id = mine;
-      write_all(fd, &id, sizeof id, who().c_str());
-      conns_[static_cast<std::size_t>(peer)].fd = fd;
-      if (bulk_on) {
-        const int bfd = dial(a, "rank " + std::to_string(peer) + " bulk");
-        Hello bid = mine;
-        bid.channel = 1;
-        write_all(bfd, &bid, sizeof bid, who().c_str());
-        bulk_handshake(peer, bfd, /*dialer=*/true);
-      }
-    }
-    // ...and accept from every lower nonzero rank.
-    accept_mesh(listen_fd, (rank_ - 1) * conns_per_pair, rank_, nullptr);
+    ::close(fd);
   }
 
-  if (listen_fd >= 0 && listen_fd != rdv.listen_fd) ::close(listen_fd);
-  if (rank_ == 0 && rdv.listen_fd >= 0) ::close(rdv.listen_fd);
-  if (unix_domain) {
-    if (rank_ == 0) (void)::unlink(r0_path.c_str());
-    else (void)::unlink(rank_path(rank_).c_str());
+  for (int r = 0; r < nranks_; ++r) {
+    const Hello& h = hellos[static_cast<std::size_t>(r)];
+    LCMPI_CHECK(r == rank_ || h.rank == r, "rendezvous table incomplete");
+    PeerAddr& p = peers_[static_cast<std::size_t>(r)];
+    p.port = h.port;
+    p.unix_path.assign(h.unix_path,
+                       ::strnlen(h.unix_path, sizeof h.unix_path));
   }
 
-  for (int peer = 0; peer < nranks_; ++peer) {
-    if (peer == rank_) continue;
-    const Conn& c = conns_[static_cast<std::size_t>(peer)];
-    LCMPI_CHECK(c.fd >= 0, "mesh incomplete");
-    set_nonblocking(c.fd, true);
-    BulkChan* b = bulk_[static_cast<std::size_t>(peer)].get();
-    LCMPI_CHECK(!bulk_on || b != nullptr, "bulk mesh incomplete");
-    if (b != nullptr) set_nonblocking(b->fd, true);
+  // Data phase: the listener joins the epoll set, nonblocking, and every
+  // connection from here on is dialed on demand.
+  set_nonblocking(listen_fd_, true);
+  epoll_add(listen_fd_, FdKind::kListen, rank_);
+}
+
+int SocketFabric::dial(const PeerAddr& to, const std::string& label,
+                       Clock::time_point deadline) {
+  const bool unix_domain = opt_.domain == Domain::kUnix;
+  const Addr addr = unix_domain ? unix_addr(to.unix_path) : inet_addr_port(to.port);
+  auto backoff = opt_.backoff_floor;
+  bool first = true;
+  for (;;) {
+    const int fd = make_socket(addr.family());
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr.ss), addr.len) == 0)
+      return track_open(fd);
+    const int err = errno;
+    ::close(fd);
+    const bool retryable = err == ECONNREFUSED || err == ENOENT || err == EAGAIN ||
+                           err == ETIMEDOUT || err == EINTR || err == ECONNRESET;
+    if (!retryable)
+      die(who() + ": connect to " + label + " failed: " + std::strerror(err));
+    if (Clock::now() >= deadline)
+      die(who() + ": connect to " + label + " timed out (" +
+          std::strerror(err) + ") — peer never came up");
+    if (!first) stats_.dial_retries++;
+    first = false;
+    std::this_thread::sleep_for(backoff);
+    backoff = std::min(backoff * 2, opt_.backoff_cap);
   }
 }
 
-// ------------------------------------------------------------ data phase
+// ---------------------------------------------------- lazy connections
+
+SocketFabric::Conn& SocketFabric::ensure_conn(int peer) {
+  Conn& c = conns_[static_cast<std::size_t>(peer)];
+  if (c.any_open() || c.bye_seen || c.dead) return c;
+  // The peer may have dialed us already — its connection could be
+  // sitting in the listen backlog. Adopt it before dialing a second
+  // socket for the same pair.
+  accept_pending();
+  if (c.any_open()) return c;
+  const int fd =
+      dial(peers_[static_cast<std::size_t>(peer)],
+           "rank " + std::to_string(peer), Clock::now() + opt_.dial_deadline);
+  Hello h;
+  h.rank = rank_;
+  h.channel = 0;
+  h.intent = kIntentData;
+  write_all(fd, &h, sizeof h, who().c_str());
+  set_nonblocking(fd, true);
+  c.a.fd = fd;
+  epoll_add(fd, FdKind::kCtlA, peer);
+  stats_.lazy_dials++;
+  if (!c.connected) {
+    c.connected = true;
+    stats_.pairs_connected++;
+  }
+  return c;
+}
+
+void SocketFabric::accept_pending() {
+  if (listen_fd_ < 0) return;
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      die(who() + ": accept failed: " + errno_str());
+    }
+    set_cloexec(fd);
+    (void)track_open(fd);
+    // The dialer wrote its Hello immediately after connect; the bounded
+    // read identifies which rank (and which channel) this socket is.
+    Hello h;
+    read_all_within(fd, &h, sizeof h, Clock::now() + opt_.dial_deadline,
+                    who().c_str());
+    LCMPI_CHECK(h.magic == Hello{}.magic, "bad data-phase hello");
+    LCMPI_CHECK(h.intent == kIntentData, "bootstrap hello on the data phase");
+    LCMPI_CHECK(h.rank >= 0 && h.rank < nranks_ && h.rank != rank_,
+                "data-phase hello rank out of range");
+    if (h.channel == 0)
+      file_control(h.rank, fd);
+    else
+      file_bulk_accept(h.rank, fd);
+  }
+}
+
+void SocketFabric::file_control(int peer, int fd) {
+  Conn& c = conns_[static_cast<std::size_t>(peer)];
+  if (c.bye_seen || c.dead) {  // stale dial from a pair already concluded
+    track_close(fd);
+    return;
+  }
+  set_nonblocking(fd, true);
+  if (c.a.fd < 0 && !c.b_existed) {
+    // First connection for this pair: it is the primary — full duplex,
+    // and our TX if we ever send.
+    c.a.fd = fd;
+    epoll_add(fd, FdKind::kCtlA, peer);
+  } else {
+    // Cross-dial race: we already dialed (and adopted our dial as
+    // primary) while the peer's dial was in flight. The accepted socket
+    // becomes the secondary, receive-only link — the peer transmits on
+    // the connection IT dialed, we transmit on ours, and neither ever
+    // switches, so per-direction FIFO holds.
+    LCMPI_CHECK(!c.b_existed && c.b.fd < 0, "third control connection for one pair");
+    c.b.fd = fd;
+    c.b_existed = true;
+    epoll_add(fd, FdKind::kCtlB, peer);
+  }
+  if (!c.connected) {
+    c.connected = true;
+    stats_.pairs_connected++;
+  }
+}
+
+// ------------------------------------------------------- progress engine
+
+bool SocketFabric::progress(int timeout_ms) {
+  bool made = false;
+  std::array<epoll_event, 64> evs;
+  int nev;
+  do {
+    nev = ::epoll_wait(epfd_, evs.data(), static_cast<int>(evs.size()), timeout_ms);
+  } while (nev < 0 && errno == EINTR);
+  if (nev < 0) die(who() + ": epoll_wait failed: " + errno_str());
+  if (nev > 0) stats_.epoll_wakeups++;
+  for (int i = 0; i < nev; ++i) {
+    const std::uint64_t tag = evs[static_cast<std::size_t>(i)].data.u64;
+    const auto kind = static_cast<FdKind>(tag >> 32);
+    const int peer = static_cast<int>(tag & 0xffff'ffff);
+    const std::uint32_t events = evs[static_cast<std::size_t>(i)].events;
+    switch (kind) {
+      case FdKind::kListen:
+        accept_pending();
+        made = true;
+        break;
+      case FdKind::kCtlA:
+      case FdKind::kCtlB: {
+        Conn& c = conns_[static_cast<std::size_t>(peer)];
+        Link& l = kind == FdKind::kCtlA ? c.a : c.b;
+        // Writability is activity too: a blocked send_frame armed
+        // EPOLLOUT and is waiting in this very loop to retry.
+        if ((events & EPOLLOUT) != 0) made = true;
+        if (l.fd >= 0) made = pump_link(peer, l) || made;
+        break;
+      }
+      case FdKind::kBulkA:
+      case FdKind::kBulkB: {
+        BulkPair& bp = bulk_[static_cast<std::size_t>(peer)];
+        BulkChan* b = (kind == FdKind::kBulkA ? bp.a : bp.b).get();
+        if ((events & EPOLLOUT) != 0) made = true;
+        if (b != nullptr && !b->closed) made = pump_bulk(peer, b) || made;
+        break;
+      }
+    }
+  }
+  // Keep chunked transfers flowing even when no fd fired (ring space
+  // already available, fresh txq entries) and finish budget-capped ring
+  // drains — control events above were handled first, which is the point
+  // of the cap.
+  made = pump_bulk_tx_pending() || made;
+  made = pump_bulk_rx_pending() || made;
+  return made;
+}
+
+// ---------------------------------------------------------- control plane
 
 void SocketFabric::send_frame(int peer, const ProtoMsg& msg) {
   LCMPI_CHECK(peer >= 0 && peer < nranks_ && peer != rank_, "bad destination");
-  Conn& c = conns_[static_cast<std::size_t>(peer)];
-  if (c.closed || c.bye_seen)
+  Conn& c = ensure_conn(peer);
+  if (c.dead || c.bye_seen || c.a.fd < 0)
     die(who() + ": send to rank " + std::to_string(peer) + " after it " +
         (c.bye_seen ? "finished" : "died"));
 
@@ -717,87 +891,98 @@ void SocketFabric::send_frame(int peer, const ProtoMsg& msg) {
   const auto* p = reinterpret_cast<const unsigned char*>(frame.data());
   std::size_t off = 0;
   while (off < frame.size()) {
-    const ssize_t n = ::send(c.fd, p + off, frame.size() - off, MSG_NOSIGNAL);
+    if (c.a.fd < 0)
+      die(who() + ": rank " + std::to_string(peer) + " died mid-send");
+    const ssize_t n = ::send(c.a.fd, p + off, frame.size() - off, MSG_NOSIGNAL);
     if (n > 0) {
       off += static_cast<std::size_t>(n);
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      // Kernel buffer full: transport backpressure. Keep draining our own
-      // inbound sockets while waiting for POLLOUT — the peer may be
-      // blocked writing to us (send/send deadlock otherwise, since the
-      // engine only polls between fabric calls). Drained frames queue in
-      // arrivals_, which poll() serves in order.
+      // Kernel buffer full: transport backpressure. Drain whatever is
+      // ready (the peer may be blocked writing to us — send/send
+      // deadlock otherwise, since the engine only polls between fabric
+      // calls). If nothing is ready, arm EPOLLOUT and wait for real
+      // writability instead of spinning on a 1 ms retry clock.
       stats_.send_stalls++;
-      bool drained = false;
-      for (int src = 0; src < nranks_; ++src) {
-        if (src == rank_) continue;
-        drained = pump_peer(src) || drained;
-        // Keep the bulk plane moving too: the peer may be waiting for
-        // our bulk bytes (or ring space) before it can drain the control
-        // socket we are blocked on. pump_bulk never re-enters send_frame.
-        drained = pump_bulk(src) || drained;
+      if (progress(0)) continue;  // inbound drained; buffer may have cleared
+      if (!c.a.out_armed) {
+        epoll_arm_out(c.a.fd, FdKind::kCtlA, peer, true);
+        c.a.out_armed = true;
       }
-      if (drained) continue;  // buffer may have cleared meanwhile
-      pollfd pf{c.fd, POLLOUT, 0};
-      const int rc = ::poll(&pf, 1, 1 /*ms*/);
-      if (rc < 0 && errno != EINTR)
-        die(who() + ": poll(POLLOUT) failed: " + errno_str());
+      (void)progress(static_cast<int>(opt_.poll_slice.count()));
       continue;
     }
     die(who() + ": rank " + std::to_string(peer) + " died mid-send (" +
         (n < 0 ? errno_str() : "connection closed") + ")");
   }
+  if (c.a.out_armed && c.a.fd >= 0) {
+    epoll_arm_out(c.a.fd, FdKind::kCtlA, peer, false);
+    c.a.out_armed = false;
+  }
   stats_.messages_tx++;
   stats_.bytes_tx += frame.size();
 }
 
-bool SocketFabric::pump_peer(int peer) {
+void SocketFabric::close_link(Link& l) noexcept {
+  if (l.fd >= 0) {
+    track_close(l.fd);  // closing also removes it from the epoll set
+    l.fd = -1;
+    l.out_armed = false;
+  }
+}
+
+bool SocketFabric::pump_link(int peer, Link& l) {
+  if (l.fd < 0) return false;
   Conn& c = conns_[static_cast<std::size_t>(peer)];
-  if (c.closed) return false;
   bool any = false;
   for (;;) {
     constexpr std::size_t kChunk = 64 * 1024;
-    const std::size_t at = c.rx.size();
-    c.rx.resize(at + kChunk);
-    const ssize_t n = ::recv(c.fd, c.rx.data() + at, kChunk, 0);
+    const std::size_t at = l.rx.size();
+    l.rx.resize(at + kChunk);
+    const ssize_t n = ::recv(l.fd, l.rx.data() + at, kChunk, 0);
     if (n > 0) {
-      c.rx.resize(at + static_cast<std::size_t>(n));
+      l.rx.resize(at + static_cast<std::size_t>(n));
       stats_.bytes_rx += static_cast<std::uint64_t>(n);
       any = true;
       if (static_cast<std::size_t>(n) < kChunk) break;  // drained for now
       continue;
     }
-    c.rx.resize(at);
+    l.rx.resize(at);
     if (n < 0 && errno == EINTR) continue;
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-    // EOF or hard error: classify. A BYE followed by EOF is a peer that
-    // finished cleanly; anything else is a death.
-    ::close(c.fd);
-    c.closed = true;
-    if (!c.bye_seen) {
-      if (!c.rx.empty()) parse_frames(peer);  // salvage complete frames
-      if (c.bye_seen) return any;             // the BYE was in the tail
-      die(who() + ": rank " + std::to_string(peer) + " died (" +
-          (n < 0 ? errno_str() : "EOF without goodbye") + ")");
+    // EOF or hard error: classify. The verdict belongs to the peer's TX
+    // link (the secondary if a cross-dial created one, else the shared
+    // primary): a BYE precedes a clean close there, so EOF without one —
+    // after salvaging any complete frames — is a death. EOF on our
+    // TX-only link while the peer's TX link is still open stays quiet;
+    // the verdict arrives on the other socket.
+    const std::string detail = n < 0 ? errno_str() : "EOF without goodbye";
+    close_link(l);
+    if (!l.rx.empty()) parse_frames(peer, l);  // salvage complete frames
+    if (c.bye_seen) return any;
+    Link& peer_tx = c.b_existed ? c.b : c.a;
+    if (&l == &peer_tx || !c.any_open()) {
+      c.dead = true;
+      die(who() + ": rank " + std::to_string(peer) + " died (" + detail + ")");
     }
     return any;
   }
-  if (any) parse_frames(peer);
+  if (any) parse_frames(peer, l);
   return any;
 }
 
-void SocketFabric::parse_frames(int peer) {
+void SocketFabric::parse_frames(int peer, Link& l) {
   Conn& c = conns_[static_cast<std::size_t>(peer)];
   std::size_t pos = 0;
-  while (c.rx.size() - pos >= sizeof(std::uint32_t)) {
+  while (l.rx.size() - pos >= sizeof(std::uint32_t)) {
     std::uint32_t len = 0;
-    std::memcpy(&len, c.rx.data() + pos, sizeof len);
+    std::memcpy(&len, l.rx.data() + pos, sizeof len);
     LCMPI_CHECK(len >= sizeof(FrameHeader), "runt frame");
-    if (c.rx.size() - pos - sizeof len < len) break;  // partial tail
+    if (l.rx.size() - pos - sizeof len < len) break;  // partial tail
     FrameHeader h;
-    std::memcpy(&h, c.rx.data() + pos + sizeof len, sizeof h);
+    std::memcpy(&h, l.rx.data() + pos + sizeof len, sizeof h);
     const std::size_t payload_at = pos + sizeof len + sizeof h;
     const std::size_t payload_len = len - sizeof h;
     if (h.kind == kByeKind) {
@@ -815,50 +1000,63 @@ void SocketFabric::parse_frames(int peer) {
       m.bulk_key = h.bulk_key;
       m.seq = h.seq;
       if (payload_len > 0)
-        m.payload.assign(c.rx.begin() + static_cast<std::ptrdiff_t>(payload_at),
-                         c.rx.begin() + static_cast<std::ptrdiff_t>(payload_at + payload_len));
+        m.payload.assign(l.rx.begin() + static_cast<std::ptrdiff_t>(payload_at),
+                         l.rx.begin() + static_cast<std::ptrdiff_t>(payload_at + payload_len));
       arrivals_.push_back(std::move(m));
       stats_.messages_rx++;
     }
     pos = payload_at + payload_len;
   }
-  if (pos > 0) c.rx.erase(c.rx.begin(), c.rx.begin() + static_cast<std::ptrdiff_t>(pos));
+  if (pos > 0) l.rx.erase(l.rx.begin(), l.rx.begin() + static_cast<std::ptrdiff_t>(pos));
 }
 
 // ------------------------------------------------------------- bulk plane
 
-void SocketFabric::bulk_handshake(int peer, int fd, bool dialer) {
+SocketFabric::BulkChan& SocketFabric::ensure_bulk(int peer) {
+  BulkPair& bp = bulk_[static_cast<std::size_t>(peer)];
+  if (bp.tx != nullptr) return *bp.tx;
+  // The peer may have dialed a bulk channel to us already; adopt it as
+  // our TX too (full duplex) instead of opening a second socket.
+  accept_pending();
+  if (bp.b != nullptr && !bp.b->closed) {
+    bp.tx = bp.b.get();
+    return *bp.tx;
+  }
+  LCMPI_CHECK(bp.a == nullptr, "bulk primary exists without a tx choice");
+
+  const int fd =
+      dial(peers_[static_cast<std::size_t>(peer)],
+           "rank " + std::to_string(peer) + " (bulk)",
+           Clock::now() + opt_.dial_deadline);
+  Hello h;
+  h.rank = rank_;
+  h.channel = 1;
+  h.intent = kIntentData;
+  write_all(fd, &h, sizeof h, who().c_str());
+
   auto b = std::make_unique<BulkChan>();
   b->fd = fd;
-  b->dialer = dialer;
+  b->dialer = true;
 
   BulkHello mine;
   mine.wants_memfd =
       (opt_.bulk == Bulk::kMemfd && opt_.domain == Domain::kUnix) ? 1 : 0;
   mine.ring_bytes = opt_.bulk_ring_bytes;
   write_all(fd, &mine, sizeof mine, who().c_str());
-  BulkHello theirs;
-  read_all(fd, &theirs, sizeof theirs, who().c_str());
-  LCMPI_CHECK(theirs.magic == BulkHello{}.magic, "bad bulk hello");
-
-  if (mine.wants_memfd != 0 && theirs.wants_memfd != 0) {
-    // The dialer's ring size governs (it creates the region); one byte
-    // ring per direction, each fronted by its cache-padded control block.
-    const std::size_t ring = static_cast<std::size_t>(
-        dialer ? mine.ring_bytes : theirs.ring_bytes);
+  if (mine.wants_memfd != 0) {
+    // Optimistically build the ring and pass the fd now; if the acceptor
+    // declines in its reply we unmap and fall back to stream mode. The
+    // dialer's ring size governs (it creates the region); one byte ring
+    // per direction, each fronted by its cache-padded control block.
+    const auto ring = static_cast<std::size_t>(mine.ring_bytes);
     LCMPI_CHECK(ring > 0, "bulk ring size must be positive");
     const std::size_t map_len = 2 * (sizeof(RingCtl) + ring);
-    int mfd = -1;
-    if (dialer) {
-      mfd = ::memfd_create("lcmpi-bulk", MFD_CLOEXEC);
-      if (mfd < 0) die(who() + ": memfd_create failed: " + errno_str());
-      if (::ftruncate(mfd, static_cast<off_t>(map_len)) != 0)
-        die(who() + ": ftruncate(memfd) failed: " + errno_str());
-    } else {
-      mfd = recv_fd(fd, who().c_str());
-    }
-    void* base = ::mmap(nullptr, map_len, PROT_READ | PROT_WRITE, MAP_SHARED,
-                        mfd, 0);
+    const int mfd = ::memfd_create("lcmpi-bulk", MFD_CLOEXEC);
+    if (mfd < 0) die(who() + ": memfd_create failed: " + errno_str());
+    if (::ftruncate(mfd, static_cast<off_t>(map_len)) != 0)
+      die(who() + ": ftruncate(memfd) failed: " + errno_str());
+    void* base =
+        ::mmap(nullptr, map_len, PROT_READ | PROT_WRITE, MAP_SHARED, mfd, 0);
     if (base == MAP_FAILED) die(who() + ": mmap(memfd) failed: " + errno_str());
     b->map_base = base;
     b->map_len = map_len;
@@ -867,23 +1065,86 @@ void SocketFabric::bulk_handshake(int peer, int fd, bool dialer) {
     std::byte* data_a = raw + sizeof(RingCtl);
     auto* ctl_b = reinterpret_cast<RingCtl*>(raw + sizeof(RingCtl) + ring);
     std::byte* data_b = raw + 2 * sizeof(RingCtl) + ring;
-    if (dialer) {
-      // Initialize both control blocks BEFORE the fd crosses — the
-      // SCM_RIGHTS pass is the synchronization point.
-      new (ctl_a) RingCtl;
-      new (ctl_b) RingCtl;
-      ctl_a->head.store(0, std::memory_order_relaxed);
-      ctl_a->tail.store(0, std::memory_order_relaxed);
-      ctl_b->head.store(0, std::memory_order_relaxed);
-      ctl_b->tail.store(0, std::memory_order_relaxed);
-      send_fd(fd, mfd, who().c_str());
-    }
+    // Initialize both control blocks BEFORE the fd crosses — the
+    // SCM_RIGHTS pass is the synchronization point.
+    new (ctl_a) RingCtl;
+    new (ctl_b) RingCtl;
+    ctl_a->head.store(0, std::memory_order_relaxed);
+    ctl_a->tail.store(0, std::memory_order_relaxed);
+    ctl_b->head.store(0, std::memory_order_relaxed);
+    ctl_b->tail.store(0, std::memory_order_relaxed);
+    send_fd(fd, mfd, who().c_str());
     ::close(mfd);  // the mapping keeps the memory alive
     // Ring A carries dialer->acceptor traffic, ring B the reverse.
-    b->tx_ring = dialer ? RingView{ctl_a, data_a, ring} : RingView{ctl_b, data_b, ring};
-    b->rx_ring = dialer ? RingView{ctl_b, data_b, ring} : RingView{ctl_a, data_a, ring};
-    stats_.memfd_pairs++;
+    b->tx_ring = RingView{ctl_a, data_a, ring};
+    b->rx_ring = RingView{ctl_b, data_b, ring};
   } else {
+#if LCMPI_HAVE_ZEROCOPY
+    // memfd never applies on AF_INET, so the stream decision is final
+    // already — no need to wait for the reply.
+    if (opt_.bulk_zerocopy && opt_.domain == Domain::kInet) {
+      const int one = 1;
+      b->zc_enabled =
+          ::setsockopt(fd, SOL_SOCKET, SO_ZEROCOPY, &one, sizeof one) == 0;
+    }
+#endif
+  }
+  // Nothing more is written until the acceptor's 16-byte reply arrives
+  // (read nonblockingly by try_finish_bulk_negotiation); transfers queue.
+  b->negotiating = true;
+  set_nonblocking(fd, true);
+  epoll_add(fd, FdKind::kBulkA, peer);
+  stats_.lazy_dials++;
+  bp.a = std::move(b);
+  bp.tx = bp.a.get();
+  return *bp.tx;
+}
+
+void SocketFabric::file_bulk_accept(int peer, int fd) {
+  BulkPair& bp = bulk_[static_cast<std::size_t>(peer)];
+  LCMPI_CHECK(bp.b == nullptr, "second accepted bulk channel for one pair");
+
+  auto b = std::make_unique<BulkChan>();
+  b->fd = fd;
+  b->dialer = false;
+
+  const auto deadline = Clock::now() + opt_.dial_deadline;
+  BulkHello theirs;
+  read_all_within(fd, &theirs, sizeof theirs, deadline, who().c_str());
+  LCMPI_CHECK(theirs.magic == BulkHello{}.magic, "bad bulk hello");
+
+  BulkHello mine;
+  mine.wants_memfd =
+      (opt_.bulk == Bulk::kMemfd && opt_.domain == Domain::kUnix) ? 1 : 0;
+  mine.ring_bytes = opt_.bulk_ring_bytes;
+
+  if (theirs.wants_memfd != 0) {
+    // The dialer already passed its memfd; take delivery regardless and
+    // drop it if we are not participating (mixed-mode worlds).
+    const int mfd = recv_fd(fd, who().c_str());
+    if (mine.wants_memfd != 0) {
+      const auto ring = static_cast<std::size_t>(theirs.ring_bytes);
+      LCMPI_CHECK(ring > 0, "bulk ring size must be positive");
+      const std::size_t map_len = 2 * (sizeof(RingCtl) + ring);
+      void* base =
+          ::mmap(nullptr, map_len, PROT_READ | PROT_WRITE, MAP_SHARED, mfd, 0);
+      if (base == MAP_FAILED)
+        die(who() + ": mmap(memfd) failed: " + errno_str());
+      b->map_base = base;
+      b->map_len = map_len;
+      auto* raw = static_cast<std::byte*>(base);
+      auto* ctl_a = reinterpret_cast<RingCtl*>(raw);
+      std::byte* data_a = raw + sizeof(RingCtl);
+      auto* ctl_b = reinterpret_cast<RingCtl*>(raw + sizeof(RingCtl) + ring);
+      std::byte* data_b = raw + 2 * sizeof(RingCtl) + ring;
+      b->tx_ring = RingView{ctl_b, data_b, ring};
+      b->rx_ring = RingView{ctl_a, data_a, ring};
+      stats_.memfd_pairs++;
+    }
+    ::close(mfd);
+  }
+  write_all(fd, &mine, sizeof mine, who().c_str());
+  if (!b->use_ring()) {
 #if LCMPI_HAVE_ZEROCOPY
     if (opt_.bulk_zerocopy && opt_.domain == Domain::kInet) {
       const int one = 1;
@@ -892,39 +1153,123 @@ void SocketFabric::bulk_handshake(int peer, int fd, bool dialer) {
     }
 #endif
   }
-  bulk_[static_cast<std::size_t>(peer)] = std::move(b);
+  set_nonblocking(fd, true);
+  epoll_add(fd, FdKind::kBulkB, peer);
+  bp.b = std::move(b);
+}
+
+bool SocketFabric::try_finish_bulk_negotiation(int peer, BulkChan* b) {
+  if (!b->negotiating) return true;
+  // Read EXACTLY the 16-byte reply — anything after it is transfer data
+  // (doorbells or a header) and belongs to the normal rx pump.
+  while (b->neg_got < sizeof(BulkHello)) {
+    const ssize_t n =
+        ::recv(b->fd, b->neg + b->neg_got, sizeof(BulkHello) - b->neg_got, 0);
+    if (n > 0) {
+      b->neg_got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return false;
+    bulk_eof(peer, b, n < 0 ? errno_str().c_str() : "EOF during bulk handshake");
+    return false;
+  }
+  BulkHello theirs;
+  std::memcpy(&theirs, b->neg, sizeof theirs);
+  LCMPI_CHECK(theirs.magic == BulkHello{}.magic, "bad bulk hello reply");
+  if (b->map_base != nullptr) {
+    if (theirs.wants_memfd != 0) {
+      stats_.memfd_pairs++;
+    } else {
+      // Acceptor declined (kStream rank in a mixed world): stream mode.
+      ::munmap(b->map_base, b->map_len);
+      b->map_base = nullptr;
+      b->map_len = 0;
+    }
+  }
+  b->negotiating = false;
+  return true;
 }
 
 void SocketFabric::bulk_queue(int peer, std::uint64_t cookie, const void* data,
                               std::size_t size) {
-  BulkChan* b = bulk_[static_cast<std::size_t>(peer)].get();
-  LCMPI_CHECK(b != nullptr, "bulk_send without a negotiated bulk channel");
-  if (b->closed)
+  BulkChan& b = ensure_bulk(peer);
+  if (b.closed)
     die(who() + ": bulk send to rank " + std::to_string(peer) + " after it died");
   BulkChan::Tx t;
   t.cookie = cookie;
   t.data = static_cast<const std::byte*>(data);
   t.size = size;
   put_bulk_hdr(t.hdr, cookie, size);
-  b->txq.push_back(t);
+  b.txq.push_back(t);
+  note_bulk_tx_pending(peer);
   // Start moving bytes immediately — the common case (ring space or an
   // empty socket buffer) completes small transfers in this one call.
-  (void)pump_bulk_tx(peer);
+  if (try_finish_bulk_negotiation(peer, &b)) (void)pump_bulk_tx(peer, &b);
 }
 
-bool SocketFabric::pump_bulk(int peer) {
-  if (bulk_[static_cast<std::size_t>(peer)] == nullptr) return false;
-  bool any = pump_bulk_rx(peer);
-  any = pump_bulk_tx(peer) || any;
+void SocketFabric::note_bulk_tx_pending(int peer) {
+  BulkChan* b = bulk_[static_cast<std::size_t>(peer)].tx;
+  if (b == nullptr || b->tx_listed) return;
+  b->tx_listed = true;
+  bulk_tx_pending_.push_back(peer);
+}
+
+bool SocketFabric::pump_bulk(int peer, BulkChan* b) {
+  if (b == nullptr || b->closed) return false;
+  if (!try_finish_bulk_negotiation(peer, b)) return false;
+  bool any = pump_bulk_rx(peer, b);
+  if (b->closed) return any;
+  any = pump_bulk_tx(peer, b) || any;
   return any;
 }
 
-bool SocketFabric::pump_bulk_tx_all() {
+bool SocketFabric::pump_bulk_tx_pending() {
   bool any = false;
-  for (int peer = 0; peer < nranks_; ++peer) {
-    if (peer == rank_ || bulk_[static_cast<std::size_t>(peer)] == nullptr)
-      continue;
-    any = pump_bulk_tx(peer) || any;
+  for (std::size_t i = 0; i < bulk_tx_pending_.size();) {
+    const int peer = bulk_tx_pending_[i];
+    BulkChan* b = bulk_[static_cast<std::size_t>(peer)].tx;
+    bool done = b == nullptr || b->closed;
+    if (!done) {
+      if (try_finish_bulk_negotiation(peer, b))
+        any = pump_bulk_tx(peer, b) || any;
+      done = b->closed || (b->txq.empty() && b->zc_wait.empty());
+    }
+    if (done) {
+      if (b != nullptr) b->tx_listed = false;
+      bulk_tx_pending_[i] = bulk_tx_pending_.back();
+      bulk_tx_pending_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+  return any;
+}
+
+void SocketFabric::note_bulk_rx_pending(int peer, BulkChan* b) {
+  if (b->rx_listed) return;
+  b->rx_listed = true;
+  bulk_rx_pending_.push_back(peer);
+}
+
+bool SocketFabric::pump_bulk_rx_pending() {
+  bool any = false;
+  for (std::size_t i = 0; i < bulk_rx_pending_.size();) {
+    const int peer = bulk_rx_pending_[i];
+    BulkPair& bp = bulk_[static_cast<std::size_t>(peer)];
+    bool keep = false;
+    for (BulkChan* b : {bp.a.get(), bp.b.get()}) {
+      if (b == nullptr || !b->rx_listed) continue;
+      b->rx_listed = false;  // pump_bulk_rx re-lists if it caps out again
+      if (!b->closed) any = pump_bulk_rx(peer, b) || any;
+      keep = keep || b->rx_listed;
+    }
+    if (keep) {
+      ++i;
+    } else {
+      bulk_rx_pending_[i] = bulk_rx_pending_.back();
+      bulk_rx_pending_.pop_back();
+    }
   }
   return any;
 }
@@ -936,10 +1281,9 @@ bool SocketFabric::pump_bulk_tx_all() {
 /// the kernel, and a closed connection (ACKed or reset) releases the
 /// pinned pages either way, so the send buffer is reusable — complete
 /// them rather than racing the errqueue against the peer's clean BYE.
-void SocketFabric::bulk_eof(int peer, const char* detail) {
-  BulkChan* b = bulk_[static_cast<std::size_t>(peer)].get();
+void SocketFabric::bulk_eof(int peer, BulkChan* b, const char* detail) {
   if (!b->zc_wait.empty()) {
-    (void)reap_zerocopy(peer);  // harvest anything already confirmed
+    (void)reap_zerocopy(b);  // harvest anything already confirmed
     while (!b->zc_wait.empty()) {
       ProtoMsg m;
       m.kind = MsgKind::kBulkSent;
@@ -949,8 +1293,15 @@ void SocketFabric::bulk_eof(int peer, const char* detail) {
       b->zc_wait.pop_front();
     }
   }
+  // Actually close: a lingering half-dead fd in the epoll set would spin
+  // the progress loop on EPOLLHUP forever.
   b->closed = true;
-  if (b->in_transfer || !b->txq.empty())
+  track_close(b->fd);
+  b->fd = -1;
+  b->out_armed = false;
+  const bool mid = b->in_transfer || !b->txq.empty() || b->negotiating;
+  b->negotiating = false;
+  if (mid)
     die(who() + ": rank " + std::to_string(peer) + " died mid-bulk-transfer (" +
         detail + ")");
 }
@@ -959,8 +1310,7 @@ void SocketFabric::bulk_eof(int peer, const char* detail) {
 /// buffer. The engine guarantees bulk_post ran before its CTS, and the
 /// sender only writes after the CTS — so a missing registration is a
 /// protocol bug, not a race.
-void SocketFabric::begin_bulk_rx(int peer) {
-  BulkChan* b = bulk_[static_cast<std::size_t>(peer)].get();
+void SocketFabric::begin_bulk_rx(int peer, BulkChan* b) {
   get_bulk_hdr(b->rhdr, &b->rx_cookie, &b->rx_size);
   b->rhdr_got = 0;
   const auto it = bulk_regs_.find({peer, b->rx_cookie});
@@ -973,8 +1323,7 @@ void SocketFabric::begin_bulk_rx(int peer) {
   b->in_transfer = true;
 }
 
-void SocketFabric::finish_bulk_rx(int peer) {
-  BulkChan* b = bulk_[static_cast<std::size_t>(peer)].get();
+void SocketFabric::finish_bulk_rx(int peer, BulkChan* b) {
   b->in_transfer = false;
   stats_.bulk_rx_transfers++;
   stats_.bulk_rx_bytes += b->rx_size;
@@ -989,8 +1338,8 @@ void SocketFabric::finish_bulk_rx(int peer) {
 /// Rings a ring-mode peer's doorbell: one byte meaning "state changed"
 /// (new data, or space freed). Best-effort — EAGAIN means the socket
 /// already holds unread doorbells, which is wake-up enough.
-void SocketFabric::ring_doorbell(int peer) {
-  BulkChan* b = bulk_[static_cast<std::size_t>(peer)].get();
+void SocketFabric::ring_doorbell(BulkChan* b) {
+  if (b->fd < 0) return;
   const char byte = 1;
   for (;;) {
     const ssize_t n = ::send(b->fd, &byte, 1, MSG_NOSIGNAL);
@@ -1000,10 +1349,15 @@ void SocketFabric::ring_doorbell(int peer) {
   }
 }
 
-bool SocketFabric::pump_bulk_rx(int peer) {
-  BulkChan* b = bulk_[static_cast<std::size_t>(peer)].get();
-  if (b == nullptr || b->closed) return false;
+bool SocketFabric::pump_bulk_rx(int peer, BulkChan* b) {
+  if (b == nullptr || b->closed || b->negotiating) return false;
   bool any = false;
+  // Fairness budget: cap the bytes one pump copies so a multi-MiB drain
+  // (the ring holds up to bulk_ring_bytes) cannot hold the progress loop —
+  // and any control frame behind it — for hundreds of microseconds. The
+  // remainder is picked up by the level-triggered epoll (stream) or the
+  // rx-pending list (ring).
+  const std::uint64_t budget = opt_.bulk_chunk_bytes;
   if (b->use_ring()) {
     // Drain doorbell bytes (their only content is "look at the ring").
     char bells[256];
@@ -1015,12 +1369,13 @@ bool SocketFabric::pump_bulk_rx(int peer) {
       }
       if (n < 0 && errno == EINTR) continue;
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-      bulk_eof(peer, n < 0 ? errno_str().c_str() : "EOF on bulk socket");
+      bulk_eof(peer, b, n < 0 ? errno_str().c_str() : "EOF on bulk socket");
       return any;
     }
-    // Consume everything the ring holds right now.
+    // Consume what the ring holds, up to the budget.
     std::uint64_t consumed = 0;
     for (;;) {
+      if (consumed >= budget) break;
       const std::uint64_t avail = b->rx_ring.readable();
       if (avail == 0) break;
       if (!b->in_transfer) {
@@ -1030,11 +1385,12 @@ bool SocketFabric::pump_bulk_rx(int peer) {
         b->rhdr_got += n;
         consumed += n;
         any = true;
-        if (b->rhdr_got == kBulkHdrBytes) begin_bulk_rx(peer);
-        if (b->in_transfer && b->rx_size == 0) finish_bulk_rx(peer);
+        if (b->rhdr_got == kBulkHdrBytes) begin_bulk_rx(peer, b);
+        if (b->in_transfer && b->rx_size == 0) finish_bulk_rx(peer, b);
         continue;
       }
-      const std::uint64_t n = std::min(avail, b->rx_size - b->rx_got);
+      const std::uint64_t n = std::min(
+          {avail, b->rx_size - b->rx_got, budget - consumed});
       const std::uint64_t in_cap =
           b->rx_got < b->rx_cap ? std::min(n, b->rx_cap - b->rx_got) : 0;
       if (in_cap > 0) {
@@ -1048,12 +1404,17 @@ bool SocketFabric::pump_bulk_rx(int peer) {
       }
       consumed += n;
       any = true;
-      if (b->rx_got == b->rx_size) finish_bulk_rx(peer);
+      if (b->rx_got == b->rx_size) finish_bulk_rx(peer, b);
     }
-    if (consumed > 0) ring_doorbell(peer);  // freed ring space: credit
+    if (consumed > 0) ring_doorbell(b);  // freed ring space: credit
+    // Budget hit with data still in the ring: the sender may never ring
+    // another doorbell (it could be done writing), so self-schedule.
+    if (b->rx_ring.readable() > 0) note_bulk_rx_pending(peer, b);
   } else {
     static thread_local std::vector<unsigned char> overflow(64 * 1024);
+    std::uint64_t got = 0;
     for (;;) {
+      if (got >= budget) break;  // level-triggered epoll re-reports the rest
       void* dst = nullptr;
       std::size_t want = 0;
       if (!b->in_transfer) {
@@ -1068,39 +1429,52 @@ bool SocketFabric::pump_bulk_rx(int peer) {
         want = static_cast<std::size_t>(std::min<std::uint64_t>(
             b->rx_size - b->rx_got, overflow.size()));
       }
+      want = static_cast<std::size_t>(
+          std::min<std::uint64_t>(want, budget - got));
       const ssize_t n = ::recv(b->fd, dst, want, 0);
       if (n > 0) {
         any = true;
+        got += static_cast<std::uint64_t>(n);
         if (!b->in_transfer) {
           b->rhdr_got += static_cast<std::uint64_t>(n);
           if (b->rhdr_got == kBulkHdrBytes) {
-            begin_bulk_rx(peer);
-            if (b->rx_size == 0) finish_bulk_rx(peer);
+            begin_bulk_rx(peer, b);
+            if (b->rx_size == 0) finish_bulk_rx(peer, b);
           }
         } else {
           b->rx_got += static_cast<std::uint64_t>(n);
-          if (b->rx_got == b->rx_size) finish_bulk_rx(peer);
+          if (b->rx_got == b->rx_size) finish_bulk_rx(peer, b);
         }
         continue;
       }
       if (n < 0 && errno == EINTR) continue;
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-      bulk_eof(peer, n < 0 ? errno_str().c_str() : "EOF on bulk socket");
+      bulk_eof(peer, b, n < 0 ? errno_str().c_str() : "EOF on bulk socket");
       return any;
     }
+#if defined(TCP_QUICKACK)
+    if (any && opt_.domain == Domain::kInet) {
+      // MSG_ZEROCOPY completions on TCP arrive only once the data is
+      // ACKed; on an otherwise-quiet connection the delayed-ACK timer
+      // (~40 ms) would stall the sender's withheld kBulkSent. Re-arm
+      // quickack after every drain so the sender's pages free promptly.
+      int one = 1;
+      (void)::setsockopt(b->fd, IPPROTO_TCP, TCP_QUICKACK, &one, sizeof one);
+    }
+#endif
   }
   return any;
 }
 
-bool SocketFabric::pump_bulk_tx(int peer) {
-  BulkChan* b = bulk_[static_cast<std::size_t>(peer)].get();
-  if (b == nullptr || b->closed) return false;
+bool SocketFabric::pump_bulk_tx(int peer, BulkChan* b) {
+  if (b == nullptr || b->closed || b->negotiating) return false;
   bool any = false;
-  if (!b->zc_wait.empty()) any = reap_zerocopy(peer) || any;
+  if (!b->zc_wait.empty()) any = reap_zerocopy(b) || any;
   // The chunk budget bounds how much payload one pump moves, so control
   // frames interleave with a long transfer at chunk granularity.
   std::uint64_t budget = opt_.bulk_chunk_bytes;
   bool rang = false;
+  bool blocked = false;  // stream socket hit EAGAIN (arm EPOLLOUT)
   while (!b->txq.empty() && budget > 0) {
     BulkChan::Tx& t = b->txq.front();
     if (b->use_ring()) {
@@ -1129,16 +1503,21 @@ bool SocketFabric::pump_bulk_tx(int peer) {
                    static_cast<std::size_t>(kBulkHdrBytes - t.hdr_off),
                    MSG_NOSIGNAL);
         if (n < 0 && errno == EINTR) continue;
-        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+          blocked = true;
+          break;
+        }
         if (n <= 0) {
-          bulk_eof(peer, n < 0 ? errno_str().c_str() : "peer closed");
+          bulk_eof(peer, b, n < 0 ? errno_str().c_str() : "peer closed");
           return any;
         }
         t.hdr_off += static_cast<std::uint64_t>(n);
         any = true;
-        if (t.hdr_off < kBulkHdrBytes) break;
+        if (t.hdr_off < kBulkHdrBytes) {
+          blocked = true;
+          break;
+        }
       }
-      bool blocked = false;
       while (t.off < t.size && budget > 0) {
         const std::size_t chunk = static_cast<std::size_t>(
             std::min<std::uint64_t>(t.size - t.off, budget));
@@ -1165,7 +1544,7 @@ bool SocketFabric::pump_bulk_tx(int peer) {
           break;
         }
         if (n <= 0) {
-          bulk_eof(peer, n < 0 ? errno_str().c_str() : "peer closed");
+          bulk_eof(peer, b, n < 0 ? errno_str().c_str() : "peer closed");
           return any;
         }
         if (zc) {
@@ -1199,12 +1578,21 @@ bool SocketFabric::pump_bulk_tx(int peer) {
       break;
     }
   }
-  if (rang) ring_doorbell(peer);  // data available
+  if (rang) ring_doorbell(b);  // data available
+  // A stream sender blocked on a full kernel buffer waits for real
+  // writability; everyone else keeps EPOLLOUT off (satellite: no 1 ms
+  // POLLOUT retry clock anywhere on the bulk plane).
+  if (b->fd >= 0 && blocked != b->out_armed) {
+    const FdKind kind = bulk_[static_cast<std::size_t>(peer)].a.get() == b
+                            ? FdKind::kBulkA
+                            : FdKind::kBulkB;
+    epoll_arm_out(b->fd, kind, peer, blocked);
+    b->out_armed = blocked;
+  }
   return any;
 }
 
-bool SocketFabric::reap_zerocopy(int peer) {
-  BulkChan* b = bulk_[static_cast<std::size_t>(peer)].get();
+bool SocketFabric::reap_zerocopy(BulkChan* b) {
   bool any = false;
 #if LCMPI_HAVE_ZEROCOPY
   for (;;) {
@@ -1249,17 +1637,18 @@ void SocketFabric::flush_bulk() noexcept {
     const auto deadline = Clock::now() + std::chrono::seconds(2);
     for (;;) {
       bool pending = false;
-      bool progress = false;
+      bool moved = false;
       for (int peer = 0; peer < nranks_; ++peer) {
         if (peer == rank_) continue;
-        BulkChan* b = bulk_[static_cast<std::size_t>(peer)].get();
+        BulkChan* b = bulk_[static_cast<std::size_t>(peer)].tx;
         if (b == nullptr || b->closed) continue;
         if (b->txq.empty() && b->zc_wait.empty()) continue;
         pending = true;
-        progress = pump_bulk_tx(peer) || progress;
+        if (try_finish_bulk_negotiation(peer, b))
+          moved = pump_bulk_tx(peer, b) || moved;
       }
       if (!pending || Clock::now() >= deadline) return;
-      if (!progress) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      if (!moved) std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
   } catch (...) {
     // Teardown path: a dead peer here is somebody else's error to report.
@@ -1267,21 +1656,20 @@ void SocketFabric::flush_bulk() noexcept {
 }
 
 void SocketFabric::say_bye() noexcept {
-  // Best-effort goodbye so peers can tell "finished" from "died". The
-  // sockets are nonblocking; a full buffer or dead peer just means no BYE.
+  // Best-effort goodbye on each live TX link so peers can tell "finished"
+  // from "died". The sockets are nonblocking; a full buffer or dead peer
+  // just means no BYE.
   Bytes frame;
   ByteWriter w(frame);
   w.put(static_cast<std::uint32_t>(sizeof(FrameHeader)));
   FrameHeader bye;
   bye.kind = kByeKind;
   w.put(bye);
-  for (int peer = 0; peer < nranks_; ++peer) {
-    if (peer == rank_) continue;
-    Conn& c = conns_[static_cast<std::size_t>(peer)];
-    if (c.fd < 0 || c.closed) continue;
+  for (Conn& c : conns_) {
+    if (c.a.fd < 0 || c.dead) continue;
     std::size_t off = 0;
     while (off < frame.size()) {
-      const ssize_t n = ::send(c.fd, frame.data() + off, frame.size() - off,
+      const ssize_t n = ::send(c.a.fd, frame.data() + off, frame.size() - off,
                                MSG_NOSIGNAL);
       if (n > 0) {
         off += static_cast<std::size_t>(n);

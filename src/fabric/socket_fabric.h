@@ -9,43 +9,52 @@
 // credit flow control — exactly the seam MPICH2's channel abstraction
 // exposes between protocol and wire.
 //
-// Topology and bootstrap: a full mesh of pre-connected stream sockets,
-// built by a rank-0 rendezvous. Every rank r>0 binds its own listener,
-// connects to rank 0's well-known rendezvous address (retrying with
-// exponential backoff — rank 0 may not have bound yet), and sends a hello
-// naming itself and its listener. Rank 0 collects all n-1 hellos, then
-// broadcasts the address table; the rendezvous connections themselves
-// become the 0<->r mesh links, and each remaining pair (i, j), 0 < i < j,
-// is completed by i dialing j's listener. Rendezvous I/O is blocking;
-// after the mesh is up every socket switches to nonblocking for the data
-// phase.
+// Topology and bootstrap (§6h): connections are LAZY. The rank-0
+// rendezvous only exchanges the listener table — every rank r>0 binds its
+// own listener, dials rank 0, sends a Hello naming its listener, and
+// reads back the full table; rank 0 collects the n-1 hellos and
+// broadcasts. No data socket exists until a pair actually talks: the
+// first send to a peer dials its listener and identifies the dialing
+// rank with a short post-accept Hello, so an idle pair costs zero fds
+// and zero poll work — per-rank fd count follows the communication
+// graph, not N.
+//
+// Progress engine: one epoll(7) instance per rank holds the listener and
+// every live socket, level-triggered. poll() does one epoll_wait(0)
+// instead of a recv sweep over all peers; wait_activity parks in
+// epoll_wait with a bounded slice. EPOLLOUT is armed (EPOLL_CTL_MOD)
+// only while a sender is actually blocked on a full kernel buffer and
+// disarmed as soon as the write completes — idle sockets contribute
+// nothing to any wakeup.
 //
 // Wire format: length-prefixed records ([u32 frame length][fixed header]
 // [payload]), full-width fields (no 16-bit context squeeze — this wire is
-// ours, not Table 1's). All I/O is short-read/short-write/EINTR-safe. A
-// blocked sender (kernel socket buffer full, EAGAIN) drains its inbound
-// sockets into the arrival queue while waiting for POLLOUT — the same
-// discipline ShmFabric uses to break send/send deadlocks, because the
-// engine only polls between fabric calls.
+// ours, not Table 1's). All I/O is short-read/short-write/EINTR-safe.
 //
-// Failure model: each fabric sends a BYE record before closing (ranks
-// finish at different times; a goodbye is not an error). EOF or
-// ECONNRESET *without* a preceding BYE means the peer process died —
-// poll()/send() throw FabricError instead of letting a blocked receive
-// hang forever. wait_activity is a poll(2) over every live peer socket
-// with a bounded slice (condition-variable semantics: callers re-check).
+// Cross-dial races: two ranks may dial each other simultaneously; the
+// kernel listen backlog absorbs both. Each side keeps the connection it
+// dialed as its primary (TX) link and files the accepted one as a
+// secondary, receive-only link — a rank never switches TX sockets, so
+// per-direction FIFO holds structurally.
+//
+// Failure model: each fabric sends a BYE record on its TX link before
+// closing (ranks finish at different times; a goodbye is not an error).
+// EOF or ECONNRESET on the peer's TX link *without* a preceding BYE means
+// the peer process died — poll()/send() throw FabricError instead of
+// letting a blocked receive hang forever. A peer that dies before ever
+// connecting is invisible here; the SocketWorld launcher detects that
+// (a result pipe closing recordless) and kills/reports.
 //
 // Bulk data plane (Options::bulk, default kMemfd): rendezvous payloads
-// leave the framed control socket entirely. Each pair gets a SECOND
-// dedicated socket — raw streaming, one 16-byte {cookie, size} header per
-// transfer, no per-chunk framing — and co-located AF_UNIX pairs upgrade
-// further to a memfd-backed pair of mmap'd byte rings (one per
-// direction), negotiated with a BulkHello + SCM_RIGHTS fd pass at mesh
-// time: the sender's single copy lands in shared memory and the receiver
-// copies straight into the buffer the engine registered with bulk_post.
-// Transfers pump in bounded chunks interleaved with control-plane polls,
-// so a 64 MiB push no longer head-of-line-blocks an eager ping — the
-// latency/bandwidth isolation the paper gets from separating its
+// leave the framed control socket entirely, on a second lazily-dialed
+// per-pair socket — raw streaming, one 16-byte {cookie, size} header per
+// transfer — with co-located AF_UNIX pairs upgrading to a memfd-backed
+// pair of mmap'd byte rings (BulkHello + SCM_RIGHTS at dial time; the
+// dialer writes its half of the handshake and keeps transmitting into
+// the queue until the acceptor's reply arrives asynchronously).
+// Transfers pump in bounded chunks interleaved with control-plane
+// progress, so a 64 MiB push never head-of-line-blocks an eager ping —
+// the latency/bandwidth isolation the paper gets from separating its
 // protocol and data channels.
 #pragma once
 
@@ -64,7 +73,7 @@ namespace lcmpi::fabric {
 
 class SocketFabric final : public Fabric {
  public:
-  /// Which kernel transport carries the mesh.
+  /// Which kernel transport carries the connections.
   enum class Domain : std::uint8_t { kUnix, kInet };
 
   /// How rendezvous payloads travel (the bulk data plane).
@@ -72,13 +81,13 @@ class SocketFabric final : public Fabric {
   ///  kInline — the pre-bulk-plane baseline: payloads ride the framed
   ///            control socket as kRdata (head-of-line-blocks envelopes;
   ///            kept for ablation/benchmark comparison). Must be uniform
-  ///            across the world: kInline ranks build no bulk sockets.
+  ///            across the world: kInline ranks dial no bulk sockets.
   ///  kStream — a SECOND per-pair socket dedicated to bulk bytes: raw
   ///            streaming with one 16-byte header per transfer (no
   ///            per-chunk framing), MSG_ZEROCOPY opportunistically where
   ///            the kernel supports it (AF_INET).
   ///  kMemfd  — as kStream, plus co-located AF_UNIX pairs negotiate a
-  ///            memfd + mmap'd byte ring per direction at Hello time and
+  ///            memfd + mmap'd byte ring per direction at dial time and
   ///            do single-copy receives straight into the posted buffer;
   ///            pairs where either side lacks memfd support (or the
   ///            domain is AF_INET) degrade to the stream socket.
@@ -105,7 +114,7 @@ class SocketFabric final : public Fabric {
     std::chrono::milliseconds backoff_floor{1};
     std::chrono::milliseconds backoff_cap{100};
     std::chrono::milliseconds dial_deadline{10'000};
-    /// wait_activity poll(2) slice (bounds wakeup staleness only;
+    /// wait_activity epoll_wait slice (bounds wakeup staleness only;
     /// arrivals interrupt it immediately).
     std::chrono::milliseconds poll_slice{100};
     Options() {
@@ -121,16 +130,19 @@ class SocketFabric final : public Fabric {
   /// rank 0's rendezvous port on 127.0.0.1. `listen_fd` optionally hands
   /// rank 0 a pre-bound listener inherited from the launcher (how
   /// SocketWorld gets an ephemeral AF_INET port with no conflict window);
-  /// -1 makes rank 0 bind the named address itself.
+  /// -1 makes rank 0 bind the named address itself. Rank 0's rendezvous
+  /// listener stays open for the whole run — it doubles as the data-phase
+  /// listener lazy dials land on.
   struct Rendezvous {
     std::string unix_dir;
     std::uint16_t port = 0;
     int listen_fd = -1;
   };
 
-  /// Builds this rank's attachment: binds/dials the mesh (blocking, with
-  /// retry) and leaves every connection nonblocking. Call once per
-  /// process; throws FabricError if the mesh cannot be built.
+  /// Builds this rank's attachment: binds its listener and runs the
+  /// table-exchange rendezvous (blocking, with retry). No peer data
+  /// connection exists yet — those are dialed on first send. Call once
+  /// per process; throws FabricError if the rendezvous fails.
   SocketFabric(int nranks, int rank, const Rendezvous& rdv, Options opt = {});
   ~SocketFabric() override;
 
@@ -153,8 +165,14 @@ class SocketFabric final : public Fabric {
     std::uint64_t bytes_tx = 0;      // framed bytes written
     std::uint64_t bytes_rx = 0;      // framed bytes read
     std::uint64_t send_stalls = 0;   // EAGAIN on write (kernel buffer full)
-    std::uint64_t idle_polls = 0;    // wait_activity entered poll(2)
-    std::uint64_t dial_retries = 0;  // rendezvous connect attempts beyond the first
+    std::uint64_t idle_polls = 0;    // wait_activity entered epoll_wait
+    std::uint64_t dial_retries = 0;  // connect attempts beyond the first
+    // Scale (the lazy-connection story: all sublinear in N for sparse
+    // communication graphs).
+    std::uint64_t fds_open = 0;         // gauge: live fds (epoll, listener, links)
+    std::uint64_t pairs_connected = 0;  // peers ever control-connected
+    std::uint64_t lazy_dials = 0;       // data-phase dials we initiated
+    std::uint64_t epoll_wakeups = 0;    // epoll_wait returns with >=1 event
     // Bulk data plane (zero when Options::bulk == Bulk::kInline).
     std::uint64_t bulk_tx_transfers = 0;  // bulk_send transfers completed
     std::uint64_t bulk_rx_transfers = 0;  // inbound transfers delivered
@@ -171,12 +189,32 @@ class SocketFabric final : public Fabric {
   class Ep;
   friend class Ep;
 
-  /// One mesh connection (index = peer rank; self slot unused).
-  struct Conn {
+  /// One direction-capable socket of a control pair.
+  struct Link {
     int fd = -1;
-    Bytes rx;                 // unparsed bytes (partial frame tail)
+    Bytes rx;               // unparsed bytes (partial frame tail)
+    bool out_armed = false;  // EPOLLOUT currently requested
+  };
+
+  /// Control-plane state for one peer. `a` is the primary link (our TX;
+  /// also RX when the pair shares one socket); `b` exists only after a
+  /// cross-dial race and is receive-only — the peer transmits on the
+  /// socket *it* dialed. Death is judged on the peer's TX link: EOF
+  /// without a BYE there (after salvaging buffered frames) is fatal.
+  struct Conn {
+    Link a;
+    Link b;
+    bool b_existed = false;   // a secondary link was ever filed
+    bool connected = false;   // counted in pairs_connected
     bool bye_seen = false;    // peer announced clean shutdown
-    bool closed = false;      // fd closed (after EOF)
+    bool dead = false;        // peer death observed (error already raised)
+    [[nodiscard]] bool any_open() const { return a.fd >= 0 || b.fd >= 0; }
+  };
+
+  /// Where a peer's listener lives (from the rendezvous table).
+  struct PeerAddr {
+    std::uint16_t port = 0;  // kInet
+    std::string unix_path;   // kUnix
   };
 
   /// Per-pair bulk channel state (second socket, optional shared ring).
@@ -184,49 +222,95 @@ class SocketFabric final : public Fabric {
   /// mmap/atomics plumbing.
   struct BulkChan;
 
-  void build_mesh(const Rendezvous& rdv);
-  /// Second-socket handshake for one peer: BulkHello exchange, then (both
-  /// willing, AF_UNIX) memfd creation/passing + ring mapping. `dialer` is
-  /// true when this rank initiated the connection — the dialer creates
-  /// the memfd and owns ring direction A.
-  void bulk_handshake(int peer, int fd, bool dialer);
-  /// Drains fd until EAGAIN, parsing complete frames into arrivals_.
-  /// Returns true if anything new arrived. Throws FabricError on
-  /// unannounced EOF/reset.
-  bool pump_peer(int peer);
-  void parse_frames(int peer);
+  /// Bulk channels for one peer: `a` is the one we dialed (our TX side;
+  /// also RX), `b` one the peer dialed first (RX only, from our side).
+  struct BulkPair {
+    std::unique_ptr<BulkChan> a;
+    std::unique_ptr<BulkChan> b;
+    /// Sticky TX choice: `a` if we dialed first, `b` if we adopted the
+    /// peer's dial. Never switches once set, so bulk FIFO holds per pair.
+    BulkChan* tx = nullptr;
+  };
+
+  /// What an epoll event tag refers to (packed into epoll_data.u64).
+  enum class FdKind : std::uint32_t { kListen, kCtlA, kCtlB, kBulkA, kBulkB };
+
+  void bootstrap(const Rendezvous& rdv);
+  [[nodiscard]] int dial(const PeerAddr& to, const std::string& label,
+                         std::chrono::steady_clock::time_point deadline);
+  /// Ensures a control link to `peer` exists: accepts any pending inbound
+  /// dial first (the peer may have beaten us), then dials its listener.
+  Conn& ensure_conn(int peer);
+  /// Ensures a primary bulk channel to `peer` exists (dialing + starting
+  /// the async BulkHello negotiation if needed).
+  BulkChan& ensure_bulk(int peer);
+  /// Drains the listener: accepts every pending connection, reads its
+  /// identifying Hello (bounded-blocking), and files it as a control or
+  /// bulk link for the dialing rank.
+  void accept_pending();
+  void file_control(int peer, int fd);
+  void file_bulk_accept(int peer, int fd);
+  /// Central progress: one epoll_wait (timeout_ms; 0 = nonblocking),
+  /// dispatching every ready fd, then a tx pass over bulk channels with
+  /// queued work. Returns true if any bytes moved or events fired.
+  bool progress(int timeout_ms);
+  void epoll_add(int fd, FdKind kind, int peer);
+  void epoll_arm_out(int fd, FdKind kind, int peer, bool on);
+  /// Drains one control link until EAGAIN, parsing complete frames into
+  /// arrivals_. Returns true if anything new arrived. Throws FabricError
+  /// on unannounced EOF/reset of the peer's TX link.
+  bool pump_link(int peer, Link& l);
+  void parse_frames(int peer, Link& l);
+  void close_link(Link& l) noexcept;
   void send_frame(int peer, const ProtoMsg& msg);
-  /// Bulk-plane progress for one peer: receive side (ring or stream, into
-  /// the registered landing buffer) then transmit side (chunk-capped).
-  /// Returns true if any bytes moved or completions surfaced.
-  bool pump_bulk(int peer);
-  bool pump_bulk_rx(int peer);
-  bool pump_bulk_tx(int peer);
-  /// One tx pass over every peer; true if any bytes moved (wait_activity
-  /// uses this to avoid parking while a transfer could progress).
-  bool pump_bulk_tx_all();
+  /// Bulk-plane progress for one channel: finish any pending BulkHello
+  /// negotiation, receive side (ring or stream, into the registered
+  /// landing buffer), then transmit side (chunk-capped, primary only).
+  bool pump_bulk(int peer, BulkChan* b);
+  bool pump_bulk_rx(int peer, BulkChan* b);
+  bool pump_bulk_tx(int peer, BulkChan* b);
+  /// One tx pass over bulk channels with queued transfers or pending
+  /// zerocopy completions; true if any bytes moved.
+  bool pump_bulk_tx_pending();
+  /// Marks `peer`'s primary bulk channel as having queued tx work.
+  void note_bulk_tx_pending(int peer);
+  /// One rx pass over ring channels whose drain hit the per-pump budget
+  /// with data still readable. The stream path never needs this (the
+  /// level-triggered epoll re-reports unread socket data), but ring data
+  /// past the last doorbell would otherwise sit until the next unrelated
+  /// wakeup.
+  bool pump_bulk_rx_pending();
+  void note_bulk_rx_pending(int peer, BulkChan* b);
+  bool try_finish_bulk_negotiation(int peer, BulkChan* b);
   void bulk_queue(int peer, std::uint64_t cookie, const void* data,
                   std::size_t size);
-  void bulk_eof(int peer, const char* detail);
-  void begin_bulk_rx(int peer);
-  void finish_bulk_rx(int peer);
-  void ring_doorbell(int peer);
-  bool reap_zerocopy(int peer);
+  void bulk_eof(int peer, BulkChan* b, const char* detail);
+  void begin_bulk_rx(int peer, BulkChan* b);
+  void finish_bulk_rx(int peer, BulkChan* b);
+  void ring_doorbell(BulkChan* b);
+  bool reap_zerocopy(BulkChan* b);
   void flush_bulk() noexcept;  // bounded best-effort tx drain before BYE
   void say_bye() noexcept;
+  [[nodiscard]] int track_open(int fd);   // fds_open++ passthrough
+  void track_close(int fd) noexcept;      // close + fds_open--
   [[nodiscard]] std::string who() const;  // "rank R" for error texts
 
   int nranks_;
   int rank_;
   Options opt_;
   std::chrono::steady_clock::time_point epoch_;
-  std::vector<Conn> conns_;           // by peer rank
-  std::vector<std::unique_ptr<BulkChan>> bulk_;  // by peer rank (null: no plane)
+  int epfd_ = -1;
+  int listen_fd_ = -1;
+  std::string listen_path_;              // our unix socket file (to unlink)
+  std::vector<PeerAddr> peers_;          // listener table, by rank
+  std::vector<Conn> conns_;              // by peer rank
+  std::vector<BulkPair> bulk_;           // by peer rank
+  std::vector<int> bulk_tx_pending_;     // peers whose primary has queued tx
+  std::vector<int> bulk_rx_pending_;     // peers with budget-capped ring rx
   /// Landing buffers registered by bulk_post, keyed (src, cookie).
   std::map<std::pair<int, std::uint64_t>, std::pair<void*, std::size_t>>
       bulk_regs_;
-  std::deque<ProtoMsg> arrivals_;     // parsed, FIFO per source
-  int pump_cursor_ = 0;               // round-robin fairness over peers
+  std::deque<ProtoMsg> arrivals_;  // parsed, FIFO per source
   Stats stats_;
   std::unique_ptr<Ep> ep_;
 };

@@ -2,6 +2,8 @@
 
 #include <dirent.h>
 #include <netinet/in.h>
+#include <poll.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -269,6 +271,13 @@ SocketWorld::~SocketWorld() {
 }
 
 std::vector<Bytes> SocketWorld::run_collect(const CollectRankFn& fn) {
+  return run_collect_fab(
+      [&fn](mpi::Comm& world, sim::Actor& self, fabric::SocketFabric&) {
+        return fn(world, self);
+      });
+}
+
+std::vector<Bytes> SocketWorld::run_collect_fab(const CollectFabricRankFn& fn) {
   LCMPI_CHECK(!ran_, "a SocketWorld can run only once");
   ran_ = true;
   const int n = nranks_;
@@ -319,7 +328,7 @@ std::vector<Bytes> SocketWorld::run_collect(const CollectRankFn& fn) {
       sim::Actor::BindScope bind(actor.get());
       mpi::Engine engine(fab.endpoint(r), *actor, engine_cfg_);
       mpi::Comm world = mpi::Comm::world(engine);
-      result = fn(world, *actor);
+      result = fn(world, *actor, fab);
     } catch (const fabric::FabricError& e) {
       status = kRankFabricError;
       result = str_bytes(e.what());
@@ -348,23 +357,85 @@ std::vector<Bytes> SocketWorld::run_collect(const CollectRankFn& fn) {
     p[1] = -1;
   }
 
+  // Harvest result records with poll() over ALL pipes at once, not
+  // rank-by-rank: connections are lazy, so a rank that dies before ever
+  // dialing anyone is invisible to its peers' fabrics — a blocked
+  // receiver would hang forever. The launcher is the only party that
+  // always notices (the result pipe EOFs recordless); when it does, it
+  // grants the survivors a short grace to surface their own errors, then
+  // SIGKILLs the stragglers and reports the ORIGINAL death — ranks the
+  // launcher reaped are casualties, not causes.
   std::vector<Bytes> results(static_cast<std::size_t>(n));
   std::vector<std::uint8_t> statuses(static_cast<std::size_t>(n), kRankOk);
   std::vector<bool> have_record(static_cast<std::size_t>(n), false);
-  for (int r = 0; r < n; ++r) {
-    const int fd = pipes[static_cast<std::size_t>(r)][0];
-    std::uint8_t status = kRankOk;
-    std::uint32_t len = 0;
-    if (pipe_read_all(fd, &status, sizeof status) &&
-        pipe_read_all(fd, &len, sizeof len)) {
-      Bytes body(len);
-      if (len == 0 || pipe_read_all(fd, body.data(), len)) {
-        have_record[static_cast<std::size_t>(r)] = true;
-        statuses[static_cast<std::size_t>(r)] = status;
-        results[static_cast<std::size_t>(r)] = std::move(body);
+  std::vector<bool> launcher_killed(static_cast<std::size_t>(n), false);
+  int first_hard = -1;  // lowest rank that died recordless on its own
+  int remaining = n;
+  bool grace_armed = false;
+  std::chrono::steady_clock::time_point grace_deadline{};
+  std::vector<pollfd> pfds;
+  std::vector<int> pfd_rank;
+  while (remaining > 0) {
+    pfds.clear();
+    pfd_rank.clear();
+    for (int r = 0; r < n; ++r) {
+      const int fd = pipes[static_cast<std::size_t>(r)][0];
+      if (fd < 0) continue;
+      pfds.push_back({fd, POLLIN, 0});
+      pfd_rank.push_back(r);
+    }
+    int timeout = -1;
+    if (grace_armed) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          grace_deadline - std::chrono::steady_clock::now());
+      timeout = left.count() > 0 ? static_cast<int>(left.count()) : 0;
+    }
+    const int rc = ::poll(pfds.data(), pfds.size(), timeout);
+    if (rc < 0) {
+      LCMPI_CHECK(errno == EINTR, "poll() over result pipes failed");
+      continue;
+    }
+    if (rc == 0) {
+      // Grace expired with ranks still running: they are wedged on the
+      // dead peer (or each other). Reap them; their pipes EOF below.
+      for (int r = 0; r < n; ++r) {
+        if (pipes[static_cast<std::size_t>(r)][0] < 0) continue;
+        (void)::kill(pids[static_cast<std::size_t>(r)], SIGKILL);
+        launcher_killed[static_cast<std::size_t>(r)] = true;
+      }
+      grace_armed = false;  // subsequent polls just wait for the EOFs
+      continue;
+    }
+    for (std::size_t i = 0; i < pfds.size(); ++i) {
+      if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      const int r = pfd_rank[i];
+      const int fd = pfds[i].fd;
+      // The record may span the pipe's capacity; the child is actively
+      // writing it, so finishing the read blockingly is bounded.
+      std::uint8_t status = kRankOk;
+      std::uint32_t len = 0;
+      if (pipe_read_all(fd, &status, sizeof status) &&
+          pipe_read_all(fd, &len, sizeof len)) {
+        Bytes body(len);
+        if (len == 0 || pipe_read_all(fd, body.data(), len)) {
+          have_record[static_cast<std::size_t>(r)] = true;
+          statuses[static_cast<std::size_t>(r)] = status;
+          results[static_cast<std::size_t>(r)] = std::move(body);
+        }
+      }
+      ::close(fd);
+      pipes[static_cast<std::size_t>(r)][0] = -1;
+      remaining--;
+      if (!have_record[static_cast<std::size_t>(r)] &&
+          !launcher_killed[static_cast<std::size_t>(r)]) {
+        if (first_hard < 0 || r < first_hard) first_hard = r;
+        if (!grace_armed && remaining > 0) {
+          grace_armed = true;
+          grace_deadline =
+              std::chrono::steady_clock::now() + std::chrono::seconds(2);
+        }
       }
     }
-    ::close(fd);
   }
 
   std::vector<int> wait_status(static_cast<std::size_t>(n), 0);
@@ -380,16 +451,19 @@ std::vector<Bytes> SocketWorld::run_collect(const CollectRankFn& fn) {
                           std::chrono::steady_clock::now() - t0)
                           .count()};
 
-  // Lowest failing rank wins, mirroring ThreadsWorld's rethrow order.
+  // Lowest failing rank wins, mirroring ThreadsWorld's rethrow order. A
+  // recordless rank the LAUNCHER killed is a casualty of the grace-kill,
+  // not a cause: name the first rank that died on its own instead.
   for (int r = 0; r < n; ++r) {
     const auto i = static_cast<std::size_t>(r);
     if (!have_record[i]) {
-      const int ws = wait_status[i];
+      const int culprit = launcher_killed[i] && first_hard >= 0 ? first_hard : r;
+      const int ws = wait_status[static_cast<std::size_t>(culprit)];
       std::string how = WIFSIGNALED(ws)
                             ? "killed by signal " + std::to_string(WTERMSIG(ws))
                             : "exited with status " +
                                   std::to_string(WIFEXITED(ws) ? WEXITSTATUS(ws) : -1);
-      throw fabric::FabricError("rank " + std::to_string(r) +
+      throw fabric::FabricError("rank " + std::to_string(culprit) +
                                 " died without reporting (" + how + ")");
     }
     const std::string what(reinterpret_cast<const char*>(results[i].data()),

@@ -157,16 +157,26 @@ Duration run_threads(int nranks, const RankFn& fn,
 /// separate process and writes to captured variables die with the child.
 using CollectRankFn = std::function<Bytes(mpi::Comm& world, sim::Actor& self)>;
 
+/// As CollectRankFn, with the rank's live SocketFabric exposed — the hook
+/// scale tests and benchmarks use to ship per-rank fabric::Stats (fd
+/// gauges, lazy-dial counters) back across the process boundary.
+using CollectFabricRankFn = std::function<Bytes(
+    mpi::Comm& world, sim::Actor& self, fabric::SocketFabric& fab)>;
+
 /// Real execution across PROCESS boundaries: run() forks one child per
 /// rank; each child builds its SocketFabric attachment (rank-0 rendezvous
-/// over AF_UNIX or AF_INET loopback, full mesh, nonblocking data phase)
-/// and runs the unchanged engine + RankFn. The launcher harvests one
-/// result record per rank over a pipe, reaps every child, and propagates
-/// failure: a rank that threw reports its message (FabricError kept as
-/// FabricError — the peer-death path), a rank that died without a record
-/// is named by exit status or signal. Like ThreadsWorld, a SocketWorld
-/// runs only once (second run() throws std::logic_error) and run()
-/// returns elapsed wall-clock time.
+/// over AF_UNIX or AF_INET loopback, lazy per-pair connections dialed on
+/// first send) and runs the unchanged engine + RankFn. The launcher
+/// harvests one result record per rank over a pipe — poll()ing all pipes
+/// at once, because a rank that dies before ever connecting is invisible
+/// to its peers' fabrics: on a recordless pipe EOF the launcher grants
+/// the survivors a short grace to report their own errors, then SIGKILLs
+/// the wedged stragglers and names the original death. Failure
+/// propagation otherwise: a rank that threw reports its message
+/// (FabricError kept as FabricError — the peer-death path), a rank that
+/// died without a record is named by exit status or signal. Like
+/// ThreadsWorld, a SocketWorld runs only once (second run() throws
+/// std::logic_error) and run() returns elapsed wall-clock time.
 class SocketWorld {
  public:
   explicit SocketWorld(int nranks, fabric::SocketFabric::Options opt = {},
@@ -193,6 +203,9 @@ class SocketWorld {
 
   /// As run(), but returns each rank's result bytes (index = rank).
   std::vector<Bytes> run_collect(const CollectRankFn& fn);
+
+  /// As run_collect(), additionally handing `fn` the rank's SocketFabric.
+  std::vector<Bytes> run_collect_fab(const CollectFabricRankFn& fn);
 
  private:
   int nranks_;

@@ -106,6 +106,30 @@ TEST(ProfileTest, ActorReportFormatsKernelCounters) {
   }
 }
 
+TEST(ProfileTest, FabricReportFormatsScaleGauges) {
+  // SocketFabric: every counter — traffic, stalls, and the lazy-scale
+  // gauges (fds_open, pairs_connected, lazy_dials, epoll_wakeups) — gets
+  // a row, so a scaling harness can dump one table per rank.
+  fabric::SocketFabric::Stats ss;
+  ss.fds_open = 5;
+  ss.pairs_connected = 2;
+  ss.lazy_dials = 2;
+  ss.epoll_wakeups = 40;
+  EXPECT_EQ(fabric_report(ss).rows(), 19u);
+
+  // ShmFabric: live counters from a real mux-mode run.
+  fabric::ShmFabric::Options opt;
+  opt.mux = true;
+  runtime::ThreadsWorld w(2, opt);
+  w.run([](Comm& c, sim::Actor&) {
+    std::int32_t v = c.rank(), sum = 0;
+    c.allreduce(&v, &sum, 1, Datatype::int32_type(), Op::kSum);
+  });
+  const fabric::ShmFabric::Stats ts = w.fabric().stats();
+  EXPECT_GT(ts.mux_msgs, 0u);
+  EXPECT_EQ(fabric_report(ts).rows(), 8u);
+}
+
 TEST(ProfileTest, ReportListsNonEmptyRowsOnly) {
   Profiler p;
   p.record(CallKind::kSend, microseconds(10), 64);

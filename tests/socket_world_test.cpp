@@ -15,6 +15,7 @@
 
 #include "src/capi/mpi.h"
 #include "src/runtime/world.h"
+#include "src/util/bytes.h"
 #include "tests/world_conformance.h"
 
 namespace lcmpi {
@@ -95,6 +96,112 @@ TEST(SocketWorldConformance, InetLoopbackPingPong) {
   fabric::SocketFabric::Options opt;
   opt.domain = fabric::SocketFabric::Domain::kInet;
   conform(2, pingpong_program, opt);
+}
+
+// --------------------------------------------------------- scale battery
+//
+// The lazy-connection story: a pair that never exchanges a message costs
+// zero fds and zero dials, so sparse communication graphs scale past the
+// O(N) fd budget a full mesh would burn per rank. Stats cross the process
+// boundary via run_collect_fab.
+
+/// Per-rank scale gauges shipped back over the launcher pipe.
+struct ScaleStats {
+  std::uint64_t pairs_connected = 0;
+  std::uint64_t fds_open = 0;
+  std::uint64_t lazy_dials = 0;
+
+  [[nodiscard]] Bytes serialize() const {
+    Bytes b;
+    ByteWriter w(b);
+    w.put(pairs_connected);
+    w.put(fds_open);
+    w.put(lazy_dials);
+    return b;
+  }
+  static ScaleStats deserialize(const Bytes& b) {
+    ByteReader r(b);
+    ScaleStats s;
+    s.pairs_connected = r.get<std::uint64_t>();
+    s.fds_open = r.get<std::uint64_t>();
+    s.lazy_dials = r.get<std::uint64_t>();
+    return s;
+  }
+};
+
+std::vector<ScaleStats> run_scale(int nranks, const runtime::RankFn& fn,
+                                  fabric::SocketFabric::Options opt = {}) {
+  runtime::SocketWorld world(nranks, opt);
+  const std::vector<Bytes> raw = world.run_collect_fab(
+      [&fn](mpi::Comm& comm, sim::Actor& self, fabric::SocketFabric& fab) {
+        fn(comm, self);
+        ScaleStats s;
+        s.pairs_connected = fab.stats().pairs_connected;
+        s.fds_open = fab.stats().fds_open;
+        s.lazy_dials = fab.stats().lazy_dials;
+        return s.serialize();
+      });
+  std::vector<ScaleStats> out;
+  out.reserve(raw.size());
+  for (const Bytes& b : raw) out.push_back(ScaleStats::deserialize(b));
+  return out;
+}
+
+TEST(SocketWorldScale, ConformanceN64) {
+  // 64 processes over AF_UNIX. The ring program touches neighbors only,
+  // which is exactly the sparse pattern lazy dialing is built for.
+  conform(64, sendrecv_ring_program);
+}
+
+TEST(SocketWorldScale, ConformanceN128) {
+  conform(128, sendrecv_ring_program);
+}
+
+TEST(SocketWorldScale, LazyDialSilentPairsStayUnconnected) {
+  // Ranks 0<->1 talk; ranks 2 and 3 never send or receive. With lazy
+  // connections their fabrics must end the run with ZERO pairs — no
+  // startup mesh dial ever happened.
+  const std::vector<ScaleStats> stats =
+      run_scale(4, [](mpi::Comm& c, sim::Actor&) {
+        const auto i32 = Datatype::int32_type();
+        if (c.rank() >= 2) return;  // silent
+        std::int32_t v = 7;
+        if (c.rank() == 0) {
+          c.send(&v, 1, i32, 1, 1);
+          c.recv(&v, 1, i32, 1, 2);
+        } else {
+          c.recv(&v, 1, i32, 0, 1);
+          c.send(&v, 1, i32, 0, 2);
+        }
+      });
+  EXPECT_EQ(stats[0].pairs_connected, 1u);
+  EXPECT_EQ(stats[1].pairs_connected, 1u);
+  EXPECT_EQ(stats[2].pairs_connected, 0u);
+  EXPECT_EQ(stats[3].pairs_connected, 0u);
+  EXPECT_EQ(stats[2].lazy_dials, 0u);
+  EXPECT_EQ(stats[3].lazy_dials, 0u);
+}
+
+TEST(SocketWorldScale, RingConnectsNeighborsOnlyFdsSublinear) {
+  // An 8-rank neighbor exchange: every rank talks to exactly two peers,
+  // so pairs_connected == 2 and the fd gauge stays O(degree), not O(N).
+  constexpr int kN = 8;
+  const std::vector<ScaleStats> stats =
+      run_scale(kN, [](mpi::Comm& c, sim::Actor&) {
+        const auto i32 = Datatype::int32_type();
+        const int right = (c.rank() + 1) % c.size();
+        const int left = (c.rank() + c.size() - 1) % c.size();
+        std::int32_t out = c.rank(), in = -1;
+        c.sendrecv(&out, 1, i32, right, 9, &in, 1, i32, left, 9);
+        if (in != left) throw std::runtime_error("ring payload mismatch");
+      });
+  for (int r = 0; r < kN; ++r) {
+    EXPECT_EQ(stats[static_cast<std::size_t>(r)].pairs_connected, 2u)
+        << "rank " << r;
+    // Budget: epoll + listener + 2 control links (+ cross-dial doubles) +
+    // possible bulk sockets. Far below the 2*(N-1)+2 a full mesh needs.
+    EXPECT_LE(stats[static_cast<std::size_t>(r)].fds_open, 10u) << "rank " << r;
+  }
 }
 
 // ------------------------------------------------- bulk-data-plane battery

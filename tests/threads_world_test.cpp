@@ -133,6 +133,96 @@ TEST(ThreadsWorldTest, DirectBulkHandoffCountsTransfers) {
   EXPECT_EQ(s.bulk_bytes, std::uint64_t{1} << 20);
 }
 
+TEST(ThreadsWorldConformance, MuxModeBattery) {
+  // Multiplexed mode: every sender shares the receiver's MPMC ring until
+  // promotion. Same observable behavior as the dedicated-ring default
+  // across the whole program battery.
+  fabric::ShmFabric::Options opt;
+  opt.mux = true;
+  conform(2, pingpong_program, opt);
+  conform(4, wildcard_gather_program, opt);
+  conform(4, nonblocking_program, opt);
+  conform(4, sendrecv_ring_program, opt);
+  conform(4, collectives_program, opt);
+  conform(2, credit_exhaustion_program, opt);
+  conform(2, mixed_traffic_program, opt);
+  conform(2, truncation_program, opt);
+}
+
+TEST(ThreadsWorldConformance, MuxModePromotionCrossover) {
+  // A threshold low enough that chatty pairs promote mid-program: traffic
+  // must stay FIFO across the mux-ring -> dedicated-ring switch.
+  fabric::ShmFabric::Options opt;
+  opt.mux = true;
+  opt.mux_promote_after = 4;
+  conform(2, pingpong_program, opt);
+  conform(4, nonblocking_program, opt);
+  conform(2, credit_exhaustion_program, opt);
+}
+
+TEST(ThreadsWorldConformance, MuxModeTinyRings) {
+  // Backpressure through a full shared MPMC ring (several producers
+  // parked on one pad) and through tiny promoted rings.
+  fabric::ShmFabric::Options opt;
+  opt.mux = true;
+  opt.mux_ring_slots = 8;
+  opt.ring_slots = 8;
+  opt.mux_promote_after = 4;
+  conform(4, nonblocking_program, opt);
+  conform(2, credit_exhaustion_program, opt);
+}
+
+TEST(ThreadsWorldTest, MuxStatsReportPromotionAndSharedTraffic) {
+  fabric::ShmFabric::Options opt;
+  opt.mux = true;
+  opt.mux_promote_after = 4;
+  runtime::ThreadsWorld world(2, opt);
+  world.run([](mpi::Comm& c, sim::Actor&) {
+    const auto i32 = Datatype::int32_type();
+    for (int i = 0; i < 50; ++i) {
+      std::int32_t v = i;
+      if (c.rank() == 0) {
+        c.send(&v, 1, i32, 1, 1);
+        c.recv(&v, 1, i32, 1, 2);
+      } else {
+        std::int32_t in = 0;
+        c.recv(&in, 1, i32, 0, 1);
+        c.send(&in, 1, i32, 0, 2);
+      }
+    }
+  });
+  const fabric::ShmFabric::Stats s = world.fabric().stats();
+  // 50 round trips >> threshold 4: both directions promoted, and each
+  // direction put exactly `threshold` messages through the shared ring.
+  EXPECT_EQ(s.promoted_pairs, 2u);
+  EXPECT_EQ(s.mux_pairs, 0u);
+  EXPECT_EQ(s.mux_msgs, 8u);
+  EXPECT_GE(s.messages, 100u);
+}
+
+TEST(ThreadsWorldTest, MuxQuietPairsNeverPromote) {
+  fabric::ShmFabric::Options opt;
+  opt.mux = true;  // default threshold 64 >> the 2 messages sent per pair
+  runtime::ThreadsWorld world(4, opt);
+  world.run([](mpi::Comm& c, sim::Actor&) {
+    const auto i32 = Datatype::int32_type();
+    std::int32_t v = c.rank();
+    // One neighbor exchange: every pair stays far below the threshold.
+    const int peer = c.rank() ^ 1;
+    if (c.rank() < peer) {
+      c.send(&v, 1, i32, peer, 3);
+      c.recv(&v, 1, i32, peer, 4);
+    } else {
+      c.recv(&v, 1, i32, peer, 3);
+      c.send(&v, 1, i32, peer, 4);
+    }
+  });
+  const fabric::ShmFabric::Stats s = world.fabric().stats();
+  EXPECT_EQ(s.promoted_pairs, 0u);
+  EXPECT_EQ(s.mux_pairs, 4u);  // 0<->1 and 2<->3, both directions
+  EXPECT_GT(s.mux_msgs, 0u);
+}
+
 TEST(ThreadsWorldConformance, WholeBatteryBackToBack) {
   // One world per program, all shapes again at 3 ranks where applicable —
   // catches size-dependent assumptions (ring arithmetic, tree collectives).
