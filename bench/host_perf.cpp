@@ -12,7 +12,7 @@
 //   --quick  ~10x fewer iterations (CI smoke mode)
 //   --out    JSON output path (default: BENCH_host.json in the cwd)
 //
-// JSON schema (lcmpi-host-perf-v8):
+// JSON schema (lcmpi-host-perf-v9):
 //   matching[]   — ns/match for bucketed vs linear posted + unexpected
 //                  queues at several steady-state depths, with speedups
 //   event_kernel — callback-event dispatch and timer borrow/cancel/release
@@ -38,6 +38,15 @@
 //                  ping-pong over ThreadsWorld/ShmFabric. The process
 //                  exits nonzero if the ring delivers < 5x the mutex
 //                  channel's msgs/sec.
+//   rma          — REAL one-sided numbers over ThreadsWorld/ShmFabric: the
+//                  amortized cost of a small MPI_Put on the DIRECT strategy
+//                  (epochs of 1024 back-to-back 8 B puts, fence included in
+//                  the division) next to the empty-epoch fence cost, gated
+//                  against the two-sided 8 B eager ping-pong RTT measured in
+//                  the same run. A direct put is one store into the target's
+//                  window, so its amortized cost must undercut the full
+//                  send/recv round trip; the process exits nonzero if it
+//                  does not.
 //   socket_world — REAL multi-process numbers: a 2-rank MPI ping-pong over
 //                  SocketWorld (one forked process per rank, kernel stream
 //                  sockets), once per domain (AF_UNIX and AF_INET loopback).
@@ -96,6 +105,7 @@
 #include "src/core/matching.h"
 #include "src/core/matching_ref.h"
 #include "src/core/profile.h"
+#include "src/core/win.h"
 #include "src/inet/cluster.h"
 #include "src/inet/tcp.h"
 #include "src/runtime/world.h"
@@ -646,6 +656,69 @@ ThreadsWorldResult threads_world_point(bool quick) {
       static_cast<double>(2 * rounds) / (static_cast<double>(wall.ns) / 1e9);
   r.mpi_stats = world.fabric().stats();
   r.meets_bar = r.throughput_speedup >= 5.0;
+  return r;
+}
+
+// --- one-sided RMA -----------------------------------------------------------
+//
+// The window layer's whole pitch on shared memory is that a Put is a store:
+// no envelope, no matching, no target-side progress. This point prices that
+// claim with wall clocks. Two ranks, one 64 B window each, epochs of 1024
+// back-to-back 8-byte puts into the peer's half (disjoint per-origin slots,
+// per the §6i conflict rules) closed by a fence; the amortized per-put cost
+// divides the fence in. A second fence-only run prices the empty epoch so
+// the two components can be read separately. The gate compares against the
+// two-sided 8 B eager ping-pong RTT from the SAME harness run: one-sided
+// must undercut the round trip it replaces.
+
+struct RmaResult {
+  std::uint64_t puts_per_epoch = 0, epochs = 0;
+  double put_usec_amortized = 0;  // wall / (epochs * puts), fences included
+  double fence_usec = 0;          // empty-epoch fence, wall / epochs
+  double eager_rtt_usec = 0;      // same-run two-sided floor
+  bool direct = false;            // the window committed to the DIRECT strategy
+  bool meets_bar = false;         // put_usec_amortized <= eager_rtt_usec
+};
+
+RmaResult rma_point(bool quick, double eager_rtt_usec) {
+  RmaResult r;
+  r.puts_per_epoch = 1024;
+  r.epochs = quick ? 20 : 200;
+  r.eager_rtt_usec = eager_rtt_usec;
+
+  bool direct = true;
+  {
+    runtime::ThreadsWorld world(2);
+    const Duration wall = world.run([&r, &direct](mpi::Comm& c, sim::Actor&) {
+      const auto byte = mpi::Datatype::byte_type();
+      unsigned char wbuf[64] = {0};
+      unsigned char src[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+      mpi::Win win(c, wbuf, sizeof wbuf, 1);
+      if (c.rank() == 0) direct = win.direct_mode();
+      const int peer = 1 - c.rank();
+      const std::int64_t disp = c.rank() * 8;  // my slot on the peer
+      for (std::uint64_t e = 0; e < r.epochs; ++e) {
+        for (std::uint64_t i = 0; i < r.puts_per_epoch; ++i)
+          win.put(src, 8, byte, peer, disp, 8, byte);
+        win.fence();
+      }
+      win.free();
+    });
+    r.put_usec_amortized = static_cast<double>(wall.ns) / 1e3 /
+                           static_cast<double>(r.epochs * r.puts_per_epoch);
+  }
+  {
+    runtime::ThreadsWorld world(2);
+    const Duration wall = world.run([&r](mpi::Comm& c, sim::Actor&) {
+      unsigned char wbuf[64] = {0};
+      mpi::Win win(c, wbuf, sizeof wbuf, 1);
+      for (std::uint64_t e = 0; e < r.epochs; ++e) win.fence();
+      win.free();
+    });
+    r.fence_usec = static_cast<double>(wall.ns) / 1e3 / static_cast<double>(r.epochs);
+  }
+  r.direct = direct;
+  r.meets_bar = r.direct && r.put_usec_amortized <= r.eager_rtt_usec;
   return r;
 }
 
@@ -1241,7 +1314,8 @@ void write_json(const std::string& path, bool quick,
                 const EventKernelNumbers& ek, const SchedResult& sched,
                 const ActorResult& actors,
                 const std::vector<ClusterPoint>& cluster,
-                const ThreadsWorldResult& tw, const SocketWorldResult& sw,
+                const ThreadsWorldResult& tw, const RmaResult& rma,
+                const SocketWorldResult& sw,
                 const SocketScaleResult& scale, const BulkPlaneResult& bp,
                 const CollectivesResult& coll, const EndToEnd& e2e) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -1249,7 +1323,7 @@ void write_json(const std::string& path, bool quick,
     std::fprintf(stderr, "host_perf: cannot open %s\n", path.c_str());
     std::exit(1);
   }
-  std::fprintf(f, "{\n  \"schema\": \"lcmpi-host-perf-v8\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"lcmpi-host-perf-v9\",\n");
   std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
   std::fprintf(f, "  \"matching\": [\n");
   for (std::size_t i = 0; i < pts.size(); ++i) {
@@ -1349,6 +1423,14 @@ void write_json(const std::string& path, bool quick,
                static_cast<unsigned long long>(tw.mpi_stats.messages),
                static_cast<unsigned long long>(tw.mpi_stats.full_parks),
                static_cast<unsigned long long>(tw.mpi_stats.idle_parks));
+  std::fprintf(f,
+               "  \"rma\": {\"puts_per_epoch\": %llu, \"epochs\": %llu, "
+               "\"put_usec_amortized\": %.3f, \"fence_usec\": %.2f, "
+               "\"eager_rtt_usec\": %.2f, \"direct\": %s, \"meets_bar\": %s},\n",
+               static_cast<unsigned long long>(rma.puts_per_epoch),
+               static_cast<unsigned long long>(rma.epochs),
+               rma.put_usec_amortized, rma.fence_usec, rma.eager_rtt_usec,
+               rma.direct ? "true" : "false", rma.meets_bar ? "true" : "false");
   const auto sweep_json = [f](const char* name, const std::vector<BulkSweepPoint>& v,
                               const BulkFit& fit) {
     std::fprintf(f, "    \"%s_sweep\": [", name);
@@ -1569,6 +1651,19 @@ int run(int argc, char** argv) {
   std::printf("threads-world bar (ring >= 5x mutex channel msgs/sec): %s\n",
               tw.meets_bar ? "PASS" : "FAIL");
 
+  std::printf("\nhost_perf: one-sided RMA (ThreadsWorld direct strategy, "
+              "wall clock)\n");
+  const RmaResult rma = rma_point(quick, tw.mpi_usec_per_rtt);
+  std::printf("  put 8 B amortized (%llu puts/epoch x %llu epochs, fences "
+              "in): %.3f us/put | empty fence: %.2f us | strategy: %s\n",
+              static_cast<unsigned long long>(rma.puts_per_epoch),
+              static_cast<unsigned long long>(rma.epochs),
+              rma.put_usec_amortized, rma.fence_usec,
+              rma.direct ? "direct" : "message");
+  std::printf("rma bar (amortized shm put <= %.2f us two-sided eager rtt): "
+              "%s\n",
+              rma.eager_rtt_usec, rma.meets_bar ? "PASS" : "FAIL");
+
   std::printf("\nhost_perf: socket world (one process per rank, kernel "
               "sockets, whole-launch wall clock)\n");
   const SocketWorldResult sw = socket_world_point(quick);
@@ -1663,12 +1758,12 @@ int run(int argc, char** argv) {
   std::printf("  virtual: %.3f ms, host: %.3f s -> %.1f sim-ms/host-s\n",
               e2e.virtual_ms, e2e.host_s, e2e.sim_ms_per_host_s);
 
-  write_json(out, quick, pts, ek, sched, actors, cluster, tw, sw, scale, bp,
-             coll, e2e);
+  write_json(out, quick, pts, ek, sched, actors, cluster, tw, rma, sw, scale,
+             bp, coll, e2e);
   std::printf("\nwrote %s\n", out.c_str());
-  return meets_bar && sched_ok && actor_ok && tw.meets_bar && sw.meets_bar &&
-                 scale.fds_bar && bp.bandwidth_bar && bp.isolation_bar &&
-                 coll.auto_bar && coll.hw_bar
+  return meets_bar && sched_ok && actor_ok && tw.meets_bar && rma.meets_bar &&
+                 sw.meets_bar && scale.fds_bar && bp.bandwidth_bar &&
+                 bp.isolation_bar && coll.auto_bar && coll.hw_bar
              ? 0
              : 1;
 }

@@ -1,50 +1,39 @@
 // Example: 2-D heat diffusion on a Cartesian process grid.
 //
-// Uses the virtual-topology API (MPI_Cart-style): dims_create factors the
-// world into a 2-D grid, cart_shift finds the four neighbours (PROC_NULL
-// at the edges), and each time step exchanges row/column halos — columns
-// travel as a strided vector datatype, exercising non-contiguous
-// communication end to end. Verified against a serial run.
+// Thin wrapper over apps::heat2d_parallel (src/apps/heat2d.h). The halo
+// exchange runs either two-sided (isend/recv pairs, the MPI-1 form) or
+// one-sided (MPI-2 window of halo landing strips: fence / Put / fence) —
+// both produce bit-identical grids, verified here against a serial run.
 //
-//   ./heat2d_cart [n] [steps] [procs]
+//   ./heat2d_cart [n] [steps] [procs] [two-sided|one-sided]
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <vector>
 
+#include "src/apps/heat2d.h"
 #include "src/core/cart.h"
 #include "src/runtime/world.h"
 
 using namespace lcmpi;
 
-namespace {
-
-std::vector<double> serial_heat2d(std::vector<double> u, int n, int steps, double alpha) {
-  std::vector<double> next(u.size());
-  auto at = [&](const std::vector<double>& g, int r, int c) {
-    if (r < 0 || r >= n || c < 0 || c >= n) return 0.0;
-    return g[static_cast<std::size_t>(r) * static_cast<std::size_t>(n) +
-             static_cast<std::size_t>(c)];
-  };
-  for (int s = 0; s < steps; ++s) {
-    for (int r = 0; r < n; ++r)
-      for (int c = 0; c < n; ++c)
-        next[static_cast<std::size_t>(r) * static_cast<std::size_t>(n) +
-             static_cast<std::size_t>(c)] =
-            at(u, r, c) + alpha * (at(u, r - 1, c) + at(u, r + 1, c) + at(u, r, c - 1) +
-                                   at(u, r, c + 1) - 4 * at(u, r, c));
-    u.swap(next);
-  }
-  return u;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   const int n = argc > 1 ? std::atoi(argv[1]) : 48;
   const int steps = argc > 2 ? std::atoi(argv[2]) : 20;
   const int procs = argc > 3 ? std::atoi(argv[3]) : 4;
+  const char* mode_arg = argc > 4 ? argv[4] : "two-sided";
   const double alpha = 0.15;
+
+  apps::HaloMode mode;
+  if (std::strcmp(mode_arg, "two-sided") == 0) {
+    mode = apps::HaloMode::kTwoSided;
+  } else if (std::strcmp(mode_arg, "one-sided") == 0) {
+    mode = apps::HaloMode::kOneSided;
+  } else {
+    std::fprintf(stderr, "unknown halo mode '%s' (want two-sided|one-sided)\n", mode_arg);
+    return 2;
+  }
 
   const std::vector<int> dims = mpi::dims_create(procs, 2);
   if (n % dims[0] != 0 || n % dims[1] != 0) {
@@ -54,100 +43,25 @@ int main(int argc, char** argv) {
 
   std::vector<double> initial(static_cast<std::size_t>(n) * n, 0.0);
   initial[static_cast<std::size_t>(n / 2) * n + n / 2] = 1000.0;
-  const std::vector<double> want = serial_heat2d(initial, n, steps, alpha);
+  const std::vector<double> want = apps::heat2d_serial(initial, n, steps, alpha);
 
-  std::vector<double> got(want.size(), 0.0);
+  std::vector<double> got;
   runtime::MeikoWorld world(procs);
   const Duration t = world.run([&](mpi::Comm& comm, sim::Actor&) {
-    auto cart = mpi::CartComm::create(comm, dims, {false, false});
-    if (!cart) return;
-    mpi::Comm& cc = cart->comm();
-    const auto coords = cart->my_coords();
-    const int rows = n / dims[0];
-    const int cols = n / dims[1];
-    const int row0 = coords[0] * rows;
-    const int col0 = coords[1] * cols;
-    auto dt = mpi::Datatype::double_type();
-    const int stride = cols + 2;
-    // One local column, including ghost rows stripped: `rows` doubles
-    // strided by the padded row length.
-    auto col_type = mpi::Datatype::vector(rows, 1, stride, dt);
-
-    // Local block padded with a one-cell halo on each side.
-    std::vector<double> u(static_cast<std::size_t>(rows + 2) * static_cast<std::size_t>(stride), 0.0);
-    std::vector<double> next(u.size(), 0.0);
-    auto idx = [&](int r, int c) {
-      return static_cast<std::size_t>(r) * static_cast<std::size_t>(stride) +
-             static_cast<std::size_t>(c);
-    };
-    for (int r = 0; r < rows; ++r)
-      for (int c = 0; c < cols; ++c)
-        u[idx(r + 1, c + 1)] =
-            initial[static_cast<std::size_t>(row0 + r) * n + (col0 + c)];
-
-    const auto v = cart->shift(0, 1);   // vertical: source above, dest below
-    const auto h = cart->shift(1, 1);   // horizontal: source left, dest right
-
-    for (int s = 0; s < steps; ++s) {
-      std::vector<mpi::Request> reqs;
-      // Rows are contiguous; columns use the strided datatype.
-      reqs.push_back(cc.isend(&u[idx(rows, 1)], cols, dt, v.dest, 0));
-      reqs.push_back(cc.isend(&u[idx(1, 1)], cols, dt, v.source, 1));
-      reqs.push_back(cc.isend(&u[idx(1, cols)], 1, col_type, h.dest, 2));
-      reqs.push_back(cc.isend(&u[idx(1, 1)], 1, col_type, h.source, 3));
-      cc.recv(&u[idx(0, 1)], cols, dt, v.source, 0);
-      cc.recv(&u[idx(rows + 1, 1)], cols, dt, v.dest, 1);
-      cc.recv(&u[idx(1, 0)], 1, col_type, h.source, 2);
-      cc.recv(&u[idx(1, cols + 1)], 1, col_type, h.dest, 3);
-      cc.wait_all(reqs);
-      // Edges bordering PROC_NULL keep their zero halos (fixed boundary).
-      if (v.source == mpi::kProcNull)
-        for (int c = 0; c <= cols + 1; ++c) u[idx(0, c)] = 0.0;
-      if (v.dest == mpi::kProcNull)
-        for (int c = 0; c <= cols + 1; ++c) u[idx(rows + 1, c)] = 0.0;
-      if (h.source == mpi::kProcNull)
-        for (int r = 0; r <= rows + 1; ++r) u[idx(r, 0)] = 0.0;
-      if (h.dest == mpi::kProcNull)
-        for (int r = 0; r <= rows + 1; ++r) u[idx(r, cols + 1)] = 0.0;
-
-      for (int r = 1; r <= rows; ++r)
-        for (int c = 1; c <= cols; ++c)
-          next[idx(r, c)] = u[idx(r, c)] + alpha * (u[idx(r - 1, c)] + u[idx(r + 1, c)] +
-                                                    u[idx(r, c - 1)] + u[idx(r, c + 1)] -
-                                                    4 * u[idx(r, c)]);
-      std::swap(u, next);
-    }
-
-    // Gather blocks back to rank 0 via variable-displacement sends.
-    std::vector<double> block(static_cast<std::size_t>(rows) * cols);
-    for (int r = 0; r < rows; ++r)
-      for (int c = 0; c < cols; ++c)
-        block[static_cast<std::size_t>(r) * cols + c] = u[idx(r + 1, c + 1)];
-    if (cc.rank() == 0) {
-      auto place = [&](int rank, const std::vector<double>& b) {
-        const auto rc = cart->coords(rank);
-        for (int r = 0; r < rows; ++r)
-          for (int c = 0; c < cols; ++c)
-            got[static_cast<std::size_t>(rc[0] * rows + r) * n + (rc[1] * cols + c)] =
-                b[static_cast<std::size_t>(r) * cols + c];
-      };
-      place(0, block);
-      std::vector<double> other(block.size());
-      for (int src = 1; src < cc.size(); ++src) {
-        mpi::Status st = cc.recv(other.data(), static_cast<int>(other.size()), dt,
-                                 mpi::kAnySource, 9);
-        place(st.source, other);
-      }
-    } else {
-      cc.send(block.data(), static_cast<int>(block.size()), dt, 0, 9);
-    }
+    auto mine = apps::heat2d_parallel(comm, dims, initial, n, steps, alpha, mode);
+    if (!mine.empty()) got = std::move(mine);
   });
 
+  if (got.size() != want.size()) {
+    std::fprintf(stderr, "no assembled grid came back from rank 0\n");
+    return 1;
+  }
   double max_err = 0.0;
   for (std::size_t i = 0; i < want.size(); ++i)
     max_err = std::max(max_err, std::abs(got[i] - want[i]));
-  std::printf("heat2d_cart: %dx%d grid on %dx%d ranks, %d steps -> %s, max error %.2e %s\n",
-              n, n, dims[0], dims[1], steps, to_string(t).c_str(), max_err,
-              max_err < 1e-9 ? "(correct)" : "(WRONG)");
+  std::printf(
+      "heat2d_cart: %dx%d grid on %dx%d ranks, %d steps, %s halos -> %s, max error %.2e %s\n",
+      n, n, dims[0], dims[1], steps, mode_arg, to_string(t).c_str(), max_err,
+      max_err < 1e-9 ? "(correct)" : "(WRONG)");
   return max_err < 1e-9 ? 0 : 1;
 }

@@ -1,0 +1,181 @@
+#include "src/apps/heat2d.h"
+
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "src/core/cart.h"
+#include "src/core/win.h"
+
+namespace lcmpi::apps {
+namespace {
+
+/// Offsets (in doubles) of the four halo landing strips inside the
+/// one-sided window: [top cols][bottom cols][left rows][right rows].
+/// Neighbours put the row/column we need directly into our strip; the
+/// strips are contiguous so the target datatype stays contiguous and only
+/// the origin side uses the strided column type.
+struct StripLayout {
+  std::int64_t top, bottom, left, right, total;
+  StripLayout(int rows, int cols)
+      : top(0),
+        bottom(cols),
+        left(2 * static_cast<std::int64_t>(cols)),
+        right(2 * static_cast<std::int64_t>(cols) + rows),
+        total(2 * static_cast<std::int64_t>(cols) + 2 * static_cast<std::int64_t>(rows)) {}
+};
+
+}  // namespace
+
+std::vector<double> heat2d_serial(std::vector<double> u, int n, int steps, double alpha) {
+  std::vector<double> next(u.size());
+  auto at = [&](const std::vector<double>& g, int r, int c) {
+    if (r < 0 || r >= n || c < 0 || c >= n) return 0.0;
+    return g[static_cast<std::size_t>(r) * static_cast<std::size_t>(n) +
+             static_cast<std::size_t>(c)];
+  };
+  for (int s = 0; s < steps; ++s) {
+    for (int r = 0; r < n; ++r)
+      for (int c = 0; c < n; ++c)
+        next[static_cast<std::size_t>(r) * static_cast<std::size_t>(n) +
+             static_cast<std::size_t>(c)] =
+            at(u, r, c) + alpha * (at(u, r - 1, c) + at(u, r + 1, c) + at(u, r, c - 1) +
+                                   at(u, r, c + 1) - 4 * at(u, r, c));
+    u.swap(next);
+  }
+  return u;
+}
+
+std::vector<double> heat2d_parallel(mpi::Comm& comm, const std::vector<int>& dims,
+                                    const std::vector<double>& initial, int n, int steps,
+                                    double alpha, HaloMode mode) {
+  LCMPI_CHECK(dims.size() == 2 && n % dims[0] == 0 && n % dims[1] == 0,
+              "grid does not tile the process mesh");
+  auto cart = mpi::CartComm::create(comm, dims, {false, false});
+  if (!cart) return {};
+  mpi::Comm& cc = cart->comm();
+  const auto coords = cart->my_coords();
+  const int rows = n / dims[0];
+  const int cols = n / dims[1];
+  const int row0 = coords[0] * rows;
+  const int col0 = coords[1] * cols;
+  auto dt = mpi::Datatype::double_type();
+  const int stride = cols + 2;
+  // One local column, ghost rows excluded: `rows` doubles strided by the
+  // padded row length.
+  auto col_type = mpi::Datatype::vector(rows, 1, stride, dt);
+
+  // Local block padded with a one-cell halo on each side.
+  std::vector<double> u(static_cast<std::size_t>(rows + 2) * static_cast<std::size_t>(stride), 0.0);
+  std::vector<double> next(u.size(), 0.0);
+  auto idx = [&](int r, int c) {
+    return static_cast<std::size_t>(r) * static_cast<std::size_t>(stride) +
+           static_cast<std::size_t>(c);
+  };
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c)
+      u[idx(r + 1, c + 1)] =
+          initial[static_cast<std::size_t>(row0 + r) * n + (col0 + c)];
+
+  const auto v = cart->shift(0, 1);  // vertical: source above, dest below
+  const auto h = cart->shift(1, 1);  // horizontal: source left, dest right
+
+  const StripLayout strip(rows, cols);
+  std::vector<double> land;  // one-sided halo landing strips (the window)
+  std::unique_ptr<mpi::Win> win;
+  if (mode == HaloMode::kOneSided) {
+    land.assign(static_cast<std::size_t>(strip.total), 0.0);
+    win = std::make_unique<mpi::Win>(cc, land.data(),
+                                     strip.total * static_cast<std::int64_t>(sizeof(double)),
+                                     static_cast<int>(sizeof(double)));
+  }
+
+  for (int s = 0; s < steps; ++s) {
+    if (mode == HaloMode::kTwoSided) {
+      std::vector<mpi::Request> reqs;
+      // Rows are contiguous; columns use the strided datatype.
+      reqs.push_back(cc.isend(&u[idx(rows, 1)], cols, dt, v.dest, 0));
+      reqs.push_back(cc.isend(&u[idx(1, 1)], cols, dt, v.source, 1));
+      reqs.push_back(cc.isend(&u[idx(1, cols)], 1, col_type, h.dest, 2));
+      reqs.push_back(cc.isend(&u[idx(1, 1)], 1, col_type, h.source, 3));
+      cc.recv(&u[idx(0, 1)], cols, dt, v.source, 0);
+      cc.recv(&u[idx(rows + 1, 1)], cols, dt, v.dest, 1);
+      cc.recv(&u[idx(1, 0)], 1, col_type, h.source, 2);
+      cc.recv(&u[idx(1, cols + 1)], 1, col_type, h.dest, 3);
+      cc.wait_all(reqs);
+      // Edges bordering PROC_NULL keep their zero halos (fixed boundary).
+      if (v.source == mpi::kProcNull)
+        for (int c = 0; c <= cols + 1; ++c) u[idx(0, c)] = 0.0;
+      if (v.dest == mpi::kProcNull)
+        for (int c = 0; c <= cols + 1; ++c) u[idx(rows + 1, c)] = 0.0;
+      if (h.source == mpi::kProcNull)
+        for (int r = 0; r <= rows + 1; ++r) u[idx(r, 0)] = 0.0;
+      if (h.dest == mpi::kProcNull)
+        for (int r = 0; r <= rows + 1; ++r) u[idx(r, cols + 1)] = 0.0;
+    } else {
+      // One epoch of puts: my boundary row/column lands in the strip the
+      // neighbour will unpack into its ghost cells.
+      win->fence();
+      if (v.dest != mpi::kProcNull)
+        win->put(&u[idx(rows, 1)], cols, dt, v.dest, strip.top, cols, dt);
+      if (v.source != mpi::kProcNull)
+        win->put(&u[idx(1, 1)], cols, dt, v.source, strip.bottom, cols, dt);
+      if (h.dest != mpi::kProcNull)
+        win->put(&u[idx(1, cols)], 1, col_type, h.dest, strip.left, rows, dt);
+      if (h.source != mpi::kProcNull)
+        win->put(&u[idx(1, 1)], 1, col_type, h.source, strip.right, rows, dt);
+      win->fence();
+      // Ghosts along PROC_NULL edges stay zero: nothing writes them (the
+      // swapped-in buffer's halo ring is never touched by the stencil).
+      if (v.source != mpi::kProcNull)
+        std::memcpy(&u[idx(0, 1)], &land[static_cast<std::size_t>(strip.top)],
+                    static_cast<std::size_t>(cols) * sizeof(double));
+      if (v.dest != mpi::kProcNull)
+        std::memcpy(&u[idx(rows + 1, 1)], &land[static_cast<std::size_t>(strip.bottom)],
+                    static_cast<std::size_t>(cols) * sizeof(double));
+      if (h.source != mpi::kProcNull)
+        for (int r = 0; r < rows; ++r)
+          u[idx(r + 1, 0)] = land[static_cast<std::size_t>(strip.left + r)];
+      if (h.dest != mpi::kProcNull)
+        for (int r = 0; r < rows; ++r)
+          u[idx(r + 1, cols + 1)] = land[static_cast<std::size_t>(strip.right + r)];
+    }
+
+    for (int r = 1; r <= rows; ++r)
+      for (int c = 1; c <= cols; ++c)
+        next[idx(r, c)] = u[idx(r, c)] + alpha * (u[idx(r - 1, c)] + u[idx(r + 1, c)] +
+                                                  u[idx(r, c - 1)] + u[idx(r, c + 1)] -
+                                                  4 * u[idx(r, c)]);
+    std::swap(u, next);
+  }
+
+  if (win) win->free();
+
+  // Gather blocks back to rank 0 via variable-displacement sends.
+  std::vector<double> block(static_cast<std::size_t>(rows) * cols);
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c)
+      block[static_cast<std::size_t>(r) * cols + c] = u[idx(r + 1, c + 1)];
+  if (cc.rank() != 0) {
+    cc.send(block.data(), static_cast<int>(block.size()), dt, 0, 9);
+    return {};
+  }
+  std::vector<double> out(static_cast<std::size_t>(n) * n, 0.0);
+  auto place = [&](int rank, const std::vector<double>& b) {
+    const auto rc = cart->coords(rank);
+    for (int r = 0; r < rows; ++r)
+      for (int c = 0; c < cols; ++c)
+        out[static_cast<std::size_t>(rc[0] * rows + r) * n + (rc[1] * cols + c)] =
+            b[static_cast<std::size_t>(r) * cols + c];
+  };
+  place(0, block);
+  std::vector<double> other(block.size());
+  for (int src = 1; src < cc.size(); ++src) {
+    mpi::Status st =
+        cc.recv(other.data(), static_cast<int>(other.size()), dt, mpi::kAnySource, 9);
+    place(st.source, other);
+  }
+  return out;
+}
+
+}  // namespace lcmpi::apps

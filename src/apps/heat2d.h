@@ -1,0 +1,38 @@
+// 2-D heat diffusion on a Cartesian process grid.
+//
+// The classic padded-block decomposition: dims_create factors the world
+// into a 2-D grid, cart_shift finds the four neighbours (PROC_NULL at the
+// edges), and each time step exchanges row/column halos before a 5-point
+// stencil update. Columns travel as a strided vector datatype, exercising
+// non-contiguous communication end to end.
+//
+// Two halo-exchange strategies, selectable per run and bit-identical in
+// their results (the differential test in tests/apps_test.cpp pins this):
+//
+//  * kTwoSided — isend/recv pairs per neighbour, the MPI-1 formulation;
+//  * kOneSided — an MPI-2 window of four contiguous halo landing strips
+//    per rank; each step is fence / MPI_Put into the neighbours' strips /
+//    fence / unpack strips into the ghost cells. Origin columns are put
+//    through the strided vector type (packed at the origin); the target
+//    side stays contiguous, as the window layer requires.
+#pragma once
+
+#include <vector>
+
+#include "src/core/comm.h"
+
+namespace lcmpi::apps {
+
+enum class HaloMode { kTwoSided, kOneSided };
+
+/// Serial reference: `u` is the n*n grid (row-major), fixed zero boundary.
+std::vector<double> heat2d_serial(std::vector<double> u, int n, int steps, double alpha);
+
+/// Parallel run over a dims[0] x dims[1] process grid (comm.size() must
+/// cover it; n must tile evenly). Every rank calls this collectively; the
+/// assembled n*n grid is returned on rank 0 and empty elsewhere.
+std::vector<double> heat2d_parallel(mpi::Comm& comm, const std::vector<int>& dims,
+                                    const std::vector<double>& initial, int n, int steps,
+                                    double alpha, HaloMode mode);
+
+}  // namespace lcmpi::apps

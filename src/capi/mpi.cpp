@@ -1,10 +1,12 @@
 #include "src/capi/mpi.h"
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "src/core/cart.h"
+#include "src/core/win.h"
 
 namespace {
 
@@ -20,12 +22,22 @@ using lcmpi::mpi::Op;
 /// semantics under every actor backend. (A plain thread_local would only
 /// work for the thread backend; under fibers every rank shares the kernel
 /// thread, so thread identity no longer distinguishes ranks.)
+/// A window together with a stable copy of its communicator: Win holds a
+/// Comm&, and the RankState::comms vector may reallocate, so each window
+/// gets its own heap-pinned Comm to reference.
+struct WinState {
+  explicit WinState(Comm c) : comm(std::move(c)) {}
+  Comm comm;
+  std::unique_ptr<lcmpi::mpi::Win> win;
+};
+
 struct RankState {
   std::vector<std::optional<Comm>> comms;       // handle -> communicator
   std::vector<lcmpi::mpi::Request> requests;    // handle -> request
   std::vector<std::optional<Datatype>> types;   // derived datatypes (>= 5)
   std::map<MPI_Comm, lcmpi::mpi::CartComm> carts;  // topology attached to a comm
   std::vector<lcmpi::Bytes> bsend_buffers;      // keep-alive for attach
+  std::vector<std::unique_ptr<WinState>> wins;  // handle -> one-sided window
   bool initialized = false;
 };
 
@@ -84,6 +96,7 @@ int err_code(lcmpi::Err e) {
     case lcmpi::Err::kTruncate: return MPI_ERR_TRUNCATE;
     case lcmpi::Err::kBadArgument: return MPI_ERR_ARG;
     case lcmpi::Err::kBufferExhausted: return MPI_ERR_BUFFER;
+    case lcmpi::Err::kRange: return MPI_ERR_RANGE;
     default: return MPI_ERR_OTHER;
   }
 }
@@ -399,6 +412,73 @@ int MPI_Type_free(MPI_Datatype* datatype) {
 
 int MPI_Type_size(MPI_Datatype datatype, int* size) {
   return guarded([&] { *size = static_cast<int>(type_of(datatype).size()); });
+}
+
+// ---------------------------------------------------------------- one-sided
+
+namespace {
+lcmpi::mpi::Win& win_of(MPI_Win w) {
+  RankState& s = st();
+  LCMPI_CHECK(w >= 0 && static_cast<std::size_t>(w) < s.wins.size() &&
+                  s.wins[static_cast<std::size_t>(w)] != nullptr,
+              "bad window handle");
+  return *s.wins[static_cast<std::size_t>(w)]->win;
+}
+}  // namespace
+
+int MPI_Win_create(void* base, MPI_Aint size, int disp_unit, MPI_Info /*info*/,
+                   MPI_Comm comm, MPI_Win* win) {
+  return guarded([&] {
+    RankState& s = st();
+    auto ws = std::make_unique<WinState>(comm_of(comm));
+    ws->win = std::make_unique<lcmpi::mpi::Win>(ws->comm, base,
+                                                static_cast<std::int64_t>(size), disp_unit);
+    s.wins.push_back(std::move(ws));
+    *win = static_cast<MPI_Win>(s.wins.size() - 1);
+  });
+}
+
+int MPI_Win_free(MPI_Win* win) {
+  return guarded([&] {
+    win_of(*win).free();  // throws (handle stays valid) on an open epoch
+    st().wins[static_cast<std::size_t>(*win)].reset();
+    *win = MPI_WIN_NULL;
+  });
+}
+
+int MPI_Win_fence(int /*assert_flags*/, MPI_Win win) {
+  return guarded([&] { win_of(win).fence(); });
+}
+
+int MPI_Put(const void* origin_addr, int origin_count, MPI_Datatype origin_datatype,
+            int target_rank, MPI_Aint target_disp, int target_count,
+            MPI_Datatype target_datatype, MPI_Win win) {
+  return guarded([&] {
+    win_of(win).put(origin_addr, origin_count, type_of(origin_datatype), target_rank,
+                    static_cast<std::int64_t>(target_disp), target_count,
+                    type_of(target_datatype));
+  });
+}
+
+int MPI_Get(void* origin_addr, int origin_count, MPI_Datatype origin_datatype,
+            int target_rank, MPI_Aint target_disp, int target_count,
+            MPI_Datatype target_datatype, MPI_Win win) {
+  return guarded([&] {
+    win_of(win).get(origin_addr, origin_count, type_of(origin_datatype), target_rank,
+                    static_cast<std::int64_t>(target_disp), target_count,
+                    type_of(target_datatype));
+  });
+}
+
+int MPI_Accumulate(const void* origin_addr, int origin_count,
+                   MPI_Datatype origin_datatype, int target_rank, MPI_Aint target_disp,
+                   int target_count, MPI_Datatype target_datatype, MPI_Op op,
+                   MPI_Win win) {
+  return guarded([&] {
+    win_of(win).accumulate(origin_addr, origin_count, type_of(origin_datatype),
+                           target_rank, static_cast<std::int64_t>(target_disp),
+                           target_count, type_of(target_datatype), op_of(op));
+  });
 }
 
 // -------------------------------------------------------------- collectives

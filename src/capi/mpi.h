@@ -20,6 +20,9 @@ using MPI_Comm = int;
 using MPI_Datatype = int;
 using MPI_Request = int;
 using MPI_Op = int;
+using MPI_Win = int;
+using MPI_Info = int;
+using MPI_Aint = long long;
 
 struct MPI_Status {
   int MPI_SOURCE = -1;
@@ -32,6 +35,8 @@ struct MPI_Status {
 
 inline constexpr MPI_Comm MPI_COMM_WORLD = 0;
 inline constexpr MPI_Comm MPI_COMM_NULL = -1;
+inline constexpr MPI_Win MPI_WIN_NULL = -1;
+inline constexpr MPI_Info MPI_INFO_NULL = 0;
 
 inline constexpr MPI_Datatype MPI_BYTE = 0;
 inline constexpr MPI_Datatype MPI_INT = 1;
@@ -57,6 +62,7 @@ inline constexpr int MPI_ERR_ARG = 2;
 inline constexpr int MPI_ERR_OTHER = 3;
 inline constexpr int MPI_ERR_BUFFER = 4;
 inline constexpr int MPI_ERR_INTERN = 5;
+inline constexpr int MPI_ERR_RANGE = 6;
 
 // ------------------------------------------------------------ environment
 
@@ -116,6 +122,23 @@ int MPI_Type_vector(int count, int blocklength, int stride, MPI_Datatype oldtype
 int MPI_Type_commit(MPI_Datatype* datatype);  // layouts are always ready: no-op
 int MPI_Type_free(MPI_Datatype* datatype);
 int MPI_Type_size(MPI_Datatype datatype, int* size);
+
+// ---------------------------------------------------------------- one-sided
+
+int MPI_Win_create(void* base, MPI_Aint size, int disp_unit, MPI_Info info,
+                   MPI_Comm comm, MPI_Win* win);
+int MPI_Win_free(MPI_Win* win);
+int MPI_Win_fence(int assert_flags, MPI_Win win);
+int MPI_Put(const void* origin_addr, int origin_count, MPI_Datatype origin_datatype,
+            int target_rank, MPI_Aint target_disp, int target_count,
+            MPI_Datatype target_datatype, MPI_Win win);
+int MPI_Get(void* origin_addr, int origin_count, MPI_Datatype origin_datatype,
+            int target_rank, MPI_Aint target_disp, int target_count,
+            MPI_Datatype target_datatype, MPI_Win win);
+int MPI_Accumulate(const void* origin_addr, int origin_count,
+                   MPI_Datatype origin_datatype, int target_rank, MPI_Aint target_disp,
+                   int target_count, MPI_Datatype target_datatype, MPI_Op op,
+                   MPI_Win win);
 
 // -------------------------------------------------------------- collectives
 

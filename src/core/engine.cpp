@@ -459,6 +459,15 @@ void Engine::handle(ProtoMsg msg) {
       if (req->launched) complete_send(req);
       break;
     }
+    case MsgKind::kRmaPut:
+    case MsgKind::kRmaGet:
+    case MsgKind::kRmaGetReply:
+    case MsgKind::kRmaAcc: {
+      auto it = rma_wins_.find(msg.bulk_key);
+      LCMPI_CHECK(it != rma_wins_.end(), "RMA frame for unknown window");
+      it->second->on_rma(std::move(msg));
+      break;
+    }
     case MsgKind::kBcast:
       bcast_q_[msg.context].push_back(std::move(msg));
       break;
@@ -574,6 +583,23 @@ void Engine::accrue_credit(int src, std::int64_t bytes) {
     m.kind = MsgKind::kCredit;
     send_msg(src, std::move(m));  // send_msg piggybacks (and clears) owed_
   }
+}
+
+// ------------------------------------------------------------ one-sided RMA
+
+std::uint64_t Engine::rma_make_key(std::uint32_t context) {
+  const std::uint32_t seq = rma_win_seq_[context]++;
+  return (static_cast<std::uint64_t>(context) << 32) | seq;
+}
+
+void Engine::rma_register(std::uint64_t key, RmaTarget* win) {
+  LCMPI_CHECK(rma_wins_.emplace(key, win).second, "window key registered twice");
+}
+
+void Engine::rma_deregister(std::uint64_t key) { rma_wins_.erase(key); }
+
+void Engine::rma_send(int dst_world, ProtoMsg msg) {
+  send_msg(dst_world, std::move(msg));
 }
 
 // --------------------------------------------------------- wait/test/probe

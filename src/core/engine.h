@@ -81,6 +81,16 @@ struct EngineConfig {
   MsgTrace* trace = nullptr;
 };
 
+/// Receiver of routed one-sided frames: a window (src/core/win.h)
+/// registers itself under its key and the engine's progress loop feeds it
+/// every kRma* frame addressed to that key — Get replies and Accumulate
+/// folds run entirely inside the target's progress, never in user code.
+class RmaTarget {
+ public:
+  virtual ~RmaTarget() = default;
+  virtual void on_rma(fabric::ProtoMsg msg) = 0;
+};
+
 class Engine {
  public:
   Engine(fabric::Endpoint& ep, sim::Actor& self, EngineConfig cfg = {});
@@ -96,6 +106,7 @@ class Engine {
   /// requests through Status::error instead of throwing on wait.
   void set_errors_return(bool v) { cfg_.errors_return = v; }
   [[nodiscard]] const fabric::FabricCaps& caps() const { return ep_.fabric().caps(); }
+  [[nodiscard]] fabric::Endpoint& endpoint() const { return ep_; }
 
   // --- point-to-point (world ranks; communicators translate) ---------------
   Request isend(const void* buf, int count, const Datatype& type, int dst_world,
@@ -125,6 +136,19 @@ class Engine {
   /// concurrent communicators cannot confuse them: no engine can re-enter
   /// before every engine left the previous barrier.
   void hw_barrier();
+
+  // --- one-sided (RMA) plumbing ---------------------------------------------
+  /// A window key every rank of a communicator derives identically:
+  /// windows are created collectively, so per-context creation order
+  /// agrees across ranks. High word = context, low word = per-context
+  /// creation sequence.
+  [[nodiscard]] std::uint64_t rma_make_key(std::uint32_t context);
+  void rma_register(std::uint64_t key, RmaTarget* win);
+  void rma_deregister(std::uint64_t key);
+  /// Sends an RMA frame down the normal sequenced channel. No credit is
+  /// charged (epochs bound the target's buffering); owed credit still
+  /// piggybacks like any other control message.
+  void rma_send(int dst_world, fabric::ProtoMsg msg);
 
   // --- progress --------------------------------------------------------------
   /// Drains and handles every arrived message. Nonblocking.
@@ -195,6 +219,10 @@ class Engine {
   std::vector<std::deque<std::uint64_t>> deferred_;  // per-dst launch queue
   std::vector<std::uint64_t> next_seq_;  // per-dst send sequence
   std::vector<std::uint64_t> expect_seq_;  // per-src delivery check
+
+  // One-sided routing: window key -> registered window.
+  std::map<std::uint64_t, RmaTarget*> rma_wins_;
+  std::map<std::uint32_t, std::uint32_t> rma_win_seq_;  // per-context counter
 
   // Hardware broadcast reassembly: per context, in-order payload queue.
   std::map<std::uint32_t, std::deque<fabric::ProtoMsg>> bcast_q_;

@@ -1,0 +1,398 @@
+#include "src/core/win.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace lcmpi::mpi {
+
+using fabric::MsgKind;
+using fabric::ProtoMsg;
+
+namespace {
+
+Datatype prim_type(Datatype::Primitive p) {
+  switch (p) {
+    case Datatype::Primitive::kByte: return Datatype::byte_type();
+    case Datatype::Primitive::kInt32: return Datatype::int32_type();
+    case Datatype::Primitive::kInt64: return Datatype::int64_type();
+    case Datatype::Primitive::kFloat: return Datatype::float_type();
+    case Datatype::Primitive::kDouble: return Datatype::double_type();
+    case Datatype::Primitive::kNone: break;
+  }
+  throw InternalError("accumulate record without a primitive type");
+}
+
+}  // namespace
+
+Win::Win(Comm& comm, void* base, std::int64_t size_bytes, int disp_unit)
+    : comm_(comm), base_(static_cast<std::byte*>(base)), my_disp_unit_(disp_unit) {
+  if (size_bytes < 0 || disp_unit <= 0 || (size_bytes > 0 && base == nullptr))
+    raise(Err::kBadArgument, "invalid window creation arguments");
+  const int n = comm_.size();
+
+  // Advertise (bytes, disp_unit) so origins range-check locally — an
+  // out-of-bounds op raises Err::kRange at the origin before any bytes
+  // move, instead of corrupting the target.
+  const std::int64_t mine[2] = {size_bytes, static_cast<std::int64_t>(disp_unit)};
+  std::vector<std::int64_t> all(static_cast<std::size_t>(2 * n));
+  comm_.allgather(mine, 2, all.data(), Datatype::int64_type());
+  sizes_.resize(static_cast<std::size_t>(n));
+  units_.resize(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    sizes_[static_cast<std::size_t>(r)] = all[static_cast<std::size_t>(2 * r)];
+    units_[static_cast<std::size_t>(r)] = all[static_cast<std::size_t>(2 * r + 1)];
+    world_to_comm_[comm_.world_rank(r)] = r;
+  }
+  sent_counts_.assign(static_cast<std::size_t>(n), 0);
+
+  // Same creation order per context on every rank => same key everywhere.
+  key_ = engine().rma_make_key(comm_.context());
+  fabric::Endpoint& ep = engine().endpoint();
+  ep.rma_expose(key_, base_, size_bytes, &sink_);
+  engine().rma_register(key_, this);
+  comm_.barrier();  // every rank exposed + registered before any op flies
+
+  // Commit to one strategy for the window's lifetime: direct only if every
+  // peer's segment is addressable from here (agreed by allreduce so no
+  // rank fences by barrier while another counts frames).
+  direct_.resize(static_cast<std::size_t>(n));
+  std::int32_t mine_direct = 1;
+  for (int r = 0; r < n; ++r) {
+    if (r == comm_.rank()) {
+      direct_[static_cast<std::size_t>(r)] = {base_, size_bytes, &sink_};
+      continue;
+    }
+    if (!ep.rma_direct(comm_.world_rank(r), key_, &direct_[static_cast<std::size_t>(r)]))
+      mine_direct = 0;
+  }
+  std::int32_t all_direct = 0;
+  comm_.allreduce(&mine_direct, &all_direct, 1, Datatype::int32_type(), Op::kMin);
+  all_direct_ = all_direct == 1;
+}
+
+Win::~Win() {
+  if (!freed_) {
+    // Abandoned window (e.g. after a thrown error): withdraw locally.
+    // Destructors must not throw or run collectives.
+    engine().rma_deregister(key_);
+    engine().endpoint().rma_retract(key_);
+  }
+}
+
+void Win::raise(Err code, const std::string& what) const {
+  throw MpiError(code, "rank " + std::to_string(comm_.rank()) + ": " + what);
+}
+
+void Win::register_user_op(int id, Comm::UserOp fn) {
+  LCMPI_CHECK(id >= 0, "user op ids must be non-negative");
+  user_ops_[id] = std::move(fn);
+}
+
+std::int64_t Win::disp_bytes_at(int target_rank, std::int64_t target_disp) const {
+  return target_disp * units_[static_cast<std::size_t>(target_rank)];
+}
+
+void Win::check_common(int target_rank, int origin_count, const Datatype& origin_type,
+                       int target_count, const Datatype& target_type, const char* what) {
+  LCMPI_CHECK(!freed_, "RMA operation on a freed window");
+  if (origin_count < 0 || target_count < 0 || target_rank < 0 || target_rank >= comm_.size())
+    raise(Err::kBadArgument, std::string(what) + ": invalid count or target rank");
+  if (!target_type.is_contiguous())
+    raise(Err::kBadArgument,
+          std::string(what) + ": target datatype must be contiguous (origin may be derived)");
+  if (origin_type.size() * origin_count != target_type.size() * target_count)
+    raise(Err::kBadArgument, std::string(what) + ": origin and target sizes differ");
+}
+
+void Win::check_range(int target_rank, std::int64_t disp_bytes, std::int64_t nbytes,
+                      const char* what) {
+  const std::int64_t limit = sizes_[static_cast<std::size_t>(target_rank)];
+  if (disp_bytes < 0 || disp_bytes + nbytes > limit)
+    raise(Err::kRange, std::string(what) + " of " + std::to_string(nbytes) +
+                           " bytes at offset " + std::to_string(disp_bytes) +
+                           " outside window bounds [0, " + std::to_string(limit) +
+                           ") at target rank " + std::to_string(target_rank));
+}
+
+// ------------------------------------------------------------------ origin ops
+
+void Win::put(const void* origin, int origin_count, const Datatype& origin_type,
+              int target_rank, std::int64_t target_disp, int target_count,
+              const Datatype& target_type) {
+  check_common(target_rank, origin_count, origin_type, target_count, target_type, "put");
+  const std::int64_t nbytes = origin_type.size() * origin_count;
+  if (nbytes == 0) return;  // zero-length: a no-op, no frame, no count
+  const std::int64_t disp = disp_bytes_at(target_rank, target_disp);
+  check_range(target_rank, disp, nbytes, "put");
+  ++ops_since_fence_;
+  if (target_rank == comm_.rank() || all_direct_) {
+    const Bytes packed = origin_type.pack(origin, origin_count);
+    std::memcpy(direct_[static_cast<std::size_t>(target_rank)].base + disp, packed.data(),
+                packed.size());
+    return;
+  }
+  ProtoMsg m;
+  m.kind = MsgKind::kRmaPut;
+  m.context = comm_.context();
+  m.bulk_key = key_;
+  m.tag = static_cast<std::int32_t>(static_cast<std::uint32_t>(epoch_));
+  ByteWriter w(m.payload);
+  w.put<std::int64_t>(disp);
+  const Bytes packed = origin_type.pack(origin, origin_count);
+  w.put_bytes(packed.data(), packed.size());
+  m.size = static_cast<std::uint32_t>(m.payload.size());
+  ++sent_counts_[static_cast<std::size_t>(target_rank)];
+  engine().rma_send(comm_.world_rank(target_rank), std::move(m));
+}
+
+void Win::get(void* origin, int origin_count, const Datatype& origin_type, int target_rank,
+              std::int64_t target_disp, int target_count, const Datatype& target_type) {
+  check_common(target_rank, origin_count, origin_type, target_count, target_type, "get");
+  const std::int64_t nbytes = origin_type.size() * origin_count;
+  if (nbytes == 0) return;
+  const std::int64_t disp = disp_bytes_at(target_rank, target_disp);
+  check_range(target_rank, disp, nbytes, "get");
+  ++ops_since_fence_;
+  if (target_rank == comm_.rank() || all_direct_) {
+    const std::byte* src = direct_[static_cast<std::size_t>(target_rank)].base + disp;
+    const Bytes tmp(src, src + nbytes);
+    origin_type.unpack(tmp, origin, origin_count);
+    return;
+  }
+  const std::uint64_t id = next_get_id_++;
+  pending_gets_[id] = PendingGet{origin, origin_count, origin_type};
+  ProtoMsg m;
+  m.kind = MsgKind::kRmaGet;
+  m.context = comm_.context();
+  m.bulk_key = key_;
+  m.tag = static_cast<std::int32_t>(static_cast<std::uint32_t>(epoch_));
+  m.sender_req = id;
+  ByteWriter w(m.payload);
+  w.put<std::int64_t>(disp);
+  w.put<std::int64_t>(nbytes);
+  m.size = static_cast<std::uint32_t>(m.payload.size());
+  ++sent_counts_[static_cast<std::size_t>(target_rank)];
+  engine().rma_send(comm_.world_rank(target_rank), std::move(m));
+}
+
+void Win::accumulate(const void* origin, int origin_count, const Datatype& origin_type,
+                     int target_rank, std::int64_t target_disp, int target_count,
+                     const Datatype& target_type, Op op, int user_op_id) {
+  check_common(target_rank, origin_count, origin_type, target_count, target_type,
+               "accumulate");
+  Datatype::Primitive prim = Datatype::Primitive::kNone;
+  if (user_op_id < 0) {
+    prim = target_type.primitive();
+    if (prim == Datatype::Primitive::kNone || origin_type.primitive() != prim)
+      raise(Err::kBadArgument,
+            "accumulate with a built-in op requires matching primitive datatypes");
+  }
+  const std::int64_t nbytes = origin_type.size() * origin_count;
+  if (nbytes == 0) return;
+  const std::int64_t disp = disp_bytes_at(target_rank, target_disp);
+  check_range(target_rank, disp, nbytes, "accumulate");
+  ++ops_since_fence_;
+
+  if (target_rank == comm_.rank() || all_direct_) {
+    AccRecord rec;
+    rec.origin = comm_.rank();
+    rec.origin_seq = acc_seq_++;
+    rec.disp_bytes = disp;
+    rec.op = op;
+    rec.user_op_id = user_op_id;
+    rec.prim = prim;
+    rec.elem_bytes = target_type.size();
+    rec.count = target_count;
+    rec.data = origin_type.pack(origin, origin_count);
+    auto* sink = static_cast<AccSink*>(direct_[static_cast<std::size_t>(target_rank)].acc_sink);
+    const std::lock_guard<std::mutex> lk(sink->mu);
+    sink->recs.push_back(std::move(rec));
+    return;
+  }
+  ProtoMsg m;
+  m.kind = MsgKind::kRmaAcc;
+  m.context = comm_.context();
+  m.bulk_key = key_;
+  m.tag = static_cast<std::int32_t>(static_cast<std::uint32_t>(epoch_));
+  ByteWriter w(m.payload);
+  w.put<std::int64_t>(disp);
+  w.put<std::uint32_t>(acc_seq_++);
+  w.put<std::int32_t>(user_op_id);
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(op));
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(prim));
+  w.put<std::int64_t>(target_type.size());
+  w.put<std::int32_t>(target_count);
+  const Bytes packed = origin_type.pack(origin, origin_count);
+  w.put_bytes(packed.data(), packed.size());
+  m.size = static_cast<std::uint32_t>(m.payload.size());
+  ++sent_counts_[static_cast<std::size_t>(target_rank)];
+  engine().rma_send(comm_.world_rank(target_rank), std::move(m));
+}
+
+// ------------------------------------------------------------------ target side
+
+void Win::on_rma(ProtoMsg msg) {
+  if (msg.kind == MsgKind::kRmaGetReply) {
+    // Origin side: land the fetched bytes. Never epoch-deferred — the
+    // reply belongs to the epoch the origin is still in.
+    auto it = pending_gets_.find(msg.sender_req);
+    LCMPI_CHECK(it != pending_gets_.end(), "RMA get reply for unknown get");
+    it->second.type.unpack(msg.payload, it->second.buf, it->second.count);
+    pending_gets_.erase(it);
+    return;
+  }
+  const std::uint32_t ep = static_cast<std::uint32_t>(msg.tag);
+  if (ep != static_cast<std::uint32_t>(epoch_)) {
+    // A fast peer finished its fence first and opened the next epoch; hold
+    // the frame until our fence advances. It can never be 2+ ahead: the
+    // fence's collective would block the peer until we caught up.
+    LCMPI_CHECK(ep == static_cast<std::uint32_t>(epoch_ + 1),
+                "RMA frame from a closed or far-future epoch");
+    deferred_.push_back(std::move(msg));
+    return;
+  }
+  apply_frame(msg);
+}
+
+void Win::apply_frame(ProtoMsg& msg) {
+  ++recv_count_;
+  ByteReader r(msg.payload);
+  switch (msg.kind) {
+    case MsgKind::kRmaPut: {
+      const std::int64_t disp = r.get<std::int64_t>();
+      const std::int64_t nbytes = static_cast<std::int64_t>(r.remaining());
+      LCMPI_CHECK(disp >= 0 && disp + nbytes <= size_bytes(),
+                  "remote put outside window bounds");
+      r.get_bytes(base_ + disp, static_cast<std::size_t>(nbytes));
+      break;
+    }
+    case MsgKind::kRmaGet: {
+      const std::int64_t disp = r.get<std::int64_t>();
+      const std::int64_t nbytes = r.get<std::int64_t>();
+      LCMPI_CHECK(disp >= 0 && nbytes >= 0 && disp + nbytes <= size_bytes(),
+                  "remote get outside window bounds");
+      ProtoMsg reply;
+      reply.kind = MsgKind::kRmaGetReply;
+      reply.context = comm_.context();
+      reply.bulk_key = key_;
+      reply.sender_req = msg.sender_req;
+      ByteWriter w(reply.payload);
+      w.put_bytes(base_ + disp, static_cast<std::size_t>(nbytes));
+      reply.size = static_cast<std::uint32_t>(reply.payload.size());
+      engine().rma_send(msg.src, std::move(reply));
+      break;
+    }
+    case MsgKind::kRmaAcc: {
+      const auto wit = world_to_comm_.find(msg.src);
+      LCMPI_CHECK(wit != world_to_comm_.end(),
+                  "RMA frame from outside the window's communicator");
+      AccRecord rec;
+      rec.origin = wit->second;
+      rec.disp_bytes = r.get<std::int64_t>();
+      rec.origin_seq = r.get<std::uint32_t>();
+      rec.user_op_id = r.get<std::int32_t>();
+      rec.op = static_cast<Op>(r.get<std::uint8_t>());
+      rec.prim = static_cast<Datatype::Primitive>(r.get<std::uint8_t>());
+      rec.elem_bytes = r.get<std::int64_t>();
+      rec.count = r.get<std::int32_t>();
+      rec.data = r.rest();
+      LCMPI_CHECK(rec.disp_bytes >= 0 &&
+                      rec.disp_bytes + static_cast<std::int64_t>(rec.data.size()) <=
+                          size_bytes(),
+                  "remote accumulate outside window bounds");
+      const std::lock_guard<std::mutex> lk(sink_.mu);
+      sink_.recs.push_back(std::move(rec));
+      break;
+    }
+    default:
+      throw InternalError("unexpected RMA frame kind");
+  }
+}
+
+void Win::apply_accs() {
+  std::vector<AccRecord> recs;
+  {
+    const std::lock_guard<std::mutex> lk(sink_.mu);
+    recs.swap(sink_.recs);
+  }
+  // Ascending origin-rank fold; stable keeps each origin's program order
+  // (arrival order per origin is program order on every strategy).
+  std::stable_sort(recs.begin(), recs.end(), [](const AccRecord& a, const AccRecord& b) {
+    if (a.origin != b.origin) return a.origin < b.origin;
+    return a.origin_seq < b.origin_seq;
+  });
+  for (const AccRecord& rec : recs) {
+    std::byte* dst = base_ + rec.disp_bytes;
+    if (rec.user_op_id >= 0) {
+      const auto it = user_ops_.find(rec.user_op_id);
+      LCMPI_CHECK(it != user_ops_.end(), "accumulate names an unregistered user op");
+      it->second(rec.data.data(), dst, rec.count);
+    } else {
+      reduce_op(prim_type(rec.prim), rec.op, rec.data.data(), dst, rec.count);
+    }
+  }
+}
+
+// ----------------------------------------------------------------------- fence
+
+void Win::fence() {
+  LCMPI_CHECK(!freed_, "fence on a freed window");
+  if (all_direct_) {
+    fence_direct();
+  } else {
+    fence_message();
+  }
+  ops_since_fence_ = 0;
+  acc_seq_ = 0;
+}
+
+void Win::fence_direct() {
+  // Barrier 1: every origin's stores/appends for this epoch are issued and
+  // the barrier's release/acquire edges order them before what follows.
+  comm_.barrier();
+  apply_accs();
+  ++epoch_;
+  // Barrier 2: the folds are visible before any next-epoch direct access.
+  comm_.barrier();
+}
+
+void Win::fence_message() {
+  // The MPICH fence: reduce-scatter the per-target op counts so each rank
+  // learns how many frames target it this epoch, then progress until they
+  // all arrived and our own gets are answered.
+  std::int32_t expected = 0;
+  comm_.reduce_scatter_block(sent_counts_.data(), &expected, 1, Datatype::int32_type(),
+                             Op::kSum);
+  engine().progress_until(
+      [&] { return recv_count_ >= expected && pending_gets_.empty(); });
+  apply_accs();
+  ++epoch_;
+  recv_count_ = 0;
+  std::fill(sent_counts_.begin(), sent_counts_.end(), 0);
+  // Frames a fast peer already sent for the epoch we just opened.
+  std::vector<ProtoMsg> replay;
+  replay.swap(deferred_);
+  for (ProtoMsg& m : replay) {
+    LCMPI_CHECK(static_cast<std::uint32_t>(m.tag) == static_cast<std::uint32_t>(epoch_),
+                "deferred RMA frame missed its epoch");
+    apply_frame(m);
+  }
+}
+
+// ------------------------------------------------------------------------ free
+
+void Win::free() {
+  if (freed_) return;
+  if (ops_since_fence_ > 0)
+    raise(Err::kBadArgument, "window freed with an open access epoch (fence first)");
+  // A peer with an open epoch throws on its own free; our target-side
+  // state for it is simply dropped. Quiesce collectively, then withdraw.
+  comm_.barrier();
+  engine().rma_deregister(key_);
+  engine().endpoint().rma_retract(key_);
+  freed_ = true;
+}
+
+}  // namespace lcmpi::mpi

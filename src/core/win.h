@@ -1,0 +1,158 @@
+// One-sided MPI: windows, fence epochs, and Put/Get/Accumulate.
+//
+// A Win exposes a region of each rank's memory for remote access between
+// collective fences (MPI-2 active-target synchronization). Two strategies
+// hide behind the fabric's RMA seam, chosen once at window creation:
+//
+//  * DIRECT (ShmFabric — ranks share an address space): Put is a store
+//    into the target's registered base, Get is a load; the fence barrier
+//    pair supplies the happens-before edges. Accumulate is serialized per
+//    target window: origins append records to the target's mutex-guarded
+//    sink and the target folds them at its fence, sorted by origin rank.
+//
+//  * MESSAGE (Loop/Meiko/Socket): ops become kRma* frames the target's
+//    progress loop services — Get replies and Accumulate folds run with
+//    no user-code involvement, preserving passive-target semantics at
+//    fence granularity. The fence reduce-scatters per-target op counts
+//    (the MPICH fence) so each rank knows how many frames to await.
+//
+// Both strategies apply accumulates at the fence in ascending origin-rank
+// order (program order within an origin), so non-commutative user ops
+// produce byte-identical windows on every world. Epoch-tagged frames from
+// a fast peer's next epoch are deferred, never applied early.
+//
+// On the Meiko, kRma* frames ride the modelled Elan remote-transaction
+// machinery (Machine::rma_txn) — the paper's remote-word/remote-event
+// path — at calibrated costs cheaper than the full protocol transaction.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/comm.h"
+
+namespace lcmpi::mpi {
+
+/// One buffered accumulate contribution awaiting the target's fence.
+struct AccRecord {
+  int origin = 0;                // comm rank of the contributing origin
+  std::uint32_t origin_seq = 0;  // program order within the origin's epoch
+  std::int64_t disp_bytes = 0;   // byte offset into the target window
+  Op op = Op::kSum;
+  std::int32_t user_op_id = -1;  // >= 0: registered user op instead of op
+  Datatype::Primitive prim = Datatype::Primitive::kNone;
+  std::int64_t elem_bytes = 0;
+  std::int32_t count = 0;
+  Bytes data;
+};
+
+/// The target-side accumulate buffer. In direct mode remote origin
+/// threads append under the mutex ("Accumulate serialized per target
+/// window"); the target drains it between the fence barriers.
+struct AccSink {
+  std::mutex mu;
+  std::vector<AccRecord> recs;
+};
+
+class Win : public RmaTarget {
+ public:
+  /// Collective over `comm`: every rank exposes `size_bytes` at `base`
+  /// with displacement unit `disp_unit` (sizes may differ per rank; both
+  /// are allgathered so origins range-check locally).
+  Win(Comm& comm, void* base, std::int64_t size_bytes, int disp_unit);
+  ~Win() override;
+  Win(const Win&) = delete;
+  Win& operator=(const Win&) = delete;
+
+  [[nodiscard]] void* base() const { return base_; }
+  [[nodiscard]] std::int64_t size_bytes() const { return sizes_[static_cast<std::size_t>(comm_.rank())]; }
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  [[nodiscard]] bool direct_mode() const { return all_direct_; }
+  [[nodiscard]] Comm& comm() const { return comm_; }
+
+  /// MPI_Put: origin elements land at target_disp (in the target's
+  /// displacement units). The target datatype must be contiguous; the
+  /// origin datatype may be any derived layout (packed locally).
+  void put(const void* origin, int origin_count, const Datatype& origin_type,
+           int target_rank, std::int64_t target_disp, int target_count,
+           const Datatype& target_type);
+
+  /// MPI_Get: the target region is copied into the origin buffer. Reads
+  /// observe the window as of the start of the epoch in any region this
+  /// epoch accumulates into (folds apply at the fence); overlapping a
+  /// same-epoch put is erroneous (see DESIGN §6i conflict rules).
+  void get(void* origin, int origin_count, const Datatype& origin_type,
+           int target_rank, std::int64_t target_disp, int target_count,
+           const Datatype& target_type);
+
+  /// MPI_Accumulate: folds origin data into the target region at the
+  /// target's fence, in ascending origin-rank order (program order within
+  /// an origin). Built-in ops require a primitive element type; a
+  /// user_op_id >= 0 selects an op registered identically on every rank
+  /// via register_user_op (the id travels on the wire).
+  void accumulate(const void* origin, int origin_count, const Datatype& origin_type,
+                  int target_rank, std::int64_t target_disp, int target_count,
+                  const Datatype& target_type, Op op, int user_op_id = -1);
+
+  /// Registers a user combine op under an id agreed by all ranks. Must be
+  /// associative; folds happen in ascending origin-rank order.
+  void register_user_op(int id, Comm::UserOp fn);
+
+  /// MPI_Win_fence: closes the current epoch (all issued ops complete at
+  /// their targets, accumulates fold) and opens the next.
+  void fence();
+
+  /// MPI_Win_free: collective. Throws Err::kBadArgument if this rank has
+  /// issued ops since its last fence (an open access epoch).
+  void free();
+
+  /// Engine progress routing (message mode) — not for users.
+  void on_rma(fabric::ProtoMsg msg) override;
+
+ private:
+  [[nodiscard]] Engine& engine() const { return comm_.engine(); }
+  void check_common(int target_rank, int origin_count, const Datatype& origin_type,
+                    int target_count, const Datatype& target_type, const char* what);
+  void check_range(int target_rank, std::int64_t disp_bytes, std::int64_t nbytes,
+                   const char* what);
+  [[nodiscard]] std::int64_t disp_bytes_at(int target_rank, std::int64_t target_disp) const;
+  void raise(Err code, const std::string& what) const;
+  void apply_frame(fabric::ProtoMsg& msg);
+  void apply_accs();
+  void fence_direct();
+  void fence_message();
+
+  Comm& comm_;
+  std::byte* base_;
+  int my_disp_unit_;
+  std::uint64_t key_;
+  std::vector<std::int64_t> sizes_;   // window bytes per comm rank
+  std::vector<std::int64_t> units_;   // displacement unit per comm rank
+  std::unordered_map<int, int> world_to_comm_;
+
+  bool all_direct_ = false;
+  std::vector<fabric::Endpoint::RmaSegment> direct_;  // per comm rank
+
+  std::uint64_t epoch_ = 0;
+  std::uint32_t acc_seq_ = 0;            // my per-epoch program-order counter
+  std::int64_t ops_since_fence_ = 0;     // open-epoch detection for free()
+  std::vector<std::int32_t> sent_counts_;  // frames sent per target (message)
+  std::int64_t recv_count_ = 0;            // frames received this epoch
+  std::uint64_t next_get_id_ = 1;
+  struct PendingGet {
+    void* buf = nullptr;
+    int count = 0;
+    Datatype type;
+  };
+  std::map<std::uint64_t, PendingGet> pending_gets_;
+  std::vector<fabric::ProtoMsg> deferred_;  // next-epoch frames, held back
+
+  AccSink sink_;
+  std::map<int, Comm::UserOp> user_ops_;
+  bool freed_ = false;
+};
+
+}  // namespace lcmpi::mpi

@@ -28,6 +28,15 @@ void Endpoint::bulk_send(sim::Actor&, int, std::uint64_t, const void*, std::size
   throw InternalError("this fabric has no bulk data plane (bulk_plane() is kInline)");
 }
 
+void Endpoint::rma_expose(std::uint64_t, void*, std::int64_t, void*) {
+  // Message-mode fabrics have nothing to register: kRma* frames carry the
+  // window key and the target's engine routes them to its window layer.
+}
+
+void Endpoint::rma_retract(std::uint64_t) {}
+
+bool Endpoint::rma_direct(int, std::uint64_t, RmaSegment*) { return false; }
+
 std::optional<ProtoMsg> Endpoint::poll(sim::Actor&) {
   if (incoming_.empty()) return std::nullopt;
   ProtoMsg m = std::move(incoming_.front());

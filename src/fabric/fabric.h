@@ -63,6 +63,16 @@ enum class MsgKind : std::uint8_t {
   // enter and replicated the release to all nodes. Like kBcast it bypasses
   // the per-pair sequenced channel (no seq, no credit).
   kBarrier = 11,
+  // One-sided (RMA) frames, serviced entirely by the target's progress
+  // loop. They ride the normal per-pair sequenced channel (seq-checked,
+  // credit piggybacked) but never charge flow-control credit: the window
+  // epoch protocol, not the unexpected queue, bounds their memory.
+  // bulk_key carries the window key; tag carries the access epoch;
+  // sender_req routes a kRmaGetReply back to the originating get.
+  kRmaPut = 12,
+  kRmaGet = 13,
+  kRmaGetReply = 14,
+  kRmaAcc = 15,
 };
 
 /// Which plane carries rendezvous payload bytes to a given peer.
@@ -204,6 +214,36 @@ class Endpoint {
   /// delivers the matching kBulkSent completion note.
   virtual void bulk_send(sim::Actor& self, int dst, std::uint64_t cookie,
                          const void* data, std::size_t size);
+
+  // --- one-sided window seam ------------------------------------------------
+  //
+  // Fabrics whose ranks share an address space (ShmFabric) can satisfy
+  // Put/Get with plain loads and stores into the peer's registered window;
+  // everyone else falls back to the message protocol (kRma* frames). The
+  // window layer exposes its segment at creation, asks rma_direct() per
+  // peer after a barrier, and commits to one strategy for the window's
+  // lifetime. acc_sink is an opaque pointer the window layer interprets
+  // (the target's serialized accumulate buffer); the fabric only stores it.
+
+  /// A directly addressable view of a peer's window segment.
+  struct RmaSegment {
+    std::byte* base = nullptr;
+    std::int64_t bytes = 0;
+    void* acc_sink = nullptr;
+  };
+
+  /// Registers this rank's window segment under `key` (collective window
+  /// creation calls this on every rank before the creation barrier).
+  virtual void rma_expose(std::uint64_t key, void* base, std::int64_t bytes,
+                          void* acc_sink);
+
+  /// Withdraws a segment registered with rma_expose (window free).
+  virtual void rma_retract(std::uint64_t key);
+
+  /// True if `peer`'s segment `key` is directly addressable from this
+  /// rank, filling `out`. Default: no shared address space — message mode.
+  [[nodiscard]] virtual bool rma_direct(int peer, std::uint64_t key,
+                                        RmaSegment* out);
 
   /// Dequeues the next arrived message, if any. Stream fabrics perform the
   /// actual (charged) socket reads here, which is why `self` is needed.

@@ -79,6 +79,9 @@ MeikoFabric::Ep::Ep(MeikoFabric& f, int rank) : Endpoint(f, rank), owner_(f) {
   node.set_txn_handler(kMpiTxnPort, [this](meiko::TxnDelivery d) {
     deliver(decode(d.src, d.data));
   });
+  node.set_txn_handler(kMpiRmaPort, [this](meiko::TxnDelivery d) {
+    deliver(decode(d.src, d.data));
+  });
   node.set_bcast_handler(kMpiBcastPort, [this](meiko::TxnDelivery d) {
     deliver(decode(d.src, d.data));
   });
@@ -86,8 +89,16 @@ MeikoFabric::Ep::Ep(MeikoFabric& f, int rank) : Endpoint(f, rank), owner_(f) {
 
 void MeikoFabric::Ep::send(sim::Actor& self, int dst, ProtoMsg msg) {
   const meiko::Calib& c = owner_.machine().calib();
-  self.advance(c.sparc_issue_txn);
   msg.src = rank_;
+  if (msg.kind >= MsgKind::kRmaPut && msg.kind <= MsgKind::kRmaAcc) {
+    // One-sided frames take the remote-word/remote-event path: no
+    // envelope-slot protocol, cheaper calibrated costs, counted by the
+    // machine's remote-transaction counter.
+    self.advance(c.sparc_issue_rma);
+    owner_.machine().rma_txn(rank_, dst, kMpiRmaPort, encode(msg));
+    return;
+  }
+  self.advance(c.sparc_issue_txn);
   owner_.machine().txn(rank_, dst, kMpiTxnPort, encode(msg));
 }
 

@@ -20,6 +20,9 @@ namespace lcmpi::fabric {
 /// Machine ports used by this fabric.
 inline constexpr int kMpiTxnPort = 2;
 inline constexpr int kMpiBcastPort = 3;
+/// One-sided frames ride the remote-word/remote-event machinery
+/// (Machine::rma_txn) on their own port, at calibrated RMA costs.
+inline constexpr int kMpiRmaPort = 4;
 
 class MeikoFabric final : public Fabric {
  public:

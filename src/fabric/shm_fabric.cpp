@@ -150,6 +150,28 @@ class ShmFabric::Ep final : public Endpoint {
     staged_.push_back(std::move(sent));
   }
 
+  // --- one-sided window seam: ranks share this address space --------------
+
+  void rma_expose(std::uint64_t key, void* base, std::int64_t bytes,
+                  void* acc_sink) override {
+    const std::lock_guard<std::mutex> lock(owner_.rma_mu_);
+    owner_.rma_segs_[{rank_, key}] =
+        RmaSegment{static_cast<std::byte*>(base), bytes, acc_sink};
+  }
+
+  void rma_retract(std::uint64_t key) override {
+    const std::lock_guard<std::mutex> lock(owner_.rma_mu_);
+    owner_.rma_segs_.erase({rank_, key});
+  }
+
+  bool rma_direct(int peer, std::uint64_t key, RmaSegment* out) override {
+    const std::lock_guard<std::mutex> lock(owner_.rma_mu_);
+    const auto it = owner_.rma_segs_.find({peer, key});
+    if (it == owner_.rma_segs_.end()) return false;
+    *out = it->second;
+    return true;
+  }
+
   void notify_arrival() { pad_.unpark(); }
 
   [[nodiscard]] util::ParkingLot& pad() { return pad_; }

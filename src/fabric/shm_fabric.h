@@ -31,7 +31,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "src/fabric/fabric.h"
@@ -117,6 +119,14 @@ class ShmFabric final : public Fabric {
     return promoted_[static_cast<std::size_t>(src) * eps_.size() +
                      static_cast<std::size_t>(dst)];
   }
+
+  // One-sided windows: every rank's exposed segment, keyed by (rank, win
+  // key). Ranks share this process's address space, so an origin resolves
+  // a peer's segment here once at window creation and then satisfies
+  // Put/Get with plain stores/loads (the window fence's barrier provides
+  // the happens-before edges; see src/core/win.h).
+  std::mutex rma_mu_;
+  std::map<std::pair<int, std::uint64_t>, Endpoint::RmaSegment> rma_segs_;
 
   Options opt_;
   std::chrono::steady_clock::time_point epoch_;

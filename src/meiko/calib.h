@@ -41,6 +41,23 @@ struct Calib {
   /// SPARC observes the event and reads the deposited slot.
   Duration sparc_poll_deliver = microseconds(4.0);
 
+  // --- remote-word / remote-event transactions (one-sided RMA) ------------
+  // The paper's remote-transaction machinery writes words into remote
+  // memory and raises remote events WITHOUT the envelope-slot protocol a
+  // full MPI transaction carries, so each leg is cheaper than the
+  // elan_txn_* pair above. These drive Machine::rma_txn — the modelled
+  // RDMA analog behind MPI_Put/Get/Accumulate (src/core/win.h).
+  /// SPARC issues a remote-word command (a store to the Elan command
+  /// port; no descriptor build).
+  Duration sparc_issue_rma = microseconds(1.0);
+  /// Source Elan formats and launches the remote-word packet.
+  Duration elan_rma_tx = microseconds(1.5);
+  /// Per-byte cost of remote-word payload through the Elan.
+  Duration rma_per_byte = nanoseconds(12);
+  /// Destination Elan deposits the words and raises the remote event (no
+  /// envelope-slot bookkeeping).
+  Duration elan_rma_event_rx = microseconds(2.0);
+
   // --- DMA engine ----------------------------------------------------------
   /// SPARC builds a DMA descriptor.
   Duration dma_setup_sparc = microseconds(3.0);

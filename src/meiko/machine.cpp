@@ -55,6 +55,34 @@ void Machine::txn(int src, int dst, int port, Bytes data, std::function<void()> 
   });
 }
 
+void Machine::rma_txn(int src, int dst, int port, Bytes data) {
+  ++rma_txns_;
+  Node& s = node(src);
+  const Duration tx_cost =
+      calib_.elan_rma_tx + calib_.rma_per_byte * static_cast<std::int64_t>(data.size());
+  // Same source/destination Elan FifoServers and the same wire constant
+  // as txn(): per-(src, dst) delivery order holds across both paths, so
+  // the engine's sequence check stays valid for interleaved traffic.
+  s.elan_.submit(tx_cost, [this, src, dst, port, data = std::move(data)]() mutable {
+    auto arrive = [this, src, dst, port, data = std::move(data)]() mutable {
+      Node& d = node(dst);
+      d.elan_.submit(calib_.elan_rma_event_rx,
+                     [this, src, dst, port, data = std::move(data)]() mutable {
+        Node& n = node(dst);
+        auto it = n.on_txn_.find(port);
+        LCMPI_CHECK(it != n.on_txn_.end() && it->second != nullptr,
+                    "no handler registered for arriving remote transaction");
+        it->second(TxnDelivery{src, port, std::move(data)});
+      });
+    };
+    if (src == dst) {
+      arrive();
+    } else {
+      kernel_.schedule(calib_.wire_latency, std::move(arrive));
+    }
+  });
+}
+
 void Machine::dma_put(int src, int dst, Bytes data,
                       std::function<void()> on_local_complete,
                       std::function<void(Bytes)> on_data) {

@@ -108,6 +108,14 @@ class Machine {
   /// finished with the outgoing packet (source buffer reusable).
   void txn(int src, int dst, int port, Bytes data, std::function<void()> on_sent = {});
 
+  /// Launches a remote-word/remote-event transaction from `src` to `dst`
+  /// — the paper's lightweight remote-transaction machinery, without the
+  /// envelope-slot protocol of txn(). Used by the one-sided MPI layer;
+  /// shares the per-node Elan FifoServers (and the same wire latency)
+  /// with txn(), so cross-port delivery order per (src, dst) pair is
+  /// preserved. The caller charges the SPARC issue cost.
+  void rma_txn(int src, int dst, int port, Bytes data);
+
   /// Bulk DMA from `src` memory into `dst` memory. `on_local_complete`
   /// fires when the engine has finished reading source memory; the
   /// destination handler `on_data` runs at delivery time.
@@ -136,6 +144,9 @@ class Machine {
   [[nodiscard]] std::int64_t hw_bcasts() const { return hw_bcasts_; }
   [[nodiscard]] std::int64_t hw_barriers() const { return hw_barriers_; }
 
+  /// Remote-word/remote-event transactions launched (one-sided MPI ops).
+  [[nodiscard]] std::int64_t rma_txns() const { return rma_txns_; }
+
  private:
   void deliver_txn(int src, int dst, int port, Bytes data, bool broadcast_path);
 
@@ -151,6 +162,7 @@ class Machine {
   std::int64_t dma_bytes_moved_ = 0;
   std::int64_t hw_bcasts_ = 0;
   std::int64_t hw_barriers_ = 0;
+  std::int64_t rma_txns_ = 0;
 };
 
 }  // namespace lcmpi::meiko

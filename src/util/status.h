@@ -18,6 +18,7 @@ enum class Err {
   kResources,      // envelope/unexpected-buffer resources exhausted
   kBufferExhausted,// buffered send with insufficient attached buffer
   kBadArgument,    // invalid count/datatype/rank/tag
+  kRange,          // one-sided access outside the target window bounds
   kInternal,
 };
 
@@ -29,6 +30,7 @@ enum class Err {
     case Err::kResources: return "RESOURCES";
     case Err::kBufferExhausted: return "BUFFER_EXHAUSTED";
     case Err::kBadArgument: return "BAD_ARGUMENT";
+    case Err::kRange: return "RANGE";
     case Err::kInternal: return "INTERNAL";
   }
   return "UNKNOWN";

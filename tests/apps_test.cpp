@@ -4,9 +4,11 @@
 
 #include <cmath>
 
+#include "src/apps/heat2d.h"
 #include "src/apps/matmul.h"
 #include "src/apps/particles.h"
 #include "src/apps/solver.h"
+#include "src/core/cart.h"
 #include "src/runtime/world.h"
 
 namespace lcmpi::apps {
@@ -192,6 +194,70 @@ TEST(ParticlesTest, UnevenPartitionStillCorrect) {
   for (auto& part : got) flat.insert(flat.end(), part.begin(), part.end());
   ASSERT_EQ(flat.size(), want.size());
   for (std::size_t i = 0; i < want.size(); ++i) EXPECT_NEAR(flat[i].fy, want[i].fy, 1e-9);
+}
+
+// ------------------------------------------------------------- heat2d
+
+namespace {
+
+std::vector<double> heat_initial(int n) {
+  std::vector<double> u(static_cast<std::size_t>(n) * n, 0.0);
+  u[static_cast<std::size_t>(n / 2) * n + n / 2] = 1000.0;
+  u[static_cast<std::size_t>(n / 4) * n + n / 3] = 250.0;
+  return u;
+}
+
+std::vector<double> run_heat(int n, int steps, int procs, HaloMode mode) {
+  const std::vector<int> dims = mpi::dims_create(procs, 2);
+  const auto initial = heat_initial(n);
+  std::vector<double> got;
+  LoopWorld w(procs);
+  w.run([&](Comm& c, sim::Actor&) {
+    auto mine = heat2d_parallel(c, dims, initial, n, steps, 0.15, mode);
+    if (!mine.empty()) got = std::move(mine);
+  });
+  return got;
+}
+
+}  // namespace
+
+class Heat2dHaloTest : public testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(Heat2dHaloTest, OneSidedBitIdenticalToTwoSided) {
+  // The differential pin for the one-sided halo exchange: the fence/Put
+  // variant must reproduce the isend/recv variant EXACTLY — same doubles,
+  // not same-to-a-tolerance — at several grid sizes and rank counts.
+  const auto [n, steps, procs] = GetParam();
+  const auto two = run_heat(n, steps, procs, HaloMode::kTwoSided);
+  const auto one = run_heat(n, steps, procs, HaloMode::kOneSided);
+  ASSERT_EQ(two.size(), static_cast<std::size_t>(n) * n);
+  ASSERT_EQ(one.size(), two.size());
+  for (std::size_t i = 0; i < two.size(); ++i) EXPECT_EQ(one[i], two[i]) << "cell " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, Heat2dHaloTest,
+                         testing::Values(std::make_tuple(24, 10, 4),
+                                         std::make_tuple(48, 12, 4),
+                                         std::make_tuple(24, 8, 6),
+                                         std::make_tuple(30, 6, 9)),
+                         [](const auto& info) {
+                           return "n" + std::to_string(std::get<0>(info.param)) + "x" +
+                                  std::to_string(std::get<2>(info.param)) + "ranks";
+                         });
+
+TEST(Heat2dTest, OneSidedMatchesSerialOnMeiko) {
+  const int n = 24, steps = 10, procs = 4;
+  const auto initial = heat_initial(n);
+  const auto want = heat2d_serial(initial, n, steps, 0.15);
+  const std::vector<int> dims = mpi::dims_create(procs, 2);
+  std::vector<double> got;
+  MeikoWorld w(procs);
+  w.run([&](Comm& c, sim::Actor&) {
+    auto mine = heat2d_parallel(c, dims, initial, n, steps, 0.15, HaloMode::kOneSided);
+    if (!mine.empty()) got = std::move(mine);
+  });
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) EXPECT_NEAR(got[i], want[i], 1e-12);
 }
 
 }  // namespace

@@ -1,0 +1,319 @@
+// Differential RMA fuzzer: random-but-seeded epoch schedules of
+// Put/Get/Accumulate run on the real worlds and replayed by a
+// single-threaded reference executor that implements the documented
+// semantics literally — gets read the epoch-start window, puts land in
+// disjoint per-origin slots, accumulates buffer and fold at the fence in
+// ascending (origin rank, program order). Every divergence between a
+// world and the reference is a bug in the window layer, the fabric RMA
+// seam, or the spec itself.
+//
+// The schedule is a pure function of (seed, epoch, rank, nranks), so the
+// reference and every rank of every world regenerate identical op lists
+// with no communication. Region discipline keeps schedules conflict-free
+// under the DESIGN §6i rules while still overlapping heavily:
+//
+//   ints [0,128)    puts only, origin-keyed slots (never read back by gets)
+//   ints [128,192)  accumulates fold here; gets read epoch-start values
+//   ints [192,256)  never written: gets must always see the init pattern
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/win.h"
+#include "src/runtime/world.h"
+#include "tests/world_conformance.h"
+
+namespace lcmpi {
+namespace {
+
+using mpi::Datatype;
+using namespace lcmpi::conformance;
+
+constexpr int kWinInts = 256;  // window extent per rank, in int32s
+constexpr int kPutEnd = 128;   // puts land in [0, kPutEnd)
+constexpr int kAccBeg = 128;   // accumulates fold in [kAccBeg, kAccEnd)
+constexpr int kAccEnd = 192;   // gets read [kAccBeg, kWinInts)
+constexpr int kEpochs = 5;
+
+std::uint64_t mix(std::uint64_t& s) {
+  s += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::int32_t init_val(int rank, int i) {
+  return static_cast<std::int32_t>((rank * 7919 + i * 31 + (i >> 3)) % 97);
+}
+
+// 2x2 integer matrix product mod 97 — associative and non-commutative, so
+// any fold-order deviation between a world and the reference shows up,
+// while the modulus keeps entries bounded over arbitrarily many epochs.
+// Like every window user op, `count` is in TARGET datatype elements
+// (matrices of 4 ints here).
+void matmul_mod97(const void* in, void* inout, int count) {
+  const auto* a = static_cast<const std::int32_t*>(in);
+  auto* b = static_cast<std::int32_t*>(inout);
+  for (int mat = 0; mat < count; ++mat) {
+    const int m = mat * 4;
+    const std::int64_t b0 = b[m], b1 = b[m + 1], b2 = b[m + 2], b3 = b[m + 3];
+    b[m] = static_cast<std::int32_t>(((b0 * a[m] + b1 * a[m + 2]) % 97 + 97) % 97);
+    b[m + 1] = static_cast<std::int32_t>(((b0 * a[m + 1] + b1 * a[m + 3]) % 97 + 97) % 97);
+    b[m + 2] = static_cast<std::int32_t>(((b2 * a[m] + b3 * a[m + 2]) % 97 + 97) % 97);
+    b[m + 3] = static_cast<std::int32_t>(((b2 * a[m + 1] + b3 * a[m + 3]) % 97 + 97) % 97);
+  }
+}
+
+struct FuzzOp {
+  enum class Kind { kPut, kGet, kAccSum, kAccUser };
+  Kind kind = Kind::kPut;
+  int target = 0;  // any rank, including self
+  int disp = 0;    // displacement in int32 units (disp_unit is 4 bytes)
+  int count = 0;   // int32s; multiple of 4 for kAccUser; 0 = zero-length op
+  bool paired = false;  // issue via contiguous(2, int32) derived datatypes
+  std::vector<std::int32_t> data;
+};
+
+/// The schedule one rank issues in one epoch: a pure function of its
+/// arguments, regenerated identically by the reference and every world.
+std::vector<FuzzOp> ops_for(std::uint64_t seed, int epoch, int rank, int n) {
+  std::uint64_t s = seed * 6364136223846793005ull +
+                    static_cast<std::uint64_t>(epoch) * 1442695040888963407ull +
+                    static_cast<std::uint64_t>(rank) * 2862933555777941757ull +
+                    static_cast<std::uint64_t>(n);
+  mix(s);
+  const int slot = kPutEnd / n;  // this origin's put slot on every target
+  const int nops = static_cast<int>(mix(s) % 7);  // 0..6 ops per epoch
+  std::vector<FuzzOp> ops;
+  ops.reserve(static_cast<std::size_t>(nops));
+  for (int i = 0; i < nops; ++i) {
+    FuzzOp op;
+    op.target = static_cast<int>(mix(s) % static_cast<std::uint64_t>(n));
+    const int roll = static_cast<int>(mix(s) % 100);
+    if (roll < 35) {
+      op.kind = FuzzOp::Kind::kPut;
+      const int off = static_cast<int>(mix(s) % static_cast<std::uint64_t>(slot));
+      op.disp = rank * slot + off;
+      op.count = 1 + static_cast<int>(mix(s) % static_cast<std::uint64_t>(slot - off));
+    } else if (roll < 65) {
+      op.kind = FuzzOp::Kind::kGet;
+      op.disp = kAccBeg + static_cast<int>(mix(s) % (kWinInts - kAccBeg));
+      const int room = kWinInts - op.disp;
+      op.count = 1 + static_cast<int>(mix(s) % static_cast<std::uint64_t>(room < 32 ? room : 32));
+    } else if (roll < 85) {
+      op.kind = FuzzOp::Kind::kAccSum;
+      op.disp = kAccBeg + static_cast<int>(mix(s) % (kAccEnd - kAccBeg));
+      op.count = 1 + static_cast<int>(mix(s) % static_cast<std::uint64_t>(kAccEnd - op.disp));
+    } else {
+      op.kind = FuzzOp::Kind::kAccUser;
+      const int m = static_cast<int>(mix(s) % ((kAccEnd - kAccBeg) / 4));
+      const int room = (kAccEnd - kAccBeg) / 4 - m;
+      op.disp = kAccBeg + 4 * m;
+      op.count = 4 * (1 + static_cast<int>(mix(s) % static_cast<std::uint64_t>(room < 4 ? room : 4)));
+    }
+    if (mix(s) % 20 == 0) op.count = 0;  // occasional zero-length op
+    op.paired = op.kind != FuzzOp::Kind::kAccUser && op.kind != FuzzOp::Kind::kAccSum &&
+                op.count > 0 && op.count % 2 == 0 && mix(s) % 3 == 0;
+    if (op.kind != FuzzOp::Kind::kGet) {
+      op.data.resize(static_cast<std::size_t>(op.count));
+      for (auto& v : op.data)
+        v = static_cast<std::int32_t>(mix(s) % (op.kind == FuzzOp::Kind::kAccSum ? 100 : 97));
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+std::int64_t masked_fnv(const std::vector<std::int32_t>& v) {
+  return static_cast<std::int64_t>(fnv1a(v.data(), v.size() * sizeof(std::int32_t)) &
+                                   0x7fffffffffff);
+}
+
+/// The single-threaded reference executor: the documented semantics,
+/// implemented with plain arrays and no concurrency at all.
+std::vector<RankLog> run_reference(std::uint64_t seed, int n) {
+  std::vector<RankLog> logs(static_cast<std::size_t>(n));
+  std::vector<std::vector<std::int32_t>> win(
+      static_cast<std::size_t>(n), std::vector<std::int32_t>(kWinInts));
+  for (int r = 0; r < n; ++r)
+    for (int i = 0; i < kWinInts; ++i) win[static_cast<std::size_t>(r)][static_cast<std::size_t>(i)] = init_val(r, i);
+
+  for (int epoch = 1; epoch <= kEpochs; ++epoch) {
+    const auto snap = win;  // gets observe the epoch-start window
+    // Accumulates buffer per target; iterating origins in ascending rank
+    // order and appending in program order yields exactly the documented
+    // (origin, seq) fold order with no sort needed.
+    std::vector<std::vector<const FuzzOp*>> accs(static_cast<std::size_t>(n));
+    std::vector<std::vector<FuzzOp>> sched(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) {
+      sched[static_cast<std::size_t>(r)] = ops_for(seed, epoch, r, n);
+      for (const FuzzOp& op : sched[static_cast<std::size_t>(r)]) {
+        if (op.kind == FuzzOp::Kind::kGet) {
+          // Gets log in issue order — zero-length ones log an empty buffer.
+          std::vector<std::int32_t> got(
+              snap[static_cast<std::size_t>(op.target)].begin() + op.disp,
+              snap[static_cast<std::size_t>(op.target)].begin() + op.disp + op.count);
+          logs[static_cast<std::size_t>(r)].log_scalar(masked_fnv(got));
+          continue;
+        }
+        if (op.count == 0) continue;  // zero-length: no bytes, no fold
+        switch (op.kind) {
+          case FuzzOp::Kind::kPut:
+            for (int i = 0; i < op.count; ++i)
+              win[static_cast<std::size_t>(op.target)][static_cast<std::size_t>(op.disp + i)] =
+                  op.data[static_cast<std::size_t>(i)];
+            break;
+          case FuzzOp::Kind::kAccSum:
+          case FuzzOp::Kind::kAccUser:
+            accs[static_cast<std::size_t>(op.target)].push_back(&op);
+            break;
+          case FuzzOp::Kind::kGet:
+            break;  // handled above
+        }
+      }
+    }
+    for (int t = 0; t < n; ++t) {
+      auto& w = win[static_cast<std::size_t>(t)];
+      for (const FuzzOp* op : accs[static_cast<std::size_t>(t)]) {
+        if (op->kind == FuzzOp::Kind::kAccSum) {
+          for (int i = 0; i < op->count; ++i)
+            w[static_cast<std::size_t>(op->disp + i)] += op->data[static_cast<std::size_t>(i)];
+        } else {
+          matmul_mod97(op->data.data(), &w[static_cast<std::size_t>(op->disp)], op->count / 4);
+        }
+      }
+    }
+    for (int r = 0; r < n; ++r)
+      logs[static_cast<std::size_t>(r)].log_scalar(masked_fnv(win[static_cast<std::size_t>(r)]));
+  }
+  return logs;
+}
+
+/// The same schedule issued through a real Win on whatever world runs it.
+Program fuzz_program(std::uint64_t seed) {
+  return [seed](mpi::Comm& c, RankLog& log) {
+    const int n = c.size();
+    const int me = c.rank();
+    const auto i32 = Datatype::int32_type();
+    const auto pair2 = Datatype::contiguous(2, i32);
+    const auto mat4 = Datatype::contiguous(4, i32);
+    std::vector<std::int32_t> wbuf(kWinInts);
+    for (int i = 0; i < kWinInts; ++i) wbuf[static_cast<std::size_t>(i)] = init_val(me, i);
+    mpi::Win win(c, wbuf.data(), kWinInts * sizeof(std::int32_t), sizeof(std::int32_t));
+    win.register_user_op(3, mpi::Comm::UserOp(matmul_mod97));
+
+    for (int epoch = 1; epoch <= kEpochs; ++epoch) {
+      const auto ops = ops_for(seed, epoch, me, n);
+      std::vector<std::vector<std::int32_t>> got;
+      got.reserve(ops.size());
+      for (const FuzzOp& op : ops) {
+        switch (op.kind) {
+          case FuzzOp::Kind::kPut:
+            if (op.paired)
+              win.put(op.data.data(), op.count / 2, pair2, op.target, op.disp,
+                      op.count / 2, pair2);
+            else
+              win.put(op.data.data(), op.count, i32, op.target, op.disp, op.count, i32);
+            break;
+          case FuzzOp::Kind::kGet: {
+            got.emplace_back(static_cast<std::size_t>(op.count));
+            auto& buf = got.back();
+            if (op.paired)
+              win.get(buf.data(), op.count / 2, pair2, op.target, op.disp,
+                      op.count / 2, pair2);
+            else
+              win.get(buf.data(), op.count, i32, op.target, op.disp, op.count, i32);
+            break;
+          }
+          case FuzzOp::Kind::kAccSum:
+            win.accumulate(op.data.data(), op.count, i32, op.target, op.disp,
+                           op.count, i32, mpi::Op::kSum);
+            break;
+          case FuzzOp::Kind::kAccUser:
+            win.accumulate(op.data.data(), op.count / 4, mat4, op.target, op.disp,
+                           op.count / 4, mat4, mpi::Op::kSum, /*user_op_id=*/3);
+            break;
+        }
+      }
+      win.fence();
+      for (const auto& buf : got) log.log_scalar(masked_fnv(buf));
+      log.log_scalar(masked_fnv(wbuf));
+      // The fnv read above scans the whole window outside the RMA API; a
+      // barrier keeps fast peers from opening next-epoch direct puts into
+      // our put region while we are still hashing it.
+      c.barrier();
+    }
+    win.free();
+  };
+}
+
+// ------------------------------------------------------------------ legs
+
+TEST(RmaFuzz, ReferenceIsDeterministic) {
+  expect_logs_equal(run_reference(1, 4), run_reference(1, 4));
+}
+
+TEST(RmaFuzz, LoopMatchesReference) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const int n = seed % 2 == 0 ? 3 : 4;
+    SCOPED_TRACE("seed=" + std::to_string(seed) + " n=" + std::to_string(n));
+    expect_logs_equal(run_reference(seed, n), run_on_loop(n, fuzz_program(seed)));
+  }
+}
+
+TEST(RmaFuzz, ThreadsMatchesReference) {
+  // DIRECT strategy: true shared-memory stores/loads plus the mutex-guarded
+  // accumulate sink, under real concurrency (this binary runs under TSan
+  // in CI).
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const int n = seed % 2 == 0 ? 3 : 4;
+    SCOPED_TRACE("seed=" + std::to_string(seed) + " n=" + std::to_string(n));
+    std::vector<RankLog> logs(static_cast<std::size_t>(n));
+    runtime::ThreadsWorld world(n);
+    const Program prog = fuzz_program(seed);
+    world.run([&prog, &logs](mpi::Comm& comm, sim::Actor&) {
+      prog(comm, logs[static_cast<std::size_t>(comm.rank())]);
+    });
+    expect_logs_equal(run_reference(seed, n), logs);
+  }
+}
+
+TEST(RmaFuzz, SocketMatchesReference) {
+  // MESSAGE strategy across real process boundaries; fewer seeds — each
+  // run forks a world.
+  for (std::uint64_t seed = 21; seed <= 23; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    runtime::SocketWorld world(4);
+    const Program prog = fuzz_program(seed);
+    const std::vector<Bytes> raw =
+        world.run_collect([&prog](mpi::Comm& comm, sim::Actor&) {
+          RankLog log;
+          prog(comm, log);
+          return log.serialize();
+        });
+    std::vector<RankLog> logs;
+    logs.reserve(raw.size());
+    for (const Bytes& b : raw) logs.push_back(RankLog::deserialize(b));
+    expect_logs_equal(run_reference(seed, 4), logs);
+  }
+}
+
+TEST(RmaFuzz, MeikoMatchesReference) {
+  // MESSAGE strategy over the modelled Elan remote-transaction path.
+  for (std::uint64_t seed = 31; seed <= 33; ++seed) {
+    const int n = seed % 2 == 0 ? 3 : 4;
+    SCOPED_TRACE("seed=" + std::to_string(seed) + " n=" + std::to_string(n));
+    std::vector<RankLog> logs(static_cast<std::size_t>(n));
+    runtime::MeikoWorld world(n);
+    const Program prog = fuzz_program(seed);
+    world.run([&prog, &logs](mpi::Comm& comm, sim::Actor&) {
+      prog(comm, logs[static_cast<std::size_t>(comm.rank())]);
+    });
+    expect_logs_equal(run_reference(seed, n), logs);
+  }
+}
+
+}  // namespace
+}  // namespace lcmpi

@@ -1,0 +1,241 @@
+// One-sided MPI: window/epoch semantics, cross-world conformance of the
+// RMA battery, the Meiko remote-transaction model, and the error paths
+// (out-of-bounds ops, freeing inside an open epoch, bad datatypes) at both
+// the core and the C API layer.
+//
+// The differential fuzzer for random epoch schedules lives in
+// tests/rma_fuzz_test.cpp; this file pins the deterministic battery and
+// the documented failure modes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/capi/mpi.h"
+#include "src/core/win.h"
+#include "src/runtime/world.h"
+#include "tests/world_conformance.h"
+
+namespace lcmpi {
+namespace {
+
+using mpi::Datatype;
+using namespace lcmpi::conformance;
+
+std::vector<RankLog> run_on_meiko(int nranks, const Program& prog,
+                                  std::int64_t* rma_txns_out = nullptr) {
+  std::vector<RankLog> logs(static_cast<std::size_t>(nranks));
+  runtime::MeikoWorld world(nranks);
+  world.run([&prog, &logs](mpi::Comm& comm, sim::Actor&) {
+    prog(comm, logs[static_cast<std::size_t>(comm.rank())]);
+  });
+  if (rma_txns_out != nullptr) *rma_txns_out = world.machine().rma_txns();
+  return logs;
+}
+
+// ---------------------------------------------------------- conformance
+
+TEST(RmaConformance, MeikoMatchesLoop) {
+  // Both worlds use the MESSAGE strategy, but the Meiko rides the modelled
+  // Elan remote-word/remote-event transactions — which must actually have
+  // been used (the counter), and must not change a single byte.
+  std::int64_t txns = 0;
+  const auto meiko = run_on_meiko(4, rma_battery_program, &txns);
+  expect_logs_equal(run_on_loop(4, rma_battery_program), meiko);
+  EXPECT_GT(txns, 0) << "battery never touched the remote-transaction path";
+}
+
+TEST(RmaConformance, MeikoMatchesLoopOddSize) {
+  expect_logs_equal(run_on_loop(3, rma_battery_program),
+                    run_on_meiko(3, rma_battery_program));
+}
+
+TEST(RmaConformance, LoopBatteryTwoRanks) {
+  // Smallest interesting world: right == left == the only peer, so every
+  // remote op aims at one rank and self-ops interleave with it.
+  const auto logs = run_on_loop(2, rma_battery_program);
+  ASSERT_EQ(logs.size(), 2u);
+  // 5 window snapshots + the final epoch count per rank.
+  EXPECT_EQ(logs[0].scalars.size(), 6u);
+}
+
+TEST(RmaMeiko, PureRmaTrafficUsesOnlyRemoteTransactions) {
+  // An epoch of puts moves through Machine::rma_txn; the ordinary
+  // transaction path still carries the fence collectives, but the counter
+  // proves the one-sided frames took the cheap calibrated path.
+  runtime::MeikoWorld world(2);
+  world.run([](mpi::Comm& c, sim::Actor&) {
+    const auto i32 = Datatype::int32_type();
+    std::vector<std::int32_t> wbuf(32, 0);
+    mpi::Win win(c, wbuf.data(), 128, 4);
+    win.fence();
+    std::int32_t v = c.rank() + 1;
+    win.put(&v, 1, i32, 1 - c.rank(), 0, 1, i32);
+    win.fence();
+    if (wbuf[0] != (1 - c.rank()) + 1) throw std::runtime_error("put did not land");
+    win.free();
+  });
+  // One put frame per rank = 2 remote transactions minimum.
+  EXPECT_GE(world.machine().rma_txns(), 2);
+}
+
+// ----------------------------------------------------------- error paths
+
+TEST(RmaErrors, OutOfBoundsPutAndGetRaiseRangeAtOrigin) {
+  // Per-rank window sizes differ (allgathered at creation), so the origin
+  // range-checks against the TARGET's bounds before any bytes move.
+  runtime::LoopWorld world(2);
+  world.run([](mpi::Comm& c, sim::Actor&) {
+    const auto i32 = Datatype::int32_type();
+    // Rank 0 exposes 64 bytes, rank 1 only 16.
+    const std::int64_t bytes = c.rank() == 0 ? 64 : 16;
+    std::vector<std::int32_t> wbuf(16, 0);
+    mpi::Win win(c, wbuf.data(), bytes, 4);
+    win.fence();
+    if (c.rank() == 0) {
+      std::int32_t v = 9;
+      // disp 4 * unit 4 = byte 16: one past rank 1's window.
+      try {
+        win.put(&v, 1, i32, 1, 4, 1, i32);
+        throw std::logic_error("oob put did not throw");
+      } catch (const MpiError& e) {
+        EXPECT_EQ(e.code(), Err::kRange);
+        EXPECT_NE(std::string(e.what()).find("target rank 1"), std::string::npos)
+            << e.what();
+      }
+      std::int32_t got = 0;
+      try {
+        win.get(&got, 1, i32, 1, -1, 1, i32);  // negative displacement
+        throw std::logic_error("oob get did not throw");
+      } catch (const MpiError& e) {
+        EXPECT_EQ(e.code(), Err::kRange);
+      }
+      // In-bounds on rank 1 still works; in-bounds on rank 0's larger
+      // window would be OOB on rank 1 — bounds are per target.
+      win.put(&v, 1, i32, 1, 3, 1, i32);
+      win.put(&v, 1, i32, 0, 15, 1, i32);
+    }
+    win.fence();
+    win.free();
+  });
+}
+
+TEST(RmaErrors, AccumulateValidatesDatatypes) {
+  runtime::LoopWorld world(2);
+  world.run([](mpi::Comm& c, sim::Actor&) {
+    const auto i32 = Datatype::int32_type();
+    std::vector<std::int32_t> wbuf(16, 0);
+    mpi::Win win(c, wbuf.data(), 64, 4);
+    win.fence();
+    std::int32_t v[4] = {1, 2, 3, 4};
+    // Built-in op on a non-primitive target element: rejected.
+    const auto mat4 = Datatype::contiguous(4, i32);
+    EXPECT_THROW(win.accumulate(v, 1, mat4, 1 - c.rank(), 0, 1, mat4, mpi::Op::kSum),
+                 MpiError);
+    // Strided target: windows only accept contiguous target layouts.
+    const auto strided = Datatype::vector(2, 1, 2, i32);
+    EXPECT_THROW(win.put(v, 2, i32, 1 - c.rank(), 0, 1, strided), MpiError);
+    // Origin/target byte sizes must agree.
+    EXPECT_THROW(win.put(v, 1, i32, 1 - c.rank(), 0, 2, i32), MpiError);
+    win.fence();
+    win.free();
+  });
+}
+
+TEST(RmaErrors, FreeInsideOpenEpochThrowsThenSucceedsAfterFence) {
+  runtime::LoopWorld world(2);
+  world.run([](mpi::Comm& c, sim::Actor&) {
+    const auto i32 = Datatype::int32_type();
+    std::vector<std::int32_t> wbuf(16, 0);
+    mpi::Win win(c, wbuf.data(), 64, 4);
+    win.fence();
+    std::int32_t v = c.rank();
+    win.put(&v, 1, i32, (c.rank() + 1) % c.size(), 0, 1, i32);
+    // Every rank has issued an op since its last fence: free must refuse
+    // (and throw before its collective, so the ranks stay in step).
+    try {
+      win.free();
+      throw std::logic_error("free with open epoch did not throw");
+    } catch (const MpiError& e) {
+      EXPECT_EQ(e.code(), Err::kBadArgument);
+      EXPECT_NE(std::string(e.what()).find("open access epoch"), std::string::npos)
+          << e.what();
+    }
+    win.fence();
+    win.free();  // now clean
+    EXPECT_THROW(win.fence(), InternalError);  // freed window: no more ops
+  });
+}
+
+// ------------------------------------------------------------------ C API
+
+TEST(RmaCapi, WindowLifecycleOverLoopWorld) {
+  runtime::LoopWorld world(2);
+  capi::run_on(world, [] {
+    MPI_Init(nullptr, nullptr);
+    int rank = -1;
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    const int peer = 1 - rank;
+    int wbuf[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    MPI_Win win = MPI_WIN_NULL;
+    ASSERT_EQ(MPI_Win_create(wbuf, sizeof wbuf, sizeof(int), MPI_INFO_NULL,
+                             MPI_COMM_WORLD, &win),
+              MPI_SUCCESS);
+    ASSERT_EQ(MPI_Win_fence(0, win), MPI_SUCCESS);
+    int v = 7 + rank;
+    ASSERT_EQ(MPI_Put(&v, 1, MPI_INT, peer, rank, 1, MPI_INT, win), MPI_SUCCESS);
+    ASSERT_EQ(MPI_Win_fence(0, win), MPI_SUCCESS);
+    EXPECT_EQ(wbuf[peer], 7 + peer);  // the peer's put landed in my slot
+
+    // Accumulate into the same slot the put filled: origin rank r targets
+    // displacement r everywhere, so my slot `peer` is written by the peer.
+    int add = 10 * (rank + 1);
+    ASSERT_EQ(MPI_Accumulate(&add, 1, MPI_INT, peer, rank, 1, MPI_INT, MPI_SUM, win),
+              MPI_SUCCESS);
+    ASSERT_EQ(MPI_Win_fence(0, win), MPI_SUCCESS);
+    EXPECT_EQ(wbuf[peer], 7 + peer + 10 * (peer + 1));
+
+    // Read my own contribution back out of the peer's window.
+    int back = -1;
+    ASSERT_EQ(MPI_Get(&back, 1, MPI_INT, peer, rank, 1, MPI_INT, win), MPI_SUCCESS);
+    ASSERT_EQ(MPI_Win_fence(0, win), MPI_SUCCESS);
+    EXPECT_EQ(back, 7 + rank + 10 * (rank + 1));
+
+    ASSERT_EQ(MPI_Win_free(&win), MPI_SUCCESS);
+    EXPECT_EQ(win, MPI_WIN_NULL);
+    MPI_Finalize();
+  });
+}
+
+TEST(RmaCapi, ErrorsMapToMpiCodes) {
+  runtime::LoopWorld world(2);
+  capi::run_on(world, [] {
+    MPI_Init(nullptr, nullptr);
+    int rank = -1;
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    const int peer = 1 - rank;
+    int wbuf[8] = {0};
+    MPI_Win win = MPI_WIN_NULL;
+    ASSERT_EQ(MPI_Win_create(wbuf, sizeof wbuf, sizeof(int), MPI_INFO_NULL,
+                             MPI_COMM_WORLD, &win),
+              MPI_SUCCESS);
+    MPI_Win_fence(0, win);
+    int v = 3;
+    // Catchable range error, no bytes moved, handle still usable.
+    EXPECT_EQ(MPI_Put(&v, 1, MPI_INT, peer, 99, 1, MPI_INT, win), MPI_ERR_RANGE);
+    EXPECT_EQ(MPI_Get(&v, 1, MPI_INT, peer, -1, 1, MPI_INT, win), MPI_ERR_RANGE);
+    EXPECT_EQ(MPI_Accumulate(&v, 1, MPI_INT, peer, 8, 1, MPI_INT, MPI_SUM, win),
+              MPI_ERR_RANGE);
+    // Open epoch: free refuses with MPI_ERR_ARG and keeps the handle.
+    ASSERT_EQ(MPI_Put(&v, 1, MPI_INT, peer, 0, 1, MPI_INT, win), MPI_SUCCESS);
+    EXPECT_EQ(MPI_Win_free(&win), MPI_ERR_ARG);
+    EXPECT_NE(win, MPI_WIN_NULL);
+    MPI_Win_fence(0, win);
+    EXPECT_EQ(MPI_Win_free(&win), MPI_SUCCESS);
+    MPI_Finalize();
+  });
+}
+
+}  // namespace
+}  // namespace lcmpi

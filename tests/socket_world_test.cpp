@@ -322,6 +322,43 @@ TEST(SocketWorldTest, PeerDeathMidBulkTransferStream) {
   }
 }
 
+// ------------------------------------------------------------- one-sided RMA
+
+TEST(SocketWorldConformance, OneSidedRmaBattery) {
+  // Separate address spaces force the MESSAGE strategy: kRma* frames on
+  // the control plane, serviced by the target's progress loop. Logs must
+  // match the LoopWorld reference rank by rank.
+  conform(4, rma_battery_program);
+}
+
+TEST(SocketWorldConformance, OneSidedRmaBatteryThreeRanks) {
+  conform(3, rma_battery_program);
+}
+
+TEST(SocketWorldTest, PeerDeathMidRmaEpochNamesThePeer) {
+  // Rank 1 dies inside an open access epoch; rank 0's fence blocks in the
+  // reduce-scatter / frame wait and must surface a FabricError naming the
+  // dead rank instead of hanging.
+  runtime::SocketWorld world(2);
+  try {
+    world.run([](mpi::Comm& c, sim::Actor&) {
+      const auto i32 = Datatype::int32_type();
+      std::vector<std::int32_t> wbuf(16, 0);
+      mpi::Win win(c, wbuf.data(), 64, 4);
+      win.fence();
+      if (c.rank() == 1) std::_Exit(7);  // dies mid-epoch, no BYE
+      std::int32_t v = 5;
+      win.put(&v, 1, i32, 1, 0, 1, i32);
+      win.fence();  // never completes: the peer is gone
+    });
+    FAIL() << "mid-epoch peer death was not detected";
+  } catch (const fabric::FabricError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("died"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 1"), std::string::npos) << what;
+  }
+}
+
 // ------------------------------------------------------ process-only bits
 
 TEST(SocketWorldTest, ReportsWallClockTime) {

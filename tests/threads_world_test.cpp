@@ -232,6 +232,51 @@ TEST(ThreadsWorldConformance, WholeBatteryBackToBack) {
   conform(3, collectives_program);
 }
 
+// ------------------------------------------------------------- one-sided RMA
+
+TEST(ThreadsWorldConformance, OneSidedRmaBattery) {
+  // The shared address space commits the window to the DIRECT strategy
+  // (true stores/loads, fence barriers for the ordering edges); the logs
+  // must match the LoopWorld MESSAGE strategy byte for byte.
+  conform(4, rma_battery_program);
+}
+
+TEST(ThreadsWorldConformance, OneSidedRmaBatteryOddSize) {
+  conform(3, rma_battery_program);
+}
+
+TEST(ThreadsWorldConformance, OneSidedRmaBatteryMuxMode) {
+  fabric::ShmFabric::Options opt;
+  opt.mux = true;
+  conform(4, rma_battery_program, opt);
+}
+
+TEST(ThreadsWorldTest, RmaWindowPicksDirectStrategy) {
+  // Every pair shares the address space, so window creation must agree on
+  // direct mode — puts are stores, and a put/get round trip works without
+  // any target-side progress beyond the fence.
+  runtime::ThreadsWorld world(2);
+  world.run([](mpi::Comm& c, sim::Actor&) {
+    const auto i32 = Datatype::int32_type();
+    std::vector<std::int32_t> wbuf(16, 0);
+    mpi::Win win(c, wbuf.data(), 64, 4);
+    if (!win.direct_mode()) throw std::runtime_error("expected DIRECT strategy");
+    win.fence();
+    std::int32_t v = 100 + c.rank();
+    win.put(&v, 1, i32, 1 - c.rank(), static_cast<std::int64_t>(c.rank()), 1, i32);
+    win.fence();
+    // My slot `1 - my rank` now holds the peer's value.
+    if (wbuf[static_cast<std::size_t>(1 - c.rank())] != 100 + (1 - c.rank()))
+      throw std::runtime_error("direct put did not land");
+    win.fence();
+    std::int32_t back = -1;
+    win.get(&back, 1, i32, 1 - c.rank(), static_cast<std::int64_t>(c.rank()), 1, i32);
+    win.fence();
+    if (back != 100 + c.rank()) throw std::runtime_error("direct get mismatch");
+    win.free();
+  });
+}
+
 // ------------------------------------------------------- threads-only bits
 
 TEST(ThreadsWorldTest, ReportsWallClockAndTransportStats) {

@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/win.h"
 #include "src/runtime/world.h"
 
 namespace lcmpi::conformance {
@@ -476,6 +477,127 @@ inline void truncation_program(mpi::Comm& c, RankLog& log) {
     log.log_msg(st.source, st.tag, fnv1a(in.data(), in.size()));
   }
   c.barrier();
+}
+
+/// The one-sided battery: Put/Get/Accumulate across sizes (self-target and
+/// zero-length included), a strided origin datatype against a contiguous
+/// target, built-in integer and double accumulates, a non-commutative
+/// user-op accumulate (fold order must be ascending origin rank on every
+/// strategy), and back-to-back fences closing an empty epoch. The window
+/// checksum is logged after every epoch — byte-identical windows on every
+/// world, DIRECT or MESSAGE strategy alike, is the pinned observable.
+///
+/// Epoch conflict discipline (DESIGN §6i): put regions are origin-keyed
+/// slots, so puts never overlap across origins; get epochs issue no puts;
+/// accumulates overlap freely.
+inline void rma_battery_program(mpi::Comm& c, RankLog& log) {
+  const auto i32 = mpi::Datatype::int32_type();
+  const auto f64 = mpi::Datatype::double_type();
+  const int n = c.size();
+  const int me = c.rank();
+  const int right = (me + 1) % n;
+  const int left = (me + n - 1) % n;
+
+  // Window: 4096 int32 (disp unit = 4 bytes). Layout:
+  //   [0, 2048)      put/get playground, origin slot o = [o*slot, (o+1)*slot)
+  //   [2048, 2560)   built-in int accumulate region (origins overlap)
+  //   [2560, 2688)   user-op (2x2 matmul) accumulate region
+  //   [3072, 3104)   double-sum region (16 doubles, 8-byte aligned)
+  constexpr std::int64_t kWinInts = 4096;
+  const std::int64_t slot = 2048 / n;
+  std::vector<std::int32_t> wbuf(static_cast<std::size_t>(kWinInts));
+  for (std::int64_t i = 0; i < kWinInts; ++i)
+    wbuf[static_cast<std::size_t>(i)] =
+        i >= 3072 ? 0 : static_cast<std::int32_t>((i * 7 + me * 13) % 3);
+  mpi::Win win(c, wbuf.data(), kWinInts * 4, 4);
+  win.register_user_op(7, mpi::Comm::UserOp(matmul2x2_combine));
+
+  auto snap = [&] {
+    log.log_scalar(static_cast<std::int64_t>(
+        fnv1a(wbuf.data(), wbuf.size() * 4) & 0x7fffffffffff));
+  };
+
+  // --- epoch 1: puts at three sizes into right / stride-2 / self ---------
+  win.fence();
+  {
+    std::vector<std::int32_t> src(static_cast<std::size_t>(slot));
+    for (std::int64_t i = 0; i < slot; ++i)
+      src[static_cast<std::size_t>(i)] = static_cast<std::int32_t>((me * 31 + i) % 3);
+    const std::int64_t my_slot = me * slot;
+    win.put(src.data(), 1, i32, right, my_slot, 1, i32);
+    win.put(src.data(), static_cast<int>(slot / 2), i32, (me + 2) % n,
+            my_slot, static_cast<int>(slot / 2), i32);
+    win.put(src.data(), static_cast<int>(slot), i32, me, my_slot,
+            static_cast<int>(slot), i32);  // self-target, full slot
+    win.put(src.data(), 0, i32, right, 0, 0, i32);  // zero-length: a no-op
+    // Strided origin against a contiguous target: 4 ints, origin stride 2.
+    auto v42 = mpi::Datatype::vector(4, 1, 2, i32);
+    if (slot >= 16)
+      win.put(src.data(), 1, v42, right, my_slot + slot - 4, 4, i32);
+  }
+  win.fence();
+  snap();
+
+  // --- epoch 2: gets only (read-only epoch; no put conflicts) ------------
+  {
+    // The full slot left put into itself last epoch, read back.
+    std::vector<std::int32_t> got(static_cast<std::size_t>(slot), -1);
+    win.get(got.data(), static_cast<int>(slot / 2), i32, left, left * slot,
+            static_cast<int>(slot / 2), i32);
+    // Self-get through a strided origin layout (unpacked at the origin).
+    std::vector<std::int32_t> strided(8, -1);
+    auto v42 = mpi::Datatype::vector(4, 1, 2, i32);
+    win.get(strided.data(), 1, v42, me, 2048, 4, i32);
+    win.get(got.data(), 0, i32, right, 0, 0, i32);  // zero-length get
+    win.fence();
+    log.log_msg(left, 9001, fnv1a(got.data(), got.size() * 4));
+    log.log_msg(me, 9002, fnv1a(strided.data(), strided.size() * 4));
+  }
+  snap();
+
+  // --- epoch 3: built-in accumulates, int sum + double sum ---------------
+  {
+    std::vector<std::int32_t> acc(64);
+    for (std::size_t i = 0; i < acc.size(); ++i)
+      acc[i] = static_cast<std::int32_t>((static_cast<std::size_t>(me) * 17 + i) % 5);
+    // Overlapping contributions into three targets, self included.
+    win.accumulate(acc.data(), 64, i32, right, 2048, 64, i32, mpi::Op::kSum);
+    win.accumulate(acc.data(), 64, i32, (me + 2) % n, 2048, 64, i32, mpi::Op::kSum);
+    win.accumulate(acc.data(), 32, i32, me, 2048, 32, i32, mpi::Op::kSum);
+    win.accumulate(acc.data(), 0, i32, right, 2048, 0, i32, mpi::Op::kSum);
+    // Double sum: fold order is pinned (ascending origin rank), so even
+    // floating-point sums are byte-identical across worlds.
+    double d[16];
+    for (int i = 0; i < 16; ++i) d[i] = me + 0.5 * i;
+    win.accumulate(d, 16, f64, right, /*disp=*/3072, 16, f64, mpi::Op::kSum);
+  }
+  win.fence();
+  snap();
+
+  // --- epoch 4: non-commutative user-op accumulate -----------------------
+  {
+    // Cap contributing origins at 8 so the 2x2 products stay in int32.
+    // One datatype element is one whole matrix, so the user op's count
+    // argument is matrix-granular (the fold calls fn(data, window, count)).
+    if (me < 8) {
+      const auto mat4 = mpi::Datatype::contiguous(4, i32);
+      std::vector<std::int32_t> mats(32);
+      for (std::size_t i = 0; i < mats.size(); ++i)
+        mats[i] = static_cast<std::int32_t>((static_cast<std::size_t>(me) * 31 + i) % 3);
+      win.accumulate(mats.data(), 8, mat4, right, 2560, 8, mat4, mpi::Op::kSum,
+                     /*user_op_id=*/7);
+    }
+  }
+  win.fence();
+  snap();
+
+  // --- epoch 5: back-to-back fences around an empty epoch ----------------
+  win.fence();
+  win.fence();
+  snap();
+
+  win.free();
+  log.log_scalar(static_cast<std::int64_t>(win.epoch()));
 }
 
 }  // namespace lcmpi::conformance
