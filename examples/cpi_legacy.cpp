@@ -3,12 +3,18 @@
 // A 1996 MPI program runs unmodified over the simulated Meiko CS/2 —
 // the portability promise the MPI standard (and the paper) is about.
 //
-//   ./cpi_legacy [intervals] [procs]
+//   ./cpi_legacy [intervals] [procs]          # simulated Meiko CS/2
+//   lcmpirun -n 4 ./cpi_legacy [intervals]    # real processes/cluster
+//
+// Under lcmpirun the binary detects the LCMPI_* environment and runs as
+// ONE rank of a real socket-fabric world instead of simulating all of
+// them — the same legacy program, now actually distributed.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
 #include "src/capi/mpi.h"
+#include "src/runtime/bootstrap.h"
 
 namespace {
 
@@ -51,8 +57,14 @@ void cpi_main() {
 
 int main(int argc, char** argv) {
   g_intervals = argc > 1 ? std::atoi(argv[1]) : 10000;
-  const int procs = argc > 2 ? std::atoi(argv[2]) : 8;
 
+  if (lcmpi::runtime::bootstrap::env_launched()) {
+    // Started by lcmpirun: this process IS one rank; the world's size
+    // and wiring come from the environment.
+    return lcmpi::capi::run_env(cpi_main);
+  }
+
+  const int procs = argc > 2 ? std::atoi(argv[2]) : 8;
   lcmpi::runtime::MeikoWorld world(procs);
   lcmpi::capi::run_on(world, cpi_main);
   return 0;

@@ -1,15 +1,16 @@
-// lcmpirun — an mpirun-style driver for the simulated platforms.
+// simrun — an mpirun-style driver for the SIMULATED platforms (the real-
+// cluster launcher is `lcmpirun`, src/tools).
 //
 // Picks a platform, a rank count, and a built-in application, runs it, and
 // reports simulated time plus a rank-0 MPI profile. Ties the whole library
 // together from one command line:
 //
-//   ./lcmpirun --platform meiko        --ranks 16 --app solver    --n 128
-//   ./lcmpirun --platform mpich        --ranks 8  --app particles --n 24
-//   ./lcmpirun --platform tcp-atm      --ranks 8  --app particles --n 128
-//   ./lcmpirun --platform tcp-eth      --ranks 4  --app solver    --n 96
-//   ./lcmpirun --platform rudp-atm     --ranks 4  --app matmul    --n 64
-//   ./lcmpirun --platform meiko --ranks 8 --app pingpong --n 4096
+//   ./simrun --platform meiko        --ranks 16 --app solver    --n 128
+//   ./simrun --platform mpich        --ranks 8  --app particles --n 24
+//   ./simrun --platform tcp-atm      --ranks 8  --app particles --n 128
+//   ./simrun --platform tcp-eth      --ranks 4  --app solver    --n 96
+//   ./simrun --platform rudp-atm     --ranks 4  --app matmul    --n 64
+//   ./simrun --platform meiko --ranks 8 --app pingpong --n 4096
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,7 +35,7 @@ struct Args {
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
-               "usage: lcmpirun [--platform meiko|mpich|tcp-atm|tcp-eth|rudp-atm]\n"
+               "usage: simrun [--platform meiko|mpich|tcp-atm|tcp-eth|rudp-atm]\n"
                "                [--ranks N] [--app solver|matmul|particles|pingpong]\n"
                "                [--n SIZE] [--profile]\n");
   std::exit(2);
@@ -97,7 +98,7 @@ void run_app(const Args& args, C& comm, sim::Actor& self,
 
 int main(int argc, char** argv) {
   const Args args = parse(argc, argv);
-  std::printf("lcmpirun: %s on %s, %d ranks, n=%d\n", args.app.c_str(),
+  std::printf("simrun: %s on %s, %d ranks, n=%d\n", args.app.c_str(),
               args.platform.c_str(), args.ranks, args.n);
 
   mpi::Profiler profile;
@@ -133,7 +134,7 @@ int main(int argc, char** argv) {
       }
     }
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "lcmpirun: %s\n", e.what());
+    std::fprintf(stderr, "simrun: %s\n", e.what());
     return 1;
   }
 

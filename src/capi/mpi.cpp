@@ -7,6 +7,7 @@
 
 #include "src/core/cart.h"
 #include "src/core/win.h"
+#include "src/runtime/bootstrap.h"
 
 namespace {
 
@@ -574,6 +575,24 @@ Duration run_on(runtime::SocketWorld& world, const std::function<void()>& c_main
   // Real processes: the lambda below executes in the forked child, where
   // SocketWorld binds a detached actor exactly as ThreadsWorld does.
   return run_impl(world, c_main);
+}
+
+int run_env(const std::function<void()>& c_main) {
+  // One process = one rank (lcmpirun): same RankState binding as
+  // run_impl, but over the fabric described by the LCMPI_* environment.
+  return runtime::bootstrap::rank_main(
+      [&c_main](mpi::Comm& comm, sim::Actor& actor) {
+        RankState state;
+        state.comms.emplace_back(std::move(comm));
+        actor.set_local(&state);
+        try {
+          c_main();
+        } catch (...) {
+          actor.set_local(nullptr);
+          throw;
+        }
+        actor.set_local(nullptr);
+      });
 }
 
 }  // namespace lcmpi::capi

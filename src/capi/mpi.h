@@ -172,4 +172,12 @@ Duration run_on(runtime::ThreadsWorld& world, const std::function<void()>& c_mai
 /// runs in the child, so side effects stay in the child (wall-clock).
 Duration run_on(runtime::SocketWorld& world, const std::function<void()>& c_main);
 
+/// Real execution as ONE rank of an env-bootstrapped world: the process
+/// was started by lcmpirun (or any launcher exporting LCMPI_RANK etc. —
+/// see runtime::bootstrap::env_launched()), builds its fabric with
+/// SocketFabric::from_env, runs `c_main` with the C API bound, and
+/// reports through its status file. Returns the process exit code for
+/// main() to return.
+[[nodiscard]] int run_env(const std::function<void()>& c_main);
+
 }  // namespace lcmpi::capi

@@ -1,6 +1,8 @@
 #include "src/fabric/socket_fabric.h"
 
+#include <arpa/inet.h>
 #include <fcntl.h>
+#include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -14,10 +16,14 @@
 #include <array>
 #include <atomic>
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <thread>
 #include <utility>
+
+#include "src/util/env.h"
 
 #if defined(__linux__) && defined(SO_ZEROCOPY) && defined(MSG_ZEROCOPY)
 #include <linux/errqueue.h>
@@ -137,14 +143,95 @@ Addr unix_addr(const std::string& path) {
   return a;
 }
 
-Addr inet_addr_port(std::uint16_t port) {
+/// `addr_be` is an IPv4 address in network byte order (as carried in the
+/// Hello table and PeerAddr) — never implied loopback: the caller decides.
+Addr inet_addr_port(std::uint32_t addr_be, std::uint16_t port) {
   Addr a;
   auto* sin = reinterpret_cast<sockaddr_in*>(&a.ss);
   sin->sin_family = AF_INET;
   sin->sin_port = htons(port);
-  sin->sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  sin->sin_addr.s_addr = addr_be;
   a.len = sizeof(sockaddr_in);
   return a;
+}
+
+std::string ipv4_str(std::uint32_t addr_be) {
+  char buf[INET_ADDRSTRLEN] = {};
+  in_addr in{};
+  in.s_addr = addr_be;
+  (void)::inet_ntop(AF_INET, &in, buf, sizeof buf);
+  return buf;
+}
+
+/// Resolves a hostname or dotted quad to an IPv4 address (network byte
+/// order) via getaddrinfo(3). Empty means loopback — the single-box
+/// default every pre-launcher caller relied on.
+std::uint32_t resolve_ipv4(const std::string& host, const char* what) {
+  if (host.empty()) return htonl(INADDR_LOOPBACK);
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), nullptr, &hints, &res);
+  if (rc != 0 || res == nullptr) {
+    die(std::string(what) + ": cannot resolve \"" + host +
+        "\": " + ::gai_strerror(rc));
+  }
+  const std::uint32_t addr =
+      reinterpret_cast<const sockaddr_in*>(res->ai_addr)->sin_addr.s_addr;
+  ::freeaddrinfo(res);
+  return addr;
+}
+
+/// The local IPv4 address of a connected socket — what the routing table
+/// picked to reach the peer, i.e. the right NIC to advertise on a
+/// multi-homed host.
+std::uint32_t local_ipv4(int fd) {
+  sockaddr_in sin{};
+  socklen_t len = sizeof sin;
+  LCMPI_CHECK(::getsockname(fd, reinterpret_cast<sockaddr*>(&sin), &len) == 0,
+              "getsockname failed");
+  return sin.sin_addr.s_addr;
+}
+
+/// Atomically publishes rank 0's "a.b.c.d:port" at `path` (temp + rename,
+/// so a reader never sees a partial file).
+void publish_rendezvous_file(const std::string& path, std::uint32_t addr_be,
+                             std::uint16_t port) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) die("cannot write rendezvous file " + tmp);
+    out << ipv4_str(addr_be) << ":" << port << "\n";
+    if (!out) die("cannot write rendezvous file " + tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0)
+    die("cannot publish rendezvous file " + path + ": " + errno_str());
+}
+
+/// One read attempt on the rendezvous file; false until rank 0 has
+/// published it (atomic rename: existing means complete).
+bool try_read_rendezvous_file(const std::string& path, std::uint32_t* addr_be,
+                              std::uint16_t* port) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  if (!std::getline(in, line)) return false;
+  const auto colon = line.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= line.size())
+    die("malformed rendezvous file " + path + ": \"" + line + "\"");
+  in_addr a{};
+  if (::inet_pton(AF_INET, line.substr(0, colon).c_str(), &a) != 1)
+    die("malformed rendezvous file " + path + ": \"" + line + "\"");
+  long p = 0;
+  try {
+    p = env::parse_long("rendezvous file port", line.substr(colon + 1), 1, 65535);
+  } catch (const env::EnvError& e) {
+    die("malformed rendezvous file " + path + ": " + e.what());
+  }
+  *addr_be = a.s_addr;
+  *port = static_cast<std::uint16_t>(p);
+  return true;
 }
 
 int make_socket(int family) {
@@ -211,6 +298,7 @@ int accept_within(int listen_fd, Clock::time_point deadline, const char* what) {
 struct Hello {
   std::uint32_t magic = 0x4c43'4d50;  // "LCMP"
   std::int32_t rank = -1;
+  std::uint32_t addr = 0;             // kInet listener IPv4, network order
   std::uint16_t port = 0;             // kInet listener
   std::uint8_t channel = 0;
   std::uint8_t intent = 0;
@@ -538,21 +626,63 @@ SocketFabric::~SocketFabric() {
 }
 
 SocketFabric SocketFabric::from_env(Options opt) {
-  const char* rank_env = std::getenv("LCMPI_RANK");
-  const char* n_env = std::getenv("LCMPI_NRANKS");
-  LCMPI_CHECK(rank_env != nullptr && n_env != nullptr,
-              "LCMPI_RANK/LCMPI_NRANKS not set");
+  // Strict parsing throughout: a typo'd LCMPI_RANK must not silently
+  // become rank 0 (two processes claiming rank 0 is a rendezvous
+  // collision, diagnosed nowhere near the actual mistake). nranks first —
+  // the rank range depends on it.
+  const long nranks = env::require_long("LCMPI_NRANKS", 1, INT32_MAX);
+  const long rank = env::require_long("LCMPI_RANK", 0, nranks - 1);
   Rendezvous rdv;
-  if (const char* dir = std::getenv("LCMPI_SOCKET_DIR"); dir != nullptr) {
+  const char* dir = std::getenv("LCMPI_SOCKET_DIR");
+  const char* port = std::getenv("LCMPI_PORT");
+  const char* file = std::getenv("LCMPI_RENDEZVOUS_FILE");
+  const char* root = std::getenv("LCMPI_ROOT_ADDR");
+  if (dir != nullptr) {
+    // AF_UNIX; takes precedence over any inet variable.
     opt.domain = Domain::kUnix;
     rdv.unix_dir = dir;
-  } else if (const char* port = std::getenv("LCMPI_PORT"); port != nullptr) {
+    // Validate the longest socket path this world will ever build NOW,
+    // with the variable named — not at the first lazy dial deep inside
+    // unix_addr(), minutes into a run.
+    const std::string worst =
+        rdv.unix_dir + "/rank-" + std::to_string(nranks - 1) + ".sock";
+    const std::size_t limit = sizeof(sockaddr_un{}.sun_path);
+    if (std::max(worst.size(), rdv.unix_dir.size() + sizeof("/rendezvous.sock") - 1) >= limit) {
+      throw env::EnvError("LCMPI_SOCKET_DIR=\"" + rdv.unix_dir +
+                          "\" is too long: socket path \"" + worst +
+                          "\" must stay under " + std::to_string(limit) +
+                          " bytes (sun_path)");
+    }
+  } else if (port != nullptr || file != nullptr || root != nullptr) {
     opt.domain = Domain::kInet;
-    rdv.port = static_cast<std::uint16_t>(std::atoi(port));
+    if (file != nullptr) rdv.rendezvous_file = file;
+    if (root != nullptr) {
+      // "host" or "host:port" (IPv4 / hostname; resolved at bootstrap).
+      const std::string spec = root;
+      const auto colon = spec.rfind(':');
+      if (colon != std::string::npos) {
+        rdv.root_host = spec.substr(0, colon);
+        rdv.port = env::parse_port("LCMPI_ROOT_ADDR", spec.substr(colon + 1));
+      } else {
+        rdv.root_host = spec;
+      }
+    }
+    if (port != nullptr) rdv.port = env::parse_port("LCMPI_PORT", port);
+    if (rdv.port == 0 && rdv.rendezvous_file.empty()) {
+      throw env::EnvError(
+          "LCMPI_ROOT_ADDR=\"" + rdv.root_host +
+          "\" names no port and neither LCMPI_PORT nor "
+          "LCMPI_RENDEZVOUS_FILE is set — peers cannot find rank 0");
+    }
+    if (const char* bind = std::getenv("LCMPI_BIND_ADDR")) rdv.bind_host = bind;
+    if (const char* adv = std::getenv("LCMPI_ADDR")) rdv.advertise_host = adv;
   } else {
-    LCMPI_CHECK(false, "neither LCMPI_SOCKET_DIR nor LCMPI_PORT set");
+    throw env::EnvError(
+        "no rendezvous configured: set LCMPI_SOCKET_DIR (AF_UNIX) or "
+        "LCMPI_PORT / LCMPI_RENDEZVOUS_FILE / LCMPI_ROOT_ADDR (AF_INET)");
   }
-  return SocketFabric(std::atoi(n_env), std::atoi(rank_env), rdv, opt);
+  return SocketFabric(static_cast<int>(nranks), static_cast<int>(rank), rdv,
+                      opt);
 }
 
 Endpoint& SocketFabric::endpoint(int rank) {
@@ -605,14 +735,29 @@ void SocketFabric::bootstrap(const Rendezvous& rdv) {
   if (nranks_ == 1) return;  // self-sends never touch the fabric
   const bool unix_domain = opt_.domain == Domain::kUnix;
   LCMPI_CHECK(!unix_domain || !rdv.unix_dir.empty(), "kUnix needs a socket directory");
-  LCMPI_CHECK(unix_domain || rdv.port != 0 || rdv.listen_fd >= 0,
-              "kInet needs a rendezvous port or a pre-bound listener");
+  LCMPI_CHECK(unix_domain || rdv.port != 0 || rdv.listen_fd >= 0 ||
+                  !rdv.rendezvous_file.empty(),
+              "kInet needs a rendezvous port, file, or a pre-bound listener");
 
   const auto deadline = Clock::now() + opt_.dial_deadline;
   const std::string r0_path = unix_domain ? rdv.unix_dir + "/rendezvous.sock" : "";
   const auto rank_path = [&](int r) {
     return rdv.unix_dir + "/rank-" + std::to_string(r) + ".sock";
   };
+
+  // kInet addressing. With no explicit addressing fields the fabric keeps
+  // its original single-box behavior: bind and dial 127.0.0.1. Any
+  // explicit field switches listeners to bind_host/INADDR_ANY and makes
+  // every rank advertise a real address in its Hello.
+  const bool explicit_inet =
+      !unix_domain &&
+      (!rdv.root_host.empty() || !rdv.bind_host.empty() ||
+       !rdv.advertise_host.empty() || !rdv.rendezvous_file.empty());
+  const std::uint32_t bind_be =
+      unix_domain ? 0
+      : !rdv.bind_host.empty()
+          ? resolve_ipv4(rdv.bind_host, "LCMPI_BIND_ADDR")
+          : htonl(explicit_inet ? INADDR_ANY : INADDR_LOOPBACK);
 
   // The rendezvous exchanges listener addresses ONLY. Data connections
   // are dialed lazily on first send, so rank 0's rendezvous listener
@@ -624,7 +769,7 @@ void SocketFabric::bootstrap(const Rendezvous& rdv) {
       listen_fd_ = track_open(rdv.listen_fd);
     } else {
       listen_fd_ = track_open(bind_listener(
-          unix_domain ? unix_addr(r0_path) : inet_addr_port(rdv.port)));
+          unix_domain ? unix_addr(r0_path) : inet_addr_port(bind_be, rdv.port)));
       if (unix_domain) listen_path_ = r0_path;
     }
     Hello& me = hellos[0];
@@ -633,7 +778,17 @@ void SocketFabric::bootstrap(const Rendezvous& rdv) {
       LCMPI_CHECK(r0_path.size() < sizeof(me.unix_path), "unix path too long");
       std::memcpy(me.unix_path, r0_path.c_str(), r0_path.size() + 1);
     } else {
+      // Rank 0 cannot learn its own dialable address from its (possibly
+      // wildcard) listener; it comes from the launcher: LCMPI_ADDR, else
+      // LCMPI_ROOT_ADDR, else loopback (same-host worlds).
+      me.addr = !rdv.advertise_host.empty()
+                    ? resolve_ipv4(rdv.advertise_host, "LCMPI_ADDR")
+                : !rdv.root_host.empty()
+                    ? resolve_ipv4(rdv.root_host, "LCMPI_ROOT_ADDR")
+                    : htonl(INADDR_LOOPBACK);
       me.port = local_port(listen_fd_);
+      if (!rdv.rendezvous_file.empty())
+        publish_rendezvous_file(rdv.rendezvous_file, me.addr, me.port);
     }
     // Collect all n-1 bootstrap hellos, then broadcast the table and
     // close the rendezvous connections — they carried addresses, not
@@ -670,16 +825,44 @@ void SocketFabric::bootstrap(const Rendezvous& rdv) {
       LCMPI_CHECK(path.size() < sizeof(mine.unix_path), "unix path too long");
       std::memcpy(mine.unix_path, path.c_str(), path.size() + 1);
     } else {
-      listen_fd_ = track_open(bind_listener(inet_addr_port(0)));
+      listen_fd_ = track_open(bind_listener(inet_addr_port(bind_be, 0)));
       mine.port = local_port(listen_fd_);
     }
-    // Dial rank 0 (retrying — it may not have bound yet), introduce
-    // ourselves, learn everyone's listener, hang up.
+    // Find rank 0: a published rendezvous file (poll until it appears —
+    // rank 0 may not have bound yet), or the configured root address.
     PeerAddr r0;
     r0.port = rdv.port;
     r0.unix_path = r0_path;
+    if (!unix_domain) {
+      if (!rdv.rendezvous_file.empty()) {
+        auto backoff = opt_.backoff_floor;
+        while (!try_read_rendezvous_file(rdv.rendezvous_file, &r0.addr, &r0.port)) {
+          if (Clock::now() >= deadline)
+            die(who() + ": rendezvous file " + rdv.rendezvous_file +
+                " never appeared — rank 0 never came up");
+          std::this_thread::sleep_for(backoff);
+          backoff = std::min(backoff * 2, opt_.backoff_cap);
+          stats_.dial_retries++;
+        }
+      } else {
+        r0.addr = resolve_ipv4(rdv.root_host, "LCMPI_ROOT_ADDR");
+      }
+    }
+    // Dial rank 0 (retrying — it may not have bound yet), introduce
+    // ourselves, learn everyone's listener, hang up.
     const int fd = dial(r0, "rank 0 rendezvous", deadline);
     stats_.fds_open--;  // transient: closed right after the table read
+    if (!unix_domain) {
+      // Our dialable address: LCMPI_ADDR when configured, else whatever
+      // source address the kernel routed this very connection from — on a
+      // multi-homed host that is exactly the NIC rank 0 (and transitively
+      // every peer on its side) can reach us on. Legacy same-box worlds
+      // keep advertising loopback.
+      mine.addr = !rdv.advertise_host.empty()
+                      ? resolve_ipv4(rdv.advertise_host, "LCMPI_ADDR")
+                  : explicit_inet ? local_ipv4(fd)
+                                  : htonl(INADDR_LOOPBACK);
+    }
     write_all(fd, &mine, sizeof mine, who().c_str());
     read_all(fd, hellos.data(), sizeof(Hello) * static_cast<std::size_t>(nranks_),
              who().c_str());
@@ -690,6 +873,7 @@ void SocketFabric::bootstrap(const Rendezvous& rdv) {
     const Hello& h = hellos[static_cast<std::size_t>(r)];
     LCMPI_CHECK(r == rank_ || h.rank == r, "rendezvous table incomplete");
     PeerAddr& p = peers_[static_cast<std::size_t>(r)];
+    p.addr = h.addr;
     p.port = h.port;
     p.unix_path.assign(h.unix_path,
                        ::strnlen(h.unix_path, sizeof h.unix_path));
@@ -704,7 +888,11 @@ void SocketFabric::bootstrap(const Rendezvous& rdv) {
 int SocketFabric::dial(const PeerAddr& to, const std::string& label,
                        Clock::time_point deadline) {
   const bool unix_domain = opt_.domain == Domain::kUnix;
-  const Addr addr = unix_domain ? unix_addr(to.unix_path) : inet_addr_port(to.port);
+  const Addr addr =
+      unix_domain ? unix_addr(to.unix_path)
+                  : inet_addr_port(
+                        to.addr != 0 ? to.addr : htonl(INADDR_LOOPBACK),
+                        to.port);
   auto backoff = opt_.backoff_floor;
   bool first = true;
   for (;;) {

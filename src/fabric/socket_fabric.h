@@ -127,16 +127,35 @@ class SocketFabric final : public Fabric {
 
   /// Where rank 0 listens for the rendezvous. `unix_dir` (kUnix) is a
   /// private directory for this world's socket files; `port` (kInet) is
-  /// rank 0's rendezvous port on 127.0.0.1. `listen_fd` optionally hands
-  /// rank 0 a pre-bound listener inherited from the launcher (how
-  /// SocketWorld gets an ephemeral AF_INET port with no conflict window);
-  /// -1 makes rank 0 bind the named address itself. Rank 0's rendezvous
-  /// listener stays open for the whole run — it doubles as the data-phase
-  /// listener lazy dials land on.
+  /// rank 0's rendezvous port. `listen_fd` optionally hands rank 0 a
+  /// pre-bound listener inherited from the launcher (how SocketWorld gets
+  /// an ephemeral AF_INET port with no conflict window); -1 makes rank 0
+  /// bind the named address itself. Rank 0's rendezvous listener stays
+  /// open for the whole run — it doubles as the data-phase listener lazy
+  /// dials land on.
+  ///
+  /// Multi-host addressing (kInet): with every field below empty the
+  /// fabric behaves as before — listeners bind 127.0.0.1 and peers dial
+  /// loopback (the single-box SocketWorld contract). Setting any of them
+  /// switches to explicit addressing: listeners bind `bind_host` (empty →
+  /// INADDR_ANY), rank 0 is dialed at `root_host`, and each rank
+  /// advertises `advertise_host` in its Hello — or, when that is empty,
+  /// the local address `getsockname(2)` reports on its bootstrap
+  /// connection to rank 0, which picks the right NIC automatically on a
+  /// multi-homed host. Hostnames resolve via getaddrinfo(3) (IPv4).
+  ///
+  /// `rendezvous_file` replaces a pre-agreed port: rank 0 binds an
+  /// ephemeral port and atomically publishes "a.b.c.d:port\n" at that
+  /// path (write-to-temp + rename); other ranks poll the file until it
+  /// appears. The file must be on a filesystem all ranks share.
   struct Rendezvous {
     std::string unix_dir;
     std::uint16_t port = 0;
     int listen_fd = -1;
+    std::string root_host;        // where rank 0 listens (dial target)
+    std::string bind_host;        // local listener bind address
+    std::string advertise_host;   // address peers should dial for this rank
+    std::string rendezvous_file;  // rank-0-published "addr:port" path
   };
 
   /// Builds this rank's attachment: binds its listener and runs the
@@ -146,10 +165,21 @@ class SocketFabric final : public Fabric {
   SocketFabric(int nranks, int rank, const Rendezvous& rdv, Options opt = {});
   ~SocketFabric() override;
 
-  /// Attachment described by LCMPI_RANK / LCMPI_NRANKS plus either
-  /// LCMPI_SOCKET_DIR (AF_UNIX) or LCMPI_PORT (AF_INET) — the env
-  /// contract for external launchers that re-exec one binary per rank.
+  /// Attachment described entirely by environment — the contract for
+  /// external launchers (lcmpirun, ssh loops, shell scripts) that exec
+  /// one binary per rank with no pipes or inherited fds. Required:
+  /// LCMPI_RANK, LCMPI_NRANKS, and one rendezvous of LCMPI_SOCKET_DIR
+  /// (AF_UNIX; takes precedence), LCMPI_PORT, or LCMPI_RENDEZVOUS_FILE
+  /// (both AF_INET). Optional for AF_INET: LCMPI_ROOT_ADDR ("host" or
+  /// "host:port" — where rank 0 listens), LCMPI_BIND_ADDR, LCMPI_ADDR
+  /// (this rank's advertised address). All values are parsed strictly;
+  /// malformed or out-of-range input throws env::EnvError naming the
+  /// variable.
   [[nodiscard]] static SocketFabric from_env(Options opt = {});
+
+  /// The options this fabric was built with (post-from_env resolution:
+  /// e.g. `domain` reflects which rendezvous the env actually selected).
+  [[nodiscard]] const Options& options() const { return opt_; }
 
   [[nodiscard]] int nranks() const override { return nranks_; }
   [[nodiscard]] int local_rank() const { return rank_; }
@@ -213,6 +243,7 @@ class SocketFabric final : public Fabric {
 
   /// Where a peer's listener lives (from the rendezvous table).
   struct PeerAddr {
+    std::uint32_t addr = 0;  // kInet: IPv4, network byte order
     std::uint16_t port = 0;  // kInet
     std::string unix_path;   // kUnix
   };

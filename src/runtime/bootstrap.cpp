@@ -1,0 +1,455 @@
+#include "src/runtime/bootstrap.h"
+
+#include <dirent.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "src/util/env.h"
+
+namespace lcmpi::runtime::bootstrap {
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error(what);
+}
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+std::vector<std::string> split_ws(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream in(s);
+  for (std::string tok; in >> tok;) out.push_back(tok);
+  return out;
+}
+
+/// POSIX-shell single-quoting for the ssh remote command line (ssh joins
+/// its arguments with spaces and hands the string to the remote shell).
+std::string shell_quote(const std::string& s) {
+  std::string out = "'";
+  for (const char c : s) {
+    if (c == '\'')
+      out += "'\\''";
+    else
+      out += c;
+  }
+  out += "'";
+  return out;
+}
+
+std::string make_temp_dir(const char* tag) {
+  const char* bases[] = {"/tmp", std::getenv("TMPDIR"), "."};
+  for (const char* base : bases) {
+    if (base == nullptr) continue;
+    std::string tmpl = std::string(base) + "/" + tag + ".XXXXXX";
+    if (::mkdtemp(tmpl.data()) != nullptr) return tmpl;
+  }
+  fail(std::string("cannot create a temporary directory for ") + tag);
+}
+
+void remove_tree_shallow(const std::string& dir) {
+  // One level deep is all the launcher ever creates (sockets, status
+  // files, the rendezvous file).
+  if (dir.empty()) return;
+  if (DIR* d = ::opendir(dir.c_str()); d != nullptr) {
+    while (const dirent* e = ::readdir(d)) {
+      const std::string name = e->d_name;
+      if (name == "." || name == "..") continue;
+      (void)::unlink((dir + "/" + name).c_str());
+    }
+    ::closedir(d);
+  }
+  (void)::rmdir(dir.c_str());
+}
+
+std::string read_first_line(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  if (in && std::getline(in, line)) return line;
+  return "";
+}
+
+void write_file_atomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return;  // best effort: exit code still reports
+    out << content;
+  }
+  (void)::rename(tmp.c_str(), path.c_str());
+}
+
+std::string describe(const RankResult& r) {
+  if (r.term_signal != 0)
+    return "killed by signal " + std::to_string(r.term_signal);
+  if (!r.status.empty() && r.status != "ok") return r.status;
+  if (r.exit_code != 0)
+    return "died without reporting (exited with status " +
+           std::to_string(r.exit_code) + ")";
+  return "ok";
+}
+
+}  // namespace
+
+bool is_local_host(const std::string& name) {
+  return name.empty() || name == "localhost" || name == "127.0.0.1" ||
+         name == "::1";
+}
+
+std::vector<Host> parse_hostfile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("cannot open hostfile " + path);
+  std::vector<Host> hosts;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const std::vector<std::string> toks = split_ws(trim(line));
+    if (toks.empty()) continue;
+    Host h;
+    h.name = toks[0];
+    for (std::size_t i = 1; i < toks.size(); ++i) {
+      const std::string& t = toks[i];
+      const std::string where =
+          path + ":" + std::to_string(lineno);
+      if (t.rfind("slots=", 0) == 0) {
+        try {
+          h.slots = static_cast<int>(
+              env::parse_long(where.c_str(), t.substr(6), 1, 1 << 20));
+        } catch (const env::EnvError& e) {
+          fail(std::string("hostfile ") + e.what());
+        }
+      } else {
+        fail("hostfile " + where + ": unknown token \"" + t + "\"");
+      }
+    }
+    hosts.push_back(std::move(h));
+  }
+  if (hosts.empty()) fail("hostfile " + path + " names no hosts");
+  return hosts;
+}
+
+std::vector<Host> parse_host_list(const std::string& spec) {
+  std::vector<Host> hosts;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    auto end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = trim(spec.substr(start, end - start));
+    start = end + 1;
+    if (item.empty()) continue;
+    Host h;
+    const auto colon = item.rfind(':');
+    if (colon != std::string::npos) {
+      h.name = item.substr(0, colon);
+      try {
+        h.slots = static_cast<int>(env::parse_long(
+            "LCMPI_HOSTS slots", item.substr(colon + 1), 1, 1 << 20));
+      } catch (const env::EnvError& e) {
+        fail(e.what());
+      }
+    } else {
+      h.name = item;
+    }
+    hosts.push_back(std::move(h));
+  }
+  if (hosts.empty()) fail("host list \"" + spec + "\" names no hosts");
+  return hosts;
+}
+
+std::vector<std::string> assign_hosts(const std::vector<Host>& hosts,
+                                      int nranks) {
+  std::vector<std::string> out(static_cast<std::size_t>(nranks));
+  if (hosts.empty()) return out;  // all local
+  int rank = 0;
+  while (rank < nranks) {
+    for (const Host& h : hosts) {
+      for (int s = 0; s < h.slots && rank < nranks; ++s)
+        out[static_cast<std::size_t>(rank++)] = h.name;
+      if (rank >= nranks) break;
+    }
+  }
+  return out;
+}
+
+std::vector<RankCmd> plan(const LaunchSpec& spec) {
+  if (spec.nranks < 1) fail("lcmpirun: nranks must be >= 1");
+  if (spec.cmd.empty()) fail("lcmpirun: no command to run");
+  const std::vector<std::string> where = assign_hosts(spec.hosts, spec.nranks);
+  bool any_remote = false;
+  for (const std::string& h : where) any_remote |= !is_local_host(h);
+
+  if (any_remote && spec.domain == Domain::kUnix)
+    fail("lcmpirun: AF_UNIX sockets cannot cross hosts — use --domain inet");
+  if (spec.domain == Domain::kUnix) {
+    if (spec.socket_dir.empty()) fail("lcmpirun: kUnix needs a socket dir");
+    const std::string worst = spec.socket_dir + "/rank-" +
+                              std::to_string(spec.nranks - 1) + ".sock";
+    if (worst.size() >= sizeof(sockaddr_un{}.sun_path))
+      fail("lcmpirun: socket dir \"" + spec.socket_dir +
+           "\" makes AF_UNIX paths longer than sun_path (" + worst + ")");
+  } else if (spec.port == 0 && spec.rendezvous_file.empty()) {
+    fail("lcmpirun: AF_INET needs --port or --rendezvous-file");
+  }
+  if (any_remote && spec.rendezvous_file.empty() && spec.root_addr.empty() &&
+      where[0].empty())
+    fail("lcmpirun: multi-host launch needs a reachable rank-0 address "
+         "(--root-addr, a hostfile naming rank 0's host, or a shared "
+         "--rendezvous-file)");
+
+  // Rank 0's dialable address: explicit --root-addr wins; otherwise the
+  // host rank 0 was assigned to (multi-host), otherwise unset (loopback).
+  std::string root = spec.root_addr;
+  if (root.empty() && any_remote && !is_local_host(where[0]))
+    root = where[0];
+
+  const std::vector<std::string> ssh_words = split_ws(spec.ssh);
+  if (any_remote && ssh_words.empty())
+    fail("lcmpirun: empty ssh command with remote hosts");
+
+  std::vector<RankCmd> out;
+  out.reserve(static_cast<std::size_t>(spec.nranks));
+  for (int r = 0; r < spec.nranks; ++r) {
+    RankCmd rc;
+    rc.rank = r;
+    rc.host = where[static_cast<std::size_t>(r)];
+    rc.via_ssh = !is_local_host(rc.host);
+    rc.env.emplace_back("LCMPI_RANK", std::to_string(r));
+    rc.env.emplace_back("LCMPI_NRANKS", std::to_string(spec.nranks));
+    if (spec.domain == Domain::kUnix) {
+      rc.env.emplace_back("LCMPI_SOCKET_DIR", spec.socket_dir);
+    } else {
+      if (spec.port != 0)
+        rc.env.emplace_back("LCMPI_PORT", std::to_string(spec.port));
+      if (!spec.rendezvous_file.empty())
+        rc.env.emplace_back("LCMPI_RENDEZVOUS_FILE", spec.rendezvous_file);
+      if (!root.empty()) rc.env.emplace_back("LCMPI_ROOT_ADDR", root);
+      if (!spec.bind_addr.empty())
+        rc.env.emplace_back("LCMPI_BIND_ADDR", spec.bind_addr);
+    }
+    if (!spec.status_dir.empty())
+      rc.env.emplace_back("LCMPI_STATUS_DIR", spec.status_dir);
+    for (const std::string& kv : spec.extra_env) {
+      const auto eq = kv.find('=');
+      if (eq == std::string::npos || eq == 0)
+        fail("lcmpirun: malformed -x assignment \"" + kv + "\" (want K=V)");
+      rc.env.emplace_back(kv.substr(0, eq), kv.substr(eq + 1));
+    }
+    if (rc.via_ssh) {
+      // ssh host env K=V ... cmd args — quoting survives the remote
+      // shell, and ssh forwards the remote exit status as its own.
+      rc.argv = ssh_words;
+      rc.argv.push_back(rc.host);
+      rc.argv.push_back("env");
+      for (const auto& [k, v] : rc.env) rc.argv.push_back(k + "=" + shell_quote(v));
+      for (const std::string& w : spec.cmd) rc.argv.push_back(shell_quote(w));
+    } else {
+      rc.argv = spec.cmd;
+    }
+    out.push_back(std::move(rc));
+  }
+  return out;
+}
+
+LaunchResult launch(const LaunchSpec& spec_in) {
+  LaunchSpec spec = spec_in;
+  // Fill the local defaults a bare "lcmpirun -n 4 ./app" needs: a private
+  // socket dir (kUnix), a private rendezvous file (kInet with no fixed
+  // port), and a status dir so failures carry messages.
+  std::vector<std::string> temp_dirs;
+  if (spec.domain == Domain::kUnix && spec.socket_dir.empty()) {
+    spec.socket_dir = make_temp_dir("lcmpi-sock");
+    temp_dirs.push_back(spec.socket_dir);
+  }
+  if (spec.domain == Domain::kInet && spec.port == 0 &&
+      spec.rendezvous_file.empty()) {
+    const std::string dir = make_temp_dir("lcmpi-rdv");
+    temp_dirs.push_back(dir);
+    spec.rendezvous_file = dir + "/rendezvous";
+  }
+  if (spec.status_dir.empty()) {
+    spec.status_dir = make_temp_dir("lcmpi-status");
+    temp_dirs.push_back(spec.status_dir);
+  }
+  const std::vector<RankCmd> cmds = plan(spec);
+
+  const int n = spec.nranks;
+  std::vector<pid_t> pids(static_cast<std::size_t>(n), -1);
+  for (const RankCmd& rc : cmds) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      // Out of processes: kill what we started and give up.
+      for (pid_t p : pids)
+        if (p > 0) (void)::kill(p, SIGKILL);
+      for (pid_t p : pids)
+        if (p > 0) (void)::waitpid(p, nullptr, 0);
+      for (const std::string& d : temp_dirs) remove_tree_shallow(d);
+      fail("lcmpirun: fork() failed: " + std::string(std::strerror(errno)));
+    }
+    if (pid == 0) {
+      // Child. Local ranks get the env directly; ssh ranks carry it
+      // inside the remote command line.
+      if (!rc.via_ssh)
+        for (const auto& [k, v] : rc.env) ::setenv(k.c_str(), v.c_str(), 1);
+      std::vector<char*> argv;
+      argv.reserve(rc.argv.size() + 1);
+      for (const std::string& a : rc.argv)
+        argv.push_back(const_cast<char*>(a.c_str()));
+      argv.push_back(nullptr);
+      ::execvp(argv[0], argv.data());
+      std::fprintf(stderr, "lcmpirun: exec %s failed for rank %d: %s\n",
+                   argv[0], rc.rank, std::strerror(errno));
+      ::_exit(127);
+    }
+    pids[static_cast<std::size_t>(rc.rank)] = pid;
+  }
+
+  // Reap. After the first failure, survivors get a short grace to report
+  // their own errors (a dead peer leaves them blocked in dials until
+  // their fabric deadline — far longer than anyone should wait), then
+  // stragglers are SIGKILLed. For ssh ranks the kill hits the local ssh
+  // client; the remote side is left to its own fabric deadline.
+  LaunchResult res;
+  res.ranks.resize(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    res.ranks[static_cast<std::size_t>(r)].rank = r;
+    res.ranks[static_cast<std::size_t>(r)].host =
+        cmds[static_cast<std::size_t>(r)].host;
+  }
+  std::vector<bool> reaped(static_cast<std::size_t>(n), false);
+  int remaining = n;
+  bool any_failed = false;
+  bool killed = false;
+  std::chrono::steady_clock::time_point grace_deadline{};
+  while (remaining > 0) {
+    bool progressed = false;
+    for (int r = 0; r < n; ++r) {
+      if (reaped[static_cast<std::size_t>(r)]) continue;
+      int ws = 0;
+      const pid_t got =
+          ::waitpid(pids[static_cast<std::size_t>(r)], &ws, WNOHANG);
+      if (got == 0) continue;
+      RankResult& rr = res.ranks[static_cast<std::size_t>(r)];
+      if (got < 0) {
+        rr.exit_code = -1;  // lost track of the child (should not happen)
+      } else if (WIFSIGNALED(ws)) {
+        rr.term_signal = WTERMSIG(ws);
+      } else {
+        rr.exit_code = WIFEXITED(ws) ? WEXITSTATUS(ws) : -1;
+      }
+      reaped[static_cast<std::size_t>(r)] = true;
+      remaining--;
+      progressed = true;
+      if ((rr.exit_code != 0 || rr.term_signal != 0) && !any_failed) {
+        any_failed = true;
+        grace_deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(2);
+      }
+    }
+    if (remaining == 0) break;
+    if (any_failed && !killed &&
+        std::chrono::steady_clock::now() >= grace_deadline) {
+      for (int r = 0; r < n; ++r)
+        if (!reaped[static_cast<std::size_t>(r)])
+          (void)::kill(pids[static_cast<std::size_t>(r)], SIGKILL);
+      killed = true;
+    }
+    if (!progressed)
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // Status files refine the exit codes into messages (and catch a rank
+  // that reported an error but still exited 0 somehow).
+  for (RankResult& rr : res.ranks) {
+    const std::string path =
+        spec.status_dir + "/rank-" + std::to_string(rr.rank) + ".status";
+    rr.status = read_first_line(path);
+  }
+  for (const RankResult& rr : res.ranks) {
+    if (!rr.ok() && res.first_failed < 0) res.first_failed = rr.rank;
+  }
+  res.ok = res.first_failed < 0;
+  if (!res.ok) {
+    const RankResult& rr =
+        res.ranks[static_cast<std::size_t>(res.first_failed)];
+    res.error = "rank " + std::to_string(rr.rank) +
+                (rr.host.empty() ? std::string() : " (" + rr.host + ")") +
+                ": " + describe(rr);
+  }
+  for (const std::string& d : temp_dirs) remove_tree_shallow(d);
+  return res;
+}
+
+// ------------------------------------------------------------ child side
+
+bool env_launched() { return std::getenv("LCMPI_RANK") != nullptr; }
+
+namespace {
+
+/// Best-effort per-rank status report — the exec-based replacement for
+/// SocketWorld's result pipe. Written atomically so the launcher never
+/// reads a torn line.
+void write_status(const std::string& status) {
+  const char* dir = std::getenv("LCMPI_STATUS_DIR");
+  if (dir == nullptr) return;
+  const char* rank = std::getenv("LCMPI_RANK");
+  const std::string path = std::string(dir) + "/rank-" +
+                           (rank != nullptr ? rank : "unknown") + ".status";
+  write_file_atomic(path, status + "\n");
+}
+
+}  // namespace
+
+int rank_main_fab(const EnvRankFn& fn, fabric::SocketFabric::Options opt,
+                  mpi::EngineConfig cfg) {
+  std::string status = "ok";
+  int code = 0;
+  try {
+    fabric::SocketFabric fab = fabric::SocketFabric::from_env(opt);
+    const int r = fab.local_rank();
+    run_detached_rank(fab.endpoint(r), r, cfg,
+                      [&fn, &fab](mpi::Comm& world, sim::Actor& self) {
+                        fn(world, self, fab);
+                      });
+  } catch (const fabric::FabricError& e) {
+    code = 13;
+    status = std::string("error: ") + e.what();
+  } catch (const std::exception& e) {
+    code = 1;
+    status = std::string("error: ") + e.what();
+  } catch (...) {
+    code = 1;
+    status = "error: unknown exception";
+  }
+  write_status(status);
+  return code;
+}
+
+int rank_main(const RankFn& fn, fabric::SocketFabric::Options opt,
+              mpi::EngineConfig cfg) {
+  return rank_main_fab(
+      [&fn](mpi::Comm& world, sim::Actor& self, fabric::SocketFabric&) {
+        fn(world, self);
+      },
+      opt, cfg);
+}
+
+}  // namespace lcmpi::runtime::bootstrap

@@ -133,6 +133,15 @@ ThreadsWorld::ThreadsWorld(int nranks, fabric::ShmFabric::Options opt,
   fabric_ = std::make_unique<fabric::ShmFabric>(nranks, opt);
 }
 
+void run_detached_rank(fabric::Endpoint& ep, int rank,
+                       const mpi::EngineConfig& cfg, const RankFn& fn) {
+  auto actor = sim::Actor::detached("rank-" + std::to_string(rank));
+  sim::Actor::BindScope bind(actor.get());
+  mpi::Engine engine(ep, *actor, cfg);
+  mpi::Comm world = mpi::Comm::world(engine);
+  fn(world, *actor);
+}
+
 Duration ThreadsWorld::run(const RankFn& fn) {
   LCMPI_CHECK(!ran_, "a ThreadsWorld can run only once");
   ran_ = true;
@@ -144,11 +153,7 @@ Duration ThreadsWorld::run(const RankFn& fn) {
   for (int r = 0; r < n; ++r) {
     threads.emplace_back([this, &fn, &errors, r] {
       try {
-        auto actor = sim::Actor::detached("rank-" + std::to_string(r));
-        sim::Actor::BindScope bind(actor.get());
-        mpi::Engine engine(fabric_->endpoint(r), *actor, engine_cfg_);
-        mpi::Comm world = mpi::Comm::world(engine);
-        fn(world, *actor);
+        run_detached_rank(fabric_->endpoint(r), r, engine_cfg_, fn);
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
       }

@@ -226,4 +226,12 @@ Duration run_sockets(int nranks, const RankFn& fn,
 Duration run_ranks(sim::Kernel& kernel, fabric::Fabric& fabric,
                    const mpi::EngineConfig& cfg, const RankFn& fn);
 
+/// Shared child-side body for REAL-execution ranks — a ThreadsWorld
+/// thread or a whole env-bootstrapped process (lcmpirun): binds a
+/// detached actor to the calling thread, builds the engine over `ep`,
+/// and hands `fn` the world communicator. Exceptions propagate to the
+/// caller, which owns reporting (rethrow order, status files).
+void run_detached_rank(fabric::Endpoint& ep, int rank,
+                       const mpi::EngineConfig& cfg, const RankFn& fn);
+
 }  // namespace lcmpi::runtime

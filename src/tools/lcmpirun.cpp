@@ -1,0 +1,192 @@
+// lcmpirun — launch one process per rank across N hosts, mpirun-style.
+//
+// The exec-based successor to SocketWorld's single-box fork loop: every
+// rank is an independent exec of the application binary, configured
+// purely through `LCMPI_*` environment variables (the
+// `SocketFabric::from_env` contract), so ranks can start on different
+// machines. Local ranks are fork/exec'd directly; ranks assigned to a
+// remote host go through ssh, with the environment folded into the
+// remote command line. Rank 0 is found through a fixed port
+// (`--port`), an explicit `--root-addr`, or a shared-filesystem
+// rendezvous file (`--rendezvous-file`) that rank 0 publishes its
+// ephemeral "addr:port" into.
+//
+//   lcmpirun -n 4 ./app args...                # local, AF_UNIX
+//   lcmpirun -n 4 --domain inet ./app          # local, AF_INET + rdv file
+//   lcmpirun -n 8 --hostfile hosts --port 7777 ./app
+//   lcmpirun -n 8 --hosts a:4,b:4 --rendezvous-file /nfs/rdv ./app
+//
+// Hosts come from --hostfile/--hosts or the LCMPI_HOSTS variable
+// ("host[:slots],..."); any non-local host forces --domain inet.
+// --dry-run prints each rank's argv and environment without spawning —
+// exactly what the ssh backend would ship.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/runtime/bootstrap.h"
+#include "src/util/env.h"
+
+using namespace lcmpi;
+using runtime::bootstrap::LaunchSpec;
+
+namespace {
+
+[[noreturn]] void usage(int code) {
+  std::fprintf(
+      code == 0 ? stdout : stderr,
+      "usage: lcmpirun -n NRANKS [options] [--] COMMAND [ARGS...]\n"
+      "\n"
+      "  -n, --np N            number of ranks (required)\n"
+      "      --hostfile FILE   one host per line, optional 'slots=N'\n"
+      "      --hosts LIST      compact form: host[:slots],host[:slots],...\n"
+      "                        (default: $LCMPI_HOSTS, else all local)\n"
+      "      --domain unix|inet  transport (default unix; multi-host\n"
+      "                        launches force inet)\n"
+      "      --port P          fixed AF_INET rendezvous port for rank 0\n"
+      "      --rendezvous-file F  rank 0 publishes 'addr:port' here\n"
+      "                        (must be on a filesystem all ranks share)\n"
+      "      --root-addr H[:P] rank 0's dialable address\n"
+      "      --bind-addr H     listener bind address (default INADDR_ANY)\n"
+      "      --ssh CMD         ssh client for remote ranks (default 'ssh')\n"
+      "      --status-dir D    per-rank status files (default: private tmp)\n"
+      "  -x, --env K=V         extra environment shipped to every rank\n"
+      "      --dry-run         print per-rank argv + env, spawn nothing\n"
+      "  -h, --help\n");
+  std::exit(code);
+}
+
+[[noreturn]] void bad(const std::string& msg) {
+  std::fprintf(stderr, "lcmpirun: %s\n", msg.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LaunchSpec spec;
+  spec.nranks = 0;
+  bool dry_run = false;
+  bool domain_given = false;
+
+  int i = 1;
+  const auto need_value = [&](const char* flag) -> std::string {
+    if (i + 1 >= argc) bad(std::string(flag) + " needs a value");
+    return argv[++i];
+  };
+  for (; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "-h" || a == "--help") usage(0);
+    if (a == "--") {
+      ++i;
+      break;
+    }
+    if (a == "-n" || a == "--np") {
+      try {
+        spec.nranks = static_cast<int>(
+            env::parse_long("-n", need_value("-n"), 1, 1 << 20));
+      } catch (const env::EnvError& e) {
+        bad(e.what());
+      }
+    } else if (a == "--hostfile") {
+      try {
+        spec.hosts = runtime::bootstrap::parse_hostfile(need_value(a.c_str()));
+      } catch (const std::exception& e) {
+        bad(e.what());
+      }
+    } else if (a == "--hosts") {
+      try {
+        spec.hosts = runtime::bootstrap::parse_host_list(need_value(a.c_str()));
+      } catch (const std::exception& e) {
+        bad(e.what());
+      }
+    } else if (a == "--domain") {
+      const std::string d = need_value(a.c_str());
+      if (d == "unix")
+        spec.domain = runtime::bootstrap::Domain::kUnix;
+      else if (d == "inet")
+        spec.domain = runtime::bootstrap::Domain::kInet;
+      else
+        bad("--domain must be unix or inet, not \"" + d + "\"");
+      domain_given = true;
+    } else if (a == "--port") {
+      try {
+        spec.port = env::parse_port("--port", need_value(a.c_str()));
+      } catch (const env::EnvError& e) {
+        bad(e.what());
+      }
+    } else if (a == "--rendezvous-file") {
+      spec.rendezvous_file = need_value(a.c_str());
+    } else if (a == "--root-addr") {
+      spec.root_addr = need_value(a.c_str());
+    } else if (a == "--bind-addr") {
+      spec.bind_addr = need_value(a.c_str());
+    } else if (a == "--socket-dir") {
+      spec.socket_dir = need_value(a.c_str());
+    } else if (a == "--ssh") {
+      spec.ssh = need_value(a.c_str());
+    } else if (a == "--status-dir") {
+      spec.status_dir = need_value(a.c_str());
+    } else if (a == "-x" || a == "--env") {
+      spec.extra_env.push_back(need_value(a.c_str()));
+    } else if (a == "--dry-run") {
+      dry_run = true;
+    } else if (!a.empty() && a[0] == '-') {
+      bad("unknown option " + a + " (see --help)");
+    } else {
+      break;  // first non-option = start of the command
+    }
+  }
+  for (; i < argc; ++i) spec.cmd.emplace_back(argv[i]);
+
+  if (spec.nranks < 1) bad("-n NRANKS is required");
+  if (spec.cmd.empty()) bad("no command to run (see --help)");
+  if (spec.hosts.empty()) {
+    if (const char* hosts = std::getenv("LCMPI_HOSTS")) {
+      try {
+        spec.hosts = runtime::bootstrap::parse_host_list(hosts);
+      } catch (const std::exception& e) {
+        bad(e.what());
+      }
+    }
+  }
+  bool any_remote = false;
+  for (const auto& h : spec.hosts)
+    any_remote |= !runtime::bootstrap::is_local_host(h.name);
+  // Multi-host implies inet; a kInet launch with no port and no file gets
+  // a private rendezvous file from launch() (local runs only — remote
+  // ranks could never read it).
+  if (any_remote && !domain_given)
+    spec.domain = runtime::bootstrap::Domain::kInet;
+  if (any_remote && spec.port == 0 && spec.rendezvous_file.empty())
+    bad("multi-host launch needs --port or a shared --rendezvous-file");
+
+  try {
+    if (dry_run) {
+      // Planning only — print what each rank would exec, ssh ranks with
+      // the environment folded into the remote command line.
+      for (const auto& rc : runtime::bootstrap::plan(spec)) {
+        std::printf("rank %d on %s%s:\n", rc.rank,
+                    rc.host.empty() ? "localhost" : rc.host.c_str(),
+                    rc.via_ssh ? " (ssh)" : "");
+        if (!rc.via_ssh)
+          for (const auto& [k, v] : rc.env)
+            std::printf("  env %s=%s\n", k.c_str(), v.c_str());
+        std::printf("  exec");
+        for (const auto& w : rc.argv) std::printf(" %s", w.c_str());
+        std::printf("\n");
+      }
+      return 0;
+    }
+    const auto res = runtime::bootstrap::launch(spec);
+    if (!res.ok) {
+      std::fprintf(stderr, "lcmpirun: %s\n", res.error.c_str());
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "lcmpirun: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,67 @@
+// Strict environment-variable parsing for the bootstrap paths.
+//
+// Every rank of an env-bootstrapped world (lcmpirun, `SocketFabric::from_env`)
+// configures itself purely from `LCMPI_*` variables, so a typo'd value must
+// fail fast and name the variable — `atoi`'s silent 0 would instead produce a
+// quiet rank collision (two ranks both believing they are rank 0). All
+// parsers here reject empty strings and trailing junk, enforce explicit
+// ranges, and throw `EnvError` with the variable name and the offending value
+// in the message.
+#pragma once
+
+#include <cerrno>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace lcmpi::env {
+
+/// Malformed or missing `LCMPI_*` configuration. Always names the variable.
+class EnvError : public std::runtime_error {
+ public:
+  explicit EnvError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// The raw value of `name`, or `fallback` when unset. Empty-but-set counts
+/// as set (and will then fail the numeric parsers below).
+[[nodiscard]] inline const char* get(const char* name,
+                                     const char* fallback = nullptr) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? v : fallback;
+}
+
+/// Strict integer parse of an explicit string: base 10, whole-string match
+/// (no trailing junk, no empty value), result within [min, max]. `name` is
+/// only used for the error message.
+[[nodiscard]] inline long parse_long(const char* name, const std::string& val,
+                                     long min, long max) {
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(val.c_str(), &end, 10);
+  if (val.empty() || end != val.c_str() + val.size()) {
+    throw EnvError(std::string(name) + "=\"" + val +
+                   "\" is not an integer");
+  }
+  if (errno == ERANGE || parsed < min || parsed > max) {
+    throw EnvError(std::string(name) + "=\"" + val + "\" out of range [" +
+                   std::to_string(min) + ", " + std::to_string(max) + "]");
+  }
+  return parsed;
+}
+
+/// Required integer env var within [min, max]; throws naming `name` when the
+/// variable is unset, malformed, or out of range.
+[[nodiscard]] inline long require_long(const char* name, long min, long max) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) throw EnvError(std::string(name) + " is not set");
+  return parse_long(name, raw, min, max);
+}
+
+/// TCP port parse: 1..65535. Port 0 is rejected — a rank advertising an
+/// ephemeral rendezvous port its peers were never told is unreachable.
+[[nodiscard]] inline std::uint16_t parse_port(const char* name,
+                                              const std::string& val) {
+  return static_cast<std::uint16_t>(parse_long(name, val, 1, 65535));
+}
+
+}  // namespace lcmpi::env
